@@ -1,0 +1,1 @@
+bench/bech.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Parcae_ir Parcae_pdg Parcae_sim Parcae_util Printf Staged Test Time Toolkit

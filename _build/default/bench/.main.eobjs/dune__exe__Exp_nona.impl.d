@@ -1,0 +1,1 @@
+bench/exp_nona.ml: Array Buffer Compiler Engine Flex Interp Kernels List Machine Option Parcae_core Parcae_ir Parcae_nona Parcae_runtime Parcae_sim Parcae_util Printf String

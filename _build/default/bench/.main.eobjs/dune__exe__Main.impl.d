@@ -1,0 +1,1 @@
+bench/main.ml: Array Bech Exp_api Exp_nona List Printf Sys

@@ -1,0 +1,78 @@
+(* Bechamel micro-benchmarks of the runtime primitives (host time).
+
+   These complement the virtual-time experiments: they measure what the
+   *implementation* costs on the host — how fast the simulator processes
+   events, how expensive PDG construction and SCC formation are, and the
+   cost of the deterministic RNG and priority queue underneath everything. *)
+
+open Bechamel
+open Toolkit
+module Pqueue = Parcae_util.Pqueue
+module Rng = Parcae_util.Rng
+module Engine = Parcae_sim.Engine
+module Machine = Parcae_sim.Machine
+module Pdg = Parcae_pdg.Pdg
+module Scc = Parcae_pdg.Scc
+module Kernels = Parcae_ir.Kernels
+
+let test_rng =
+  let rng = Rng.create 1 in
+  Test.make ~name:"rng: float draw" (Staged.stage (fun () -> ignore (Rng.float rng)))
+
+let test_pqueue =
+  let q = Pqueue.create () in
+  let i = ref 0 in
+  Test.make ~name:"pqueue: push+pop"
+    (Staged.stage (fun () ->
+         incr i;
+         Pqueue.push q !i ();
+         ignore (Pqueue.pop q)))
+
+let test_engine_events =
+  Test.make ~name:"engine: 1000 sim events"
+    (Staged.stage (fun () ->
+         let eng = Engine.create (Machine.test_machine ~cores:4 ()) in
+         for w = 0 to 3 do
+           ignore
+             (Engine.spawn eng
+                ~name:(Printf.sprintf "w%d" w)
+                (fun () ->
+                  for _ = 1 to 125 do
+                    Engine.compute 100
+                  done))
+         done;
+         ignore (Engine.run eng)))
+
+let test_pdg_build =
+  let loop = Kernels.crc32 ~n:10 () in
+  Test.make ~name:"nona: PDG build (crc32)" (Staged.stage (fun () -> ignore (Pdg.build loop)))
+
+let test_scc_build =
+  let loop = Kernels.crc32 ~n:10 () in
+  let pdg = Pdg.build loop in
+  Test.make ~name:"nona: SCC build (crc32)" (Staged.stage (fun () -> ignore (Scc.build pdg)))
+
+let run () =
+  let tests =
+    Test.make_grouped ~name:"primitives"
+      [ test_rng; test_pqueue; test_engine_events; test_pdg_build; test_scc_build ]
+  in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let t =
+    Parcae_util.Table.create ~title:"Host-time micro-benchmarks (Bechamel, ns/op)"
+      ~header:[ "operation"; "ns/op" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name o ->
+      let est =
+        match Analyze.OLS.estimates o with Some (x :: _) -> Printf.sprintf "%.1f" x | _ -> "n/a"
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.iter (fun (n, e) -> Parcae_util.Table.add_row t [ n; e ])
+    (List.sort compare !rows);
+  Parcae_util.Table.print t

@@ -1,0 +1,275 @@
+(* parcae_demo: command-line driver for the Parcae system.
+
+   Subcommands:
+     serve    — run a server workload under a mechanism at a load factor
+     batch    — run a batch workload under a mechanism, report throughput
+     compile  — compile an IR kernel with Nona and show PDG/SCC/pipeline
+     run      — execute a compiled kernel under the closed-loop controller
+
+   Examples:
+     parcae_demo serve -a x264 -m wq-linear -l 0.8
+     parcae_demo batch -a ferret -m tbf
+     parcae_demo compile -k crc32
+     parcae_demo run -k kmeans --budget 12 *)
+
+open Cmdliner
+open Parcae_sim
+open Parcae_workloads
+module Mech = Parcae_mechanisms
+module R = Parcae_runtime
+module Config = Parcae_core.Config
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument definitions.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let machine_of = function
+  | "xeon24" -> Machine.xeon_x7460
+  | "xeon8" -> Machine.xeon_e5310
+  | s -> failwith ("unknown machine " ^ s ^ " (xeon24 | xeon8)")
+
+let machine_arg =
+  let doc = "Simulated platform: xeon24 (Intel Xeon X7460) or xeon8 (Intel Xeon E5310)." in
+  Arg.(value & opt string "xeon24" & info [ "machine" ] ~docv:"MACHINE" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for the load generator." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let budget_arg =
+  let doc = "Thread budget for the region (defaults to the machine's cores)." in
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N" ~doc)
+
+let app_arg =
+  let doc = "Application: x264, swaptions, bzip, gimp, ferret, dedup." in
+  Arg.(value & opt string "x264" & info [ "a"; "app" ] ~docv:"APP" ~doc)
+
+let mech_arg =
+  let doc = "Mechanism: static, wqt-h, wq-linear, tbf, tb, fdp, seda, tpc." in
+  Arg.(value & opt string "static" & info [ "m"; "mechanism" ] ~docv:"MECH" ~doc)
+
+let load_arg =
+  let doc = "Load factor (arrival rate / max sustainable throughput)." in
+  Arg.(value & opt float 0.8 & info [ "l"; "load" ] ~docv:"LOAD" ~doc)
+
+let requests_arg =
+  let doc = "Number of requests to process." in
+  Arg.(value & opt int 500 & info [ "n"; "requests" ] ~docv:"N" ~doc)
+
+let kernel_arg =
+  let doc =
+    "IR kernel: blackscholes, crc32, url, kmeans, histogram, montecarlo, stringsearch, \
+     recurrence, adaptive."
+  in
+  Arg.(value & opt string "blackscholes" & info [ "k"; "kernel" ] ~docv:"KERNEL" ~doc)
+
+let file_arg =
+  let doc = "Parse the loop from a .loop source file instead of a built-in kernel." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let app_factory name : budget:int -> Engine.t -> App.t =
+  match name with
+  | "x264" -> fun ~budget eng -> Transcode.make ~budget eng
+  | "swaptions" -> fun ~budget eng -> Swaptions.make ~budget eng
+  | "bzip" -> fun ~budget eng -> Bzip.make ~budget eng
+  | "gimp" -> fun ~budget eng -> Gimp_oilify.make ~budget eng
+  | "ferret" -> fun ~budget eng -> Ferret.make ~budget eng
+  | "dedup" -> fun ~budget eng -> Dedup.make ~budget eng
+  | s -> failwith ("unknown app " ^ s)
+
+let is_flat name = name = "ferret" || name = "dedup"
+
+let kernel_of name : unit -> Parcae_ir.Loop.t =
+  match name with
+  | "blackscholes" -> fun () -> Parcae_ir.Kernels.blackscholes ~n:40_000 ()
+  | "crc32" -> fun () -> Parcae_ir.Kernels.crc32 ~n:60_000 ()
+  | "url" -> fun () -> Parcae_ir.Kernels.url ~n:50_000 ()
+  | "kmeans" -> fun () -> Parcae_ir.Kernels.kmeans ~n:40_000 ()
+  | "histogram" -> fun () -> Parcae_ir.Kernels.histogram ~n:60_000 ()
+  | "montecarlo" -> fun () -> Parcae_ir.Kernels.montecarlo ~n:50_000 ()
+  | "stringsearch" -> fun () -> Parcae_ir.Kernels.stringsearch ~n:40_000 ()
+  | "recurrence" -> fun () -> Parcae_ir.Kernels.recurrence ~n:200_000 ()
+  | "adaptive" -> fun () -> Parcae_ir.Kernels.adaptive ~n:200_000 ()
+  | s -> failwith ("unknown kernel " ^ s)
+
+(* Build a mechanism factory for an app. *)
+let mechanism_for name (flat : bool) : Experiments.mech =
+  match name with
+  | "static" -> None
+  | "wqt-h" ->
+      Some
+        (fun app ->
+          if flat then
+            Mech.Wqt_h.make ~load:app.App.wq_load ~threshold:6.0 ~non:2 ~noff:2
+              ~light:(App.config app "even") ~heavy:(App.config app "oversubscribed") ()
+          else
+            Mech.Wqt_h.make ~load:app.App.wq_load ~threshold:8.0 ~non:3 ~noff:3
+              ~light:(App.config app "inner-max") ~heavy:(App.config app "outer-only") ())
+  | "wq-linear" ->
+      Some
+        (fun app ->
+          if flat then
+            Mech.Wq_linear.per_task ~loads:app.App.per_task_loads ~per_item:0.6 ~dpmin:2
+              ~dpmax:24 ()
+          else
+            Mech.Wq_linear.nested ~load:app.App.wq_load ~dpmin:1 ~dpmax:app.App.dpmax
+              ~qmax:20.0 ~make_config:(Option.get app.App.inner_dop_config) ())
+  | "tbf" -> Some (fun app -> Mech.Tbf.make ?fused_choice:app.App.fused_choice ())
+  | "tb" -> Some (fun _ -> Mech.Tbf.make ())
+  | "fdp" -> Some (fun _ -> Mech.Fdp.make ())
+  | "seda" -> Some (fun _ -> Mech.Seda.make ~threshold:6.0 ~max_per_stage:8 ())
+  | "tpc" ->
+      Some
+        (fun app ->
+          let machine = Engine.machine app.App.eng in
+          let sensor = Power.create ~period_ns:2_000_000_000 app.App.eng in
+          Mech.Tpc.make ~sensor ~target_watts:(0.9 *. Machine.peak_power machine) ())
+  | s -> failwith ("unknown mechanism " ^ s)
+
+let print_result (r : Experiments.result) =
+  Printf.printf "completed:          %d / %d requests\n" r.Experiments.completed
+    r.Experiments.submitted;
+  Printf.printf "mean response time: %.3f s\n" r.Experiments.mean_response_s;
+  Printf.printf "p95 response time:  %.3f s\n" r.Experiments.p95_response_s;
+  Printf.printf "mean execution:     %.3f s\n" r.Experiments.mean_exec_s;
+  Printf.printf "throughput:         %.2f requests/s\n" r.Experiments.throughput_rps;
+  Printf.printf "energy:             %.1f J\n" r.Experiments.energy_j;
+  Printf.printf "virtual time:       %.2f s\n" r.Experiments.sim_end_s;
+  Printf.printf "reconfigurations:   %d\n" r.Experiments.reconfigurations
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve app mech load m machine_name seed =
+  let machine = machine_of machine_name in
+  let mk = app_factory app in
+  let flat = is_flat app in
+  let maxthr =
+    if flat then Experiments.max_throughput_flat ~machine ~seed mk
+    else Experiments.max_throughput ~machine ~seed mk
+  in
+  Printf.printf "%s on %s: max sustainable throughput %.2f requests/s\n" app
+    machine.Machine.name maxthr;
+  Printf.printf "running %d requests at load %.2f under %s...\n\n" m load mech;
+  let config = if flat then `Named "even" else `Named "inner-max" in
+  let r =
+    Experiments.run_server ~m ~seed ~machine ~rate_per_s:(load *. maxthr)
+      ?mechanism:(mechanism_for mech flat) ~config mk
+  in
+  print_result r
+
+let serve_cmd =
+  let term = Term.(const serve $ app_arg $ mech_arg $ load_arg $ requests_arg $ machine_arg $ seed_arg) in
+  Cmd.v (Cmd.info "serve" ~doc:"Run a server workload at a load factor under a mechanism.") term
+
+(* ------------------------------------------------------------------ *)
+(* batch                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let batch app mech m machine_name seed =
+  let machine = machine_of machine_name in
+  let mk = app_factory app in
+  let flat = is_flat app in
+  let config = if flat then `Named "even" else `Named "outer-only" in
+  Printf.printf "running %d requests in batch mode under %s...\n\n" m mech;
+  let r, _, _ =
+    Experiments.run_batch ~m ~seed ~machine ?mechanism:(mechanism_for mech flat) ~config mk
+  in
+  print_result r
+
+let batch_cmd =
+  let term = Term.(const batch $ app_arg $ mech_arg $ requests_arg $ machine_arg $ seed_arg) in
+  Cmd.v (Cmd.info "batch" ~doc:"Run a batch workload under a mechanism and report throughput.") term
+
+(* ------------------------------------------------------------------ *)
+(* compile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let loop_source kernel file =
+  match file with
+  | Some path -> (
+      try Parcae_ir.Parser.parse_file path
+      with Parcae_ir.Parser.Parse_error m ->
+        prerr_endline m;
+        exit 1)
+  | None -> (kernel_of kernel) ()
+
+let compile kernel file =
+  let open Parcae_ir in
+  let open Parcae_pdg in
+  let open Parcae_nona in
+  let loop = loop_source kernel file in
+  Format.printf "%a@." Loop.pp loop;
+  let c = Compiler.compile loop in
+  Format.printf "%a@." Pdg.pp c.Compiler.pdg;
+  Format.printf "%a@." Scc.pp c.Compiler.scc;
+  (match Doany.inhibitors c.Compiler.pdg with
+  | [] -> Format.printf "DOANY: applicable@."
+  | deps ->
+      Format.printf "DOANY: inhibited by:@.";
+      List.iter (fun d -> Format.printf "  %s@." (Dep.to_string d)) deps);
+  match c.Compiler.pipeline with
+  | Some pipe -> Format.printf "PS-DSWP:@.%a@." Mtcg.pp pipe
+  | None -> Format.printf "PS-DSWP: not applicable@."
+
+let compile_cmd =
+  let term = Term.(const compile $ kernel_arg $ file_arg) in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile an IR kernel (built-in or from a .loop file) and print the analysis.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run kernel file machine_name budget =
+  let open Parcae_ir in
+  let open Parcae_nona in
+  let machine = machine_of machine_name in
+  let budget = Option.value budget ~default:machine.Machine.cores in
+  let loop = loop_source kernel file in
+  let c = Compiler.compile loop in
+  let eng = Engine.create machine in
+  let h = Compiler.launch ~budget eng c in
+  let ctl =
+    R.Controller.create
+      ~params:
+        { R.Controller.default_params with R.Controller.npar_factor = 16; monitor_ns = 50_000_000 }
+      h.Compiler.region
+  in
+  ignore (R.Controller.spawn eng ctl);
+  let done_at = ref 0 in
+  let _ =
+    Engine.spawn eng ~name:"watch" (fun () ->
+        R.Executor.await h.Compiler.region;
+        done_at := Engine.now ())
+  in
+  ignore (Engine.run ~until:600_000_000_000 eng);
+  let seq = (Interp.run loop).Interp.work_ns in
+  Printf.printf "kernel:      %s (%d iterations)\n" loop.Loop.name h.Compiler.rs.Flex.next_iter;
+  Printf.printf "schemes:     %s\n" (String.concat ", " h.Compiler.names);
+  Printf.printf "chosen:      %s %s\n"
+    (R.Region.scheme_name h.Compiler.region)
+    (Config.to_string (R.Region.config h.Compiler.region));
+  Printf.printf "sequential:  %.3f s\n" (float_of_int seq *. 1e-9);
+  Printf.printf "parallel:    %.3f s (speedup %.2fx on %d threads)\n"
+    (float_of_int !done_at *. 1e-9)
+    (float_of_int seq /. float_of_int (max 1 !done_at))
+    budget;
+  Printf.printf "semantics:   %s\n"
+    (if Compiler.preserves_semantics h then "preserved" else "VIOLATED")
+
+let run_cmd =
+  let term = Term.(const run $ kernel_arg $ file_arg $ machine_arg $ budget_arg) in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile a kernel and execute it under the closed-loop controller.")
+    term
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "Parcae: a system for flexible parallel execution (simulated reproduction)" in
+  let info = Cmd.info "parcae_demo" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ serve_cmd; batch_cmd; compile_cmd; run_cmd ]))

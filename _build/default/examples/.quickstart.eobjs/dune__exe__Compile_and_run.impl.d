@@ -1,0 +1,1 @@
+examples/compile_and_run.ml: Compiler Engine Flex Format Interp Kernels List Loop Machine Mtcg Parcae_core Parcae_ir Parcae_nona Parcae_pdg Parcae_runtime Parcae_sim Pdg Printf Scc

@@ -1,0 +1,1 @@
+examples/compile_and_run.mli:

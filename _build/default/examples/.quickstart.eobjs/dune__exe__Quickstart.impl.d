@@ -1,0 +1,1 @@
+examples/quickstart.ml: Chan Config Engine Executor Machine Morta Parcae_core Parcae_mechanisms Parcae_runtime Parcae_sim Pipeline Printf Region Task Task_status

@@ -1,0 +1,1 @@
+examples/search_engine.ml: App Config Engine Executor Ferret Load_gen Machine Metrics Morta Parcae_core Parcae_mechanisms Parcae_runtime Parcae_sim Parcae_util Parcae_workloads Printf Region

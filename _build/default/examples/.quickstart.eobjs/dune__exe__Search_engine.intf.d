@@ -1,0 +1,1 @@
+examples/search_engine.mli:

@@ -1,0 +1,60 @@
+(* The ferret image search engine under the TBF mechanism (the paper's
+   Section 6.3.2 and Figure 8.6 scenario).
+
+     dune exec examples/search_engine.exe
+
+   ferret's six-stage pipeline (load -> seg -> extract -> vec -> rank ->
+   out) is heavily unbalanced: rank costs 12 ms per query against 1.5-3 ms
+   for the other stages.  Starting from one thread per stage, TBF measures
+   stage execution times through Decima, detects the imbalance, and
+   switches to the fused scheme in which the four parallel stages are
+   collapsed into one "combined" parallel task that all spare threads
+   execute. *)
+
+open Parcae_sim
+open Parcae_core
+open Parcae_runtime
+open Parcae_workloads
+module Mech = Parcae_mechanisms
+module Rng = Parcae_util.Rng
+
+let () =
+  let machine = Machine.xeon_x7460 in
+  let eng = Engine.create machine in
+  let app = Ferret.make ~budget:machine.Machine.cores eng in
+
+  (* Batch mode: 25k queries pre-loaded, end-of-stream after the last. *)
+  let rng = Rng.create 7 in
+  ignore
+    (Load_gen.spawn_batch ~rng ~m:25_000 ~queue:app.App.queue ~metrics:app.App.metrics eng);
+
+  let region =
+    Executor.launch ~budget:24 ~name:"ferret" eng app.App.schemes
+      ~on_pause:app.App.on_pause ~on_reset:app.App.on_reset (App.config app "single")
+  in
+  ignore
+    (Morta.spawn
+       ~stop:(fun () -> Region.is_done region)
+       ~period_ns:100_000_000
+       ~mechanism:(Mech.Tbf.make ?fused_choice:app.App.fused_choice ~warmup:60 ())
+       eng region);
+
+  ignore
+    (Engine.spawn eng ~name:"reporter" (fun () ->
+         let prev = ref 0 in
+         while not (Region.is_done region) do
+           Engine.sleep 1_000_000_000;
+           let served = Metrics.completed app.App.metrics in
+           Printf.printf "t=%5.1fs  scheme=%-13s  config=%-22s  %.0f queries/s\n"
+             (Engine.seconds_of_ns (Engine.now ()))
+             (Region.scheme_name region)
+             (Config.to_string (Region.config region))
+             (float_of_int (served - !prev) /. 1.0);
+           prev := served
+         done));
+
+  ignore (Engine.run ~until:300_000_000_000 eng);
+  Printf.printf "\n%d queries answered at a sustained %.0f queries/s; scheme switches: %d\n"
+    (Metrics.completed app.App.metrics)
+    (Metrics.throughput app.App.metrics)
+    (Region.scheme_switches region)

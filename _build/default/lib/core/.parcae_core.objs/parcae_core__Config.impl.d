@@ -1,0 +1,1 @@
+lib/core/config.ml: Array Format Option

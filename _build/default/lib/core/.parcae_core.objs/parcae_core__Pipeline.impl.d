@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: List Parcae_sim Task Task_status

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Parcae_sim Task Task_status

@@ -1,0 +1,1 @@
+lib/core/task.ml: Array Config List Printf Task_status

@@ -1,0 +1,1 @@
+lib/core/task.mli: Config Task_status

@@ -1,0 +1,1 @@
+lib/core/task_status.ml: Format

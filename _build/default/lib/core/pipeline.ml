@@ -1,0 +1,139 @@
+(* Pipeline-stage helpers implementing the pause/flush protocol of
+   Section 4.6 for API-level (hand-written) parallelizations.
+
+   Stages communicate through shared channels carrying work items or one of
+   two sentinels: [Flush] (a pause is in progress) and [Eos] (end of
+   stream).  The protocol mirrors the paper's ferret/x264 ports
+   (Figure 5.7), where FiniCB callbacks enqueue sentinel NULL tokens:
+
+   - The master task polls [get_status] at the top of each instance
+     (Section 4.6: master tasks query Morta directly).
+   - A pause (or end-of-stream) reaches a stage as a sentinel in its input
+     channel.  The receiving lane puts the sentinel back for its sibling
+     lanes and exits.
+   - The *last* lane of a stage to exit forwards the sentinel downstream.
+     Forwarding from the last lane — rather than from every lane's fini —
+     guarantees that every in-flight item of this stage has been sent
+     downstream before the sentinel, so a downstream stage never observes
+     the sentinel ahead of real data (the ordering hazard of
+     Section 7.2.2).
+   - Between pause and resume, the runtime strips leftover [Flush]
+     sentinels from the channels ([reset_channel]) while keeping pending
+     work items and any [Eos], and resets the per-stage exit counters. *)
+
+module Chan = Parcae_sim.Chan
+
+type 'a msg =
+  | Item of 'a
+  | Flush  (* pause sentinel: stripped on reset *)
+  | Eos  (* end of stream: persists across reconfigurations *)
+
+(* Send a work item. *)
+let send ch v = Chan.send ch (Item v)
+
+(* Queue occupancy counting only real items; the natural load callback. *)
+let load ch () =
+  float_of_int (Chan.length ch)
+
+(* Remove pause sentinels (only) from a channel. *)
+let reset_channel ch =
+  ignore (Chan.filter ch (function Flush -> false | Item _ | Eos -> true) : int)
+
+(* Inject a pause sentinel, waking any lane blocked on an empty channel;
+   the region's [on_pause] callback typically does this for the master
+   stage's input queue.  Sentinel sends bypass channel capacity so the
+   protocol can never deadlock on a full channel. *)
+let inject_flush ch = Chan.force_send ch Flush
+
+(* Inject an end-of-stream sentinel (the load generator does this after the
+   last request). *)
+let inject_eos ch = Chan.force_send ch Eos
+
+type sentinel = S_flush | S_eos
+
+(* Forward a sentinel into a downstream channel. *)
+let forward_to ch = function
+  | S_flush -> Chan.force_send ch Flush
+  | S_eos -> Chan.force_send ch Eos
+
+type 'a stage_handle = {
+  task : Task.t;
+  reset : unit -> unit;  (* clear exit bookkeeping between pause and resume *)
+}
+
+(* Shared exit bookkeeping: count exiting lanes; the last one forwards the
+   strongest sentinel seen ([Eos] wins over [Flush]). *)
+let make_exit ~forward =
+  let exited = ref 0 in
+  let saw_eos = ref false in
+  let exit_path (ctx : Task.ctx) ?(eos = false) status =
+    if eos then saw_eos := true;
+    exited := !exited + 1;
+    if !exited >= ctx.Task.dop then forward (if !saw_eos then S_eos else S_flush);
+    status
+  in
+  let reset () =
+    exited := 0;
+    saw_eos := false
+  in
+  (exit_path, reset)
+
+(* Build a pipeline stage task.
+
+   [poll] — poll [get_status] before blocking on input (master stages).
+   [input] — the stage's input channel.
+   [forward] — invoked once, by the last exiting lane, to propagate the
+   sentinel downstream (e.g. [forward_to q2]); pass [ignore] for sinks.
+   [body ctx v] — process one work item. *)
+let stage ?(ttype = Task.Par) ?(poll = false) ?load ?init ?nested ~name ~input
+    ~forward (body : Task.ctx -> 'a -> Task_status.t) : 'a stage_handle =
+  let exit_path, reset = make_exit ~forward in
+  let task_body (ctx : Task.ctx) =
+    if poll && ctx.Task.get_status () = Task_status.Paused then exit_path ctx Task_status.Paused
+    else
+      match Chan.recv input with
+      | Flush ->
+          (* Put the sentinel back for sibling lanes before exiting. *)
+          Chan.force_send input Flush;
+          let status =
+            match ctx.Task.get_status () with
+            | Task_status.Paused -> Task_status.Paused
+            | _ -> Task_status.Complete
+          in
+          exit_path ctx status
+      | Eos ->
+          Chan.force_send input Eos;
+          exit_path ctx ~eos:true Task_status.Complete
+      | Item v -> (
+          match body ctx v with
+          | Task_status.Iterating -> Task_status.Iterating
+          | Task_status.Complete -> exit_path ctx ~eos:true Task_status.Complete
+          | Task_status.Paused -> exit_path ctx Task_status.Paused)
+  in
+  let task = Task.create ~ttype ?load ?init ?nested ~name task_body in
+  { task; reset }
+
+(* Build a source task: it generates work (no input channel) and signals
+   end-of-stream / pause downstream via [forward].  [body] returns
+   [Iterating] after emitting an item and [Complete] when the stream
+   ends. *)
+let source ?(ttype = Task.Seq) ?load ?init ~name ~forward
+    (body : Task.ctx -> Task_status.t) : 'a stage_handle =
+  let exit_path, reset = make_exit ~forward in
+  let task_body (ctx : Task.ctx) =
+    match ctx.Task.get_status () with
+    | Task_status.Paused -> exit_path ctx Task_status.Paused
+    | _ -> (
+        match body ctx with
+        | Task_status.Iterating -> Task_status.Iterating
+        | Task_status.Complete -> exit_path ctx ~eos:true Task_status.Complete
+        | Task_status.Paused -> exit_path ctx Task_status.Paused)
+  in
+  let task = Task.create ~ttype ?load ?init ~name task_body in
+  { task; reset }
+
+(* Combine stage resets and channel sentinel-stripping into a region
+   [on_reset] callback. *)
+let make_reset ~stages ~channels () =
+  List.iter (fun s -> s.reset ()) stages;
+  List.iter (fun ch -> reset_channel ch) channels

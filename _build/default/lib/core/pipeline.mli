@@ -1,0 +1,76 @@
+(** Pipeline-stage helpers implementing the pause/flush protocol of the
+    paper's Section 4.6 for API-level (hand-written) parallelizations.
+
+    Stages communicate through shared channels carrying work items or one
+    of two sentinels: [Flush] (a pause is in progress; stripped on reset)
+    and [Eos] (end of stream; persists across reconfigurations).  A lane
+    that consumes a sentinel puts it back for its sibling lanes; the
+    {e last} lane of a stage to exit forwards the sentinel downstream,
+    which guarantees every in-flight item precedes the sentinel — the
+    ordering hazard of the paper's Section 7.2.2 cannot occur. *)
+
+type 'a msg =
+  | Item of 'a
+  | Flush  (** pause sentinel *)
+  | Eos  (** end of stream *)
+
+val send : 'a msg Parcae_sim.Chan.t -> 'a -> unit
+(** Send a work item. *)
+
+val load : 'a Parcae_sim.Chan.t -> unit -> float
+(** Queue occupancy as a load callback. *)
+
+val reset_channel : 'a msg Parcae_sim.Chan.t -> unit
+(** Strip pause sentinels, keeping work items and any [Eos]. *)
+
+val inject_flush : 'a msg Parcae_sim.Chan.t -> unit
+(** Inject a pause sentinel (typically from a region's [on_pause]
+    callback, to wake lanes blocked on an empty work queue).  Sentinel
+    sends bypass channel capacity so the protocol can never deadlock. *)
+
+val inject_eos : 'a msg Parcae_sim.Chan.t -> unit
+(** Inject an end-of-stream sentinel (the load generator does this after
+    the last request). *)
+
+type sentinel = S_flush | S_eos
+
+val forward_to : 'a msg Parcae_sim.Chan.t -> sentinel -> unit
+(** Forward a sentinel into a downstream channel. *)
+
+type 'a stage_handle = {
+  task : Task.t;
+  reset : unit -> unit;  (** clear exit bookkeeping between pause/resume *)
+}
+
+val stage :
+  ?ttype:Task.ttype ->
+  ?poll:bool ->
+  ?load:(unit -> float) ->
+  ?init:(unit -> unit) ->
+  ?nested:Task.nested_choice list ->
+  name:string ->
+  input:'a msg Parcae_sim.Chan.t ->
+  forward:(sentinel -> unit) ->
+  (Task.ctx -> 'a -> Task_status.t) ->
+  'a stage_handle
+(** A pipeline stage: receives items from [input], processes them with the
+    body, exits on a sentinel.  [poll] makes the stage check [get_status]
+    before blocking on input — master stages use this.  [forward] is
+    invoked once, by the last exiting lane, to propagate the sentinel
+    downstream (pass [fun _ -> ()] for sinks). *)
+
+val source :
+  ?ttype:Task.ttype ->
+  ?load:(unit -> float) ->
+  ?init:(unit -> unit) ->
+  name:string ->
+  forward:(sentinel -> unit) ->
+  (Task.ctx -> Task_status.t) ->
+  'a stage_handle
+(** A source task: generates work with no input channel; the body returns
+    [Iterating] after emitting an item and [Complete] at end of stream. *)
+
+val make_reset :
+  stages:'a stage_handle list -> channels:'b msg Parcae_sim.Chan.t list -> unit -> unit
+(** Combine stage resets and channel sentinel-stripping into a region
+    [on_reset] callback. *)

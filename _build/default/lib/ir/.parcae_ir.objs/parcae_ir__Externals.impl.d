@@ -1,0 +1,1 @@
+lib/ir/externals.ml: Int64 List

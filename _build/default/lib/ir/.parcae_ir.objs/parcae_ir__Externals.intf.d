@@ -1,0 +1,1 @@
+lib/ir/externals.mli:

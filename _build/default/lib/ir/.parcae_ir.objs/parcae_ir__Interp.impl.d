@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Externals Hashtbl Instr List Loop Option

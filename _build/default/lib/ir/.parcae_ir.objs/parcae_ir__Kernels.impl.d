@@ -1,0 +1,1 @@
+lib/ir/kernels.ml: Array Builder Instr Loop Option

@@ -1,0 +1,1 @@
+lib/ir/kernels.mli: Loop

@@ -1,0 +1,1 @@
+lib/ir/loop.ml: Array Format Hashtbl Instr List Printf

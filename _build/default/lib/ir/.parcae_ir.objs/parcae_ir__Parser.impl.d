@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Buffer Builder Hashtbl Instr List Loop Option Printf String

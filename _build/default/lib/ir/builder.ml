@@ -1,0 +1,104 @@
+(* A small fluent DSL for writing IR kernels.
+
+     let b = Builder.create "dot" in
+     let i = Builder.induction b ~from:0 ~step:1 in
+     let x = Builder.load b "a" (Reg i) in
+     ...
+
+   The builder allocates registers, records phis and instructions in order,
+   and assembles a validated [Loop.t]. *)
+
+open Instr
+
+type t = {
+  name : string;
+  mutable next_reg : reg;
+  mutable phis : phi list;  (* reversed *)
+  mutable body : Instr.t list;  (* reversed *)
+  mutable arrays : (string * int array) list;
+  mutable live_out : reg list;
+  mutable pending_carries : (reg * (unit -> reg)) list;
+      (* phis whose carry is fixed up at finish time *)
+}
+
+let create name =
+  { name; next_reg = 0; phis = []; body = []; arrays = []; live_out = []; pending_carries = [] }
+
+let fresh b =
+  let r = b.next_reg in
+  b.next_reg <- r + 1;
+  r
+
+let push b i = b.body <- i :: b.body
+
+(* Declare a named array with initial contents. *)
+let array b name contents = b.arrays <- (name, contents) :: b.arrays
+
+(* A phi whose carry register is supplied later via [set_carry]. *)
+let phi b ~init =
+  let r = fresh b in
+  b.phis <- { pdst = r; init; carry = r (* placeholder *) } :: b.phis;
+  r
+
+let set_carry b ~phi:p ~carry =
+  b.phis <-
+    List.map
+      (fun (ph : phi) -> if ph.pdst = p then { ph with carry } else ph)
+      b.phis
+
+(* The canonical induction variable: i = phi [from, i + step]. *)
+let induction b ~from ~step =
+  let p = phi b ~init:(Const from) in
+  let next = fresh b in
+  push b (Binop { dst = next; op = Add; a = Reg p; b = Const step });
+  set_carry b ~phi:p ~carry:next;
+  p
+
+let binop b op a b' =
+  let dst = fresh b in
+  push b (Binop { dst; op; a; b = b' });
+  dst
+
+let add b a b' = binop b Add a b'
+let sub b a b' = binop b Sub a b'
+let mul b a b' = binop b Mul a b'
+
+let load b arr idx =
+  let dst = fresh b in
+  push b (Load { dst; arr; idx });
+  dst
+
+let store b arr idx v = push b (Store { arr; idx; v })
+let work b amount = push b (Work { amount })
+
+let call ?(commutative = false) ?(returns = true) b fn arg =
+  if returns then begin
+    let dst = fresh b in
+    push b (Call { dst = Some dst; fn; arg; commutative });
+    Some dst
+  end
+  else begin
+    push b (Call { dst = None; fn; arg; commutative });
+    None
+  end
+
+let break_if b cond = push b (Break_if { cond })
+
+let live_out b r = b.live_out <- r :: b.live_out
+
+(* A reduction phi: acc = phi [init, acc `op` v].  Returns the phi register;
+   the combining instruction is appended where [reduce] is called. *)
+let reduce b op ~init v =
+  let p = phi b ~init in
+  let next = fresh b in
+  push b (Binop { dst = next; op; a = Reg p; b = v });
+  set_carry b ~phi:p ~carry:next;
+  p
+
+let finish ~trip b =
+  let loop =
+    Loop.create ~name:b.name ~phis:(List.rev b.phis) ~arrays:(List.rev b.arrays)
+      ~live_out:(List.rev b.live_out) ~trip (List.rev b.body)
+  in
+  Loop.validate loop;
+  loop

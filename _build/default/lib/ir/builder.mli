@@ -1,0 +1,45 @@
+(** A fluent DSL for writing IR kernels: allocates registers, records phis
+    and instructions in order, and assembles a validated {!Loop.t}. *)
+
+type t
+
+val create : string -> t
+(** A builder for a loop with the given name. *)
+
+val fresh : t -> Instr.reg
+(** Allocate a fresh register. *)
+
+val array : t -> string -> int array -> unit
+(** Declare a named array with initial contents. *)
+
+val phi : t -> init:Instr.operand -> Instr.reg
+(** A phi whose carry register is fixed later via {!set_carry}. *)
+
+val set_carry : t -> phi:Instr.reg -> carry:Instr.reg -> unit
+
+val induction : t -> from:int -> step:int -> Instr.reg
+(** The canonical induction variable: [i = phi \[from, i + step\]]. *)
+
+val binop : t -> Instr.binop -> Instr.operand -> Instr.operand -> Instr.reg
+val add : t -> Instr.operand -> Instr.operand -> Instr.reg
+val sub : t -> Instr.operand -> Instr.operand -> Instr.reg
+val mul : t -> Instr.operand -> Instr.operand -> Instr.reg
+
+val load : t -> string -> Instr.operand -> Instr.reg
+val store : t -> string -> Instr.operand -> Instr.operand -> unit
+val work : t -> Instr.operand -> unit
+
+val call :
+  ?commutative:bool -> ?returns:bool -> t -> string -> Instr.operand -> Instr.reg option
+(** An opaque call; returns the destination register when [returns]. *)
+
+val break_if : t -> Instr.operand -> unit
+
+val live_out : t -> Instr.reg -> unit
+
+val reduce : t -> Instr.binop -> init:Instr.operand -> Instr.operand -> Instr.reg
+(** A reduction phi: [acc = phi \[init, acc `op` v\]].  Returns the phi
+    register; the combining instruction is appended at the call point. *)
+
+val finish : trip:Loop.trip -> t -> Loop.t
+(** Assemble and validate the loop. *)

@@ -1,0 +1,64 @@
+(* The opaque routines an IR [Call] can reach.  These model the stateful
+   library calls of real loop bodies:
+
+   - ["rand"]: a shared pseudo-random stream.  Marked commutative in
+     kernels, calls may execute in any order; the multiset of values drawn
+     over n calls is order-independent, so any order-insensitive consumer
+     (a sum, a set insert) produces the same observable result.
+   - ["acc"]: add the argument into a named commutative accumulator.
+   - ["insert"]: xor the argument into a set-like digest (order-free).
+   - ["emit"]: append the argument to the ordered output stream — NOT
+     commutative, so it sequentializes whatever stage performs it.
+
+   One [Externals.t] is shared between the sequential interpreter run and
+   every task of a parallel execution; parallel executions guard
+   commutative calls with a critical section (DOANY, Section 4.3.1). *)
+
+type t = {
+  mutable rand_state : int64;
+  mutable acc : int;
+  mutable insert_digest : int;
+  mutable emitted : int list;  (* reversed *)
+  mutable calls : int;
+}
+
+let create ?(seed = 0x51ce5d4603902e1L) () =
+  { rand_state = seed; acc = 0; insert_digest = 0; emitted = []; calls = 0 }
+
+(* splitmix64 step, same generator as Parcae_util.Rng but independent. *)
+let next_rand t =
+  t.rand_state <- Int64.add t.rand_state 0x9E3779B97F4A7C15L;
+  let z = t.rand_state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.shift_right_logical z 3)
+
+(* Execute a call; returns the result value (0 for unit-returning calls). *)
+let call t fn arg =
+  t.calls <- t.calls + 1;
+  match fn with
+  | "rand" -> next_rand t
+  | "acc" ->
+      t.acc <- t.acc + arg;
+      t.acc
+  | "insert" ->
+      t.insert_digest <- t.insert_digest lxor (arg * 0x9E3779B9 land max_int);
+      t.insert_digest
+  | "emit" ->
+      t.emitted <- arg :: t.emitted;
+      0
+  | _ -> invalid_arg ("Externals.call: unknown function " ^ fn)
+
+let emitted t = List.rev t.emitted
+
+(* Observable summary used for semantics-preservation checks. *)
+type observation = {
+  obs_acc : int;
+  obs_digest : int;
+  obs_emitted : int list;
+  obs_calls : int;
+}
+
+let observe t =
+  { obs_acc = t.acc; obs_digest = t.insert_digest; obs_emitted = emitted t; obs_calls = t.calls }

@@ -1,0 +1,33 @@
+(** The opaque routines an IR [Call] can reach — models of the stateful
+    library calls of real loop bodies:
+
+    - ["rand"]: a shared pseudo-random stream (order-insensitive as a
+      multiset over n calls);
+    - ["acc"]: add the argument into a commutative accumulator;
+    - ["insert"]: xor the argument into a set-like digest;
+    - ["emit"]: append to the ordered output stream — NOT commutative.
+
+    One instance is shared between the sequential interpreter run and every
+    task of a parallel execution; parallel executions guard commutative
+    calls with a critical section. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+
+val call : t -> string -> int -> int
+(** Execute a call; returns its value (0 for unit-returning calls).
+    @raise Invalid_argument on an unknown function. *)
+
+val emitted : t -> int list
+(** The ordered output stream so far. *)
+
+(** Observable summary for semantics-preservation checks. *)
+type observation = {
+  obs_acc : int;
+  obs_digest : int;
+  obs_emitted : int list;
+  obs_calls : int;
+}
+
+val observe : t -> observation

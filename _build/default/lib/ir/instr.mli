@@ -1,0 +1,62 @@
+(** Instructions of the loop-nest IR Nona compiles.
+
+    A loop body is a straight-line sequence of instructions over integer
+    virtual registers and integer arrays, with phi nodes carrying values
+    across iterations.  Every instruction has exact, executable semantics
+    (see {!Interp}) so parallelized executions can be checked against the
+    sequential reference.  Registers obey single assignment per
+    iteration. *)
+
+type reg = int
+
+type operand = Const of int | Reg of reg
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** rounds toward zero; division by zero yields 0 *)
+  | Rem
+  | Min
+  | Max
+  | Xor
+  | And
+  | Or
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+
+type phi = { pdst : reg; init : operand; carry : reg }
+(** A phi node in the loop header: [pdst] holds [init] on the first
+    iteration and the previous iteration's value of [carry] afterwards. *)
+
+type t =
+  | Binop of { dst : reg; op : binop; a : operand; b : operand }
+  | Load of { dst : reg; arr : string; idx : operand }
+  | Store of { arr : string; idx : operand; v : operand }
+  | Work of { amount : operand }
+      (** consume [amount] ns of CPU: the opaque expensive computation of
+          a real loop body *)
+  | Call of { dst : reg option; fn : string; arg : operand; commutative : bool }
+      (** a call to an opaque stateful routine; calls to the same [fn]
+          depend on each other unless marked [commutative] — the paper's
+          programmer annotation (Section 4.1) *)
+  | Break_if of { cond : operand }
+      (** exit the loop (before the rest of the iteration) when [cond] is
+          non-zero *)
+
+val base_cost : t -> int
+(** Dispatch cost in ns; Work/Call add their own amounts on top. *)
+
+val defs : t -> reg option
+val uses : t -> reg list
+val operand_uses : operand -> reg list
+
+val eval_binop : binop -> int -> int -> int
+
+val binop_to_string : binop -> string
+val operand_to_string : operand -> string
+val to_string : t -> string

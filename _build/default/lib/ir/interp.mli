@@ -1,0 +1,22 @@
+(** Reference sequential interpreter: the ground-truth semantics of a
+    loop, and the sequential execution time every speedup is measured
+    against.  Parallel executions produced by Nona are checked for
+    semantics preservation against this. *)
+
+type result = {
+  arrays : (string * int array) list;  (** final array contents *)
+  live_out : (Instr.reg * int) list;  (** final live-out phi values *)
+  externals : Externals.observation;
+  iterations : int;  (** completed iterations *)
+  work_ns : int;  (** total instruction cost, sequential *)
+}
+
+val run : ?externals:Externals.t -> ?profile:float array -> ?max_iters:int -> Loop.t -> result
+(** Run the loop (fresh externals by default).  [max_iters] bounds While
+    loops.  When [profile] is given (sized to [Loop.nodes]), per-node
+    execution cost is accumulated into it — the execution-profile weights
+    Nona's partitioner uses (the paper's Section 4.3.2). *)
+
+val equal_observable : result -> result -> bool
+(** Structural equality of observable results ([work_ns] included; set it
+    equal on both sides to compare executions with different costs). *)

@@ -1,0 +1,209 @@
+(* The benchmark kernel suite for the Nona compiler evaluation
+   (Section 8.3).
+
+   Each kernel is an IR loop modelled on the kind of C benchmark the paper
+   compiles: a data-parallel numeric kernel, streaming checksums with a
+   sequential recurrence, hash-table updates behind commutativity
+   annotations, reductions, and an ordered-output search pipeline.  The
+   [Work] amounts give each iteration a realistic cost so parallel speedups
+   are visible above the simulator's communication overheads.
+
+   Expected parallelizations (asserted by the test suite):
+   - blackscholes: DOANY and PS-DSWP (independent heavy iterations);
+   - crc32: PS-DSWP only (non-associative checksum recurrence);
+   - url: DOANY (commutative hashtable insert) and PS-DSWP;
+   - kmeans: DOANY with privatized sum/min reductions, and PS-DSWP;
+   - histogram: PS-DSWP only (unannotated read-modify-write of bins);
+   - montecarlo: DOANY (commutative rand + sum reduction), and PS-DSWP;
+   - stringsearch: PS-DSWP only (While loop with ordered emit);
+   - recurrence: sequential only (tight recurrence, nothing to extract). *)
+
+open Instr
+
+let init_array n f = Array.init n f
+
+(* blackscholes: out[i] = price(strike[i]), ~80 us per option. *)
+let blackscholes ?(n = 2000) () =
+  let b = Builder.create "blackscholes" in
+  Builder.array b "strike" (init_array n (fun i -> 50 + (i mod 100)));
+  Builder.array b "out" (Array.make n 0);
+  let i = Builder.induction b ~from:0 ~step:1 in
+  let s = Builder.load b "strike" (Reg i) in
+  Builder.work b (Const 80_000);
+  let v1 = Builder.mul b (Reg s) (Const 3) in
+  let v2 = Builder.add b (Reg v1) (Reg i) in
+  Builder.store b "out" (Reg i) (Reg v2);
+  Builder.finish ~trip:(Loop.Count n) b
+
+(* crc32: checksum = checksum * 31 + transform(data[i]); the multiply-add
+   recurrence is not an associative-commutative reduction, so the update
+   stays a sequential pipeline stage while the 30 us transform parallelizes. *)
+let crc32 ?(n = 3000) () =
+  let b = Builder.create "crc32" in
+  Builder.array b "data" (init_array n (fun i -> (i * 7919) land 0xffff));
+  let i = Builder.induction b ~from:0 ~step:1 in
+  let x = Builder.load b "data" (Reg i) in
+  Builder.work b (Const 30_000);
+  let y = Builder.binop b Xor (Reg x) (Const 0x5a5a) in
+  let y2 = Builder.mul b (Reg y) (Const 17) in
+  let crc = Builder.phi b ~init:(Const 0xffff) in
+  let t = Builder.mul b (Reg crc) (Const 31) in
+  let crc' = Builder.add b (Reg t) (Reg y2) in
+  Builder.set_carry b ~phi:crc ~carry:crc';
+  Builder.live_out b crc;
+  Builder.finish ~trip:(Loop.Count n) b
+
+(* url: parse a record (~40 us) and insert its key into a hash set; the
+   insert is annotated commutative, so iterations may run in any order with
+   the insert in a critical section. *)
+let url ?(n = 2500) () =
+  let b = Builder.create "url" in
+  Builder.array b "urls" (init_array n (fun i -> (i * 2654435761) land 0xfffff));
+  let i = Builder.induction b ~from:0 ~step:1 in
+  let x = Builder.load b "urls" (Reg i) in
+  Builder.work b (Const 40_000);
+  let key = Builder.binop b Xor (Reg x) (Const 0x9e37) in
+  ignore (Builder.call ~commutative:true ~returns:false b "insert" (Reg key));
+  Builder.finish ~trip:(Loop.Count n) b
+
+(* kmeans assignment step: ~60 us distance computation per point, plus a
+   running distance sum and a running minimum — both privatizable. *)
+let kmeans ?(n = 2500) () =
+  let b = Builder.create "kmeans" in
+  Builder.array b "points" (init_array n (fun i -> (i * 31) mod 1000));
+  let i = Builder.induction b ~from:0 ~step:1 in
+  let p = Builder.load b "points" (Reg i) in
+  Builder.work b (Const 60_000);
+  let d = Builder.binop b Rem (Reg p) (Const 97) in
+  let sum = Builder.reduce b Add ~init:(Const 0) (Reg d) in
+  let best = Builder.reduce b Min ~init:(Const max_int) (Reg d) in
+  Builder.live_out b sum;
+  Builder.live_out b best;
+  Builder.finish ~trip:(Loop.Count n) b
+
+(* histogram: bin increments via load-modify-store on a bins array indexed
+   by data, which the index analysis cannot disambiguate — the update is a
+   hard carried dependence and only pipeline parallelism applies. *)
+let histogram ?(n = 3000) () =
+  let b = Builder.create "histogram" in
+  Builder.array b "data" (init_array n (fun i -> (i * 131) land 0x3f));
+  Builder.array b "bins" (Array.make 64 0);
+  let i = Builder.induction b ~from:0 ~step:1 in
+  let x = Builder.load b "data" (Reg i) in
+  Builder.work b (Const 25_000);
+  let bin = Builder.binop b And (Reg x) (Const 63) in
+  let old = Builder.load b "bins" (Reg bin) in
+  let nu = Builder.add b (Reg old) (Const 1) in
+  Builder.store b "bins" (Reg bin) (Reg nu);
+  Builder.finish ~trip:(Loop.Count n) b
+
+(* montecarlo: draw from the shared generator (annotated commutative),
+   simulate ~50 us, accumulate. *)
+let montecarlo ?(n = 3000) () =
+  let b = Builder.create "montecarlo" in
+  let r = Builder.call ~commutative:true b "rand" (Const 0) in
+  let r = Option.get r in
+  Builder.work b (Const 50_000);
+  let v = Builder.binop b Rem (Reg r) (Const 1000) in
+  let sum = Builder.reduce b Add ~init:(Const 0) (Reg v) in
+  Builder.live_out b sum;
+  Builder.finish ~trip:(Loop.Count n) b
+
+(* stringsearch: scan until the terminator, ~45 us of matching per record,
+   ordered emission of match results: a While loop that only PS-DSWP can
+   parallelize (load/exit control -> parallel match -> sequential emit). *)
+let stringsearch ?(n = 2000) () =
+  let total = n + 1 in
+  let b = Builder.create "stringsearch" in
+  Builder.array b "text"
+    (init_array total (fun i -> if i = total - 1 then 0 else 1 + ((i * 37) land 0xff)));
+  let i = Builder.induction b ~from:0 ~step:1 in
+  let x = Builder.load b "text" (Reg i) in
+  let stop = Builder.binop b Eq (Reg x) (Const 0) in
+  Builder.break_if b (Reg stop);
+  Builder.work b (Const 45_000);
+  let m = Builder.binop b And (Reg x) (Const 7) in
+  let hit = Builder.binop b Eq (Reg m) (Const 3) in
+  let score = Builder.mul b (Reg hit) (Reg x) in
+  ignore (Builder.call ~returns:false b "emit" (Reg score));
+  Builder.finish ~trip:Loop.While b
+
+(* recurrence: x' = (x * x + i) mod m — the whole body sits inside the
+   recurrence cycle, so there is nothing to extract and Nona must keep the
+   loop sequential. *)
+let recurrence ?(n = 4000) () =
+  let b = Builder.create "recurrence" in
+  let i = Builder.induction b ~from:0 ~step:1 in
+  let x = Builder.phi b ~init:(Const 7) in
+  let sq = Builder.mul b (Reg x) (Reg x) in
+  let s = Builder.add b (Reg sq) (Reg i) in
+  let x' = Builder.binop b Rem (Reg s) (Const 65521) in
+  Builder.set_carry b ~phi:x ~carry:x';
+  Builder.live_out b x;
+  Builder.finish ~trip:(Loop.Count n) b
+
+(* The suite, with the parallelizations each kernel is expected to admit. *)
+type expectation = { k_name : string; make : unit -> Loop.t; exp_doany : bool; exp_psdswp : bool }
+
+let suite =
+  [
+    { k_name = "blackscholes"; make = (fun () -> blackscholes ()); exp_doany = true; exp_psdswp = true };
+    { k_name = "crc32"; make = (fun () -> crc32 ()); exp_doany = false; exp_psdswp = true };
+    { k_name = "url"; make = (fun () -> url ()); exp_doany = true; exp_psdswp = true };
+    { k_name = "kmeans"; make = (fun () -> kmeans ()); exp_doany = true; exp_psdswp = true };
+    { k_name = "histogram"; make = (fun () -> histogram ()); exp_doany = false; exp_psdswp = true };
+    (* montecarlo has no sequential master SCC, so the pipeline protocol
+       does not apply; DOANY serves it. *)
+    { k_name = "montecarlo"; make = (fun () -> montecarlo ()); exp_doany = true; exp_psdswp = false };
+    { k_name = "stringsearch"; make = (fun () -> stringsearch ()); exp_doany = false; exp_psdswp = true };
+    { k_name = "recurrence"; make = (fun () -> recurrence ()); exp_doany = false; exp_psdswp = false };
+  ]
+
+(* adaptive: per-iteration work is read from a knob cell that the
+   experiment driver mutates mid-run, modelling workload change
+   (Section 8.3.2).  The knob array is never written by the loop, so the
+   kernel remains DOANY- and PS-DSWP-parallelizable. *)
+let adaptive ?(n = 1_000_000) ?(work = 60_000) () =
+  let b = Builder.create "adaptive" in
+  Builder.array b "knob" [| work |];
+  let i = Builder.induction b ~from:0 ~step:1 in
+  let w = Builder.load b "knob" (Const 0) in
+  Builder.work b (Reg w);
+  let v = Builder.mul b (Reg w) (Const 3) in
+  let v2 = Builder.add b (Reg v) (Reg i) in
+  let sum = Builder.reduce b Add ~init:(Const 0) (Reg v2) in
+  Builder.live_out b sum;
+  Builder.finish ~trip:(Loop.Count n) b
+
+(* finegrain: a tiny (2 us) loop body dominated by its sum reduction; at
+   high DoP the per-iteration critical section of the unprivatized variant
+   becomes the bottleneck — the Section 7.4 ablation kernel. *)
+let finegrain ?(n = 100_000) () =
+  let b = Builder.create "finegrain" in
+  let i = Builder.induction b ~from:0 ~step:1 in
+  Builder.work b (Const 2_000);
+  let v = Builder.binop b And (Reg i) (Const 1023) in
+  let sum = Builder.reduce b Add ~init:(Const 0) (Reg v) in
+  Builder.live_out b sum;
+  Builder.finish ~trip:(Loop.Count n) b
+
+(* statecarry: several live cross-iteration registers in a short loop; with
+   the Section 7.1 optimization off, each iteration pays heap save/restore
+   for all of them. *)
+let statecarry ?(n = 100_000) () =
+  let b = Builder.create "statecarry" in
+  let i = Builder.induction b ~from:0 ~step:1 in
+  Builder.work b (Const 2_000);
+  let a = Builder.phi b ~init:(Const 1) in
+  let bb = Builder.phi b ~init:(Const 2) in
+  let c = Builder.phi b ~init:(Const 3) in
+  let a' = Builder.binop b Rem (Builder.add b (Reg a) (Reg i) |> fun r -> Reg r) (Const 8191) in
+  let b' = Builder.binop b Rem (Builder.add b (Reg bb) (Reg a') |> fun r -> Reg r) (Const 8191) in
+  let c' = Builder.binop b Rem (Builder.add b (Reg c) (Reg b') |> fun r -> Reg r) (Const 8191) in
+  Builder.set_carry b ~phi:a ~carry:a';
+  Builder.set_carry b ~phi:bb ~carry:b';
+  Builder.set_carry b ~phi:c ~carry:c';
+  Builder.live_out b a;
+  Builder.live_out b bb;
+  Builder.live_out b c;
+  Builder.finish ~trip:(Loop.Count n) b

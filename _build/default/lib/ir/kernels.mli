@@ -1,0 +1,56 @@
+(** The benchmark kernel suite for the Nona compiler evaluation (the
+    paper's Section 8.3), modelled on the classes of C benchmark the paper
+    compiles.  Expected parallelizations are asserted by the test suite;
+    see each kernel's comment in the implementation for its calibration. *)
+
+val blackscholes : ?n:int -> unit -> Loop.t
+(** Independent heavy iterations: DOANY and PS-DSWP. *)
+
+val crc32 : ?n:int -> unit -> Loop.t
+(** Non-associative checksum recurrence: PS-DSWP only (parallel transform
+    stage feeding a sequential update stage). *)
+
+val url : ?n:int -> unit -> Loop.t
+(** Commutative hash-set insert behind a programmer annotation: DOANY with
+    critical sections, and PS-DSWP. *)
+
+val kmeans : ?n:int -> unit -> Loop.t
+(** Heavy per-point work plus privatizable sum and min reductions. *)
+
+val histogram : ?n:int -> unit -> Loop.t
+(** Unannotated read-modify-write of a bins array: hard carried
+    dependence, PS-DSWP only. *)
+
+val montecarlo : ?n:int -> unit -> Loop.t
+(** Commutative rand + sum reduction; no sequential master SCC, so DOANY
+    only. *)
+
+val stringsearch : ?n:int -> unit -> Loop.t
+(** A While loop with ordered emit: the classic 3-stage PS-DSWP shape. *)
+
+val recurrence : ?n:int -> unit -> Loop.t
+(** A tight recurrence with nothing to extract: must stay sequential. *)
+
+val adaptive : ?n:int -> ?work:int -> unit -> Loop.t
+(** Per-iteration work read from a knob cell the experiment driver mutates
+    mid-run, modelling workload change (the paper's Section 8.3.2). *)
+
+val finegrain : ?n:int -> unit -> Loop.t
+(** A 2 us body dominated by its reduction: the Section 7.4 ablation
+    kernel (per-iteration critical section vs privatize-and-merge). *)
+
+val statecarry : ?n:int -> unit -> Loop.t
+(** Several live cross-iteration registers in a short loop: the
+    Section 7.1 ablation kernel (heap save/restore per iteration vs
+    hoisted). *)
+
+type expectation = {
+  k_name : string;
+  make : unit -> Loop.t;
+  exp_doany : bool;
+  exp_psdswp : bool;
+}
+
+val suite : expectation list
+(** The eight kernels above (without the ablation/driver kernels), with
+    the parallelizations each is expected to admit. *)

@@ -1,0 +1,44 @@
+(** A compilable parallel region: one loop with phi-carried state, a
+    straight-line body, and a counted or data-dependent trip. *)
+
+type trip =
+  | Count of int  (** execute exactly n iterations *)
+  | While  (** run until some Break_if fires *)
+
+type t = {
+  name : string;
+  phis : Instr.phi list;
+  body : Instr.t list;
+  trip : trip;
+  arrays : (string * int array) list;
+      (** named arrays with initial contents; part of the observable
+          result *)
+  live_out : Instr.reg list;
+      (** phi destinations whose final values the surrounding code
+          consumes *)
+}
+
+val create :
+  ?phis:Instr.phi list ->
+  ?arrays:(string * int array) list ->
+  ?live_out:Instr.reg list ->
+  name:string ->
+  trip:trip ->
+  Instr.t list ->
+  t
+
+(** Instruction-level nodes: phis first, then body instructions.  Node ids
+    index into {!nodes} everywhere downstream (PDG, SCCs, stages). *)
+type node = Phi_node of Instr.phi | Instr_node of Instr.t
+
+val nodes : t -> node array
+val node_to_string : node -> string
+val node_defs : node -> Instr.reg option
+val node_uses : node -> Instr.reg list
+
+val validate : t -> unit
+(** Single assignment, all uses defined, carries defined, live-outs are
+    phi destinations, arrays declared.
+    @raise Invalid_argument otherwise. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,471 @@
+(* A textual frontend for the loop IR: parse ".loop" source into a
+   validated [Loop.t].  This is the sequential-source entry of the paper's
+   Path-2 workflow (Figure 3.2): users write the region in a small
+   imperative syntax and Nona compiles it.
+
+   Syntax (one statement per line; '#' starts a comment):
+
+     loop NAME (count N | while) {
+       array data[SIZE] = zero | iota | fill C | hash | { v, v, ... }
+       i   = induction FROM step STEP
+       acc = phi INIT carry next          # 'next' may be defined later
+       x   = load data[i]
+       y   = add x, 0x5a5a                # add sub mul div rem min max
+                                          # xor and or shl shr eq ne lt le
+       store data[i], y
+       work 30000                         # consume operand ns of CPU
+       r   = call rand(0) commutative     # rand acc insert emit
+       call emit(y)
+       break_if y                         # exit when operand is non-zero
+       liveout acc
+     }
+
+   Operands are integer literals (decimal, hex, negative) or register
+   names.  Registers are single-assignment; phi carries resolve in a
+   second pass so recurrences read naturally. *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+(* ------------------------------- Lexer ------------------------------- *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Equals
+  | Comma
+  | Eof
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = tokens := (t, !line) :: !tokens in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '(' then (push Lparen; incr i)
+    else if c = ')' then (push Rparen; incr i)
+    else if c = '{' then (push Lbrace; incr i)
+    else if c = '}' then (push Rbrace; incr i)
+    else if c = '[' then (push Lbracket; incr i)
+    else if c = ']' then (push Rbracket; incr i)
+    else if c = '=' then (push Equals; incr i)
+    else if c = ',' then (push Comma; incr i)
+    else if c = '-' || (c >= '0' && c <= '9') then begin
+      let start = !i in
+      if c = '-' then incr i;
+      if !i < n && !i + 1 < n && src.[!i] = '0' && (src.[!i + 1] = 'x' || src.[!i + 1] = 'X')
+      then begin
+        i := !i + 2;
+        while !i < n && (is_ident_char src.[!i]) do
+          incr i
+        done
+      end
+      else
+        while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+          incr i
+        done;
+      let text = String.sub src start (!i - start) in
+      match int_of_string_opt text with
+      | Some v -> push (Int v)
+      | None -> fail "line %d: bad integer literal %S" !line text
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (Ident (String.sub src start (!i - start)))
+    end
+    else fail "line %d: unexpected character %C" !line c
+  done;
+  push Eof;
+  List.rev !tokens
+
+(* ------------------------------ Parser ------------------------------- *)
+
+type stream = { mutable toks : (token * int) list }
+
+let peek s = match s.toks with [] -> (Eof, 0) | t :: _ -> t
+
+let next s =
+  match s.toks with
+  | [] -> (Eof, 0)
+  | t :: rest ->
+      s.toks <- rest;
+      t
+
+let token_to_string = function
+  | Ident x -> Printf.sprintf "identifier %S" x
+  | Int v -> Printf.sprintf "integer %d" v
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Equals -> "'='"
+  | Comma -> "','"
+  | Eof -> "end of input"
+
+let expect s tok what =
+  let t, line = next s in
+  if t <> tok then fail "line %d: expected %s, got %s" line what (token_to_string t)
+
+let expect_ident s what =
+  match next s with
+  | Ident x, _ -> x
+  | t, line -> fail "line %d: expected %s, got %s" line what (token_to_string t)
+
+let expect_int s what =
+  match next s with
+  | Int v, _ -> v
+  | t, line -> fail "line %d: expected %s, got %s" line what (token_to_string t)
+
+let binop_of_name = function
+  | "add" -> Some Instr.Add
+  | "sub" -> Some Instr.Sub
+  | "mul" -> Some Instr.Mul
+  | "div" -> Some Instr.Div
+  | "rem" -> Some Instr.Rem
+  | "min" -> Some Instr.Min
+  | "max" -> Some Instr.Max
+  | "xor" -> Some Instr.Xor
+  | "and" -> Some Instr.And
+  | "or" -> Some Instr.Or
+  | "shl" -> Some Instr.Shl
+  | "shr" -> Some Instr.Shr
+  | "eq" -> Some Instr.Eq
+  | "ne" -> Some Instr.Ne
+  | "lt" -> Some Instr.Lt
+  | "le" -> Some Instr.Le
+  | _ -> None
+
+(* Register environment: name -> Builder register, plus deferred phi-carry
+   fixups resolved after the body is parsed. *)
+type env = {
+  b : Builder.t;
+  regs : (string, Instr.reg) Hashtbl.t;
+  mutable carries : (string * Instr.reg * int) list;  (* (carry name, phi, line) *)
+}
+
+let define env line name r =
+  if Hashtbl.mem env.regs name then fail "line %d: register %s defined twice" line name;
+  Hashtbl.replace env.regs name r
+
+let operand env line = function
+  | Int v, _ -> Instr.Const v
+  | Ident x, _ -> (
+      match Hashtbl.find_opt env.regs x with
+      | Some r -> Instr.Reg r
+      | None -> fail "line %d: unknown register %s" line x)
+  | t, l -> fail "line %d: expected an operand, got %s" l (token_to_string t)
+
+let parse_operand env s =
+  let t, line = next s in
+  operand env line (t, line)
+
+(* array NAME [ SIZE ] = zero | iota | fill C | hash *)
+let parse_array env s =
+  let name = expect_ident s "array name" in
+  expect s Lbracket "'['";
+  let size = expect_int s "array size" in
+  if size <= 0 then fail "array %s: size must be positive" name;
+  expect s Rbracket "']'";
+  expect s Equals "'='";
+  let kind, kline = next s in
+  let contents =
+    match kind with
+    | Ident "zero" -> Array.make size 0
+    | Ident "iota" -> Array.init size (fun i -> i)
+    | Ident "fill" ->
+        let c = expect_int s "fill value" in
+        Array.make size c
+    | Ident "hash" -> Array.init size (fun i -> i * 2654435761 land 0xfffff)
+    | Lbrace ->
+        (* explicit element list: { v, v, ... } *)
+        let values = ref [] in
+        let rec elems () =
+          match peek s with
+          | Rbrace, _ -> ignore (next s)
+          | _ ->
+              values := expect_int s "array element" :: !values;
+              (match peek s with
+              | Comma, _ ->
+                  ignore (next s);
+                  elems ()
+              | Rbrace, _ -> ignore (next s)
+              | t, l -> fail "line %d: expected ',' or '}', got %s" l (token_to_string t))
+        in
+        elems ();
+        let values = Array.of_list (List.rev !values) in
+        if Array.length values <> size then
+          fail "line %d: array %s declares %d elements but lists %d" kline name size
+            (Array.length values);
+        values
+    | t -> fail "line %d: expected zero|iota|fill|hash|{...}, got %s" kline (token_to_string t)
+  in
+  Builder.array env.b name contents
+
+(* A statement that defines a register: NAME = ... *)
+let parse_definition env s name line =
+  expect s Equals "'='";
+  let op, opline = next s in
+  match op with
+  | Ident "induction" ->
+      let from = expect_int s "induction start" in
+      (match next s with
+      | Ident "step", _ -> ()
+      | t, l -> fail "line %d: expected 'step', got %s" l (token_to_string t));
+      let step = expect_int s "induction step" in
+      define env line name (Builder.induction env.b ~from ~step)
+  | Ident "phi" ->
+      let init = expect_int s "phi initial value" in
+      (match next s with
+      | Ident "carry", _ -> ()
+      | t, l -> fail "line %d: expected 'carry', got %s" l (token_to_string t));
+      let carry_name = expect_ident s "carry register" in
+      let r = Builder.phi env.b ~init:(Instr.Const init) in
+      env.carries <- (carry_name, r, line) :: env.carries;
+      define env line name r
+  | Ident "load" ->
+      let arr = expect_ident s "array name" in
+      expect s Lbracket "'['";
+      let idx = parse_operand env s in
+      expect s Rbracket "']'";
+      define env line name (Builder.load env.b arr idx)
+  | Ident "call" ->
+      let fn = expect_ident s "function name" in
+      expect s Lparen "'('";
+      let arg = parse_operand env s in
+      expect s Rparen "')'";
+      let commutative =
+        match peek s with
+        | Ident "commutative", _ ->
+            ignore (next s);
+            true
+        | _ -> false
+      in
+      let r = Option.get (Builder.call ~commutative ~returns:true env.b fn arg) in
+      define env line name r
+  | Ident opname -> (
+      match binop_of_name opname with
+      | Some bop ->
+          let a = parse_operand env s in
+          expect s Comma "','";
+          let b' = parse_operand env s in
+          define env line name (Builder.binop env.b bop a b')
+      | None -> fail "line %d: unknown operation %s" opline opname)
+  | t -> fail "line %d: expected an operation, got %s" opline (token_to_string t)
+
+let parse_statement env s =
+  let t, line = next s in
+  match t with
+  | Ident "array" -> parse_array env s
+  | Ident "store" ->
+      let arr = expect_ident s "array name" in
+      expect s Lbracket "'['";
+      let idx = parse_operand env s in
+      expect s Rbracket "']'";
+      expect s Comma "','";
+      let v = parse_operand env s in
+      Builder.store env.b arr idx v
+  | Ident "work" ->
+      let amount = parse_operand env s in
+      Builder.work env.b amount
+  | Ident "call" ->
+      let fn = expect_ident s "function name" in
+      expect s Lparen "'('";
+      let arg = parse_operand env s in
+      expect s Rparen "')'";
+      let commutative =
+        match peek s with
+        | Ident "commutative", _ ->
+            ignore (next s);
+            true
+        | _ -> false
+      in
+      ignore (Builder.call ~commutative ~returns:false env.b fn arg)
+  | Ident "break_if" ->
+      let cond = parse_operand env s in
+      Builder.break_if env.b cond
+  | Ident "liveout" -> (
+      let name = expect_ident s "register" in
+      match Hashtbl.find_opt env.regs name with
+      | Some r -> Builder.live_out env.b r
+      | None -> fail "line %d: unknown register %s" line name)
+  | Ident name -> parse_definition env s name line
+  | t -> fail "line %d: expected a statement, got %s" line (token_to_string t)
+
+(* Parse a full loop from source text. *)
+let parse src =
+  let s = { toks = tokenize src } in
+  (match next s with
+  | Ident "loop", _ -> ()
+  | t, l -> fail "line %d: expected 'loop', got %s" l (token_to_string t));
+  let name = expect_ident s "loop name" in
+  expect s Lparen "'('";
+  let trip =
+    match next s with
+    | Ident "count", _ -> Loop.Count (expect_int s "trip count")
+    | Ident "while", _ -> Loop.While
+    | t, l -> fail "line %d: expected count|while, got %s" l (token_to_string t)
+  in
+  expect s Rparen "')'";
+  expect s Lbrace "'{'";
+  let env = { b = Builder.create name; regs = Hashtbl.create 16; carries = [] } in
+  let rec stmts () =
+    match peek s with
+    | Rbrace, _ -> ignore (next s)
+    | Eof, l -> fail "line %d: missing '}'" l
+    | _ ->
+        parse_statement env s;
+        stmts ()
+  in
+  stmts ();
+  (match next s with
+  | Eof, _ -> ()
+  | t, l -> fail "line %d: trailing input: %s" l (token_to_string t));
+  (* Second pass: resolve phi carries. *)
+  List.iter
+    (fun (carry_name, phi, line) ->
+      match Hashtbl.find_opt env.regs carry_name with
+      | Some carry -> Builder.set_carry env.b ~phi ~carry
+      | None -> fail "line %d: carry register %s never defined" line carry_name)
+    env.carries;
+  try Builder.finish ~trip env.b
+  with Invalid_argument m -> fail "%s" m
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse src
+
+(* ----------------------------- Printer ------------------------------ *)
+
+(* Render a loop back to parseable source.  [parse (to_source l)] yields a
+   loop with identical semantics (registers are renamed canonically). *)
+let to_source (loop : Loop.t) =
+  let buf = Buffer.create 512 in
+  let reg r = Printf.sprintf "r%d" r in
+  let operand = function Instr.Const c -> string_of_int c | Instr.Reg r -> reg r in
+  Buffer.add_string buf
+    (Printf.sprintf "loop %s (%s) {\n" loop.Loop.name
+       (match loop.Loop.trip with
+       | Loop.Count n -> Printf.sprintf "count %d" n
+       | Loop.While -> "while"));
+  List.iter
+    (fun (name, contents) ->
+      (* Array contents are emitted element-wise only when they fit a
+         recognizable initializer; otherwise as a fill of the first value
+         would be lossy, so iota/zero/general arrays are detected. *)
+      let n = Array.length contents in
+      let all p = Array.for_all p contents in
+      let init =
+        if all (fun v -> v = 0) then "zero"
+        else if contents = Array.init n (fun i -> i) then "iota"
+        else if all (fun v -> v = contents.(0)) then Printf.sprintf "fill %d" contents.(0)
+        else if contents = Array.init n (fun i -> i * 2654435761 land 0xfffff) then "hash"
+        else
+          Printf.sprintf "{ %s }"
+            (String.concat ", " (Array.to_list (Array.map string_of_int contents)))
+      in
+      Buffer.add_string buf (Printf.sprintf "  array %s[%d] = %s\n" name n init))
+    loop.Loop.arrays;
+  (* Inductions print as induction statements (their carry add is part of
+     the sugar); other phis print explicitly.  The recognizer mirrors the
+     PDG library's induction detection but lives here to keep the IR
+     library self-contained. *)
+  let induction_of (p : Instr.phi) =
+    match p.Instr.init with
+    | Instr.Reg _ -> None
+    | Instr.Const from -> (
+        let def =
+          List.find_opt
+            (fun i -> match Instr.defs i with Some d -> d = p.Instr.carry | None -> false)
+            loop.Loop.body
+        in
+        match def with
+        | Some (Instr.Binop { op = Instr.Add; a = Instr.Reg r; b = Instr.Const c; _ })
+          when r = p.Instr.pdst && c <> 0 ->
+            Some (from, c)
+        | Some (Instr.Binop { op = Instr.Add; a = Instr.Const c; b = Instr.Reg r; _ })
+          when r = p.Instr.pdst && c <> 0 ->
+            Some (from, c)
+        | Some (Instr.Binop { op = Instr.Sub; a = Instr.Reg r; b = Instr.Const c; _ })
+          when r = p.Instr.pdst && c <> 0 ->
+            Some (from, -c)
+        | _ -> None)
+  in
+  let induction_carry_defs =
+    List.filter_map
+      (fun (p : Instr.phi) -> if induction_of p <> None then Some p.Instr.carry else None)
+      loop.Loop.phis
+  in
+  List.iter
+    (fun (p : Instr.phi) ->
+      match induction_of p with
+      | Some (from, step) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s = induction %d step %d\n" (reg p.Instr.pdst) from step)
+      | None ->
+          let init =
+            match p.Instr.init with
+            | Instr.Const c -> c
+            | Instr.Reg _ -> invalid_arg "Parser.to_source: non-constant phi init"
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %s = phi %d carry %s\n" (reg p.Instr.pdst) init (reg p.Instr.carry)))
+    loop.Loop.phis;
+  List.iter
+    (fun instr ->
+      let skip =
+        (* the induction's carry add is implied by the sugar *)
+        match Instr.defs instr with
+        | Some d -> List.mem d induction_carry_defs
+        | None -> false
+      in
+      if not skip then
+        Buffer.add_string buf
+          (match instr with
+          | Instr.Binop { dst; op; a; b } ->
+              Printf.sprintf "  %s = %s %s, %s\n" (reg dst) (Instr.binop_to_string op)
+                (operand a) (operand b)
+          | Instr.Load { dst; arr; idx } ->
+              Printf.sprintf "  %s = load %s[%s]\n" (reg dst) arr (operand idx)
+          | Instr.Store { arr; idx; v } ->
+              Printf.sprintf "  store %s[%s], %s\n" arr (operand idx) (operand v)
+          | Instr.Work { amount } -> Printf.sprintf "  work %s\n" (operand amount)
+          | Instr.Call { dst; fn; arg; commutative } ->
+              Printf.sprintf "  %s%s(%s)%s\n"
+                (match dst with Some d -> Printf.sprintf "%s = call " (reg d) | None -> "call ")
+                fn (operand arg)
+                (if commutative then " commutative" else "")
+          | Instr.Break_if { cond } -> Printf.sprintf "  break_if %s\n" (operand cond)))
+    loop.Loop.body;
+  List.iter (fun r -> Buffer.add_string buf (Printf.sprintf "  liveout %s\n" (reg r))) loop.Loop.live_out;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** A textual frontend for the loop IR: parse ".loop" source into a
+    validated {!Loop.t} — the sequential-source entry of the paper's
+    Path-2 workflow (Figure 3.2).  See the implementation header for the
+    grammar; [examples/kernels/] holds sample programs. *)
+
+exception Parse_error of string
+(** Raised with a line-annotated message on any lexical, syntactic, or
+    binding error. *)
+
+val parse : string -> Loop.t
+(** Parse loop source text.
+    @raise Parse_error on malformed input. *)
+
+val parse_file : string -> Loop.t
+(** Parse a file.
+    @raise Parse_error on malformed input;
+    @raise Sys_error if the file cannot be read. *)
+
+val to_source : Loop.t -> string
+(** Render a loop back to parseable source; [parse (to_source l)] has
+    identical semantics (registers rename canonically).  Arrays print as a
+    recognized initializer (zero/iota/fill/hash) or an explicit element
+    list.
+    @raise Invalid_argument for loops with non-constant phi initializers
+    (the builder cannot create those either). *)

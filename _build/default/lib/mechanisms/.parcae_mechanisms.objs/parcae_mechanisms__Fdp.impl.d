@@ -1,0 +1,1 @@
+lib/mechanisms/fdp.ml: Array Hashtbl List Parcae_core Parcae_runtime

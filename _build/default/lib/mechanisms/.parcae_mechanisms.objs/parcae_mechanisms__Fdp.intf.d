@@ -1,0 +1,1 @@
+lib/mechanisms/fdp.mli: Parcae_runtime

@@ -1,0 +1,1 @@
+lib/mechanisms/seda.ml: Array Parcae_core Parcae_runtime

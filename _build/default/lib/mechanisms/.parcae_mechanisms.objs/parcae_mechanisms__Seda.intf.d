@@ -1,0 +1,1 @@
+lib/mechanisms/seda.mli: Parcae_runtime

@@ -1,0 +1,1 @@
+lib/mechanisms/static.ml: Parcae_runtime

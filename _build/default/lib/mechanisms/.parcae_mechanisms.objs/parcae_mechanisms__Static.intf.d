@@ -1,0 +1,1 @@
+lib/mechanisms/static.mli: Parcae_runtime

@@ -1,0 +1,1 @@
+lib/mechanisms/tbf.ml: Array Float List Parcae_core Parcae_runtime

@@ -1,0 +1,1 @@
+lib/mechanisms/tbf.mli: Parcae_core Parcae_runtime

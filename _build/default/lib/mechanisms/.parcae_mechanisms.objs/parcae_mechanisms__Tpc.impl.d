@@ -1,0 +1,1 @@
+lib/mechanisms/tpc.ml: Array List Parcae_core Parcae_runtime Parcae_sim

@@ -1,0 +1,1 @@
+lib/mechanisms/tpc.mli: Parcae_runtime Parcae_sim

@@ -1,0 +1,1 @@
+lib/mechanisms/wq_linear.ml: Array Float Parcae_core Parcae_runtime Parcae_util

@@ -1,0 +1,1 @@
+lib/mechanisms/wq_linear.mli: Parcae_core Parcae_runtime

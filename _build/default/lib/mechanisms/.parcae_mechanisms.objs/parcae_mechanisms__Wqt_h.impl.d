@@ -1,0 +1,1 @@
+lib/mechanisms/wqt_h.ml: Parcae_core Parcae_runtime

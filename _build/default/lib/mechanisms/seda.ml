@@ -1,0 +1,38 @@
+(* Stage Event-Driven Architecture thread-pool sizing (Welsh et al.), as
+   re-implemented on the Parcae API (Section 6.3.2).
+
+   Each task adjusts its DoP locally, without coordinating with the other
+   tasks: when its input-queue occupancy exceeds [threshold], it adds one
+   thread, up to [max_per_stage].  Because control is local and open-loop,
+   the total thread count can exceed the platform budget — the resulting
+   oversubscription (handled by the OS scheduler) is exactly the behaviour
+   the paper contrasts with TBF's globally coordinated allocation
+   (Table 8.5). *)
+
+module Config = Parcae_core.Config
+module Task = Parcae_core.Task
+module Region = Parcae_runtime.Region
+module Morta = Parcae_runtime.Morta
+
+let make ?(threshold = 8.0) ?(max_per_stage = 24) () : Morta.mechanism =
+ fun region ->
+  let pd = Region.scheme region in
+  let cur = Region.config region in
+  let tasks = Array.of_list pd.Task.tasks in
+  let changed = ref false in
+  let new_tasks =
+    Array.mapi
+      (fun i tc ->
+        if tasks.(i).Task.ttype <> Task.Par then tc
+        else
+          match tasks.(i).Task.load with
+          | None -> tc
+          | Some load ->
+              if load () > threshold && tc.Config.dop < max_per_stage then begin
+                changed := true;
+                { tc with Config.dop = tc.Config.dop + 1 }
+              end
+              else tc)
+      cur.Config.tasks
+  in
+  if !changed then Some { cur with Config.tasks = new_tasks } else None

@@ -1,0 +1,8 @@
+(** SEDA-style thread-pool sizing (Welsh et al.), re-implemented on the
+    Parcae API (the paper's Section 6.3.2): each task adjusts its DoP
+    locally, adding one thread when its input queue exceeds [threshold],
+    up to [max_per_stage].  Control is local and open-loop, so the total
+    can exceed the platform budget — the oversubscription the paper
+    contrasts with TBF's coordinated allocation (Table 8.5). *)
+
+val make : ?threshold:float -> ?max_per_stage:int -> unit -> Parcae_runtime.Morta.mechanism

@@ -1,0 +1,5 @@
+(* The do-nothing mechanism: the region keeps the configuration it was
+   launched with.  This is the behaviour of a conventional Pthreads
+   parallelization and the baseline of every comparison in Chapter 8. *)
+
+let mechanism : Parcae_runtime.Morta.mechanism = fun _region -> None

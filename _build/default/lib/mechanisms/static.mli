@@ -1,0 +1,5 @@
+(** The do-nothing mechanism: the region keeps its launch configuration —
+    the behaviour of a conventional Pthreads parallelization and the
+    baseline of every comparison in the paper's Chapter 8. *)
+
+val mechanism : Parcae_runtime.Morta.mechanism

@@ -1,0 +1,160 @@
+(* Throughput-Power Controller (Section 6.3.3).
+
+   For the goal "maximize throughput with N threads and P watts".  TPC is
+   closed-loop in both throughput and power:
+
+   - Ramp: while the measured power is under the target, grow the DoP of the
+     task with the least throughput (like FDP), keeping grants that improve
+     throughput.
+   - On overshoot: back off to the previous total DoP and explore
+     alternative distributions of the same total, keeping the
+     best-throughput configuration seen within budget (the exploration
+     transient visible in Figure 8.7).
+   - Stable: keep monitoring; a power or throughput excursion re-enters the
+     ramp.
+
+   Power readings come from the platform power sensor, whose limited
+   sampling rate (the AP7892's 13 samples/minute) bounds how fast overshoot
+   can be detected — the controller is deliberately no faster than its
+   sensor. *)
+
+module Config = Parcae_core.Config
+module Task = Parcae_core.Task
+module Region = Parcae_runtime.Region
+module Decima = Parcae_runtime.Decima
+module Morta = Parcae_runtime.Morta
+module Power = Parcae_sim.Power
+
+type phase =
+  | Start
+  | Ramp of { prev : Config.t option; prev_thr : float }
+  | Explore of { candidates : Config.t list; best : (Config.t * float) option }
+  | Stable of { thr : float; power : float }
+
+type state = { mutable phase : phase; mutable snap : Decima.snapshot option }
+
+let output_rate region snap =
+  let d = Region.decima region in
+  Decima.rate_since d snap (Decima.task_count d - 1)
+
+let parallel_indices pd =
+  List.mapi (fun i t -> (i, t)) pd.Task.tasks
+  |> List.filter (fun (_, t) -> t.Task.ttype = Task.Par)
+  |> List.map fst
+
+(* Per-stage service capacity dop / exec_time; the limiter is its minimum
+   (see the note in Fdp). *)
+let capacity region cfg i =
+  let d = Region.decima region in
+  let t = Decima.exec_time d i in
+  if t <= 0.0 then infinity else float_of_int (Config.dops cfg).(i) /. t
+
+let limiter region =
+  let cfg = Region.config region in
+  match parallel_indices (Region.scheme region) with
+  | [] -> None
+  | par ->
+      Some
+        (List.fold_left
+           (fun best i -> if capacity region cfg i < capacity region cfg best then i else best)
+           (List.hd par) par)
+
+let total_dop cfg = Array.fold_left ( + ) 0 (Config.dops cfg)
+
+(* Alternative configurations with the same total DoP: move one thread from
+   each donor task to each receiver task. *)
+let same_total_alternatives region cfg =
+  let par = parallel_indices (Region.scheme region) in
+  List.concat_map
+    (fun from_i ->
+      List.filter_map
+        (fun to_i ->
+          if from_i = to_i || (Config.dops cfg).(from_i) <= 1 then None
+          else
+            let c = Config.with_dop cfg from_i ((Config.dops cfg).(from_i) - 1) in
+            Some (Config.with_dop c to_i ((Config.dops c).(to_i) + 1)))
+        par)
+    par
+
+let make ~sensor ~target_watts () : Morta.mechanism =
+  let st = { phase = Start; snap = None } in
+  fun region ->
+    let d = Region.decima region in
+    let cur = Region.config region in
+    let thr = match st.snap with None -> 0.0 | Some s -> output_rate region s in
+    st.snap <- Some (Decima.snapshot d);
+    let power = Power.read sensor in
+    match st.phase with
+    | Start ->
+        let tasks = Array.map (fun tc -> { tc with Config.dop = 1 }) cur.Config.tasks in
+        st.phase <- Ramp { prev = None; prev_thr = 0.0 };
+        Some { cur with Config.tasks }
+    | Ramp { prev; prev_thr } ->
+        if power > target_watts then begin
+          (* Overshoot: back off one thread and explore redistributions of
+             the reduced total. *)
+          let back =
+            match prev with Some p -> p | None -> cur
+          in
+          st.phase <- Explore { candidates = same_total_alternatives region back; best = None };
+          Some back
+        end
+        else if prev <> None && thr < prev_thr then begin
+          st.phase <- Stable { thr = prev_thr; power };
+          prev
+        end
+        else begin
+          match limiter region with
+          | None ->
+              st.phase <- Stable { thr; power };
+              None
+          | Some lim ->
+              if total_dop cur < Region.budget region then begin
+                st.phase <- Ramp { prev = Some cur; prev_thr = thr };
+                Some (Config.with_dop cur lim ((Config.dops cur).(lim) + 1))
+              end
+              else begin
+                st.phase <- Stable { thr; power };
+                None
+              end
+        end
+    | Explore { candidates; best } -> (
+        (* Score the configuration that just ran. *)
+        let best =
+          if power <= target_watts then
+            match best with
+            | Some (_, bt) when bt >= thr -> best
+            | _ -> Some (cur, thr)
+          else best
+        in
+        match candidates with
+        | next :: rest ->
+            st.phase <- Explore { candidates = rest; best };
+            Some next
+        | [] -> (
+            match best with
+            | Some (cfg, bthr) ->
+                st.phase <- Stable { thr = bthr; power };
+                if Config.equal cfg cur then None else Some cfg
+            | None ->
+                st.phase <- Stable { thr; power };
+                None))
+    | Stable { thr = sthr; power = spower } ->
+        if power > target_watts then begin
+          (* Shed a thread from the fastest task to get back under budget;
+             stay in the stable state — re-ramping after every shed would
+             oscillate around the power target. *)
+          let par = parallel_indices (Region.scheme region) in
+          let shrinkable = List.filter (fun i -> (Config.dops cur).(i) > 1) par in
+          match shrinkable with
+          | [] -> None
+          | i :: _ ->
+              st.phase <- Stable { thr = sthr; power = spower };
+              Some (Config.with_dop cur i ((Config.dops cur).(i) - 1))
+        end
+        else if sthr > 0.0 && thr > 0.0 && abs_float (thr -. sthr) /. sthr > 0.5 then begin
+          (* Throughput moved a lot: workload changed, re-ramp. *)
+          st.phase <- Ramp { prev = None; prev_thr = 0.0 };
+          None
+        end
+        else None

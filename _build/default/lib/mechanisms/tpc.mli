@@ -1,0 +1,12 @@
+(** Throughput-Power Controller (the paper's Section 6.3.3): maximize
+    throughput with N threads under a power target.
+
+    Closed-loop in both throughput and power: ramp the limiter task's DoP
+    while under the target; on overshoot, back off and explore
+    redistributions of the same total DoP, keeping the best-throughput
+    configuration within budget (the exploration transient of Figure 8.7);
+    then hold stable, shedding a thread on any later overshoot.  The
+    control rate is bounded by the power sensor's sampling period. *)
+
+val make :
+  sensor:Parcae_sim.Power.t -> target_watts:float -> unit -> Parcae_runtime.Morta.mechanism

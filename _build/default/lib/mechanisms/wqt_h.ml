@@ -1,0 +1,46 @@
+(* Work Queue Threshold with Hysteresis (Section 6.3.1).
+
+   A two-state open-loop controller for the goal "minimize response time
+   with N threads".  While the master work queue stays below the threshold
+   [t] for [noff] consecutive observations, the program runs in the
+   latency-optimized configuration ([light], the "PAR state": e.g. inner
+   parallelism on at dPmax); when occupancy stays above the threshold for
+   [non] observations it switches to the throughput-optimized configuration
+   ([heavy], the "SEQ state": inner parallelism off, all threads to the
+   outer loop).  The hysteresis lengths keep the controller from toggling on
+   transient bursts. *)
+
+module Config = Parcae_core.Config
+module Region = Parcae_runtime.Region
+module Morta = Parcae_runtime.Morta
+
+type state = Light | Heavy
+
+let make ~load ~threshold ?(non = 3) ?(noff = 3) ~light ~heavy () : Morta.mechanism =
+  let state = ref Heavy in
+  (* Observation counters toward a state flip. *)
+  let above = ref 0 and below = ref 0 in
+  fun region ->
+    let q = load () in
+    if q > threshold then begin
+      incr above;
+      below := 0
+    end
+    else begin
+      incr below;
+      above := 0
+    end;
+    let next =
+      match !state with
+      | Light when !above >= non -> Some Heavy
+      | Heavy when !below >= noff -> Some Light
+      | _ -> None
+    in
+    match next with
+    | None -> None
+    | Some s ->
+        state := s;
+        above := 0;
+        below := 0;
+        let cfg = match s with Light -> light | Heavy -> heavy in
+        if Config.equal cfg (Region.config region) then None else Some cfg

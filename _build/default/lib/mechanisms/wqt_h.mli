@@ -1,0 +1,20 @@
+(** Work Queue Threshold with Hysteresis (the paper's Section 6.3.1).
+
+    A two-state open-loop controller for "minimize response time with N
+    threads": while the master work queue stays below [threshold] for
+    [noff] consecutive observations the program runs in the
+    latency-optimized configuration ([light]); above it for [non]
+    observations, the throughput-optimized configuration ([heavy]).  The
+    hysteresis keeps transient bursts from toggling the state. *)
+
+type state = Light | Heavy
+
+val make :
+  load:(unit -> float) ->
+  threshold:float ->
+  ?non:int ->
+  ?noff:int ->
+  light:Parcae_core.Config.t ->
+  heavy:Parcae_core.Config.t ->
+  unit ->
+  Parcae_runtime.Morta.mechanism

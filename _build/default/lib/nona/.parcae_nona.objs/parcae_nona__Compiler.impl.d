@@ -1,0 +1,1 @@
+lib/nona/compiler.ml: Array Doacross Doany Externals Flex Hashtbl Interp List Loop Mtcg Parcae_core Parcae_ir Parcae_pdg Parcae_runtime Parcae_sim Pdg Psdswp Scc

@@ -1,0 +1,1 @@
+lib/nona/compiler.mli: Doacross Flex Interp Loop Mtcg Parcae_core Parcae_ir Parcae_pdg Parcae_runtime Parcae_sim Pdg Scc

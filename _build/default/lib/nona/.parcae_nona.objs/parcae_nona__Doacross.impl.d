@@ -1,0 +1,1 @@
+lib/nona/doacross.ml: Alias Array Dep Hashtbl Instr List Loop Parcae_ir Parcae_pdg Pdg

@@ -1,0 +1,1 @@
+lib/nona/doacross.mli: Instr Parcae_ir Parcae_pdg Pdg

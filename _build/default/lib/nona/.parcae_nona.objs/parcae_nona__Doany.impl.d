@@ -1,0 +1,1 @@
+lib/nona/doany.ml: Loop Parcae_ir Parcae_pdg Pdg

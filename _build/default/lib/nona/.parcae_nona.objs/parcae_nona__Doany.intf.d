@@ -1,0 +1,1 @@
+lib/nona/doany.mli: Dep Parcae_pdg Pdg

@@ -1,0 +1,1 @@
+lib/nona/flex.ml: Alias Array Doacross Externals Hashtbl Instr List Loop Mtcg Option Parcae_core Parcae_ir Parcae_pdg Parcae_sim Pdg Printf Psdswp String

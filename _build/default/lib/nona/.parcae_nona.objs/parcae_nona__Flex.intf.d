@@ -1,0 +1,1 @@
+lib/nona/flex.mli: Doacross Externals Hashtbl Instr Loop Mtcg Parcae_core Parcae_ir Parcae_pdg Parcae_sim Pdg

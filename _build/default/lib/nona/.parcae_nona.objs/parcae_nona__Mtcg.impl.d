@@ -1,0 +1,1 @@
+lib/nona/mtcg.ml: Array Dep Format Hashtbl Instr List Loop Parcae_ir Parcae_pdg Pdg Psdswp String

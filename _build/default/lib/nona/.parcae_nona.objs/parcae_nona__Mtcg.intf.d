@@ -1,0 +1,1 @@
+lib/nona/mtcg.mli: Format Instr Parcae_ir Parcae_pdg Psdswp

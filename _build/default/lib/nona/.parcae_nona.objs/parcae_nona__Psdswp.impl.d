@@ -1,0 +1,1 @@
+lib/nona/psdswp.ml: Array Dep Hashtbl List Parcae_pdg Pdg Scc

@@ -1,0 +1,1 @@
+lib/nona/psdswp.mli: Parcae_pdg Pdg Scc

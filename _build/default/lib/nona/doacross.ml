@@ -1,0 +1,94 @@
+(* The DOACROSS parallelization — an additional parallelizer demonstrating
+   that the framework "can accommodate additional, new transformations"
+   (Section 3.2 / 4.2 of the paper).
+
+   DOACROSS distributes iterations round-robin over a team of lanes and
+   enforces loop-carried register dependencies point-to-point: the lane
+   executing iteration i receives the recurrence values produced by
+   iteration i-1 from its ring predecessor, and forwards its own carries to
+   the lane that will execute i+1.  The body is split into
+
+   - a *pre* part — instructions that do not (transitively) depend on any
+     hard recurrence phi; these execute before the lane waits for its
+     predecessor, so the expensive independent work of consecutive
+     iterations overlaps; and
+   - a *chain* part — the recurrence computation itself, which executes
+     between the receive and the forward and bounds the achievable
+     speedup (pre_cost / chain_cost lanes, roughly).
+
+   Applicability: a counted loop whose every loop-carried dependence is
+   either relaxable (induction / reduction / commutative) or a register
+   dependence carried by a phi (the recurrences DOACROSS synchronizes).
+   Loops with carried memory dependencies or data-dependent exits are
+   rejected.  Nona only emits DOACROSS when DOANY does not apply: with no
+   hard recurrences at all, DOANY strictly dominates it. *)
+
+open Parcae_ir
+open Parcae_pdg
+
+type plan = {
+  hard_phis : Instr.phi list;  (* the recurrences forwarded around the ring *)
+  pre : int list;  (* node ids independent of the recurrences, body order *)
+  chain : int list;  (* node ids dependent on the recurrences, body order *)
+}
+
+let is_relaxed_phi (pdg : Pdg.t) (p : Instr.phi) =
+  List.exists (fun ii -> ii.Alias.ind_phi = p.Instr.pdst) pdg.Pdg.inductions
+  || List.exists (fun r -> r.Pdg.red_phi = p.Instr.pdst) pdg.Pdg.reductions
+
+let hard_phis (pdg : Pdg.t) =
+  List.filter (fun p -> not (is_relaxed_phi pdg p)) pdg.Pdg.loop.Loop.phis
+
+let applicable (pdg : Pdg.t) =
+  (match pdg.Pdg.loop.Loop.trip with Loop.Count _ -> true | Loop.While -> false)
+  && List.for_all
+       (fun d ->
+         Dep.is_relaxable d
+         || (d.Dep.kind = Dep.Reg_data && d.Dep.carried && d.Dep.dst < pdg.Pdg.nphis))
+       (Pdg.carried pdg)
+  && hard_phis pdg <> []
+
+(* Split the body into pre and chain parts.  A node is in the chain iff it
+   transitively uses the value of a hard phi within the iteration. *)
+let make_plan (pdg : Pdg.t) =
+  let phis = hard_phis pdg in
+  let n = Pdg.node_count pdg in
+  let tainted = Array.make n false in
+  (* Mark the hard phi nodes. *)
+  List.iteri
+    (fun pi (p : Instr.phi) ->
+      if List.exists (fun (h : Instr.phi) -> h.Instr.pdst = p.Instr.pdst) phis then
+        tainted.(pi) <- true)
+    pdg.Pdg.loop.Loop.phis;
+  (* Propagate taint along intra-iteration register uses, in body order
+     (single-assignment makes one forward pass sufficient). *)
+  let def_node = Hashtbl.create 16 in
+  Array.iteri
+    (fun id node ->
+      match Loop.node_defs node with Some r -> Hashtbl.replace def_node r id | None -> ())
+    pdg.Pdg.nodes;
+  Array.iteri
+    (fun id node ->
+      if id >= pdg.Pdg.nphis then begin
+        (* Calls and reduction combines must never run before the lane has
+           committed to the iteration (re-executing a partially run
+           iteration after a pause would duplicate their side effects), so
+           they join the chain. *)
+        (match node with Loop.Instr_node (Instr.Call _) -> tainted.(id) <- true | _ -> ());
+        if List.exists (fun r -> r.Pdg.red_combine = id) pdg.Pdg.reductions then
+          tainted.(id) <- true;
+        let uses = Loop.node_uses node in
+        if
+          List.exists
+            (fun r ->
+              match Hashtbl.find_opt def_node r with Some d -> tainted.(d) | None -> false)
+            uses
+        then tainted.(id) <- true
+      end)
+    pdg.Pdg.nodes;
+  let body_ids = List.init (n - pdg.Pdg.nphis) (fun i -> pdg.Pdg.nphis + i) in
+  {
+    hard_phis = phis;
+    pre = List.filter (fun id -> not tainted.(id)) body_ids;
+    chain = List.filter (fun id -> tainted.(id)) body_ids;
+  }

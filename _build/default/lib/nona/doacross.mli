@@ -1,0 +1,29 @@
+(** The DOACROSS parallelization — an additional parallelizer demonstrating
+    the framework's extensibility (the paper's Sections 3.2 / 4.2).
+
+    Iterations are distributed round-robin over a team of lanes; the hard
+    loop-carried recurrences are enforced point-to-point: the lane
+    executing iteration i receives the recurrence values of i-1 from its
+    ring predecessor and forwards its own carries to the lane executing
+    i+1.  The body splits into a *pre* part independent of the recurrences
+    (overlapping across lanes) and the recurrence *chain* (whose length
+    bounds the speedup). *)
+
+open Parcae_ir
+open Parcae_pdg
+
+type plan = {
+  hard_phis : Instr.phi list;  (** the recurrences forwarded around the ring *)
+  pre : int list;  (** node ids independent of the recurrences, body order *)
+  chain : int list;  (** node ids dependent on them (plus calls and
+                         reduction combines, whose side effects must not
+                         re-execute after a pause) *)
+}
+
+val hard_phis : Pdg.t -> Instr.phi list
+
+val applicable : Pdg.t -> bool
+(** A counted loop whose every carried dependence is relaxable or a
+    phi-carried register dependence, with at least one hard recurrence. *)
+
+val make_plan : Pdg.t -> plan

@@ -1,0 +1,21 @@
+open Parcae_pdg
+(* The DOANY parallelization (Section 4.3.1).
+
+   DOANY schedules loop iterations for fully parallel execution,
+   synchronizing shared accesses through critical sections.  It applies
+   when every loop-carried dependence is relaxable: induction variables
+   (recomputed from the iteration number), reductions (privatized and
+   merged, Section 7.4), and commutative operations (serialized under a
+   global lock — the global locking discipline that guarantees deadlock
+   freedom).  Loops with data-dependent exits have a hard carried control
+   dependence and are rejected. *)
+
+open Parcae_ir
+
+let applicable (pdg : Pdg.t) =
+  (match pdg.Pdg.loop.Loop.trip with Loop.Count _ -> true | Loop.While -> false)
+  && Pdg.doany_inhibitors pdg = []
+
+(* The dependencies Nona would report to the programmer as parallelization
+   inhibitors (Section 3.2's "Report Inhibiting Dependencies"). *)
+let inhibitors = Pdg.doany_inhibitors

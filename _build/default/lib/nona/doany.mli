@@ -1,0 +1,13 @@
+(** The DOANY parallelization test (the paper's Section 4.3.1): iterations
+    run fully parallel with commutative operations in critical sections,
+    induction variables recomputed, and reductions privatized.  Applies
+    when every loop-carried dependence is relaxable and the loop is
+    counted. *)
+
+open Parcae_pdg
+
+val applicable : Pdg.t -> bool
+
+val inhibitors : Pdg.t -> Dep.t list
+(** The dependencies Nona would report to the programmer as
+    parallelization inhibitors (the paper's Figure 3.2 workflow). *)

@@ -1,0 +1,987 @@
+(* Flexible code generation and execution (Sections 4.5-4.6).
+
+   This module lowers a compiled loop onto the Parcae runtime: it builds
+   the SEQ / DOANY / PS-DSWP versions of the region as Parcae API tasks and
+   executes the IR instructions against shared simulated state.  The
+   machinery the paper describes is implemented directly:
+
+   - every task yields to the runtime after each iteration (the worker
+     loop of Algorithm 2 lives in [Parcae_runtime.Executor]);
+   - cross-iteration register state of sequential tasks is saved to /
+     restored from a heap table around pauses; with the Section 7.1
+     optimization off, the save/restore cost is paid on every iteration;
+   - parallel tasks keep no local cross-iteration state: reductions are
+     privatized and merged at pause (Section 7.4), or updated under a lock
+     per iteration when that optimization is off;
+   - PS-DSWP stages communicate over point-to-point channels with
+     round-robin iteration arbitration: iteration i of an epoch that began
+     at iteration B flows through lane (i - B) mod p of each parallel
+     stage, and a DoP change starts a new epoch so the channel selection
+     stays deterministic (the protocol of Section 7.2);
+   - pause and exit signals propagate down the pipeline as tokens in the
+     same channels as data (Section 4.6), so a stage parks only after every
+     in-flight iteration reaching it has been processed. *)
+
+open Parcae_ir
+open Parcae_pdg
+module Engine = Parcae_sim.Engine
+module Chan = Parcae_sim.Chan
+module Lock = Parcae_sim.Lock
+module Config = Parcae_core.Config
+module Task = Parcae_core.Task
+module Task_status = Parcae_core.Task_status
+
+type flags = {
+  hoist_state : bool;  (* Section 7.1: hoist phi save/restore out of the loop *)
+  privatize_reductions : bool;  (* Section 7.4: privatize-and-merge *)
+  heap_op_ns : int;  (* cost of one heap save or restore *)
+}
+
+let default_flags = { hoist_state = true; privatize_reductions = true; heap_op_ns = 40 }
+
+(* Temporary tracing for protocol debugging. *)
+let debug = ref false
+
+(* Identity element of an associative-commutative reduction operator. *)
+let identity = function
+  | Instr.Add | Instr.Xor | Instr.Or -> 0
+  | Instr.Mul -> 1
+  | Instr.Min -> max_int
+  | Instr.Max -> min_int
+  | Instr.And -> -1
+  | _ -> invalid_arg "Flex.identity: not a reduction operator"
+
+(* Message exchanged between pipeline stages: one bundle of register values
+   per iteration, or a control token.  [Reconf id] is the in-band epoch
+   announcement of Section 7.2.2: it sits in each channel's FIFO exactly
+   between the last old-epoch item and the first new-epoch item, so a
+   consumer that pre-committed to the old channel mapping is woken and
+   re-routed without any barrier. *)
+type msg = Go of int array | Stop_pause | Stop_exit | Reconf of int
+
+(* Per-worker-lane activation state ("registers and stack" of the task). *)
+type lane_state = {
+  mutable ls_epoch : int;  (* which epoch this state was initialized for *)
+  mutable cursor : int;  (* next iteration this lane will execute *)
+  phi_local : (Instr.reg, int) Hashtbl.t;  (* live cross-iteration values *)
+  privates : (Instr.reg, int ref) Hashtbl.t;  (* privatized reduction accs *)
+  env : int array;  (* per-iteration register file *)
+  mutable pending : int;  (* accumulated compute cost not yet charged *)
+}
+
+type t = {
+  loop : Loop.t;
+  pdg : Pdg.t;
+  eng : Engine.t;
+  flags : flags;
+  nodes : Loop.node array;
+  arrays : (string * int array) list;
+  ext : Externals.t;
+  ext_lock : Lock.t;  (* the global commutative-call critical section *)
+  red_lock : Lock.t;  (* guards reduction merges / unprivatized updates *)
+  phi_heap : (Instr.reg, int) Hashtbl.t;  (* Section 4.5.2's heap state *)
+  combine_of : (int, Pdg.reduction) Hashtbl.t;  (* combine node id -> red *)
+  trip_n : int option;
+  mutable next_iter : int;  (* contiguous prefix of executed iterations *)
+  mutable exited : bool;  (* a Break_if fired *)
+  mutable epoch : int;
+  mutable epoch_base : int;  (* iteration number at current epoch start *)
+  mutable dops : int array;  (* current per-stage DoPs (PS-DSWP scheme) *)
+  mutable epochs : (int * int array * int) list;
+      (* (start iteration, per-stage DoPs, id), newest first: the epoch
+         table of the barrier-less resize protocol (Section 7.2) *)
+  mutable psdswp_pending : int array option;
+      (* DoP vector of a requested light resize, stamped by the master *)
+  mutable doany_dop : int;  (* current DOANY DoP; excess lanes retire *)
+  max_reg : int;
+}
+
+let create ?(flags = default_flags) eng (pdg : Pdg.t) =
+  let loop = pdg.Pdg.loop in
+  let max_reg =
+    let m = ref 0 in
+    Array.iter
+      (fun n ->
+        (match Loop.node_defs n with Some r -> m := max !m r | None -> ());
+        List.iter (fun r -> m := max !m r) (Loop.node_uses n))
+      (Loop.nodes loop);
+    List.iter (fun (p : Instr.phi) -> m := max !m (max p.Instr.pdst p.Instr.carry)) loop.Loop.phis;
+    !m
+  in
+  let phi_heap = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Instr.phi) ->
+      match p.Instr.init with
+      | Instr.Const c -> Hashtbl.replace phi_heap p.Instr.pdst c
+      | Instr.Reg _ -> invalid_arg "Flex.create: phi init must be a constant")
+    loop.Loop.phis;
+  let combine_of = Hashtbl.create 4 in
+  List.iter (fun r -> Hashtbl.replace combine_of r.Pdg.red_combine r) pdg.Pdg.reductions;
+  {
+    loop;
+    pdg;
+    eng;
+    flags;
+    nodes = Loop.nodes loop;
+    arrays = List.map (fun (n, a) -> (n, Array.copy a)) loop.Loop.arrays;
+    ext = Externals.create ();
+    ext_lock = Lock.create "ext";
+    red_lock = Lock.create "reduction";
+    phi_heap;
+    combine_of;
+    trip_n = (match loop.Loop.trip with Loop.Count n -> Some n | Loop.While -> None);
+    next_iter = 0;
+    exited = false;
+    epoch = 0;
+    epoch_base = 0;
+    dops = [||];
+    epochs = [];
+    psdswp_pending = None;
+    doany_dop = max_int;
+    max_reg;
+  }
+
+let is_reduction_phi rs r = List.exists (fun red -> red.Pdg.red_phi = r) rs.pdg.Pdg.reductions
+
+(* ------------------------------------------------------------------ *)
+(* Lane states.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make_lane_state rs =
+  {
+    ls_epoch = -1;
+    cursor = 0;
+    phi_local = Hashtbl.create 8;
+    privates = Hashtbl.create 4;
+    env = Array.make (rs.max_reg + 1) 0;
+    pending = 0;
+  }
+
+(* Charge a heap access cost (state save/restore, Section 7.1). *)
+let charge_heap rs st n = st.pending <- st.pending + (n * rs.flags.heap_op_ns)
+
+let flush rs st =
+  ignore rs;
+  if st.pending > 0 then begin
+    Engine.compute st.pending;
+    st.pending <- 0
+  end
+
+(* Load this lane's cross-iteration state from the heap (Tinit). *)
+let restore_phis rs st ~owned =
+  Hashtbl.reset st.phi_local;
+  List.iter (fun r -> Hashtbl.replace st.phi_local r (Hashtbl.find rs.phi_heap r)) owned;
+  charge_heap rs st (List.length owned)
+
+(* Write it back (on pause or completion). *)
+let save_phis rs st =
+  Hashtbl.iter (fun r v -> Hashtbl.replace rs.phi_heap r v) st.phi_local;
+  charge_heap rs st (Hashtbl.length st.phi_local)
+
+let reset_privates _rs st ~reds =
+  Hashtbl.reset st.privates;
+  List.iter
+    (fun red -> Hashtbl.replace st.privates red.Pdg.red_phi (ref (identity red.Pdg.red_op)))
+    reds
+
+(* Merge privatized reductions into the global heap value. *)
+let merge_privates rs st =
+  if Hashtbl.length st.privates > 0 then begin
+    flush rs st;
+    Lock.with_lock rs.red_lock (fun () ->
+        Hashtbl.iter
+          (fun r acc ->
+            let red = List.find (fun red -> red.Pdg.red_phi = r) rs.pdg.Pdg.reductions in
+            let v = Hashtbl.find rs.phi_heap r in
+            Hashtbl.replace rs.phi_heap r (Instr.eval_binop red.Pdg.red_op v !acc);
+            acc := identity red.Pdg.red_op)
+          st.privates)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Instruction execution.                                              *)
+(* ------------------------------------------------------------------ *)
+
+type red_mode =
+  | Plain  (* reductions are ordinary phis (sequential execution) *)
+  | Private  (* privatized accumulators, merged at park (Section 7.4) *)
+  | Locked  (* read-modify-write of the global value under a lock *)
+
+let operand rs st = function
+  | Instr.Const c -> c
+  | Instr.Reg r ->
+      ignore rs;
+      st.env.(r)
+
+(* Execute the body instructions among [members] (node ids, ascending) for
+   one iteration.  phi nodes are skipped (their values are in [st.env]). *)
+let exec_members rs st ~mode members =
+  let result = ref `Ok in
+  let rec go = function
+    | [] -> ()
+    | id :: rest ->
+        (match rs.nodes.(id) with
+        | Loop.Phi_node _ -> ()
+        | Loop.Instr_node instr -> (
+            st.pending <- st.pending + Instr.base_cost instr;
+            match instr with
+            | Instr.Binop { dst; op; a; b } -> (
+                match (Hashtbl.find_opt rs.combine_of id, mode) with
+                | Some red, Private ->
+                    (* acc' = acc `op` x on the private accumulator. *)
+                    let x =
+                      if a = Instr.Reg red.Pdg.red_phi then operand rs st b else operand rs st a
+                    in
+                    let acc = Hashtbl.find st.privates red.Pdg.red_phi in
+                    acc := Instr.eval_binop red.Pdg.red_op !acc x;
+                    st.env.(dst) <- !acc
+                | Some red, Locked ->
+                    let x =
+                      if a = Instr.Reg red.Pdg.red_phi then operand rs st b else operand rs st a
+                    in
+                    flush rs st;
+                    Lock.with_lock rs.red_lock (fun () ->
+                        (* The shared accumulator's cache line bounces
+                           between cores: the read-modify-write holds the
+                           lock for two heap accesses (Section 7.4's
+                           per-iteration critical section). *)
+                        Engine.compute (2 * rs.flags.heap_op_ns);
+                        let v = Hashtbl.find rs.phi_heap red.Pdg.red_phi in
+                        let v' = Instr.eval_binop red.Pdg.red_op v x in
+                        Hashtbl.replace rs.phi_heap red.Pdg.red_phi v';
+                        st.env.(dst) <- v')
+                | _ -> st.env.(dst) <- Instr.eval_binop op (operand rs st a) (operand rs st b))
+            | Instr.Load { dst; arr; idx } ->
+                let a = List.assoc arr rs.arrays in
+                let i = operand rs st idx in
+                if i < 0 || i >= Array.length a then
+                  invalid_arg (rs.loop.Loop.name ^ ": load out of bounds");
+                st.env.(dst) <- a.(i)
+            | Instr.Store { arr; idx; v } ->
+                let a = List.assoc arr rs.arrays in
+                let i = operand rs st idx in
+                if i < 0 || i >= Array.length a then
+                  invalid_arg (rs.loop.Loop.name ^ ": store out of bounds");
+                a.(i) <- operand rs st v
+            | Instr.Work { amount } -> st.pending <- st.pending + max 0 (operand rs st amount)
+            | Instr.Call { dst; fn; arg; _ } ->
+                let x = operand rs st arg in
+                (* Don't fold the call's cost into the pending buffer: it is
+                   spent *inside* the global critical section — the paper's
+                   global locking discipline makes commutative calls a
+                   serialization point. *)
+                st.pending <- st.pending - Instr.base_cost instr;
+                flush rs st;
+                let v =
+                  Lock.with_lock rs.ext_lock (fun () ->
+                      Engine.compute (Instr.base_cost instr);
+                      Externals.call rs.ext fn x)
+                in
+                Option.iter (fun d -> st.env.(d) <- v) dst
+            | Instr.Break_if { cond } -> if operand rs st cond <> 0 then result := `Break));
+        if !result = `Ok then go rest
+  in
+  go members;
+  !result
+
+(* Set up env phi values for an iteration from the lane's local state. *)
+let load_phi_env st ~owned = List.iter (fun r -> st.env.(r) <- Hashtbl.find st.phi_local r) owned
+
+(* Advance local phis to their carried values after an iteration. *)
+let advance_phis rs st ~owned =
+  List.iter
+    (fun r ->
+      let p = List.find (fun (p : Instr.phi) -> p.Instr.pdst = r) rs.loop.Loop.phis in
+      Hashtbl.replace st.phi_local r st.env.(p.Instr.carry))
+    owned;
+  (* With the Section 7.1 optimization off, the state crosses the heap on
+     every iteration: one store and one load per phi. *)
+  if not rs.flags.hoist_state then charge_heap rs st (2 * List.length owned)
+
+(* ------------------------------------------------------------------ *)
+(* Scheme: SEQ.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let all_phi_regs rs = List.map (fun (p : Instr.phi) -> p.Instr.pdst) rs.loop.Loop.phis
+let all_node_ids rs = List.init (Array.length rs.nodes) (fun i -> i)
+
+let make_seq_task rs =
+  let st = make_lane_state rs in
+  let owned = all_phi_regs rs in
+  let park () =
+    save_phis rs st;
+    flush rs st;
+    st.ls_epoch <- -1
+  in
+  Task.sequential ~name:"seq" (fun ctx ->
+      if st.ls_epoch <> rs.epoch then begin
+        st.ls_epoch <- rs.epoch;
+        restore_phis rs st ~owned
+      end;
+      if ctx.Task.get_status () = Task_status.Paused then begin
+        park ();
+        Task_status.Paused
+      end
+      else if rs.exited || (match rs.trip_n with Some n -> rs.next_iter >= n | None -> false)
+      then begin
+        park ();
+        Task_status.Complete
+      end
+      else begin
+        load_phi_env st ~owned;
+        match exec_members rs st ~mode:Plain (all_node_ids rs) with
+        | `Break ->
+            rs.exited <- true;
+            flush rs st;
+            park ();
+            Task_status.Complete
+        | `Ok ->
+            advance_phis rs st ~owned;
+            rs.next_iter <- rs.next_iter + 1;
+            flush rs st;
+            Task_status.Iterating
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Scheme: DOANY.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let make_doany_task rs ~max_lanes =
+  let states = Array.init max_lanes (fun _ -> make_lane_state rs) in
+  (* Which lanes currently have a live worker: a light grow must not spawn
+     a duplicate for a lane whose previous worker has not exited yet. *)
+  let present = Array.make max_lanes false in
+  let reds = rs.pdg.Pdg.reductions in
+  let mode = if rs.flags.privatize_reductions then Private else Locked in
+  let park st =
+    merge_privates rs st;
+    (* Publish the induction values implied by the claimed prefix. *)
+    List.iter
+      (fun ii ->
+        Hashtbl.replace rs.phi_heap ii.Alias.ind_phi
+          (ii.Alias.ind_from + (rs.next_iter * ii.Alias.ind_step)))
+      rs.pdg.Pdg.inductions;
+    flush rs st;
+    st.ls_epoch <- -1
+  in
+  let task =
+    Task.parallel ~name:"doany" (fun ctx ->
+      let st = states.(ctx.Task.lane) in
+      if st.ls_epoch <> rs.epoch then begin
+        st.ls_epoch <- rs.epoch;
+        reset_privates rs st ~reds
+      end;
+      let park st =
+        present.(ctx.Task.lane) <- false;
+        park st
+      in
+      if ctx.Task.lane >= rs.doany_dop then begin
+        (* A barrier-less shrink (Section 7.2) removed this lane: merge its
+           private state (effectful — a concurrent resize may re-add the
+           lane meanwhile), then decide for good. *)
+        merge_privates rs st;
+        flush rs st;
+        if ctx.Task.lane >= rs.doany_dop then begin
+          present.(ctx.Task.lane) <- false;
+          st.ls_epoch <- -1;
+          Task_status.Complete
+        end
+        else begin
+          reset_privates rs st ~reds;
+          Task_status.Iterating
+        end
+      end
+      else if ctx.Task.get_status () = Task_status.Paused then begin
+        park st;
+        Task_status.Paused
+      end
+      else begin
+        let n = match rs.trip_n with Some n -> n | None -> assert false in
+        if rs.next_iter >= n then begin
+          park st;
+          Task_status.Complete
+        end
+        else begin
+          (* Claim the next iteration: atomic between effects. *)
+          let i = rs.next_iter in
+          rs.next_iter <- i + 1;
+          (* Induction variables are recomputed from the iteration number
+             (their carried dependence is relaxed). *)
+          List.iter
+            (fun ii ->
+              st.env.(ii.Alias.ind_phi) <- ii.Alias.ind_from + (i * ii.Alias.ind_step))
+            rs.pdg.Pdg.inductions;
+          match exec_members rs st ~mode (all_node_ids rs) with
+          | `Break -> assert false (* DOANY never applies to While loops *)
+          | `Ok ->
+              flush rs st;
+              Task_status.Iterating
+        end
+      end)
+  in
+  (* Light-resize hook: adjust the retirement threshold and report which
+     lanes need fresh workers. *)
+  let resize_hook dops =
+    rs.doany_dop <- dops.(0);
+    let spawns = ref [] in
+    for lane = 0 to dops.(0) - 1 do
+      if not present.(lane) then begin
+        present.(lane) <- true;
+        spawns := (0, lane) :: !spawns
+      end
+    done;
+    !spawns
+  in
+  (* Full-pause synchronization: mark exactly the lanes the executor is
+     about to (re)start; [dop = 0] deactivates the scheme. *)
+  let sync_present dop =
+    rs.doany_dop <- (if dop > 0 then dop else max_int);
+    Array.iteri (fun lane _ -> present.(lane) <- lane < dop) present
+  in
+  (task, resize_hook, sync_present)
+
+(* ------------------------------------------------------------------ *)
+(* Scheme: PS-DSWP.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-stage bookkeeping computed once from the MTCG pipeline. *)
+type stage_info = {
+  si : int;
+  members : int list;
+  par : bool;
+  owned_phis : Instr.reg list;  (* non-reduction phis whose node is here *)
+  owned_reds : Pdg.reduction list;
+  in_edges : int list;
+  out_edges : int list;
+}
+
+(* The PS-DSWP version.  Returns the stage tasks, the channel-reset
+   function to run between full-pause epochs, whether the pipeline
+   supports barrier-less DoP resizes (it does when every parallel stage
+   communicates only with sequential stages — the alternating networks of
+   the paper's Figure 7.7), and the resize-request hook.
+
+   Channel arbitration follows the paper's Section 7.2 protocol: all
+   round-robin decisions are made by the *sequential* stages from a shared
+   epoch table; parallel-stage lanes simply drain their own dedicated
+   channels in FIFO order.  On a light resize the master stamps a new
+   epoch (start iteration I = its current cursor) and every sequential
+   stage emits an in-band [Reconf] token into the old-epoch lanes' channels
+   just before its first post-I send, so each consumer observes the
+   boundary at exactly the right position in each FIFO — the ordering
+   hazard of Figure 7.5 cannot occur, and no stage ever stops. *)
+let make_psdswp_tasks rs (pipe : Mtcg.pipeline) ~max_lanes =
+  let nstages = Array.length pipe.Mtcg.stages in
+  rs.dops <- Array.make nstages 1;
+  rs.epochs <- [ (0, Array.make nstages 1, 0) ];
+  (* Channel matrix per edge: producer lane x consumer lane. *)
+  let chans =
+    Array.mapi
+      (fun ei _ ->
+        Array.init max_lanes (fun a ->
+            Array.init max_lanes (fun b ->
+                Chan.create ~capacity:8 (Printf.sprintf "e%d.%d.%d" ei a b))))
+      pipe.Mtcg.edges
+  in
+  let infos =
+    Array.mapi
+      (fun si (s : Psdswp.stage) ->
+        (* A sequential stage keeps all its phis (reductions included) as
+           ordinary local state; a parallel stage must privatize its
+           reduction phis and can own no other phi (a hard phi cycle makes
+           its SCC sequential). *)
+        let stage_phis =
+          List.filter_map
+            (fun id ->
+              match rs.nodes.(id) with Loop.Phi_node p -> Some p.Instr.pdst | _ -> None)
+            s.Psdswp.members
+        in
+        let owned_phis =
+          if s.Psdswp.par then
+            List.filter (fun r -> not (is_reduction_phi rs r)) stage_phis
+          else stage_phis
+        in
+        let owned_reds =
+          if s.Psdswp.par then
+            List.filter_map
+              (fun r -> List.find_opt (fun red -> red.Pdg.red_phi = r) rs.pdg.Pdg.reductions)
+              stage_phis
+          else []
+        in
+        {
+          si;
+          members = s.Psdswp.members;
+          par = s.Psdswp.par;
+          owned_phis;
+          owned_reds;
+          in_edges = pipe.Mtcg.in_edges.(si);
+          out_edges = pipe.Mtcg.out_edges.(si);
+        })
+      pipe.Mtcg.stages
+  in
+  let seq_stage si = not pipe.Mtcg.stages.(si).Psdswp.par in
+  let alternating =
+    Array.for_all
+      (fun (e : Mtcg.edge) -> seq_stage e.Mtcg.e_from || seq_stage e.Mtcg.e_to)
+      pipe.Mtcg.edges
+  in
+  (* Clear pipeline channels between full-pause epochs; at a legitimate
+     park point they contain only leftover control tokens. *)
+  let reset_channels () =
+    Array.iter
+      (fun per_a ->
+        Array.iter (fun per_b -> Array.iter (fun ch -> ignore (Chan.drain ch : int)) per_b)
+          per_a)
+      chans
+  in
+  (* Epoch lookup (Section 7.2): by the time any stage handles iteration i,
+     the master has stamped i's epoch, so the shared table is authoritative. *)
+  let epoch_of i =
+    match List.find_opt (fun (b, _, _) -> i >= b) rs.epochs with
+    | Some e -> e
+    | None -> List.nth rs.epochs (List.length rs.epochs - 1)
+  in
+  let epoch_by_id id = List.find_opt (fun (_, _, eid) -> eid = id) rs.epochs in
+  let head_epoch () = List.hd rs.epochs in
+  let consumer_lane ei i =
+    let e = pipe.Mtcg.edges.(ei) in
+    if seq_stage e.Mtcg.e_to then 0
+    else begin
+      let b, d, _ = epoch_of i in
+      (i - b) mod d.(e.Mtcg.e_to)
+    end
+  in
+  let producer_lane ei i =
+    let e = pipe.Mtcg.edges.(ei) in
+    if seq_stage e.Mtcg.e_from then 0
+    else begin
+      let b, d, _ = epoch_of i in
+      (i - b) mod d.(e.Mtcg.e_from)
+    end
+  in
+  (* Stops are broadcast to every possible consumer lane so that lanes
+     spawned by a concurrent resize also drain; extra tokens are cleared by
+     [reset_channels]. *)
+  let send_stops info ~lane kind =
+    let token = match kind with `Pause -> Stop_pause | `Exit -> Stop_exit in
+    List.iter
+      (fun ei ->
+        for b = 0 to max_lanes - 1 do
+          Chan.force_send chans.(ei).(lane).(b) token
+        done)
+      info.out_edges
+  in
+  (* Emit the in-band epoch announcements into the channels of the lanes of
+     the epoch being left behind (one per epoch crossed). *)
+  let emit_reconf info ~lane ~from_id ~to_id =
+    for eid = from_id to to_id - 1 do
+      match epoch_by_id eid with
+      | None -> ()
+      | Some (_, old_dops, _) ->
+          List.iter
+            (fun ei ->
+              let e = pipe.Mtcg.edges.(ei) in
+              let lanes = if seq_stage e.Mtcg.e_to then 1 else old_dops.(e.Mtcg.e_to) in
+              for b = 0 to lanes - 1 do
+                Chan.force_send chans.(ei).(lane).(b) (Reconf (eid + 1))
+              done)
+            info.out_edges
+    done
+  in
+  let present = Array.make_matrix nstages max_lanes false in
+  let make_stage_task info =
+    let states = Array.init max_lanes (fun _ -> make_lane_state rs) in
+    (* Highest epoch id this (sequential) stage has announced downstream. *)
+    let sent_epoch = ref 0 in
+    (* Highest epoch id each (parallel) lane has forwarded downstream. *)
+    let forwarded = Array.make max_lanes 0 in
+    let mode =
+      if not info.par then Plain
+      else if rs.flags.privatize_reductions then Private
+      else Locked
+    in
+    let park ?(lane = 0) st =
+      present.(info.si).(lane) <- false;
+      if not info.par then save_phis rs st;
+      merge_privates rs st;
+      flush rs st;
+      st.ls_epoch <- -1
+    in
+    let send_bundles st ~lane i =
+      List.iter
+        (fun ei ->
+          let e = pipe.Mtcg.edges.(ei) in
+          let vals = Array.of_list (List.map (fun r -> st.env.(r)) e.Mtcg.e_regs) in
+          let b = consumer_lane ei i in
+          Chan.send chans.(ei).(lane).(b) (Go vals))
+        info.out_edges
+    in
+    (* ---- Sequential stages (the master is stage 0). ---- *)
+    let seq_body (ctx : Task.ctx) =
+      let st = states.(0) in
+      if st.ls_epoch <> rs.epoch then begin
+        st.ls_epoch <- rs.epoch;
+        let b, _, id = head_epoch () in
+        st.cursor <- b;
+        sent_epoch := id;
+        restore_phis rs st ~owned:info.owned_phis
+      end;
+      let i = st.cursor in
+      (* The master stamps any pending light resize at its own iteration
+         boundary: the new epoch begins at I = i. *)
+      if info.si = 0 then begin
+        match rs.psdswp_pending with
+        | Some d ->
+            let _, _, id = head_epoch () in
+            if !debug then Printf.printf "[%s master] stamp epoch %d at i=%d\n%!" rs.loop.Loop.name (id + 1) i;
+            rs.epochs <- (i, d, id + 1) :: rs.epochs;
+            rs.dops <- d;
+            rs.psdswp_pending <- None
+        | None -> ()
+      end;
+      (* Announce any epoch crossing downstream before this iteration's
+         data (the paper's "communicate I to the other tasks"). *)
+      let _, _, cur_id = epoch_of i in
+      if cur_id > !sent_epoch then begin
+        emit_reconf info ~lane:0 ~from_id:!sent_epoch ~to_id:cur_id;
+        sent_epoch := cur_id
+      end;
+      let park_with kind =
+        if !debug then
+          Printf.printf "[%s seq%d] park %s at i=%d\n%!" rs.loop.Loop.name info.si
+            (match kind with `Pause -> "pause" | `Exit -> "exit")
+            i;
+        send_stops info ~lane:0 kind;
+        park st;
+        if kind = `Pause then Task_status.Paused else Task_status.Complete
+      in
+      if info.si = 0 && ctx.Task.get_status () = Task_status.Paused then park_with `Pause
+      else if
+        info.si = 0 && (rs.exited || match rs.trip_n with Some n -> i >= n | None -> false)
+      then park_with `Exit
+      else begin
+        (* Receive this iteration's bundles (none for the master). *)
+        let stop = ref None in
+        let rec recv_edge = function
+          | [] -> ()
+          | ei :: rest -> (
+              let a = producer_lane ei i in
+              if !debug then
+                Printf.printf "[%s seq%d] i=%d edge=%d wait lane %d (epochs=%s)\n%!" rs.loop.Loop.name info.si i ei a
+                  (String.concat ";"
+                     (List.map (fun (b, d, id) ->
+                          Printf.sprintf "(%d,[%s],%d)" b
+                            (String.concat "," (Array.to_list (Array.map string_of_int d))) id)
+                        rs.epochs));
+              match Chan.recv chans.(ei).(a).(0) with
+              | Go vals ->
+                  List.iteri (fun k r -> st.env.(r) <- vals.(k)) pipe.Mtcg.edges.(ei).Mtcg.e_regs;
+                  recv_edge rest
+              | Reconf id ->
+                  if !debug then Printf.printf "[%s seq%d] i=%d got Reconf %d\n%!" rs.loop.Loop.name info.si i id;
+                  (* Epoch boundary: the producer-lane mapping for i may
+                     have changed; re-route and receive again. *)
+                  recv_edge (ei :: rest)
+              | Stop_pause -> stop := Some `Pause
+              | Stop_exit -> stop := Some `Exit)
+        in
+        recv_edge info.in_edges;
+        match !stop with
+        | Some kind -> park_with kind
+        | None -> (
+            load_phi_env st ~owned:info.owned_phis;
+            match exec_members rs st ~mode info.members with
+            | `Break ->
+                rs.exited <- true;
+                flush rs st;
+                park_with `Exit
+            | `Ok ->
+                advance_phis rs st ~owned:info.owned_phis;
+                send_bundles st ~lane:0 i;
+                if info.si = 0 then rs.next_iter <- i + 1;
+                st.cursor <- i + 1;
+                flush rs st;
+                Task_status.Iterating)
+      end
+    in
+    (* ---- Parallel stages in an alternating pipeline: each lane owns its
+       channels outright and is oblivious to iteration numbering; the
+       sequential neighbours do all the arbitration. ---- *)
+    let par_body_alternating (ctx : Task.ctx) =
+      let lane = ctx.Task.lane in
+      let st = states.(lane) in
+      if st.ls_epoch <> rs.epoch then begin
+        st.ls_epoch <- rs.epoch;
+        let _, _, id = head_epoch () in
+        forwarded.(lane) <- id;
+        reset_privates rs st ~reds:info.owned_reds
+      end;
+      let forward_token id =
+        if id > forwarded.(lane) then begin
+          List.iter
+            (fun ei -> Chan.force_send chans.(ei).(lane).(0) (Reconf id))
+            info.out_edges;
+          forwarded.(lane) <- id
+        end
+      in
+      (* Whether some epoch at or after [id] — or a resize not yet
+         stamped — still needs this lane.  A lane excluded by epoch k but
+         re-added by epoch k+1 must keep running: its channel continues
+         directly with the newer epoch's data (no intermediate token is
+         addressed to it). *)
+      let needed_from id =
+        (match rs.psdswp_pending with Some d -> lane < d.(info.si) | None -> false)
+        || List.exists (fun (_, d, eid) -> eid >= id && lane < d.(info.si)) rs.epochs
+      in
+      let stop = ref None and retire = ref false in
+      let rec recv_edge = function
+        | [] -> ()
+        | ei :: rest -> (
+            match Chan.recv chans.(ei).(0).(lane) with
+            | Go vals ->
+                List.iteri (fun k r -> st.env.(r) <- vals.(k)) pipe.Mtcg.edges.(ei).Mtcg.e_regs;
+                recv_edge rest
+            | Reconf id ->
+                if !debug then Printf.printf "[%s par%d.%d] got Reconf %d\n%!" rs.loop.Loop.name info.si lane id;
+                forward_token id;
+                if needed_from id then recv_edge (ei :: rest) else retire := true
+            | Stop_pause -> stop := Some `Pause
+            | Stop_exit -> stop := Some `Exit)
+      in
+      recv_edge info.in_edges;
+      if !retire then begin
+        (* Provisional retirement: merge private state (an effectful step
+           during which a concurrent resize may re-add the lane), then
+           decide for good. *)
+        merge_privates rs st;
+        flush rs st;
+        if needed_from 0 then begin
+          (* Re-added while retiring: continue as a fresh lane. *)
+          reset_privates rs st ~reds:info.owned_reds;
+          Task_status.Iterating
+        end
+        else begin
+          present.(info.si).(lane) <- false;
+          st.ls_epoch <- -1;
+          Task_status.Complete
+        end
+      end
+      else
+        match !stop with
+        | Some kind ->
+            send_stops info ~lane kind;
+            park ~lane st;
+            if kind = `Pause then Task_status.Paused else Task_status.Complete
+        | None -> (
+            match exec_members rs st ~mode info.members with
+            | `Break -> assert false (* Break_if lives in the master stage *)
+            | `Ok ->
+                List.iter
+                  (fun ei ->
+                    let e = pipe.Mtcg.edges.(ei) in
+                    let vals = Array.of_list (List.map (fun r -> st.env.(r)) e.Mtcg.e_regs) in
+                    Chan.send chans.(ei).(lane).(0) (Go vals))
+                  info.out_edges;
+                flush rs st;
+                Task_status.Iterating)
+    in
+    (* ---- Parallel stages in a general (non-alternating) pipeline: the
+       original cursor-based arbitration; light resizes are disabled, so a
+       single epoch is live at any time. ---- *)
+    let par_body_general (ctx : Task.ctx) =
+      let st = states.(ctx.Task.lane) in
+      if st.ls_epoch <> rs.epoch then begin
+        st.ls_epoch <- rs.epoch;
+        let b, _, _ = head_epoch () in
+        st.cursor <- b + ctx.Task.lane;
+        reset_privates rs st ~reds:info.owned_reds
+      end;
+      let i = st.cursor in
+      let stop = ref None in
+      let rec recv_edge = function
+        | [] -> ()
+        | ei :: rest -> (
+            let a = producer_lane ei i in
+            match Chan.recv chans.(ei).(a).(ctx.Task.lane) with
+            | Go vals ->
+                List.iteri (fun k r -> st.env.(r) <- vals.(k)) pipe.Mtcg.edges.(ei).Mtcg.e_regs;
+                recv_edge rest
+            | Reconf _ -> recv_edge (ei :: rest) (* never emitted here *)
+            | Stop_pause -> stop := Some `Pause
+            | Stop_exit -> stop := Some `Exit)
+      in
+      recv_edge info.in_edges;
+      match !stop with
+      | Some kind ->
+          send_stops info ~lane:ctx.Task.lane kind;
+          park ~lane:ctx.Task.lane st;
+          if kind = `Pause then Task_status.Paused else Task_status.Complete
+      | None -> (
+          match exec_members rs st ~mode info.members with
+          | `Break -> assert false
+          | `Ok ->
+              send_bundles st ~lane:ctx.Task.lane i;
+              let _, d, _ = head_epoch () in
+              st.cursor <- i + d.(info.si);
+              flush rs st;
+              Task_status.Iterating)
+    in
+    let body =
+      if not info.par then seq_body
+      else if alternating then par_body_alternating
+      else par_body_general
+    in
+    Task.create
+      ~ttype:(if info.par then Task.Par else Task.Seq)
+      ~name:(Printf.sprintf "stage%d%s" info.si (if info.par then "p" else "s"))
+      body
+  in
+  let tasks = Array.to_list (Array.map make_stage_task infos) in
+  (* Light-resize hook: request the epoch stamp from the master and report
+     which parallel lanes need fresh workers (lanes whose previous worker
+     has not retired yet continue into the new epoch). *)
+  let resize_hook dops =
+    rs.psdswp_pending <- Some dops;
+    let spawns = ref [] in
+    Array.iteri
+      (fun si (stage : Psdswp.stage) ->
+        if stage.Psdswp.par then
+          for lane = 0 to dops.(si) - 1 do
+            if not present.(si).(lane) then begin
+              present.(si).(lane) <- true;
+              spawns := (si, lane) :: !spawns
+            end
+          done)
+      pipe.Mtcg.stages;
+    !spawns
+  in
+  (* Full-pause synchronization with the lanes the executor (re)starts;
+     [None] deactivates the scheme. *)
+  let sync_present dops =
+    Array.iteri
+      (fun si row ->
+        Array.iteri
+          (fun lane _ ->
+            row.(lane) <- (match dops with Some d -> lane < d.(si) | None -> false))
+          row)
+      present
+  in
+  (tasks, reset_channels, alternating, resize_hook, sync_present)
+
+(* ------------------------------------------------------------------ *)
+(* Scheme: DOACROSS.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* DOACROSS distributes iterations round-robin over the task's lanes and
+   forwards the hard recurrence values point-to-point around a ring:
+   the lane executing iteration i receives them from the lane that
+   executed i-1 and, after running the recurrence chain, forwards its own
+   carries to the lane that will execute i+1.  The independent "pre" part
+   of the body runs before the receive, so consecutive iterations overlap;
+   the chain length bounds the speedup.
+
+   Pause/exit tokens travel in the same ring: a lane that parks sends the
+   token to its successor instead of values, so the whole ring drains in
+   one round and the executed iterations always form a contiguous prefix.
+   The lane that executed the last iteration of the prefix publishes the
+   recurrence values to the heap for the next epoch. *)
+let make_doacross_task rs (plan : Doacross.plan) ~max_lanes =
+  let ring =
+    Array.init max_lanes (fun a ->
+        Array.init max_lanes (fun b -> Chan.create ~capacity:4 (Printf.sprintf "ring%d.%d" a b)))
+  in
+  let reset_ring () =
+    Array.iter (fun per -> Array.iter (fun ch -> ignore (Chan.drain ch : int)) per) ring
+  in
+  let states = Array.init max_lanes (fun _ -> make_lane_state rs) in
+  (* Highest iteration each lane has fully executed this epoch (-1 none). *)
+  let last_done = Array.make max_lanes (-1) in
+  let reds = rs.pdg.Pdg.reductions in
+  let mode = if rs.flags.privatize_reductions then Private else Locked in
+  let carry_regs = List.map (fun (p : Instr.phi) -> p.Instr.carry) plan.Doacross.hard_phis in
+  let phi_regs = List.map (fun (p : Instr.phi) -> p.Instr.pdst) plan.Doacross.hard_phis in
+  (* Park bookkeeping: publish the carries of the highest executed
+     iteration (each lane remembers its own latest). *)
+  let park st ~last_iter ~last_carries status =
+    merge_privates rs st;
+    if last_iter >= 0 && last_iter = rs.next_iter - 1 then begin
+      List.iter2 (fun r v -> Hashtbl.replace rs.phi_heap r v) phi_regs last_carries;
+      charge_heap rs st (List.length phi_regs)
+    end;
+    (* Induction values follow the prefix, as in DOANY. *)
+    List.iter
+      (fun ii ->
+        Hashtbl.replace rs.phi_heap ii.Alias.ind_phi
+          (ii.Alias.ind_from + (rs.next_iter * ii.Alias.ind_step)))
+      rs.pdg.Pdg.inductions;
+    flush rs st;
+    st.ls_epoch <- -1;
+    status
+  in
+  let task_body (ctx : Task.ctx) =
+    let st = states.(ctx.Task.lane) in
+    let p = ctx.Task.dop in
+    if st.ls_epoch <> rs.epoch then begin
+      st.ls_epoch <- rs.epoch;
+      st.cursor <- rs.epoch_base + ctx.Task.lane;
+      last_done.(ctx.Task.lane) <- -1;
+      reset_privates rs st ~reds
+    end;
+    let i = st.cursor in
+    let succ = (ctx.Task.lane + 1) mod p in
+    let pred = (ctx.Task.lane + p - 1) mod p in
+    let last_iter = last_done.(ctx.Task.lane) in
+    let last_carries = List.map (fun r -> st.env.(r)) carry_regs in
+    if ctx.Task.get_status () = Task_status.Paused then begin
+      Chan.force_send ring.(ctx.Task.lane).(succ) Stop_pause;
+      park st ~last_iter ~last_carries Task_status.Paused
+    end
+    else begin
+      let n = match rs.trip_n with Some n -> n | None -> assert false in
+      if i >= n then begin
+        Chan.force_send ring.(ctx.Task.lane).(succ) Stop_exit;
+        park st ~last_iter ~last_carries Task_status.Complete
+      end
+      else begin
+        (* Induction values are recomputed from the iteration number. *)
+        List.iter
+          (fun ii -> st.env.(ii.Alias.ind_phi) <- ii.Alias.ind_from + (i * ii.Alias.ind_step))
+          rs.pdg.Pdg.inductions;
+        (* 1. The independent part overlaps across lanes. *)
+        (match exec_members rs st ~mode plan.Doacross.pre with
+        | `Break -> assert false (* While loops are rejected by applicability *)
+        | `Ok -> ());
+        flush rs st;
+        (* 2. Obtain the recurrence values for this iteration. *)
+        let stop = ref None in
+        if i = rs.epoch_base then
+          List.iter (fun r -> st.env.(r) <- Hashtbl.find rs.phi_heap r) phi_regs
+        else begin
+          match Chan.recv ring.(pred).(ctx.Task.lane) with
+          | Go vals -> List.iteri (fun k r -> st.env.(r) <- vals.(k)) phi_regs
+          | Reconf _ -> assert false (* DOACROSS does not light-resize *)
+          | Stop_pause -> stop := Some `Pause
+          | Stop_exit -> stop := Some `Exit
+        end;
+        match !stop with
+        | Some kind ->
+            Chan.force_send ring.(ctx.Task.lane).(succ)
+              (match kind with `Pause -> Stop_pause | `Exit -> Stop_exit);
+            park st ~last_iter ~last_carries
+              (if kind = `Pause then Task_status.Paused else Task_status.Complete)
+        | None -> (
+            (* 3. The recurrence chain, then forward to the successor. *)
+            match exec_members rs st ~mode plan.Doacross.chain with
+            | `Break -> assert false
+            | `Ok ->
+                let vals = Array.of_list (List.map (fun r -> st.env.(r)) carry_regs) in
+                Chan.send ring.(ctx.Task.lane).(succ) (Go vals);
+                if i + 1 > rs.next_iter then rs.next_iter <- i + 1;
+                last_done.(ctx.Task.lane) <- i;
+                st.cursor <- i + p;
+                flush rs st;
+                Task_status.Iterating)
+      end
+    end
+  in
+  (Task.create ~ttype:Task.Par ~name:"doacross" task_body, reset_ring)

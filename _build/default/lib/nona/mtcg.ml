@@ -1,0 +1,106 @@
+open Parcae_pdg
+(* Multi-threaded code generation (Section 4.4), adapted to the simulator.
+
+   Given the pipeline stages from the PS-DSWP partitioner, MTCG computes,
+   for every ordered stage pair with a dependence between them, the set of
+   register values that must be communicated per iteration, and adds
+   synchronization-only edges so that every stage is paced by (and receives
+   pause/exit signals from) the pipeline — the paper's replication of
+   branch conditions and its point-to-point communication channels. *)
+
+open Parcae_ir
+
+type edge = {
+  e_from : int;  (* producer stage *)
+  e_to : int;  (* consumer stage *)
+  e_regs : Instr.reg list;  (* values per iteration, ascending; may be [] *)
+}
+
+type pipeline = {
+  stages : Psdswp.stage array;
+  edges : edge array;
+  in_edges : int list array;  (* per stage: edge indexes, by producer order *)
+  out_edges : int list array;
+}
+
+let build (pdg : Pdg.t) (stages : Psdswp.stage list) =
+  let stages = Array.of_list stages in
+  let nstages = Array.length stages in
+  let stage_of = Hashtbl.create 64 in
+  Array.iteri
+    (fun si (s : Psdswp.stage) -> List.iter (fun id -> Hashtbl.replace stage_of id si) s.Psdswp.members)
+    stages;
+  (* Register values crossing stage boundaries: def in stage a, use in
+     stage b > a. *)
+  let cross : (int * int, Instr.reg list ref) Hashtbl.t = Hashtbl.create 16 in
+  let add_cross a b r =
+    let key = (a, b) in
+    let cell =
+      match Hashtbl.find_opt cross key with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.replace cross key c;
+          c
+    in
+    if not (List.mem r !cell) then cell := r :: !cell
+  in
+  let def_stage = Hashtbl.create 32 in
+  Array.iteri
+    (fun id node ->
+      match Loop.node_defs node with
+      | Some r -> Hashtbl.replace def_stage r (Hashtbl.find stage_of id)
+      | None -> ())
+    pdg.Pdg.nodes;
+  Array.iteri
+    (fun id node ->
+      let b = Hashtbl.find stage_of id in
+      List.iter
+        (fun r ->
+          match Hashtbl.find_opt def_stage r with
+          | Some a when a <> b -> add_cross a b r
+          | _ -> ())
+        (Loop.node_uses node))
+    pdg.Pdg.nodes;
+  (* Synchronization edges for cross-stage memory/control dependencies. *)
+  List.iter
+    (fun d ->
+      let a = Hashtbl.find stage_of d.Dep.src and b = Hashtbl.find stage_of d.Dep.dst in
+      if a < b then
+        if not (Hashtbl.mem cross (a, b)) then Hashtbl.replace cross (a, b) (ref []))
+    pdg.Pdg.deps;
+  (* Pacing: every stage after the first must have at least one in-edge so
+     the pause/exit protocol reaches it; connect orphans to the master. *)
+  for si = 1 to nstages - 1 do
+    let has_in = Hashtbl.fold (fun (_, b) _ acc -> acc || b = si) cross false in
+    if not has_in then Hashtbl.replace cross (0, si) (ref [])
+  done;
+  let edges =
+    Hashtbl.fold
+      (fun (a, b) regs acc -> { e_from = a; e_to = b; e_regs = List.sort compare !regs } :: acc)
+      cross []
+    |> List.sort (fun x y -> compare (x.e_from, x.e_to) (y.e_from, y.e_to))
+    |> Array.of_list
+  in
+  let in_edges = Array.make nstages [] in
+  let out_edges = Array.make nstages [] in
+  Array.iteri
+    (fun ei e ->
+      in_edges.(e.e_to) <- in_edges.(e.e_to) @ [ ei ];
+      out_edges.(e.e_from) <- out_edges.(e.e_from) @ [ ei ])
+    edges;
+  { stages; edges; in_edges; out_edges }
+
+let pp fmt p =
+  Array.iteri
+    (fun si (s : Psdswp.stage) ->
+      Format.fprintf fmt "stage %d (%s, %.0f): nodes %s@." si
+        (if s.Psdswp.par then "PAR" else "SEQ")
+        s.Psdswp.weight
+        (String.concat "," (List.map string_of_int s.Psdswp.members)))
+    p.stages;
+  Array.iter
+    (fun e ->
+      Format.fprintf fmt "edge %d->%d regs [%s]@." e.e_from e.e_to
+        (String.concat ";" (List.map string_of_int e.e_regs)))
+    p.edges

@@ -1,0 +1,23 @@
+(** Multi-threaded code generation (the paper's Section 4.4): computes,
+    for every ordered stage pair with a dependence between them, the
+    register values communicated per iteration, and adds
+    synchronization-only edges so every stage is paced by (and receives
+    pause/exit signals from) the pipeline. *)
+
+open Parcae_ir
+
+type edge = {
+  e_from : int;  (** producer stage *)
+  e_to : int;  (** consumer stage *)
+  e_regs : Instr.reg list;  (** values per iteration, ascending; may be [] *)
+}
+
+type pipeline = {
+  stages : Psdswp.stage array;
+  edges : edge array;
+  in_edges : int list array;  (** per stage: edge indexes *)
+  out_edges : int list array;
+}
+
+val build : Parcae_pdg.Pdg.t -> Psdswp.stage list -> pipeline
+val pp : Format.formatter -> pipeline -> unit

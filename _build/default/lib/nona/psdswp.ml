@@ -1,0 +1,122 @@
+open Parcae_pdg
+(* The PS-DSWP partitioner (Section 4.3.2).
+
+   Starting from the DAG_SCC, the partitioner coalesces SCCs into pipeline
+   stages while maintaining Invariant 4.3.1:
+   1. every SCC lands in exactly one stage;
+   2. every cross-stage dependence flows forward in the pipeline;
+   3. parallel SCCs are only coalesced when no dependency chain between
+      them passes through an SCC outside the coalesced set.
+
+   Following the paper's algorithm, it picks the biggest (by estimated
+   cycles) compatible set of parallel-capable SCCs as the main parallel
+   stage, splits the remaining SCCs into the predecessor graph (those that
+   reach the parallel stage) and the successor graph, and recurses on both
+   sides to discover further parallel stages. *)
+
+type stage = {
+  members : int list;  (* node ids, ascending *)
+  par : bool;
+  weight : float;
+}
+
+(* Greedily grow the heaviest compatible set of parallel components.
+   [reach] is the component reachability matrix; [inside] restricts the
+   search to a sub-DAG (closed under paths, see the recursion argument in
+   the compiler design notes). *)
+let best_parallel_set (scc : Scc.t) reach inside =
+  let candidates =
+    Array.to_list scc.Scc.comps
+    |> List.filter (fun c -> inside c.Scc.cid && c.Scc.parallel)
+    |> List.sort (fun a b -> compare b.Scc.weight a.Scc.weight)
+  in
+  match candidates with
+  | [] -> []
+  | first :: rest ->
+      let chosen = ref [ first.Scc.cid ] in
+      let compatible t =
+        (* No path between t and a chosen member through a component
+           outside chosen + t. *)
+        let member x = List.mem x !chosen || x = t in
+        List.for_all
+          (fun m ->
+            let bad =
+              Array.to_list scc.Scc.comps
+              |> List.exists (fun x ->
+                     let x = x.Scc.cid in
+                     (not (member x))
+                     && ((reach.(m).(x) && reach.(x).(t)) || (reach.(t).(x) && reach.(x).(m))))
+            in
+            not bad)
+          !chosen
+      in
+      List.iter (fun c -> if compatible c.Scc.cid then chosen := c.Scc.cid :: !chosen) rest;
+      !chosen
+
+(* Partition the components selected by [inside] into an ordered stage
+   list.  [min_par_weight] is the SCCmin-style threshold (Section 4.3.2):
+   a candidate parallel stage lighter than this fraction of the *whole
+   loop* is not worth its communication and folds into a sequential
+   stage. *)
+let rec partition_sub (scc : Scc.t) reach inside ~depth ~min_par_weight =
+  let comps_in = Array.to_list scc.Scc.comps |> List.filter (fun c -> inside c.Scc.cid) in
+  if comps_in = [] then []
+  else begin
+    let total = List.fold_left (fun acc c -> acc +. c.Scc.weight) 0.0 comps_in in
+    let seq_stage () =
+      let members = List.concat_map (fun c -> c.Scc.members) comps_in |> List.sort compare in
+      [ { members; par = false; weight = total } ]
+    in
+    if depth <= 0 then seq_stage ()
+    else begin
+      match best_parallel_set scc reach inside with
+      | [] -> seq_stage ()
+      | set ->
+          let set_weight =
+            List.fold_left (fun acc cid -> acc +. scc.Scc.comps.(cid).Scc.weight) 0.0 set
+          in
+          if set_weight < min_par_weight then seq_stage ()
+          else begin
+            let in_set cid = List.mem cid set in
+            let reaches_set cid =
+              (not (in_set cid)) && inside cid && List.exists (fun m -> reach.(cid).(m)) set
+            in
+            let rest cid = inside cid && (not (in_set cid)) && not (reaches_set cid) in
+            let par_members =
+              List.concat_map (fun cid -> scc.Scc.comps.(cid).Scc.members) set
+              |> List.sort compare
+            in
+            let par_stage = { members = par_members; par = true; weight = set_weight } in
+            partition_sub scc reach reaches_set ~depth:(depth - 1) ~min_par_weight
+            @ [ par_stage ]
+            @ partition_sub scc reach rest ~depth:(depth - 1) ~min_par_weight
+          end
+    end
+  end
+
+(* Main entry: the ordered pipeline stages, or [None] when PS-DSWP offers
+   nothing over sequential execution (no parallel-capable SCC). *)
+let partition ?(depth = 2) (scc : Scc.t) =
+  let reach = Scc.reachability scc in
+  let total = Array.fold_left (fun acc c -> acc +. c.Scc.weight) 0.0 scc.Scc.comps in
+  let min_par_weight = 0.05 *. total in
+  let stages = partition_sub scc reach (fun _ -> true) ~depth ~min_par_weight in
+  let has_parallel = List.exists (fun s -> s.par) stages in
+  if (not has_parallel) || List.length stages < 1 then None
+  else Some stages
+
+(* Check Invariant 4.3.1 over a stage list; used by tests. *)
+let check_invariant (pdg : Pdg.t) stages =
+  let stage_of = Hashtbl.create 64 in
+  List.iteri (fun si s -> List.iter (fun id -> Hashtbl.replace stage_of id si) s.members) stages;
+  (* 1. every node in exactly one stage *)
+  let covered = Hashtbl.length stage_of = Pdg.node_count pdg in
+  (* 2. cross-stage dependencies flow forward *)
+  let forward =
+    List.for_all
+      (fun d ->
+        let a = Hashtbl.find stage_of d.Dep.src and b = Hashtbl.find stage_of d.Dep.dst in
+        a <= b)
+      pdg.Pdg.deps
+  in
+  covered && forward

@@ -1,0 +1,26 @@
+(** The PS-DSWP partitioner (the paper's Section 4.3.2): coalesces SCCs
+    into pipeline stages while maintaining Invariant 4.3.1 (every SCC in
+    exactly one stage; cross-stage dependencies flow forward; parallel
+    SCCs only coalesce when no dependency chain between them passes
+    through an outside SCC).  The biggest compatible set of
+    parallel-capable SCCs becomes the main parallel stage; the remaining
+    SCCs split into predecessor and successor graphs, recursively. *)
+
+open Parcae_pdg
+
+type stage = {
+  members : int list;  (** node ids, ascending *)
+  par : bool;
+  weight : float;
+}
+
+val best_parallel_set : Scc.t -> bool array array -> (int -> bool) -> int list
+(** Greedily grow the heaviest compatible set of parallel components
+    within the sub-DAG selected by the predicate. *)
+
+val partition : ?depth:int -> Scc.t -> stage list option
+(** The ordered pipeline stages, or [None] when PS-DSWP offers nothing
+    over sequential execution. *)
+
+val check_invariant : Pdg.t -> stage list -> bool
+(** Invariant 4.3.1 over a stage list (used by tests). *)

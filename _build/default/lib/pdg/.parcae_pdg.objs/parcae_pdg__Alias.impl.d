@@ -1,0 +1,1 @@
+lib/pdg/alias.ml: Instr List Loop Parcae_ir

@@ -1,0 +1,1 @@
+lib/pdg/alias.mli: Instr Loop Parcae_ir

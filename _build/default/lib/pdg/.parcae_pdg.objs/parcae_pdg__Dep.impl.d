@@ -1,0 +1,1 @@
+lib/pdg/dep.ml: Printf

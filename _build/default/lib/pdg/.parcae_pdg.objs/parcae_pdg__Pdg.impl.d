@@ -1,0 +1,1 @@
+lib/pdg/pdg.ml: Alias Array Dep Format Hashtbl Instr List Loop Parcae_ir

@@ -1,0 +1,1 @@
+lib/pdg/pdg.mli: Alias Dep Format Instr Loop Parcae_ir

@@ -1,0 +1,1 @@
+lib/pdg/scc.ml: Alias Array Dep Format Hashtbl Instr List Loop Parcae_ir Pdg String

@@ -1,0 +1,1 @@
+lib/pdg/scc.mli: Format Pdg

@@ -1,0 +1,103 @@
+(* Array-index analysis: the pointer-analysis stand-in for the IR.
+
+   An access index is classified as
+   - [Affine (ind, offset)]: a constant offset from a canonical induction
+     variable (i, i+1, i-2, ...),
+   - [Fixed c]: a compile-time constant, or
+   - [Unknown]: anything else.
+
+   Two accesses to the same array with affine indices on the same induction
+   variable conflict across iterations only if their offsets differ by a
+   multiple of the step; same-offset accesses conflict only within an
+   iteration.  Anything involving [Unknown] is conservatively assumed to
+   conflict across iterations. *)
+
+open Parcae_ir
+
+type induction_info = {
+  ind_phi : Instr.reg;  (* phi destination: the induction variable *)
+  ind_from : int;
+  ind_step : int;  (* non-zero *)
+  ind_carry : Instr.reg;  (* the register holding i + step *)
+}
+
+type index = Affine of { ind : Instr.reg; offset : int } | Fixed of int | Unknown
+
+(* Recognize induction phis: i = phi [c, j] where j = i +/- const. *)
+let inductions (loop : Loop.t) =
+  List.filter_map
+    (fun (p : Instr.phi) ->
+      match p.Instr.init with
+      | Instr.Reg _ -> None
+      | Instr.Const from -> (
+          let def =
+            List.find_opt
+              (fun i -> match Instr.defs i with Some d -> d = p.Instr.carry | None -> false)
+              loop.Loop.body
+          in
+          match def with
+          | Some (Instr.Binop { op = Instr.Add; a = Instr.Reg r; b = Instr.Const c; _ })
+            when r = p.Instr.pdst ->
+              Some { ind_phi = p.Instr.pdst; ind_from = from; ind_step = c; ind_carry = p.Instr.carry }
+          | Some (Instr.Binop { op = Instr.Add; a = Instr.Const c; b = Instr.Reg r; _ })
+            when r = p.Instr.pdst ->
+              Some { ind_phi = p.Instr.pdst; ind_from = from; ind_step = c; ind_carry = p.Instr.carry }
+          | Some (Instr.Binop { op = Instr.Sub; a = Instr.Reg r; b = Instr.Const c; _ })
+            when r = p.Instr.pdst ->
+              Some
+                { ind_phi = p.Instr.pdst; ind_from = from; ind_step = -c; ind_carry = p.Instr.carry }
+          | _ -> None))
+    loop.Loop.phis
+  |> List.filter (fun i -> i.ind_step <> 0)
+
+(* Classify an index operand by chasing +/- constant chains back to an
+   induction variable or a constant. *)
+let classify_index (loop : Loop.t) (inds : induction_info list) (idx : Instr.operand) =
+  let def_of r =
+    List.find_opt (fun i -> match Instr.defs i with Some d -> d = r | None -> false) loop.Loop.body
+  in
+  let rec chase r offset depth =
+    if depth > 16 then Unknown
+    else if List.exists (fun ii -> ii.ind_phi = r) inds then Affine { ind = r; offset }
+    else begin
+      (* The carry register (i + step) is the induction shifted by step. *)
+      match List.find_opt (fun ii -> ii.ind_carry = r) inds with
+      | Some ii -> Affine { ind = ii.ind_phi; offset = offset + ii.ind_step }
+      | None -> (
+          match def_of r with
+          | Some (Instr.Binop { op = Instr.Add; a = Instr.Reg r'; b = Instr.Const c; _ }) ->
+              chase r' (offset + c) (depth + 1)
+          | Some (Instr.Binop { op = Instr.Add; a = Instr.Const c; b = Instr.Reg r'; _ }) ->
+              chase r' (offset + c) (depth + 1)
+          | Some (Instr.Binop { op = Instr.Sub; a = Instr.Reg r'; b = Instr.Const c; _ }) ->
+              chase r' (offset - c) (depth + 1)
+          | _ -> Unknown)
+    end
+  in
+  match idx with Instr.Const c -> Fixed c | Instr.Reg r -> chase r 0 0
+
+(* How two accesses to the same array may conflict. *)
+type conflict =
+  | No_conflict
+  | Same_iteration  (* conflict only within one iteration *)
+  | Cross_iteration of int
+      (* the access with the *larger* offset happens in an earlier
+         iteration by this many iterations (positive distance) *)
+  | May_conflict  (* conservatively: any iterations may conflict *)
+
+let conflict inds a b =
+  match (a, b) with
+  | Fixed x, Fixed y -> if x = y then Same_iteration else No_conflict
+  | Affine { ind = i1; offset = o1 }, Affine { ind = i2; offset = o2 } when i1 = i2 -> (
+      match List.find_opt (fun ii -> ii.ind_phi = i1) inds with
+      | None -> May_conflict
+      | Some ii ->
+          let step = ii.ind_step in
+          if o1 = o2 then Same_iteration
+          else if (o1 - o2) mod step <> 0 then No_conflict
+          else Cross_iteration (abs ((o1 - o2) / step)))
+  | Affine _, Fixed _ | Fixed _, Affine _ ->
+      (* An induction-indexed access hits a fixed cell in at most one
+         iteration; treat conservatively as cross-iteration. *)
+      May_conflict
+  | _ -> May_conflict

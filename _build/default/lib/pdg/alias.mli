@@ -1,0 +1,33 @@
+(** Array-index analysis: the pointer-analysis stand-in for the IR.
+    Classifies access indices as affine in an induction variable, constant,
+    or unknown, and decides how two accesses to the same array may
+    conflict across iterations. *)
+
+open Parcae_ir
+
+type induction_info = {
+  ind_phi : Instr.reg;  (** the induction variable (phi destination) *)
+  ind_from : int;
+  ind_step : int;  (** non-zero *)
+  ind_carry : Instr.reg;  (** the register holding i + step *)
+}
+
+type index =
+  | Affine of { ind : Instr.reg; offset : int }
+  | Fixed of int
+  | Unknown
+
+val inductions : Loop.t -> induction_info list
+(** Recognize induction phis: [i = phi \[c, i +/- const\]]. *)
+
+val classify_index : Loop.t -> induction_info list -> Instr.operand -> index
+(** Chase +/- constant chains back to an induction variable or constant. *)
+
+type conflict =
+  | No_conflict
+  | Same_iteration  (** conflict only within one iteration *)
+  | Cross_iteration of int
+      (** conflict across iterations at this distance (in iterations) *)
+  | May_conflict  (** conservatively: any iterations may conflict *)
+
+val conflict : induction_info list -> index -> index -> conflict

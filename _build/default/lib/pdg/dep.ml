@@ -1,0 +1,39 @@
+(* Dependence edges of the Program Dependence Graph (Section 4.1).
+
+   Each dependency is data (register or memory) or control, and is either
+   intra-iteration or loop-carried.  Loop-carried dependencies inhibit
+   parallel execution unless they can be *relaxed*: induction variables are
+   recomputable, reductions are privatizable (Section 7.4), and calls the
+   programmer annotated commutative may execute in any order inside a
+   critical section (Section 4.3.1). *)
+
+type kind = Reg_data | Mem_data | Control
+
+type relax =
+  | Hard  (* a true ordering constraint *)
+  | Induction  (* i = i + c: recomputable per iteration *)
+  | Reduction  (* associative-commutative update: privatize and merge *)
+  | Commutative  (* programmer-annotated commutative operations *)
+
+type t = {
+  src : int;  (* node id of the producer *)
+  dst : int;  (* node id of the consumer *)
+  kind : kind;
+  carried : bool;  (* crosses iterations *)
+  relax : relax;
+}
+
+let is_relaxable d = d.relax <> Hard
+
+let kind_to_string = function Reg_data -> "reg" | Mem_data -> "mem" | Control -> "ctl"
+
+let relax_to_string = function
+  | Hard -> ""
+  | Induction -> " [ind]"
+  | Reduction -> " [red]"
+  | Commutative -> " [comm]"
+
+let to_string d =
+  Printf.sprintf "%d -> %d (%s%s)%s" d.src d.dst (kind_to_string d.kind)
+    (if d.carried then ", carried" else "")
+    (relax_to_string d.relax)

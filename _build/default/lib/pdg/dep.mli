@@ -1,0 +1,26 @@
+(** Dependence edges of the Program Dependence Graph (the paper's
+    Section 4.1).  Loop-carried dependencies inhibit parallel execution
+    unless relaxable: induction variables are recomputable, reductions
+    privatizable (Section 7.4), and annotated-commutative calls may
+    execute in any order inside a critical section (Section 4.3.1). *)
+
+type kind = Reg_data | Mem_data | Control
+
+type relax =
+  | Hard  (** a true ordering constraint *)
+  | Induction  (** i = i + c: recomputable per iteration *)
+  | Reduction  (** associative-commutative update: privatize and merge *)
+  | Commutative  (** programmer-annotated commutative operations *)
+
+type t = {
+  src : int;  (** node id of the producer *)
+  dst : int;  (** node id of the consumer *)
+  kind : kind;
+  carried : bool;  (** crosses iterations *)
+  relax : relax;
+}
+
+val is_relaxable : t -> bool
+val kind_to_string : kind -> string
+val relax_to_string : relax -> string
+val to_string : t -> string

@@ -1,0 +1,167 @@
+open Parcae_ir
+
+(* Strongly connected components of the PDG and the DAG_SCC (Section 4.1).
+
+   Each SCC groups instructions that are cyclically dependent and must
+   execute together.  An SCC is *parallel-capable* — dynamic instances of
+   the corresponding task may run concurrently — when every loop-carried
+   dependence internal to it is relaxable (reductions, commutative calls)
+   and it contains no loop-exit control; induction cycles are kept
+   sequential (they form the cheap master stage that doles out
+   iterations). *)
+
+type component = {
+  cid : int;
+  members : int list;  (* node ids, ascending *)
+  parallel : bool;
+  mutable weight : float;  (* estimated cycles per iteration *)
+}
+
+type t = {
+  pdg : Pdg.t;
+  comps : component array;  (* in topological order of the condensation *)
+  comp_of : int array;  (* node id -> component id *)
+}
+
+(* Tarjan's algorithm; self-edges make a singleton cyclic but do not change
+   membership. *)
+let tarjan n succs =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comps = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (succs v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      comps := pop [] :: !comps
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  (* Tarjan emits components in reverse topological order; [!comps] has the
+     last-emitted first, which is topological order of the condensation. *)
+  !comps
+
+let build ?(weights : float array option) (pdg : Pdg.t) =
+  let n = Pdg.node_count pdg in
+  let adj = Array.make n [] in
+  List.iter (fun d -> adj.(d.Dep.src) <- d.Dep.dst :: adj.(d.Dep.src)) pdg.Pdg.deps;
+  let comp_lists = tarjan n (fun v -> adj.(v)) in
+  let comp_of = Array.make n (-1) in
+  List.iteri (fun ci members -> List.iter (fun v -> comp_of.(v) <- ci) members) comp_lists;
+  let node_weight id =
+    match weights with
+    | Some w -> w.(id)
+    | None -> (
+        match pdg.Pdg.nodes.(id) with
+        | Loop.Phi_node _ -> 1.0
+        | Loop.Instr_node i -> (
+            float_of_int (Instr.base_cost i)
+            +.
+            match i with
+            | Instr.Work { amount = Instr.Const c } -> float_of_int c
+            | Instr.Work { amount = Instr.Reg _ } -> 1000.0  (* unknown: assume heavy *)
+            | _ -> 0.0))
+  in
+  let is_induction_node id =
+    match pdg.Pdg.nodes.(id) with
+    | Loop.Phi_node p ->
+        List.exists (fun ii -> ii.Alias.ind_phi = p.Instr.pdst) pdg.Pdg.inductions
+    | Loop.Instr_node _ -> false
+  in
+  let comps =
+    Array.of_list
+      (List.mapi
+         (fun ci members ->
+           let members = List.sort compare members in
+           let internal_carried =
+             List.filter
+               (fun d ->
+                 d.Dep.carried && comp_of.(d.Dep.src) = ci && comp_of.(d.Dep.dst) = ci)
+               pdg.Pdg.deps
+           in
+           let has_break =
+             List.exists
+               (fun id ->
+                 match pdg.Pdg.nodes.(id) with
+                 | Loop.Instr_node (Instr.Break_if _) -> true
+                 | _ -> false)
+               members
+           in
+           let has_induction = List.exists is_induction_node members in
+           let parallel =
+             (not has_break) && (not has_induction)
+             && List.for_all Dep.is_relaxable internal_carried
+           in
+           {
+             cid = ci;
+             members;
+             parallel;
+             weight = List.fold_left (fun acc id -> acc +. node_weight id) 0.0 members;
+           })
+         comp_lists)
+  in
+  { pdg; comps; comp_of }
+
+let component_count t = Array.length t.comps
+
+(* Condensation edges: (src component, dst component) pairs, deduplicated,
+   excluding self. *)
+let dag_edges t =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun d ->
+      let a = t.comp_of.(d.Dep.src) and b = t.comp_of.(d.Dep.dst) in
+      if a = b || Hashtbl.mem seen (a, b) then None
+      else begin
+        Hashtbl.replace seen (a, b) ();
+        Some (a, b)
+      end)
+    t.pdg.Pdg.deps
+
+(* Reachability matrix over components. *)
+let reachability t =
+  let n = component_count t in
+  let reach = Array.make_matrix n n false in
+  List.iter (fun (a, b) -> reach.(a).(b) <- true) (dag_edges t);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if reach.(i).(k) then
+        for j = 0 to n - 1 do
+          if reach.(k).(j) then reach.(i).(j) <- true
+        done
+    done
+  done;
+  reach
+
+let pp fmt t =
+  Array.iter
+    (fun c ->
+      Format.fprintf fmt "SCC %d (%s, weight %.0f): %s@." c.cid
+        (if c.parallel then "par" else "seq")
+        c.weight
+        (String.concat "," (List.map string_of_int c.members)))
+    t.comps

@@ -1,0 +1,32 @@
+(** Strongly connected components of the PDG and the DAG_SCC (the paper's
+    Section 4.1).  An SCC is parallel-capable — its dynamic instances may
+    run concurrently — when every carried dependence internal to it is
+    relaxable and it contains no loop-exit control; induction cycles stay
+    sequential (they form the cheap master stage). *)
+
+type component = {
+  cid : int;
+  members : int list;  (** node ids, ascending *)
+  parallel : bool;
+  mutable weight : float;  (** estimated ns per iteration *)
+}
+
+type t = {
+  pdg : Pdg.t;
+  comps : component array;  (** in topological order of the condensation *)
+  comp_of : int array;  (** node id -> component id *)
+}
+
+val build : ?weights:float array -> Pdg.t -> t
+(** [weights], when given, supplies profiled per-node costs (see
+    [Interp.run]'s [profile]); otherwise static estimates are used. *)
+
+val component_count : t -> int
+
+val dag_edges : t -> (int * int) list
+(** Condensation edges, deduplicated, self-edges excluded. *)
+
+val reachability : t -> bool array array
+(** Transitive closure over components. *)
+
+val pp : Format.formatter -> t -> unit

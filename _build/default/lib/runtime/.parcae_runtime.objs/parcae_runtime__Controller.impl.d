@@ -1,0 +1,1 @@
+lib/runtime/controller.ml: Array Decima Executor Float Hashtbl List Option Parcae_core Parcae_sim Parcae_util Region

@@ -1,0 +1,1 @@
+lib/runtime/controller.mli: Parcae_sim Parcae_util Region

@@ -1,0 +1,1 @@
+lib/runtime/daemon.ml: Controller List Parcae_sim Region

@@ -1,0 +1,1 @@
+lib/runtime/daemon.mli: Controller Parcae_sim Region

@@ -1,0 +1,1 @@
+lib/runtime/decima.ml: Array Hashtbl Parcae_sim Parcae_util

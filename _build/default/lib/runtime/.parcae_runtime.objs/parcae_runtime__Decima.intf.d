@@ -1,0 +1,1 @@
+lib/runtime/decima.mli: Parcae_sim

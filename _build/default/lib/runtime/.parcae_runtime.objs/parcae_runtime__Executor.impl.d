@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Array Decima List Option Parcae_core Parcae_sim Printf Region

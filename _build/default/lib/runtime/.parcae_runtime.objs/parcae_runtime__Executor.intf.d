@@ -1,0 +1,1 @@
+lib/runtime/executor.mli: Parcae_core Parcae_sim Region

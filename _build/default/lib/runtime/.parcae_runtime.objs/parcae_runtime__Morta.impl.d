@@ -1,0 +1,1 @@
+lib/runtime/morta.ml: Executor Parcae_core Parcae_sim Region

@@ -1,0 +1,1 @@
+lib/runtime/morta.mli: Parcae_core Parcae_sim Region

@@ -1,0 +1,1 @@
+lib/runtime/region.ml: Decima List Parcae_core Parcae_sim

@@ -1,0 +1,1 @@
+lib/runtime/region.mli: Decima Parcae_core Parcae_sim

@@ -1,0 +1,496 @@
+(* The closed-loop run-time controller (Section 6.4).
+
+   This is Morta's default optimization mechanism: a finite-state machine
+   (Figure 6.3) that establishes a sequential baseline, calibrates each
+   parallel scheme exposed by the compiler or programmer, optimizes the
+   degrees of parallelism by finite-difference gradient ascent
+   (Section 6.4.2, Algorithm 4), and then passively monitors for workload or
+   resource change, re-entering calibration when the environment shifts.
+
+   The controller optimizes:  maximize iteration throughput, and subject to
+   that, minimize threads used (saving energy).  Optimized configurations
+   are cached per (scheme, thread budget) and reused on re-entry
+   (Section 6.4.2), and the thread count actually needed is reported to the
+   platform-wide daemon so slack can be redistributed (Section 6.4.3). *)
+
+module Engine = Parcae_sim.Engine
+module Series = Parcae_util.Series
+module Config = Parcae_core.Config
+module Task = Parcae_core.Task
+
+type state = Init | Calibrate | Optimize | Monitor
+
+let state_to_string = function
+  | Init -> "INIT"
+  | Calibrate -> "CALIB"
+  | Optimize -> "OPT"
+  | Monitor -> "MONITOR"
+
+(* State encoding used in the recorded timeline (Figure 8.8). *)
+let state_code = function Init -> 0 | Calibrate -> 1 | Optimize -> 2 | Monitor -> 3
+
+(* The optimization objective (Section 6.4: "Morta could be re-targeted at
+   minimizing the energy delay squared product, since delay can be measured
+   directly and energy can be indirectly computed from running power and
+   elapsed execution time measurements"). *)
+type objective =
+  | Max_throughput  (* iterations/second; ties prefer fewer threads *)
+  | Min_energy_delay2
+      (* minimize E*D^2 per iteration = avg_power / throughput^3; the
+         fitness maximized is throughput^3 / avg_power *)
+
+type params = {
+  objective : objective;
+  nseq : int;  (* baseline iterations measured in Init (paper: 10) *)
+  npar_factor : int;
+      (* iterations measured per DoP probe = max(nseq, npar_factor * dop);
+         the paper uses 2, but short iterations need longer windows to
+         smooth round-quantization noise *)
+  poll_ns : int;  (* polling granularity while waiting for iterations *)
+  monitor_ns : int;  (* sampling period in the Monitor state *)
+  change_frac : float;  (* relative throughput change that re-triggers *)
+  efficiency_floor : float;  (* minimum parallel efficiency to keep a scheme *)
+  max_monitor_rounds : int;  (* 0 = unlimited *)
+}
+
+let default_params =
+  {
+    objective = Max_throughput;
+    nseq = 10;
+    npar_factor = 2;
+    poll_ns = 20_000;
+    monitor_ns = 50_000_000;
+    change_frac = 0.25;
+    efficiency_floor = 0.5;
+    max_monitor_rounds = 0;
+  }
+
+type t = {
+  region : Region.t;
+  params : params;
+  mutable state : state;
+  mutable stop : bool;
+  mutable resource_dirty : bool;  (* budget changed since last look *)
+  mutable last_budget : int;
+  mutable best_throughput : float;  (* T* *)
+  mutable seq_throughput : float;  (* Tseq *)
+  cache : (int * int, Config.t) Hashtbl.t;  (* (choice, budget) -> config *)
+  states : Series.t;  (* (time s, state code) timeline *)
+  throughputs : Series.t;  (* (time s, iterations/s) timeline *)
+  mutable on_usage : int -> unit;  (* report optimized thread usage *)
+}
+
+let create ?(params = default_params) region =
+  {
+    region;
+    params;
+    state = Init;
+    stop = false;
+    resource_dirty = false;
+    last_budget = Region.budget region;
+    best_throughput = 0.0;
+    seq_throughput = 0.0;
+    cache = Hashtbl.create 7;
+    states = Series.create "controller-state";
+    throughputs = Series.create "throughput";
+    on_usage = ignore;
+  }
+
+let states t = t.states
+let throughputs t = t.throughputs
+let request_stop t = t.stop <- true
+
+(* The daemon pokes this when it changes the region's budget. *)
+let notify_resource_change t =
+  t.resource_dirty <- true
+
+let set_usage_callback t f = t.on_usage <- f
+
+(* ------------------------------------------------------------------ *)
+(* Scheme classification.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let scheme_is_sequential (pd : Task.par_descriptor) =
+  List.for_all (fun task -> task.Task.ttype = Task.Seq) pd.Task.tasks
+
+(* Indices of the parallel tasks in a descriptor. *)
+let parallel_tasks (pd : Task.par_descriptor) =
+  List.mapi (fun i task -> (i, task)) pd.Task.tasks
+  |> List.filter (fun (_, task) -> task.Task.ttype = Task.Par)
+  |> List.map fst
+
+let seq_task_count pd =
+  List.length (List.filter (fun task -> task.Task.ttype = Task.Seq) pd.Task.tasks)
+
+(* ------------------------------------------------------------------ *)
+(* Measurement.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let now_s t = Engine.seconds_of_ns (Engine.time t.region.Region.eng)
+
+let record_state t =
+  Series.add t.states ~time:(now_s t) ~value:(float_of_int (state_code t.state))
+
+let enter t state =
+  t.state <- state;
+  record_state t
+
+let finished t = Region.is_done t.region || t.stop
+
+(* Apply [cfg] if it differs from the current configuration. *)
+let apply t cfg = Executor.reconfigure t.region cfg
+
+(* Wait until the region's output task completes [n] more instances;
+   returns the measured fitness (throughput for [Max_throughput];
+   throughput^3 / average power for [Min_energy_delay2]), or None if the
+   region completed / the controller was stopped meanwhile. *)
+let measure_iters t n =
+  let d = Region.decima t.region in
+  let eng = t.region.Region.eng in
+  let last = Decima.task_count d - 1 in
+  let snap = Decima.snapshot d in
+  let t0 = Engine.time eng and e0 = Engine.energy_joules eng in
+  let rec wait () =
+    if finished t then None
+    else if Decima.iters_since d snap last >= n then begin
+      let thr = Decima.rate_since d snap last in
+      Series.add t.throughputs ~time:(now_s t) ~value:thr;
+      match t.params.objective with
+      | Max_throughput -> Some thr
+      | Min_energy_delay2 ->
+          let dt = Engine.seconds_of_ns (Engine.time eng - t0) in
+          let avg_power =
+            if dt > 0.0 then (Engine.energy_joules eng -. e0) /. dt else infinity
+          in
+          Some (thr *. thr *. thr /. Float.max 1.0 avg_power)
+    end
+    else begin
+      Engine.sleep t.params.poll_ns;
+      wait ()
+    end
+  in
+  wait ()
+
+(* Wait for [n] iterations without recording (the settle window: right
+   after a reconfiguration the pipeline still carries mixed-configuration
+   work, especially under barrier-less resizes). *)
+let settle_iters t n =
+  let d = Region.decima t.region in
+  let last = Decima.task_count d - 1 in
+  let snap = Decima.snapshot d in
+  let rec wait () =
+    if finished t then ()
+    else if Decima.iters_since d snap last >= n then ()
+    else begin
+      Engine.sleep t.params.poll_ns;
+      wait ()
+    end
+  in
+  wait ()
+
+(* Measure the throughput of configuration [cfg] over [n] iterations,
+   after letting the configuration settle for half a window. *)
+let measure_config t cfg n =
+  let changed = not (Config.equal cfg (Region.config t.region)) in
+  apply t cfg;
+  if changed then settle_iters t (n / 2);
+  measure_iters t n
+
+(* Npar from Section 6.4.1: max(Nseq, npar_factor * current DoP). *)
+let npar t d = max t.params.nseq (t.params.npar_factor * d)
+
+(* ------------------------------------------------------------------ *)
+(* Gradient ascent on one task's DoP (Section 6.4.2).                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Optimize task [i]'s DoP within [1, cap], starting from the current
+   configuration.  Returns the best (config, throughput) found, or None if
+   the run ended.  The ascent compares finite differences of measured
+   throughput and stops at the first decrease, implementing the unimodal
+   assumption of Figure 6.4. *)
+let gradient_ascent t i cap =
+  let cfg0 = Region.config t.region in
+  let d0 = (Config.dops cfg0).(i) in
+  let d0 = min d0 cap in
+  let thr_at d =
+    let cfg = Config.with_dop cfg0 i d in
+    measure_config t cfg (npar t d)
+  in
+  match thr_at d0 with
+  | None -> None
+  | Some t0 -> (
+      (* Probe both directions to establish the ascent direction. *)
+      let up = if d0 + 1 <= cap then thr_at (d0 + 1) else None in
+      let down = if d0 - 1 >= 1 then thr_at (d0 - 1) else None in
+      let dir, d1, t1 =
+        match (up, down) with
+        | Some tu, Some td when tu >= t0 && tu >= td -> (1, d0 + 1, tu)
+        | Some tu, None when tu >= t0 -> (1, d0 + 1, tu)
+        | _, Some td when td > t0 -> (-1, d0 - 1, td)
+        | _ -> (0, d0, t0)
+      in
+      if dir = 0 then begin
+        (* Already at a local optimum; restore and report. *)
+        let best = Config.with_dop cfg0 i d0 in
+        apply t best;
+        Some (best, t0)
+      end
+      else begin
+        let rec climb d_prev t_prev =
+          if finished t then None
+          else begin
+            let d_next = d_prev + dir in
+            if d_next < 1 || d_next > cap then Some (Config.with_dop cfg0 i d_prev, t_prev)
+            else
+              match thr_at d_next with
+              | None -> None
+              | Some t_next ->
+                  (* delta <= 0: passed the summit (ties prefer fewer
+                     threads when increasing, per Section 6.4.2). *)
+                  let keep_going =
+                    if dir = 1 then t_next > t_prev else t_next >= t_prev
+                  in
+                  if keep_going then climb d_next t_next
+                  else begin
+                    let best = Config.with_dop cfg0 i d_prev in
+                    apply t best;
+                    Some (best, t_prev)
+                  end
+          end
+        in
+        climb d1 t1
+      end)
+
+(* Algorithm 4: optimize every parallel task's DoP, prioritizing tasks with
+   the lowest throughput, under the region budget.  Returns the optimized
+   throughput, or None if the run ended. *)
+let optimize_dops t =
+  let region = t.region in
+  let pd = Region.scheme region in
+  let d = Region.decima region in
+  let budget = Region.budget region in
+  let par = parallel_tasks pd in
+  let seqs = seq_task_count pd in
+  let navail = max 1 (budget - seqs) in
+  let opt = Hashtbl.create 7 and sat = Hashtbl.create 7 in
+  let result = ref (Some 0.0) in
+  let total_dop () =
+    Array.fold_left ( + ) 0 (Config.dops (Region.config region))
+    - seqs
+  in
+  let continue_ = ref true in
+  while !continue_ && not (finished t) do
+    continue_ := false;
+    (* Sort parallel tasks by ascending measured throughput. *)
+    let order =
+      List.sort
+        (fun a b -> compare (Decima.task_rate d a) (Decima.task_rate d b))
+        par
+    in
+    let rec try_tasks = function
+      | [] -> ()
+      | i :: rest ->
+          let cur = (Config.dops (Region.config region)).(i) in
+          let cap = max 1 (navail - total_dop () + cur) in
+          let needs_opt = not (Hashtbl.mem opt i) in
+          let has_headroom = cur < cap && not (Hashtbl.mem sat i) in
+          if needs_opt || has_headroom then begin
+            (match gradient_ascent t i cap with
+            | None -> result := None
+            | Some (_, thr) ->
+                Hashtbl.replace opt i true;
+                let new_dop = (Config.dops (Region.config region)).(i) in
+                if new_dop >= cap then Hashtbl.remove sat i else Hashtbl.replace sat i true;
+                result := Some thr);
+            if !result <> None then continue_ := true
+          end
+          else try_tasks rest
+    in
+    try_tasks order
+  done;
+  if finished t then None else !result
+
+(* ------------------------------------------------------------------ *)
+(* The finite-state machine (Figure 6.3).                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Default parallel DoP vector for a scheme under the current budget:
+   every parallel task starts at half its fair share (Section 6.4.2). *)
+let default_parallel_config region choice =
+  let pd = List.nth region.Region.schemes choice in
+  let budget = Region.budget region in
+  let par = parallel_tasks pd in
+  let n_par = max 1 (List.length par) in
+  let seqs = seq_task_count pd in
+  let navail = max 1 (budget - seqs) in
+  let fair = max 1 (navail / (2 * n_par)) in
+  let tasks =
+    List.map
+      (fun task -> if task.Task.ttype = Task.Par then Config.task fair else Config.seq_task)
+      pd.Task.tasks
+  in
+  { (Config.make tasks) with Config.choice }
+
+(* One full pass: baseline, then calibrate+optimize every scheme, adopt the
+   best.  [schemes_to_try] lists the choices to explore. *)
+let optimize_pass t ~seq_choice ~par_choices =
+  let region = t.region in
+  (* State 1: sequential baseline. *)
+  enter t Init;
+  (match seq_choice with
+  | Some c ->
+      let pd = List.nth region.Region.schemes c in
+      apply t { (Task.default_config pd) with Config.choice = c };
+      (match measure_iters t t.params.nseq with
+      | Some thr -> t.seq_throughput <- thr
+      | None -> ())
+  | None ->
+      (* No sequential version available: baseline is the default config of
+         the first scheme to try. *)
+      (match par_choices with
+      | c :: _ ->
+          let pd = List.nth region.Region.schemes c in
+          apply t { (Task.default_config pd) with Config.choice = c };
+          (match measure_iters t t.params.nseq with
+          | Some thr -> t.seq_throughput <- thr
+          | None -> ())
+      | [] -> ()));
+  if not (finished t) then begin
+    let best : (Config.t * float) option ref =
+      ref
+        (match seq_choice with
+        | Some c ->
+            let pd = List.nth region.Region.schemes c in
+            Some ({ (Task.default_config pd) with Config.choice = c }, t.seq_throughput)
+        | None -> None)
+    in
+    List.iter
+      (fun choice ->
+        if not (finished t) then begin
+          let budget = Region.budget region in
+          match Hashtbl.find_opt t.cache (choice, budget) with
+          | Some cached ->
+              (* Cache hit: reuse the optimized configuration directly. *)
+              enter t Calibrate;
+              apply t cached;
+              (match measure_iters t t.params.nseq with
+              | Some thr -> (
+                  match !best with
+                  | Some (_, bt) when bt >= thr -> ()
+                  | _ -> best := Some (cached, thr))
+              | None -> ())
+          | None ->
+              (* State 2: calibrate the scheme's default configuration. *)
+              enter t Calibrate;
+              let cfg = default_parallel_config region choice in
+              apply t cfg;
+              (match measure_iters t t.params.nseq with
+              | None -> ()
+              | Some _ -> (
+                  (* State 3: optimize DoPs. *)
+                  enter t Optimize;
+                  match optimize_dops t with
+                  | None -> ()
+                  | Some thr ->
+                      let optimized = Region.config region in
+                      let used = Config.threads optimized in
+                      (* Profitability: parallel efficiency must clear the
+                         floor, else the scheme is not worth its threads. *)
+                      let profitable =
+                        t.seq_throughput <= 0.0
+                        || thr
+                           >= t.params.efficiency_floor *. float_of_int used *. t.seq_throughput
+                      in
+                      if profitable then begin
+                        Hashtbl.replace t.cache (choice, budget) optimized;
+                        match !best with
+                        | Some (_, bt) when bt >= thr -> ()
+                        | _ -> best := Some (optimized, thr)
+                      end))
+        end)
+      par_choices;
+    (* Adopt the best configuration found. *)
+    match !best with
+    | Some (cfg, thr) when not (finished t) ->
+        apply t cfg;
+        t.best_throughput <- thr;
+        t.on_usage (Config.threads cfg)
+    | _ -> ()
+  end
+
+(* The Monitor state (State 4): passively watch throughput; detect workload
+   change (relative drift beyond [change_frac]) and resource change (budget
+   updates from the daemon).  Returns the reason monitoring ended. *)
+let monitor t =
+  enter t Monitor;
+  let d = Region.decima t.region in
+  let last = Decima.task_count d - 1 in
+  let rounds = ref 0 in
+  let reason = ref `Finished in
+  (* Workload drift is detected against the first clean monitor window's
+     raw throughput (fitness units differ per objective, but workload
+     change always shows in the iteration rate). *)
+  let base = ref 0.0 in
+  let continue_ = ref true in
+  while !continue_ && not (finished t) do
+    let snap = Decima.snapshot d in
+    Engine.sleep t.params.monitor_ns;
+    incr rounds;
+    if finished t then continue_ := false
+    else if t.resource_dirty then begin
+      t.resource_dirty <- false;
+      let grew = Region.budget t.region > t.last_budget in
+      t.last_budget <- Region.budget t.region;
+      reason := if grew then `Resources_grew else `Resources_shrank;
+      continue_ := false
+    end
+    else begin
+      let thr = Decima.rate_since d snap last in
+      Series.add t.throughputs ~time:(now_s t) ~value:thr;
+      if !base <= 0.0 then base := thr
+      else if abs_float (thr -. !base) /. !base > t.params.change_frac then begin
+        reason := (if thr < !base then `Workload_slowed else `Workload_sped_up);
+        continue_ := false
+      end;
+      if t.params.max_monitor_rounds > 0 && !rounds >= t.params.max_monitor_rounds then begin
+        reason := `Rounds_exhausted;
+        continue_ := false
+      end
+    end
+  done;
+  !reason
+
+(* Main controller loop: run as the body of a dedicated simulated thread. *)
+let run t =
+  let region = t.region in
+  let seq_choice =
+    List.mapi (fun i pd -> (i, pd)) region.Region.schemes
+    |> List.find_opt (fun (_, pd) -> scheme_is_sequential pd)
+    |> Option.map fst
+  in
+  let par_choices =
+    List.mapi (fun i pd -> (i, pd)) region.Region.schemes
+    |> List.filter (fun (_, pd) -> not (scheme_is_sequential pd))
+    |> List.map fst
+  in
+  t.last_budget <- Region.budget region;
+  let continue_ = ref true in
+  while !continue_ && not (finished t) do
+    optimize_pass t ~seq_choice ~par_choices;
+    if finished t then continue_ := false
+    else begin
+      match monitor t with
+      | `Finished -> continue_ := false
+      | `Rounds_exhausted -> continue_ := false
+      | `Resources_grew | `Workload_sped_up ->
+          (* Keep the current DoP as a starting point; recalibrate. *)
+          ()
+      | `Resources_shrank | `Workload_slowed ->
+          (* Reset: cached configurations for larger budgets do not apply. *)
+          ()
+    end
+  done
+
+(* Spawn the controller on its own simulated thread. *)
+let spawn eng t =
+  Engine.spawn eng ~name:("controller:" ^ t.region.Region.name) (fun () -> run t)

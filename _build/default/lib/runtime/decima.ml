@@ -1,0 +1,128 @@
+(* The Decima monitor (Chapter 6, Section 4.7).
+
+   Decima observes the application through the begin/end hooks Nona (or the
+   programmer) inserts into task functors, and through load callbacks; it
+   observes the platform through a registry of named feature callbacks
+   ("SystemPower", ...).  Everything is per-region and cheap: hook costs are
+   charged to the calling simulated thread at the machine's rdtsc-equivalent
+   cost, and counters are plain mutable fields (the paper implements them in
+   shared memory without synchronization). *)
+
+module Engine = Parcae_sim.Engine
+module Stats = Parcae_util.Stats
+
+type task_stats = {
+  mutable iters : int;  (* completed dynamic instances across all lanes *)
+  mutable compute_ns : int;  (* total CPU time between begin/end hooks *)
+  exec_ewma : Stats.Ewma.t;  (* per-instance compute time estimate, ns *)
+}
+
+type t = {
+  eng : Engine.t;
+  mutable tasks : task_stats array;
+  features : (string, unit -> float) Hashtbl.t;
+  mutable hook_calls : int;
+  mutable completions : int;  (* region-level unit-of-work completions *)
+}
+
+let make_task_stats () = { iters = 0; compute_ns = 0; exec_ewma = Stats.Ewma.create ~alpha:0.2 }
+
+let create eng ~tasks =
+  { eng; tasks = Array.init tasks (fun _ -> make_task_stats ()); features = Hashtbl.create 7; hook_calls = 0; completions = 0 }
+
+(* Re-size and clear task statistics; used when the runtime switches to a
+   parallelization scheme with a different task count. *)
+let reset t ~tasks = t.tasks <- Array.init tasks (fun _ -> make_task_stats ())
+
+let task_count t = Array.length t.tasks
+
+(* ---- Hooks (Section 4.7) ---- *)
+
+(* A hook pair measures the CPU consumed by a worker between begin and end,
+   excluding time spent blocked on channels — the simulator's per-thread
+   busy-time counter gives exactly that.  Each hook costs [machine.hook] ns,
+   modelling the rdtsc reads whose overhead Section 8.3.6 reports. *)
+type hook_slot = { mutable t0 : int; mutable open_ : bool }
+
+let make_slot () = { t0 = 0; open_ = false }
+
+let hook_begin t slot =
+  Engine.compute (Engine.machine t.eng).Parcae_sim.Machine.hook;
+  t.hook_calls <- t.hook_calls + 1;
+  let self = Engine.self () in
+  slot.t0 <- self.Engine.busy_ns;
+  slot.open_ <- true
+
+let hook_end t ~task slot =
+  Engine.compute (Engine.machine t.eng).Parcae_sim.Machine.hook;
+  t.hook_calls <- t.hook_calls + 1;
+  if slot.open_ then begin
+    slot.open_ <- false;
+    let self = Engine.self () in
+    let dt = self.Engine.busy_ns - slot.t0 in
+    if task >= 0 && task < Array.length t.tasks then begin
+      let s = t.tasks.(task) in
+      s.compute_ns <- s.compute_ns + dt;
+      Stats.Ewma.observe s.exec_ewma (float_of_int dt)
+    end
+  end
+
+(* Record the completion of one dynamic instance of task [i]. *)
+let tick t i =
+  if i >= 0 && i < Array.length t.tasks then begin
+    let s = t.tasks.(i) in
+    s.iters <- s.iters + 1
+  end
+
+(* Record the completion of one region-level unit of work (one transcoded
+   video, one answered query, ...). *)
+let complete t = t.completions <- t.completions + 1
+
+let iters t i = t.tasks.(i).iters
+let completions t = t.completions
+let hook_calls t = t.hook_calls
+
+(* Decima's estimate of a task's per-instance execution time in ns
+   (Parcae::getExecTime). *)
+let exec_time t i =
+  let s = t.tasks.(i) in
+  if Stats.Ewma.primed s.exec_ewma then Stats.Ewma.value s.exec_ewma
+  else if s.iters > 0 then float_of_int s.compute_ns /. float_of_int s.iters
+  else 0.0
+
+(* Average observed throughput of task [i] in instances per second, over the
+   whole run so far. *)
+let task_rate t i =
+  let s = t.tasks.(i) in
+  let now = Engine.time t.eng in
+  if now = 0 then 0.0 else float_of_int s.iters /. Engine.seconds_of_ns now
+
+(* ---- Snapshots for interval throughput ---- *)
+
+(* The closed-loop controller compares configurations by the iteration
+   throughput achieved between two snapshots. *)
+type snapshot = { at : int; iters_v : int array; completions_v : int }
+
+let snapshot t =
+  { at = Engine.time t.eng; iters_v = Array.map (fun s -> s.iters) t.tasks; completions_v = t.completions }
+
+(* Iterations per second of task [i] between [a] and the present. *)
+let rate_since t (a : snapshot) i =
+  let dt = Engine.time t.eng - a.at in
+  if dt <= 0 then 0.0
+  else
+    float_of_int (t.tasks.(i).iters - a.iters_v.(i)) /. Engine.seconds_of_ns dt
+
+(* Region-level completions per second since snapshot [a]. *)
+let completion_rate_since t (a : snapshot) =
+  let dt = Engine.time t.eng - a.at in
+  if dt <= 0 then 0.0 else float_of_int (t.completions - a.completions_v) /. Engine.seconds_of_ns dt
+
+let iters_since t (a : snapshot) i = t.tasks.(i).iters - a.iters_v.(i)
+
+(* ---- Platform feature registry (Figure 5.8) ---- *)
+
+let register_feature t name cb = Hashtbl.replace t.features name cb
+
+let feature t name =
+  match Hashtbl.find_opt t.features name with None -> None | Some cb -> Some (cb ())

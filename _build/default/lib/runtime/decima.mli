@@ -1,0 +1,61 @@
+(** The Decima monitor (the paper's Chapter 6 and Section 4.7).
+
+    Decima observes the application through begin/end hooks inserted into
+    task functors and through load callbacks, and the platform through a
+    registry of named feature callbacks.  Hooks cost the machine's
+    rdtsc-equivalent; counters are plain shared-memory fields. *)
+
+type t
+
+val create : Parcae_sim.Engine.t -> tasks:int -> t
+
+val reset : t -> tasks:int -> unit
+(** Re-size and clear statistics (used on parallelization-scheme switch). *)
+
+val task_count : t -> int
+
+(** {1 Hooks}
+
+    A hook pair measures the CPU a worker consumed between begin and end,
+    excluding time blocked on channels. *)
+
+type hook_slot
+
+val make_slot : unit -> hook_slot
+val hook_begin : t -> hook_slot -> unit
+val hook_end : t -> task:int -> hook_slot -> unit
+
+val tick : t -> int -> unit
+(** Record the completion of one dynamic instance of a task. *)
+
+val complete : t -> unit
+(** Record the completion of one region-level unit of work. *)
+
+val iters : t -> int -> int
+val completions : t -> int
+val hook_calls : t -> int
+
+val exec_time : t -> int -> float
+(** Decima's estimate of a task's per-instance execution time in ns
+    (the paper's [Parcae::getExecTime]). *)
+
+val task_rate : t -> int -> float
+(** Average observed completion rate of a task, instances/second, over the
+    whole run. *)
+
+(** {1 Interval throughput}
+
+    The closed-loop controller compares configurations by the throughput
+    achieved between two snapshots. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val rate_since : t -> snapshot -> int -> float
+val completion_rate_since : t -> snapshot -> float
+val iters_since : t -> snapshot -> int -> int
+
+(** {1 Platform feature registry (Figure 5.8)} *)
+
+val register_feature : t -> string -> (unit -> float) -> unit
+val feature : t -> string -> float option

@@ -1,0 +1,272 @@
+(* The Morta executor (Chapters 3 and 6).
+
+   Morta owns the worker threads of every region.  Each worker runs the
+   task-instance loop of Algorithm 2: invoke the task functor; on
+   [task_iterating] count the instance and continue; on [task_paused] or
+   [task_complete] run the task's fini callback, wait for the region's other
+   workers at a barrier, and exit.  Reconfiguration (Section 6.2) pauses the
+   region at a consistent state, applies a new configuration — possibly a
+   different parallelization scheme — and relaunches workers. *)
+
+module Engine = Parcae_sim.Engine
+module Barrier = Parcae_sim.Barrier
+module Config = Parcae_core.Config
+module Task = Parcae_core.Task
+module Task_status = Parcae_core.Task_status
+
+(* ------------------------------------------------------------------ *)
+(* Nested (inner-loop) regions: fixed configuration, run to completion. *)
+(* ------------------------------------------------------------------ *)
+
+(* Execute descriptor [pd] under [cfg] and return when every worker has
+   completed.  Inner regions are not independently reconfigurable: the outer
+   task re-launches them with a new configuration on its next instance,
+   which is exactly how DoP changes reach inner loops in the paper's
+   transcoding example. *)
+let rec run_subregion eng (pd : Task.par_descriptor) (cfg : Config.t) =
+  let tasks = Array.of_list pd.Task.tasks in
+  if Array.length cfg.Config.tasks <> Array.length tasks then
+    invalid_arg ("run_subregion " ^ pd.Task.pd_name ^ ": config arity mismatch");
+  let threads = ref [] in
+  Array.iteri
+    (fun i task ->
+      let tc = cfg.Config.tasks.(i) in
+      for lane = 0 to tc.Config.dop - 1 do
+        let th =
+          Engine.spawn eng
+            ~name:(Printf.sprintf "%s/%s.%d" pd.Task.pd_name task.Task.name lane)
+            (fun () -> subregion_worker eng task tc lane)
+        in
+        threads := th :: !threads
+      done)
+    tasks;
+  List.iter Engine.join (List.rev !threads)
+
+and subregion_worker eng task tc lane =
+  Option.iter (fun f -> f ()) task.Task.init;
+  let iter = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let ctx =
+      {
+        Task.lane;
+        dop = tc.Config.dop;
+        iter = !iter;
+        get_status = (fun () -> Task_status.Iterating);
+        hook_begin = ignore;
+        hook_end = ignore;
+        nested_cfg = tc.Config.nested;
+        run_nested = (fun inner -> run_nested eng task inner);
+      }
+    in
+    match task.Task.body ctx with
+    | Task_status.Iterating -> incr iter
+    | Task_status.Paused | Task_status.Complete -> continue_ := false
+  done;
+  Option.iter (fun f -> f ()) task.Task.fini
+
+(* Instantiate and run the nested descriptor [cfg.choice] of [task]. *)
+and run_nested eng (task : Task.t) (cfg : Config.t) =
+  match List.nth_opt task.Task.nested cfg.Config.choice with
+  | None -> invalid_arg (task.Task.name ^ ": nested choice out of range")
+  | Some nc ->
+      let pd = nc.Task.nc_make () in
+      run_subregion eng pd cfg
+
+(* ------------------------------------------------------------------ *)
+(* Top-level managed regions.                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One worker executing lane [lane] of task [idx] under the region's
+   current configuration.  When its task pauses, completes, or retires (a
+   light resize shrank its lane away), the worker exits; the last active
+   worker publishes the region's new status and wakes Morta. *)
+let region_worker (r : Region.t) (task : Task.t) idx tc lane =
+  Option.iter (fun f -> f ()) task.Task.init;
+  let slot = Decima.make_slot () in
+  let iter = ref 0 in
+  let outcome = ref Task_status.Complete in
+  let continue_ = ref true in
+  while !continue_ do
+    let ctx =
+      {
+        Task.lane;
+        dop = tc.Config.dop;
+        iter = !iter;
+        get_status =
+          (fun () -> if r.Region.pause_requested then Task_status.Paused else Task_status.Iterating);
+        hook_begin = (fun () -> Decima.hook_begin r.Region.decima slot);
+        hook_end = (fun () -> Decima.hook_end r.Region.decima ~task:idx slot);
+        nested_cfg = tc.Config.nested;
+        run_nested = (fun inner -> run_nested r.Region.eng task inner);
+      }
+    in
+    match task.Task.body ctx with
+    | Task_status.Iterating ->
+        Decima.tick r.Region.decima idx;
+        incr iter
+    | Task_status.Paused ->
+        outcome := Task_status.Paused;
+        continue_ := false
+    | Task_status.Complete ->
+        outcome := Task_status.Complete;
+        continue_ := false
+  done;
+  Option.iter (fun f -> f ()) task.Task.fini;
+  if !outcome = Task_status.Complete && idx = 0 then r.Region.master_completed <- true;
+  r.Region.active_workers <- r.Region.active_workers - 1;
+  if r.Region.active_workers = 0 then begin
+    (* Last worker out: decide what the park means. *)
+    if r.Region.master_completed && not r.Region.pause_requested then begin
+      r.Region.status <- Region.Done;
+      Engine.broadcast r.Region.finished
+    end
+    else if r.Region.pause_requested then r.Region.status <- Region.Paused
+    else begin
+      (* All tasks completed without an explicit pause: region is done. *)
+      r.Region.status <- Region.Done;
+      Engine.broadcast r.Region.finished
+    end;
+    Engine.broadcast r.Region.parked
+  end
+
+(* Spawn one worker for lane [lane] of task [idx]. *)
+let spawn_worker (r : Region.t) (task : Task.t) idx tc lane =
+  r.Region.active_workers <- r.Region.active_workers + 1;
+  r.Region.worker_count <- r.Region.worker_count + 1;
+  ignore
+    (Engine.spawn r.Region.eng
+       ~name:(Printf.sprintf "%s/%s.%d" r.Region.name task.Task.name lane)
+       (fun () -> region_worker r task idx tc lane))
+
+(* Spawn the worker teams for the region's current configuration. *)
+let start_workers (r : Region.t) =
+  let pd = Region.scheme r in
+  let tasks = Array.of_list pd.Task.tasks in
+  let cfg = r.Region.config in
+  r.Region.worker_count <- 0;
+  Array.iteri
+    (fun i task ->
+      let tc = cfg.Config.tasks.(i) in
+      for lane = 0 to tc.Config.dop - 1 do
+        spawn_worker r task i tc lane
+      done)
+    tasks;
+  r.Region.status <- Region.Running
+
+(* Launch a region: validate, create, start workers.  Must be called either
+   from outside the engine (before [Engine.run]) or from a simulated
+   thread. *)
+let launch ?budget ?on_pause ?on_reset ~name eng schemes config =
+  let r = Region.create ?budget ?on_pause ?on_reset ~name eng schemes config in
+  start_workers r;
+  r
+
+(* Signal the region to pause and block until every worker has parked.
+   Returns [true] if the region parked in [Paused] (safe to reconfigure),
+   [false] if it raced to completion.  Must run on a simulated thread that
+   is not one of the region's workers (the Morta executive). *)
+let pause (r : Region.t) =
+  match r.Region.status with
+  | Region.Done -> false
+  | Region.Paused -> true
+  | Region.Init | Region.Pausing -> invalid_arg "Executor.pause: bad region state"
+  | Region.Running ->
+      let t0 = Engine.time r.Region.eng in
+      r.Region.pause_requested <- true;
+      r.Region.status <- Region.Pausing;
+      Option.iter (fun f -> f ()) r.Region.on_pause;
+      while r.Region.status = Region.Pausing do
+        Engine.wait_on r.Region.parked
+      done;
+      r.Region.pause_wait_ns <- r.Region.pause_wait_ns + (Engine.time r.Region.eng - t0);
+      r.Region.status = Region.Paused
+
+(* Resume a paused region, optionally under a new configuration. *)
+let resume ?config (r : Region.t) =
+  (match r.Region.status with
+  | Region.Paused -> ()
+  | _ -> invalid_arg "Executor.resume: region not paused");
+  (match config with
+  | None -> ()
+  | Some cfg ->
+      if cfg.Config.choice < 0 || cfg.Config.choice >= List.length r.Region.schemes then
+        invalid_arg "Executor.resume: config.choice out of range";
+      Task.validate_config (List.nth r.Region.schemes cfg.Config.choice) cfg;
+      if cfg.Config.choice <> r.Region.config.Config.choice then begin
+        r.Region.scheme_switches <- r.Region.scheme_switches + 1;
+        Decima.reset r.Region.decima ~tasks:(Array.length cfg.Config.tasks)
+      end;
+      r.Region.config <- cfg);
+  Option.iter (fun f -> f ()) r.Region.on_reset;
+  r.Region.pause_requested <- false;
+  r.Region.master_completed <- false;
+  r.Region.reconfig_count <- r.Region.reconfig_count + 1;
+  start_workers r
+
+(* Whether [cfg] differs from the current configuration only in the DoPs
+   of top-level tasks (same scheme, same nested choices). *)
+let dop_only_change (r : Region.t) (cfg : Config.t) =
+  let cur = r.Region.config in
+  cfg.Config.choice = cur.Config.choice
+  && Array.length cfg.Config.tasks = Array.length cur.Config.tasks
+  && Array.for_all2
+       (fun (a : Config.task_config) (b : Config.task_config) ->
+         match (a.Config.nested, b.Config.nested) with
+         | None, None -> true
+         | Some x, Some y -> Config.equal x y
+         | _ -> false)
+       cfg.Config.tasks cur.Config.tasks
+
+(* Barrier-less DoP reconfiguration (Section 7.2): grown tasks get extra
+   workers immediately; shrunk tasks retire their excess lanes at the
+   epoch boundary the code generator's resize hook establishes.  The
+   sequential stages never stop.  Only valid for DoP-only changes on a
+   scheme whose generated code opted in ([light_resizable]). *)
+let resize (r : Region.t) cfg =
+  (match r.Region.status with
+  | Region.Running when not r.Region.master_completed -> ()
+  | _ -> invalid_arg "Executor.resize: region not running");
+  if not (dop_only_change r cfg) then invalid_arg "Executor.resize: not a DoP-only change";
+  Task.validate_config (Region.scheme r) cfg;
+  r.Region.config <- cfg;
+  r.Region.light_resizes <- r.Region.light_resizes + 1;
+  (* The hook stamps the epoch boundary (the in-band tokens follow when the
+     master crosses it) and says which lanes need new workers; lanes whose
+     previous worker has not retired yet simply continue into the new
+     epoch. *)
+  let spawns = match r.Region.on_resize with Some f -> f cfg | None -> [] in
+  let pd = Region.scheme r in
+  let tasks = Array.of_list pd.Task.tasks in
+  List.iter
+    (fun (i, lane) -> spawn_worker r tasks.(i) i cfg.Config.tasks.(i) lane)
+    spawns
+
+(* The full reconfiguration sequence of Section 6.2: pause, swap the
+   configuration, resume.  No-op if the region completed meanwhile.  If the
+   new configuration equals the current one the region is left running;
+   DoP-only changes on a light-resizable scheme avoid the barrier
+   entirely (Section 7.2). *)
+let reconfigure (r : Region.t) cfg =
+  if not (Region.is_done r) && not (Config.equal cfg r.Region.config) then
+    if
+      r.Region.light_resizable
+      && r.Region.status = Region.Running
+      && (not r.Region.master_completed)
+      && dop_only_change r cfg
+    then resize r cfg
+    else if pause r then resume ~config:cfg r
+
+(* Block until the region completes. *)
+let await (r : Region.t) =
+  while r.Region.status <> Region.Done do
+    Engine.wait_on r.Region.finished
+  done
+
+(* Pause the region and terminate it without resuming (used to shut an
+   experiment down cleanly). *)
+let terminate (r : Region.t) =
+  if pause r then begin
+    r.Region.status <- Region.Done;
+    Engine.broadcast r.Region.finished
+  end

@@ -1,0 +1,35 @@
+(* The Morta executive loop for administrator-selected mechanisms
+   (Section 6.2, Figure 6.1).
+
+   A mechanism is a reconfiguration policy: given a region (with its Decima
+   statistics and thread budget), it proposes a new parallelism
+   configuration or [None] to keep the current one.  [drive] runs the
+   mechanism periodically on a simulated thread, pausing/reconfiguring/
+   resuming the region when the mechanism asks for a change.  The FSM-based
+   default optimizer lives in [Controller]; mechanism implementations live
+   in the [Parcae_mechanisms] library. *)
+
+module Engine = Parcae_sim.Engine
+module Config = Parcae_core.Config
+
+type mechanism = Region.t -> Config.t option
+
+(* Run [mechanism] every [period_ns] until the region completes or [stop]
+   returns true.  Intended as the body of a dedicated simulated thread:
+
+     Engine.spawn eng ~name:"morta" (fun () -> Morta.drive region ...)
+*)
+let drive ?(stop = fun () -> false) ~period_ns ~mechanism (region : Region.t) =
+  while (not (Region.is_done region)) && not (stop ()) do
+    Engine.sleep period_ns;
+    if (not (Region.is_done region)) && not (stop ()) then
+      match mechanism region with
+      | None -> ()
+      | Some cfg -> Executor.reconfigure region cfg
+  done
+
+(* Spawn the executive thread for a region. *)
+let spawn ?stop ~period_ns ~mechanism eng region =
+  Engine.spawn eng
+    ~name:("morta:" ^ region.Region.name)
+    (fun () -> drive ?stop ~period_ns ~mechanism region)

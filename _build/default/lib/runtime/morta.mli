@@ -1,0 +1,25 @@
+(** The Morta executive loop for administrator-selected mechanisms
+    (the paper's Section 6.2 and Figure 6.1).
+
+    A mechanism is a reconfiguration policy: given a region (with its
+    Decima statistics and thread budget) it proposes a new parallelism
+    configuration, or [None] to keep the current one.  Implementations
+    live in the [Parcae_mechanisms] library; the FSM-based default
+    optimizer is {!Controller}. *)
+
+type mechanism = Region.t -> Parcae_core.Config.t option
+
+val drive :
+  ?stop:(unit -> bool) -> period_ns:int -> mechanism:mechanism -> Region.t -> unit
+(** Run the mechanism every [period_ns] until the region completes or
+    [stop ()]; applies proposals via [Executor.reconfigure].  Intended as
+    the body of a dedicated simulated thread. *)
+
+val spawn :
+  ?stop:(unit -> bool) ->
+  period_ns:int ->
+  mechanism:mechanism ->
+  Parcae_sim.Engine.t ->
+  Region.t ->
+  Parcae_sim.Engine.thread
+(** Spawn the executive thread for a region. *)

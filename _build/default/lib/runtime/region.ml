@@ -1,0 +1,107 @@
+(* A parallel region under Morta's control.
+
+   A region is the runtime image of a launched ParDescriptor (Figure 5.1):
+   the set of worker threads executing its tasks, the current parallelism
+   configuration, pause/resume bookkeeping, and the Decima statistics for
+   its tasks.  A region may expose several alternative top-level
+   parallelization schemes (e.g. the SEQ / DOANY / PS-DSWP versions Nona
+   emits, Section 3.2); [config.choice] selects among them. *)
+
+module Engine = Parcae_sim.Engine
+module Barrier = Parcae_sim.Barrier
+module Config = Parcae_core.Config
+module Task = Parcae_core.Task
+
+type status =
+  | Init  (* created, workers not yet started *)
+  | Running  (* workers executing task instances *)
+  | Pausing  (* pause signalled, waiting for workers to park *)
+  | Paused  (* all workers parked; safe to reconfigure *)
+  | Done  (* master task completed; region terminated *)
+
+let status_to_string = function
+  | Init -> "INIT"
+  | Running -> "RUNNING"
+  | Pausing -> "PAUSING"
+  | Paused -> "PAUSED"
+  | Done -> "DONE"
+
+type t = {
+  name : string;
+  eng : Engine.t;
+  schemes : Task.par_descriptor list;
+      (* alternative top-level parallelizations; config.choice picks one *)
+  mutable config : Config.t;
+  mutable status : status;
+  mutable pause_requested : bool;
+  mutable master_completed : bool;
+  mutable budget : int;  (* thread budget assigned by the platform daemon *)
+  decima : Decima.t;
+  parked : Engine.cond;  (* broadcast when all workers have parked *)
+  finished : Engine.cond;  (* broadcast when the region is Done *)
+  mutable active_workers : int;  (* workers currently running *)
+  mutable worker_count : int;
+  on_pause : (unit -> unit) option;
+      (* application callback run when a pause begins; typically injects
+         wake-up sentinels into input queues so blocked workers notice *)
+  on_reset : (unit -> unit) option;
+      (* application callback run between pause and resume; drains leftover
+         sentinels and restores channel consistency (Section 4.5, item 5) *)
+  mutable on_resize : (Parcae_core.Config.t -> (int * int) list) option;
+      (* hook run when a light (barrier-less) DoP resize is applied
+         (Section 7.2); stamps the epoch request and returns the
+         (task index, lane) workers that must be spawned — lanes whose
+         previous worker has not retired yet are NOT re-spawned *)
+  mutable light_resizable : bool;
+      (* whether the current scheme supports barrier-less DoP changes *)
+  mutable light_resizes : int;  (* count of barrier-less reconfigurations *)
+  (* Overhead accounting for Section 8.3.6 / Chapter 7 ablations. *)
+  mutable reconfig_count : int;
+  mutable scheme_switches : int;
+  mutable pause_wait_ns : int;  (* total time spent waiting for parks *)
+}
+
+let create ?(budget = max_int) ?on_pause ?on_reset ~name eng schemes config =
+  (match schemes with [] -> invalid_arg "Region.create: no schemes" | _ -> ());
+  if config.Config.choice < 0 || config.Config.choice >= List.length schemes then
+    invalid_arg "Region.create: config.choice out of range";
+  Task.validate_config (List.nth schemes config.Config.choice) config;
+  {
+    name;
+    eng;
+    schemes;
+    config;
+    status = Init;
+    pause_requested = false;
+    master_completed = false;
+    budget;
+    decima = Decima.create eng ~tasks:(Task.arity (List.nth schemes config.Config.choice));
+    parked = Engine.cond_create ();
+    finished = Engine.cond_create ();
+    active_workers = 0;
+    worker_count = 0;
+    on_pause;
+    on_reset;
+    on_resize = None;
+    light_resizable = false;
+    light_resizes = 0;
+    reconfig_count = 0;
+    scheme_switches = 0;
+    pause_wait_ns = 0;
+  }
+
+(* The ParDescriptor currently selected by the configuration. *)
+let scheme t = List.nth t.schemes t.config.Config.choice
+
+let scheme_name t = (scheme t).Task.pd_name
+let config t = t.config
+let status t = t.status
+let decima t = t.decima
+let budget t = t.budget
+let set_budget t n = t.budget <- max 1 n
+let threads_in_use t = Config.threads t.config
+let is_done t = t.status = Done
+let reconfig_count t = t.reconfig_count
+let light_resizes t = t.light_resizes
+let scheme_switches t = t.scheme_switches
+let pause_wait_ns t = t.pause_wait_ns

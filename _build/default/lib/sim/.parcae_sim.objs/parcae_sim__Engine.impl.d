@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Effect List Machine Parcae_util Printf Queue

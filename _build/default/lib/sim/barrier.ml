@@ -1,0 +1,40 @@
+(* Reusable synchronization barrier.  Morta's unoptimized pause protocol
+   gathers all worker threads of a region at a barrier before reconfiguring
+   (Section 4.5.1); the time fast threads spend here is the "barrier wait"
+   overhead that Section 7.2 eliminates. *)
+
+type t = {
+  name : string;
+  mutable parties : int;
+  mutable arrived : int;
+  mutable generation : int;
+  released : Engine.cond;
+  mutable total_wait_ns : int;  (* aggregate time threads spent waiting *)
+}
+
+let create ~parties name =
+  if parties <= 0 then invalid_arg "Barrier.create: parties must be positive";
+  { name; parties; arrived = 0; generation = 0; released = Engine.cond_create (); total_wait_ns = 0 }
+
+(* Block until [parties] threads have arrived.  Returns [true] for the last
+   thread to arrive (the "serial" thread, by analogy with pthread barriers). *)
+let wait b =
+  let t0 = Engine.now () in
+  let gen = b.generation in
+  b.arrived <- b.arrived + 1;
+  if b.arrived >= b.parties then begin
+    b.arrived <- 0;
+    b.generation <- b.generation + 1;
+    Engine.broadcast b.released;
+    true
+  end
+  else begin
+    while b.generation = gen do
+      Engine.wait_on b.released
+    done;
+    b.total_wait_ns <- b.total_wait_ns + (Engine.now () - t0);
+    false
+  end
+
+let total_wait_ns b = b.total_wait_ns
+let parties b = b.parties

@@ -1,0 +1,20 @@
+(** Reusable synchronization barrier.
+
+    Morta's pause protocol gathers all worker threads of a region at a
+    barrier before reconfiguring (Section 4.5.1 of the paper); the time
+    fast threads spend here is the "barrier wait" overhead Chapter 7
+    analyses. *)
+
+type t
+
+val create : parties:int -> string -> t
+(** @raise Invalid_argument if [parties <= 0]. *)
+
+val wait : t -> bool
+(** Block until [parties] threads have arrived.  Returns [true] for the
+    last thread to arrive (the "serial" thread). *)
+
+val total_wait_ns : t -> int
+(** Aggregate virtual time threads have spent waiting at this barrier. *)
+
+val parties : t -> int

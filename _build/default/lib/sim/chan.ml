@@ -1,0 +1,120 @@
+(* Blocking FIFO channels between simulated threads.
+
+   MTCG-style pipelines use these as the point-to-point communication
+   channels between tasks; workloads also use them as work queues.  Each
+   operation charges the machine's [chan_op] cost to the calling thread,
+   which is how communication overhead erodes parallel efficiency in the
+   simulation (Section 2.3 of the paper).  Channels are multi-producer
+   multi-consumer; used single-producer single-consumer they preserve
+   sequential order, which the pause/reconfigure protocol relies on. *)
+
+type 'a t = {
+  name : string;
+  capacity : int;  (* 0 = unbounded *)
+  q : 'a Queue.t;
+  nonempty : Engine.cond;
+  nonfull : Engine.cond;
+  op_cost : int;
+  mutable total_sent : int;
+  mutable total_received : int;
+}
+
+let create ?(capacity = 0) ?(op_cost = -1) name =
+  {
+    name;
+    capacity;
+    q = Queue.create ();
+    nonempty = Engine.cond_create ();
+    nonfull = Engine.cond_create ();
+    op_cost;
+    total_sent = 0;
+    total_received = 0;
+  }
+
+let cost ch = if ch.op_cost >= 0 then ch.op_cost else (Engine.machine (Engine.engine ())).Machine.chan_op
+
+let length ch = Queue.length ch.q
+let is_empty ch = Queue.is_empty ch.q
+let total_sent ch = ch.total_sent
+let total_received ch = ch.total_received
+
+(* Enqueue [v], blocking while the channel is at capacity. *)
+let send ch v =
+  Engine.compute (cost ch);
+  let rec loop () =
+    if ch.capacity > 0 && Queue.length ch.q >= ch.capacity then begin
+      Engine.wait_on ch.nonfull;
+      loop ()
+    end
+    else begin
+      Queue.push v ch.q;
+      ch.total_sent <- ch.total_sent + 1;
+      Engine.signal ch.nonempty
+    end
+  in
+  loop ()
+
+(* Dequeue, blocking while the channel is empty. *)
+let recv ch =
+  Engine.compute (cost ch);
+  let rec loop () =
+    match Queue.take_opt ch.q with
+    | Some v ->
+        ch.total_received <- ch.total_received + 1;
+        Engine.signal ch.nonfull;
+        v
+    | None ->
+        Engine.wait_on ch.nonempty;
+        loop ()
+  in
+  loop ()
+
+(* Enqueue [v] regardless of capacity.  Control sentinels use this: a lane
+   re-enqueueing a sentinel it just consumed must never block, or the
+   pause/flush protocol could deadlock on a full channel. *)
+let force_send ch v =
+  Engine.compute (cost ch);
+  Queue.push v ch.q;
+  ch.total_sent <- ch.total_sent + 1;
+  Engine.signal ch.nonempty
+
+(* Non-blocking receive. *)
+let try_recv ch =
+  match Queue.take_opt ch.q with
+  | Some v ->
+      Engine.compute (cost ch);
+      ch.total_received <- ch.total_received + 1;
+      Engine.signal ch.nonfull;
+      Some v
+  | None -> None
+
+(* Non-blocking send; [false] if the channel is full. *)
+let try_send ch v =
+  if ch.capacity > 0 && Queue.length ch.q >= ch.capacity then false
+  else begin
+    Engine.compute (cost ch);
+    Queue.push v ch.q;
+    ch.total_sent <- ch.total_sent + 1;
+    Engine.signal ch.nonempty;
+    true
+  end
+
+(* Keep only the items satisfying [keep], preserving order; returns how many
+   were removed.  Used to strip pause sentinels from work queues on
+   resumption without dropping pending requests. *)
+let filter ch keep =
+  let kept = Queue.create () in
+  let removed = ref 0 in
+  Queue.iter (fun v -> if keep v then Queue.push v kept else incr removed) ch.q;
+  Queue.clear ch.q;
+  Queue.transfer kept ch.q;
+  if !removed > 0 then Engine.broadcast ch.nonfull;
+  !removed
+
+(* Discard all queued items; used when the runtime resets communication
+   channels on resumption after a reconfiguration (Section 4.5). *)
+let drain ch =
+  let n = Queue.length ch.q in
+  Queue.clear ch.q;
+  Engine.broadcast ch.nonfull;
+  n

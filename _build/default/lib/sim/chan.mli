@@ -1,0 +1,48 @@
+(** Blocking FIFO channels between simulated threads.
+
+    MTCG-style pipelines use these as point-to-point communication
+    channels; workloads use them as work queues.  Each operation charges
+    the machine's [chan_op] cost to the calling thread — this is how
+    communication overhead erodes parallel efficiency in the simulation.
+    Channels are multi-producer multi-consumer; used single-producer
+    single-consumer they preserve order, which the pause/reconfigure
+    protocol relies on. *)
+
+type 'a t
+
+val create : ?capacity:int -> ?op_cost:int -> string -> 'a t
+(** [create name] makes an unbounded channel; [capacity > 0] bounds it
+    (senders block when full).  [op_cost] overrides the machine's default
+    per-operation cost. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val total_sent : 'a t -> int
+val total_received : 'a t -> int
+
+val send : 'a t -> 'a -> unit
+(** Enqueue, blocking while the channel is at capacity.  Must be called
+    from a simulated thread. *)
+
+val recv : 'a t -> 'a
+(** Dequeue, blocking while the channel is empty. *)
+
+val force_send : 'a t -> 'a -> unit
+(** Enqueue regardless of capacity.  Control sentinels use this: a lane
+    re-enqueueing a sentinel it just consumed must never block, or the
+    pause/flush protocol could deadlock on a full channel. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking receive. *)
+
+val try_send : 'a t -> 'a -> bool
+(** Non-blocking send; [false] if the channel is full. *)
+
+val filter : 'a t -> ('a -> bool) -> int
+(** [filter ch keep] retains only the items satisfying [keep], preserving
+    order; returns how many were removed.  Used to strip pause sentinels
+    from work queues on resumption without dropping pending requests. *)
+
+val drain : 'a t -> int
+(** Discard all queued items; returns how many there were. *)

@@ -1,0 +1,395 @@
+(* Discrete-event multicore simulator.
+
+   This module substitutes for the paper's physical evaluation machines
+   (Table 8.1).  Simulated threads are written in direct style and interact
+   with the engine through OCaml effects: [compute n] consumes [n]
+   nanoseconds of CPU, [wait_on c] blocks on a condition, and so on.  The
+   engine owns a virtual clock, a preemptive round-robin scheduler with a
+   finite number of cores, and integrates platform power over time.
+
+   Determinism: the event queue breaks time ties by insertion order
+   (Pqueue's sequence numbers) and all waiter sets are FIFO queues, so a
+   simulation with a fixed seed always produces the same trace. *)
+
+module Pqueue = Parcae_util.Pqueue
+
+type time = int
+
+(* A condition variable with Mesa semantics: a woken thread must re-check its
+   predicate.  Waiters are FIFO for determinism and fairness. *)
+type cond = { mutable cwaiters : thread Queue.t }
+
+and thread_state =
+  | Created  (* spawned, first turn not yet scheduled *)
+  | Runnable  (* wants CPU, waiting in the run queue *)
+  | Running  (* currently assigned a core *)
+  | Blocked  (* waiting on a condition or timer *)
+  | Finished
+
+and thread = {
+  tid : int;
+  tname : string;
+  mutable state : thread_state;
+  mutable need : int;  (* remaining ns of the current compute burst *)
+  mutable chunk : int;  (* ns of the slice currently executing *)
+  mutable on_core : bool;
+  mutable cont : (unit -> unit) option;  (* resumption closure *)
+  mutable busy_ns : int;  (* total CPU consumed, for utilization stats *)
+  done_cond : cond;  (* broadcast when the thread finishes *)
+  mutable failed : exn option;
+}
+
+type event = Slice_end of thread | Wake of thread
+
+type t = {
+  machine : Machine.t;
+  mutable all_threads : thread list;  (* every thread ever spawned *)
+  events : event Pqueue.t;
+  mutable now : time;
+  run_queue : thread Queue.t;
+  mutable online : int;  (* cores currently made available *)
+  mutable busy : int;  (* cores currently executing a thread *)
+  mutable live : int;  (* threads not yet finished *)
+  mutable tid_counter : int;
+  mutable current : thread option;
+  (* Energy integration: [energy_j] accumulates joules; [last_energy_t] is
+     the last time the accumulator was brought up to date. *)
+  mutable energy_j : float;
+  mutable last_energy_t : time;
+  mutable spawned : int;  (* total threads ever spawned *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Effects performed by simulated threads.                             *)
+(* ------------------------------------------------------------------ *)
+
+type _ Effect.t +=
+  | Compute : int -> unit Effect.t
+  | Now : time Effect.t
+  | Yield : unit Effect.t
+  | Sleep_until : time -> unit Effect.t
+  | Wait_on : cond -> unit Effect.t
+  | Signal : cond -> unit Effect.t
+  | Broadcast : cond -> unit Effect.t
+  | Spawn : (string * (unit -> unit)) -> thread Effect.t
+  | Self : thread Effect.t
+  | Engine_of : t Effect.t
+
+(* Direct-style API used inside thread bodies. *)
+let compute n = if n > 0 then Effect.perform (Compute n)
+let now () = Effect.perform Now
+let yield () = Effect.perform Yield
+let sleep_until t = Effect.perform (Sleep_until t)
+let sleep dt = if dt > 0 then Effect.perform (Sleep_until (Effect.perform Now + dt))
+let wait_on c = Effect.perform (Wait_on c)
+let signal c = Effect.perform (Signal c)
+let broadcast c = Effect.perform (Broadcast c)
+let spawn_thread ~name body = Effect.perform (Spawn (name, body))
+let self () = Effect.perform Self
+let engine () = Effect.perform Engine_of
+
+let cond_create () = { cwaiters = Queue.create () }
+
+exception Thread_failure of string * exn
+
+(* ------------------------------------------------------------------ *)
+(* Engine internals.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let create machine =
+  {
+    machine;
+    all_threads = [];
+    events = Pqueue.create ();
+    now = 0;
+    run_queue = Queue.create ();
+    online = machine.Machine.cores;
+    busy = 0;
+    live = 0;
+    tid_counter = 0;
+    current = None;
+    energy_j = 0.0;
+    last_energy_t = 0;
+    spawned = 0;
+  }
+
+let push_event eng at ev = Pqueue.push eng.events (max at eng.now) ev
+
+(* Bring the energy accumulator up to [eng.now] at the current busy level. *)
+let account_energy eng =
+  let dt = eng.now - eng.last_energy_t in
+  if dt > 0 then begin
+    let watts = Machine.power eng.machine ~busy:eng.busy in
+    eng.energy_j <- eng.energy_j +. (watts *. (float_of_int dt *. 1e-9));
+    eng.last_energy_t <- eng.now
+  end
+
+let set_busy eng b =
+  account_energy eng;
+  eng.busy <- b
+
+(* Assign cores to runnable threads while any are free. *)
+let rec dispatch eng =
+  if eng.busy < eng.online && not (Queue.is_empty eng.run_queue) then begin
+    let th = Queue.pop eng.run_queue in
+    if th.state = Runnable then begin
+      th.state <- Running;
+      th.on_core <- true;
+      set_busy eng (eng.busy + 1);
+      (* Charge the context switch, then run up to one scheduler quantum. *)
+      let chunk = min th.need eng.machine.Machine.time_slice in
+      th.chunk <- chunk;
+      push_event eng (eng.now + eng.machine.Machine.ctx_switch + chunk) (Slice_end th)
+    end;
+    dispatch eng
+  end
+
+let make_runnable eng th =
+  th.state <- Runnable;
+  Queue.push th eng.run_queue;
+  dispatch eng
+
+let release_core eng th =
+  if th.on_core then begin
+    th.on_core <- false;
+    set_busy eng (eng.busy - 1);
+    dispatch eng
+  end
+
+let wake eng th = push_event eng eng.now (Wake th)
+
+let do_signal eng c =
+  match Queue.take_opt c.cwaiters with None -> () | Some th -> wake eng th
+
+let do_broadcast eng c =
+  while not (Queue.is_empty c.cwaiters) do
+    wake eng (Queue.pop c.cwaiters)
+  done
+
+(* Run one "turn" of a thread: resume it and let it execute OCaml code until
+   it performs the next blocking effect (or returns). *)
+let run_turn eng th =
+  match th.cont with
+  | None -> ()
+  | Some go ->
+      th.cont <- None;
+      let saved = eng.current in
+      eng.current <- Some th;
+      go ();
+      eng.current <- saved
+
+let finish eng th =
+  th.state <- Finished;
+  eng.live <- eng.live - 1;
+  release_core eng th;
+  do_broadcast eng th.done_cond
+
+let rec handler eng th : (unit, unit) Effect.Deep.handler =
+  {
+    retc = (fun () -> finish eng th);
+    exnc =
+      (fun e ->
+        th.failed <- Some e;
+        finish eng th;
+        raise (Thread_failure (th.tname, e)));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        let open Effect.Deep in
+        match eff with
+        | Now -> Some (fun (k : (a, unit) continuation) -> continue k eng.now)
+        | Self -> Some (fun (k : (a, unit) continuation) -> continue k th)
+        | Engine_of -> Some (fun (k : (a, unit) continuation) -> continue k eng)
+        | Signal c ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                do_signal eng c;
+                continue k ())
+        | Broadcast c ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                do_broadcast eng c;
+                continue k ())
+        | Spawn (name, body) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let child = spawn eng ~name body in
+                continue k child)
+        | Compute n ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                th.cont <- Some (fun () -> continue k ());
+                th.need <- max 0 n;
+                if th.on_core && eng.busy <= eng.online then begin
+                  (* Already holding a core (burst follows burst): keep it,
+                     no context switch charged. *)
+                  th.state <- Running;
+                  let chunk = min th.need eng.machine.Machine.time_slice in
+                  th.chunk <- chunk;
+                  push_event eng (eng.now + chunk) (Slice_end th)
+                end
+                else begin
+                  (* Either between bursts without a core, or the platform
+                     shrank below the held cores: go through the
+                     scheduler. *)
+                  release_core eng th;
+                  make_runnable eng th
+                end)
+        | Yield ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                th.cont <- Some (fun () -> continue k ());
+                th.need <- 0;
+                release_core eng th;
+                make_runnable eng th)
+        | Sleep_until t' ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                th.cont <- Some (fun () -> continue k ());
+                th.state <- Blocked;
+                release_core eng th;
+                push_event eng (max t' eng.now) (Wake th))
+        | Wait_on c ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                th.cont <- Some (fun () -> continue k ());
+                th.state <- Blocked;
+                release_core eng th;
+                Queue.push th c.cwaiters)
+        | _ -> None);
+  }
+
+(* Create a thread whose first turn will run [body] under this engine's
+   handler.  The thread starts Blocked and is woken immediately, so it begins
+   execution at the current virtual time, after already-queued events. *)
+and spawn eng ~name body : thread =
+  eng.tid_counter <- eng.tid_counter + 1;
+  eng.spawned <- eng.spawned + 1;
+  let th =
+    {
+      tid = eng.tid_counter;
+      tname = name;
+      state = Created;
+      need = 0;
+      chunk = 0;
+      on_core = false;
+      cont = None;
+      busy_ns = 0;
+      done_cond = cond_create ();
+      failed = None;
+    }
+  in
+  eng.live <- eng.live + 1;
+  eng.all_threads <- th :: eng.all_threads;
+  th.cont <- Some (fun () -> Effect.Deep.match_with body () (handler eng th));
+  th.state <- Blocked;
+  push_event eng eng.now (Wake th);
+  th
+
+(* Block the calling simulated thread until [th] finishes. *)
+let join th =
+  while th.state <> Finished do
+    wait_on th.done_cond
+  done
+
+let handle_event eng ev =
+  match ev with
+  | Wake th -> if th.state <> Finished then run_turn eng th
+  | Slice_end th ->
+      if th.state = Running then begin
+        th.need <- th.need - th.chunk;
+        th.busy_ns <- th.busy_ns + th.chunk;
+        if th.need <= 0 then begin
+          (* Burst complete: keep the core and resume the thread; its next
+             effect decides whether the core is released. *)
+          run_turn eng th
+        end
+        else if Queue.is_empty eng.run_queue && eng.busy <= eng.online then begin
+          (* No competition: extend on the same core without a switch. *)
+          let chunk = min th.need eng.machine.Machine.time_slice in
+          th.chunk <- chunk;
+          push_event eng (eng.now + chunk) (Slice_end th)
+        end
+        else begin
+          (* Preempt: go to the back of the run queue. *)
+          release_core eng th;
+          make_runnable eng th
+        end
+      end
+
+(* Process events until the queue is empty or virtual time would exceed
+   [until].  Returns the number of events processed. *)
+let run ?until eng =
+  let processed = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match Pqueue.peek_key eng.events with
+    | None -> continue_ := false
+    | Some t -> (
+        match until with
+        | Some limit when t > limit ->
+            eng.now <- max eng.now limit;
+            account_energy eng;
+            continue_ := false
+        | _ -> (
+            match Pqueue.pop eng.events with
+            | None -> continue_ := false
+            | Some (t, ev) ->
+                eng.now <- max eng.now t;
+                incr processed;
+                handle_event eng ev))
+  done;
+  account_energy eng;
+  !processed
+
+(* ------------------------------------------------------------------ *)
+(* Introspection used by Decima and the benchmark harness.             *)
+(* ------------------------------------------------------------------ *)
+
+let time eng = eng.now
+let busy_cores eng = eng.busy
+
+(* Threads ready to run but not on a core; together with [busy_cores] this
+   measures oversubscription pressure. *)
+let runnable_count eng = Queue.length eng.run_queue
+let online_cores eng = eng.online
+let live_threads eng = eng.live
+let spawned_threads eng = eng.spawned
+
+(* Instantaneous power draw at the current busy-core count. *)
+let instant_power eng = Machine.power eng.machine ~busy:eng.busy
+
+let energy_joules eng =
+  account_energy eng;
+  eng.energy_j
+
+(* Change the number of cores the platform makes available, modelling
+   resource-availability change (Section 8.3.4).  Reducing below the current
+   busy count lets running slices finish; no new assignments happen until
+   enough cores drain. *)
+let set_online_cores eng n =
+  if n < 0 then invalid_arg "Engine.set_online_cores: negative";
+  account_energy eng;
+  eng.online <- n;
+  dispatch eng
+
+let machine eng = eng.machine
+
+(* Convert virtual ns to seconds for reporting. *)
+let seconds_of_ns ns = float_of_int ns *. 1e-9
+
+(* Names and states of the threads still alive — the diagnostic of choice
+   for a simulation that fails to drain. *)
+let live_thread_names eng =
+  List.filter_map
+    (fun th ->
+      if th.state = Finished then None
+      else
+        Some
+          (Printf.sprintf "%s[%s]" th.tname
+             (match th.state with
+             | Created -> "created"
+             | Runnable -> "runnable"
+             | Running -> "running"
+             | Blocked -> "blocked"
+             | Finished -> "finished")))
+    eng.all_threads

@@ -1,0 +1,130 @@
+(** The discrete-event multicore simulator.
+
+    This substitutes for the paper's physical evaluation machines.
+    Simulated threads are written in direct style and interact with the
+    engine through OCaml effects: {!compute} consumes CPU time, {!wait_on}
+    blocks on a condition variable, and so on.  The engine owns a virtual
+    clock (nanoseconds), a preemptive round-robin scheduler over a finite
+    number of cores, and integrates platform power over time.
+
+    Determinism: the event queue breaks time ties by insertion order and
+    all waiter sets are FIFO, so a simulation with a fixed seed always
+    produces the same trace. *)
+
+type time = int
+(** Virtual nanoseconds since the simulation started. *)
+
+type cond
+(** A condition variable with Mesa semantics: a woken thread must re-check
+    its predicate.  Waiters are FIFO. *)
+
+type thread_state = Created | Runnable | Running | Blocked | Finished
+
+type thread = {
+  tid : int;
+  tname : string;
+  mutable state : thread_state;
+  mutable need : int;  (** remaining ns of the current compute burst *)
+  mutable chunk : int;  (** ns of the slice currently executing *)
+  mutable on_core : bool;
+  mutable cont : (unit -> unit) option;  (** resumption closure *)
+  mutable busy_ns : int;  (** total CPU consumed; Decima's hooks read this *)
+  done_cond : cond;  (** broadcast when the thread finishes *)
+  mutable failed : exn option;
+}
+(** A simulated thread.  The record is exposed because the monitor reads
+    [busy_ns] to measure pure compute time across preemptions; treat the
+    other fields as read-only. *)
+
+type t
+(** An engine instance: one simulated platform. *)
+
+exception Thread_failure of string * exn
+(** Raised out of {!run} when a simulated thread raises: carries the
+    thread's name and the original exception. *)
+
+(** {1 Construction and execution} *)
+
+val create : Machine.t -> t
+
+val spawn : t -> name:string -> (unit -> unit) -> thread
+(** Create a thread that will start executing [body] at the current
+    virtual time.  Callable both from outside the engine (setup) and from
+    inside a simulated thread. *)
+
+val run : ?until:time -> t -> int
+(** Process events until the queue is empty or virtual time would exceed
+    [until]; unprocessed events remain, so [run] can be called again to
+    continue.  Returns the number of events processed. *)
+
+(** {1 Effects performed inside simulated threads}
+
+    These functions may only be called from code running under a thread
+    spawned on this engine. *)
+
+val compute : int -> unit
+(** Consume n nanoseconds of CPU, competing for cores and subject to
+    preemption. *)
+
+val now : unit -> time
+(** The current virtual time. *)
+
+val yield : unit -> unit
+(** Give up the core and requeue. *)
+
+val sleep_until : time -> unit
+val sleep : int -> unit
+
+val wait_on : cond -> unit
+(** Block until the condition is signalled.  Mesa semantics: re-check the
+    predicate in a loop. *)
+
+val signal : cond -> unit
+(** Wake one waiter (FIFO). *)
+
+val broadcast : cond -> unit
+(** Wake every waiter. *)
+
+val spawn_thread : name:string -> (unit -> unit) -> thread
+(** Spawn a sibling thread from within a simulated thread. *)
+
+val self : unit -> thread
+val engine : unit -> t
+
+val join : thread -> unit
+(** Block the calling simulated thread until [th] finishes. *)
+
+val cond_create : unit -> cond
+
+(** {1 Introspection} *)
+
+val time : t -> time
+val busy_cores : t -> int
+
+val runnable_count : t -> int
+(** Threads ready to run but not on a core; together with {!busy_cores}
+    this measures oversubscription pressure. *)
+
+val online_cores : t -> int
+val live_threads : t -> int
+val spawned_threads : t -> int
+
+val instant_power : t -> float
+(** Platform power draw at the current busy-core count, watts. *)
+
+val energy_joules : t -> float
+(** Total energy consumed so far, integrated over busy-core changes. *)
+
+val set_online_cores : t -> int -> unit
+(** Change the number of cores the platform makes available, modelling
+    resource-availability change (Section 8.3.4 of the paper).  Reducing
+    below the busy count lets running slices finish first. *)
+
+val machine : t -> Machine.t
+
+val seconds_of_ns : int -> float
+(** Convert virtual ns to seconds for reporting. *)
+
+val live_thread_names : t -> string list
+(** Names and states of the threads still alive — the diagnostic of choice
+    for a simulation that fails to drain. *)

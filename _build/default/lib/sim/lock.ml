@@ -1,0 +1,64 @@
+(* Mutual exclusion between simulated threads.  DOANY-parallelized loops use
+   locks to guard critical sections around commutative operations; the
+   [lock_op] cost plus queueing delay under contention is what makes
+   fine-grained critical sections a measurable overhead (Section 7.4). *)
+
+type t = {
+  name : string;
+  mutable held_by : Engine.thread option;
+  available : Engine.cond;
+  op_cost : int;
+  mutable acquisitions : int;
+  mutable contended : int;  (* acquisitions that had to wait *)
+}
+
+let create ?(op_cost = -1) name =
+  {
+    name;
+    held_by = None;
+    available = Engine.cond_create ();
+    op_cost;
+    acquisitions = 0;
+    contended = 0;
+  }
+
+let cost l = if l.op_cost >= 0 then l.op_cost else (Engine.machine (Engine.engine ())).Machine.lock_op
+
+let acquire l =
+  Engine.compute (cost l);
+  let me = Engine.self () in
+  let waited = ref false in
+  let rec loop () =
+    match l.held_by with
+    | None ->
+        l.held_by <- Some me;
+        l.acquisitions <- l.acquisitions + 1;
+        if !waited then l.contended <- l.contended + 1
+    | Some owner when owner == me -> invalid_arg (l.name ^ ": recursive acquire")
+    | Some _ ->
+        waited := true;
+        Engine.wait_on l.available;
+        loop ()
+  in
+  loop ()
+
+let release l =
+  (match l.held_by with
+  | Some owner when owner == Engine.self () -> ()
+  | _ -> invalid_arg (l.name ^ ": release by non-owner"));
+  l.held_by <- None;
+  Engine.signal l.available
+
+(* Run [f] with the lock held; always releases, even on exception. *)
+let with_lock l f =
+  acquire l;
+  match f () with
+  | v ->
+      release l;
+      v
+  | exception e ->
+      release l;
+      raise e
+
+let acquisitions l = l.acquisitions
+let contended l = l.contended

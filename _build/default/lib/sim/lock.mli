@@ -1,0 +1,27 @@
+(** Mutual exclusion between simulated threads.
+
+    DOANY-parallelized loops guard commutative operations with these
+    locks; the [lock_op] cost plus queueing delay under contention is what
+    makes fine-grained critical sections a measurable overhead
+    (Section 7.4 of the paper). *)
+
+type t
+
+val create : ?op_cost:int -> string -> t
+
+val acquire : t -> unit
+(** Block until the lock is held by the calling thread.
+    @raise Invalid_argument on recursive acquisition. *)
+
+val release : t -> unit
+(** @raise Invalid_argument if the caller does not hold the lock. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Run the function with the lock held; always releases, even on
+    exception. *)
+
+val acquisitions : t -> int
+(** Total successful acquisitions. *)
+
+val contended : t -> int
+(** Acquisitions that had to wait. *)

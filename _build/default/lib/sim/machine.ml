@@ -1,0 +1,77 @@
+(* Platform models.  All times are in nanoseconds of virtual time; the two
+   presets correspond to the evaluation machines of Table 8.1 of the paper.
+
+   The cost constants are not meant to match the exact microarchitectural
+   latencies of the Xeons (which we do not have); they are set to realistic
+   orders of magnitude so that the *relative* effects the paper measures --
+   synchronization overhead eroding parallel efficiency, context-switch cost
+   under oversubscription, negligible monitoring-hook cost -- are present in
+   the simulation. *)
+
+type t = {
+  name : string;  (** human-readable platform name *)
+  cores : int;  (** number of hardware threads *)
+  ghz : float;  (** clock speed, used only for power/energy reporting *)
+  time_slice : int;  (** OS scheduler quantum, ns *)
+  ctx_switch : int;  (** context-switch penalty, ns *)
+  chan_op : int;  (** cost of one channel send/recv, ns *)
+  lock_op : int;  (** cost of an uncontended lock acquire/release pair, ns *)
+  hook : int;  (** cost of one Decima begin/end monitoring hook (rdtsc), ns *)
+  idle_power : float;  (** platform power with all cores idle, watts *)
+  core_power : float;  (** additional power per busy core, watts *)
+}
+
+(* Intel Xeon E5310: 2 sockets x 4 cores, 1.60 GHz, 8 GB (Platform 1). *)
+let xeon_e5310 =
+  {
+    name = "Intel Xeon E5310 (8 threads)";
+    cores = 8;
+    ghz = 1.60;
+    time_slice = 4_000_000;
+    ctx_switch = 2_000;
+    chan_op = 120;
+    lock_op = 80;
+    hook = 15;
+    idle_power = 180.0;
+    core_power = 12.0;
+  }
+
+(* Intel Xeon X7460: 4 sockets x 6 cores, 2.66 GHz, 24 GB (Platform 2).
+   This is the platform the paper uses for the load-sweep experiments. *)
+let xeon_x7460 =
+  {
+    name = "Intel Xeon X7460 (24 threads)";
+    cores = 24;
+    ghz = 2.66;
+    time_slice = 4_000_000;
+    ctx_switch = 2_000;
+    chan_op = 100;
+    lock_op = 60;
+    hook = 12;
+    idle_power = 400.0;
+    core_power = 18.0;
+  }
+
+(* A tiny machine for unit tests: cheap costs, few cores, short slices so
+   preemption paths are exercised quickly. *)
+let test_machine ?(cores = 4) () =
+  {
+    name = Printf.sprintf "test machine (%d threads)" cores;
+    cores;
+    ghz = 1.0;
+    time_slice = 10_000;
+    ctx_switch = 100;
+    chan_op = 10;
+    lock_op = 5;
+    hook = 1;
+    idle_power = 10.0;
+    core_power = 1.0;
+  }
+
+(* Instantaneous platform power draw with [busy] cores active. *)
+let power t ~busy = t.idle_power +. (float_of_int busy *. t.core_power)
+
+(* Peak power: every core busy. *)
+let peak_power t = power t ~busy:t.cores
+
+let pp fmt t = Format.fprintf fmt "%s @@ %.2f GHz" t.name t.ghz

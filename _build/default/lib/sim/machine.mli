@@ -1,0 +1,39 @@
+(** Platform models (Table 8.1 of the paper).
+
+    All times are nanoseconds of virtual time.  The cost constants set
+    realistic orders of magnitude so that the relative effects the paper
+    measures — synchronization overhead eroding parallel efficiency,
+    context-switch cost under oversubscription, negligible monitoring-hook
+    cost — are present in the simulation. *)
+
+type t = {
+  name : string;  (** human-readable platform name *)
+  cores : int;  (** number of hardware threads *)
+  ghz : float;  (** clock speed, used only for reporting *)
+  time_slice : int;  (** OS scheduler quantum, ns *)
+  ctx_switch : int;  (** context-switch penalty, ns *)
+  chan_op : int;  (** cost of one channel send/recv, ns *)
+  lock_op : int;  (** cost of an uncontended lock acquire/release pair, ns *)
+  hook : int;  (** cost of one Decima begin/end hook (rdtsc), ns *)
+  idle_power : float;  (** platform power with all cores idle, watts *)
+  core_power : float;  (** additional power per busy core, watts *)
+}
+
+val xeon_e5310 : t
+(** Platform 1: Intel Xeon E5310, 8 hardware threads at 1.60 GHz. *)
+
+val xeon_x7460 : t
+(** Platform 2: Intel Xeon X7460, 24 hardware threads at 2.66 GHz — the
+    machine used for the paper's load-sweep experiments. *)
+
+val test_machine : ?cores:int -> unit -> t
+(** A tiny machine for unit tests: cheap costs, short scheduler quanta so
+    preemption paths are exercised quickly. *)
+
+val power : t -> busy:int -> float
+(** Instantaneous platform power draw with [busy] cores active. *)
+
+val peak_power : t -> float
+(** Power with every core busy. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(* Power sensor with a limited sampling rate, modelling the AP7892 power
+   distribution unit the paper measures with (Section 8.2.3: 13 samples per
+   minute).  The TPC mechanism reads this sensor; its coarse sampling is what
+   limits how quickly power overshoot can be detected, reproducing the
+   transients in Figure 8.7. *)
+
+type t = {
+  eng : Engine.t;
+  period_ns : int;  (* minimum time between fresh samples *)
+  mutable last_sample_t : int;
+  mutable last_value : float;
+}
+
+(* The paper's PDU samples 13 times per minute: one sample every ~4.6 s. *)
+let ap7892_period_ns = 60_000_000_000 / 13
+
+let create ?(period_ns = ap7892_period_ns) eng =
+  (* The negative initial timestamp guarantees the first read resamples. *)
+  { eng; period_ns; last_sample_t = -period_ns; last_value = Engine.instant_power eng }
+
+(* Read the sensor.  Returns the cached value unless a full sampling period
+   has elapsed, in which case the platform's instantaneous draw is sampled. *)
+let read s =
+  let t = Engine.time s.eng in
+  if t - s.last_sample_t >= s.period_ns then begin
+    s.last_sample_t <- t;
+    s.last_value <- Engine.instant_power s.eng
+  end;
+  s.last_value
+
+(* True instantaneous power, bypassing the sampling limit (used by tests). *)
+let instantaneous s = Engine.instant_power s.eng
+
+let period_ns s = s.period_ns

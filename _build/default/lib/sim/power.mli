@@ -1,0 +1,24 @@
+(** A power sensor with a limited sampling rate, modelling the AP7892
+    power distribution unit the paper measures with (13 samples/minute).
+    The TPC mechanism reads this sensor; its coarse sampling bounds how
+    quickly power overshoot can be detected — the source of the transients
+    in Figure 8.7. *)
+
+type t
+
+val ap7892_period_ns : int
+(** One sample every ~4.6 s: the paper's PDU rate. *)
+
+val create : ?period_ns:int -> Engine.t -> t
+(** A sensor over the given engine's platform (default period:
+    {!ap7892_period_ns}). *)
+
+val read : t -> float
+(** The sensor value in watts: cached unless a full sampling period has
+    elapsed since the last fresh sample. *)
+
+val instantaneous : t -> float
+(** True instantaneous platform draw, bypassing the sampling limit (for
+    tests). *)
+
+val period_ns : t -> int

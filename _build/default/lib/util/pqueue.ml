@@ -1,0 +1,78 @@
+(* Binary min-heap priority queue keyed by [(int, int)] pairs: primary key is
+   the event time, secondary key a monotonically increasing sequence number.
+   The sequence number makes the discrete-event simulator fully
+   deterministic: two events at the same virtual time are processed in
+   insertion order. *)
+
+type 'a entry = { key : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  (* The dummy payload slot is immediately overwritten before first read. *)
+  let ndata = Array.make ncap t.data.(0) in
+  Array.blit t.data 0 ndata 0 t.size;
+  t.data <- ndata
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && lt t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && lt t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+(* Insert [payload] with priority [key]; ties resolve in insertion order. *)
+let push t key payload =
+  let entry = { key; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 entry;
+  if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek_key t = if t.size = 0 then None else Some t.data.(0).key
+
+(* Remove and return the minimum entry as [(key, payload)]. *)
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some (top.key, top.payload)
+  end
+
+let clear t = t.size <- 0

@@ -1,0 +1,22 @@
+(** Binary min-heap priority queue with deterministic tie-breaking.
+
+    Entries with equal keys pop in insertion order, which makes the
+    discrete-event simulator built on top of it fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> int -> 'a -> unit
+(** [push q key payload] inserts with priority [key]; ties resolve in
+    insertion order. *)
+
+val peek_key : 'a t -> int option
+(** Smallest key currently in the queue. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum entry as [(key, payload)]. *)
+
+val clear : 'a t -> unit

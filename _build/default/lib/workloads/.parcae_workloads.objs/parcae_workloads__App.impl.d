@@ -1,0 +1,1 @@
+lib/workloads/app.ml: Float List Metrics Parcae_core Parcae_sim Printf Request String

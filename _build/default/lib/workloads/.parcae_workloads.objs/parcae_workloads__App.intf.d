@@ -1,0 +1,1 @@
+lib/workloads/app.mli: Metrics Parcae_core Parcae_sim Request

@@ -1,0 +1,1 @@
+lib/workloads/bzip.ml: Two_level

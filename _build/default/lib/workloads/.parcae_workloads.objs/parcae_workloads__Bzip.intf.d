@@ -1,0 +1,1 @@
+lib/workloads/bzip.mli: App Parcae_sim Two_level

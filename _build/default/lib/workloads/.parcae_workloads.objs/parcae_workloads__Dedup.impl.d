@@ -1,0 +1,1 @@
+lib/workloads/dedup.ml: Flat_pipeline

@@ -1,0 +1,1 @@
+lib/workloads/dedup.mli: App Flat_pipeline Parcae_sim

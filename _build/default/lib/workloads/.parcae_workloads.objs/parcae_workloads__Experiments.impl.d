@@ -1,0 +1,1 @@
+lib/workloads/experiments.ml: App Load_gen Metrics Parcae_core Parcae_runtime Parcae_sim Parcae_util

@@ -1,0 +1,1 @@
+lib/workloads/experiments.mli: App Engine Machine Parcae_core Parcae_runtime Parcae_sim Parcae_util

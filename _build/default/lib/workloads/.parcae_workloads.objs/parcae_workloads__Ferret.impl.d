@@ -1,0 +1,1 @@
+lib/workloads/ferret.ml: Flat_pipeline

@@ -1,0 +1,1 @@
+lib/workloads/ferret.mli: App Flat_pipeline Parcae_sim

@@ -1,0 +1,1 @@
+lib/workloads/flat_pipeline.ml: App Array List Metrics Parcae_core Parcae_sim Printf Request

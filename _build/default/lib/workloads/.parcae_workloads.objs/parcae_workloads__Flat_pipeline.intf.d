@@ -1,0 +1,1 @@
+lib/workloads/flat_pipeline.mli: App Parcae_sim

@@ -1,0 +1,1 @@
+lib/workloads/gimp_oilify.ml: Two_level

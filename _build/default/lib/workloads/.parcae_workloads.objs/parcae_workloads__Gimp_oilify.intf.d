@@ -1,0 +1,1 @@
+lib/workloads/gimp_oilify.mli: App Parcae_sim Two_level

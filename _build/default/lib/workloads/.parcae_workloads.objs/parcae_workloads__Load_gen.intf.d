@@ -1,0 +1,1 @@
+lib/workloads/load_gen.mli: Chan Engine Metrics Parcae_core Parcae_sim Parcae_util Request

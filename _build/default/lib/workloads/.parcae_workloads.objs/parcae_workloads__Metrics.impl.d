@@ -1,0 +1,1 @@
+lib/workloads/metrics.ml: Array List Parcae_sim Parcae_util Request

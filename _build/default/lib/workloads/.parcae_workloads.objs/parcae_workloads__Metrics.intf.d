@@ -1,0 +1,1 @@
+lib/workloads/metrics.mli: Parcae_sim Parcae_util Request

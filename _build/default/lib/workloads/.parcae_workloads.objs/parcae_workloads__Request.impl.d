@@ -1,0 +1,1 @@
+lib/workloads/request.ml: Float

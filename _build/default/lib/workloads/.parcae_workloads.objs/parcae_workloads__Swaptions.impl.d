@@ -1,0 +1,1 @@
+lib/workloads/swaptions.ml: Two_level

@@ -1,0 +1,1 @@
+lib/workloads/swaptions.mli: App Parcae_sim Two_level

@@ -1,0 +1,1 @@
+lib/workloads/transcode.ml: Two_level

@@ -1,0 +1,1 @@
+lib/workloads/transcode.mli: App Parcae_sim Two_level

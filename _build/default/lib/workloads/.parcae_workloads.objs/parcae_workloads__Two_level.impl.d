@@ -1,0 +1,1 @@
+lib/workloads/two_level.ml: App Array Float List Metrics Parcae_core Parcae_runtime Parcae_sim Printf Request

@@ -1,0 +1,1 @@
+lib/workloads/two_level.mli: App Parcae_core Parcae_sim

@@ -1,0 +1,14 @@
+(** bzip: block compression (Table 8.2; Figure 8.3): per-file
+    read/compress/write pipeline whose minimum profitable inner DoP is 4 —
+    the property that starves WQ-Linear of useful intermediate
+    configurations (the paper's Section 8.2.1). *)
+
+val blocks : int
+val read_ns : int
+val compress_ns : int
+val write_ns : int
+val dpmax : int
+val kind : Two_level.inner_kind
+val make : ?budget:int -> Parcae_sim.Engine.t -> App.t
+val static_outer_name : string
+val static_inner_name : string

@@ -1,0 +1,24 @@
+(* dedup: data deduplication (Table 8.2; Table 8.5).
+
+   Pipeline: fragment -> chunk -> hash -> compress -> write, with the three
+   middle stages parallel and compress dominating.
+
+   Calibration: dedup is memory-bandwidth bound, so its oversubscription
+   sensitivity (alpha) is high — with a thread pool of 24 per stage the
+   cache pollution and context-switch churn erase the benefit, reproducing
+   the paper's Pthreads-OS result of 0.89x (no improvement over the static
+   even distribution).  Coordinated allocation (TBF) moves threads to
+   compress and reaches ~2.4x. *)
+
+let stages =
+  [
+    Flat_pipeline.spec ~name:"fragment" ~cost:500_000 ~par:false;
+    Flat_pipeline.spec ~name:"chunk" ~cost:1_000_000 ~par:true;
+    Flat_pipeline.spec ~name:"hash" ~cost:2_000_000 ~par:true;
+    Flat_pipeline.spec ~name:"compress" ~cost:16_000_000 ~par:true;
+    Flat_pipeline.spec ~name:"write" ~cost:900_000 ~par:false;
+  ]
+
+let alpha = 0.85
+
+let make ?(budget = 24) eng = Flat_pipeline.make ~alpha ~name:"dedup" ~stages ~budget eng

@@ -1,0 +1,8 @@
+(** dedup: data deduplication (Table 8.2; Table 8.5): a five-stage
+    pipeline with compress dominating.  Memory-bandwidth bound, so its
+    oversubscription sensitivity is high — reproducing the paper's
+    Pthreads-OS result of 0.89x. *)
+
+val stages : Flat_pipeline.stage_spec list
+val alpha : float
+val make : ?budget:int -> Parcae_sim.Engine.t -> App.t

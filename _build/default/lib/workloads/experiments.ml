@@ -1,0 +1,162 @@
+(* The experiment harness behind Chapter 8's figures and tables.
+
+   Every experiment follows the paper's methodology (Section 8):
+   - The maximum sustainable throughput of an application is measured by
+     running M requests in parallel across the outer loop with each request
+     processed sequentially; load factor x then means a Poisson arrival rate
+     of x times that maximum.
+   - Server experiments attach a request generator to the work queue, run
+     the region under a mechanism (or a static configuration), and report
+     mean response time, throughput, execution time, and energy.
+   - Batch experiments pre-fill the queue and measure sustained throughput,
+     optionally sampling throughput/power timelines. *)
+
+module Engine = Parcae_sim.Engine
+module Machine = Parcae_sim.Machine
+module Power = Parcae_sim.Power
+module Series = Parcae_util.Series
+module Rng = Parcae_util.Rng
+module Config = Parcae_core.Config
+module Region = Parcae_runtime.Region
+module Executor = Parcae_runtime.Executor
+module Morta = Parcae_runtime.Morta
+
+type result = {
+  mean_response_s : float;
+  p95_response_s : float;
+  mean_exec_s : float;
+  throughput_rps : float;  (* completed requests per second *)
+  completed : int;
+  submitted : int;
+  energy_j : float;
+  sim_end_s : float;
+  reconfigurations : int;
+}
+
+let result_of app region =
+  let m = app.App.metrics in
+  {
+    mean_response_s = Metrics.mean_response m;
+    p95_response_s = Metrics.p95_response m;
+    mean_exec_s = Metrics.mean_exec m;
+    throughput_rps = Metrics.throughput m;
+    completed = Metrics.completed m;
+    submitted = Metrics.submitted m;
+    energy_j = Engine.energy_joules app.App.eng;
+    sim_end_s = Engine.seconds_of_ns (Engine.time app.App.eng);
+    reconfigurations = Region.reconfig_count region;
+  }
+
+(* A mechanism factory: builds the policy for a concrete app instance and
+   its region budget.  [None] runs the launch configuration statically. *)
+type mech = (App.t -> Morta.mechanism) option
+
+(* Launch [app]'s region, attach the generator given by [feed], optionally
+   attach a Morta executive, and run to completion (bounded by
+   [horizon_ns]). *)
+let run_app ~horizon_ns ~config ?mechanism ?(period_ns = 100_000_000) ~feed ~budget app =
+  let eng = app.App.eng in
+  let region =
+    Executor.launch ~budget ~name:app.App.name eng app.App.schemes config
+      ~on_pause:app.App.on_pause ~on_reset:app.App.on_reset
+  in
+  feed app;
+  (match mechanism with
+  | None -> ()
+  | Some f ->
+      let m = f app in
+      let stop () = Region.is_done region in
+      ignore (Morta.spawn ~stop ~period_ns ~mechanism:m eng region));
+  ignore (Engine.run ~until:horizon_ns eng);
+  (app, region)
+
+(* Measure the maximum sustainable throughput (requests/s) of the
+   application: M requests in batch, outer loop wide open, inner loops
+   sequential — exactly the paper's definition of max throughput. *)
+let max_throughput ?(m = 300) ?(seed = 17) ~machine make_app =
+  let eng = Engine.create machine in
+  let app : App.t = make_app ~budget:machine.Machine.cores eng in
+  let rng = Rng.create seed in
+  ignore
+    (Load_gen.spawn_batch ~rng ~m ~queue:app.App.queue ~metrics:app.App.metrics eng);
+  let horizon_ns =
+    (* Generous: m requests, fully serialized, 4x slack. *)
+    m * app.App.seq_request_ns / machine.Machine.cores * 8 + 2_000_000_000
+  in
+  let app, _region =
+    run_app ~horizon_ns ~config:(App.config app "outer-only") ~feed:(fun _ -> ())
+      ~budget:machine.Machine.cores app
+  in
+  Metrics.throughput app.App.metrics
+
+(* For flat pipelines the "outer-only" config doesn't exist; their max
+   throughput baseline is the even static distribution. *)
+let max_throughput_flat ?(m = 300) ?(seed = 17) ~machine make_app =
+  let eng = Engine.create machine in
+  let app : App.t = make_app ~budget:machine.Machine.cores eng in
+  let rng = Rng.create seed in
+  ignore
+    (Load_gen.spawn_batch ~rng ~m ~queue:app.App.queue ~metrics:app.App.metrics eng);
+  let horizon_ns = (m * app.App.seq_request_ns) + 10_000_000_000 in
+  let app, _region =
+    run_app ~horizon_ns ~config:(App.config app "even") ~feed:(fun _ -> ())
+      ~budget:machine.Machine.cores app
+  in
+  Metrics.throughput app.App.metrics
+
+(* Run a server experiment: [m] Poisson arrivals at [rate_per_s], initial
+   configuration [config], optional mechanism. *)
+let run_server ?(m = 300) ?(seed = 42) ?mechanism ?(period_ns = 500_000_000) ~machine
+    ~rate_per_s ~config make_app =
+  let eng = Engine.create machine in
+  let app : App.t = make_app ~budget:machine.Machine.cores eng in
+  let rng = Rng.create seed in
+  let cfg = match config with `Named n -> App.config app n | `Config c -> c in
+  let feed (a : App.t) =
+    ignore
+      (Load_gen.spawn_generator ~rng ~rate_per_s ~m ~queue:a.App.queue
+         ~metrics:a.App.metrics eng)
+  in
+  (* Horizon: arrival span + drain time with 6x slack. *)
+  let arrival_span = float_of_int m /. rate_per_s in
+  let drain = float_of_int (m * app.App.seq_request_ns) *. 1e-9 /. float_of_int machine.Machine.cores in
+  let horizon_ns = int_of_float ((arrival_span +. (6.0 *. drain) +. 30.0) *. 1e9) in
+  let app, region = run_app ~horizon_ns ~config:cfg ?mechanism ~period_ns ~feed ~budget:machine.Machine.cores app in
+  result_of app region
+
+(* Run a batch (throughput) experiment, optionally sampling throughput and
+   power timelines every [sample_ns]. *)
+let run_batch ?(m = 500) ?(seed = 42) ?mechanism ?period_ns ?sample_ns ?power_sensor_period
+    ~machine ~config make_app =
+  let eng = Engine.create machine in
+  let app : App.t = make_app ~budget:machine.Machine.cores eng in
+  let rng = Rng.create seed in
+  let cfg = match config with `Named n -> App.config app n | `Config c -> c in
+  let throughput_tl = Series.create "throughput" in
+  let power_tl = Series.create "power" in
+  let feed (a : App.t) =
+    ignore (Load_gen.spawn_batch ~rng ~m ~queue:a.App.queue ~metrics:a.App.metrics eng)
+  in
+  (match sample_ns with
+  | None -> ()
+  | Some w ->
+      let sensor = Power.create ?period_ns:power_sensor_period eng in
+      ignore
+        (Engine.spawn eng ~name:"sampler" (fun () ->
+             let prev = ref 0 in
+             let stop = ref false in
+             while not !stop do
+               Engine.sleep w;
+               let c = Metrics.completed app.App.metrics in
+               Series.add throughput_tl
+                 ~time:(Engine.seconds_of_ns (Engine.time eng))
+                 ~value:(float_of_int (c - !prev) /. Engine.seconds_of_ns w);
+               Series.add power_tl
+                 ~time:(Engine.seconds_of_ns (Engine.time eng))
+                 ~value:(Power.read sensor);
+               prev := c;
+               if c >= m then stop := true
+             done)));
+  let horizon_ns = (m * app.App.seq_request_ns) + 20_000_000_000 in
+  let app, region = run_app ~horizon_ns ~config:cfg ?mechanism ?period_ns ~feed ~budget:machine.Machine.cores app in
+  (result_of app region, throughput_tl, power_tl)

@@ -1,0 +1,59 @@
+(** The experiment harness behind the paper's Chapter 8 figures and
+    tables: max-throughput calibration, Poisson server runs, and batch
+    throughput runs with optional throughput/power timelines. *)
+
+open Parcae_sim
+
+type result = {
+  mean_response_s : float;
+  p95_response_s : float;
+  mean_exec_s : float;
+  throughput_rps : float;
+  completed : int;
+  submitted : int;
+  energy_j : float;
+  sim_end_s : float;
+  reconfigurations : int;
+}
+
+type mech = (App.t -> Parcae_runtime.Morta.mechanism) option
+(** A mechanism factory for a concrete app instance; [None] runs the
+    launch configuration statically. *)
+
+val max_throughput :
+  ?m:int -> ?seed:int -> machine:Machine.t -> (budget:int -> Engine.t -> App.t) -> float
+(** The paper's definition of max sustainable throughput: M requests in
+    batch, outer loop wide open, inner loops sequential. *)
+
+val max_throughput_flat :
+  ?m:int -> ?seed:int -> machine:Machine.t -> (budget:int -> Engine.t -> App.t) -> float
+(** For flat pipelines (no "outer-only" config): the even static
+    distribution is the baseline. *)
+
+val run_server :
+  ?m:int ->
+  ?seed:int ->
+  ?mechanism:(App.t -> Parcae_runtime.Morta.mechanism) ->
+  ?period_ns:int ->
+  machine:Machine.t ->
+  rate_per_s:float ->
+  config:[ `Named of string | `Config of Parcae_core.Config.t ] ->
+  (budget:int -> Engine.t -> App.t) ->
+  result
+(** [m] Poisson arrivals at [rate_per_s] under the given initial
+    configuration and optional mechanism (invoked every [period_ns],
+    default 500 ms). *)
+
+val run_batch :
+  ?m:int ->
+  ?seed:int ->
+  ?mechanism:(App.t -> Parcae_runtime.Morta.mechanism) ->
+  ?period_ns:int ->
+  ?sample_ns:int ->
+  ?power_sensor_period:int ->
+  machine:Machine.t ->
+  config:[ `Named of string | `Config of Parcae_core.Config.t ] ->
+  (budget:int -> Engine.t -> App.t) ->
+  result * Parcae_util.Series.t * Parcae_util.Series.t
+(** Batch (throughput) run; when [sample_ns] is given, returns throughput
+    and power timelines sampled at that period. *)

@@ -1,0 +1,30 @@
+(* ferret: image search engine (Table 8.2; Figures 6.2, 8.5-8.7,
+   Table 8.5).
+
+   Pipeline: load -> seg -> extract -> vec -> rank -> out, with the four
+   middle stages parallel and rank dominating (Figure 6.2(a)).  The fused
+   scheme collapses seg/extract/vec/rank into one "combined" parallel stage
+   (Figure 6.2(b)).
+
+   Calibration: stage costs (1.5, 3, 2, 12) ms against 0.3 ms sequential
+   ends make the even static distribution (6 threads per stage) rank-bound
+   at 12/6 = 2 ms per query, while a throughput-proportional allocation
+   (TBF) shifts threads to rank, roughly doubling throughput; fusion
+   additionally removes three channel hops per query.  The moderate
+   oversubscription sensitivity (alpha) lets the Pthreads-OS configuration
+   still profit from oversubscription, as the paper observes for ferret
+   (2.12x) but not for the more memory-bound dedup. *)
+
+let stages =
+  [
+    Flat_pipeline.spec ~name:"load" ~cost:300_000 ~par:false;
+    Flat_pipeline.spec ~name:"seg" ~cost:1_500_000 ~par:true;
+    Flat_pipeline.spec ~name:"extract" ~cost:3_000_000 ~par:true;
+    Flat_pipeline.spec ~name:"vec" ~cost:2_000_000 ~par:true;
+    Flat_pipeline.spec ~name:"rank" ~cost:12_000_000 ~par:true;
+    Flat_pipeline.spec ~name:"out" ~cost:300_000 ~par:false;
+  ]
+
+let alpha = 0.065
+
+let make ?(budget = 24) eng = Flat_pipeline.make ~alpha ~name:"ferret" ~stages ~budget eng

@@ -1,0 +1,9 @@
+(** ferret: image search engine (Table 8.2; Figures 6.2, 8.5-8.7,
+    Table 8.5): a six-stage pipeline (load, seg, extract, vec, rank, out)
+    with rank dominating; the fused scheme collapses the four parallel
+    stages.  Oversubscription sensitivity calibrated against the paper's
+    Pthreads-OS 2.12x. *)
+
+val stages : Flat_pipeline.stage_spec list
+val alpha : float
+val make : ?budget:int -> Parcae_sim.Engine.t -> App.t

@@ -1,0 +1,170 @@
+(* Builder for single-level pipeline servers (ferret, dedup — Figure 6.2).
+
+   The first (sequential) stage pulls requests off the external work queue;
+   middle stages are parallel; the last (sequential) stage completes the
+   request.  Two schemes are registered:
+
+   - choice 0: the full pipeline, one task per stage;
+   - choice 1: the fused pipeline, with all parallel stages collapsed into a
+     single parallel task (Figure 6.2(b)) — the task-fusion alternative the
+     TBF mechanism switches to when stage throughputs are badly unbalanced.
+
+   Fusion eliminates the inter-stage channel hops, which is precisely its
+   benefit over FDP's time-multiplexed emulation (Section 6.3.2). *)
+
+module Engine = Parcae_sim.Engine
+module Chan = Parcae_sim.Chan
+module Config = Parcae_core.Config
+module Task = Parcae_core.Task
+module Task_status = Parcae_core.Task_status
+module Pipeline = Parcae_core.Pipeline
+
+type stage_spec = {
+  s_name : string;
+  s_cost : int;  (* per-request ns *)
+  s_par : bool;
+}
+
+let spec ~name ~cost ~par = { s_name = name; s_cost = cost; s_par = par }
+
+(* Build the app.  [stages] must start and end with sequential stages. *)
+let make ?(alpha = 0.05) ?(dpmax = 24) ~name ~stages ~budget eng =
+  let specs = Array.of_list stages in
+  let n = Array.length specs in
+  if n < 3 then invalid_arg "Flat_pipeline.make: need at least 3 stages";
+  if specs.(0).s_par || specs.(n - 1).s_par then
+    invalid_arg "Flat_pipeline.make: first and last stages must be sequential";
+  let queue = Chan.create "work-queue" in
+  let metrics = Metrics.create eng in
+  let work req cost = App.compute_scaled eng ~alpha req cost in
+
+  (* ---- Scheme 0: the full pipeline. ---- *)
+  let q = Array.init (n - 1) (fun i -> Chan.create ~capacity:8 (Printf.sprintf "q%d" i)) in
+  let head =
+    Pipeline.stage ~poll:true ~ttype:Task.Seq ~name:specs.(0).s_name ~input:queue
+      ~load:(Pipeline.load queue)
+      ~forward:(Pipeline.forward_to q.(0))
+      (fun _ctx req ->
+        Request.note_start req ~now:(Engine.now ());
+        work req specs.(0).s_cost;
+        Pipeline.send q.(0) req;
+        Task_status.Iterating)
+  in
+  let middles =
+    List.init (n - 2) (fun s ->
+        let i = s + 1 in
+        Pipeline.stage
+          ~ttype:(if specs.(i).s_par then Task.Par else Task.Seq)
+          ~name:specs.(i).s_name ~input:q.(i - 1)
+          ~load:(Pipeline.load q.(i - 1))
+          ~forward:(Pipeline.forward_to q.(i))
+          (fun ctx req ->
+            ctx.Task.hook_begin ();
+            work req specs.(i).s_cost;
+            ctx.Task.hook_end ();
+            Pipeline.send q.(i) req;
+            Task_status.Iterating))
+  in
+  let tail =
+    Pipeline.stage ~ttype:Task.Seq ~name:specs.(n - 1).s_name ~input:q.(n - 2)
+      ~load:(Pipeline.load q.(n - 2))
+      ~forward:(fun _ -> ())
+      (fun _ctx req ->
+        work req specs.(n - 1).s_cost;
+        Metrics.note_complete metrics req;
+        Task_status.Iterating)
+  in
+  let pipe_stages = (head :: middles) @ [ tail ] in
+  let pipe_pd =
+    Task.descriptor ~name:(name ^ "-pipe") (List.map (fun s -> s.Pipeline.task) pipe_stages)
+  in
+
+  (* ---- Scheme 1: parallel stages fused into one task. ---- *)
+  let fq0 = Chan.create ~capacity:8 "fq0" and fq1 = Chan.create ~capacity:8 "fq1" in
+  let fused_cost =
+    Array.to_list specs |> List.filteri (fun i _ -> i > 0 && i < n - 1)
+    |> List.fold_left (fun acc s -> acc + s.s_cost) 0
+  in
+  let fhead =
+    Pipeline.stage ~poll:true ~ttype:Task.Seq ~name:(specs.(0).s_name ^ "-f") ~input:queue
+      ~load:(Pipeline.load queue)
+      ~forward:(Pipeline.forward_to fq0)
+      (fun _ctx req ->
+        Request.note_start req ~now:(Engine.now ());
+        work req specs.(0).s_cost;
+        Pipeline.send fq0 req;
+        Task_status.Iterating)
+  in
+  let fmid =
+    Pipeline.stage ~ttype:Task.Par ~name:"combined" ~input:fq0 ~load:(Pipeline.load fq0)
+      ~forward:(Pipeline.forward_to fq1)
+      (fun ctx req ->
+        ctx.Task.hook_begin ();
+        work req fused_cost;
+        ctx.Task.hook_end ();
+        Pipeline.send fq1 req;
+        Task_status.Iterating)
+  in
+  let ftail =
+    Pipeline.stage ~ttype:Task.Seq ~name:(specs.(n - 1).s_name ^ "-f") ~input:fq1
+      ~load:(Pipeline.load fq1)
+      ~forward:(fun _ -> ())
+      (fun _ctx req ->
+        work req specs.(n - 1).s_cost;
+        Metrics.note_complete metrics req;
+        Task_status.Iterating)
+  in
+  let fused_pd =
+    Task.descriptor ~name:(name ^ "-fused")
+      (List.map (fun s -> s.Pipeline.task) [ fhead; fmid; ftail ])
+  in
+
+  (* ---- Configurations. ---- *)
+  let n_par = Array.length (Array.of_list (List.filter (fun s -> s.s_par) stages)) in
+  let seqs = n - n_par in
+  let even_share = max 1 (((budget - seqs) + n_par - 1) / max 1 n_par) in
+  let cfg_of per_stage =
+    Config.make
+      (List.map
+         (fun s -> if s.s_par then Config.task per_stage else Config.seq_task)
+         stages)
+  in
+  let cfg_even = cfg_of even_share in
+  let cfg_oversub = cfg_of budget in
+  let cfg_single = cfg_of 1 in
+  let cfg_fused =
+    { (Config.make [ Config.seq_task; Config.task (max 1 (budget - 2)); Config.seq_task ]) with
+      Config.choice = 1
+    }
+  in
+  let loads =
+    Array.init n (fun i ->
+        if not specs.(i).s_par then None
+        else Some (Pipeline.load q.(i - 1)))
+  in
+  {
+    App.name;
+    eng;
+    queue;
+    schemes = [ pipe_pd; fused_pd ];
+    on_pause = (fun () -> Pipeline.inject_flush queue);
+    on_reset =
+      Pipeline.make_reset
+        ~stages:(pipe_stages @ [ fhead; fmid; ftail ])
+        ~channels:((queue :: Array.to_list q) @ [ fq0; fq1 ]);
+    metrics;
+    wq_load = Pipeline.load queue;
+    inner_dop_config = None;
+    per_task_loads = loads;
+    fused_choice = Some 1;
+    dpmax;
+    configs =
+      [
+        ("even", cfg_even);
+        ("oversubscribed", cfg_oversub);
+        ("single", cfg_single);
+        ("fused", cfg_fused);
+      ];
+    default_config = cfg_even;
+    seq_request_ns = Array.fold_left (fun acc s -> acc + s.s_cost) 0 specs;
+  }

@@ -1,0 +1,25 @@
+(** Builder for single-level pipeline servers (ferret, dedup — the paper's
+    Figure 6.2).  Registers two schemes: choice 0 is the full pipeline
+    (one task per stage); choice 1 is the fused pipeline with all parallel
+    stages collapsed into one parallel task (Figure 6.2(b)) — what TBF
+    switches to on heavy stage imbalance.  Named configs: "even",
+    "oversubscribed", "single", "fused". *)
+
+type stage_spec = {
+  s_name : string;
+  s_cost : int;  (** per-request ns *)
+  s_par : bool;
+}
+
+val spec : name:string -> cost:int -> par:bool -> stage_spec
+
+val make :
+  ?alpha:float ->
+  ?dpmax:int ->
+  name:string ->
+  stages:stage_spec list ->
+  budget:int ->
+  Parcae_sim.Engine.t ->
+  App.t
+(** Build the app.  [stages] must start and end with sequential stages.
+    @raise Invalid_argument otherwise. *)

@@ -1,0 +1,22 @@
+(* gimp: image editing with the oilify plugin (Table 8.2; Figure 8.4).
+
+   Structure: outer DOALL over editing requests; per image, a DOALL over
+   tile chunks.  Oilify parallelizes well (little serial work per tile), so
+   the inner loop scales further than swaptions, but per-tile accumulation
+   still costs a short critical section.
+
+   Calibration: 48 tiles of 35 ms with a 1 ms serial portion give a ~1.7 s
+   sequential request with high inner efficiency at 8 threads, matching the
+   paper's <(3, DOALL), (8, DOALL)> static choice. *)
+
+let tiles = 48
+let tile_ns = 35_000_000
+let serial_ns = 1_000_000
+let dpmax = 8
+
+let kind = Two_level.Doall { chunks = tiles; chunk_ns = tile_ns; serial_ns; beta = 0.01 }
+
+let make ?(budget = 24) eng = Two_level.make ~name:"gimp" ~kind ~dpmax ~budget eng
+
+let static_outer_name = "<(24,DOALL),(1,SEQ)>"
+let static_inner_name = "<(3,DOALL),(8,DOALL)>"

@@ -1,0 +1,12 @@
+(** gimp: image editing with the oilify plugin (Table 8.2; Figure 8.4):
+    outer DOALL over edit requests, inner DOALL over tile chunks with
+    little serial work. *)
+
+val tiles : int
+val tile_ns : int
+val serial_ns : int
+val dpmax : int
+val kind : Two_level.inner_kind
+val make : ?budget:int -> Parcae_sim.Engine.t -> App.t
+val static_outer_name : string
+val static_inner_name : string

@@ -1,0 +1,51 @@
+(* Poisson request generator (Section 8's methodology).
+
+   "The arrival of tasks was simulated using a task queuing thread that
+   enqueues tasks to a work queue according to a Poisson distribution.  The
+   average arrival rate determines the load factor on the system."
+
+   The generator runs as a simulated thread: it draws exponential
+   inter-arrival times at the requested rate, stamps each request with its
+   arrival time, enqueues it, and injects an end-of-stream sentinel after
+   the last request so batch experiments terminate cleanly. *)
+
+module Engine = Parcae_sim.Engine
+module Chan = Parcae_sim.Chan
+module Pipeline = Parcae_core.Pipeline
+module Rng = Parcae_util.Rng
+
+(* Generate [m] requests at [rate_per_s] (Poisson) into [queue], recording
+   submissions in [metrics].  Per-request scale factors are gaussian around
+   1.0 with [jitter] relative standard deviation.  When [eos] is set, a
+   flush sentinel follows the last request. *)
+let generator ?(jitter = 0.08) ?(eos = true) ~rng ~rate_per_s ~m ~queue ~metrics () =
+  let next_id = ref 0 in
+  for _ = 1 to m do
+    let gap = Rng.exponential rng ~rate:rate_per_s in
+    Engine.sleep (int_of_float (gap *. 1e9));
+    let scale = Float.max 0.5 (Rng.gaussian rng ~mu:1.0 ~sigma:jitter) in
+    let req = Request.create ~id:!next_id ~arrival_ns:(Engine.now ()) ~scale in
+    incr next_id;
+    Metrics.note_submit metrics;
+    Pipeline.send queue req
+  done;
+  if eos then Pipeline.inject_eos queue
+
+(* Enqueue [m] requests all arriving at time ~0 — the batch mode used by
+   the throughput experiments (Table 8.5, Figures 8.6-8.7).  Like
+   [generator], this is a simulated-thread body. *)
+let batch ?(jitter = 0.08) ?(eos = true) ~rng ~m ~queue ~metrics () =
+  for id = 0 to m - 1 do
+    let scale = Float.max 0.5 (Rng.gaussian rng ~mu:1.0 ~sigma:jitter) in
+    let req = Request.create ~id ~arrival_ns:0 ~scale in
+    Metrics.note_submit metrics;
+    Chan.send queue (Pipeline.Item req)
+  done;
+  if eos then Pipeline.inject_eos queue
+
+let spawn_generator ?jitter ?eos ~rng ~rate_per_s ~m ~queue ~metrics eng =
+  Engine.spawn eng ~name:"load-generator" (fun () ->
+      generator ?jitter ?eos ~rng ~rate_per_s ~m ~queue ~metrics ())
+
+let spawn_batch ?jitter ?eos ~rng ~m ~queue ~metrics eng =
+  Engine.spawn eng ~name:"batch-loader" (fun () -> batch ?jitter ?eos ~rng ~m ~queue ~metrics ())

@@ -1,0 +1,54 @@
+(** Poisson request generation (the paper's Section 8 methodology): a task
+    queuing thread enqueues requests according to a Poisson distribution;
+    the average arrival rate determines the load factor. *)
+
+open Parcae_sim
+
+val generator :
+  ?jitter:float ->
+  ?eos:bool ->
+  rng:Parcae_util.Rng.t ->
+  rate_per_s:float ->
+  m:int ->
+  queue:Request.t Parcae_core.Pipeline.msg Chan.t ->
+  metrics:Metrics.t ->
+  unit ->
+  unit
+(** Generate [m] requests at [rate_per_s] into [queue]; per-request scale
+    factors are gaussian around 1.0 with [jitter] relative stddev; when
+    [eos] (default) an end-of-stream sentinel follows the last request.
+    A simulated-thread body. *)
+
+val batch :
+  ?jitter:float ->
+  ?eos:bool ->
+  rng:Parcae_util.Rng.t ->
+  m:int ->
+  queue:Request.t Parcae_core.Pipeline.msg Chan.t ->
+  metrics:Metrics.t ->
+  unit ->
+  unit
+(** Enqueue [m] requests all arriving at time ~0 — the batch mode of the
+    throughput experiments (Table 8.5, Figures 8.6-8.7).  A
+    simulated-thread body. *)
+
+val spawn_generator :
+  ?jitter:float ->
+  ?eos:bool ->
+  rng:Parcae_util.Rng.t ->
+  rate_per_s:float ->
+  m:int ->
+  queue:Request.t Parcae_core.Pipeline.msg Chan.t ->
+  metrics:Metrics.t ->
+  Engine.t ->
+  Engine.thread
+
+val spawn_batch :
+  ?jitter:float ->
+  ?eos:bool ->
+  rng:Parcae_util.Rng.t ->
+  m:int ->
+  queue:Request.t Parcae_core.Pipeline.msg Chan.t ->
+  metrics:Metrics.t ->
+  Engine.t ->
+  Engine.thread

@@ -1,0 +1,73 @@
+(* Response-time and throughput bookkeeping for the server workloads. *)
+
+module Engine = Parcae_sim.Engine
+module Series = Parcae_util.Series
+module Stats = Parcae_util.Stats
+
+type t = {
+  eng : Engine.t;
+  mutable responses : float list;  (* seconds, newest first *)
+  mutable exec_times : float list;  (* seconds of processing (no queue wait) *)
+  mutable completed : int;
+  mutable submitted : int;
+  mutable first_completion_ns : int;
+  mutable last_completion_ns : int;
+  throughput_series : Series.t;  (* optional live samples *)
+}
+
+let create eng =
+  {
+    eng;
+    responses = [];
+    exec_times = [];
+    completed = 0;
+    submitted = 0;
+    first_completion_ns = -1;
+    last_completion_ns = -1;
+    throughput_series = Series.create "completions";
+  }
+
+let submitted t = t.submitted
+let completed t = t.completed
+let note_submit t = t.submitted <- t.submitted + 1
+
+(* Record the completion of [req] at the current virtual time. *)
+let note_complete t (req : Request.t) =
+  let now = Engine.time t.eng in
+  let resp = Engine.seconds_of_ns (now - req.Request.arrival_ns) in
+  t.responses <- resp :: t.responses;
+  if req.Request.start_ns >= 0 then
+    t.exec_times <- Engine.seconds_of_ns (now - req.Request.start_ns) :: t.exec_times;
+  t.completed <- t.completed + 1;
+  if t.first_completion_ns < 0 then t.first_completion_ns <- now;
+  t.last_completion_ns <- now
+
+let responses t = Array.of_list (List.rev t.responses)
+let exec_times t = Array.of_list (List.rev t.exec_times)
+
+(* Mean per-request execution time (T_exec of Equation 2.1). *)
+let mean_exec t = match t.exec_times with [] -> nan | _ -> Stats.mean (exec_times t)
+
+let mean_response t =
+  match t.responses with [] -> nan | _ -> Stats.mean (responses t)
+
+let p95_response t =
+  match t.responses with [] -> nan | _ -> Stats.percentile 95.0 (responses t)
+
+(* Sustained completion throughput in requests/second, measured from first
+   to last completion (robust to warm-up). *)
+let throughput t =
+  if t.completed < 2 then 0.0
+  else begin
+    let span = t.last_completion_ns - t.first_completion_ns in
+    if span <= 0 then 0.0
+    else float_of_int (t.completed - 1) /. Engine.seconds_of_ns span
+  end
+
+let throughput_series t = t.throughput_series
+
+let sample_throughput t ~window_completed ~window_ns =
+  if window_ns > 0 then
+    Series.add t.throughput_series
+      ~time:(Engine.seconds_of_ns (Engine.time t.eng))
+      ~value:(float_of_int window_completed /. Engine.seconds_of_ns window_ns)

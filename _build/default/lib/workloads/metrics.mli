@@ -1,0 +1,35 @@
+(** Response-time and throughput bookkeeping for the server workloads. *)
+
+type t
+
+val create : Parcae_sim.Engine.t -> t
+
+val submitted : t -> int
+val completed : t -> int
+
+val note_submit : t -> unit
+
+val note_complete : t -> Request.t -> unit
+(** Record the completion of a request at the current virtual time:
+    updates the response-time and execution-time samples. *)
+
+val responses : t -> float array
+(** All response times so far, seconds, in completion order. *)
+
+val exec_times : t -> float array
+(** All execution times (processing only, no queue wait). *)
+
+val mean_response : t -> float
+val p95_response : t -> float
+
+val mean_exec : t -> float
+(** Mean per-request execution time (T_exec of Equation 2.1). *)
+
+val throughput : t -> float
+(** Sustained completion throughput, requests/second, first to last
+    completion. *)
+
+val throughput_series : t -> Parcae_util.Series.t
+
+val sample_throughput : t -> window_completed:int -> window_ns:int -> unit
+(** Append a live throughput sample to {!throughput_series}. *)

@@ -1,0 +1,19 @@
+(* A unit of server work: one video to transcode, one query to answer...
+   Requests carry their arrival time so completion code can compute the
+   end-user response time (Equation 2.1), and a size scale factor so
+   workloads have realistic per-request variation. *)
+
+type t = {
+  id : int;
+  arrival_ns : int;  (* virtual time the request entered the work queue *)
+  scale : float;  (* per-request work multiplier, ~1.0 *)
+  mutable start_ns : int;  (* time processing began; -1 until dequeued *)
+}
+
+let create ~id ~arrival_ns ~scale = { id; arrival_ns; scale; start_ns = -1 }
+
+(* Stamp the moment processing begins (idempotent). *)
+let note_start t ~now = if t.start_ns < 0 then t.start_ns <- now
+
+(* Scale an integer cost by the request's size factor. *)
+let cost t base = int_of_float (Float.round (float_of_int base *. t.scale))

@@ -1,0 +1,18 @@
+(** A unit of server work: one video to transcode, one query to answer.
+    Carries its arrival time so completion code can compute the end-user
+    response time (the paper's Equation 2.1). *)
+
+type t = {
+  id : int;
+  arrival_ns : int;  (** virtual time the request entered the work queue *)
+  scale : float;  (** per-request work multiplier, ~1.0 *)
+  mutable start_ns : int;  (** time processing began; -1 until dequeued *)
+}
+
+val create : id:int -> arrival_ns:int -> scale:float -> t
+
+val note_start : t -> now:int -> unit
+(** Stamp the moment processing begins (idempotent). *)
+
+val cost : t -> int -> int
+(** Scale an integer cost by the request's size factor. *)

@@ -1,0 +1,24 @@
+(* swaptions: option pricing via Monte Carlo simulation (Table 8.2;
+   Figure 8.2).
+
+   Structure: outer DOALL over pricing requests; per request, a DOALL over
+   simulation chunks with a serial reduction update per chunk.
+
+   Calibration: 200 chunks of 7 ms parallel + 0.6 ms serial work give a
+   ~1.5 s sequential request.  The ~8% serial fraction caps the inner
+   speedup per Amdahl (≈4.9x at 8 threads, efficiency ~0.6; efficiency
+   falls through 0.5 soon after), matching the paper's choice of
+   <(3, DOALL), (8, DOALL)> as the latency-optimized static
+   configuration. *)
+
+let chunks = 200
+let chunk_ns = 7_000_000
+let serial_ns = 600_000
+let dpmax = 8
+
+let kind = Two_level.Doall { chunks; chunk_ns; serial_ns; beta = 0.01 }
+
+let make ?(budget = 24) eng = Two_level.make ~name:"swaptions" ~kind ~dpmax ~budget eng
+
+let static_outer_name = "<(24,DOALL),(1,SEQ)>"
+let static_inner_name = "<(3,DOALL),(8,DOALL)>"

@@ -1,0 +1,13 @@
+(** swaptions: option pricing via Monte Carlo (Table 8.2; Figure 8.2):
+    outer DOALL over pricing requests, inner DOALL over simulation chunks
+    with a serial reduction per chunk capping inner scalability per
+    Amdahl. *)
+
+val chunks : int
+val chunk_ns : int
+val serial_ns : int
+val dpmax : int
+val kind : Two_level.inner_kind
+val make : ?budget:int -> Parcae_sim.Engine.t -> App.t
+val static_outer_name : string
+val static_inner_name : string

@@ -1,0 +1,14 @@
+(** x264 video transcoding (Table 8.2; Figures 2.3, 2.4, 8.1): outer DOALL
+    over requests, per-video frame-team parallelism with communication
+    overhead growing with team size.  Calibrated so 8 inner threads give
+    ~6.3x intra-video speedup (dPmax = 8) and inner efficiency decreases
+    smoothly — producing the throughput crossover of Figure 2.4(b). *)
+
+val frames : int
+val frame_ns : int
+val beta : float
+val dpmax : int
+val kind : Two_level.inner_kind
+val make : ?budget:int -> Parcae_sim.Engine.t -> App.t
+val static_outer_name : string
+val static_inner_name : string

@@ -1,0 +1,44 @@
+(** Builder for two-level loop-nest servers (the paper's Figure 2.3 /
+    Section 5.1): an outer DOALL over work-queue requests, each of which
+    can itself be processed in parallel by a pipeline over its items or a
+    DOALL over chunks.  The configuration space is the paper's
+    [<(k, DOALL), (l, PIPE | DOALL | SEQ)>]. *)
+
+type inner_kind =
+  | Pipe of { items : int; stage_ns : int array }
+      (** a pipeline over items; first/last stages sequential, middle
+          parallel (bzip's read / compress / write) *)
+  | Doall of { chunks : int; chunk_ns : int; serial_ns : int; beta : float }
+      (** independent chunks with a serial (critical-section) portion and
+          a communication coefficient inflating per-chunk cost by
+          [1 + beta * (dop - 1)] (x264's inter-frame dependencies) *)
+
+val seq_request_ns : inner_kind -> int
+(** Sequential per-request work. *)
+
+val inner_config : inner_kind -> int -> Parcae_core.Config.t
+(** Inner configuration using [l] threads in total. *)
+
+val inner_threads : inner_kind -> int -> int
+
+val feasible_inner_dops : budget:int -> inner_kind -> int list
+(** Inner DoPs that tile the budget exactly (k * l = budget). *)
+
+val snap_inner_dop : budget:int -> inner_kind -> int -> int
+(** Snap a requested inner DoP down to the nearest feasible value. *)
+
+val make_config : budget:int -> inner_kind -> int -> Parcae_core.Config.t
+(** The full [<(k, DOALL), (l, ...)>] configuration; [l <= 1] turns inner
+    parallelism off and gives every thread to the outer loop. *)
+
+val make :
+  ?alpha:float ->
+  name:string ->
+  kind:inner_kind ->
+  dpmax:int ->
+  budget:int ->
+  Parcae_sim.Engine.t ->
+  App.t
+(** Build the server.  [alpha] is the oversubscription sensitivity;
+    [dpmax] the inner DoP at which parallel efficiency falls to ~0.5 (what
+    WQT-H's light mode uses).  Named configs: "outer-only", "inner-max". *)

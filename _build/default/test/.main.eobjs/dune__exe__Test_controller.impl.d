@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Array Compiler Engine Flex Interp Kernels List Machine Option Parcae_core Parcae_ir Parcae_nona Parcae_runtime Parcae_sim Parcae_util Printf

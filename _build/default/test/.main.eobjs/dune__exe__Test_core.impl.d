@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Chan Config Engine Machine Parcae_core Parcae_sim Pipeline Task Task_status

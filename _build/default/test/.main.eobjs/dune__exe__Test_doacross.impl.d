@@ -1,0 +1,1 @@
+test/test_doacross.ml: Alcotest Array Compiler Doacross Engine Flex Instr Kernels List Loop Machine Parcae_ir Parcae_nona Parcae_pdg Parcae_runtime Parcae_sim Pdg Printf

@@ -1,0 +1,1 @@
+test/test_mechanisms.ml: Alcotest Array Config Decima Engine Executor List Machine Parcae_core Parcae_mechanisms Parcae_runtime Parcae_sim Task Task_status

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Builder Compiler Engine Filename Instr Interp Kernels List Loop Machine Option Parcae_ir Parcae_nona Parcae_runtime Parcae_sim Parser Printf String Sys

@@ -1,0 +1,1 @@
+test/test_resize.ml: Alcotest Compiler Engine Flex Kernels List Machine Parcae_core Parcae_ir Parcae_nona Parcae_runtime Parcae_sim

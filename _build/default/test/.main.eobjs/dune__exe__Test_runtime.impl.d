@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Chan Config Decima Engine Executor List Lock Machine Parcae_core Parcae_runtime Parcae_sim Pipeline Region Task Task_status

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Barrier Buffer Chan Engine List Lock Machine Parcae_sim Power Printf

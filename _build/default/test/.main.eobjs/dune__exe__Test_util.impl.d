@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array List Parcae_util Pqueue Printf QCheck QCheck_alcotest Rng Series Stats String Table

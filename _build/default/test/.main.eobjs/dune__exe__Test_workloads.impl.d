@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest App Dedup Experiments Ferret Machine Option Parcae_mechanisms Parcae_sim Parcae_workloads Printf Transcode

@@ -1,0 +1,18 @@
+(* Test runner aggregating all suites. *)
+let () =
+  Alcotest.run "parcae"
+    [
+      ("util", Test_util.suite);
+      ("sim", Test_sim.suite);
+      ("core", Test_core.suite);
+      ("runtime", Test_runtime.suite);
+      ("workloads", Test_workloads.suite);
+      ("nona", Test_nona.suite);
+      ("controller", Test_controller.suite);
+      ("properties", Test_properties.suite);
+      ("mechanisms", Test_mechanisms.suite);
+      ("doacross", Test_doacross.suite);
+      ("resize", Test_resize.suite);
+      ("failures", Test_failures.suite);
+      ("parser", Test_parser.suite);
+    ]

@@ -1,0 +1,170 @@
+(* Tests for the barrier-less DoP reconfiguration (the paper's
+   Section 7.2): DOANY lane spawn/retire and the in-band epoch protocol on
+   alternating PS-DSWP pipelines, including the guarantee the optimization
+   exists for — sequential stages never stop. *)
+
+open Parcae_ir
+open Parcae_sim
+open Parcae_nona
+module R = Parcae_runtime
+module Config = Parcae_core.Config
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let machine = Machine.xeon_x7460
+
+let launch kernel =
+  let c = Compiler.compile (kernel ()) in
+  let eng = Engine.create machine in
+  let h = Compiler.launch ~budget:24 eng c in
+  (eng, h)
+
+let test_doany_light_grow_shrink () =
+  let eng, h = launch (fun () -> Kernels.blackscholes ~n:3000 ()) in
+  let _ =
+    Engine.spawn eng ~name:"driver" (fun () ->
+        let region = h.Compiler.region in
+        R.Executor.reconfigure region (Compiler.config_for h ~dop:4 "DOANY");
+        List.iter
+          (fun d ->
+            Engine.sleep 2_000_000;
+            if not (R.Region.is_done region) then
+              R.Executor.reconfigure region (Compiler.config_for h ~dop:d "DOANY"))
+          [ 12; 3; 20; 8 ];
+        R.Executor.await region)
+  in
+  ignore (Engine.run eng);
+  let region = h.Compiler.region in
+  check_bool "done" true (R.Region.is_done region);
+  check_bool "semantics" true (Compiler.preserves_semantics h);
+  check_bool "DoP changes were barrier-less" true (R.Region.light_resizes region >= 3);
+  (* Full pauses: the initial SEQ -> DOANY scheme switch, plus possibly one
+     change that raced with the master's completion (the light path refuses
+     regions whose master already finished). *)
+  check_bool "at most one extra full reconfiguration" true
+    (R.Region.reconfig_count region <= 2)
+
+let test_psdswp_light_preserves_order () =
+  (* stringsearch's [S][P][S] pipeline ends in an ordered emit: any
+     misrouting across the epoch boundary breaks the output order, which
+     semantics checking detects. *)
+  let eng, h = launch (fun () -> Kernels.stringsearch ~n:2000 ()) in
+  let _ =
+    Engine.spawn eng ~name:"driver" (fun () ->
+        let region = h.Compiler.region in
+        R.Executor.reconfigure region (Compiler.config_for h ~dop:4 "PS-DSWP");
+        List.iter
+          (fun d ->
+            Engine.sleep 3_000_000;
+            if not (R.Region.is_done region) then
+              R.Executor.reconfigure region (Compiler.config_for h ~dop:d "PS-DSWP"))
+          [ 9; 2; 16; 6; 11 ];
+        R.Executor.await region)
+  in
+  ignore (Engine.run eng);
+  let region = h.Compiler.region in
+  check_bool "done" true (R.Region.is_done region);
+  check_bool "ordered output preserved" true (Compiler.preserves_semantics h);
+  check_bool "resizes were barrier-less" true (R.Region.light_resizes region >= 4)
+
+let test_psdswp_sequential_stages_never_stop () =
+  (* The paper's Figure 7.6 claim: during a barrier-less DoP change the
+     sequential stages keep executing.  We resize while watching the
+     master's iteration counter: it must advance across every resize
+     without the stall a full pause would show. *)
+  let eng, h = launch (fun () -> Kernels.crc32 ~n:4000 ()) in
+  let stalled = ref false in
+  let _ =
+    Engine.spawn eng ~name:"driver" (fun () ->
+        let region = h.Compiler.region in
+        R.Executor.reconfigure region (Compiler.config_for h ~dop:8 "PS-DSWP");
+        Engine.sleep 2_000_000;
+        for d = 9 to 14 do
+          if not (R.Region.is_done region) then begin
+            let before = h.Compiler.rs.Flex.next_iter in
+            R.Executor.resize region (Compiler.config_for h ~dop:d "PS-DSWP");
+            (* A full pause would halt the master for the whole drain; with
+               the light resize it keeps claiming iterations. *)
+            Engine.sleep 500_000;
+            if h.Compiler.rs.Flex.next_iter <= before then stalled := true
+          end
+        done;
+        R.Executor.await region)
+  in
+  ignore (Engine.run eng);
+  check_bool "done" true (R.Region.is_done h.Compiler.region);
+  check_bool "semantics" true (Compiler.preserves_semantics h);
+  check_bool "master never stalled across resizes" false !stalled;
+  check_int "no full pauses beyond the scheme switch" 1
+    (R.Region.reconfig_count h.Compiler.region)
+
+let test_unsupported_scheme_falls_back () =
+  (* DOACROSS does not implement the epoch protocol, so DoP changes on it
+     must go through the full pause. *)
+  let eng, h = launch (fun () -> Kernels.crc32 ~n:2000 ()) in
+  let _ =
+    Engine.spawn eng ~name:"driver" (fun () ->
+        let region = h.Compiler.region in
+        R.Executor.reconfigure region (Compiler.config_for h ~dop:4 "DOACROSS");
+        Engine.sleep 3_000_000;
+        if not (R.Region.is_done region) then
+          R.Executor.reconfigure region (Compiler.config_for h ~dop:8 "DOACROSS");
+        R.Executor.await region)
+  in
+  ignore (Engine.run eng);
+  check_bool "done" true (R.Region.is_done h.Compiler.region);
+  check_bool "semantics" true (Compiler.preserves_semantics h);
+  check_int "no light resizes on DOACROSS" 0 (R.Region.light_resizes h.Compiler.region);
+  check_bool "changes went through the pause" true
+    (R.Region.reconfig_count h.Compiler.region >= 2)
+
+let test_resize_rejects_scheme_change () =
+  let eng, h = launch (fun () -> Kernels.blackscholes ~n:4000 ()) in
+  let checked = ref false in
+  let _ =
+    Engine.spawn eng ~name:"driver" (fun () ->
+        let region = h.Compiler.region in
+        R.Executor.reconfigure region (Compiler.config_for h ~dop:4 "DOANY");
+        (match R.Executor.resize region (Compiler.config_for h ~dop:4 "PS-DSWP") with
+        | () -> ()
+        | exception Invalid_argument _ -> checked := true);
+        R.Executor.await region)
+  in
+  ignore (Engine.run eng);
+  check_bool "scheme change rejected by resize" true !checked
+
+let test_light_resize_interleaved_with_pause () =
+  (* Mix light resizes with full scheme switches; consistency must hold. *)
+  let eng, h = launch (fun () -> Kernels.stringsearch ~n:2500 ()) in
+  let _ =
+    Engine.spawn eng ~name:"driver" (fun () ->
+        let region = h.Compiler.region in
+        R.Executor.reconfigure region (Compiler.config_for h ~dop:6 "PS-DSWP");
+        Engine.sleep 3_000_000;
+        R.Executor.reconfigure region (Compiler.config_for h ~dop:10 "PS-DSWP");
+        Engine.sleep 3_000_000;
+        R.Executor.reconfigure region (Compiler.config_for h "SEQ");
+        Engine.sleep 1_000_000;
+        R.Executor.reconfigure region (Compiler.config_for h ~dop:5 "PS-DSWP");
+        Engine.sleep 3_000_000;
+        R.Executor.reconfigure region (Compiler.config_for h ~dop:12 "PS-DSWP");
+        R.Executor.await region)
+  in
+  ignore (Engine.run eng);
+  check_bool "done" true (R.Region.is_done h.Compiler.region);
+  check_int "every iteration exactly once" 2500 h.Compiler.rs.Flex.next_iter;
+  check_bool "semantics" true (Compiler.preserves_semantics h);
+  check_bool "some resizes were light" true (R.Region.light_resizes h.Compiler.region >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "resize: DOANY grow/shrink" `Quick test_doany_light_grow_shrink;
+    Alcotest.test_case "resize: PS-DSWP order preserved" `Quick test_psdswp_light_preserves_order;
+    Alcotest.test_case "resize: sequential stages never stop" `Quick
+      test_psdswp_sequential_stages_never_stop;
+    Alcotest.test_case "resize: unsupported scheme falls back" `Quick
+      test_unsupported_scheme_falls_back;
+    Alcotest.test_case "resize: rejects scheme change" `Quick test_resize_rejects_scheme_change;
+    Alcotest.test_case "resize: interleaved with pauses" `Quick test_light_resize_interleaved_with_pause;
+  ]

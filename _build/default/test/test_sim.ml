@@ -1,0 +1,382 @@
+(* Tests for the discrete-event multicore simulator: clock behaviour,
+   scheduling and preemption, channels, locks, barriers, power accounting,
+   and determinism. *)
+
+open Parcae_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let machine ?(cores = 4) () = Machine.test_machine ~cores ()
+
+(* Zero-cost machine for tests that reason about exact virtual times. *)
+let exact_machine ?(cores = 4) () =
+  {
+    (machine ~cores ()) with
+    Machine.ctx_switch = 0;
+    chan_op = 0;
+    lock_op = 0;
+    time_slice = 1_000_000_000;
+  }
+
+let test_single_compute () =
+  let eng = Engine.create (exact_machine ()) in
+  let finished_at = ref (-1) in
+  let _ =
+    Engine.spawn eng ~name:"worker" (fun () ->
+        Engine.compute 1000;
+        finished_at := Engine.now ())
+  in
+  ignore (Engine.run eng);
+  check_int "compute advances clock" 1000 !finished_at
+
+let test_parallel_computes () =
+  (* Two threads, two cores: both finish at t=1000. *)
+  let eng = Engine.create (exact_machine ~cores:2 ()) in
+  let t1 = ref 0 and t2 = ref 0 in
+  let _ = Engine.spawn eng ~name:"a" (fun () -> Engine.compute 1000; t1 := Engine.now ()) in
+  let _ = Engine.spawn eng ~name:"b" (fun () -> Engine.compute 1000; t2 := Engine.now ()) in
+  ignore (Engine.run eng);
+  check_int "a" 1000 !t1;
+  check_int "b" 1000 !t2
+
+let test_oversubscription_serializes () =
+  (* Two threads, one core: total work is serialized. *)
+  let eng = Engine.create (exact_machine ~cores:1 ()) in
+  let done_times = ref [] in
+  for i = 1 to 2 do
+    ignore
+      (Engine.spawn eng
+         ~name:(Printf.sprintf "w%d" i)
+         (fun () ->
+           Engine.compute 1000;
+           done_times := Engine.now () :: !done_times))
+  done;
+  ignore (Engine.run eng);
+  let latest = List.fold_left max 0 !done_times in
+  check_int "serialized" 2000 latest
+
+let test_preemption_interleaves () =
+  (* One core, tiny time slice: the short thread must not wait for the whole
+     long burst, proving preemption works. *)
+  let m = { (exact_machine ~cores:1 ()) with Machine.time_slice = 100 } in
+  let eng = Engine.create m in
+  let short_done = ref 0 in
+  let _ = Engine.spawn eng ~name:"long" (fun () -> Engine.compute 100_000) in
+  let _ = Engine.spawn eng ~name:"short" (fun () -> Engine.compute 100; short_done := Engine.now ()) in
+  ignore (Engine.run eng);
+  check_bool "short finished well before long" true (!short_done < 10_000);
+  check_bool "short waited at least one slice" true (!short_done >= 100)
+
+let test_sleep () =
+  let eng = Engine.create (exact_machine ()) in
+  let woke = ref 0 in
+  let _ =
+    Engine.spawn eng ~name:"sleeper" (fun () ->
+        Engine.sleep 5000;
+        woke := Engine.now ())
+  in
+  ignore (Engine.run eng);
+  check_int "sleep duration" 5000 !woke
+
+let test_spawn_from_thread_and_join () =
+  let eng = Engine.create (exact_machine ()) in
+  let result = ref 0 in
+  let _ =
+    Engine.spawn eng ~name:"parent" (fun () ->
+        let child =
+          Engine.spawn_thread ~name:"child" (fun () ->
+              Engine.compute 700;
+              result := 42)
+        in
+        Engine.join child;
+        check_int "child ran before join returned" 42 !result;
+        result := !result + 1)
+  in
+  ignore (Engine.run eng);
+  check_int "parent observed child" 43 !result
+
+let test_cond_signal_wakes_fifo () =
+  let eng = Engine.create (exact_machine ()) in
+  let order = ref [] in
+  let c = Engine.cond_create () in
+  let waiter name =
+    Engine.spawn eng ~name (fun () ->
+        Engine.wait_on c;
+        order := name :: !order)
+  in
+  let _ = waiter "first" in
+  let _ = waiter "second" in
+  let _ =
+    Engine.spawn eng ~name:"signaller" (fun () ->
+        Engine.compute 10;
+        Engine.signal c;
+        Engine.signal c)
+  in
+  ignore (Engine.run eng);
+  Alcotest.(check (list string)) "FIFO wakeup" [ "first"; "second" ] (List.rev !order)
+
+let test_chan_fifo () =
+  let eng = Engine.create (exact_machine ()) in
+  let ch = Chan.create "c" in
+  let received = ref [] in
+  let _ =
+    Engine.spawn eng ~name:"producer" (fun () ->
+        for i = 1 to 5 do
+          Chan.send ch i
+        done)
+  in
+  let _ =
+    Engine.spawn eng ~name:"consumer" (fun () ->
+        for _ = 1 to 5 do
+          received := Chan.recv ch :: !received
+        done)
+  in
+  ignore (Engine.run eng);
+  Alcotest.(check (list int)) "order preserved" [ 1; 2; 3; 4; 5 ] (List.rev !received)
+
+let test_chan_blocking_recv () =
+  let eng = Engine.create (exact_machine ()) in
+  let ch = Chan.create "c" in
+  let got_at = ref 0 in
+  let _ =
+    Engine.spawn eng ~name:"consumer" (fun () ->
+        let v = Chan.recv ch in
+        got_at := Engine.now ();
+        check_int "value" 99 v)
+  in
+  let _ =
+    Engine.spawn eng ~name:"producer" (fun () ->
+        Engine.sleep 2000;
+        Chan.send ch 99)
+  in
+  ignore (Engine.run eng);
+  check_bool "consumer blocked until send" true (!got_at >= 2000)
+
+let test_chan_capacity_blocks_sender () =
+  let eng = Engine.create (exact_machine ()) in
+  let ch = Chan.create ~capacity:2 "c" in
+  let sent_all_at = ref 0 in
+  let _ =
+    Engine.spawn eng ~name:"producer" (fun () ->
+        for i = 1 to 3 do
+          Chan.send ch i
+        done;
+        sent_all_at := Engine.now ())
+  in
+  let _ =
+    Engine.spawn eng ~name:"consumer" (fun () ->
+        Engine.sleep 5000;
+        ignore (Chan.recv ch);
+        ignore (Chan.recv ch);
+        ignore (Chan.recv ch))
+  in
+  ignore (Engine.run eng);
+  check_bool "third send blocked on capacity" true (!sent_all_at >= 5000)
+
+let test_chan_try_ops () =
+  let eng = Engine.create (exact_machine ()) in
+  let ch = Chan.create ~capacity:1 "c" in
+  let _ =
+    Engine.spawn eng ~name:"t" (fun () ->
+        Alcotest.(check (option int)) "empty try_recv" None (Chan.try_recv ch);
+        check_bool "try_send ok" true (Chan.try_send ch 1);
+        check_bool "try_send full" false (Chan.try_send ch 2);
+        Alcotest.(check (option int)) "try_recv" (Some 1) (Chan.try_recv ch))
+  in
+  ignore (Engine.run eng);
+  ()
+
+let test_chan_drain () =
+  let eng = Engine.create (exact_machine ()) in
+  let ch = Chan.create "c" in
+  let drained = ref (-1) in
+  let _ =
+    Engine.spawn eng ~name:"t" (fun () ->
+        Chan.send ch 1;
+        Chan.send ch 2;
+        drained := Chan.drain ch;
+        check_int "empty after drain" 0 (Chan.length ch))
+  in
+  ignore (Engine.run eng);
+  check_int "drained two" 2 !drained
+
+let test_lock_mutual_exclusion () =
+  let eng = Engine.create (exact_machine ~cores:4 ()) in
+  let l = Lock.create "l" in
+  let counter = ref 0 in
+  let max_inside = ref 0 and inside = ref 0 in
+  for i = 1 to 4 do
+    ignore
+      (Engine.spawn eng
+         ~name:(Printf.sprintf "w%d" i)
+         (fun () ->
+           for _ = 1 to 50 do
+             Lock.with_lock l (fun () ->
+                 incr inside;
+                 max_inside := max !max_inside !inside;
+                 Engine.compute 10;
+                 incr counter;
+                 decr inside)
+           done))
+  done;
+  ignore (Engine.run eng);
+  check_int "all increments" 200 !counter;
+  check_int "never two inside" 1 !max_inside
+
+let test_barrier () =
+  let eng = Engine.create (exact_machine ~cores:4 ()) in
+  let b = Barrier.create ~parties:3 "b" in
+  let after = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (Engine.spawn eng
+         ~name:(Printf.sprintf "w%d" i)
+         (fun () ->
+           Engine.compute (i * 1000);
+           ignore (Barrier.wait b);
+           after := Engine.now () :: !after))
+  done;
+  ignore (Engine.run eng);
+  List.iter (fun t -> check_int "released together at slowest" 3000 t) !after
+
+let test_barrier_reusable () =
+  let eng = Engine.create (exact_machine ~cores:2 ()) in
+  let b = Barrier.create ~parties:2 "b" in
+  let rounds = ref 0 in
+  for i = 1 to 2 do
+    ignore
+      (Engine.spawn eng
+         ~name:(Printf.sprintf "w%d" i)
+         (fun () ->
+           for _ = 1 to 3 do
+             Engine.compute 100;
+             if Barrier.wait b then incr rounds
+           done))
+  done;
+  ignore (Engine.run eng);
+  check_int "three rounds, one serial thread each" 3 !rounds
+
+let test_energy_accounting () =
+  (* One core busy for 1 second of virtual time on the test machine:
+     energy = (idle 10 W + 1 busy W) * 1 s = 11 J. *)
+  let eng = Engine.create (exact_machine ~cores:1 ()) in
+  let _ = Engine.spawn eng ~name:"w" (fun () -> Engine.compute 1_000_000_000) in
+  ignore (Engine.run eng);
+  let e = Engine.energy_joules eng in
+  Alcotest.(check (float 0.01)) "energy" 11.0 e
+
+let test_power_sensor_sampling () =
+  let eng = Engine.create (exact_machine ~cores:2 ()) in
+  let sensor = Power.create ~period_ns:1000 eng in
+  let readings = ref [] in
+  let _ =
+    Engine.spawn eng ~name:"load" (fun () -> Engine.compute 10_000)
+  in
+  let _ =
+    Engine.spawn eng ~name:"monitor" (fun () ->
+        for _ = 1 to 5 do
+          readings := Power.read sensor :: !readings;
+          Engine.sleep 1000
+        done)
+  in
+  ignore (Engine.run eng);
+  check_int "five readings" 5 (List.length !readings);
+  (* With one busy core the true draw is idle + 1*core = 11 W. *)
+  check_bool "sensor sees busy power" true (List.exists (fun p -> p > 10.5) !readings)
+
+let test_set_online_cores () =
+  (* Start with 2 cores, cut to 1: the two 1000-ns bursts that follow must
+     serialize. *)
+  let eng = Engine.create (exact_machine ~cores:2 ()) in
+  let finish = ref [] in
+  let worker name =
+    Engine.spawn eng ~name (fun () ->
+        Engine.sleep 100;
+        Engine.compute 1000;
+        finish := Engine.now () :: !finish)
+  in
+  let _ = worker "a" in
+  let _ = worker "b" in
+  Engine.set_online_cores eng 1;
+  ignore (Engine.run eng);
+  let latest = List.fold_left max 0 !finish in
+  check_int "serialized after core removal" 2100 latest
+
+let test_determinism () =
+  let run_once () =
+    let eng = Engine.create (machine ~cores:3 ()) in
+    let ch = Chan.create "c" in
+    let log = Buffer.create 64 in
+    for i = 1 to 3 do
+      ignore
+        (Engine.spawn eng
+           ~name:(Printf.sprintf "p%d" i)
+           (fun () ->
+             for j = 1 to 10 do
+               Engine.compute ((i * 37) + j);
+               Chan.send ch ((i * 100) + j)
+             done))
+    done;
+    let _ =
+      Engine.spawn eng ~name:"consumer" (fun () ->
+          for _ = 1 to 30 do
+            Buffer.add_string log (string_of_int (Chan.recv ch));
+            Buffer.add_char log ','
+          done)
+    in
+    ignore (Engine.run eng);
+    (Buffer.contents log, Engine.time eng)
+  in
+  let l1, t1 = run_once () in
+  let l2, t2 = run_once () in
+  Alcotest.(check string) "identical traces" l1 l2;
+  check_int "identical end times" t1 t2
+
+let test_thread_failure_surfaces () =
+  let eng = Engine.create (exact_machine ()) in
+  let _ = Engine.spawn eng ~name:"bad" (fun () -> failwith "boom") in
+  Alcotest.check_raises "failure propagates"
+    (Engine.Thread_failure ("bad", Failure "boom"))
+    (fun () -> ignore (Engine.run eng))
+
+let test_run_until () =
+  let eng = Engine.create (exact_machine ()) in
+  let steps = ref 0 in
+  let _ =
+    Engine.spawn eng ~name:"ticker" (fun () ->
+        for _ = 1 to 100 do
+          Engine.sleep 100;
+          incr steps
+        done)
+  in
+  ignore (Engine.run ~until:550 eng);
+  check_int "stopped mid-way" 5 !steps;
+  check_int "clock at limit" 550 (Engine.time eng);
+  ignore (Engine.run eng);
+  check_int "resumed to completion" 100 !steps
+
+let suite =
+  [
+    Alcotest.test_case "engine: single compute" `Quick test_single_compute;
+    Alcotest.test_case "engine: parallel computes" `Quick test_parallel_computes;
+    Alcotest.test_case "engine: oversubscription serializes" `Quick test_oversubscription_serializes;
+    Alcotest.test_case "engine: preemption" `Quick test_preemption_interleaves;
+    Alcotest.test_case "engine: sleep" `Quick test_sleep;
+    Alcotest.test_case "engine: spawn/join" `Quick test_spawn_from_thread_and_join;
+    Alcotest.test_case "engine: cond FIFO" `Quick test_cond_signal_wakes_fifo;
+    Alcotest.test_case "chan: fifo" `Quick test_chan_fifo;
+    Alcotest.test_case "chan: blocking recv" `Quick test_chan_blocking_recv;
+    Alcotest.test_case "chan: capacity" `Quick test_chan_capacity_blocks_sender;
+    Alcotest.test_case "chan: try ops" `Quick test_chan_try_ops;
+    Alcotest.test_case "chan: drain" `Quick test_chan_drain;
+    Alcotest.test_case "lock: mutual exclusion" `Quick test_lock_mutual_exclusion;
+    Alcotest.test_case "barrier: releases together" `Quick test_barrier;
+    Alcotest.test_case "barrier: reusable" `Quick test_barrier_reusable;
+    Alcotest.test_case "power: energy accounting" `Quick test_energy_accounting;
+    Alcotest.test_case "power: sensor sampling" `Quick test_power_sensor_sampling;
+    Alcotest.test_case "engine: set_online_cores" `Quick test_set_online_cores;
+    Alcotest.test_case "engine: determinism" `Quick test_determinism;
+    Alcotest.test_case "engine: thread failure" `Quick test_thread_failure_surfaces;
+    Alcotest.test_case "engine: run until" `Quick test_run_until;
+  ]
