@@ -18,6 +18,7 @@ open Parcae_workloads
 module Mech = Parcae_mechanisms
 module R = Parcae_runtime
 module Config = Parcae_core.Config
+module Obs = Parcae_obs
 
 (* ------------------------------------------------------------------ *)
 (* Shared argument definitions.                                        *)
@@ -66,6 +67,38 @@ let kernel_arg =
 let file_arg =
   let doc = "Parse the loop from a .loop source file instead of a built-in kernel." in
   Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc =
+    "Record a runtime event trace and write it to $(docv) in Chrome trace_event JSON \
+     (load it in Perfetto or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Run [f] with tracing directed at a fresh sink, then export the trace as
+   a Chrome trace_event file and report the oracle's verdict on it. *)
+let with_trace ?require_flush ?check_budget path f =
+  match path with
+  | None -> f ()
+  | Some file ->
+      let sink = Obs.Sink.create ~capacity:1_000_000 () in
+      let result = Obs.Trace.with_sink sink f in
+      let events = Obs.Sink.events sink in
+      Obs.Export.write_file file (Obs.Export.chrome events);
+      Printf.printf "\ntrace: wrote %d events to %s" (List.length events) file;
+      if Obs.Sink.dropped sink > 0 then
+        Printf.printf " (ring overflowed: %d oldest events dropped)" (Obs.Sink.dropped sink);
+      print_newline ();
+      (match Obs.Oracle.check ?require_flush ?check_budget events with
+      | Ok st ->
+          Printf.printf
+            "oracle: OK (%d regions, %d ctrl transitions, %d pauses, %d DoP changes, %d flushes)\n"
+            st.Obs.Oracle.regions st.Obs.Oracle.ctrl_transitions st.Obs.Oracle.pauses
+            st.Obs.Oracle.dop_changes st.Obs.Oracle.flushes
+      | Error vs ->
+          Printf.printf "oracle: %d violation(s)\n%s\n" (List.length vs)
+            (Obs.Oracle.violations_to_string vs));
+      result
 
 let app_factory name : budget:int -> Engine.t -> App.t =
   match name with
@@ -141,7 +174,7 @@ let print_result (r : Experiments.result) =
 (* serve                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let serve app mech load m machine_name seed =
+let serve app mech load m machine_name seed trace =
   let machine = machine_of machine_name in
   let mk = app_factory app in
   let flat = is_flat app in
@@ -154,32 +187,40 @@ let serve app mech load m machine_name seed =
   Printf.printf "running %d requests at load %.2f under %s...\n\n" m load mech;
   let config = if flat then `Named "even" else `Named "inner-max" in
   let r =
-    Experiments.run_server ~m ~seed ~machine ~rate_per_s:(load *. maxthr)
-      ?mechanism:(mechanism_for mech flat) ~config mk
+    with_trace trace (fun () ->
+        Experiments.run_server ~m ~seed ~machine ~rate_per_s:(load *. maxthr)
+          ?mechanism:(mechanism_for mech flat) ~config mk)
   in
   print_result r
 
 let serve_cmd =
-  let term = Term.(const serve $ app_arg $ mech_arg $ load_arg $ requests_arg $ machine_arg $ seed_arg) in
+  let term =
+    Term.(
+      const serve $ app_arg $ mech_arg $ load_arg $ requests_arg $ machine_arg $ seed_arg
+      $ trace_arg)
+  in
   Cmd.v (Cmd.info "serve" ~doc:"Run a server workload at a load factor under a mechanism.") term
 
 (* ------------------------------------------------------------------ *)
 (* batch                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let batch app mech m machine_name seed =
+let batch app mech m machine_name seed trace =
   let machine = machine_of machine_name in
   let mk = app_factory app in
   let flat = is_flat app in
   let config = if flat then `Named "even" else `Named "outer-only" in
   Printf.printf "running %d requests in batch mode under %s...\n\n" m mech;
   let r, _, _ =
-    Experiments.run_batch ~m ~seed ~machine ?mechanism:(mechanism_for mech flat) ~config mk
+    with_trace trace (fun () ->
+        Experiments.run_batch ~m ~seed ~machine ?mechanism:(mechanism_for mech flat) ~config mk)
   in
   print_result r
 
 let batch_cmd =
-  let term = Term.(const batch $ app_arg $ mech_arg $ requests_arg $ machine_arg $ seed_arg) in
+  let term =
+    Term.(const batch $ app_arg $ mech_arg $ requests_arg $ machine_arg $ seed_arg $ trace_arg)
+  in
   Cmd.v (Cmd.info "batch" ~doc:"Run a batch workload under a mechanism and report throughput.") term
 
 (* ------------------------------------------------------------------ *)
@@ -224,29 +265,38 @@ let compile_cmd =
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run kernel file machine_name budget =
+let run kernel file machine_name budget trace =
   let open Parcae_ir in
   let open Parcae_nona in
   let machine = machine_of machine_name in
   let budget = Option.value budget ~default:machine.Machine.cores in
   let loop = loop_source kernel file in
   let c = Compiler.compile loop in
-  let eng = Engine.create machine in
-  let h = Compiler.launch ~budget eng c in
-  let ctl =
-    R.Controller.create
-      ~params:
-        { R.Controller.default_params with R.Controller.npar_factor = 16; monitor_ns = 50_000_000 }
-      h.Compiler.region
+  let h, done_at =
+    with_trace ~check_budget:true trace (fun () ->
+        let eng = Engine.create machine in
+        let h = Compiler.launch ~budget eng c in
+        let ctl =
+          R.Controller.create
+            ~params:
+              {
+                R.Controller.default_params with
+                R.Controller.npar_factor = 16;
+                monitor_ns = 50_000_000;
+              }
+            h.Compiler.region
+        in
+        ignore (R.Controller.spawn eng ctl);
+        let done_at = ref 0 in
+        let _ =
+          Engine.spawn eng ~name:"watch" (fun () ->
+              R.Executor.await h.Compiler.region;
+              done_at := Engine.now ())
+        in
+        ignore (Engine.run ~until:600_000_000_000 eng);
+        (h, !done_at))
   in
-  ignore (R.Controller.spawn eng ctl);
-  let done_at = ref 0 in
-  let _ =
-    Engine.spawn eng ~name:"watch" (fun () ->
-        R.Executor.await h.Compiler.region;
-        done_at := Engine.now ())
-  in
-  ignore (Engine.run ~until:600_000_000_000 eng);
+  let done_at = ref done_at in
   let seq = (Interp.run loop).Interp.work_ns in
   Printf.printf "kernel:      %s (%d iterations)\n" loop.Loop.name h.Compiler.rs.Flex.next_iter;
   Printf.printf "schemes:     %s\n" (String.concat ", " h.Compiler.names);
@@ -262,7 +312,7 @@ let run kernel file machine_name budget =
     (if Compiler.preserves_semantics h then "preserved" else "VIOLATED")
 
 let run_cmd =
-  let term = Term.(const run $ kernel_arg $ file_arg $ machine_arg $ budget_arg) in
+  let term = Term.(const run $ kernel_arg $ file_arg $ machine_arg $ budget_arg $ trace_arg) in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile a kernel and execute it under the closed-loop controller.")
     term

@@ -1,0 +1,54 @@
+(** The typed trace-event vocabulary of the runtime protocol.
+
+    Each event carries the simulated time (virtual ns) of emission.  The
+    vocabulary covers the observable protocol of the paper: region
+    lifecycle, controller FSM transitions (Figure 6.3), the
+    pause/reconfigure/resume sequence with channel flushes (Sections 6.2
+    and 4.5), barrier-less DoP resizes (Section 7.2), the daemon's
+    platform partitioning (Section 6.4.3), and Decima samples
+    (Section 4.7). *)
+
+(** Controller FSM states, duplicated below the runtime in the dependency
+    order so traces decode without it; {!Parcae_runtime.Controller} maps
+    its own state type onto this one. *)
+type ctrl_state = Init | Calibrate | Optimize | Monitor
+
+val ctrl_state_to_string : ctrl_state -> string
+val ctrl_state_of_string : string -> ctrl_state
+val ctrl_state_code : ctrl_state -> int
+(** INIT=0 CALIB=1 OPT=2 MONITOR=3, matching Figure 8.8's state track. *)
+
+type kind =
+  | Region_start of { region : string; scheme : string; threads : int; budget : int }
+  | Region_stop of { region : string }
+  | Ctrl_state of { region : string; state : ctrl_state }
+  | Dop_change of {
+      region : string;
+      scheme : string;
+      old_dop : int;  (** total threads before the change *)
+      new_dop : int;  (** total threads after the change *)
+      budget : int;  (** region budget at the moment of the change *)
+      light : bool;  (** barrier-less resize vs full pause/resume *)
+    }
+  | Pause of { region : string }
+  | Resume of { region : string; scheme : string; threads : int }
+  | Chan_flush of { chan : string; dropped : int }
+  | Budget_grant of { region : string; budget : int }
+  | Daemon_repartition of { shares : (string * int) list; total : int }
+  | Hook_sample of { task : int; dt_ns : int }
+  | Feature_sample of { name : string; value : float }
+  | Cores_online of { cores : int }
+
+type t = { t : int;  (** virtual time, ns *) kind : kind }
+
+val make : t:int -> kind -> t
+
+val kind_name : kind -> string
+(** Stable snake_case tag used in the JSONL encoding. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> t
+(** Inverse of {!to_json}. @raise Json.Parse_error on unknown shapes. *)
+
+val to_string : t -> string
+(** Compact one-line JSON rendering (one JSONL record). *)

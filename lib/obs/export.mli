@@ -1,0 +1,20 @@
+(** Trace exporters: JSONL (canonical, invertible) and Chrome trace_event
+    JSON (loadable in chrome://tracing and Perfetto). *)
+
+val jsonl : Event.t list -> string
+(** One compact JSON object per line. *)
+
+val jsonl_to_buf : Buffer.t -> Event.t list -> unit
+
+val parse_jsonl : string -> Event.t list
+(** Exact inverse of {!jsonl}; blank lines are skipped.
+    @raise Json.Parse_error on malformed records. *)
+
+val chrome : ?process:string -> Event.t list -> string
+(** Chrome trace_event object format: regions become named threads with
+    region-lifetime and pause duration slices; controller state, DoP,
+    budget, cores, and Decima samples become counter tracks; the remaining
+    protocol events become instants with their payload in [args]. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] — plain file dump helper for the CLI. *)

@@ -1,0 +1,246 @@
+(* Minimal JSON values, printer, and parser.
+
+   The observability layer serializes traces to JSONL and Chrome
+   trace_event JSON without pulling a JSON dependency into the build: the
+   emitted subset is small and fully under our control, and the parser
+   accepts standard JSON (enough for round-tripping our own output and for
+   tests that validate the Chrome export is well-formed). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Printing.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Floats print via %.17g so parsing the output recovers the exact value
+   (shortest exact round-trip is overkill here; byte-stability matters for
+   the determinism tests, and a fixed format gives it). *)
+let float_to_string v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.17g" v
+
+let rec to_buf buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float v -> Buffer.add_string buf (float_to_string v)
+  | Str s -> escape_to buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buf buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          to_buf buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buf buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { s : string; mutable pos : int }
+
+let fail c msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected '%c'" ch)
+
+let literal c word v =
+  let n = String.length word in
+  if c.pos + n <= String.length c.s && String.sub c.s c.pos n = word then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else fail c ("expected " ^ word)
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some '"' -> advance c; Buffer.add_char buf '"'; loop ()
+        | Some '\\' -> advance c; Buffer.add_char buf '\\'; loop ()
+        | Some '/' -> advance c; Buffer.add_char buf '/'; loop ()
+        | Some 'n' -> advance c; Buffer.add_char buf '\n'; loop ()
+        | Some 'r' -> advance c; Buffer.add_char buf '\r'; loop ()
+        | Some 't' -> advance c; Buffer.add_char buf '\t'; loop ()
+        | Some 'b' -> advance c; Buffer.add_char buf '\b'; loop ()
+        | Some 'f' -> advance c; Buffer.add_char buf '\012'; loop ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.s then fail c "bad \\u escape";
+            let hex = String.sub c.s c.pos 4 in
+            c.pos <- c.pos + 4;
+            let code = int_of_string ("0x" ^ hex) in
+            (* Traces only escape control characters, so the code point is
+               always in the single-byte range. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else fail c "non-ASCII \\u escape unsupported";
+            loop ()
+        | _ -> fail c "bad escape")
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  let rec run () =
+    match peek c with Some ch when is_num_char ch -> advance c; run () | _ -> ()
+  in
+  run ();
+  let text = String.sub c.s start (c.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail c ("bad number " ^ text))
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin advance c; Obj [] end
+      else begin
+        let rec members acc =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' -> advance c; members ((k, v) :: acc)
+          | Some '}' -> advance c; List.rev ((k, v) :: acc)
+          | _ -> fail c "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin advance c; List [] end
+      else begin
+        let rec elements acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' -> advance c; elements (v :: acc)
+          | Some ']' -> advance c; List.rev (v :: acc)
+          | _ -> fail c "expected ',' or ']'"
+        in
+        List (elements [])
+      end
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let parse s =
+  let c = { s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail c "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors used by the event decoder.                                *)
+(* ------------------------------------------------------------------ *)
+
+let member name = function
+  | Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let get_int name j =
+  match member name j with
+  | Some (Int i) -> i
+  | _ -> raise (Parse_error ("missing int field " ^ name))
+
+let get_float name j =
+  match member name j with
+  | Some (Float f) -> f
+  | Some (Int i) -> float_of_int i
+  | _ -> raise (Parse_error ("missing float field " ^ name))
+
+let get_str name j =
+  match member name j with
+  | Some (Str s) -> s
+  | _ -> raise (Parse_error ("missing string field " ^ name))
+
+let get_bool name j =
+  match member name j with
+  | Some (Bool b) -> b
+  | _ -> raise (Parse_error ("missing bool field " ^ name))
+
+let get_list name j =
+  match member name j with
+  | Some (List l) -> l
+  | _ -> raise (Parse_error ("missing list field " ^ name))

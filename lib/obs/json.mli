@@ -1,0 +1,32 @@
+(** Minimal JSON values, printer, and parser for the trace exporters.
+
+    Self-contained so the observability layer adds no build dependency;
+    the printer emits compact standard JSON and the parser accepts the
+    subset needed to round-trip our own output. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+val to_buf : Buffer.t -> t -> unit
+
+val parse : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] otherwise. *)
+
+val get_int : string -> t -> int
+val get_float : string -> t -> float
+val get_str : string -> t -> string
+val get_bool : string -> t -> bool
+val get_list : string -> t -> t list
+(** Field accessors. @raise Parse_error when absent or mistyped. *)

@@ -1,0 +1,65 @@
+(* Event sinks: a bounded ring buffer, and a null sink that makes tracing
+   free when disabled.
+
+   The ring keeps the most recent [capacity] events and counts what it
+   overwrote, so a long run with a small sink degrades to a suffix trace
+   instead of unbounded memory.  [null] is a physical sentinel: emitters
+   compare against it with one load and one pointer equality, which is the
+   whole cost of disabled tracing. *)
+
+type t = {
+  capacity : int;  (* 0 only for [null] *)
+  mutable buf : Event.t array;  (* ring storage, lazily allocated *)
+  mutable start : int;  (* index of the oldest retained event *)
+  mutable len : int;  (* retained events, <= capacity *)
+  mutable dropped : int;  (* events overwritten after the ring filled *)
+}
+
+let null = { capacity = 0; buf = [||]; start = 0; len = 0; dropped = 0 }
+
+let default_capacity = 1 lsl 16
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Sink.create: capacity must be positive";
+  { capacity; buf = [||]; start = 0; len = 0; dropped = 0 }
+
+let is_null s = s == null
+
+let length s = s.len
+let dropped s = s.dropped
+let capacity s = s.capacity
+
+let clear s =
+  s.start <- 0;
+  s.len <- 0;
+  s.dropped <- 0
+
+let record s ~t kind =
+  if s.capacity > 0 then begin
+    let ev = Event.make ~t kind in
+    if Array.length s.buf = 0 then begin
+      (* First event: allocate the ring.  A dummy slot value is fine; every
+         readable slot is written before it is read. *)
+      s.buf <- Array.make s.capacity ev
+    end;
+    if s.len < s.capacity then begin
+      s.buf.((s.start + s.len) mod s.capacity) <- ev;
+      s.len <- s.len + 1
+    end
+    else begin
+      (* Full: overwrite the oldest. *)
+      s.buf.(s.start) <- ev;
+      s.start <- (s.start + 1) mod s.capacity;
+      s.dropped <- s.dropped + 1
+    end
+  end
+
+(* Retained events, oldest first. *)
+let to_array s = Array.init s.len (fun i -> s.buf.((s.start + i) mod s.capacity))
+
+let events s = Array.to_list (to_array s)
+
+let iter s f =
+  for i = 0 to s.len - 1 do
+    f s.buf.((s.start + i) mod s.capacity)
+  done

@@ -1,0 +1,37 @@
+(** Event sinks: a bounded ring buffer, plus the null (disabled) sink.
+
+    The ring retains the most recent [capacity] events and counts
+    overwrites; [null] is a physical sentinel so that disabled tracing
+    costs one pointer comparison per potential event. *)
+
+type t
+
+val null : t
+(** The disabled sink: {!record} on it is a no-op. *)
+
+val default_capacity : int
+(** 65536 events. *)
+
+val create : ?capacity:int -> unit -> t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val is_null : t -> bool
+
+val record : t -> t:int -> Event.kind -> unit
+(** Append an event stamped with virtual time [t]; overwrites the oldest
+    event once the ring is full. *)
+
+val length : t -> int
+(** Events currently retained. *)
+
+val dropped : t -> int
+(** Events overwritten since creation (0 until the ring fills). *)
+
+val capacity : t -> int
+val clear : t -> unit
+
+val to_array : t -> Event.t array
+(** Retained events, oldest first. *)
+
+val events : t -> Event.t list
+val iter : t -> (Event.t -> unit) -> unit

@@ -1,0 +1,27 @@
+(* The global trace destination.
+
+   The simulator is cooperative and single-threaded (simulated threads are
+   effects-based coroutines), so one current-sink cell is race-free; it
+   plays the role of the per-process trace agent a real runtime would own.
+   Emitters follow the pattern
+
+     if Trace.enabled () then Trace.emit ~t:(Engine.time eng) (Event.Pause ...)
+
+   so that with tracing disabled the entire cost is one load and one
+   physical comparison, and the event payload is never allocated. *)
+
+let current = ref Sink.null
+
+let set s = current := s
+let clear () = current := Sink.null
+let sink () = !current
+let enabled () = not (Sink.is_null !current)
+
+let emit ~t kind = Sink.record !current ~t kind
+
+(* Run [f] with [s] installed, restoring the previous sink on exit (also
+   on exception), so nested scopes and tests compose. *)
+let with_sink s f =
+  let prev = !current in
+  current := s;
+  Fun.protect ~finally:(fun () -> current := prev) f

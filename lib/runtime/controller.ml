@@ -17,8 +17,17 @@ module Engine = Parcae_sim.Engine
 module Series = Parcae_util.Series
 module Config = Parcae_core.Config
 module Task = Parcae_core.Task
+module Trace = Parcae_obs.Trace
 
 type state = Init | Calibrate | Optimize | Monitor
+
+(* The observability layer carries its own copy of the FSM state type (it
+   sits below the runtime in the dependency order). *)
+let obs_state : state -> Parcae_obs.Event.ctrl_state = function
+  | Init -> Parcae_obs.Event.Init
+  | Calibrate -> Parcae_obs.Event.Calibrate
+  | Optimize -> Parcae_obs.Event.Optimize
+  | Monitor -> Parcae_obs.Event.Monitor
 
 let state_to_string = function
   | Init -> "INIT"
@@ -133,7 +142,12 @@ let record_state t =
 
 let enter t state =
   t.state <- state;
-  record_state t
+  record_state t;
+  if Trace.enabled () then
+    Trace.emit
+      ~t:(Engine.time t.region.Region.eng)
+      (Parcae_obs.Event.Ctrl_state
+         { region = t.region.Region.name; state = obs_state state })
 
 let finished t = Region.is_done t.region || t.stop
 

@@ -15,6 +15,8 @@
    launched at system boot. *)
 
 module Engine = Parcae_sim.Engine
+module Trace = Parcae_obs.Trace
+module Event = Parcae_obs.Event
 
 type program = {
   region : Region.t;
@@ -36,6 +38,16 @@ let create ?(period_ns = 10_000_000) eng ~total_threads =
 
 let active t = List.filter (fun p -> not (Region.is_done p.region)) t.programs
 
+(* Record the post-change partitioning of the platform. *)
+let trace_shares t act =
+  if Trace.enabled () then
+    Trace.emit ~t:(Engine.time t.eng)
+      (Event.Daemon_repartition
+         {
+           total = t.total;
+           shares = List.map (fun p -> (p.region.Region.name, Region.budget p.region)) act;
+         })
+
 (* Re-partition budgets equally among active programs and notify their
    controllers that resources changed. *)
 let repartition t =
@@ -50,7 +62,8 @@ let repartition t =
           Region.set_budget p.region share;
           Controller.notify_resource_change p.controller
         end)
-      act
+      act;
+    trace_shares t act
   end
 
 (* Redistribute slack once every active program has reported its optimized
@@ -65,13 +78,23 @@ let redistribute t =
     let saturated = List.filter (fun p -> used p >= Region.budget p.region) act in
     if slack > 0 && saturated <> [] then begin
       let share = slack / List.length saturated in
-      if share > 0 then
+      if share > 0 then begin
+        (* A program below its budget releases the difference: its grant
+           becomes the usage it reported, so outstanding grants never sum
+           above the platform total.  No notification — the new grant is
+           exactly what the program said it needs. *)
+        List.iter
+          (fun p ->
+            if used p < Region.budget p.region then Region.set_budget p.region (used p))
+          act;
         List.iter
           (fun p ->
             Region.set_budget p.region (Region.budget p.region + share);
             p.usage <- None;
             Controller.notify_resource_change p.controller)
-          saturated
+          saturated;
+        trace_shares t act
+      end
     end
   end
 

@@ -10,6 +10,8 @@
 
 module Engine = Parcae_sim.Engine
 module Stats = Parcae_util.Stats
+module Trace = Parcae_obs.Trace
+module Event = Parcae_obs.Event
 
 type task_stats = {
   mutable iters : int;  (* completed dynamic instances across all lanes *)
@@ -63,7 +65,9 @@ let hook_end t ~task slot =
     if task >= 0 && task < Array.length t.tasks then begin
       let s = t.tasks.(task) in
       s.compute_ns <- s.compute_ns + dt;
-      Stats.Ewma.observe s.exec_ewma (float_of_int dt)
+      Stats.Ewma.observe s.exec_ewma (float_of_int dt);
+      if Trace.enabled () then
+        Trace.emit ~t:(Engine.time t.eng) (Event.Hook_sample { task; dt_ns = dt })
     end
   end
 
@@ -125,4 +129,10 @@ let iters_since t (a : snapshot) i = t.tasks.(i).iters - a.iters_v.(i)
 let register_feature t name cb = Hashtbl.replace t.features name cb
 
 let feature t name =
-  match Hashtbl.find_opt t.features name with None -> None | Some cb -> Some (cb ())
+  match Hashtbl.find_opt t.features name with
+  | None -> None
+  | Some cb ->
+      let value = cb () in
+      if Trace.enabled () then
+        Trace.emit ~t:(Engine.time t.eng) (Event.Feature_sample { name; value });
+      Some value

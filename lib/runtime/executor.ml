@@ -13,6 +13,16 @@ module Barrier = Parcae_sim.Barrier
 module Config = Parcae_core.Config
 module Task = Parcae_core.Task
 module Task_status = Parcae_core.Task_status
+module Trace = Parcae_obs.Trace
+module Event = Parcae_obs.Event
+
+(* Mark the region Done, emit the trace event, and wake joiners — the
+   single exit point for both completion paths and [terminate]. *)
+let finish_region (r : Region.t) =
+  r.Region.status <- Region.Done;
+  if Trace.enabled () then
+    Trace.emit ~t:(Engine.time r.Region.eng) (Event.Region_stop { region = r.Region.name });
+  Engine.broadcast r.Region.finished
 
 (* ------------------------------------------------------------------ *)
 (* Nested (inner-loop) regions: fixed configuration, run to completion. *)
@@ -117,16 +127,11 @@ let region_worker (r : Region.t) (task : Task.t) idx tc lane =
   r.Region.active_workers <- r.Region.active_workers - 1;
   if r.Region.active_workers = 0 then begin
     (* Last worker out: decide what the park means. *)
-    if r.Region.master_completed && not r.Region.pause_requested then begin
-      r.Region.status <- Region.Done;
-      Engine.broadcast r.Region.finished
-    end
+    if r.Region.master_completed && not r.Region.pause_requested then finish_region r
     else if r.Region.pause_requested then r.Region.status <- Region.Paused
-    else begin
+    else
       (* All tasks completed without an explicit pause: region is done. *)
-      r.Region.status <- Region.Done;
-      Engine.broadcast r.Region.finished
-    end;
+      finish_region r;
     Engine.broadcast r.Region.parked
   end
 
@@ -175,6 +180,8 @@ let pause (r : Region.t) =
       let t0 = Engine.time r.Region.eng in
       r.Region.pause_requested <- true;
       r.Region.status <- Region.Pausing;
+      if Trace.enabled () then
+        Trace.emit ~t:t0 (Event.Pause { region = r.Region.name });
       Option.iter (fun f -> f ()) r.Region.on_pause;
       while r.Region.status = Region.Pausing do
         Engine.wait_on r.Region.parked
@@ -187,6 +194,7 @@ let resume ?config (r : Region.t) =
   (match r.Region.status with
   | Region.Paused -> ()
   | _ -> invalid_arg "Executor.resume: region not paused");
+  let prev_config = r.Region.config in
   (match config with
   | None -> ()
   | Some cfg ->
@@ -202,6 +210,24 @@ let resume ?config (r : Region.t) =
   r.Region.pause_requested <- false;
   r.Region.master_completed <- false;
   r.Region.reconfig_count <- r.Region.reconfig_count + 1;
+  if Trace.enabled () then begin
+    let t = Engine.time r.Region.eng in
+    let cfg = r.Region.config in
+    if not (Config.equal cfg prev_config) then
+      Trace.emit ~t
+        (Event.Dop_change
+           {
+             region = r.Region.name;
+             scheme = Region.scheme_name r;
+             old_dop = Config.threads prev_config;
+             new_dop = Config.threads cfg;
+             budget = Region.budget r;
+             light = false;
+           });
+    Trace.emit ~t
+      (Event.Resume
+         { region = r.Region.name; scheme = Region.scheme_name r; threads = Config.threads cfg })
+  end;
   start_workers r
 
 (* Whether [cfg] differs from the current configuration only in the DoPs
@@ -229,8 +255,20 @@ let resize (r : Region.t) cfg =
   | _ -> invalid_arg "Executor.resize: region not running");
   if not (dop_only_change r cfg) then invalid_arg "Executor.resize: not a DoP-only change";
   Task.validate_config (Region.scheme r) cfg;
+  let prev_config = r.Region.config in
   r.Region.config <- cfg;
   r.Region.light_resizes <- r.Region.light_resizes + 1;
+  if Trace.enabled () then
+    Trace.emit ~t:(Engine.time r.Region.eng)
+      (Event.Dop_change
+         {
+           region = r.Region.name;
+           scheme = Region.scheme_name r;
+           old_dop = Config.threads prev_config;
+           new_dop = Config.threads cfg;
+           budget = Region.budget r;
+           light = true;
+         });
   (* The hook stamps the epoch boundary (the in-band tokens follow when the
      master crosses it) and says which lanes need new workers; lanes whose
      previous worker has not retired yet simply continue into the new
@@ -265,8 +303,4 @@ let await (r : Region.t) =
 
 (* Pause the region and terminate it without resuming (used to shut an
    experiment down cleanly). *)
-let terminate (r : Region.t) =
-  if pause r then begin
-    r.Region.status <- Region.Done;
-    Engine.broadcast r.Region.finished
-  end
+let terminate (r : Region.t) = if pause r then finish_region r

@@ -11,6 +11,8 @@ module Engine = Parcae_sim.Engine
 module Barrier = Parcae_sim.Barrier
 module Config = Parcae_core.Config
 module Task = Parcae_core.Task
+module Trace = Parcae_obs.Trace
+module Event = Parcae_obs.Event
 
 type status =
   | Init  (* created, workers not yet started *)
@@ -66,6 +68,15 @@ let create ?(budget = max_int) ?on_pause ?on_reset ~name eng schemes config =
   if config.Config.choice < 0 || config.Config.choice >= List.length schemes then
     invalid_arg "Region.create: config.choice out of range";
   Task.validate_config (List.nth schemes config.Config.choice) config;
+  if Trace.enabled () then
+    Trace.emit ~t:(Engine.time eng)
+      (Event.Region_start
+         {
+           region = name;
+           scheme = (List.nth schemes config.Config.choice).Task.pd_name;
+           threads = Config.threads config;
+           budget;
+         });
   {
     name;
     eng;
@@ -98,7 +109,11 @@ let config t = t.config
 let status t = t.status
 let decima t = t.decima
 let budget t = t.budget
-let set_budget t n = t.budget <- max 1 n
+let set_budget t n =
+  t.budget <- max 1 n;
+  if Trace.enabled () then
+    Trace.emit ~t:(Engine.time t.eng)
+      (Event.Budget_grant { region = t.name; budget = t.budget })
 let threads_in_use t = Config.threads t.config
 let is_done t = t.status = Done
 let reconfig_count t = t.reconfig_count

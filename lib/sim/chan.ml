@@ -109,6 +109,9 @@ let filter ch keep =
   Queue.clear ch.q;
   Queue.transfer kept ch.q;
   if !removed > 0 then Engine.broadcast ch.nonfull;
+  if Parcae_obs.Trace.enabled () then
+    Parcae_obs.Trace.emit ~t:(Engine.now ())
+      (Parcae_obs.Event.Chan_flush { chan = ch.name; dropped = !removed });
   !removed
 
 (* Discard all queued items; used when the runtime resets communication
@@ -117,4 +120,7 @@ let drain ch =
   let n = Queue.length ch.q in
   Queue.clear ch.q;
   Engine.broadcast ch.nonfull;
+  if Parcae_obs.Trace.enabled () then
+    Parcae_obs.Trace.emit ~t:(Engine.now ())
+      (Parcae_obs.Event.Chan_flush { chan = ch.name; dropped = n });
   n

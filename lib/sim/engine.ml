@@ -12,6 +12,8 @@
    simulation with a fixed seed always produces the same trace. *)
 
 module Pqueue = Parcae_util.Pqueue
+module Trace = Parcae_obs.Trace
+module Event = Parcae_obs.Event
 
 type time = int
 
@@ -370,6 +372,7 @@ let set_online_cores eng n =
   if n < 0 then invalid_arg "Engine.set_online_cores: negative";
   account_energy eng;
   eng.online <- n;
+  if Trace.enabled () then Trace.emit ~t:eng.now (Event.Cores_online { cores = n });
   dispatch eng
 
 let machine eng = eng.machine

@@ -15,4 +15,6 @@ let () =
       ("resize", Test_resize.suite);
       ("failures", Test_failures.suite);
       ("parser", Test_parser.suite);
+      ("trace", Test_trace.suite);
+      ("trace-oracle", Test_trace_oracle.suite);
     ]

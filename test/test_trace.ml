@@ -1,0 +1,198 @@
+(* Tests for the observability layer (lib/obs): the ring sink, the JSONL
+   and Chrome trace_event exporters, the trace oracle on a real traced
+   workload run, trace determinism under a fixed seed, and Decima hook
+   edge cases. *)
+
+open Parcae_sim
+open Parcae_workloads
+module Obs = Parcae_obs
+module Event = Obs.Event
+module Sink = Obs.Sink
+module Trace = Obs.Trace
+module Export = Obs.Export
+module Oracle = Obs.Oracle
+module Json = Obs.Json
+module R = Parcae_runtime
+module Mech = Parcae_mechanisms
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------- sink ------------------------------ *)
+
+let hook_task e = match e.Event.kind with Event.Hook_sample h -> h.task | _ -> -1
+
+let test_ring_order_and_overflow () =
+  let s = Sink.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Sink.record s ~t:(i * 10) (Event.Hook_sample { task = i; dt_ns = i })
+  done;
+  check_int "length capped" 4 (Sink.length s);
+  check_int "dropped counts overwrites" 6 (Sink.dropped s);
+  check_bool "retains newest, oldest first" true
+    (List.map hook_task (Sink.events s) = [ 7; 8; 9; 10 ]);
+  check_bool "timestamps preserved" true
+    ((Sink.to_array s).(0).Event.t = 70);
+  Sink.clear s;
+  check_int "clear empties" 0 (Sink.length s)
+
+let test_null_sink_disabled () =
+  Trace.clear ();
+  check_bool "tracing off by default" false (Trace.enabled ());
+  check_bool "current sink is null" true (Sink.is_null (Trace.sink ()));
+  (* Emitting into the null sink is a no-op, not an error. *)
+  Trace.emit ~t:0 (Event.Region_stop { region = "r" });
+  let s = Sink.create () in
+  Trace.with_sink s (fun () ->
+      check_bool "enabled inside with_sink" true (Trace.enabled ());
+      Trace.emit ~t:5 (Event.Pause { region = "r" }));
+  check_bool "with_sink restores" false (Trace.enabled ());
+  check_int "event landed in installed sink" 1 (Sink.length s)
+
+(* ----------------------------- exporters --------------------------- *)
+
+(* One event per constructor, exercising every payload field. *)
+let all_kinds =
+  [
+    Event.Region_start { region = "main"; scheme = "PS-DSWP"; threads = 7; budget = 24 };
+    Event.Ctrl_state { region = "main"; state = Event.Calibrate };
+    Event.Pause { region = "main" };
+    Event.Chan_flush { chan = "q0"; dropped = 3 };
+    Event.Dop_change
+      { region = "main"; scheme = "DOANY"; old_dop = 4; new_dop = 9; budget = 24; light = false };
+    Event.Resume { region = "main"; scheme = "DOANY"; threads = 9 };
+    Event.Budget_grant { region = "main"; budget = 12 };
+    Event.Daemon_repartition { shares = [ ("p1", 12); ("p2", 12) ]; total = 24 };
+    Event.Hook_sample { task = 2; dt_ns = 1234 };
+    Event.Feature_sample { name = "SystemPower"; value = 96.875 };
+    Event.Cores_online { cores = 16 };
+    Event.Region_stop { region = "main" };
+  ]
+
+let all_events = List.mapi (fun i k -> Event.make ~t:(i * 1000) k) all_kinds
+
+let test_jsonl_roundtrip_all_constructors () =
+  let back = Export.parse_jsonl (Export.jsonl all_events) in
+  check_bool "every constructor round-trips" true (back = all_events);
+  (* Floats without a finite decimal expansion survive the text form. *)
+  let awkward = [ Event.make ~t:1 (Event.Feature_sample { name = "f"; value = 0.1 }) ] in
+  check_bool "0.1 round-trips exactly" true (Export.parse_jsonl (Export.jsonl awkward) = awkward)
+
+let test_chrome_export_well_formed () =
+  let j = Json.parse (Export.chrome all_events) in
+  let evs = Json.get_list "traceEvents" j in
+  check_bool "traceEvents non-empty" true (List.length evs >= List.length all_events);
+  let phs = List.map (Json.get_str "ph") evs in
+  check_bool "has duration-begin" true (List.mem "B" phs);
+  check_bool "has duration-end" true (List.mem "E" phs);
+  check_bool "has counters" true (List.mem "C" phs);
+  check_bool "has instants" true (List.mem "i" phs);
+  check_bool "has track metadata" true (List.mem "M" phs);
+  (* Every non-metadata record carries a timestamp and a pid. *)
+  List.iter
+    (fun e ->
+      ignore (Json.get_int "pid" e);
+      if Json.get_str "ph" e <> "M" then ignore (Json.get_float "ts" e))
+    evs
+
+(* ------------------------- traced real run -------------------------- *)
+
+let machine = Machine.xeon_x7460
+
+let traced_batch ?mechanism ?(m = 25) ?(seed = 11) ~config mk =
+  let sink = Sink.create ~capacity:200_000 () in
+  let r, _, _ =
+    Trace.with_sink sink (fun () -> Experiments.run_batch ~m ~seed ~machine ?mechanism ~config mk)
+  in
+  (r, sink)
+
+let wqt_h (app : App.t) =
+  Mech.Wqt_h.make ~load:app.App.wq_load ~threshold:8.0 ~non:3 ~noff:3
+    ~light:(App.config app "inner-max") ~heavy:(App.config app "outer-only") ()
+
+let test_traced_run_exports_and_oracle () =
+  let r, sink =
+    traced_batch ~mechanism:wqt_h ~config:(`Named "outer-only") (fun ~budget eng ->
+        Bzip.make ~budget eng)
+  in
+  check_int "all requests completed" r.Experiments.submitted r.Experiments.completed;
+  let events = Sink.events sink in
+  check_bool "no overflow at this size" true (Sink.dropped sink = 0);
+  check_bool "captured the protocol" true (List.length events > 3);
+  check_bool "real trace round-trips via JSONL" true
+    (Export.parse_jsonl (Export.jsonl events) = events);
+  let j = Json.parse (Export.chrome events) in
+  check_bool "real trace exports to Chrome JSON" true (Json.get_list "traceEvents" j <> []);
+  match Oracle.check ~require_flush:true events with
+  | Ok st ->
+      check_int "one region" 1 st.Oracle.regions;
+      check_bool "saw at least one pause" true (st.Oracle.pauses >= 1)
+  | Error vs -> Alcotest.fail (Oracle.violations_to_string vs)
+
+let test_trace_determinism () =
+  (* Same seed, same workload, same mechanism: the traces must be
+     byte-identical in their canonical (JSONL) form. *)
+  let run () =
+    let _, sink =
+      traced_batch ~seed:23
+        ~mechanism:(fun (app : App.t) -> Mech.Tbf.make ?fused_choice:app.App.fused_choice ())
+        ~config:(`Named "even")
+        (fun ~budget eng -> Ferret.make ~budget eng)
+    in
+    Export.jsonl (Sink.events sink)
+  in
+  let a = run () and b = run () in
+  check_bool "trace is non-trivial" true (String.length a > 100);
+  check_string "same seed, byte-identical traces" a b
+
+(* ------------------------- Decima edge cases ------------------------ *)
+
+let test_decima_hook_edges () =
+  let eng = Engine.create (Machine.test_machine ~cores:4 ()) in
+  let d = R.Decima.create eng ~tasks:2 in
+  let sink = Sink.create () in
+  Trace.with_sink sink (fun () ->
+      let _ =
+        Engine.spawn eng ~name:"probe" (fun () ->
+            let slot = R.Decima.make_slot () in
+            (* hook_end without a matching hook_begin: counted as a call,
+               but records no sample. *)
+            R.Decima.hook_end d ~task:0 slot;
+            check_int "unmatched end: no sample" 0
+              (List.length (List.filter (fun e -> hook_task e >= 0) (Sink.events sink)));
+            (* Out-of-range task indices are ignored, not fatal. *)
+            R.Decima.tick d 7;
+            R.Decima.tick d (-1);
+            check_int "out-of-range tick ignored" 0 (R.Decima.iters d 0 + R.Decima.iters d 1);
+            R.Decima.hook_begin d slot;
+            Engine.compute 500;
+            R.Decima.hook_end d ~task:99 slot;
+            check_int "hooks all counted" 3 (R.Decima.hook_calls d);
+            check_int "out-of-range end: no sample" 0
+              (List.length (List.filter (fun e -> hook_task e >= 0) (Sink.events sink)));
+            (* reset mid-region while a hook slot is open: the pending
+               sample lands in the new, larger task table. *)
+            R.Decima.hook_begin d slot;
+            R.Decima.reset d ~tasks:5;
+            Engine.compute 300;
+            R.Decima.hook_end d ~task:4 slot;
+            check_int "task table resized" 5 (R.Decima.task_count d);
+            check_bool "pending sample recorded after reset" true (R.Decima.exec_time d 4 > 0.0))
+      in
+      ignore (Engine.run eng));
+  check_bool "exactly the post-reset sample was traced" true
+    (List.map hook_task (List.filter (fun e -> hook_task e >= 0) (Sink.events sink)) = [ 4 ])
+
+let suite =
+  [
+    Alcotest.test_case "sink: ring order and overflow" `Quick test_ring_order_and_overflow;
+    Alcotest.test_case "sink: null sink disables tracing" `Quick test_null_sink_disabled;
+    Alcotest.test_case "export: JSONL round-trips all constructors" `Quick
+      test_jsonl_roundtrip_all_constructors;
+    Alcotest.test_case "export: Chrome trace is well-formed" `Quick test_chrome_export_well_formed;
+    Alcotest.test_case "trace: real run exports and satisfies oracle" `Quick
+      test_traced_run_exports_and_oracle;
+    Alcotest.test_case "trace: same seed gives identical traces" `Quick test_trace_determinism;
+    Alcotest.test_case "decima: hook edge cases" `Quick test_decima_hook_edges;
+  ]
