@@ -2,13 +2,15 @@
 
    Subcommands:
      serve    — run a server workload under a mechanism at a load factor
+     top      — serve with a live metrics dashboard on the virtual clock
      batch    — run a batch workload under a mechanism, report throughput
      compile  — compile an IR kernel with Nona and show PDG/SCC/pipeline
      run      — execute a compiled kernel under the closed-loop controller
 
    Examples:
-     parcae_demo serve -a x264 -m wq-linear -l 0.8
-     parcae_demo batch -a ferret -m tbf
+     parcae_demo serve -a x264 -m wq-linear -l 0.8 --metrics-out m.prom
+     parcae_demo top -a ferret -m static -i 2
+     parcae_demo batch -a ferret -m tbf --profile-out ferret.folded
      parcae_demo compile -k crc32
      parcae_demo run -k kmeans --budget 12 *)
 
@@ -100,6 +102,48 @@ let with_trace ?require_flush ?check_budget path f =
             (Obs.Oracle.violations_to_string vs));
       result
 
+let metrics_out_arg =
+  let doc =
+    "Write a final metrics snapshot to $(docv): Prometheus text format 0.0.4, or a JSON \
+     document when $(docv) ends in .json."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let profile_out_arg =
+  let doc =
+    "Write a folded-stack compute profile (region;scheme;task lines) to $(docv) — feed it \
+     to flamegraph.pl or speedscope."
+  in
+  Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE" ~doc)
+
+let write_metrics_file reg file =
+  let json = Filename.check_suffix file ".json" in
+  let data = if json then Obs.Metrics.to_json_string reg else Obs.Metrics.to_prometheus reg in
+  Obs.Export.write_file file data;
+  Printf.printf "metrics: wrote %s snapshot (%d families) to %s\n"
+    (if json then "JSON" else "Prometheus")
+    (List.length (Obs.Metrics.snapshot reg))
+    file
+
+let write_profile_file reg file =
+  let folded = Obs.Profile.folded reg in
+  Obs.Export.write_file file folded;
+  Printf.printf "profile: wrote %d stacks to %s\n"
+    (List.length (Obs.Profile.parse folded))
+    file
+
+(* Run [f] with a fresh metrics registry installed when any metrics output
+   was requested (mirrors [with_trace]); dump the requested files after. *)
+let with_metrics ?metrics_out ?profile_out f =
+  match (metrics_out, profile_out) with
+  | None, None -> f ()
+  | _ ->
+      let reg = Obs.Metrics.create () in
+      let result = Obs.Metrics.with_registry reg f in
+      Option.iter (write_metrics_file reg) metrics_out;
+      Option.iter (write_profile_file reg) profile_out;
+      result
+
 let app_factory name : budget:int -> Engine.t -> App.t =
   match name with
   | "x264" -> fun ~budget eng -> Transcode.make ~budget eng
@@ -174,8 +218,12 @@ let print_result (r : Experiments.result) =
 (* serve                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let serve app mech load m machine_name seed trace =
-  let machine = machine_of machine_name in
+(* Shared serve-like setup: calibrate max throughput, pick the initial
+   config, and run the server experiment.  [wrap] runs around the measured
+   server run only (not the calibration run), which is where the trace and
+   metrics wrappers go; [on_start] lets `top` attach its dashboard thread
+   to the live region. *)
+let run_serve ?on_start ?(wrap = fun f -> f ()) app mech load m machine seed =
   let mk = app_factory app in
   let flat = is_flat app in
   let maxthr =
@@ -186,40 +234,90 @@ let serve app mech load m machine_name seed trace =
     machine.Machine.name maxthr;
   Printf.printf "running %d requests at load %.2f under %s...\n\n" m load mech;
   let config = if flat then `Named "even" else `Named "inner-max" in
-  let r =
-    with_trace trace (fun () ->
-        Experiments.run_server ~m ~seed ~machine ~rate_per_s:(load *. maxthr)
-          ?mechanism:(mechanism_for mech flat) ~config mk)
-  in
+  wrap (fun () ->
+      Experiments.run_server ~m ~seed ~machine ~rate_per_s:(load *. maxthr)
+        ?mechanism:(mechanism_for mech flat) ?on_start ~config mk)
+
+let serve app mech load m machine_name seed trace metrics_out profile_out =
+  let machine = machine_of machine_name in
+  let wrap f = with_metrics ?metrics_out ?profile_out (fun () -> with_trace trace f) in
+  let r = run_serve ~wrap app mech load m machine seed in
   print_result r
 
 let serve_cmd =
   let term =
     Term.(
       const serve $ app_arg $ mech_arg $ load_arg $ requests_arg $ machine_arg $ seed_arg
-      $ trace_arg)
+      $ trace_arg $ metrics_out_arg $ profile_out_arg)
   in
   Cmd.v (Cmd.info "serve" ~doc:"Run a server workload at a load factor under a mechanism.") term
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let interval_arg =
+  let doc = "Dashboard refresh interval in virtual seconds." in
+  Arg.(value & opt float 1.0 & info [ "i"; "interval" ] ~docv:"SECONDS" ~doc)
+
+let top app mech load m machine_name seed interval metrics_out profile_out =
+  if interval <= 0.0 then failwith "interval must be positive";
+  let machine = machine_of machine_name in
+  let interval_ns = int_of_float (interval *. 1e9) in
+  (* `top` always runs with a registry installed — the dashboard renders
+     it — while --metrics-out / --profile-out remain optional extras. *)
+  let reg = Obs.Metrics.create () in
+  let r =
+    run_serve
+      ~wrap:(Obs.Metrics.with_registry reg)
+      ~on_start:(fun (a : App.t) region ->
+        ignore
+          (Dashboard.spawn ~interval_ns
+             ~title:(Printf.sprintf "parcae top — %s under %s" app mech)
+             ~stop:(fun () -> R.Region.is_done region)
+             a.App.eng))
+      app mech load m machine seed
+  in
+  print_result r;
+  Option.iter (write_metrics_file reg) metrics_out;
+  Option.iter (write_profile_file reg) profile_out
+
+let top_cmd =
+  let term =
+    Term.(
+      const top $ app_arg $ mech_arg $ load_arg $ requests_arg $ machine_arg $ seed_arg
+      $ interval_arg $ metrics_out_arg $ profile_out_arg)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run a server workload with a live metrics dashboard refreshed every virtual \
+          interval.")
+    term
 
 (* ------------------------------------------------------------------ *)
 (* batch                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let batch app mech m machine_name seed trace =
+let batch app mech m machine_name seed trace metrics_out profile_out =
   let machine = machine_of machine_name in
   let mk = app_factory app in
   let flat = is_flat app in
   let config = if flat then `Named "even" else `Named "outer-only" in
   Printf.printf "running %d requests in batch mode under %s...\n\n" m mech;
   let r, _, _ =
-    with_trace trace (fun () ->
-        Experiments.run_batch ~m ~seed ~machine ?mechanism:(mechanism_for mech flat) ~config mk)
+    with_metrics ?metrics_out ?profile_out (fun () ->
+        with_trace trace (fun () ->
+            Experiments.run_batch ~m ~seed ~machine ?mechanism:(mechanism_for mech flat)
+              ~config mk))
   in
   print_result r
 
 let batch_cmd =
   let term =
-    Term.(const batch $ app_arg $ mech_arg $ requests_arg $ machine_arg $ seed_arg $ trace_arg)
+    Term.(
+      const batch $ app_arg $ mech_arg $ requests_arg $ machine_arg $ seed_arg $ trace_arg
+      $ metrics_out_arg $ profile_out_arg)
   in
   Cmd.v (Cmd.info "batch" ~doc:"Run a batch workload under a mechanism and report throughput.") term
 
@@ -265,7 +363,7 @@ let compile_cmd =
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run kernel file machine_name budget trace =
+let run kernel file machine_name budget trace metrics_out profile_out =
   let open Parcae_ir in
   let open Parcae_nona in
   let machine = machine_of machine_name in
@@ -273,6 +371,7 @@ let run kernel file machine_name budget trace =
   let loop = loop_source kernel file in
   let c = Compiler.compile loop in
   let h, done_at =
+    with_metrics ?metrics_out ?profile_out @@ fun () ->
     with_trace ~check_budget:true trace (fun () ->
         let eng = Engine.create machine in
         let h = Compiler.launch ~budget eng c in
@@ -312,7 +411,11 @@ let run kernel file machine_name budget trace =
     (if Compiler.preserves_semantics h then "preserved" else "VIOLATED")
 
 let run_cmd =
-  let term = Term.(const run $ kernel_arg $ file_arg $ machine_arg $ budget_arg $ trace_arg) in
+  let term =
+    Term.(
+      const run $ kernel_arg $ file_arg $ machine_arg $ budget_arg $ trace_arg
+      $ metrics_out_arg $ profile_out_arg)
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile a kernel and execute it under the closed-loop controller.")
     term
@@ -322,4 +425,4 @@ let run_cmd =
 let () =
   let doc = "Parcae: a system for flexible parallel execution (simulated reproduction)" in
   let info = Cmd.info "parcae_demo" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ serve_cmd; batch_cmd; compile_cmd; run_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ serve_cmd; top_cmd; batch_cmd; compile_cmd; run_cmd ]))

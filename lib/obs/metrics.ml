@@ -1,0 +1,371 @@
+(* The Decima metrics registry.
+
+   Aggregated, queryable telemetry for the runtime: monotonic counters,
+   gauges, and log-bucketed histograms, organized into labeled families the
+   way Prometheus models them.  The registry complements the event trace
+   (Sink/Trace): traces answer "what happened, in order", the registry
+   answers "how much, how fast, how distributed" while a run is in flight.
+
+   Design constraints, mirroring [Trace]:
+
+   - Dependency-free: only the stdlib and the in-tree [Json] printer.
+   - A [null] registry is a physical sentinel; emitters guard with
+
+       if Metrics.enabled () then Metrics.inc (handles ()).sends
+
+     so disabled metrics cost one load and one pointer comparison, and no
+     label lists or handle records are ever allocated.
+   - Deterministic exposition: families and series are emitted in sorted
+     order, and floats print through a fixed format, so two same-seed runs
+     produce byte-identical snapshots.
+   - Recording is O(1): counters and gauges are single mutable fields;
+     histograms locate their bucket by binary search over at most a few
+     dozen bounds.  The simulator is cooperative and single-threaded, so
+     plain mutation is race-free — the moral equivalent of the paper's
+     unsynchronized shared-memory counters (Section 4.7). *)
+
+(* ------------------------------------------------------------------ *)
+(* Instruments.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  bounds : float array;  (* strictly increasing finite upper bounds *)
+  counts : int array;  (* per-bucket counts; length = bounds + 1 (+Inf) *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+let inc_by c n = c.c <- c.c + n
+let inc c = inc_by c 1
+let counter_value c = c.c
+
+let set_gauge g v = g.g <- v
+let add_gauge g v = g.g <- g.g +. v
+let gauge_value g = g.g
+
+(* First bucket whose upper bound admits [v]; the overflow bucket if none
+   does.  Binary search keeps recording O(log #buckets) ~ O(1). *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if v <= bounds.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let observe h v =
+  let i = bucket_index h.bounds v in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1
+
+let observe_ns h ns = observe h (float_of_int ns)
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+(* [count] log-spaced upper bounds starting at [lo], each [base] times the
+   previous — the HDR-style bucketing every duration histogram uses. *)
+let log_buckets ~base ~lo ~count =
+  if base <= 1.0 || lo <= 0.0 || count <= 0 then invalid_arg "Metrics.log_buckets";
+  Array.init count (fun i -> lo *. (base ** float_of_int i))
+
+(* Virtual-time durations in nanoseconds: 256 ns .. ~4.6 hours. *)
+let duration_ns_buckets = log_buckets ~base:4.0 ~lo:256.0 ~count:18
+
+(* Response times in seconds: 1 ms .. ~65 s. *)
+let seconds_buckets = log_buckets ~base:2.0 ~lo:0.001 ~count:17
+
+(* ------------------------------------------------------------------ *)
+(* Families and registries.                                            *)
+(* ------------------------------------------------------------------ *)
+
+type kind = Counter_kind | Gauge_kind | Histogram_kind
+
+type instrument = Counter_i of counter | Gauge_i of gauge | Histogram_i of histogram
+
+type family = {
+  f_name : string;
+  f_help : string;
+  f_kind : kind;
+  f_buckets : float array;  (* histogram families only *)
+  f_label_names : string list;
+  f_series : (string list, instrument) Hashtbl.t;  (* keyed by label values *)
+}
+
+type t = {
+  null_ : bool;
+  families : (string, family) Hashtbl.t;
+}
+
+let create () = { null_ = false; families = Hashtbl.create 32 }
+let null = { null_ = true; families = Hashtbl.create 0 }
+let is_null r = r == null
+
+(* ---- The installed registry (mirrors Trace's current sink). ---- *)
+
+let current_ref = ref null
+
+let set r = current_ref := r
+let clear () = current_ref := null
+let current () = !current_ref
+let enabled () = not (is_null !current_ref)
+
+let with_registry r f =
+  let prev = !current_ref in
+  current_ref := r;
+  Fun.protect ~finally:(fun () -> current_ref := prev) f
+
+(* Memoize instrument handles against the installed registry: the returned
+   thunk rebuilds only when a different registry is installed, so hot paths
+   pay one physical comparison per event. *)
+let cached build =
+  let memo = ref None in
+  fun () ->
+    let reg = !current_ref in
+    match !memo with
+    | Some (r, v) when r == reg -> v
+    | _ ->
+        let v = build reg in
+        memo := Some (reg, v);
+        v
+
+(* ---- Family creation / series lookup. ---- *)
+
+let kind_name = function
+  | Counter_kind -> "counter"
+  | Gauge_kind -> "gauge"
+  | Histogram_kind -> "histogram"
+
+let make_instrument fam =
+  match fam.f_kind with
+  | Counter_kind -> Counter_i { c = 0 }
+  | Gauge_kind -> Gauge_i { g = 0.0 }
+  | Histogram_kind ->
+      Histogram_i
+        {
+          bounds = fam.f_buckets;
+          counts = Array.make (Array.length fam.f_buckets + 1) 0;
+          h_sum = 0.0;
+          h_count = 0;
+        }
+
+let family reg ~name ~help ~kind ~buckets ~label_names =
+  match Hashtbl.find_opt reg.families name with
+  | Some fam ->
+      if fam.f_kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s registered as %s, requested as %s" name
+             (kind_name fam.f_kind) (kind_name kind));
+      if List.length fam.f_label_names <> List.length label_names then
+        invalid_arg (Printf.sprintf "Metrics: %s label arity mismatch" name);
+      fam
+  | None ->
+      let fam =
+        { f_name = name; f_help = help; f_kind = kind; f_buckets = buckets;
+          f_label_names = label_names; f_series = Hashtbl.create 4 }
+      in
+      Hashtbl.replace reg.families name fam;
+      fam
+
+let series reg ~name ~help ~kind ~buckets labels =
+  let fam =
+    family reg ~name ~help ~kind ~buckets ~label_names:(List.map fst labels)
+  in
+  let key = List.map snd labels in
+  match Hashtbl.find_opt fam.f_series key with
+  | Some i -> i
+  | None ->
+      let i = make_instrument fam in
+      Hashtbl.replace fam.f_series key i;
+      i
+
+(* Instruments created against the null registry are free-standing dummies:
+   updates mutate garbage that is never exposed, so a stray unguarded
+   emitter is harmless rather than fatal. *)
+
+let counter ?(help = "") ?(labels = []) reg name =
+  if is_null reg then { c = 0 }
+  else
+    match series reg ~name ~help ~kind:Counter_kind ~buckets:[||] labels with
+    | Counter_i c -> c
+    | _ -> assert false
+
+let gauge ?(help = "") ?(labels = []) reg name =
+  if is_null reg then { g = 0.0 }
+  else
+    match series reg ~name ~help ~kind:Gauge_kind ~buckets:[||] labels with
+    | Gauge_i g -> g
+    | _ -> assert false
+
+let histogram ?(help = "") ?(buckets = duration_ns_buckets) ?(labels = []) reg name =
+  if is_null reg then
+    { bounds = buckets; counts = Array.make (Array.length buckets + 1) 0;
+      h_sum = 0.0; h_count = 0 }
+  else
+    match series reg ~name ~help ~kind:Histogram_kind ~buckets labels with
+    | Histogram_i h -> h
+    | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { bounds : float array; counts : int array; sum : float; count : int }
+
+type sample = { labels : (string * string) list; value : value }
+type fam_snapshot = { name : string; help : string; skind : kind; samples : sample list }
+
+let snapshot_instrument = function
+  | Counter_i c -> Counter_v c.c
+  | Gauge_i g -> Gauge_v g.g
+  | Histogram_i h ->
+      Histogram_v
+        { bounds = Array.copy h.bounds; counts = Array.copy h.counts;
+          sum = h.h_sum; count = h.h_count }
+
+(* Families sorted by name, series sorted by label values: exposition order
+   is a function of the recorded data alone, never of hash-table layout. *)
+let snapshot reg =
+  Hashtbl.fold (fun _ fam acc -> fam :: acc) reg.families []
+  |> List.sort (fun a b -> compare a.f_name b.f_name)
+  |> List.map (fun fam ->
+         let samples =
+           Hashtbl.fold (fun key i acc -> (key, i) :: acc) fam.f_series []
+           |> List.sort (fun (a, _) (b, _) -> compare a b)
+           |> List.map (fun (key, i) ->
+                  { labels = List.combine fam.f_label_names key;
+                    value = snapshot_instrument i })
+         in
+         { name = fam.f_name; help = fam.f_help; skind = fam.f_kind; samples })
+
+(* Upper bound of the bucket where the [q]-quantile falls — the standard
+   bucket-resolution estimate Prometheus's histogram_quantile computes.
+   Returns the largest finite bound for samples in the overflow bucket and
+   nan for an empty histogram. *)
+let quantile ~bounds ~counts q =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then nan
+  else begin
+    let target = q *. float_of_int total in
+    let n = Array.length bounds in
+    let rec walk i cum =
+      if i >= n then (if n = 0 then nan else bounds.(n - 1))
+      else
+        let cum = cum + counts.(i) in
+        if float_of_int cum >= target then bounds.(i) else walk (i + 1) cum
+    in
+    walk 0 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exposition: Prometheus text format 0.0.4.                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed float format: integral values render as integers (counters and
+   bucket bounds read naturally), everything else via %.12g.  Byte-stable
+   across runs by construction. *)
+let fmt_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let label_block labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) labels)
+      ^ "}"
+
+let to_prometheus reg =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun fam ->
+      if fam.help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" fam.name fam.help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" fam.name (kind_name fam.skind));
+      List.iter
+        (fun { labels; value } ->
+          match value with
+          | Counter_v c ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %d\n" fam.name (label_block labels) c)
+          | Gauge_v g ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %s\n" fam.name (label_block labels) (fmt_float g))
+          | Histogram_v { bounds; counts; sum; count } ->
+              (* Buckets are cumulative and always end at le="+Inf". *)
+              let cum = ref 0 in
+              Array.iteri
+                (fun i b ->
+                  cum := !cum + counts.(i);
+                  let labels = labels @ [ ("le", fmt_float b) ] in
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_bucket%s %d\n" fam.name (label_block labels) !cum))
+                bounds;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" fam.name
+                   (label_block (labels @ [ ("le", "+Inf") ]))
+                   count);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_sum%s %s\n" fam.name (label_block labels) (fmt_float sum));
+              Buffer.add_string buf
+                (Printf.sprintf "%s_count%s %d\n" fam.name (label_block labels) count))
+        fam.samples)
+    (snapshot reg);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Exposition: self-contained JSON snapshot.                           *)
+(* ------------------------------------------------------------------ *)
+
+let value_to_json = function
+  | Counter_v c -> Json.Int c
+  | Gauge_v g -> Json.Float g
+  | Histogram_v { bounds; counts; sum; count } ->
+      Json.Obj
+        [ ("bounds", Json.List (Array.to_list (Array.map (fun b -> Json.Float b) bounds)));
+          ("counts", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) counts)));
+          ("sum", Json.Float sum); ("count", Json.Int count) ]
+
+let to_json reg =
+  Json.Obj
+    [ ("families",
+       Json.List
+         (List.map
+            (fun fam ->
+              Json.Obj
+                [ ("name", Json.Str fam.name); ("kind", Json.Str (kind_name fam.skind));
+                  ("help", Json.Str fam.help);
+                  ("series",
+                   Json.List
+                     (List.map
+                        (fun { labels; value } ->
+                          Json.Obj
+                            [ ("labels",
+                               Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels));
+                              ("value", value_to_json value) ])
+                        fam.samples)) ])
+            (snapshot reg))) ]
+
+let to_json_string reg = Json.to_string (to_json reg)

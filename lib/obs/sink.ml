@@ -30,9 +30,17 @@ let dropped s = s.dropped
 let capacity s = s.capacity
 
 let clear s =
+  (* Drop the ring storage too: a cleared sink must release the memory of
+     the events it retained, not just forget their indices.  The next
+     [record] re-allocates lazily, exactly as on first use. *)
+  s.buf <- [||];
   s.start <- 0;
   s.len <- 0;
   s.dropped <- 0
+
+(* Size of the backing array — 0 before the first event and after [clear].
+   Exposed so tests can assert that clearing releases the allocation. *)
+let allocated_slots s = Array.length s.buf
 
 let record s ~t kind =
   if s.capacity > 0 then begin

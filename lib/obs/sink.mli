@@ -28,7 +28,14 @@ val dropped : t -> int
 (** Events overwritten since creation (0 until the ring fills). *)
 
 val capacity : t -> int
+
 val clear : t -> unit
+(** Forget all retained events {e and} release the ring's backing storage;
+    the next {!record} re-allocates lazily. *)
+
+val allocated_slots : t -> int
+(** Size of the backing array: 0 before the first event and after {!clear},
+    [capacity] once recording has begun. *)
 
 val to_array : t -> Event.t array
 (** Retained events, oldest first. *)

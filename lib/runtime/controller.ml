@@ -18,6 +18,7 @@ module Series = Parcae_util.Series
 module Config = Parcae_core.Config
 module Task = Parcae_core.Task
 module Trace = Parcae_obs.Trace
+module Metrics = Parcae_obs.Metrics
 
 type state = Init | Calibrate | Optimize | Monitor
 
@@ -78,6 +79,7 @@ type t = {
   region : Region.t;
   params : params;
   mutable state : state;
+  mutable state_since : int;  (* virtual time of the last state entry *)
   mutable stop : bool;
   mutable resource_dirty : bool;  (* budget changed since last look *)
   mutable last_budget : int;
@@ -94,6 +96,7 @@ let create ?(params = default_params) region =
     region;
     params;
     state = Init;
+    state_since = Engine.time region.Region.eng;
     stop = false;
     resource_dirty = false;
     last_budget = Region.budget region;
@@ -140,7 +143,19 @@ let now_s t = Engine.seconds_of_ns (Engine.time t.region.Region.eng)
 let record_state t =
   Series.add t.states ~time:(now_s t) ~value:(float_of_int (state_code t.state))
 
+(* Attribute the dwell time of the state being left to its counter series. *)
+let note_dwell t ~now =
+  if Metrics.enabled () && now > t.state_since then
+    Metrics.inc_by
+      (Metrics.counter (Metrics.current ()) "parcae_ctrl_state_dwell_ns_total"
+         ~labels:[ ("region", t.region.Region.name); ("state", state_to_string t.state) ]
+         ~help:"Virtual time the controller spent in each FSM state.")
+      (now - t.state_since)
+
 let enter t state =
+  let now = Engine.time t.region.Region.eng in
+  note_dwell t ~now;
+  t.state_since <- now;
   t.state <- state;
   record_state t;
   if Trace.enabled () then
@@ -148,6 +163,15 @@ let enter t state =
       ~t:(Engine.time t.region.Region.eng)
       (Parcae_obs.Event.Ctrl_state
          { region = t.region.Region.name; state = obs_state state })
+
+let note_throughput t thr =
+  Series.add t.throughputs ~time:(now_s t) ~value:thr;
+  if Metrics.enabled () then
+    Metrics.set_gauge
+      (Metrics.gauge (Metrics.current ()) "parcae_ctrl_throughput"
+         ~labels:[ ("region", t.region.Region.name) ]
+         ~help:"Most recent throughput sample observed by the controller.")
+      thr
 
 let finished t = Region.is_done t.region || t.stop
 
@@ -168,7 +192,7 @@ let measure_iters t n =
     if finished t then None
     else if Decima.iters_since d snap last >= n then begin
       let thr = Decima.rate_since d snap last in
-      Series.add t.throughputs ~time:(now_s t) ~value:thr;
+      note_throughput t thr;
       match t.params.objective with
       | Max_throughput -> Some thr
       | Min_energy_delay2 ->
@@ -227,6 +251,11 @@ let gradient_ascent t i cap =
   let d0 = (Config.dops cfg0).(i) in
   let d0 = min d0 cap in
   let thr_at d =
+    if Metrics.enabled () then
+      Metrics.inc
+        (Metrics.counter (Metrics.current ()) "parcae_ctrl_gradient_steps_total"
+           ~labels:[ ("region", t.region.Region.name) ]
+           ~help:"Finite-difference DoP probes taken during gradient ascent.");
     let cfg = Config.with_dop cfg0 i d in
     measure_config t cfg (npar t d)
   in
@@ -385,6 +414,11 @@ let optimize_pass t ~seq_choice ~par_choices =
           match Hashtbl.find_opt t.cache (choice, budget) with
           | Some cached ->
               (* Cache hit: reuse the optimized configuration directly. *)
+              if Metrics.enabled () then
+                Metrics.inc
+                  (Metrics.counter (Metrics.current ()) "parcae_ctrl_cache_hits_total"
+                     ~labels:[ ("region", t.region.Region.name) ]
+                     ~help:"Optimized configurations reused from the (scheme, budget) cache.");
               enter t Calibrate;
               apply t cached;
               (match measure_iters t t.params.nseq with
@@ -460,7 +494,7 @@ let monitor t =
     end
     else begin
       let thr = Decima.rate_since d snap last in
-      Series.add t.throughputs ~time:(now_s t) ~value:thr;
+      note_throughput t thr;
       if !base <= 0.0 then base := thr
       else if abs_float (thr -. !base) /. !base > t.params.change_frac then begin
         reason := (if thr < !base then `Workload_slowed else `Workload_sped_up);
@@ -503,7 +537,11 @@ let run t =
           (* Reset: cached configurations for larger budgets do not apply. *)
           ()
     end
-  done
+  done;
+  (* Close out the dwell of the state the controller stopped in. *)
+  let now = Engine.time region.Region.eng in
+  note_dwell t ~now;
+  t.state_since <- now
 
 (* Spawn the controller on its own simulated thread. *)
 let spawn eng t =

@@ -17,6 +17,7 @@
 module Engine = Parcae_sim.Engine
 module Trace = Parcae_obs.Trace
 module Event = Parcae_obs.Event
+module Metrics = Parcae_obs.Metrics
 
 type program = {
   region : Region.t;
@@ -46,7 +47,21 @@ let trace_shares t act =
          {
            total = t.total;
            shares = List.map (fun p -> (p.region.Region.name, Region.budget p.region)) act;
-         })
+         });
+  if Metrics.enabled () then begin
+    let reg = Metrics.current () in
+    Metrics.inc
+      (Metrics.counter reg "parcae_daemon_repartitions_total"
+         ~help:"Platform-wide budget repartitions/redistributions applied.");
+    List.iter
+      (fun p ->
+        Metrics.set_gauge
+          (Metrics.gauge reg "parcae_daemon_share"
+             ~labels:[ ("program", p.region.Region.name) ]
+             ~help:"Current thread budget granted to each program.")
+          (float_of_int (Region.budget p.region)))
+      act
+  end
 
 (* Re-partition budgets equally among active programs and notify their
    controllers that resources changed. *)

@@ -12,6 +12,7 @@ module Engine = Parcae_sim.Engine
 module Stats = Parcae_util.Stats
 module Trace = Parcae_obs.Trace
 module Event = Parcae_obs.Event
+module Metrics = Parcae_obs.Metrics
 
 type task_stats = {
   mutable iters : int;  (* completed dynamic instances across all lanes *)
@@ -19,24 +20,102 @@ type task_stats = {
   exec_ewma : Stats.Ewma.t;  (* per-instance compute time estimate, ns *)
 }
 
+(* Registry handles, one set per task plus region-level completions.  The
+   compute counter is labeled (region, scheme, task) — exactly the frames
+   Obs.Profile folds into flamegraph stacks. *)
+type task_metrics = {
+  dm_compute : Metrics.counter;
+  dm_hook : Metrics.histogram;
+  dm_iters : Metrics.counter;
+}
+
+type decima_metrics = { dm_tasks : task_metrics array; dm_completions : Metrics.counter }
+
 type t = {
   eng : Engine.t;
   mutable tasks : task_stats array;
   features : (string, unit -> float) Hashtbl.t;
   mutable hook_calls : int;
   mutable completions : int;  (* region-level unit-of-work completions *)
+  mutable region_name : string;  (* label values for the registry series; *)
+  mutable scheme_name : string;  (* set by Region.create / Executor.resume *)
+  mutable task_names : string array;
+  mutable mx : (Metrics.t * decima_metrics) option;
 }
 
 let make_task_stats () = { iters = 0; compute_ns = 0; exec_ewma = Stats.Ewma.create ~alpha:0.2 }
 
 let create eng ~tasks =
-  { eng; tasks = Array.init tasks (fun _ -> make_task_stats ()); features = Hashtbl.create 7; hook_calls = 0; completions = 0 }
+  {
+    eng;
+    tasks = Array.init tasks (fun _ -> make_task_stats ());
+    features = Hashtbl.create 7;
+    hook_calls = 0;
+    completions = 0;
+    region_name = "";
+    scheme_name = "";
+    task_names = [||];
+    mx = None;
+  }
 
 (* Re-size and clear task statistics; used when the runtime switches to a
    parallelization scheme with a different task count. *)
-let reset t ~tasks = t.tasks <- Array.init tasks (fun _ -> make_task_stats ())
+let reset t ~tasks =
+  t.tasks <- Array.init tasks (fun _ -> make_task_stats ());
+  t.mx <- None
 
 let task_count t = Array.length t.tasks
+
+(* Name the label values under which this monitor's statistics appear in the
+   metrics registry.  Registry series are cumulative across resets, so a
+   scheme switch moves attribution to a fresh (region, scheme, task) series
+   instead of clearing history. *)
+let set_names t ~region ~scheme ~tasks =
+  t.region_name <- region;
+  t.scheme_name <- scheme;
+  t.task_names <- tasks;
+  t.mx <- None
+
+let task_label t i =
+  if i < Array.length t.task_names then t.task_names.(i) else Printf.sprintf "t%d" i
+
+let handles t =
+  let reg = Metrics.current () in
+  match t.mx with
+  | Some (r, h) when r == reg -> h
+  | _ ->
+      let h =
+        {
+          dm_tasks =
+            Array.init (Array.length t.tasks) (fun i ->
+                let name = task_label t i in
+                {
+                  dm_compute =
+                    Metrics.counter reg "parcae_task_compute_ns_total"
+                      ~labels:
+                        [
+                          ("region", t.region_name);
+                          ("scheme", t.scheme_name);
+                          ("task", name);
+                        ]
+                      ~help:"Hook-attributed compute ns per (region, scheme, task).";
+                  dm_hook =
+                    Metrics.histogram reg "parcae_decima_hook_ns"
+                      ~labels:[ ("region", t.region_name); ("task", name) ]
+                      ~help:"Per-instance compute time between begin/end hooks.";
+                  dm_iters =
+                    Metrics.counter reg "parcae_decima_iters_total"
+                      ~labels:[ ("region", t.region_name); ("task", name) ]
+                      ~help:"Completed dynamic task instances.";
+                });
+          dm_completions =
+            Metrics.counter reg "parcae_decima_completions_total"
+              ~labels:[ ("region", t.region_name) ]
+              ~help:"Region-level unit-of-work completions.";
+        }
+      in
+      t.mx <- Some (reg, h);
+      h
 
 (* ---- Hooks (Section 4.7) ---- *)
 
@@ -67,7 +146,12 @@ let hook_end t ~task slot =
       s.compute_ns <- s.compute_ns + dt;
       Stats.Ewma.observe s.exec_ewma (float_of_int dt);
       if Trace.enabled () then
-        Trace.emit ~t:(Engine.time t.eng) (Event.Hook_sample { task; dt_ns = dt })
+        Trace.emit ~t:(Engine.time t.eng) (Event.Hook_sample { task; dt_ns = dt });
+      if Metrics.enabled () then begin
+        let m = (handles t).dm_tasks.(task) in
+        Metrics.inc_by m.dm_compute dt;
+        Metrics.observe_ns m.dm_hook dt
+      end
     end
   end
 
@@ -75,16 +159,24 @@ let hook_end t ~task slot =
 let tick t i =
   if i >= 0 && i < Array.length t.tasks then begin
     let s = t.tasks.(i) in
-    s.iters <- s.iters + 1
+    s.iters <- s.iters + 1;
+    if Metrics.enabled () then Metrics.inc (handles t).dm_tasks.(i).dm_iters
   end
 
 (* Record the completion of one region-level unit of work (one transcoded
    video, one answered query, ...). *)
-let complete t = t.completions <- t.completions + 1
+let complete t =
+  t.completions <- t.completions + 1;
+  if Metrics.enabled () then Metrics.inc (handles t).dm_completions
 
 let iters t i = t.tasks.(i).iters
 let completions t = t.completions
 let hook_calls t = t.hook_calls
+
+(* Total hook-attributed compute ns of task [i] since the last reset —
+   matches the [parcae_task_compute_ns_total] series one-for-one when the
+   region never switched scheme. *)
+let compute_ns t i = t.tasks.(i).compute_ns
 
 (* Decima's estimate of a task's per-instance execution time in ns
    (Parcae::getExecTime). *)
@@ -135,4 +227,10 @@ let feature t name =
       let value = cb () in
       if Trace.enabled () then
         Trace.emit ~t:(Engine.time t.eng) (Event.Feature_sample { name; value });
+      if Metrics.enabled () then
+        Metrics.set_gauge
+          (Metrics.gauge (Metrics.current ()) "parcae_decima_feature"
+             ~labels:[ ("name", name) ]
+             ~help:"Last sampled platform feature value.")
+          value;
       Some value

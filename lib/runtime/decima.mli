@@ -14,6 +14,13 @@ val reset : t -> tasks:int -> unit
 
 val task_count : t -> int
 
+val set_names : t -> region:string -> scheme:string -> tasks:string array -> unit
+(** Label values under which this monitor's statistics appear in the metrics
+    registry ([parcae_task_compute_ns_total{region,scheme,task}] feeds the
+    folded-stack profiler).  Called by [Region.create] and on scheme switch;
+    registry series are cumulative, so a switch starts fresh series rather
+    than clearing history. *)
+
 (** {1 Hooks}
 
     A hook pair measures the CPU a worker consumed between begin and end,
@@ -34,6 +41,9 @@ val complete : t -> unit
 val iters : t -> int -> int
 val completions : t -> int
 val hook_calls : t -> int
+
+val compute_ns : t -> int -> int
+(** Total hook-attributed compute ns of a task since the last reset. *)
 
 val exec_time : t -> int -> float
 (** Decima's estimate of a task's per-instance execution time in ns

@@ -15,6 +15,31 @@ module Task = Parcae_core.Task
 module Task_status = Parcae_core.Task_status
 module Trace = Parcae_obs.Trace
 module Event = Parcae_obs.Event
+module Metrics = Parcae_obs.Metrics
+
+(* Pause and reconfiguration are rare (controller-period) events, so their
+   metrics go through the registry's family lookup directly instead of a
+   cached handle record. *)
+let note_pause (r : Region.t) ~t0 =
+  if Metrics.enabled () then
+    Metrics.observe_ns
+      (Metrics.histogram (Metrics.current ()) "parcae_exec_pause_ns"
+         ~labels:[ ("region", r.Region.name) ]
+         ~help:"Virtual time from pause request until all workers parked.")
+      (Engine.time r.Region.eng - t0)
+
+let note_reconfig (r : Region.t) ~kind ~t0 =
+  if Metrics.enabled () then begin
+    let reg = Metrics.current () in
+    let labels = [ ("region", r.Region.name); ("kind", kind) ] in
+    Metrics.inc
+      (Metrics.counter reg "parcae_exec_reconfigs_total" ~labels
+         ~help:"Applied reconfigurations by kind (light = barrier-less).");
+    Metrics.observe_ns
+      (Metrics.histogram reg "parcae_exec_reconfig_ns" ~labels
+         ~help:"Virtual time each reconfiguration took end to end.")
+      (Engine.time r.Region.eng - t0)
+  end
 
 (* Mark the region Done, emit the trace event, and wake joiners — the
    single exit point for both completion paths and [terminate]. *)
@@ -187,6 +212,7 @@ let pause (r : Region.t) =
         Engine.wait_on r.Region.parked
       done;
       r.Region.pause_wait_ns <- r.Region.pause_wait_ns + (Engine.time r.Region.eng - t0);
+      note_pause r ~t0;
       r.Region.status = Region.Paused
 
 (* Resume a paused region, optionally under a new configuration. *)
@@ -203,7 +229,10 @@ let resume ?config (r : Region.t) =
       Task.validate_config (List.nth r.Region.schemes cfg.Config.choice) cfg;
       if cfg.Config.choice <> r.Region.config.Config.choice then begin
         r.Region.scheme_switches <- r.Region.scheme_switches + 1;
-        Decima.reset r.Region.decima ~tasks:(Array.length cfg.Config.tasks)
+        Decima.reset r.Region.decima ~tasks:(Array.length cfg.Config.tasks);
+        let pd = List.nth r.Region.schemes cfg.Config.choice in
+        Decima.set_names r.Region.decima ~region:r.Region.name ~scheme:pd.Task.pd_name
+          ~tasks:(Array.of_list (List.map (fun (tk : Task.t) -> tk.Task.name) pd.Task.tasks))
       end;
       r.Region.config <- cfg);
   Option.iter (fun f -> f ()) r.Region.on_reset;
@@ -286,14 +315,22 @@ let resize (r : Region.t) cfg =
    DoP-only changes on a light-resizable scheme avoid the barrier
    entirely (Section 7.2). *)
 let reconfigure (r : Region.t) cfg =
-  if not (Region.is_done r) && not (Config.equal cfg r.Region.config) then
+  if not (Region.is_done r) && not (Config.equal cfg r.Region.config) then begin
+    let t0 = Engine.time r.Region.eng in
     if
       r.Region.light_resizable
       && r.Region.status = Region.Running
       && (not r.Region.master_completed)
       && dop_only_change r cfg
-    then resize r cfg
-    else if pause r then resume ~config:cfg r
+    then begin
+      resize r cfg;
+      note_reconfig r ~kind:"light" ~t0
+    end
+    else if pause r then begin
+      resume ~config:cfg r;
+      note_reconfig r ~kind:"full" ~t0
+    end
+  end
 
 (* Block until the region completes. *)
 let await (r : Region.t) =

@@ -77,6 +77,10 @@ let create ?(budget = max_int) ?on_pause ?on_reset ~name eng schemes config =
            threads = Config.threads config;
            budget;
          });
+  let pd = List.nth schemes config.Config.choice in
+  let decima = Decima.create eng ~tasks:(Task.arity pd) in
+  Decima.set_names decima ~region:name ~scheme:pd.Task.pd_name
+    ~tasks:(Array.of_list (List.map (fun (tk : Task.t) -> tk.Task.name) pd.Task.tasks));
   {
     name;
     eng;
@@ -86,7 +90,7 @@ let create ?(budget = max_int) ?on_pause ?on_reset ~name eng schemes config =
     pause_requested = false;
     master_completed = false;
     budget;
-    decima = Decima.create eng ~tasks:(Task.arity (List.nth schemes config.Config.choice));
+    decima;
     parked = Engine.cond_create ();
     finished = Engine.cond_create ();
     active_workers = 0;

@@ -8,6 +8,20 @@
    multi-consumer; used single-producer single-consumer they preserve
    sequential order, which the pause/reconfigure protocol relies on. *)
 
+module Metrics = Parcae_obs.Metrics
+
+(* Per-channel metric handles, labeled by channel name.  Cached against the
+   installed registry so the hot path pays one physical comparison, not a
+   hashtable lookup per operation. *)
+type chan_metrics = {
+  cm_sends : Metrics.counter;
+  cm_recvs : Metrics.counter;
+  cm_depth : Metrics.gauge;
+  cm_send_block : Metrics.histogram;
+  cm_recv_block : Metrics.histogram;
+  cm_flushed : Metrics.counter;
+}
+
 type 'a t = {
   name : string;
   capacity : int;  (* 0 = unbounded *)
@@ -17,6 +31,7 @@ type 'a t = {
   op_cost : int;
   mutable total_sent : int;
   mutable total_received : int;
+  mutable mx : (Metrics.t * chan_metrics) option;
 }
 
 let create ?(capacity = 0) ?(op_cost = -1) name =
@@ -29,7 +44,43 @@ let create ?(capacity = 0) ?(op_cost = -1) name =
     op_cost;
     total_sent = 0;
     total_received = 0;
+    mx = None;
   }
+
+let handles ch =
+  let reg = Metrics.current () in
+  match ch.mx with
+  | Some (r, h) when r == reg -> h
+  | _ ->
+      let labels = [ ("chan", ch.name) ] in
+      let h =
+        {
+          cm_sends =
+            Metrics.counter reg "parcae_chan_sends_total" ~labels
+              ~help:"Items enqueued, per channel.";
+          cm_recvs =
+            Metrics.counter reg "parcae_chan_recvs_total" ~labels
+              ~help:"Items dequeued, per channel.";
+          cm_depth =
+            Metrics.gauge reg "parcae_chan_depth" ~labels
+              ~help:"Current queue occupancy, per channel.";
+          cm_send_block =
+            Metrics.histogram reg "parcae_chan_send_block_ns" ~labels
+              ~help:"Virtual time senders spent blocked on a full channel.";
+          cm_recv_block =
+            Metrics.histogram reg "parcae_chan_recv_block_ns" ~labels
+              ~help:"Virtual time receivers spent blocked on an empty channel.";
+          cm_flushed =
+            Metrics.counter reg "parcae_chan_flushed_total" ~labels
+              ~help:"Items dropped by filter/drain on reconfiguration.";
+        }
+      in
+      ch.mx <- Some (reg, h);
+      h
+
+let note_depth ch =
+  if Metrics.enabled () then
+    Metrics.set_gauge (handles ch).cm_depth (float_of_int (Queue.length ch.q))
 
 let cost ch = if ch.op_cost >= 0 then ch.op_cost else (Engine.machine (Engine.engine ())).Machine.chan_op
 
@@ -41,8 +92,11 @@ let total_received ch = ch.total_received
 (* Enqueue [v], blocking while the channel is at capacity. *)
 let send ch v =
   Engine.compute (cost ch);
+  let waited = ref false in
+  let t0 = if Metrics.enabled () then Engine.now () else 0 in
   let rec loop () =
     if ch.capacity > 0 && Queue.length ch.q >= ch.capacity then begin
+      waited := true;
       Engine.wait_on ch.nonfull;
       loop ()
     end
@@ -52,11 +106,19 @@ let send ch v =
       Engine.signal ch.nonempty
     end
   in
-  loop ()
+  loop ();
+  if Metrics.enabled () then begin
+    let h = handles ch in
+    Metrics.inc h.cm_sends;
+    Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
+    if !waited then Metrics.observe_ns h.cm_send_block (Engine.now () - t0)
+  end
 
 (* Dequeue, blocking while the channel is empty. *)
 let recv ch =
   Engine.compute (cost ch);
+  let waited = ref false in
+  let t0 = if Metrics.enabled () then Engine.now () else 0 in
   let rec loop () =
     match Queue.take_opt ch.q with
     | Some v ->
@@ -64,10 +126,18 @@ let recv ch =
         Engine.signal ch.nonfull;
         v
     | None ->
+        waited := true;
         Engine.wait_on ch.nonempty;
         loop ()
   in
-  loop ()
+  let v = loop () in
+  if Metrics.enabled () then begin
+    let h = handles ch in
+    Metrics.inc h.cm_recvs;
+    Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
+    if !waited then Metrics.observe_ns h.cm_recv_block (Engine.now () - t0)
+  end;
+  v
 
 (* Enqueue [v] regardless of capacity.  Control sentinels use this: a lane
    re-enqueueing a sentinel it just consumed must never block, or the
@@ -76,6 +146,11 @@ let force_send ch v =
   Engine.compute (cost ch);
   Queue.push v ch.q;
   ch.total_sent <- ch.total_sent + 1;
+  if Metrics.enabled () then begin
+    let h = handles ch in
+    Metrics.inc h.cm_sends;
+    Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q))
+  end;
   Engine.signal ch.nonempty
 
 (* Non-blocking receive. *)
@@ -84,6 +159,11 @@ let try_recv ch =
   | Some v ->
       Engine.compute (cost ch);
       ch.total_received <- ch.total_received + 1;
+      if Metrics.enabled () then begin
+        let h = handles ch in
+        Metrics.inc h.cm_recvs;
+        Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q))
+      end;
       Engine.signal ch.nonfull;
       Some v
   | None -> None
@@ -95,6 +175,11 @@ let try_send ch v =
     Engine.compute (cost ch);
     Queue.push v ch.q;
     ch.total_sent <- ch.total_sent + 1;
+    if Metrics.enabled () then begin
+      let h = handles ch in
+      Metrics.inc h.cm_sends;
+      Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q))
+    end;
     Engine.signal ch.nonempty;
     true
   end
@@ -112,6 +197,10 @@ let filter ch keep =
   if Parcae_obs.Trace.enabled () then
     Parcae_obs.Trace.emit ~t:(Engine.now ())
       (Parcae_obs.Event.Chan_flush { chan = ch.name; dropped = !removed });
+  if Metrics.enabled () then begin
+    Metrics.inc_by (handles ch).cm_flushed !removed;
+    note_depth ch
+  end;
   !removed
 
 (* Discard all queued items; used when the runtime resets communication
@@ -123,4 +212,8 @@ let drain ch =
   if Parcae_obs.Trace.enabled () then
     Parcae_obs.Trace.emit ~t:(Engine.now ())
       (Parcae_obs.Event.Chan_flush { chan = ch.name; dropped = n });
+  if Metrics.enabled () then begin
+    Metrics.inc_by (handles ch).cm_flushed n;
+    note_depth ch
+  end;
   n

@@ -14,6 +14,47 @@
 module Pqueue = Parcae_util.Pqueue
 module Trace = Parcae_obs.Trace
 module Event = Parcae_obs.Event
+module Metrics = Parcae_obs.Metrics
+
+(* Scheduler-level instruments.  Handle creation is memoized against the
+   installed registry; every update is guarded by [Metrics.enabled ()] so
+   disabled metrics cost one comparison per scheduling decision. *)
+type scheduler_metrics = {
+  m_busy_ns : Metrics.counter;
+  m_idle_ns : Metrics.counter;
+  m_ctx_switches : Metrics.counter;
+  m_spawned : Metrics.counter;
+  m_runnable : Metrics.gauge;
+  m_busy_cores : Metrics.gauge;
+  m_online_cores : Metrics.gauge;
+  m_live_threads : Metrics.gauge;
+}
+
+let mx =
+  Metrics.cached (fun reg ->
+      {
+        m_busy_ns =
+          Metrics.counter reg "parcae_sim_busy_core_ns_total"
+            ~help:"Core-nanoseconds spent executing simulated threads";
+        m_idle_ns =
+          Metrics.counter reg "parcae_sim_idle_core_ns_total"
+            ~help:"Core-nanoseconds online cores spent idle";
+        m_ctx_switches =
+          Metrics.counter reg "parcae_sim_ctx_switches_total"
+            ~help:"Context switches charged by the scheduler";
+        m_spawned =
+          Metrics.counter reg "parcae_sim_threads_spawned_total"
+            ~help:"Simulated threads ever spawned";
+        m_runnable =
+          Metrics.gauge reg "parcae_sim_runnable_threads"
+            ~help:"Threads ready to run but not on a core";
+        m_busy_cores =
+          Metrics.gauge reg "parcae_sim_busy_cores" ~help:"Cores currently executing a thread";
+        m_online_cores =
+          Metrics.gauge reg "parcae_sim_online_cores" ~help:"Cores the platform makes available";
+        m_live_threads =
+          Metrics.gauge reg "parcae_sim_live_threads" ~help:"Threads not yet finished";
+      })
 
 type time = int
 
@@ -123,12 +164,24 @@ let account_energy eng =
   if dt > 0 then begin
     let watts = Machine.power eng.machine ~busy:eng.busy in
     eng.energy_j <- eng.energy_j +. (watts *. (float_of_int dt *. 1e-9));
-    eng.last_energy_t <- eng.now
+    eng.last_energy_t <- eng.now;
+    (* Integrate core busy/idle time over the same interval the energy
+       accumulator covers: [busy] was the level since [last_energy_t]. *)
+    if Metrics.enabled () then begin
+      let m = mx () in
+      Metrics.inc_by m.m_busy_ns (dt * eng.busy);
+      Metrics.inc_by m.m_idle_ns (dt * max 0 (eng.online - eng.busy))
+    end
   end
 
 let set_busy eng b =
   account_energy eng;
-  eng.busy <- b
+  eng.busy <- b;
+  if Metrics.enabled () then begin
+    let m = mx () in
+    Metrics.set_gauge m.m_busy_cores (float_of_int b);
+    Metrics.set_gauge m.m_online_cores (float_of_int eng.online)
+  end
 
 (* Assign cores to runnable threads while any are free. *)
 let rec dispatch eng =
@@ -141,7 +194,12 @@ let rec dispatch eng =
       (* Charge the context switch, then run up to one scheduler quantum. *)
       let chunk = min th.need eng.machine.Machine.time_slice in
       th.chunk <- chunk;
-      push_event eng (eng.now + eng.machine.Machine.ctx_switch + chunk) (Slice_end th)
+      push_event eng (eng.now + eng.machine.Machine.ctx_switch + chunk) (Slice_end th);
+      if Metrics.enabled () then begin
+        let m = mx () in
+        Metrics.inc m.m_ctx_switches;
+        Metrics.set_gauge m.m_runnable (float_of_int (Queue.length eng.run_queue))
+      end
     end;
     dispatch eng
   end
@@ -149,6 +207,8 @@ let rec dispatch eng =
 let make_runnable eng th =
   th.state <- Runnable;
   Queue.push th eng.run_queue;
+  if Metrics.enabled () then
+    Metrics.set_gauge (mx ()).m_runnable (float_of_int (Queue.length eng.run_queue));
   dispatch eng
 
 let release_core eng th =
@@ -183,6 +243,8 @@ let run_turn eng th =
 let finish eng th =
   th.state <- Finished;
   eng.live <- eng.live - 1;
+  if Metrics.enabled () then
+    Metrics.set_gauge (mx ()).m_live_threads (float_of_int eng.live);
   release_core eng th;
   do_broadcast eng th.done_cond
 
@@ -281,6 +343,11 @@ and spawn eng ~name body : thread =
     }
   in
   eng.live <- eng.live + 1;
+  if Metrics.enabled () then begin
+    let m = mx () in
+    Metrics.inc m.m_spawned;
+    Metrics.set_gauge m.m_live_threads (float_of_int eng.live)
+  end;
   eng.all_threads <- th :: eng.all_threads;
   th.cont <- Some (fun () -> Effect.Deep.match_with body () (handler eng th));
   th.state <- Blocked;

@@ -3,6 +3,16 @@
    [lock_op] cost plus queueing delay under contention is what makes
    fine-grained critical sections a measurable overhead (Section 7.4). *)
 
+module Metrics = Parcae_obs.Metrics
+
+(* Per-lock metric handles, labeled by lock name; cached against the
+   installed registry like the channel handles. *)
+type lock_metrics = {
+  lm_acquisitions : Metrics.counter;
+  lm_contended : Metrics.counter;
+  lm_wait : Metrics.histogram;
+}
+
 type t = {
   name : string;
   mutable held_by : Engine.thread option;
@@ -10,6 +20,7 @@ type t = {
   op_cost : int;
   mutable acquisitions : int;
   mutable contended : int;  (* acquisitions that had to wait *)
+  mutable mx : (Metrics.t * lock_metrics) option;
 }
 
 let create ?(op_cost = -1) name =
@@ -20,7 +31,30 @@ let create ?(op_cost = -1) name =
     op_cost;
     acquisitions = 0;
     contended = 0;
+    mx = None;
   }
+
+let handles l =
+  let reg = Metrics.current () in
+  match l.mx with
+  | Some (r, h) when r == reg -> h
+  | _ ->
+      let labels = [ ("lock", l.name) ] in
+      let h =
+        {
+          lm_acquisitions =
+            Metrics.counter reg "parcae_lock_acquisitions_total" ~labels
+              ~help:"Successful lock acquisitions, per lock.";
+          lm_contended =
+            Metrics.counter reg "parcae_lock_contended_total" ~labels
+              ~help:"Acquisitions that had to wait, per lock.";
+          lm_wait =
+            Metrics.histogram reg "parcae_lock_wait_ns" ~labels
+              ~help:"Virtual time spent waiting for contended acquisitions.";
+        }
+      in
+      l.mx <- Some (reg, h);
+      h
 
 let cost l = if l.op_cost >= 0 then l.op_cost else (Engine.machine (Engine.engine ())).Machine.lock_op
 
@@ -28,6 +62,7 @@ let acquire l =
   Engine.compute (cost l);
   let me = Engine.self () in
   let waited = ref false in
+  let t0 = if Metrics.enabled () then Engine.now () else 0 in
   let rec loop () =
     match l.held_by with
     | None ->
@@ -40,7 +75,15 @@ let acquire l =
         Engine.wait_on l.available;
         loop ()
   in
-  loop ()
+  loop ();
+  if Metrics.enabled () then begin
+    let h = handles l in
+    Metrics.inc h.lm_acquisitions;
+    if !waited then begin
+      Metrics.inc h.lm_contended;
+      Metrics.observe_ns h.lm_wait (Engine.now () - t0)
+    end
+  end
 
 let release l =
   (match l.held_by with

@@ -1,0 +1,90 @@
+(* A live ASCII dashboard over the metrics registry — `parcae_demo top`.
+
+   Rendering is a pure function of a registry snapshot, grouped by
+   instrument kind into Parcae_util.Table blocks; a refresher thread on the
+   simulated clock re-renders every [interval_ns] of virtual time.  The
+   refresher is itself a simulated thread, so it perturbs the engine's
+   live-thread count (and hence anything derived from it, like the
+   oversubscription factor) — fine for an interactive top, but determinism
+   tests must not run one. *)
+
+module Engine = Parcae_sim.Engine
+module Obs = Parcae_obs.Metrics
+module Table = Parcae_util.Table
+
+let label_string = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels)
+      ^ "}"
+
+let fmt_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4g" v
+
+(* Render one registry snapshot as counter / gauge / histogram tables.
+   Series order comes from Metrics.snapshot, so the output is deterministic
+   and diffable across refreshes. *)
+let render ?(title = "parcae top") ~now_s reg =
+  let fams = Obs.snapshot reg in
+  let counters = Table.create ~title:(Printf.sprintf "%s — counters (t=%.3fs)" title now_s)
+      ~header:[ "counter"; "value" ]
+  and gauges = Table.create ~title:"gauges" ~header:[ "gauge"; "value" ]
+  and hists =
+    Table.create ~title:"histograms"
+      ~header:[ "histogram"; "count"; "mean"; "p50"; "p95"; "p99" ]
+  in
+  let n_counters = ref 0 and n_gauges = ref 0 and n_hists = ref 0 in
+  List.iter
+    (fun (f : Obs.fam_snapshot) ->
+      List.iter
+        (fun { Obs.labels; value } ->
+          let name = f.Obs.name ^ label_string labels in
+          match value with
+          | Obs.Counter_v n ->
+              incr n_counters;
+              Table.add_row counters [ name; string_of_int n ]
+          | Obs.Gauge_v g ->
+              incr n_gauges;
+              Table.add_row gauges [ name; fmt_value g ]
+          | Obs.Histogram_v { bounds; counts; sum; count } ->
+              incr n_hists;
+              let q p = Obs.quantile ~bounds ~counts p in
+              let mean = if count = 0 then 0.0 else sum /. float_of_int count in
+              Table.add_row hists
+                [
+                  name;
+                  string_of_int count;
+                  fmt_value mean;
+                  fmt_value (q 0.50);
+                  fmt_value (q 0.95);
+                  fmt_value (q 0.99);
+                ])
+        f.Obs.samples)
+    fams;
+  let parts =
+    List.filter_map
+      (fun (n, t) -> if !n > 0 then Some (Table.render t) else None)
+      [ (n_counters, counters); (n_gauges, gauges); (n_hists, hists) ]
+  in
+  match parts with
+  | [] -> Printf.sprintf "%s — no metrics recorded (t=%.3fs)\n" title now_s
+  | parts -> String.concat "\n" parts
+
+(* Spawn the refresher thread: every [interval_ns] of virtual time, force
+   the engine's energy/busy-time accounting up to date and write a fresh
+   render of the installed registry to [out]. *)
+let spawn ?(out = stdout) ?title ?(interval_ns = 1_000_000_000) ~stop eng =
+  if interval_ns <= 0 then invalid_arg "Dashboard.spawn: interval must be positive";
+  Engine.spawn eng ~name:"dashboard" (fun () ->
+      while not (stop ()) do
+        Engine.sleep interval_ns;
+        ignore (Engine.energy_joules eng);
+        if Obs.enabled () then begin
+          output_string out
+            (render ?title ~now_s:(Engine.seconds_of_ns (Engine.time eng)) (Obs.current ()));
+          output_char out '\n';
+          flush out
+        end
+      done)

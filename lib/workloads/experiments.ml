@@ -54,12 +54,14 @@ type mech = (App.t -> Morta.mechanism) option
 (* Launch [app]'s region, attach the generator given by [feed], optionally
    attach a Morta executive, and run to completion (bounded by
    [horizon_ns]). *)
-let run_app ~horizon_ns ~config ?mechanism ?(period_ns = 100_000_000) ~feed ~budget app =
+let run_app ~horizon_ns ~config ?mechanism ?(period_ns = 100_000_000) ?on_start ~feed
+    ~budget app =
   let eng = app.App.eng in
   let region =
     Executor.launch ~budget ~name:app.App.name eng app.App.schemes config
       ~on_pause:app.App.on_pause ~on_reset:app.App.on_reset
   in
+  (match on_start with None -> () | Some f -> f app region);
   feed app;
   (match mechanism with
   | None -> ()
@@ -106,8 +108,8 @@ let max_throughput_flat ?(m = 300) ?(seed = 17) ~machine make_app =
 
 (* Run a server experiment: [m] Poisson arrivals at [rate_per_s], initial
    configuration [config], optional mechanism. *)
-let run_server ?(m = 300) ?(seed = 42) ?mechanism ?(period_ns = 500_000_000) ~machine
-    ~rate_per_s ~config make_app =
+let run_server ?(m = 300) ?(seed = 42) ?mechanism ?(period_ns = 500_000_000) ?on_start
+    ~machine ~rate_per_s ~config make_app =
   let eng = Engine.create machine in
   let app : App.t = make_app ~budget:machine.Machine.cores eng in
   let rng = Rng.create seed in
@@ -121,13 +123,16 @@ let run_server ?(m = 300) ?(seed = 42) ?mechanism ?(period_ns = 500_000_000) ~ma
   let arrival_span = float_of_int m /. rate_per_s in
   let drain = float_of_int (m * app.App.seq_request_ns) *. 1e-9 /. float_of_int machine.Machine.cores in
   let horizon_ns = int_of_float ((arrival_span +. (6.0 *. drain) +. 30.0) *. 1e9) in
-  let app, region = run_app ~horizon_ns ~config:cfg ?mechanism ~period_ns ~feed ~budget:machine.Machine.cores app in
+  let app, region =
+    run_app ~horizon_ns ~config:cfg ?mechanism ~period_ns ?on_start ~feed
+      ~budget:machine.Machine.cores app
+  in
   result_of app region
 
 (* Run a batch (throughput) experiment, optionally sampling throughput and
    power timelines every [sample_ns]. *)
 let run_batch ?(m = 500) ?(seed = 42) ?mechanism ?period_ns ?sample_ns ?power_sensor_period
-    ~machine ~config make_app =
+    ?on_start ~machine ~config make_app =
   let eng = Engine.create machine in
   let app : App.t = make_app ~budget:machine.Machine.cores eng in
   let rng = Rng.create seed in
@@ -158,5 +163,8 @@ let run_batch ?(m = 500) ?(seed = 42) ?mechanism ?period_ns ?sample_ns ?power_se
                if c >= m then stop := true
              done)));
   let horizon_ns = (m * app.App.seq_request_ns) + 20_000_000_000 in
-  let app, region = run_app ~horizon_ns ~config:cfg ?mechanism ?period_ns ~feed ~budget:machine.Machine.cores app in
+  let app, region =
+    run_app ~horizon_ns ~config:cfg ?mechanism ?period_ns ?on_start ~feed
+      ~budget:machine.Machine.cores app
+  in
   (result_of app region, throughput_tl, power_tl)

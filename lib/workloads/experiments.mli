@@ -35,6 +35,7 @@ val run_server :
   ?seed:int ->
   ?mechanism:(App.t -> Parcae_runtime.Morta.mechanism) ->
   ?period_ns:int ->
+  ?on_start:(App.t -> Parcae_runtime.Region.t -> unit) ->
   machine:Machine.t ->
   rate_per_s:float ->
   config:[ `Named of string | `Config of Parcae_core.Config.t ] ->
@@ -42,7 +43,9 @@ val run_server :
   result
 (** [m] Poisson arrivals at [rate_per_s] under the given initial
     configuration and optional mechanism (invoked every [period_ns],
-    default 500 ms). *)
+    default 500 ms).  [on_start] runs after the region is launched but
+    before the engine does — the hook the dashboard and mid-run metric
+    samplers use to reach the live region. *)
 
 val run_batch :
   ?m:int ->
@@ -51,6 +54,7 @@ val run_batch :
   ?period_ns:int ->
   ?sample_ns:int ->
   ?power_sensor_period:int ->
+  ?on_start:(App.t -> Parcae_runtime.Region.t -> unit) ->
   machine:Machine.t ->
   config:[ `Named of string | `Config of Parcae_core.Config.t ] ->
   (budget:int -> Engine.t -> App.t) ->

@@ -1,58 +1,120 @@
-(* Response-time and throughput bookkeeping for the server workloads. *)
+(* Response-time and throughput bookkeeping for the server workloads.
+
+   Samples are held in bounded reservoirs (Stats.Reservoir), so a long
+   [serve] run uses O(capacity) memory instead of growing a list per
+   request: means stay exact (running sums), percentiles are exact until
+   the reservoir overflows and a uniform-sample estimate after.  When a
+   metrics registry is installed the same observations also feed the
+   [parcae_request_*] counter and histogram families, which is what the
+   live dashboard and the Prometheus exposition read. *)
 
 module Engine = Parcae_sim.Engine
 module Series = Parcae_util.Series
 module Stats = Parcae_util.Stats
+module Obs = Parcae_obs.Metrics
+
+type req_metrics = {
+  rm_submitted : Obs.counter;
+  rm_completed : Obs.counter;
+  rm_response : Obs.histogram;
+  rm_exec : Obs.histogram;
+}
 
 type t = {
   eng : Engine.t;
-  mutable responses : float list;  (* seconds, newest first *)
-  mutable exec_times : float list;  (* seconds of processing (no queue wait) *)
+  responses : Stats.Reservoir.t;  (* seconds, arrival to completion *)
+  exec_times : Stats.Reservoir.t;  (* seconds of processing (no queue wait) *)
   mutable completed : int;
   mutable submitted : int;
   mutable first_completion_ns : int;
   mutable last_completion_ns : int;
   throughput_series : Series.t;  (* optional live samples *)
+  mutable mx : (Obs.t * req_metrics) option;
 }
 
-let create eng =
+let default_reservoir_capacity = Stats.Reservoir.default_capacity
+
+let create ?(reservoir_capacity = default_reservoir_capacity) eng =
   {
     eng;
-    responses = [];
-    exec_times = [];
+    responses = Stats.Reservoir.create ~capacity:reservoir_capacity ();
+    exec_times = Stats.Reservoir.create ~capacity:reservoir_capacity ();
     completed = 0;
     submitted = 0;
     first_completion_ns = -1;
     last_completion_ns = -1;
     throughput_series = Series.create "completions";
+    mx = None;
   }
+
+let handles t =
+  let reg = Obs.current () in
+  match t.mx with
+  | Some (r, h) when r == reg -> h
+  | _ ->
+      let h =
+        {
+          rm_submitted =
+            Obs.counter reg "parcae_requests_submitted_total"
+              ~help:"Requests submitted to the server workload.";
+          rm_completed =
+            Obs.counter reg "parcae_requests_completed_total"
+              ~help:"Requests completed by the server workload.";
+          rm_response =
+            Obs.histogram reg "parcae_response_seconds" ~buckets:Obs.seconds_buckets
+              ~help:"Request response time, arrival to completion.";
+          rm_exec =
+            Obs.histogram reg "parcae_exec_seconds" ~buckets:Obs.seconds_buckets
+              ~help:"Request execution time, processing only (no queue wait).";
+        }
+      in
+      t.mx <- Some (reg, h);
+      h
 
 let submitted t = t.submitted
 let completed t = t.completed
-let note_submit t = t.submitted <- t.submitted + 1
+
+let note_submit t =
+  t.submitted <- t.submitted + 1;
+  if Obs.enabled () then Obs.inc (handles t).rm_submitted
 
 (* Record the completion of [req] at the current virtual time. *)
 let note_complete t (req : Request.t) =
   let now = Engine.time t.eng in
   let resp = Engine.seconds_of_ns (now - req.Request.arrival_ns) in
-  t.responses <- resp :: t.responses;
-  if req.Request.start_ns >= 0 then
-    t.exec_times <- Engine.seconds_of_ns (now - req.Request.start_ns) :: t.exec_times;
+  Stats.Reservoir.observe t.responses resp;
+  let ex =
+    if req.Request.start_ns >= 0 then begin
+      let e = Engine.seconds_of_ns (now - req.Request.start_ns) in
+      Stats.Reservoir.observe t.exec_times e;
+      Some e
+    end
+    else None
+  in
   t.completed <- t.completed + 1;
   if t.first_completion_ns < 0 then t.first_completion_ns <- now;
-  t.last_completion_ns <- now
+  t.last_completion_ns <- now;
+  if Obs.enabled () then begin
+    let h = handles t in
+    Obs.inc h.rm_completed;
+    Obs.observe h.rm_response resp;
+    match ex with Some e -> Obs.observe h.rm_exec e | None -> ()
+  end
 
-let responses t = Array.of_list (List.rev t.responses)
-let exec_times t = Array.of_list (List.rev t.exec_times)
+let responses t = Stats.Reservoir.samples t.responses
+let exec_times t = Stats.Reservoir.samples t.exec_times
 
-(* Mean per-request execution time (T_exec of Equation 2.1). *)
-let mean_exec t = match t.exec_times with [] -> nan | _ -> Stats.mean (exec_times t)
+(* Mean per-request execution time (T_exec of Equation 2.1).  Exact: the
+   reservoir keeps running sums over every observation. *)
+let mean_exec t =
+  if Stats.Reservoir.count t.exec_times = 0 then nan else Stats.Reservoir.mean t.exec_times
 
 let mean_response t =
-  match t.responses with [] -> nan | _ -> Stats.mean (responses t)
+  if Stats.Reservoir.count t.responses = 0 then nan else Stats.Reservoir.mean t.responses
 
 let p95_response t =
-  match t.responses with [] -> nan | _ -> Stats.percentile 95.0 (responses t)
+  if Stats.Reservoir.sample_count t.responses = 0 then nan
+  else Stats.Reservoir.percentile 95.0 t.responses
 
 (* Sustained completion throughput in requests/second, measured from first
    to last completion (robust to warm-up). *)

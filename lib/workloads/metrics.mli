@@ -1,8 +1,19 @@
-(** Response-time and throughput bookkeeping for the server workloads. *)
+(** Response-time and throughput bookkeeping for the server workloads.
+
+    Memory is bounded: samples live in {!Parcae_util.Stats.Reservoir}s of
+    [reservoir_capacity] entries, so means are exact (running sums) and
+    percentiles are exact until the reservoir overflows, a uniform-sample
+    estimate after.  When a metrics registry is installed
+    ({!Parcae_obs.Metrics.set}), every observation also feeds the
+    [parcae_requests_*_total] counters and the [parcae_response_seconds] /
+    [parcae_exec_seconds] histograms. *)
 
 type t
 
-val create : Parcae_sim.Engine.t -> t
+val default_reservoir_capacity : int
+(** {!Parcae_util.Stats.Reservoir.default_capacity} (8192). *)
+
+val create : ?reservoir_capacity:int -> Parcae_sim.Engine.t -> t
 
 val submitted : t -> int
 val completed : t -> int
@@ -14,16 +25,20 @@ val note_complete : t -> Request.t -> unit
     updates the response-time and execution-time samples. *)
 
 val responses : t -> float array
-(** All response times so far, seconds, in completion order. *)
+(** Retained response-time samples, seconds — the full history while at
+    most [reservoir_capacity] requests completed, a uniform subsample
+    after (order then no longer meaningful). *)
 
 val exec_times : t -> float array
-(** All execution times (processing only, no queue wait). *)
+(** Retained execution-time samples (processing only, no queue wait);
+    bounded like {!responses}. *)
 
 val mean_response : t -> float
 val p95_response : t -> float
 
 val mean_exec : t -> float
-(** Mean per-request execution time (T_exec of Equation 2.1). *)
+(** Mean per-request execution time (T_exec of Equation 2.1); exact over
+    all completions regardless of reservoir capacity. *)
 
 val throughput : t -> float
 (** Sustained completion throughput, requests/second, first to last

@@ -17,4 +17,5 @@ let () =
       ("parser", Test_parser.suite);
       ("trace", Test_trace.suite);
       ("trace-oracle", Test_trace_oracle.suite);
+      ("metrics", Test_metrics.suite);
     ]

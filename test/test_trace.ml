@@ -37,6 +37,26 @@ let test_ring_order_and_overflow () =
   Sink.clear s;
   check_int "clear empties" 0 (Sink.length s)
 
+let test_clear_releases_storage () =
+  (* Regression: [clear] used to reset the indices but keep the ring array
+     alive, so a cleared 200k-event sink still pinned its full allocation. *)
+  let s = Sink.create ~capacity:8 () in
+  check_int "no allocation before first event" 0 (Sink.allocated_slots s);
+  for i = 1 to 12 do
+    Sink.record s ~t:i (Event.Hook_sample { task = i; dt_ns = i })
+  done;
+  check_int "ring allocated at capacity" 8 (Sink.allocated_slots s);
+  Sink.clear s;
+  check_int "clear empties" 0 (Sink.length s);
+  check_int "clear resets overwrite count" 0 (Sink.dropped s);
+  check_int "clear releases the backing array" 0 (Sink.allocated_slots s);
+  (* Recording after clear re-allocates lazily, exactly as on first use. *)
+  Sink.record s ~t:99 (Event.Hook_sample { task = 1; dt_ns = 1 });
+  check_int "re-allocates on next record" 8 (Sink.allocated_slots s);
+  check_int "and retains the new event" 1 (Sink.length s);
+  check_bool "new event readable" true
+    (List.map hook_task (Sink.events s) = [ 1 ])
+
 let test_null_sink_disabled () =
   Trace.clear ();
   check_bool "tracing off by default" false (Trace.enabled ());
@@ -96,6 +116,55 @@ let test_chrome_export_well_formed () =
       if Json.get_str "ph" e <> "M" then ignore (Json.get_float "ts" e))
     evs
 
+(* Chrome counter tracks carry a numeric args.value; pause windows are
+   duration slices that nest inside their region's lifetime slice. *)
+let chrome_counters_numeric evs =
+  List.iter
+    (fun e ->
+      if Json.get_str "ph" e = "C" then
+        let args = Option.get (Json.member "args" e) in
+        match Json.member "value" args with
+        | Some (Json.Int _) | Some (Json.Float _) -> ()
+        | _ -> Alcotest.fail ("counter without numeric value: " ^ Json.to_string e))
+    evs
+
+let chrome_check_nesting evs =
+  (* Replay each tid's B/E slices as a stack: pairing is LIFO, "paused"
+     only opens inside an open "region ..." slice, and every slice closes. *)
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 7 in
+  let pauses = ref 0 in
+  List.iter
+    (fun e ->
+      let tid = Json.get_int "tid" e in
+      let name = Json.get_str "name" e in
+      let stack = Option.value ~default:[] (Hashtbl.find_opt stacks tid) in
+      match Json.get_str "ph" e with
+      | "B" ->
+          if name = "paused" then begin
+            incr pauses;
+            (match stack with
+            | top :: _ when String.length top >= 6 && String.sub top 0 6 = "region" -> ()
+            | _ -> Alcotest.fail "paused slice opened outside a region slice")
+          end;
+          Hashtbl.replace stacks tid (name :: stack)
+      | "E" -> (
+          match stack with
+          | top :: rest ->
+              (* An E record names the slice family it closes ("region" /
+                 "paused"); the B side may carry a suffix ("region DOANY"). *)
+              check_bool ("E closes matching B: " ^ top ^ " vs " ^ name) true
+                (top = name || (String.length top >= String.length name
+                                && String.sub top 0 (String.length name) = name));
+              Hashtbl.replace stacks tid rest
+          | [] -> Alcotest.fail ("E without open slice on tid " ^ string_of_int tid))
+      | _ -> ())
+    evs;
+  Hashtbl.iter
+    (fun tid stack ->
+      check_int ("all slices closed on tid " ^ string_of_int tid) 0 (List.length stack))
+    stacks;
+  !pauses
+
 (* ------------------------- traced real run -------------------------- *)
 
 let machine = Machine.xeon_x7460
@@ -129,6 +198,20 @@ let test_traced_run_exports_and_oracle () =
       check_int "one region" 1 st.Oracle.regions;
       check_bool "saw at least one pause" true (st.Oracle.pauses >= 1)
   | Error vs -> Alcotest.fail (Oracle.violations_to_string vs)
+
+let test_chrome_real_run_counters_and_nesting () =
+  let _, sink =
+    traced_batch ~mechanism:wqt_h ~config:(`Named "outer-only") (fun ~budget eng ->
+        Bzip.make ~budget eng)
+  in
+  let evs = Json.get_list "traceEvents" (Json.parse (Export.chrome (Sink.events sink))) in
+  chrome_counters_numeric evs;
+  let pauses = chrome_check_nesting evs in
+  check_bool "at least one pause window exported" true (pauses >= 1);
+  (* The synthetic all-constructor stream must satisfy the same shape. *)
+  let all = Json.get_list "traceEvents" (Json.parse (Export.chrome all_events)) in
+  chrome_counters_numeric all;
+  check_int "synthetic stream has one pause window" 1 (chrome_check_nesting all)
 
 let test_trace_determinism () =
   (* Same seed, same workload, same mechanism: the traces must be
@@ -187,12 +270,16 @@ let test_decima_hook_edges () =
 let suite =
   [
     Alcotest.test_case "sink: ring order and overflow" `Quick test_ring_order_and_overflow;
+    Alcotest.test_case "sink: clear releases the ring allocation" `Quick
+      test_clear_releases_storage;
     Alcotest.test_case "sink: null sink disables tracing" `Quick test_null_sink_disabled;
     Alcotest.test_case "export: JSONL round-trips all constructors" `Quick
       test_jsonl_roundtrip_all_constructors;
     Alcotest.test_case "export: Chrome trace is well-formed" `Quick test_chrome_export_well_formed;
     Alcotest.test_case "trace: real run exports and satisfies oracle" `Quick
       test_traced_run_exports_and_oracle;
+    Alcotest.test_case "export: Chrome counters numeric, slices nest" `Quick
+      test_chrome_real_run_counters_and_nesting;
     Alcotest.test_case "trace: same seed gives identical traces" `Quick test_trace_determinism;
     Alcotest.test_case "decima: hook edge cases" `Quick test_decima_hook_edges;
   ]

@@ -74,6 +74,95 @@ let test_stats_variance () =
 let test_stats_geomean () =
   check_float "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |])
 
+let test_stats_empty_contract () =
+  (* Aggregates degrade to 0.0 on empty input; order statistics raise. *)
+  check_float "empty mean is 0" 0.0 (Stats.mean [||]);
+  check_float "empty variance is 0" 0.0 (Stats.variance [||]);
+  check_float "empty stddev is 0" 0.0 (Stats.stddev [||]);
+  check_float "empty geomean is 0" 0.0 (Stats.geomean [||]);
+  Alcotest.check_raises "empty percentile raises"
+    (Invalid_argument "Stats.percentile: empty sample") (fun () ->
+      ignore (Stats.percentile 50.0 [||]));
+  Alcotest.check_raises "empty median raises"
+    (Invalid_argument "Stats.percentile: empty sample") (fun () -> ignore (Stats.median [||]));
+  Alcotest.check_raises "empty min_max raises"
+    (Invalid_argument "Stats.min_max: empty sample") (fun () -> ignore (Stats.min_max [||]));
+  Alcotest.check_raises "p out of range raises"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile 101.0 [| 1.0 |]))
+
+let test_stats_single_element () =
+  (* One sample is every percentile of itself. *)
+  List.iter
+    (fun p -> check_float (Printf.sprintf "p%.0f of singleton" p) 7.5
+        (Stats.percentile p [| 7.5 |]))
+    [ 0.0; 25.0; 50.0; 95.0; 100.0 ];
+  check_float "singleton median" 7.5 (Stats.median [| 7.5 |]);
+  let lo, hi = Stats.min_max [| 7.5 |] in
+  check_float "singleton min" 7.5 lo;
+  check_float "singleton max" 7.5 hi;
+  check_float "singleton variance" 0.0 (Stats.variance [| 7.5 |])
+
+let test_stats_nan_ordering () =
+  (* Float.compare gives NaN a total order (before every number), so a
+     NaN-polluted sample still sorts deterministically: the answer depends
+     only on the multiset of values, not on their input order. *)
+  let a = [| nan; 3.0; 1.0; 2.0 |] and b = [| 2.0; 1.0; nan; 3.0 |] in
+  let pa = Stats.percentile 75.0 a and pb = Stats.percentile 75.0 b in
+  check_float "input order irrelevant with NaN" pa pb;
+  (* NaN sorts first, so p100 is still the largest real number. *)
+  check_float "p100 ignores NaN position" 3.0 (Stats.percentile 100.0 a);
+  Alcotest.(check bool) "p0 is the NaN" true (Float.is_nan (Stats.percentile 0.0 a))
+
+let test_reservoir_exact_until_capacity () =
+  let r = Stats.Reservoir.create ~capacity:8 () in
+  check_float "empty reservoir mean is 0" 0.0 (Stats.Reservoir.mean r);
+  Alcotest.check_raises "empty reservoir min_max raises"
+    (Invalid_argument "Stats.Reservoir.min_max: empty sample") (fun () ->
+      ignore (Stats.Reservoir.min_max r));
+  List.iter (Stats.Reservoir.observe r) [ 4.0; 1.0; 3.0; 2.0 ];
+  (* Below capacity the reservoir is the exact sample. *)
+  check_int "count" 4 (Stats.Reservoir.count r);
+  check_int "all retained" 4 (Stats.Reservoir.sample_count r);
+  check_float "exact sum" 10.0 (Stats.Reservoir.sum r);
+  check_float "exact mean" 2.5 (Stats.Reservoir.mean r);
+  check_float "exact median" 2.5 (Stats.Reservoir.percentile 50.0 r);
+  let lo, hi = Stats.Reservoir.min_max r in
+  check_float "exact min" 1.0 lo;
+  check_float "exact max" 4.0 hi
+
+let test_reservoir_bounded_beyond_capacity () =
+  let cap = 64 in
+  let r = Stats.Reservoir.create ~capacity:cap ~seed:3 () in
+  let n = 10_000 in
+  for i = 1 to n do
+    Stats.Reservoir.observe r (float_of_int i)
+  done;
+  check_int "sees every observation" n (Stats.Reservoir.count r);
+  check_int "memory stays bounded" cap (Stats.Reservoir.sample_count r);
+  (* Aggregates stay exact even after subsampling kicks in... *)
+  check_float "sum exact" (float_of_int (n * (n + 1) / 2)) (Stats.Reservoir.sum r);
+  check_float "mean exact" (float_of_int (n + 1) /. 2.0) (Stats.Reservoir.mean r);
+  let lo, hi = Stats.Reservoir.min_max r in
+  check_float "min exact" 1.0 lo;
+  check_float "max exact" (float_of_int n) hi;
+  (* ...while percentiles become estimates over a uniform subsample. *)
+  let p50 = Stats.Reservoir.percentile 50.0 r in
+  Alcotest.(check bool)
+    (Printf.sprintf "median estimate %.0f within the data range" p50)
+    true
+    (p50 >= 1.0 && p50 <= float_of_int n);
+  (* Same seed, same stream: byte-identical retained samples. *)
+  let r2 = Stats.Reservoir.create ~capacity:cap ~seed:3 () in
+  for i = 1 to n do
+    Stats.Reservoir.observe r2 (float_of_int i)
+  done;
+  Alcotest.(check bool) "deterministic subsample" true
+    (Stats.Reservoir.samples r = Stats.Reservoir.samples r2);
+  Stats.Reservoir.reset r;
+  check_int "reset forgets the stream" 0 (Stats.Reservoir.count r);
+  check_int "reset empties the sample" 0 (Stats.Reservoir.sample_count r)
+
 let test_ewma () =
   let e = Stats.Ewma.create ~alpha:0.5 in
   Alcotest.(check bool) "not primed" false (Stats.Ewma.primed e);
@@ -189,6 +278,13 @@ let suite =
     Alcotest.test_case "stats: basic" `Quick test_stats_basic;
     Alcotest.test_case "stats: variance" `Quick test_stats_variance;
     Alcotest.test_case "stats: geomean" `Quick test_stats_geomean;
+    Alcotest.test_case "stats: empty-input contract" `Quick test_stats_empty_contract;
+    Alcotest.test_case "stats: single-element percentiles" `Quick test_stats_single_element;
+    Alcotest.test_case "stats: NaN ordering is deterministic" `Quick test_stats_nan_ordering;
+    Alcotest.test_case "stats: reservoir exact below capacity" `Quick
+      test_reservoir_exact_until_capacity;
+    Alcotest.test_case "stats: reservoir bounded beyond capacity" `Quick
+      test_reservoir_bounded_beyond_capacity;
     Alcotest.test_case "stats: ewma" `Quick test_ewma;
     Alcotest.test_case "stats: window" `Quick test_window;
     Alcotest.test_case "pqueue: order" `Quick test_pqueue_order;
