@@ -360,6 +360,59 @@ let compile_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let json_arg =
+  let doc = "Emit the report as JSON instead of human-readable text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let check_file_arg =
+  let doc = "A .loop source file to check (alternative to -k)." in
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+(* Static diagnostics only: parse, compile, verify, lint — never run.
+   Exit 1 when any error diagnostic (including a parse error) is present;
+   warnings and infos alone exit 0. *)
+let check kernel pos_file file json =
+  let open Parcae_ir in
+  let open Parcae_nona in
+  let module Diag = Parcae_analysis.Diag in
+  let fail_with diags =
+    if json then
+      print_endline
+        (Printf.sprintf "{\"loop\": null, \"schemes\": [], \"diagnostics\": %s}"
+           (Diag.list_to_json diags))
+    else List.iter (fun d -> print_endline (Diag.to_string d)) diags;
+    exit 1
+  in
+  let loop =
+    match (match pos_file with Some _ -> pos_file | None -> file) with
+    | Some path -> (
+        try Parser.parse_file path
+        with Parser.Parse_error m -> fail_with [ Diag.error "P001" "%s" m ])
+    | None -> (
+        try (kernel_of kernel) ()
+        with Failure m -> fail_with [ Diag.error "P002" "%s" m ])
+  in
+  let report =
+    try Check.run loop
+    with Invalid_argument m -> fail_with [ Diag.error "P003" "invalid loop: %s" m ]
+  in
+  if json then print_endline (Check.to_json report)
+  else print_string (Check.render report);
+  exit (if Diag.count_errors report.Check.diags > 0 then 1 else 0)
+
+let check_cmd =
+  let term = Term.(const check $ kernel_arg $ check_file_arg $ file_arg $ json_arg) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically analyze a loop: applicable schemes, verified plan legality, \
+          parallelization inhibitors explained in source terms, and lints.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -425,4 +478,6 @@ let run_cmd =
 let () =
   let doc = "Parcae: a system for flexible parallel execution (simulated reproduction)" in
   let info = Cmd.info "parcae_demo" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ serve_cmd; top_cmd; batch_cmd; compile_cmd; run_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ serve_cmd; top_cmd; batch_cmd; compile_cmd; check_cmd; run_cmd ]))

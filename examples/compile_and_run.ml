@@ -34,7 +34,7 @@ let () =
   (match c.Compiler.pipeline with
   | Some pipe -> Format.printf "PS-DSWP pipeline:@.%a" Mtcg.pp pipe
   | None -> Format.printf "no PS-DSWP pipeline@.");
-  Format.printf "DOANY applicable: %b@.@." c.Compiler.doany_ok;
+  Format.printf "DOANY applicable: %b@.@." (c.Compiler.doany <> None);
 
   (* Launch on the simulated platform under the closed-loop controller. *)
   let eng = Engine.create machine in

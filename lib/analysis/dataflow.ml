@@ -1,0 +1,449 @@
+(* A lattice-based dataflow analysis over one loop iteration, with phi
+   widening across iterations.
+
+   Each register is mapped to a [fact]: an integer interval (with open
+   ends) refined by a congruence ("value = base (mod stride)").  The
+   product domain is cheap, and is exactly what index reasoning needs:
+   constants fold ("stride 0"), strided affine chains through Mul/Shl keep
+   their stride, and masked values get tight ranges, so [Alias] can prove
+   range- or congruence-disjointness of array subscripts and drop spurious
+   May_conflict edges from the PDG.
+
+   The analysis runs the straight-line body to a fixpoint: body facts are
+   recomputed from the phi facts each round, and phi facts join their
+   initial value with the previous iteration's carry, widening unstable
+   bounds away after a couple of rounds so termination is immediate.
+   Counted-loop inductions are seeded with their exact value set (from,
+   from + step, ..., capped by the trip count) and pinned.
+
+   Arithmetic is modelled without overflow: any bound whose magnitude
+   exceeds [max_mag] is dropped to "unknown", so no analysis-side or
+   runtime-side wraparound can ever be mistaken for a precise bound. *)
+
+open Parcae_ir
+
+type fact = {
+  lo : int option;  (* greatest known lower bound; None = unbounded *)
+  hi : int option;  (* least known upper bound; None = unbounded *)
+  stride : int;  (* 0: constant [base]; s > 0: value = base (mod s) *)
+  base : int;  (* canonical residue, 0 <= base < stride when stride > 0 *)
+}
+
+let max_mag = 1 lsl 40
+
+let top = { lo = None; hi = None; stride = 1; base = 0 }
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* Smart constructor enforcing the representation invariants: residues are
+   canonical, overlarge bounds degrade to unbounded, and a fact that admits
+   exactly one value collapses to a constant. *)
+let norm lo hi stride base =
+  let clamp = function Some v when abs v > max_mag -> None | b -> b in
+  let lo = clamp lo and hi = clamp hi in
+  if stride = 0 then
+    if abs base > max_mag then top else { lo = Some base; hi = Some base; stride = 0; base }
+  else
+    let stride = if stride < 0 || stride > max_mag then 1 else stride in
+    let base = ((base mod stride) + stride) mod stride in
+    match (lo, hi) with
+    | Some l, Some h when l > h ->
+        (* empty range: only reachable through dead comparisons; keep a
+           harmless over-approximation instead of tracking bottom *)
+        { lo = None; hi = None; stride; base }
+    | Some l, Some h when stride > 1 ->
+        (* smallest admissible value at or above l *)
+        let v = l + (((base - l) mod stride) + stride) mod stride in
+        if v > h then { lo; hi; stride; base }
+        else if v + stride > h then { lo = Some v; hi = Some v; stride = 0; base = v }
+        else { lo; hi; stride; base }
+    | _ -> { lo; hi; stride; base }
+
+let const c = norm (Some c) (Some c) 0 c
+let range lo hi = norm lo hi 1 0
+let bool_fact = range (Some 0) (Some 1)
+let const_of f = if f.stride = 0 then Some f.base else None
+
+(* Could the fact's value set contain [v]? *)
+let contains f v =
+  (match f.lo with Some l -> v >= l | None -> true)
+  && (match f.hi with Some h -> v <= h | None -> true)
+  && (if f.stride = 0 then v = f.base else (v - f.base) mod f.stride = 0)
+
+let may_be_zero f = contains f 0
+let is_nonzero f = not (may_be_zero f)
+let nonneg f = match f.lo with Some l -> l >= 0 | None -> false
+
+(* Are the two value sets provably disjoint (no common integer)? *)
+let disjoint f1 f2 =
+  let range_apart =
+    match (f1.hi, f2.lo) with
+    | Some h, Some l when h < l -> true
+    | _ -> ( match (f2.hi, f1.lo) with Some h, Some l -> h < l | _ -> false)
+  in
+  let cong_apart =
+    let g = gcd f1.stride f2.stride in
+    (* stride 0 participates as "exactly base", so gcd treats it right:
+       gcd 0 s = s, and two constants give g = 0, handled below *)
+    if g = 0 then f1.base <> f2.base else (f1.base - f2.base) mod g <> 0
+  in
+  range_apart || cong_apart
+
+let cong_join (s1, b1) (s2, b2) =
+  let g = gcd (gcd s1 s2) (abs (b1 - b2)) in
+  if g = 0 then (0, b1) else (g, b1)
+
+let join f1 f2 =
+  let lo = match (f1.lo, f2.lo) with Some a, Some b -> Some (min a b) | _ -> None in
+  let hi = match (f1.hi, f2.hi) with Some a, Some b -> Some (max a b) | _ -> None in
+  let s, b = cong_join (f1.stride, f1.base) (f2.stride, f2.base) in
+  norm lo hi s b
+
+(* Widening: keep only the bounds [next] did not move past, so repeated
+   widening stabilizes after one step per bound; congruences stabilize on
+   their own because gcd chains strictly decrease. *)
+let widen old next =
+  let lo =
+    match (old.lo, next.lo) with Some o, Some n when n >= o -> Some o | _, _ -> None
+  in
+  let hi =
+    match (old.hi, next.hi) with Some o, Some n when n <= o -> Some o | _, _ -> None
+  in
+  let s, b = cong_join (old.stride, old.base) (next.stride, next.base) in
+  norm lo hi s b
+
+let equal (f1 : fact) (f2 : fact) = f1 = f2
+
+let to_string f =
+  let b = function Some v -> string_of_int v | None -> "_" in
+  match const_of f with
+  | Some c -> string_of_int c
+  | None ->
+      Printf.sprintf "[%s..%s]%s" (b f.lo) (b f.hi)
+        (if f.stride > 1 then Printf.sprintf " =%d (mod %d)" f.base f.stride else "")
+
+(* ------------------------ transfer functions ------------------------- *)
+
+let ok v = if abs v > max_mag then None else Some v
+let ( +? ) a b = match (a, b) with Some a, Some b -> ok (a + b) | _ -> None
+let ( *? ) a b =
+  match (a, b) with
+  | Some a, Some b when abs a <= max_mag && abs b <= max_mag && abs a < 1 lsl 30 && abs b < 1 lsl 30
+    ->
+      ok (a * b)
+  | Some 0, _ | _, Some 0 -> Some 0
+  | _ -> None
+
+let add_f f1 f2 =
+  let s, b =
+    let g = gcd f1.stride f2.stride in
+    if g = 0 then (0, f1.base + f2.base) else (g, f1.base + f2.base)
+  in
+  norm (f1.lo +? f2.lo) (f1.hi +? f2.hi) s b
+
+let neg_f f =
+  let s, b = if f.stride = 0 then (0, -f.base) else (f.stride, -f.base) in
+  norm (match f.hi with Some h -> Some (-h) | None -> None)
+    (match f.lo with Some l -> Some (-l) | None -> None)
+    s b
+
+let sub_f f1 f2 = add_f f1 (neg_f f2)
+
+(* Multiply a fact by a compile-time constant. *)
+let scale_f c f =
+  if c = 0 then const 0
+  else
+    let lo = Some c *? f.lo and hi = Some c *? f.hi in
+    let lo, hi = if c > 0 then (lo, hi) else (hi, lo) in
+    let s, b = if f.stride = 0 then (0, c * f.base) else (abs (c * f.stride), c * f.base) in
+    if abs c > 1 lsl 20 || f.stride > 1 lsl 20 then norm lo hi 1 0 else norm lo hi s b
+
+let mul_f f1 f2 =
+  match (const_of f1, const_of f2) with
+  | Some c, _ -> scale_f c f2
+  | _, Some c -> scale_f c f1
+  | None, None ->
+      let lo, hi =
+        match (f1.lo, f1.hi, f2.lo, f2.hi) with
+        | Some a, Some b, Some c, Some d ->
+            let ps = [ Some a *? Some c; Some a *? Some d; Some b *? Some c; Some b *? Some d ] in
+            if List.exists (( = ) None) ps then (None, None)
+            else
+              let vs = List.filter_map Fun.id ps in
+              (Some (List.fold_left min max_int vs), Some (List.fold_left max min_int vs))
+        | _ ->
+            if nonneg f1 && nonneg f2 then (Some 0, f1.hi *? f2.hi) else (None, None)
+      in
+      let s, b =
+        let { stride = s1; base = b1; _ } = f1 and { stride = s2; base = b2; _ } = f2 in
+        if s1 <= 1 lsl 20 && s2 <= 1 lsl 20 && abs b1 <= 1 lsl 20 && abs b2 <= 1 lsl 20 then
+          let g = gcd (gcd (s1 * s2) (s1 * b2)) (s2 * b1) in
+          if g = 0 then (0, b1 * b2) else (g, b1 * b2)
+        else (1, 0)
+      in
+      norm lo hi s b
+
+(* Truncating division by a non-zero constant (monotone in the dividend). *)
+let div_const_f f c =
+  let q v = v / c in
+  let lo = Option.map q f.lo and hi = Option.map q f.hi in
+  let lo, hi = if c > 0 then (lo, hi) else (hi, lo) in
+  if f.stride > 0 && f.stride mod c = 0 && f.base mod c = 0 then
+    (* c divides every admissible value, so the division is exact *)
+    norm lo hi (abs (f.stride / c)) (f.base / c)
+  else if f.stride = 0 then const (f.base / c)
+  else norm lo hi 1 0
+
+let div_f f1 f2 =
+  match const_of f2 with
+  | Some 0 -> const 0  (* division by zero yields 0 by IR definition *)
+  | Some c -> div_const_f f1 c
+  | None -> if nonneg f1 && nonneg f2 then norm (Some 0) f1.hi 1 0 else top
+
+let rem_f f1 f2 =
+  match const_of f2 with
+  | Some 0 -> const 0
+  | Some c ->
+      let m = abs c in
+      let inside =
+        match (f1.lo, f1.hi) with Some l, Some h -> l >= 0 && h < m | _ -> false
+      in
+      if inside then f1  (* x mod c = x on [0, m) *)
+      else
+        let lo, hi = if nonneg f1 then (Some 0, Some (m - 1)) else (Some (-(m - 1)), Some (m - 1)) in
+        (* remainder is congruent to the dividend modulo |c| *)
+        if f1.stride > 0 && f1.stride mod m = 0 && nonneg f1 then norm lo hi m f1.base
+        else norm lo hi 1 0
+  | None -> (
+      match (f2.lo, f2.hi) with
+      | Some l, Some h ->
+          let m = max (abs l) (abs h) in
+          let bound = max 0 (m - 1) in
+          if nonneg f1 then range (Some 0) (Some bound) else range (Some (-bound)) (Some bound)
+      | _ -> top)
+
+let min_f f1 f2 =
+  let lo = match (f1.lo, f2.lo) with Some a, Some b -> Some (min a b) | _ -> None in
+  let hi =
+    match (f1.hi, f2.hi) with
+    | Some a, Some b -> Some (min a b)
+    | (Some _ as h), None | None, (Some _ as h) -> h
+    | None, None -> None
+  in
+  let s, b = cong_join (f1.stride, f1.base) (f2.stride, f2.base) in
+  norm lo hi s b
+
+let max_f f1 f2 =
+  let hi = match (f1.hi, f2.hi) with Some a, Some b -> Some (max a b) | _ -> None in
+  let lo =
+    match (f1.lo, f2.lo) with
+    | Some a, Some b -> Some (max a b)
+    | (Some _ as l), None | None, (Some _ as l) -> l
+    | None, None -> None
+  in
+  let s, b = cong_join (f1.stride, f1.base) (f2.stride, f2.base) in
+  norm lo hi s b
+
+(* Number of known-fixed low bits: a stride that is a multiple of 2^k pins
+   the dividend's k lowest bits to those of the base. *)
+let fixed_low_bits f =
+  if f.stride = 0 then 62
+  else
+    let rec tz k s = if s land 1 = 0 && k < 62 then tz (k + 1) (s lsr 1) else k in
+    tz 0 f.stride
+
+let bitwise_cong op f1 f2 =
+  let j = min (fixed_low_bits f1) (fixed_low_bits f2) in
+  if j >= 62 then (0, op f1.base f2.base)
+  else if j = 0 then (1, 0)
+  else (1 lsl j, op f1.base f2.base)
+
+let and_f f1 f2 =
+  (* a non-negative operand bounds the result in [0, that operand] no
+     matter what the other side is (the sign bit is masked off) *)
+  let pos_hi f = match (f.lo, f.hi) with Some l, Some h when l >= 0 -> Some h | _ -> None in
+  let lo, hi =
+    match (pos_hi f1, pos_hi f2) with
+    | Some a, Some b -> (Some 0, Some (min a b))
+    | Some h, None | None, Some h -> (Some 0, Some h)
+    | None, None -> if nonneg f1 && nonneg f2 then (Some 0, None) else (None, None)
+  in
+  let s, b = bitwise_cong ( land ) f1 f2 in
+  norm lo hi s b
+
+let or_f f1 f2 =
+  let lo, hi =
+    if nonneg f1 && nonneg f2 then
+      let lo =
+        match (f1.lo, f2.lo) with Some a, Some b -> Some (max a b) | _ -> Some 0
+      in
+      (lo, f1.hi +? f2.hi)
+    else (None, None)
+  in
+  let s, b = bitwise_cong ( lor ) f1 f2 in
+  norm lo hi s b
+
+let xor_f f1 f2 =
+  let lo, hi =
+    if nonneg f1 && nonneg f2 then
+      match (f1.hi, f2.hi) with
+      | Some a, Some b ->
+          let m = max a b in
+          let rec pow2 p = if p > m then p else pow2 (p * 2) in
+          (Some 0, Some (pow2 1 - 1))
+      | _ -> (Some 0, None)
+    else (None, None)
+  in
+  let s, b = bitwise_cong ( lxor ) f1 f2 in
+  norm lo hi s b
+
+let shl_f f1 f2 =
+  match const_of f2 with
+  | Some c ->
+      let k = c land 62 in
+      if k > 40 then if nonneg f1 then norm (Some 0) None 1 0 else top
+      else scale_f (1 lsl k) f1
+  | None -> if nonneg f1 then norm (Some 0) None 1 0 else top
+
+let shr_f f1 f2 =
+  if not (nonneg f1) then top  (* logical shift of negatives explodes *)
+  else
+    match const_of f2 with
+    | Some c ->
+        let k = c land 62 in
+        if k = 0 then f1 else norm (Some 0) (Option.map (fun h -> h lsr k) f1.hi) 1 0
+    | None -> norm (Some 0) f1.hi 1 0
+
+let cmp_f op f1 f2 =
+  let decide =
+    match op with
+    | Instr.Lt -> (
+        match (f1.hi, f2.lo) with
+        | Some h, Some l when h < l -> Some 1
+        | _ -> ( match (f1.lo, f2.hi) with Some l, Some h when l >= h -> Some 0 | _ -> None))
+    | Instr.Le -> (
+        match (f1.hi, f2.lo) with
+        | Some h, Some l when h <= l -> Some 1
+        | _ -> ( match (f1.lo, f2.hi) with Some l, Some h when l > h -> Some 0 | _ -> None))
+    | Instr.Eq -> if disjoint f1 f2 then Some 0 else None
+    | Instr.Ne -> if disjoint f1 f2 then Some 1 else None
+    | _ -> None
+  in
+  match decide with Some v -> const v | None -> bool_fact
+
+let binop op f1 f2 =
+  match (const_of f1, const_of f2) with
+  | Some a, Some b -> const (Instr.eval_binop op a b)
+  | _ -> (
+      match op with
+      | Instr.Add -> add_f f1 f2
+      | Instr.Sub -> sub_f f1 f2
+      | Instr.Mul -> mul_f f1 f2
+      | Instr.Div -> div_f f1 f2
+      | Instr.Rem -> rem_f f1 f2
+      | Instr.Min -> min_f f1 f2
+      | Instr.Max -> max_f f1 f2
+      | Instr.And -> and_f f1 f2
+      | Instr.Or -> or_f f1 f2
+      | Instr.Xor -> xor_f f1 f2
+      | Instr.Shl -> shl_f f1 f2
+      | Instr.Shr -> shr_f f1 f2
+      | (Instr.Eq | Instr.Ne | Instr.Lt | Instr.Le) as c -> cmp_f c f1 f2)
+
+(* --------------------------- loop analysis --------------------------- *)
+
+type summary = { facts : (Instr.reg, fact) Hashtbl.t }
+
+let reg_fact s r = match Hashtbl.find_opt s.facts r with Some f -> f | None -> top
+
+let operand_fact s = function Instr.Const c -> const c | Instr.Reg r -> reg_fact s r
+
+(* The exact value set of a counted or open induction i = phi [from, i +-
+   step]: seeded once and pinned, which is both maximally precise and
+   keeps the trip bound (for counted loops) in the interval. *)
+let induction_fact ~trip ~from ~step =
+  if step = 0 then const from
+  else
+    let last =
+      match trip with
+      | Loop.Count n -> Some (from + ((max n 1 - 1) * step))
+      | Loop.While -> None
+    in
+    let lo, hi = if step > 0 then (Some from, last) else (last, Some from) in
+    norm lo hi (abs step) from
+
+(* Recognize i = phi [Const from, i +- Const step] without depending on the
+   PDG library (which itself builds on this analysis). *)
+let induction_step (loop : Loop.t) (p : Instr.phi) =
+  match p.Instr.init with
+  | Instr.Reg _ -> None
+  | Instr.Const from ->
+      let def =
+        List.find_opt
+          (fun i -> match Instr.defs i with Some d -> d = p.Instr.carry | None -> false)
+          loop.Loop.body
+      in
+      ( match def with
+      | Some (Instr.Binop { op = Instr.Add; a = Instr.Reg r; b = Instr.Const c; _ })
+        when r = p.Instr.pdst ->
+          Some (from, c)
+      | Some (Instr.Binop { op = Instr.Add; a = Instr.Const c; b = Instr.Reg r; _ })
+        when r = p.Instr.pdst ->
+          Some (from, c)
+      | Some (Instr.Binop { op = Instr.Sub; a = Instr.Reg r; b = Instr.Const c; _ })
+        when r = p.Instr.pdst ->
+          Some (from, -c)
+      | _ -> None )
+
+let max_rounds = 50
+
+let analyze (loop : Loop.t) =
+  let s = { facts = Hashtbl.create 32 } in
+  let pinned = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Instr.phi) ->
+      match induction_step loop p with
+      | Some (from, step) ->
+          Hashtbl.replace s.facts p.Instr.pdst (induction_fact ~trip:loop.Loop.trip ~from ~step);
+          Hashtbl.replace pinned p.Instr.pdst ()
+      | None -> Hashtbl.replace s.facts p.Instr.pdst (operand_fact s p.Instr.init))
+    loop.Loop.phis;
+  let run_body () =
+    List.iter
+      (fun instr ->
+        match instr with
+        | Instr.Binop { dst; op; a; b } ->
+            Hashtbl.replace s.facts dst (binop op (operand_fact s a) (operand_fact s b))
+        | Instr.Load { dst; _ } -> Hashtbl.replace s.facts dst top
+        | Instr.Call { dst = Some dst; _ } -> Hashtbl.replace s.facts dst top
+        | Instr.Call { dst = None; _ } | Instr.Store _ | Instr.Work _ | Instr.Break_if _ -> ())
+      loop.Loop.body
+  in
+  let rec fix round =
+    run_body ();
+    let changed = ref false in
+    List.iter
+      (fun (p : Instr.phi) ->
+        if not (Hashtbl.mem pinned p.Instr.pdst) then begin
+          let cur = reg_fact s p.Instr.pdst in
+          let joined = join (operand_fact s p.Instr.init) (reg_fact s p.Instr.carry) in
+          let next = if round >= 2 then widen cur joined else join cur joined in
+          if not (equal cur next) then begin
+            changed := true;
+            Hashtbl.replace s.facts p.Instr.pdst next
+          end
+        end)
+      loop.Loop.phis;
+    if !changed then
+      if round < max_rounds then fix (round + 1)
+      else begin
+        (* should be unreachable given the widening; fail safe to top *)
+        List.iter
+          (fun (p : Instr.phi) ->
+            if not (Hashtbl.mem pinned p.Instr.pdst) then Hashtbl.replace s.facts p.Instr.pdst top)
+          loop.Loop.phis;
+        run_body ()
+      end
+  in
+  fix 0;
+  s

@@ -1,0 +1,57 @@
+(** Interval + congruence dataflow analysis over a loop iteration, with
+    phi widening across iterations.
+
+    A {!fact} over-approximates every value a register takes during any
+    iteration of the loop: an integer interval with optionally-open ends,
+    refined by a congruence "value = base (mod stride)" (stride [0] means
+    the register is the constant [base]).  [Alias] uses facts to fold
+    provably-constant subscripts, recognize strided chains, and prove
+    range- or congruence-disjointness; [Lint] uses them for value
+    diagnostics (possibly-zero divisors, unconditional breaks). *)
+
+open Parcae_ir
+
+type fact = {
+  lo : int option;  (** greatest known lower bound; [None] = unbounded *)
+  hi : int option;  (** least known upper bound; [None] = unbounded *)
+  stride : int;  (** [0]: constant [base]; [s > 0]: value = base (mod s) *)
+  base : int;  (** canonical residue, [0 <= base < stride] when [stride > 0] *)
+}
+
+val top : fact
+val const : int -> fact
+val range : int option -> int option -> fact
+val const_of : fact -> int option
+
+val contains : fact -> int -> bool
+(** Could the value set contain this integer? *)
+
+val may_be_zero : fact -> bool
+val is_nonzero : fact -> bool
+
+val disjoint : fact -> fact -> bool
+(** Are the two value sets provably disjoint (no common integer), by
+    interval separation or by incompatible congruences? *)
+
+val join : fact -> fact -> fact
+val widen : fact -> fact -> fact
+val equal : fact -> fact -> bool
+val to_string : fact -> string
+
+val binop : Instr.binop -> fact -> fact -> fact
+(** Transfer function matching {!Instr.eval_binop} exactly (truncating
+    division with [x/0 = 0], masked shifts, comparisons in [{0,1}]). *)
+
+(** {1 Whole-loop analysis} *)
+
+type summary
+
+val analyze : Loop.t -> summary
+(** Fixpoint facts for every register of the loop.  Counted-loop
+    inductions are seeded with their exact value set (including the trip
+    bound); other phis join init and carry with widening. *)
+
+val reg_fact : summary -> Instr.reg -> fact
+(** [top] for registers the analysis knows nothing about. *)
+
+val operand_fact : summary -> Instr.operand -> fact

@@ -1,0 +1,76 @@
+(* Structured diagnostics for the static-analysis suite.
+
+   Every finding carries a stable code so tests, CI greps, and users can
+   key on it:
+
+     P0xx  parse/frontend errors (emitted by the CLI around Parse_error)
+     V1xx  DOANY legality violations
+     V2xx  DOACROSS legality violations
+     V3xx  PS-DSWP legality violations
+     V0xx  PDG integrity violations (scheme-independent)
+     N4xx  scheme-inhibitor explanations (informational)
+     W6xx  lint warnings
+
+   Rendering is GCC-style one-per-line text ("file:line: severity[CODE]:
+   message") or a JSON array for tooling. *)
+
+open Parcae_ir
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;  (* stable, e.g. "V302" *)
+  severity : severity;
+  loc : Loop.loc option;
+  message : string;
+}
+
+let make ?loc ~code ~severity fmt =
+  Printf.ksprintf (fun message -> { code; severity; loc; message }) fmt
+
+let error ?loc code fmt = make ?loc ~code ~severity:Error fmt
+let warning ?loc code fmt = make ?loc ~code ~severity:Warning fmt
+let info ?loc code fmt = make ?loc ~code ~severity:Info fmt
+
+let severity_to_string = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let is_error d = d.severity = Error
+
+let count_errors ds = List.length (List.filter is_error ds)
+
+let to_string d =
+  let prefix = match d.loc with Some l -> Loop.loc_to_string l ^ ": " | None -> "" in
+  Printf.sprintf "%s%s[%s]: %s" prefix (severity_to_string d.severity) d.code d.message
+
+(* Minimal JSON string escaping: the messages only ever contain ASCII from
+   instruction printers, but escape control characters anyway. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let loc_fields =
+    match d.loc with
+    | Some l ->
+        Printf.sprintf {|,"file":"%s","line":%d|} (json_escape l.Loop.loc_file) l.Loop.loc_line
+    | None -> ""
+  in
+  Printf.sprintf {|{"code":"%s","severity":"%s","message":"%s"%s}|} (json_escape d.code)
+    (severity_to_string d.severity) (json_escape d.message) loc_fields
+
+let list_to_json ds = "[" ^ String.concat "," (List.map to_json ds) ^ "]"
+
+(* Errors first, then warnings, then infos; stable within a class. *)
+let sort ds =
+  let rank d = match d.severity with Error -> 0 | Warning -> 1 | Info -> 2 in
+  List.stable_sort (fun a b -> compare (rank a) (rank b)) ds

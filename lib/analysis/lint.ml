@@ -1,0 +1,167 @@
+(* Dataflow-powered lints over a single loop.  All findings are warnings:
+   the loop still compiles and runs, but something is probably not what
+   the author intended.
+
+     W601  dead store (overwritten later in the same iteration, unread)
+     W602  loop-invariant live-out
+     W603  possibly-zero divisor
+     W604  unreachable code after an unconditional break_if
+     W605  register computed but never used
+     W606  break_if that can never fire *)
+
+open Parcae_ir
+
+let loc_at loop ~nphis bi = Loop.loc_of loop (nphis + bi)
+
+(* Same-cell test for two subscripts of one array within one iteration:
+   syntactically identical operands (a register holds one value per
+   iteration) or equal constant folds. *)
+let definitely_same_cell s idx1 idx2 =
+  idx1 = idx2
+  ||
+  match
+    (Dataflow.const_of (Dataflow.operand_fact s idx1), Dataflow.const_of (Dataflow.operand_fact s idx2))
+  with
+  | Some a, Some b -> a = b
+  | _ -> false
+
+let may_overlap s idx1 idx2 =
+  not (Dataflow.disjoint (Dataflow.operand_fact s idx1) (Dataflow.operand_fact s idx2))
+
+(* W601: a store whose cell is definitely overwritten by a later store in
+   the same iteration, with no possibly-aliasing load in between.  Arrays
+   are observable only after the overwrite, so the first store is dead. *)
+let dead_stores loop ~nphis s =
+  let body = Array.of_list loop.Loop.body in
+  let n = Array.length body in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    match body.(i) with
+    | Instr.Store { arr; idx; _ } ->
+        let killed = ref None in
+        (try
+           for j = i + 1 to n - 1 do
+             match body.(j) with
+             | Instr.Store { arr = arr2; idx = idx2; _ }
+               when arr2 = arr && definitely_same_cell s idx idx2 ->
+                 killed := Some j;
+                 raise Exit
+             | Instr.Load { arr = arr2; idx = idx2; _ } when arr2 = arr && may_overlap s idx idx2
+               ->
+                 raise Exit  (* the value may be read before the overwrite *)
+             | Instr.Break_if _ -> raise Exit  (* overwrite may not execute *)
+             | _ -> ()
+           done
+         with Exit -> ());
+        (match !killed with
+        | Some j ->
+            out :=
+              Diag.warning ?loc:(loc_at loop ~nphis i) "W601"
+                "dead store: %s[%s] is overwritten at %s before any read"
+                arr
+                (Instr.operand_to_string idx)
+                (match loc_at loop ~nphis j with
+                | Some l -> Loop.loc_to_string l
+                | None -> Printf.sprintf "instruction %d" j)
+              :: !out
+        | None -> ())
+    | _ -> ()
+  done;
+  List.rev !out
+
+(* W602: a live-out whose value is provably the same constant on every
+   iteration: the surrounding code could use the constant directly. *)
+let invariant_live_outs loop s =
+  List.filter_map
+    (fun r ->
+      match Dataflow.const_of (Dataflow.reg_fact s r) with
+      | Some c ->
+          let phi_id = ref None in
+          List.iteri
+            (fun i (p : Instr.phi) -> if p.Instr.pdst = r then phi_id := Some i)
+            loop.Loop.phis;
+          let loc = Option.bind !phi_id (Loop.loc_of loop) in
+          Some (Diag.warning ?loc "W602" "live-out r%d is always the constant %d" r c)
+      | None -> None)
+    loop.Loop.live_out
+
+(* W603: a divisor that may be zero (the IR defines x/0 = x mod 0 = 0,
+   which is rarely what the author meant). *)
+let zero_divisors loop ~nphis s =
+  List.concat
+    (List.mapi
+       (fun i instr ->
+         match instr with
+         | Instr.Binop { op = Instr.Div | Instr.Rem; b; _ } ->
+             let f = Dataflow.operand_fact s b in
+             if Dataflow.const_of f = Some 0 then
+               [
+                 Diag.warning ?loc:(loc_at loop ~nphis i) "W603"
+                   "division by the constant zero always yields 0";
+               ]
+             else if Dataflow.may_be_zero f then
+               [
+                 Diag.warning ?loc:(loc_at loop ~nphis i) "W603"
+                   "divisor %s may be zero (the IR defines x / 0 = x mod 0 = 0)"
+                   (Instr.operand_to_string b);
+               ]
+             else []
+         | _ -> [])
+       loop.Loop.body)
+
+(* W604/W606: break conditions decided by the analysis.  A provably
+   non-zero condition exits during the first iteration and makes the rest
+   of the body unreachable; a provably-zero one can never fire. *)
+let break_lints loop ~nphis s =
+  let n = List.length loop.Loop.body in
+  List.concat
+    (List.mapi
+       (fun i instr ->
+         match instr with
+         | Instr.Break_if { cond } ->
+             let f = Dataflow.operand_fact s cond in
+             if Dataflow.is_nonzero f then
+               [
+                 Diag.warning ?loc:(loc_at loop ~nphis i) "W604"
+                   "break_if condition %s is always non-zero: the loop exits in the first \
+                    iteration and the %d following instruction(s) are unreachable"
+                   (Instr.operand_to_string cond) (n - i - 1);
+               ]
+             else if Dataflow.const_of f = Some 0 then
+               [
+                 Diag.warning ?loc:(loc_at loop ~nphis i) "W606"
+                   "break_if condition %s is always zero: this exit never fires%s"
+                   (Instr.operand_to_string cond)
+                   (if loop.Loop.trip = Loop.While then " and the loop cannot terminate" else "");
+               ]
+             else []
+         | _ -> [])
+       loop.Loop.body)
+
+(* W605: a register computed by a side-effect-free instruction but never
+   consumed by any instruction, phi carry, or live-out. *)
+let unused_regs loop ~nphis =
+  let used = Hashtbl.create 32 in
+  List.iter (fun i -> List.iter (fun r -> Hashtbl.replace used r ()) (Instr.uses i)) loop.Loop.body;
+  List.iter (fun (p : Instr.phi) -> Hashtbl.replace used p.Instr.carry ()) loop.Loop.phis;
+  List.iter (fun r -> Hashtbl.replace used r ()) loop.Loop.live_out;
+  List.concat
+    (List.mapi
+       (fun i instr ->
+         match instr with
+         | (Instr.Binop { dst; _ } | Instr.Load { dst; _ }) when not (Hashtbl.mem used dst) ->
+             [
+               Diag.warning ?loc:(loc_at loop ~nphis i) "W605" "r%d is computed but never used"
+                 dst;
+             ]
+         | _ -> [])
+       loop.Loop.body)
+
+let run ?summary loop =
+  let s = match summary with Some s -> s | None -> Dataflow.analyze loop in
+  let nphis = List.length loop.Loop.phis in
+  dead_stores loop ~nphis s
+  @ invariant_live_outs loop s
+  @ zero_divisors loop ~nphis s
+  @ break_lints loop ~nphis s
+  @ unused_regs loop ~nphis

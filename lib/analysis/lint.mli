@@ -1,0 +1,11 @@
+(** Dataflow-powered lints over a single loop.  All findings are warnings
+    with stable [W6xx] codes: dead stores (W601), loop-invariant live-outs
+    (W602), possibly-zero divisors (W603), unreachable code after an
+    unconditional break (W604), never-used registers (W605), and breaks
+    that can never fire (W606). *)
+
+open Parcae_ir
+
+val run : ?summary:Dataflow.summary -> Loop.t -> Diag.t list
+(** Analyze the loop (or reuse a precomputed [summary]) and report all
+    findings in body order per rule. *)

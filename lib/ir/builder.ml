@@ -14,22 +14,41 @@ type t = {
   name : string;
   mutable next_reg : reg;
   mutable phis : phi list;  (* reversed *)
+  mutable phi_locs : Loop.loc option list;  (* reversed, parallel to phis *)
   mutable body : Instr.t list;  (* reversed *)
+  mutable body_locs : Loop.loc option list;  (* reversed, parallel to body *)
   mutable arrays : (string * int array) list;
   mutable live_out : reg list;
+  mutable cur_loc : Loop.loc option;
+      (* source position stamped onto nodes pushed from here on *)
   mutable pending_carries : (reg * (unit -> reg)) list;
       (* phis whose carry is fixed up at finish time *)
 }
 
 let create name =
-  { name; next_reg = 0; phis = []; body = []; arrays = []; live_out = []; pending_carries = [] }
+  {
+    name;
+    next_reg = 0;
+    phis = [];
+    phi_locs = [];
+    body = [];
+    body_locs = [];
+    arrays = [];
+    live_out = [];
+    cur_loc = None;
+    pending_carries = [];
+  }
+
+let at b loc = b.cur_loc <- loc
 
 let fresh b =
   let r = b.next_reg in
   b.next_reg <- r + 1;
   r
 
-let push b i = b.body <- i :: b.body
+let push b i =
+  b.body <- i :: b.body;
+  b.body_locs <- b.cur_loc :: b.body_locs
 
 (* Declare a named array with initial contents. *)
 let array b name contents = b.arrays <- (name, contents) :: b.arrays
@@ -38,6 +57,7 @@ let array b name contents = b.arrays <- (name, contents) :: b.arrays
 let phi b ~init =
   let r = fresh b in
   b.phis <- { pdst = r; init; carry = r (* placeholder *) } :: b.phis;
+  b.phi_locs <- b.cur_loc :: b.phi_locs;
   r
 
 let set_carry b ~phi:p ~carry =
@@ -96,9 +116,11 @@ let reduce b op ~init v =
   p
 
 let finish ~trip b =
+  let locs = Array.of_list (List.rev b.phi_locs @ List.rev b.body_locs) in
+  let locs = if Array.for_all (( = ) None) locs then [||] else locs in
   let loop =
     Loop.create ~name:b.name ~phis:(List.rev b.phis) ~arrays:(List.rev b.arrays)
-      ~live_out:(List.rev b.live_out) ~trip (List.rev b.body)
+      ~live_out:(List.rev b.live_out) ~locs ~trip (List.rev b.body)
   in
   Loop.validate loop;
   loop

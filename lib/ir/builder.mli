@@ -6,6 +6,10 @@ type t
 val create : string -> t
 (** A builder for a loop with the given name. *)
 
+val at : t -> Loop.loc option -> unit
+(** Set the source position stamped onto subsequently pushed phis and
+    instructions ([None] to stop stamping).  Used by the parser. *)
+
 val fresh : t -> Instr.reg
 (** Allocate a fresh register. *)
 

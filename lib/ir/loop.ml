@@ -5,6 +5,12 @@ type trip =
   | Count of int  (* execute exactly n iterations *)
   | While  (* run until some Break_if in the body fires *)
 
+(* A source position carried from the .loop frontend; regions built
+   programmatically (Builder/Kernels) have none. *)
+type loc = { loc_file : string; loc_line : int }
+
+let loc_to_string l = Printf.sprintf "%s:%d" l.loc_file l.loc_line
+
 type t = {
   name : string;
   phis : Instr.phi list;
@@ -16,10 +22,16 @@ type t = {
   live_out : Instr.reg list;
       (* registers whose final (last-iteration) values the surrounding code
          consumes, e.g. reduction results; must be phi destinations *)
+  locs : loc option array;
+      (* per-node source locations, indexed like [nodes] (phis first);
+         [||] when the region was not parsed from source *)
 }
 
-let create ?(phis = []) ?(arrays = []) ?(live_out = []) ~name ~trip body =
-  { name; phis; body; trip; arrays; live_out }
+let create ?(phis = []) ?(arrays = []) ?(live_out = []) ?(locs = [||]) ~name ~trip body =
+  { name; phis; body; trip; arrays; live_out; locs }
+
+(* Source location of node [id], if the frontend recorded one. *)
+let loc_of t id = if id >= 0 && id < Array.length t.locs then t.locs.(id) else None
 
 (* All instruction-level nodes of the region, phis first.  Node ids index
    into this array everywhere downstream (PDG, SCCs, task partitions). *)

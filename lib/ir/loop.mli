@@ -5,6 +5,12 @@ type trip =
   | Count of int  (** execute exactly n iterations *)
   | While  (** run until some Break_if fires *)
 
+type loc = { loc_file : string; loc_line : int }
+(** A source position carried from the [.loop] frontend. *)
+
+val loc_to_string : loc -> string
+(** ["file:line"]. *)
+
 type t = {
   name : string;
   phis : Instr.phi list;
@@ -16,16 +22,23 @@ type t = {
   live_out : Instr.reg list;
       (** phi destinations whose final values the surrounding code
           consumes *)
+  locs : loc option array;
+      (** per-node source locations, indexed like {!nodes}; [[||]] when the
+          region was built programmatically *)
 }
 
 val create :
   ?phis:Instr.phi list ->
   ?arrays:(string * int array) list ->
   ?live_out:Instr.reg list ->
+  ?locs:loc option array ->
   name:string ->
   trip:trip ->
   Instr.t list ->
   t
+
+val loc_of : t -> int -> loc option
+(** Source location of node [id], if the frontend recorded one. *)
 
 (** Instruction-level nodes: phis first, then body instructions.  Node ids
     index into {!nodes} everywhere downstream (PDG, SCCs, stages). *)

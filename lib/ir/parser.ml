@@ -28,6 +28,10 @@ exception Parse_error of string
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
 
+(* A located parse error: "FILE:LINE: message". *)
+let err file line fmt =
+  Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "%s:%d: %s" file line m))) fmt
+
 (* ------------------------------- Lexer ------------------------------- *)
 
 type token =
@@ -46,7 +50,7 @@ type token =
 let is_ident_char c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
 
-let tokenize src =
+let tokenize ~file src =
   let n = String.length src in
   let tokens = ref [] in
   let line = ref 1 in
@@ -89,7 +93,7 @@ let tokenize src =
       let text = String.sub src start (!i - start) in
       match int_of_string_opt text with
       | Some v -> push (Int v)
-      | None -> fail "line %d: bad integer literal %S" !line text
+      | None -> err file !line "bad integer literal %S" text
     end
     else if is_ident_char c then begin
       let start = !i in
@@ -98,14 +102,14 @@ let tokenize src =
       done;
       push (Ident (String.sub src start (!i - start)))
     end
-    else fail "line %d: unexpected character %C" !line c
+    else err file !line "unexpected character %C" c
   done;
   push Eof;
   List.rev !tokens
 
 (* ------------------------------ Parser ------------------------------- *)
 
-type stream = { mutable toks : (token * int) list }
+type stream = { file : string; mutable toks : (token * int) list }
 
 let peek s = match s.toks with [] -> (Eof, 0) | t :: _ -> t
 
@@ -131,17 +135,17 @@ let token_to_string = function
 
 let expect s tok what =
   let t, line = next s in
-  if t <> tok then fail "line %d: expected %s, got %s" line what (token_to_string t)
+  if t <> tok then err s.file line "expected %s, got %s" what (token_to_string t)
 
 let expect_ident s what =
   match next s with
   | Ident x, _ -> x
-  | t, line -> fail "line %d: expected %s, got %s" line what (token_to_string t)
+  | t, line -> err s.file line "expected %s, got %s" what (token_to_string t)
 
 let expect_int s what =
   match next s with
   | Int v, _ -> v
-  | t, line -> fail "line %d: expected %s, got %s" line what (token_to_string t)
+  | t, line -> err s.file line "expected %s, got %s" what (token_to_string t)
 
 let binop_of_name = function
   | "add" -> Some Instr.Add
@@ -166,12 +170,13 @@ let binop_of_name = function
    fixups resolved after the body is parsed. *)
 type env = {
   b : Builder.t;
+  file : string;
   regs : (string, Instr.reg) Hashtbl.t;
   mutable carries : (string * Instr.reg * int) list;  (* (carry name, phi, line) *)
 }
 
 let define env line name r =
-  if Hashtbl.mem env.regs name then fail "line %d: register %s defined twice" line name;
+  if Hashtbl.mem env.regs name then err env.file line "register %s defined twice" name;
   Hashtbl.replace env.regs name r
 
 let operand env line = function
@@ -179,8 +184,8 @@ let operand env line = function
   | Ident x, _ -> (
       match Hashtbl.find_opt env.regs x with
       | Some r -> Instr.Reg r
-      | None -> fail "line %d: unknown register %s" line x)
-  | t, l -> fail "line %d: expected an operand, got %s" l (token_to_string t)
+      | None -> err env.file line "unknown register %s" x)
+  | t, l -> err env.file l "expected an operand, got %s" (token_to_string t)
 
 let parse_operand env s =
   let t, line = next s in
@@ -191,7 +196,7 @@ let parse_array env s =
   let name = expect_ident s "array name" in
   expect s Lbracket "'['";
   let size = expect_int s "array size" in
-  if size <= 0 then fail "array %s: size must be positive" name;
+  if size <= 0 then fail "%s: array %s: size must be positive" s.file name;
   expect s Rbracket "']'";
   expect s Equals "'='";
   let kind, kline = next s in
@@ -216,15 +221,15 @@ let parse_array env s =
                   ignore (next s);
                   elems ()
               | Rbrace, _ -> ignore (next s)
-              | t, l -> fail "line %d: expected ',' or '}', got %s" l (token_to_string t))
+              | t, l -> err s.file l "expected ',' or '}', got %s" (token_to_string t))
         in
         elems ();
         let values = Array.of_list (List.rev !values) in
         if Array.length values <> size then
-          fail "line %d: array %s declares %d elements but lists %d" kline name size
+          err s.file kline "array %s declares %d elements but lists %d" name size
             (Array.length values);
         values
-    | t -> fail "line %d: expected zero|iota|fill|hash|{...}, got %s" kline (token_to_string t)
+    | t -> err s.file kline "expected zero|iota|fill|hash|{...}, got %s" (token_to_string t)
   in
   Builder.array env.b name contents
 
@@ -237,14 +242,14 @@ let parse_definition env s name line =
       let from = expect_int s "induction start" in
       (match next s with
       | Ident "step", _ -> ()
-      | t, l -> fail "line %d: expected 'step', got %s" l (token_to_string t));
+      | t, l -> err s.file l "expected 'step', got %s" (token_to_string t));
       let step = expect_int s "induction step" in
       define env line name (Builder.induction env.b ~from ~step)
   | Ident "phi" ->
       let init = expect_int s "phi initial value" in
       (match next s with
       | Ident "carry", _ -> ()
-      | t, l -> fail "line %d: expected 'carry', got %s" l (token_to_string t));
+      | t, l -> err s.file l "expected 'carry', got %s" (token_to_string t));
       let carry_name = expect_ident s "carry register" in
       let r = Builder.phi env.b ~init:(Instr.Const init) in
       env.carries <- (carry_name, r, line) :: env.carries;
@@ -276,11 +281,12 @@ let parse_definition env s name line =
           expect s Comma "','";
           let b' = parse_operand env s in
           define env line name (Builder.binop env.b bop a b')
-      | None -> fail "line %d: unknown operation %s" opline opname)
-  | t -> fail "line %d: expected an operation, got %s" opline (token_to_string t)
+      | None -> err s.file opline "unknown operation %s" opname)
+  | t -> err s.file opline "expected an operation, got %s" (token_to_string t)
 
 let parse_statement env s =
   let t, line = next s in
+  Builder.at env.b (Some { Loop.loc_file = s.file; loc_line = line });
   match t with
   | Ident "array" -> parse_array env s
   | Ident "store" ->
@@ -314,31 +320,32 @@ let parse_statement env s =
       let name = expect_ident s "register" in
       match Hashtbl.find_opt env.regs name with
       | Some r -> Builder.live_out env.b r
-      | None -> fail "line %d: unknown register %s" line name)
+      | None -> err env.file line "unknown register %s" name)
   | Ident name -> parse_definition env s name line
-  | t -> fail "line %d: expected a statement, got %s" line (token_to_string t)
+  | t -> err env.file line "expected a statement, got %s" (token_to_string t)
 
-(* Parse a full loop from source text. *)
-let parse src =
-  let s = { toks = tokenize src } in
+(* Parse a full loop from source text.  [file] labels error messages and
+   the per-node locations recorded on the resulting loop. *)
+let parse ?(file = "<input>") src =
+  let s = { file; toks = tokenize ~file src } in
   (match next s with
   | Ident "loop", _ -> ()
-  | t, l -> fail "line %d: expected 'loop', got %s" l (token_to_string t));
+  | t, l -> err file l "expected 'loop', got %s" (token_to_string t));
   let name = expect_ident s "loop name" in
   expect s Lparen "'('";
   let trip =
     match next s with
     | Ident "count", _ -> Loop.Count (expect_int s "trip count")
     | Ident "while", _ -> Loop.While
-    | t, l -> fail "line %d: expected count|while, got %s" l (token_to_string t)
+    | t, l -> err file l "expected count|while, got %s" (token_to_string t)
   in
   expect s Rparen "')'";
   expect s Lbrace "'{'";
-  let env = { b = Builder.create name; regs = Hashtbl.create 16; carries = [] } in
+  let env = { b = Builder.create name; file; regs = Hashtbl.create 16; carries = [] } in
   let rec stmts () =
     match peek s with
     | Rbrace, _ -> ignore (next s)
-    | Eof, l -> fail "line %d: missing '}'" l
+    | Eof, l -> err file l "missing '}'"
     | _ ->
         parse_statement env s;
         stmts ()
@@ -346,23 +353,23 @@ let parse src =
   stmts ();
   (match next s with
   | Eof, _ -> ()
-  | t, l -> fail "line %d: trailing input: %s" l (token_to_string t));
+  | t, l -> err file l "trailing input: %s" (token_to_string t));
   (* Second pass: resolve phi carries. *)
   List.iter
     (fun (carry_name, phi, line) ->
       match Hashtbl.find_opt env.regs carry_name with
       | Some carry -> Builder.set_carry env.b ~phi ~carry
-      | None -> fail "line %d: carry register %s never defined" line carry_name)
+      | None -> err file line "carry register %s never defined" carry_name)
     env.carries;
   try Builder.finish ~trip env.b
-  with Invalid_argument m -> fail "%s" m
+  with Invalid_argument m -> fail "%s: %s" file m
 
 let parse_file path =
   let ic = open_in path in
   let n = in_channel_length ic in
   let src = really_input_string ic n in
   close_in ic;
-  parse src
+  parse ~file:path src
 
 (* ----------------------------- Printer ------------------------------ *)
 

@@ -4,15 +4,16 @@
     grammar; [examples/kernels/] holds sample programs. *)
 
 exception Parse_error of string
-(** Raised with a line-annotated message on any lexical, syntactic, or
-    binding error. *)
+(** Raised with a ["file:line:"]-annotated message on any lexical,
+    syntactic, or binding error. *)
 
-val parse : string -> Loop.t
-(** Parse loop source text.
+val parse : ?file:string -> string -> Loop.t
+(** Parse loop source text.  [file] (default ["<input>"]) labels error
+    messages and the per-node {!Loop.loc}s recorded on the result.
     @raise Parse_error on malformed input. *)
 
 val parse_file : string -> Loop.t
-(** Parse a file.
+(** Parse a file; the path becomes the location label.
     @raise Parse_error on malformed input;
     @raise Sys_error if the file cannot be read. *)
 

@@ -27,14 +27,21 @@ type compiled = {
   pdg : Pdg.t;
   scc : Scc.t;
   profile : float array;
-  doany_ok : bool;
+  doany : Doany.plan option;
   pipeline : Mtcg.pipeline option;
   doacross : Doacross.plan option;
 }
 
+(* The schemes of a compiled loop, as the verifier sees them. *)
+let schemes c =
+  [ Verify.Seq ]
+  @ (match c.doany with Some p -> [ Verify.Doany p ] | None -> [])
+  @ (match c.doacross with Some p -> [ Verify.Doacross p ] | None -> [])
+  @ match c.pipeline with Some p -> [ Verify.Psdswp p ] | None -> []
+
 (* Compile a loop: dependence analysis, profiling, and all applicable
    parallelizations. *)
-let compile ?(profile_iters = 40) (loop : Loop.t) =
+let compile ?(profile_iters = 40) ?(verify = true) (loop : Loop.t) =
   Loop.validate loop;
   let pdg = Pdg.build loop in
   (* Profile a truncated run to estimate per-node weights (Section 4.3.2's
@@ -48,7 +55,7 @@ let compile ?(profile_iters = 40) (loop : Loop.t) =
   (try ignore (Interp.run ~profile ~max_iters:profile_iters truncated)
    with _ -> () (* profiling must never block compilation *));
   let scc = Scc.build ~weights:profile pdg in
-  let doany_ok = Doany.applicable pdg in
+  let doany = Doany.make_plan pdg in
   let pipeline =
     match Psdswp.partition scc with
     | None -> None
@@ -61,16 +68,17 @@ let compile ?(profile_iters = 40) (loop : Loop.t) =
   (* DOACROSS is the fallback for loops with hard recurrences; when DOANY
      applies it strictly dominates DOACROSS, so Nona does not emit both. *)
   let doacross =
-    if (not doany_ok) && Doacross.applicable pdg then Some (Doacross.make_plan pdg) else None
+    if doany = None && Doacross.applicable pdg then Some (Doacross.make_plan pdg) else None
   in
-  { loop; pdg; scc; profile; doany_ok; pipeline; doacross }
+  let c = { loop; pdg; scc; profile; doany; pipeline; doacross } in
+  (* Every emitted scheme must pass the independent legality check before
+     Nona offers it to the runtime; a failure here is a compiler bug, not
+     a property of the input program. *)
+  if verify then List.iter (Verify.check_or_raise pdg) (schemes c);
+  c
 
 (* Names, in scheme-choice order. *)
-let scheme_names c =
-  [ "SEQ" ]
-  @ (if c.doany_ok then [ "DOANY" ] else [])
-  @ (if c.doacross <> None then [ "DOACROSS" ] else [])
-  @ if c.pipeline <> None then [ "PS-DSWP" ] else []
+let scheme_names c = List.map Verify.scheme_name (schemes c)
 
 type handle = {
   compiled : compiled;
@@ -101,13 +109,16 @@ let config_for handle ?(dop = 1) name =
 
 (* Instantiate the compiled loop on [eng] as a reconfigurable region.
    [budget] bounds the maximum DoP (channel matrices are sized to it). *)
-let launch ?flags ?(budget = 24) ?config ?name eng (c : compiled) =
+let launch ?flags ?(budget = 24) ?(verify = true) ?config ?name eng (c : compiled) =
+  (* Re-verify at the trust boundary: [c] may have been assembled or
+     edited by hand, and an illegal plan must not reach the executor. *)
+  if verify then List.iter (Verify.check_or_raise c.pdg) (schemes c);
   let rs = Flex.create ?flags eng c.pdg in
   let seq_pd = Task.descriptor ~name:"SEQ" [ Flex.make_seq_task rs ] in
   let schemes = ref [ seq_pd ] in
   let names = ref [ "SEQ" ] in
   let doany_hooks = ref None in
-  if c.doany_ok then begin
+  if c.doany <> None then begin
     let task, resize_hook, sync_present = Flex.make_doany_task rs ~max_lanes:budget in
     doany_hooks := Some (resize_hook, sync_present);
     schemes := !schemes @ [ Task.descriptor ~name:"DOANY" [ task ] ];

@@ -11,13 +11,21 @@ type compiled = {
   pdg : Pdg.t;
   scc : Scc.t;
   profile : float array;  (** profiled per-node weights *)
-  doany_ok : bool;
+  doany : Doany.plan option;
   pipeline : Mtcg.pipeline option;
   doacross : Doacross.plan option;
       (** emitted only when DOANY does not apply (it dominates DOACROSS) *)
 }
 
-val compile : ?profile_iters:int -> Loop.t -> compiled
+val compile : ?profile_iters:int -> ?verify:bool -> Loop.t -> compiled
+(** Compile the loop and statically verify every emitted scheme (disable
+    with [~verify:false]).
+    @raise Verify.Illegal_plan when a produced plan fails the legality
+    check — a compiler bug, not a property of the input program. *)
+
+val schemes : compiled -> Verify.scheme list
+(** The emitted schemes in choice order, always starting with
+    [Verify.Seq]. *)
 
 val scheme_names : compiled -> string list
 (** Names in scheme-choice order: always ["SEQ"], plus ["DOANY"],
@@ -41,6 +49,7 @@ val config_for : handle -> ?dop:int -> string -> Parcae_core.Config.t
 val launch :
   ?flags:Flex.flags ->
   ?budget:int ->
+  ?verify:bool ->
   ?config:Parcae_core.Config.t ->
   ?name:string ->
   Parcae_sim.Engine.t ->
@@ -48,7 +57,9 @@ val launch :
   handle
 (** Instantiate the compiled loop as a reconfigurable region.  [budget]
     bounds the maximum DoP (channel matrices are sized to it); the initial
-    configuration defaults to sequential. *)
+    configuration defaults to sequential.  The schemes are re-verified at
+    this trust boundary (disable with [~verify:false]).
+    @raise Verify.Illegal_plan when a scheme fails the legality check. *)
 
 val result : handle -> Interp.result
 (** Observable outcome of a finished run (its [work_ns] is 0). *)

@@ -19,3 +19,23 @@ let applicable (pdg : Pdg.t) =
 (* The dependencies Nona would report to the programmer as parallelization
    inhibitors (Section 3.2's "Report Inhibiting Dependencies"). *)
 let inhibitors = Pdg.doany_inhibitors
+
+(* The artifacts the scheme relies on at runtime, recorded explicitly so
+   the legality verifier can check them instead of trusting the code
+   generator: which opaque functions go under the global commutativity
+   lock, and which reductions are privatized and merged. *)
+type plan = {
+  serialized_fns : string list;  (* sorted, distinct *)
+  privatized : Pdg.reduction list;
+}
+
+let make_plan (pdg : Pdg.t) =
+  if not (applicable pdg) then None
+  else
+    let fns =
+      List.filter_map
+        (function Instr.Call { fn; _ } -> Some fn | _ -> None)
+        pdg.Pdg.loop.Loop.body
+      |> List.sort_uniq compare
+    in
+    Some { serialized_fns = fns; privatized = pdg.Pdg.reductions }

@@ -11,3 +11,16 @@ val applicable : Pdg.t -> bool
 val inhibitors : Pdg.t -> Dep.t list
 (** The dependencies Nona would report to the programmer as
     parallelization inhibitors (the paper's Figure 3.2 workflow). *)
+
+type plan = {
+  serialized_fns : string list;
+      (** opaque functions serialized under the global commutativity lock
+          (sorted, distinct) *)
+  privatized : Pdg.reduction list;  (** reductions privatized and merged *)
+}
+(** The runtime obligations of the scheme, recorded explicitly so the
+    legality verifier can check them instead of trusting the code
+    generator. *)
+
+val make_plan : Pdg.t -> plan option
+(** [Some plan] iff {!applicable}. *)

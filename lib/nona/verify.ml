@@ -1,0 +1,511 @@
+(* Static legality verification of parallelization plans.
+
+   Nona's partitioners (Doany/Doacross/Psdswp+Mtcg) produce plans; this
+   module independently re-derives, from the loop and its PDG, the proof
+   obligations each scheme must discharge and checks the emitted plan
+   against them.  The verifier trusts the PDG's *edges* (they are the
+   dependence ground truth) but not its relax annotations nor anything
+   the partitioners computed: relaxation legitimacy (induction, reduction,
+   commutativity) is re-established from the loop itself, so a corrupted
+   tag or a buggy code generator cannot smuggle a race past the check.
+
+   Diagnostic code ranges:
+     V0xx  PDG integrity (bogus relax annotations, dangling edges)
+     V1xx  DOANY obligations
+     V2xx  DOACROSS obligations
+     V3xx  PS-DSWP / MTCG obligations *)
+
+open Parcae_ir
+open Parcae_analysis
+open Parcae_pdg
+
+type scheme =
+  | Seq
+  | Doany of Doany.plan
+  | Doacross of Doacross.plan
+  | Psdswp of Mtcg.pipeline
+
+let scheme_name = function
+  | Seq -> "SEQ"
+  | Doany _ -> "DOANY"
+  | Doacross _ -> "DOACROSS"
+  | Psdswp _ -> "PS-DSWP"
+
+exception Illegal_plan of string * Diag.t list
+
+(* ------------------------------------------------------------------ *)
+(* Ground truth re-derived from the loop.                              *)
+
+type ground = {
+  inds : Alias.induction_info list;
+  reds : Pdg.reduction list;
+}
+
+let ground (pdg : Pdg.t) =
+  let inds = Alias.inductions pdg.Pdg.loop in
+  { inds; reds = Pdg.detect_reductions pdg.Pdg.loop inds }
+
+let is_induction_phi g r = List.exists (fun ii -> ii.Alias.ind_phi = r) g.inds
+let reduction_of_phi g r = List.find_opt (fun red -> red.Pdg.red_phi = r) g.reds
+
+let node_str (pdg : Pdg.t) id =
+  let base = Loop.node_to_string pdg.Pdg.nodes.(id) in
+  match Loop.loc_of pdg.Pdg.loop id with
+  | Some l -> Printf.sprintf "%s (%s)" base (Loop.loc_to_string l)
+  | None -> Printf.sprintf "%s (node %d)" base id
+
+let dep_str pdg (d : Dep.t) =
+  Printf.sprintf "%s%s dependence from %s to %s"
+    (if d.Dep.carried then "carried " else "")
+    (Dep.kind_to_string d.Dep.kind)
+    (node_str pdg d.Dep.src) (node_str pdg d.Dep.dst)
+
+let dep_loc (pdg : Pdg.t) (d : Dep.t) =
+  match Loop.loc_of pdg.Pdg.loop d.Dep.dst with
+  | Some _ as l -> l
+  | None -> Loop.loc_of pdg.Pdg.loop d.Dep.src
+
+(* Does the loop itself justify relaxing dependence [d]?  The relax tag
+   on the edge is deliberately ignored except as a claim to be checked:
+   a Hard tag is always honored (conservative), anything else must be
+   re-proved here. *)
+let justified_relaxable (pdg : Pdg.t) g (d : Dep.t) =
+  d.Dep.relax <> Dep.Hard
+  &&
+  let phi_at id =
+    if id < pdg.Pdg.nphis then Some (List.nth pdg.Pdg.loop.Loop.phis id) else None
+  in
+  match d.Dep.relax with
+  | Dep.Hard -> false
+  | Dep.Induction -> (
+      (* the carried def-of-carry -> phi edge of a recognized induction *)
+      d.Dep.carried && d.Dep.kind = Dep.Reg_data
+      &&
+      match phi_at d.Dep.dst with
+      | Some p ->
+          is_induction_phi g p.Instr.pdst
+          && Loop.node_defs pdg.Pdg.nodes.(d.Dep.src) = Some p.Instr.carry
+      | None -> false)
+  | Dep.Reduction -> (
+      d.Dep.carried && d.Dep.kind = Dep.Reg_data
+      &&
+      match phi_at d.Dep.dst with
+      | Some p -> (
+          match reduction_of_phi g p.Instr.pdst with
+          | Some red -> d.Dep.src = red.Pdg.red_combine
+          | None -> false)
+      | None -> false)
+  | Dep.Commutative -> (
+      d.Dep.kind = Dep.Call_order
+      &&
+      match (pdg.Pdg.nodes.(d.Dep.src), pdg.Pdg.nodes.(d.Dep.dst)) with
+      | ( Loop.Instr_node (Instr.Call { fn = f1; commutative = c1; _ }),
+          Loop.Instr_node (Instr.Call { fn = f2; commutative = c2; _ }) ) ->
+          f1 = f2 && c1 && c2
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* PDG integrity.                                                      *)
+
+let pdg_integrity (pdg : Pdg.t) =
+  let g = ground pdg in
+  let n = Array.length pdg.Pdg.nodes in
+  List.concat_map
+    (fun (d : Dep.t) ->
+      if d.Dep.src < 0 || d.Dep.src >= n || d.Dep.dst < 0 || d.Dep.dst >= n then
+        [
+          Diag.error "V002" "dependence edge %d -> %d references a node outside the loop"
+            d.Dep.src d.Dep.dst;
+        ]
+      else if d.Dep.relax <> Dep.Hard && not (justified_relaxable pdg g d) then
+        [
+          Diag.error ?loc:(dep_loc pdg d) "V001"
+            "%s is annotated %s but the loop does not justify relaxing it"
+            (dep_str pdg d)
+            (Dep.relax_to_string d.Dep.relax);
+        ]
+      else [])
+    pdg.Pdg.deps
+
+(* ------------------------------------------------------------------ *)
+(* DOANY.                                                              *)
+
+let verify_doany (pdg : Pdg.t) (plan : Doany.plan) =
+  let g = ground pdg in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  (match pdg.Pdg.loop.Loop.trip with
+  | Loop.While ->
+      emit
+        (Diag.error "V101"
+           "DOANY requires a counted loop; '%s' runs until a break fires"
+           pdg.Pdg.loop.Loop.name)
+  | Loop.Count _ -> ());
+  (* Every carried dependence must be provably relaxable: lanes execute
+     iterations in arbitrary, overlapping order. *)
+  List.iter
+    (fun (d : Dep.t) ->
+      if d.Dep.carried && not (justified_relaxable pdg g d) then
+        emit
+          (Diag.error ?loc:(dep_loc pdg d) "V102"
+             "%s is not relaxable and would race across DOANY lanes"
+             (dep_str pdg d)))
+    pdg.Pdg.deps;
+  (* Every commutative call must run under the global lock. *)
+  Array.iteri
+    (fun id n ->
+      match n with
+      | Loop.Instr_node (Instr.Call { fn; commutative = true; _ }) ->
+          if not (List.mem fn plan.Doany.serialized_fns) then
+            emit
+              (Diag.error
+                 ?loc:(Loop.loc_of pdg.Pdg.loop id)
+                 "V103"
+                 "commutative call to '%s' is not serialized under the \
+                  commutativity lock"
+                 fn)
+      | _ -> ())
+    pdg.Pdg.nodes;
+  (* Every reduction recurrence must be privatized with its own combine
+     operator, and nothing else may be privatized. *)
+  List.iter
+    (fun (red : Pdg.reduction) ->
+      let matching =
+        List.exists
+          (fun (p : Pdg.reduction) ->
+            p.Pdg.red_phi = red.Pdg.red_phi && p.Pdg.red_op = red.Pdg.red_op)
+          plan.Doany.privatized
+      in
+      if not matching then
+        emit
+          (Diag.error
+             ?loc:(Loop.loc_of pdg.Pdg.loop red.Pdg.red_node)
+             "V104"
+             "reduction over r%d (%s) is not privatized with its combine \
+              operator"
+             red.Pdg.red_phi
+             (Instr.binop_to_string red.Pdg.red_op)))
+    g.reds;
+  List.iter
+    (fun (p : Pdg.reduction) ->
+      if not (List.mem p g.reds) then
+        emit
+          (Diag.error "V105"
+             "plan privatizes r%d as a %s-reduction, which the loop does not \
+              justify"
+             p.Pdg.red_phi
+             (Instr.binop_to_string p.Pdg.red_op)))
+    plan.Doany.privatized;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* DOACROSS.                                                           *)
+
+let verify_doacross (pdg : Pdg.t) (plan : Doacross.plan) =
+  let g = ground pdg in
+  let loop = pdg.Pdg.loop in
+  let nphis = pdg.Pdg.nphis in
+  let nnodes = Array.length pdg.Pdg.nodes in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  (match loop.Loop.trip with
+  | Loop.While ->
+      emit
+        (Diag.error "V201"
+           "DOACROSS requires a counted loop; '%s' runs until a break fires"
+           loop.Loop.name)
+  | Loop.Count _ -> ());
+  let forwarded (p : Instr.phi) =
+    List.exists (fun (q : Instr.phi) -> q.Instr.pdst = p.Instr.pdst) plan.Doacross.hard_phis
+  in
+  (* The forwarded phis must be phis of this loop; forwarding a relaxable
+     one is redundant but harmless. *)
+  List.iter
+    (fun (p : Instr.phi) ->
+      match
+        List.find_opt (fun (q : Instr.phi) -> q.Instr.pdst = p.Instr.pdst) loop.Loop.phis
+      with
+      | None ->
+          emit
+            (Diag.error "V202" "plan forwards r%d, which is not a phi of '%s'"
+               p.Instr.pdst loop.Loop.name)
+      | Some q ->
+          if q <> p then
+            emit
+              (Diag.error "V202"
+                 "forwarded phi r%d does not match the loop's definition"
+                 p.Instr.pdst)
+          else if
+            is_induction_phi g p.Instr.pdst || reduction_of_phi g p.Instr.pdst <> None
+          then
+            emit
+              (Diag.warning "V207"
+                 "forwarding relaxable phi r%d around the ring is redundant"
+                 p.Instr.pdst))
+    plan.Doacross.hard_phis;
+  (* Every hard carried dependence must be a phi recurrence forwarded
+     point-to-point around the ring; hard carried memory, call-order or
+     control dependencies have no enforcement mechanism. *)
+  List.iter
+    (fun (d : Dep.t) ->
+      if d.Dep.carried && not (justified_relaxable pdg g d) then
+        if d.Dep.kind = Dep.Reg_data && d.Dep.dst < nphis then begin
+          let p = List.nth loop.Loop.phis d.Dep.dst in
+          if not (forwarded p) then
+            emit
+              (Diag.error ?loc:(dep_loc pdg d) "V203"
+                 "hard recurrence through phi r%d is not forwarded around the \
+                  ring"
+                 p.Instr.pdst)
+        end
+        else
+          emit
+            (Diag.error ?loc:(dep_loc pdg d) "V204"
+               "%s cannot be enforced by DOACROSS ring forwarding"
+               (dep_str pdg d)))
+    pdg.Pdg.deps;
+  (* pre and chain must partition the body. *)
+  let assigned = plan.Doacross.pre @ plan.Doacross.chain in
+  let sorted = List.sort compare assigned in
+  let expected = List.init (nnodes - nphis) (fun i -> nphis + i) in
+  if sorted <> expected then
+    emit
+      (Diag.error "V205"
+         "pre and chain do not partition the loop body (%d ids assigned, %d \
+          body instructions)"
+         (List.length assigned) (nnodes - nphis));
+  (* Re-derive which nodes must stay in the recurrence chain: anything
+     that (transitively) consumes a forwarded recurrence value, plus
+     calls and reduction combines, whose side effects must not overlap or
+     re-execute after a pause.  The pre part overlaps freely across
+     lanes, so a tainted node scheduled there races. *)
+  let tainted = Array.make nnodes false in
+  List.iteri
+    (fun pi (p : Instr.phi) ->
+      if not (is_induction_phi g p.Instr.pdst || reduction_of_phi g p.Instr.pdst <> None)
+      then tainted.(pi) <- true)
+    loop.Loop.phis;
+  Array.iteri
+    (fun id n ->
+      match n with
+      | Loop.Instr_node (Instr.Call _) -> tainted.(id) <- true
+      | _ -> ())
+    pdg.Pdg.nodes;
+  List.iter (fun (red : Pdg.reduction) -> tainted.(red.Pdg.red_combine) <- true) g.reds;
+  let defined_by = Hashtbl.create 32 in
+  Array.iteri
+    (fun id n ->
+      match Loop.node_defs n with
+      | Some r -> Hashtbl.replace defined_by r id
+      | None -> ())
+    pdg.Pdg.nodes;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun id n ->
+        if not tainted.(id) && id >= nphis then
+          let from_tainted r =
+            match Hashtbl.find_opt defined_by r with
+            | Some d -> tainted.(d)
+            | None -> false
+          in
+          if List.exists from_tainted (Loop.node_uses n) then begin
+            tainted.(id) <- true;
+            changed := true
+          end)
+      pdg.Pdg.nodes
+  done;
+  List.iter
+    (fun id ->
+      if id >= 0 && id < nnodes && tainted.(id) then
+        emit
+          (Diag.error
+             ?loc:(Loop.loc_of loop id)
+             "V206"
+             "%s depends on a recurrence (or has side effects) and cannot \
+              overlap across lanes in the pre part"
+             (node_str pdg id)))
+    plan.Doacross.pre;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* PS-DSWP.                                                            *)
+
+let verify_psdswp (pdg : Pdg.t) (pipe : Mtcg.pipeline) =
+  let g = ground pdg in
+  let loop = pdg.Pdg.loop in
+  let nnodes = Array.length pdg.Pdg.nodes in
+  let nstages = Array.length pipe.Mtcg.stages in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  if nstages = 0 then [ Diag.error "V301" "pipeline has no stages" ]
+  else begin
+    (* Invariant 4.3.1 part 1: every node in exactly one stage. *)
+    let stage_of = Array.make nnodes (-1) in
+    Array.iteri
+      (fun si (s : Psdswp.stage) ->
+        List.iter
+          (fun id ->
+            if id < 0 || id >= nnodes then
+              emit (Diag.error "V301" "stage %d lists node %d, which does not exist" si id)
+            else if stage_of.(id) >= 0 then
+              emit
+                (Diag.error "V301" "%s is assigned to both stage %d and stage %d"
+                   (node_str pdg id) stage_of.(id) si)
+            else stage_of.(id) <- si)
+          s.Psdswp.members)
+      pipe.Mtcg.stages;
+    Array.iteri
+      (fun id _ ->
+        if stage_of.(id) < 0 then
+          emit (Diag.error "V301" "%s is assigned to no stage" (node_str pdg id)))
+      pdg.Pdg.nodes;
+    if !diags <> [] then List.rev !diags
+    else begin
+      (* Channels must flow forward; every stage must be paced by the
+         pipeline (reachable from stage 0 through channels), or it would
+         never see iteration tokens, pauses or exit signals. *)
+      let has_edge = Array.make_matrix nstages nstages false in
+      Array.iter
+        (fun (e : Mtcg.edge) ->
+          if e.Mtcg.e_from >= e.Mtcg.e_to then
+            emit
+              (Diag.error "V310" "channel from stage %d to stage %d does not flow forward"
+                 e.Mtcg.e_from e.Mtcg.e_to)
+          else has_edge.(e.Mtcg.e_from).(e.Mtcg.e_to) <- true)
+        pipe.Mtcg.edges;
+      let reachable = Array.make nstages false in
+      reachable.(0) <- true;
+      for a = 0 to nstages - 1 do
+        for b = a + 1 to nstages - 1 do
+          if reachable.(a) && has_edge.(a).(b) then reachable.(b) <- true
+        done
+      done;
+      for s = 1 to nstages - 1 do
+        if not reachable.(s) then
+          emit
+            (Diag.error "V311"
+               "stage %d is not reachable from stage 0 through channels and \
+                would never be paced"
+               s)
+      done;
+      let regs_on a b =
+        Array.to_list pipe.Mtcg.edges
+        |> List.concat_map (fun (e : Mtcg.edge) ->
+               if e.Mtcg.e_from = a && e.Mtcg.e_to = b then e.Mtcg.e_regs else [])
+      in
+      let require_channel (d : Dep.t) a b =
+        if not has_edge.(a).(b) then
+          emit
+            (Diag.error ?loc:(dep_loc pdg d) "V303"
+               "%s crosses from stage %d to stage %d with no channel between \
+                them"
+               (dep_str pdg d) a b)
+        else if d.Dep.kind = Dep.Reg_data && not d.Dep.carried then
+          match Loop.node_defs pdg.Pdg.nodes.(d.Dep.src) with
+          | Some r when not (List.mem r (regs_on a b)) ->
+              emit
+                (Diag.error ?loc:(dep_loc pdg d) "V304"
+                   "r%d is consumed in stage %d but not communicated on the \
+                    channel from stage %d"
+                   r b a)
+          | _ -> ()
+      in
+      List.iter
+        (fun (d : Dep.t) ->
+          let a = stage_of.(d.Dep.src) and b = stage_of.(d.Dep.dst) in
+          let relaxed = justified_relaxable pdg g d in
+          if not d.Dep.carried then begin
+            (* Invariant 4.3.1 part 2: intra-iteration deps flow forward. *)
+            if a > b then
+              emit
+                (Diag.error ?loc:(dep_loc pdg d) "V302"
+                   "%s flows backward from stage %d to stage %d" (dep_str pdg d)
+                   a b)
+            else if a < b then require_channel d a b
+          end
+          else if relaxed then begin
+            (* Commutative calls synchronize through the global lock and
+               may sit anywhere; induction/reduction recurrences must stay
+               within one stage so recomputation/privatization sees the
+               whole cycle. *)
+            match d.Dep.relax with
+            | Dep.Induction | Dep.Reduction ->
+                if a <> b then
+                  emit
+                    (Diag.error ?loc:(dep_loc pdg d) "V305"
+                       "%s recurrence is split between stage %d and stage %d"
+                       (Dep.relax_to_string d.Dep.relax)
+                       a b)
+            | _ -> ()
+          end
+          else if a > b then
+            emit
+              (Diag.error ?loc:(dep_loc pdg d) "V306"
+                 "hard %s flows backward from stage %d to stage %d"
+                 (dep_str pdg d) a b)
+          else if a = b then begin
+            if pipe.Mtcg.stages.(a).Psdswp.par then
+              emit
+                (Diag.error ?loc:(dep_loc pdg d) "V307"
+                   "hard %s sits inside parallel stage %d, whose replicas run \
+                    iterations concurrently"
+                   (dep_str pdg d) a)
+          end
+          else begin
+            (* Forward hard carried dependence: the source stage must be
+               sequential (a parallel source may still be running iteration
+               i when a later stage starts i+distance) and a channel must
+               order the stages. *)
+            if pipe.Mtcg.stages.(a).Psdswp.par then
+              emit
+                (Diag.error ?loc:(dep_loc pdg d) "V308"
+                   "hard %s is sourced in parallel stage %d and cannot be \
+                    ordered against later iterations"
+                   (dep_str pdg d) a);
+            require_channel d a b
+          end)
+        pdg.Pdg.deps;
+      (* Breaks and induction updates belong to the sequential master. *)
+      Array.iteri
+        (fun id n ->
+          let si = stage_of.(id) in
+          if pipe.Mtcg.stages.(si).Psdswp.par then
+            match n with
+            | Loop.Instr_node (Instr.Break_if _) ->
+                emit
+                  (Diag.error
+                     ?loc:(Loop.loc_of loop id)
+                     "V309" "%s is scheduled in parallel stage %d"
+                     (node_str pdg id) si)
+            | Loop.Phi_node p when is_induction_phi g p.Instr.pdst ->
+                emit
+                  (Diag.error
+                     ?loc:(Loop.loc_of loop id)
+                     "V309"
+                     "induction phi r%d is scheduled in parallel stage %d and \
+                      cannot dole out iterations"
+                     p.Instr.pdst si)
+            | _ -> ())
+        pdg.Pdg.nodes;
+      List.rev !diags
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let plan (pdg : Pdg.t) scheme =
+  let diags =
+    match scheme with
+    | Seq -> []
+    | Doany p -> verify_doany pdg p
+    | Doacross p -> verify_doacross pdg p
+    | Psdswp p -> verify_psdswp pdg p
+  in
+  Diag.sort diags
+
+let check_or_raise pdg scheme =
+  let diags = pdg_integrity pdg @ plan pdg scheme in
+  if Diag.count_errors diags > 0 then
+    raise (Illegal_plan (scheme_name scheme, Diag.sort diags))

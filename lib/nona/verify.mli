@@ -1,0 +1,38 @@
+(** Static legality verification of parallelization plans.
+
+    Re-derives, from the loop and its PDG, the proof obligations each
+    execution scheme must discharge, and checks an emitted plan against
+    them.  The verifier trusts the PDG's dependence {e edges} but not its
+    relax annotations nor the partitioners: relaxation legitimacy
+    (induction, reduction, commutativity) is re-established from the loop
+    itself, so a corrupted tag or a buggy code generator cannot smuggle a
+    race past the check.
+
+    Diagnostic code ranges: [V0xx] PDG integrity, [V1xx] DOANY, [V2xx]
+    DOACROSS, [V3xx] PS-DSWP/MTCG. *)
+
+open Parcae_analysis
+open Parcae_pdg
+
+type scheme =
+  | Seq
+  | Doany of Doany.plan
+  | Doacross of Doacross.plan
+  | Psdswp of Mtcg.pipeline
+
+val scheme_name : scheme -> string
+
+exception Illegal_plan of string * Diag.t list
+(** Raised by {!check_or_raise} (and the compiler) when a plan fails
+    verification: scheme name and the sorted diagnostics. *)
+
+val pdg_integrity : Pdg.t -> Diag.t list
+(** [V001]: a dependence annotated relaxable that the loop does not
+    justify relaxing; [V002]: an edge referencing a non-existent node. *)
+
+val plan : Pdg.t -> scheme -> Diag.t list
+(** The scheme-specific obligations, sorted.  Empty for [Seq]. *)
+
+val check_or_raise : Pdg.t -> scheme -> unit
+(** Run {!pdg_integrity} and {!plan}; raise {!Illegal_plan} on any
+    error. *)

@@ -1,18 +1,24 @@
 (* Array-index analysis: the pointer-analysis stand-in for the IR.
 
    An access index is classified as
-   - [Affine (ind, offset)]: a constant offset from a canonical induction
-     variable (i, i+1, i-2, ...),
-   - [Fixed c]: a compile-time constant, or
-   - [Unknown]: anything else.
+   - [Affine {ind; scale; offset}]: scale * i + offset for a canonical
+     induction variable i (recognized through +/- constant chains, Mul and
+     Shl by constants, and dataflow-proven constant registers),
+   - [Fixed c]: a compile-time constant (including registers the dataflow
+     analysis proves constant), or
+   - [Unknown f]: anything else, carrying the dataflow fact of the index
+     value so range/congruence disjointness can still separate accesses.
 
    Two accesses to the same array with affine indices on the same induction
-   variable conflict across iterations only if their offsets differ by a
-   multiple of the step; same-offset accesses conflict only within an
-   iteration.  Anything involving [Unknown] is conservatively assumed to
-   conflict across iterations. *)
+   variable and the same scale conflict across iterations only if their
+   offsets differ by a multiple of scale * step; same-offset accesses
+   conflict only within an iteration.  An affine access hits a fixed cell
+   in at most one iteration, which is decided exactly; any remaining pair
+   is separated by interval or congruence disjointness of the index facts,
+   or conservatively assumed to conflict. *)
 
 open Parcae_ir
+open Parcae_analysis
 
 type induction_info = {
   ind_phi : Instr.reg;  (* phi destination: the induction variable *)
@@ -21,7 +27,10 @@ type induction_info = {
   ind_carry : Instr.reg;  (* the register holding i + step *)
 }
 
-type index = Affine of { ind : Instr.reg; offset : int } | Fixed of int | Unknown
+type index =
+  | Affine of { ind : Instr.reg; scale : int; offset : int; fct : Dataflow.fact }
+  | Fixed of int
+  | Unknown of Dataflow.fact
 
 (* Recognize induction phis: i = phi [c, j] where j = i +/- const. *)
 let inductions (loop : Loop.t) =
@@ -50,31 +59,66 @@ let inductions (loop : Loop.t) =
     loop.Loop.phis
   |> List.filter (fun i -> i.ind_step <> 0)
 
-(* Classify an index operand by chasing +/- constant chains back to an
-   induction variable or a constant. *)
-let classify_index (loop : Loop.t) (inds : induction_info list) (idx : Instr.operand) =
+let max_scale = 1 lsl 20
+
+(* Classify an index operand by chasing affine chains (+/- constants, Mul
+   and Shl by constants, constant-valued registers via dataflow) back to
+   an induction variable or a constant. *)
+let classify_index ?facts (loop : Loop.t) (inds : induction_info list) (idx : Instr.operand) =
+  let facts = match facts with Some s -> s | None -> Dataflow.analyze loop in
+  let fct = Dataflow.operand_fact facts idx in
   let def_of r =
     List.find_opt (fun i -> match Instr.defs i with Some d -> d = r | None -> false) loop.Loop.body
   in
-  let rec chase r offset depth =
-    if depth > 16 then Unknown
-    else if List.exists (fun ii -> ii.ind_phi = r) inds then Affine { ind = r; offset }
-    else begin
-      (* The carry register (i + step) is the induction shifted by step. *)
-      match List.find_opt (fun ii -> ii.ind_carry = r) inds with
-      | Some ii -> Affine { ind = ii.ind_phi; offset = offset + ii.ind_step }
-      | None -> (
-          match def_of r with
-          | Some (Instr.Binop { op = Instr.Add; a = Instr.Reg r'; b = Instr.Const c; _ }) ->
-              chase r' (offset + c) (depth + 1)
-          | Some (Instr.Binop { op = Instr.Add; a = Instr.Const c; b = Instr.Reg r'; _ }) ->
-              chase r' (offset + c) (depth + 1)
-          | Some (Instr.Binop { op = Instr.Sub; a = Instr.Reg r'; b = Instr.Const c; _ }) ->
-              chase r' (offset - c) (depth + 1)
-          | _ -> Unknown)
-    end
+  let const_reg r = Dataflow.const_of (Dataflow.reg_fact facts r) in
+  (* At register [r] the index is scale * r + offset. *)
+  let rec chase r scale offset depth =
+    if depth > 16 || abs scale > max_scale || abs offset > max_scale then Unknown fct
+    else
+      match const_reg r with
+      | Some c -> Fixed ((scale * c) + offset)
+      | None ->
+          if List.exists (fun ii -> ii.ind_phi = r) inds then Affine { ind = r; scale; offset; fct }
+          else begin
+            (* The carry register (i + step) is the induction shifted by step. *)
+            match List.find_opt (fun ii -> ii.ind_carry = r) inds with
+            | Some ii -> Affine { ind = ii.ind_phi; scale; offset = offset + (scale * ii.ind_step); fct }
+            | None -> (
+                (* Fold constant-valued register operands into the chain so
+                   mixed reg/reg arithmetic still classifies. *)
+                let as_const = function
+                  | Instr.Const c -> Some c
+                  | Instr.Reg r' -> const_reg r'
+                in
+                match def_of r with
+                | Some (Instr.Binop { op = Instr.Add; a; b; _ }) -> (
+                    match ((a, as_const b), (b, as_const a)) with
+                    | (Instr.Reg r', Some c), _ | _, (Instr.Reg r', Some c) ->
+                        chase r' scale (offset + (scale * c)) (depth + 1)
+                    | _ -> Unknown fct)
+                | Some (Instr.Binop { op = Instr.Sub; a = Instr.Reg r'; b; _ }) -> (
+                    match as_const b with
+                    | Some c -> chase r' scale (offset - (scale * c)) (depth + 1)
+                    | None -> Unknown fct)
+                | Some (Instr.Binop { op = Instr.Sub; a; b = Instr.Reg r'; _ }) -> (
+                    (* c - r': the scale flips sign *)
+                    match as_const a with
+                    | Some c -> chase r' (-scale) (offset + (scale * c)) (depth + 1)
+                    | None -> Unknown fct)
+                | Some (Instr.Binop { op = Instr.Mul; a; b; _ }) -> (
+                    match ((a, as_const b), (b, as_const a)) with
+                    | (_, Some 0), _ | _, (_, Some 0) -> Fixed offset
+                    | (Instr.Reg r', Some c), _ | _, (Instr.Reg r', Some c) ->
+                        chase r' (scale * c) offset (depth + 1)
+                    | _ -> Unknown fct)
+                | Some (Instr.Binop { op = Instr.Shl; a = Instr.Reg r'; b; _ }) -> (
+                    match as_const b with
+                    | Some c when c land 62 <= 20 -> chase r' (scale * (1 lsl (c land 62))) offset (depth + 1)
+                    | _ -> Unknown fct)
+                | _ -> Unknown fct)
+          end
   in
-  match idx with Instr.Const c -> Fixed c | Instr.Reg r -> chase r 0 0
+  match idx with Instr.Const c -> Fixed c | Instr.Reg r -> chase r 1 0 0
 
 (* How two accesses to the same array may conflict. *)
 type conflict =
@@ -85,19 +129,51 @@ type conflict =
          iteration by this many iterations (positive distance) *)
   | May_conflict  (* conservatively: any iterations may conflict *)
 
-let conflict inds a b =
+let index_fact = function
+  | Fixed c -> Dataflow.const c
+  | Affine { fct; _ } -> fct
+  | Unknown fct -> fct
+
+let conflict ?trip inds a b =
+  let find_ind i = List.find_opt (fun ii -> ii.ind_phi = i) inds in
+  (* a cross-iteration distance d needs two iterations d apart *)
+  let feasible d = match trip with Some n -> d < n | None -> true in
   match (a, b) with
-  | Fixed x, Fixed y -> if x = y then Same_iteration else No_conflict
-  | Affine { ind = i1; offset = o1 }, Affine { ind = i2; offset = o2 } when i1 = i2 -> (
-      match List.find_opt (fun ii -> ii.ind_phi = i1) inds with
+  | Fixed x, Fixed y ->
+      (* the same fixed cell is touched on *every* iteration, so the
+         conflict is both intra- and cross-iteration at any distance *)
+      if x = y then May_conflict else No_conflict
+  | Affine { ind = i1; scale = m1; offset = o1; _ }, Affine { ind = i2; scale = m2; offset = o2; _ }
+    when i1 = i2 && m1 = m2 -> (
+      match find_ind i1 with
       | None -> May_conflict
       | Some ii ->
-          let step = ii.ind_step in
+          let stride = m1 * ii.ind_step in
           if o1 = o2 then Same_iteration
-          else if (o1 - o2) mod step <> 0 then No_conflict
-          else Cross_iteration (abs ((o1 - o2) / step)))
-  | Affine _, Fixed _ | Fixed _, Affine _ ->
-      (* An induction-indexed access hits a fixed cell in at most one
-         iteration; treat conservatively as cross-iteration. *)
-      May_conflict
-  | _ -> May_conflict
+          else if stride = 0 || (o1 - o2) mod stride <> 0 then No_conflict
+          else
+            let d = abs ((o1 - o2) / stride) in
+            if feasible d then Cross_iteration d else No_conflict)
+  | (Affine { ind; scale; offset; _ }, Fixed c | Fixed c, Affine { ind; scale; offset; _ }) -> (
+      (* scale * i + offset = c has at most one solution over the
+         induction's value sequence; if that iteration is never reached
+         the accesses are disjoint, otherwise the hit races the fixed
+         access of every other iteration. *)
+      match find_ind ind with
+      | None -> May_conflict
+      | Some ii ->
+          let num = c - offset in
+          if scale = 0 || num mod scale <> 0 then No_conflict
+          else
+            let v = num / scale in
+            let dv = v - ii.ind_from in
+            if ii.ind_step = 0 || dv mod ii.ind_step <> 0 then No_conflict
+            else
+              let k = dv / ii.ind_step in
+              if k < 0 then No_conflict
+              else if match trip with Some n -> k >= n | None -> false then No_conflict
+              else May_conflict)
+  | _ ->
+      (* different inductions, different scales, or unknown chains: fall
+         back to interval/congruence disjointness of the index values *)
+      if Dataflow.disjoint (index_fact a) (index_fact b) then No_conflict else May_conflict

@@ -4,6 +4,7 @@
     conflict across iterations. *)
 
 open Parcae_ir
+open Parcae_analysis
 
 type induction_info = {
   ind_phi : Instr.reg;  (** the induction variable (phi destination) *)
@@ -13,15 +14,19 @@ type induction_info = {
 }
 
 type index =
-  | Affine of { ind : Instr.reg; offset : int }
+  | Affine of { ind : Instr.reg; scale : int; offset : int; fct : Dataflow.fact }
+      (** [scale * ind + offset], with the dataflow fact of the value *)
   | Fixed of int
-  | Unknown
+  | Unknown of Dataflow.fact
+      (** unclassifiable chain, but the fact still enables disjointness *)
 
 val inductions : Loop.t -> induction_info list
 (** Recognize induction phis: [i = phi \[c, i +/- const\]]. *)
 
-val classify_index : Loop.t -> induction_info list -> Instr.operand -> index
-(** Chase +/- constant chains back to an induction variable or constant. *)
+val classify_index : ?facts:Dataflow.summary -> Loop.t -> induction_info list -> Instr.operand -> index
+(** Chase affine chains ([+/- const], [Mul]/[Shl] by constants,
+    dataflow-proven constant registers) back to an induction variable or a
+    constant.  [facts] defaults to analyzing [loop] on the spot. *)
 
 type conflict =
   | No_conflict
@@ -30,4 +35,7 @@ type conflict =
       (** conflict across iterations at this distance (in iterations) *)
   | May_conflict  (** conservatively: any iterations may conflict *)
 
-val conflict : induction_info list -> index -> index -> conflict
+val conflict : ?trip:int -> induction_info list -> index -> index -> conflict
+(** Decide how two accesses to the same array may conflict.  [trip], when
+    known, rules out cross-iteration distances no pair of iterations can
+    realize. *)

@@ -7,7 +7,11 @@
    programmer annotated commutative may execute in any order inside a
    critical section (Section 4.3.1). *)
 
-type kind = Reg_data | Mem_data | Control
+type kind =
+  | Reg_data
+  | Mem_data
+  | Control
+  | Call_order  (* ordering between calls to the same opaque function *)
 
 type relax =
   | Hard  (* a true ordering constraint *)
@@ -25,7 +29,11 @@ type t = {
 
 let is_relaxable d = d.relax <> Hard
 
-let kind_to_string = function Reg_data -> "reg" | Mem_data -> "mem" | Control -> "ctl"
+let kind_to_string = function
+  | Reg_data -> "reg"
+  | Mem_data -> "mem"
+  | Control -> "ctl"
+  | Call_order -> "call"
 
 let relax_to_string = function
   | Hard -> ""

@@ -4,7 +4,11 @@
     privatizable (Section 7.4), and annotated-commutative calls may
     execute in any order inside a critical section (Section 4.3.1). *)
 
-type kind = Reg_data | Mem_data | Control
+type kind =
+  | Reg_data
+  | Mem_data
+  | Control
+  | Call_order  (** ordering between calls to the same opaque function *)
 
 type relax =
   | Hard  (** a true ordering constraint *)

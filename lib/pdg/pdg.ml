@@ -9,6 +9,7 @@
    their carried edges marked relaxable. *)
 
 open Parcae_ir
+open Parcae_analysis
 
 type reduction = {
   red_phi : Instr.reg;  (* the accumulator phi *)
@@ -25,6 +26,7 @@ type t = {
   deps : Dep.t list;
   inductions : Alias.induction_info list;
   reductions : reduction list;
+  facts : Dataflow.summary;  (* register value facts used by the alias queries *)
 }
 
 let associative_commutative = function
@@ -37,7 +39,7 @@ let associative_commutative = function
 let detect_reductions (loop : Loop.t) (inds : Alias.induction_info list) =
   let nphis = List.length loop.Loop.phis in
   let body = Array.of_list loop.Loop.body in
-  List.filteri (fun _ _ -> true) loop.Loop.phis
+  loop.Loop.phis
   |> List.mapi (fun pi p -> (pi, p))
   |> List.filter_map (fun (pi, (p : Instr.phi)) ->
          if List.exists (fun ii -> ii.Alias.ind_phi = p.Instr.pdst) inds then None
@@ -89,6 +91,7 @@ let build (loop : Loop.t) =
   let body = Array.of_list loop.Loop.body in
   let inds = Alias.inductions loop in
   let reds = detect_reductions loop inds in
+  let facts = Dataflow.analyze loop in
   let deps = ref [] in
   let add src dst kind carried relax =
     if src <> dst || carried then
@@ -137,7 +140,8 @@ let build (loop : Loop.t) =
            | Instr.Store { arr; idx; _ } -> Some (id, arr, idx, true)
            | _ -> None)
   in
-  let idx_class = Alias.classify_index loop inds in
+  let idx_class = Alias.classify_index ~facts loop inds in
+  let trip = match loop.Loop.trip with Loop.Count n -> Some n | Loop.While -> None in
   let step_of ind =
     match List.find_opt (fun ii -> ii.Alias.ind_phi = ind) inds with
     | Some ii -> ii.Alias.ind_step
@@ -149,18 +153,19 @@ let build (loop : Loop.t) =
         (fun (id2, arr2, idx2, st2) ->
           if arr1 = arr2 && (st1 || st2) && id1 <= id2 then begin
             let c1 = idx_class idx1 and c2 = idx_class idx2 in
-            match Alias.conflict inds c1 c2 with
+            match Alias.conflict ?trip inds c1 c2 with
             | Alias.No_conflict -> ()
             | Alias.Same_iteration -> if id1 < id2 then add id1 id2 Dep.Mem_data false Dep.Hard
             | Alias.Cross_iteration _ -> (
                 (* Direction: the access whose offset maps an element to the
                    earlier iteration is the source of the carried dep. *)
                 match (c1, c2) with
-                | Alias.Affine { ind; offset = o1 }, Alias.Affine { offset = o2; _ } ->
-                    let step = step_of ind in
-                    (* iteration touching element e: (e - o) / step; larger
-                       offset means earlier iteration when step > 0. *)
-                    let first_is_1 = (o1 - o2) * (if step > 0 then 1 else -1) > 0 in
+                | Alias.Affine { ind; scale; offset = o1; _ }, Alias.Affine { offset = o2; _ } ->
+                    (* iteration touching element e: (e - o) / (scale *
+                       step); larger offset means earlier iteration when
+                       the per-iteration advance is positive. *)
+                    let advance = scale * step_of ind in
+                    let first_is_1 = (o1 - o2) * (if advance > 0 then 1 else -1) > 0 in
                     if first_is_1 then add id1 id2 Dep.Mem_data true Dep.Hard
                     else add id2 id1 Dep.Mem_data true Dep.Hard
                 | _ ->
@@ -204,14 +209,14 @@ let build (loop : Loop.t) =
         (fun (id2, fn2, comm2) ->
           if fn1 = fn2 && id1 <= id2 then begin
             let relax = if comm1 && comm2 then Dep.Commutative else Dep.Hard in
-            if id1 < id2 then add id1 id2 Dep.Reg_data false relax;
-            add id1 id2 Dep.Reg_data true relax;
-            add id2 id1 Dep.Reg_data true relax
+            if id1 < id2 then add id1 id2 Dep.Call_order false relax;
+            add id1 id2 Dep.Call_order true relax;
+            add id2 id1 Dep.Call_order true relax
           end)
         calls)
     calls;
 
-  { loop; nodes; nphis; deps = !deps; inductions = inds; reductions = reds }
+  { loop; nodes; nphis; deps = !deps; inductions = inds; reductions = reds; facts }
 
 (* All carried dependencies. *)
 let carried t = List.filter (fun d -> d.Dep.carried) t.deps

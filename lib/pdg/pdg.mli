@@ -8,6 +8,7 @@
     their carried edges marked relaxable. *)
 
 open Parcae_ir
+open Parcae_analysis
 
 type reduction = {
   red_phi : Instr.reg;  (** the accumulator phi *)
@@ -24,6 +25,7 @@ type t = {
   deps : Dep.t list;
   inductions : Alias.induction_info list;
   reductions : reduction list;
+  facts : Dataflow.summary;  (** register value facts used by the alias queries *)
 }
 
 val associative_commutative : Instr.binop -> bool

@@ -15,6 +15,7 @@ let () =
       ("resize", Test_resize.suite);
       ("failures", Test_failures.suite);
       ("parser", Test_parser.suite);
+      ("analysis", Test_analysis.suite);
       ("trace", Test_trace.suite);
       ("trace-oracle", Test_trace_oracle.suite);
       ("metrics", Test_metrics.suite);

@@ -99,6 +99,26 @@ let test_errors () =
   fails_with "undeclared array" "loop l (count 1) { x = load nowhere[0] }";
   fails_with "While loop without Break_if" "loop l (while) { work 5 }"
 
+(* Errors carry a file:line prefix pointing at the offending statement,
+   and successful parses stamp each node with its source location. *)
+let test_located_errors () =
+  fails_with "<input>:1:" "noise";
+  fails_with "<input>:3:" "loop l (count 1) {\n  work 5\n  x = frobnicate 1, 2\n}";
+  fails_with "<input>:4:" "loop l (count 1) {\n  work 5\n  work 5\n  x = add y, 1\n}";
+  let loop = Parser.parse "loop l (count 2) {\n  work 5\n  work 7\n}" in
+  let nphis = List.length loop.Loop.phis in
+  (match Loop.loc_of loop (nphis + 1) with
+  | Some l ->
+      Alcotest.(check string) "loc file" "<input>" l.Loop.loc_file;
+      check_int "loc line" 3 l.Loop.loc_line
+  | None -> Alcotest.fail "body node has no source location");
+  match Parser.parse_file "../examples/kernels/crc32.loop" with
+  | loop -> (
+      match Loop.loc_of loop (List.length loop.Loop.phis) with
+      | Some l -> check_bool "file recorded" true (Filename.basename l.Loop.loc_file = "crc32.loop")
+      | None -> Alcotest.fail "parsed file lost its locations")
+  | exception Parser.Parse_error m -> Alcotest.failf "crc32.loop failed to parse: %s" m
+
 let test_sample_kernels_compile_and_run () =
   let machine = Machine.xeon_x7460 in
   let dir = "../../../examples/kernels" in
@@ -135,6 +155,7 @@ let suite =
     Alcotest.test_case "parser: grammar coverage" `Quick test_grammar_coverage;
     Alcotest.test_case "parser: matches builder" `Quick test_interp_matches_builder;
     Alcotest.test_case "parser: error reporting" `Quick test_errors;
+    Alcotest.test_case "parser: located errors and node locations" `Quick test_located_errors;
     Alcotest.test_case "parser: sample kernels run" `Quick test_sample_kernels_compile_and_run;
     Alcotest.test_case "parser: sample kernel schemes" `Quick test_expected_schemes_for_samples;
   ]

@@ -270,6 +270,46 @@ let prop_alias_affine =
       | Alias.No_conflict -> (not same_iter) && not cross
       | Alias.May_conflict -> true (* conservative is always sound *))
 
+(* Mixed affine-vs-fixed accesses: a[i*step + o1] against the fixed cell
+   a[o2], classified exactly.  The classifier may only say No_conflict
+   when no iteration of the trip ever touches the fixed cell. *)
+let prop_alias_mixed =
+  QCheck.Test.make ~name:"alias: affine vs fixed matches brute force" ~count:300
+    (QCheck.make QCheck.Gen.(quad (int_range 1 4) (int_range 1 3) (int_range 0 6) (int_range 0 30)))
+    (fun (scale, step, o1, o2) ->
+      let trip = 10 in
+      let b = Builder.create "mixed" in
+      Builder.array b "a" (Array.make 200 0);
+      let i = Builder.induction b ~from:0 ~step in
+      let s = Builder.mul b (Instr.Reg i) (Instr.Const scale) in
+      let a1 = Builder.add b (Instr.Reg s) (Instr.Const o1) in
+      let x = Builder.load b "a" (Instr.Const o2) in
+      Builder.store b "a" (Instr.Reg a1) (Instr.Reg x);
+      let loop = Builder.finish ~trip:(Loop.Count trip) b in
+      let inds = Alias.inductions loop in
+      let c1 = Alias.classify_index loop inds (Instr.Reg a1) in
+      let c2 = Alias.classify_index loop inds (Instr.Const o2) in
+      let hit = ref false in
+      for t = 0 to trip - 1 do
+        if (scale * step * t) + o1 = o2 then hit := true
+      done;
+      match Alias.conflict ~trip inds c1 c2 with
+      | Alias.No_conflict -> not !hit
+      | Alias.May_conflict | Alias.Same_iteration | Alias.Cross_iteration _ -> !hit)
+
+(* Unmutated plans from the DOANY-safe grammar must verify cleanly: the
+   verifier never rejects what the compiler legitimately emits. *)
+let prop_plans_verify_clean =
+  QCheck.Test.make ~name:"random loops: emitted plans verify cleanly" ~count:60
+    (QCheck.make gen_spec)
+    (fun spec ->
+      let c = Compiler.compile ~verify:false (loop_of_spec spec) in
+      let pdg = c.Compiler.pdg in
+      Parcae_analysis.Diag.count_errors (Verify.pdg_integrity pdg) = 0
+      && List.for_all
+           (fun s -> Parcae_analysis.Diag.count_errors (Verify.plan pdg s) = 0)
+           (Compiler.schemes c))
+
 (* ------------------------------------------------------------------ *)
 (* Statistics.                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -299,5 +339,7 @@ let suite =
       prop_engine_deterministic;
       prop_chan_fifo;
       prop_alias_affine;
+      prop_alias_mixed;
+      prop_plans_verify_clean;
       prop_percentile;
     ]
