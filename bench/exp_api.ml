@@ -6,6 +6,13 @@
    EXPERIMENTS.md records the paper-vs-measured comparison. *)
 
 open Parcae_sim
+
+(* Engine/value types come from the platform dispatch layer (the runtime's
+   own types); [Machine]/[Power]/etc. remain from [Parcae_sim] above. *)
+module Engine = Parcae_platform.Engine
+module Chan = Parcae_platform.Chan
+module Lock = Parcae_platform.Lock
+module Barrier = Parcae_platform.Barrier
 open Parcae_workloads
 module Mech = Parcae_mechanisms
 module Table = Parcae_util.Table
@@ -238,7 +245,8 @@ let fig8_7 () =
       ~period_ns:2_000_000_000 ~sample_ns:4_000_000_000 ~power_sensor_period:2_000_000_000
       ~mechanism:(fun app ->
         eng_holder := Some app.App.eng;
-        let sensor = Power.create ~period_ns:2_000_000_000 app.App.eng in
+        let sim_eng = Option.get (Engine.sim_engine app.App.eng) in
+        let sensor = Power.create ~period_ns:2_000_000_000 sim_eng in
         Mech.Tpc.make ~sensor ~target_watts:target ())
       mk_ferret
   in

@@ -1,0 +1,165 @@
+(* Native-backend experiments: real wall-clock numbers, not virtual time.
+
+   [native_speedup] runs a three-stage pipeline (produce | transform^DoP |
+   consume) on the native OCaml 5 backend at increasing transform DoP and
+   reports wall-clock speedup over DoP 1.  Each configuration gets a fresh
+   engine whose domain pool is sized to the configuration (parallelism
+   across systhreads needs distinct domains), so the measurement is the
+   paper's flexible-pipeline claim on real cores: more lanes on the PAR
+   stage shorten the run until the host runs out of cores.
+
+   [sim_headline] re-measures a small set of headline simulator numbers
+   and writes them to BENCH_sim.json so CI can diff both backends from the
+   same artifact format. *)
+
+module Engine = Parcae_platform.Engine
+module Chan = Parcae_platform.Chan
+module Config = Parcae_core.Config
+module Task = Parcae_core.Task
+module Task_status = Parcae_core.Task_status
+module Pipeline = Parcae_core.Pipeline
+module Executor = Parcae_runtime.Executor
+module Region = Parcae_runtime.Region
+module Json = Parcae_obs.Json
+module Table = Parcae_util.Table
+open Parcae_workloads
+
+(* ---- native_speedup ---- *)
+
+let items = 400
+let work_ns = 1_500_000 (* per-item transform cost: 1.5ms of real spinning *)
+
+(* DoP sweep: 1..4 by default (the acceptance target is DoP 4), overridable
+   for CI smokes via PARCAE_NATIVE_DOPS="1,2". *)
+let dops () =
+  match Sys.getenv_opt "PARCAE_NATIVE_DOPS" with
+  | None -> [ 1; 2; 4 ]
+  | Some s ->
+      String.split_on_char ',' s
+      |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
+
+(* One measured run: fresh native engine, 3-stage pipeline, transform at
+   [dop] lanes.  Returns wall-clock seconds from region launch to engine
+   drain (excludes domain-pool spawn and spin calibration). *)
+let measure_native ~dop =
+  (* transform lanes + produce + consume + watchers need distinct domains
+     to actually overlap their spins. *)
+  let eng = Engine.create_native ~pool:(dop + 3) () in
+  let q1 = Chan.create ~capacity:64 eng "q1" and q2 = Chan.create ~capacity:64 eng "q2" in
+  let produced = ref 0 and consumed = ref 0 in
+  let produce =
+    Pipeline.source ~name:"produce"
+      ~forward:(Pipeline.forward_to q1)
+      (fun _ctx ->
+        if !produced >= items then Task_status.Complete
+        else begin
+          Pipeline.send q1 !produced;
+          incr produced;
+          Task_status.Iterating
+        end)
+  in
+  let transform =
+    Pipeline.stage ~name:"transform" ~input:q1 ~load:(Pipeline.load q1)
+      ~forward:(Pipeline.forward_to q2)
+      (fun _ctx v ->
+        Engine.compute work_ns;
+        Pipeline.send q2 v;
+        Task_status.Iterating)
+  in
+  let consume =
+    Pipeline.stage ~ttype:Task.Seq ~name:"consume" ~input:q2
+      ~forward:(fun _ -> ())
+      (fun _ctx _ ->
+        incr consumed;
+        Task_status.Iterating)
+  in
+  let pd =
+    Task.descriptor ~name:"pipeline"
+      [ produce.Pipeline.task; transform.Pipeline.task; consume.Pipeline.task ]
+  in
+  let on_reset = Pipeline.make_reset ~stages:[ produce; transform; consume ] ~channels:[ q1; q2 ] in
+  let config = Config.make [ Config.seq_task; Config.task dop; Config.seq_task ] in
+  let t0 = Unix.gettimeofday () in
+  ignore (Executor.launch ~budget:(dop + 2) ~name:"native-pipe" eng [ pd ] ~on_reset config);
+  ignore (Engine.run eng);
+  let dt = Unix.gettimeofday () -. t0 in
+  Engine.shutdown eng;
+  if !consumed <> items then
+    failwith (Printf.sprintf "native_speedup: consumed %d of %d items" !consumed items);
+  dt
+
+let native_speedup () =
+  let dops = dops () in
+  let host = Domain.recommended_domain_count () in
+  Printf.printf "host: %d recommended domains; %d items x %.1fms transform\n%!" host items
+    (float_of_int work_ns *. 1e-6);
+  let t =
+    Table.create
+      ~title:"Native backend: pipeline wall-clock vs transform DoP"
+      ~header:[ "DoP"; "wall (s)"; "speedup" ]
+  in
+  let results =
+    List.map
+      (fun dop ->
+        let dt = measure_native ~dop in
+        Printf.printf "  DoP %d: %.3fs\n%!" dop dt;
+        (dop, dt))
+      dops
+  in
+  let base = match results with (_, dt) :: _ -> dt | [] -> 1.0 in
+  List.iter
+    (fun (dop, dt) ->
+      Table.add_row t
+        [ string_of_int dop; Printf.sprintf "%.3f" dt; Printf.sprintf "%.2fx" (base /. dt) ])
+    results;
+  Table.print t;
+  let json =
+    Json.Obj
+      [
+        ("backend", Json.Str "native");
+        ("host_domains", Json.Int host);
+        ("items", Json.Int items);
+        ("work_ns_per_item", Json.Int work_ns);
+        ("dops", Json.List (List.map (fun (d, _) -> Json.Int d) results));
+        ("wall_s", Json.List (List.map (fun (_, dt) -> Json.Float dt) results));
+        ( "speedup",
+          Json.List (List.map (fun (_, dt) -> Json.Float (base /. dt)) results) );
+      ]
+  in
+  Parcae_obs.Export.write_file "BENCH_native.json" (Json.to_string json ^ "\n");
+  Printf.printf "wrote BENCH_native.json\n"
+
+(* ---- sim headline numbers ---- *)
+
+let sim_headline () =
+  let machine = Parcae_sim.Machine.xeon_x7460 in
+  let mk_x264 ~budget eng = Transcode.make ~budget eng in
+  let mk_ferret ~budget eng = Ferret.make ~budget eng in
+  let x264_thr = Experiments.max_throughput ~m:200 ~machine mk_x264 in
+  let ferret_thr = Experiments.max_throughput_flat ~m:300 ~machine mk_ferret in
+  let serve =
+    Experiments.run_server ~m:250 ~machine ~rate_per_s:(0.8 *. x264_thr)
+      ~config:(`Named "inner-max") mk_x264
+  in
+  let t =
+    Table.create ~title:"Headline simulated numbers (xeon24)"
+      ~header:[ "metric"; "value" ]
+  in
+  Table.add_row t [ "x264 max throughput (req/s)"; Printf.sprintf "%.2f" x264_thr ];
+  Table.add_row t [ "ferret max throughput (req/s)"; Printf.sprintf "%.2f" ferret_thr ];
+  Table.add_row t [ "x264 p95 response @ 0.8 load (s)"; Printf.sprintf "%.3f" serve.Experiments.p95_response_s ];
+  Table.print t;
+  let json =
+    Json.Obj
+      [
+        ("backend", Json.Str "sim");
+        ("machine", Json.Str machine.Parcae_sim.Machine.name);
+        ("x264_max_throughput_rps", Json.Float x264_thr);
+        ("ferret_max_throughput_rps", Json.Float ferret_thr);
+        ("x264_p95_response_s_load08", Json.Float serve.Experiments.p95_response_s);
+        ("x264_mean_response_s_load08", Json.Float serve.Experiments.mean_response_s);
+        ("completed", Json.Int serve.Experiments.completed);
+      ]
+  in
+  Parcae_obs.Export.write_file "BENCH_sim.json" (Json.to_string json ^ "\n");
+  Printf.printf "wrote BENCH_sim.json\n"

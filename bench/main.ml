@@ -25,7 +25,10 @@ let experiments =
     ("tab_overheads", "Morta/Decima overheads (Section 8.3.6)", Exp_nona.tab_overheads);
     ("tab_platforms", "controller speedups on both Table 8.1 platforms", Exp_nona.tab_platforms);
     ("tab7_ablation", "Chapter 7 overhead-optimization ablations", Exp_nona.tab7_ablation);
-    ("bechamel", "host-time micro-benchmarks of runtime primitives", Bech.run);
+    ("microbench", "host-time micro-benchmarks of runtime primitives", Microbench.run);
+    ("bechamel", "alias of microbench (historical name)", Microbench.run);
+    ("native_speedup", "native-backend pipeline wall-clock speedup vs DoP", Exp_native.native_speedup);
+    ("headline", "headline simulated numbers -> BENCH_sim.json", Exp_native.sim_headline);
   ]
 
 let () =
@@ -36,10 +39,13 @@ let () =
   | [] ->
       List.iter
         (fun (name, desc, f) ->
-          Printf.printf "\n### %s | %s\n\n%!" name desc;
-          let t0 = Sys.time () in
-          f ();
-          Printf.printf "[%s finished in %.1fs cpu]\n%!" name (Sys.time () -. t0))
+          (* "bechamel" is an alias of "microbench"; don't run it twice. *)
+          if name <> "bechamel" then begin
+            Printf.printf "\n### %s | %s\n\n%!" name desc;
+            let t0 = Sys.time () in
+            f ();
+            Printf.printf "[%s finished in %.1fs cpu]\n%!" name (Sys.time () -. t0)
+          end)
         experiments
   | names ->
       List.iter

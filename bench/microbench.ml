@@ -2,8 +2,10 @@
 
    These complement the virtual-time experiments: they measure what the
    *implementation* costs on the host — how fast the simulator processes
-   events, how expensive PDG construction and SCC formation are, and the
-   cost of the deterministic RNG and priority queue underneath everything. *)
+   events, how expensive PDG construction and SCC formation are, the cost
+   of the deterministic RNG and priority queue underneath everything, and
+   the native backend's primitives (domain spawn, channel ops, and how
+   accurately the calibrated spin kernel converts ns to real work). *)
 
 open Bechamel
 open Toolkit
@@ -52,10 +54,49 @@ let test_scc_build =
   let pdg = Pdg.build loop in
   Test.make ~name:"nona: SCC build (crc32)" (Staged.stage (fun () -> ignore (Scc.build pdg)))
 
+(* ---- Native-backend primitives ---- *)
+
+let test_domain_spawn =
+  Test.make ~name:"native: domain spawn+join"
+    (Staged.stage (fun () -> Domain.join (Domain.spawn (fun () -> ()))))
+
+(* One shared native engine for the channel benchmarks: channels only need
+   it for the clock, and monitor operations are callable from any host
+   thread, so the bench loop exercises the real send/recv path. *)
+let native_eng = lazy (Parcae_native.Engine.create ~pool:1 ())
+
+let native_chan = lazy (Parcae_native.Chan.create (Lazy.force native_eng) "bench")
+
+let test_native_chan =
+  Test.make ~name:"native: chan send+recv"
+    (Staged.stage (fun () ->
+         let module NC = Parcae_native.Chan in
+         let ch = Lazy.force native_chan in
+         NC.send ch 1;
+         ignore (NC.recv ch)))
+
+(* ns/op here should read close to 100_000: the calibrated spin kernel is
+   asked for 100us of work, so the estimate measures calibration accuracy
+   directly. *)
+let test_spin_accuracy =
+  Test.make ~name:"native: calibrated spin (asked 100000ns)"
+    (Staged.stage (fun () ->
+         ignore (Lazy.force native_eng);
+         ignore (Parcae_native.Calibrate.spin_ns 100_000)))
+
 let run () =
   let tests =
     Test.make_grouped ~name:"primitives"
-      [ test_rng; test_pqueue; test_engine_events; test_pdg_build; test_scc_build ]
+      [
+        test_rng;
+        test_pqueue;
+        test_engine_events;
+        test_pdg_build;
+        test_scc_build;
+        test_domain_spawn;
+        test_native_chan;
+        test_spin_accuracy;
+      ]
   in
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in

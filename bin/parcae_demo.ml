@@ -17,6 +17,10 @@
 open Cmdliner
 open Parcae_sim
 open Parcae_workloads
+
+(* The demo drives everything through the platform layer so one binary can
+   execute on either backend; [Machine] and [Power] stay sim modules. *)
+module Engine = Parcae_platform.Engine
 module Mech = Parcae_mechanisms
 module R = Parcae_runtime
 module Config = Parcae_core.Config
@@ -34,6 +38,24 @@ let machine_of = function
 let machine_arg =
   let doc = "Simulated platform: xeon24 (Intel Xeon X7460) or xeon8 (Intel Xeon E5310)." in
   Arg.(value & opt string "xeon24" & info [ "machine" ] ~docv:"MACHINE" ~doc)
+
+let backend_arg =
+  let doc =
+    "Execution backend: sim (the deterministic simulator with $(b,--machine)'s cost \
+     model) or native (OCaml 5 domains on the host's real cores; $(b,--machine) then \
+     only sizes budgets)."
+  in
+  Arg.(value & opt string "sim" & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let pool_arg =
+  let doc = "Domain-pool size for the native backend (default: host cores - 1)." in
+  Arg.(value & opt (some int) None & info [ "pool" ] ~docv:"N" ~doc)
+
+let backend_of name pool : Experiments.backend =
+  match name with
+  | "sim" -> `Sim
+  | "native" -> `Native pool
+  | s -> failwith ("unknown backend " ^ s ^ " (sim | native)")
 
 let seed_arg =
   let doc = "Random seed for the load generator." in
@@ -198,8 +220,13 @@ let mechanism_for name (flat : bool) : Experiments.mech =
   | "tpc" ->
       Some
         (fun app ->
+          let sim_eng =
+            match Engine.sim_engine app.App.eng with
+            | Some e -> e
+            | None -> failwith "tpc needs the simulator's power model (run with --backend sim)"
+          in
           let machine = Engine.machine app.App.eng in
-          let sensor = Power.create ~period_ns:2_000_000_000 app.App.eng in
+          let sensor = Power.create ~period_ns:2_000_000_000 sim_eng in
           Mech.Tpc.make ~sensor ~target_watts:(0.9 *. Machine.peak_power machine) ())
   | s -> failwith ("unknown mechanism " ^ s)
 
@@ -223,32 +250,37 @@ let print_result (r : Experiments.result) =
    server run only (not the calibration run), which is where the trace and
    metrics wrappers go; [on_start] lets `top` attach its dashboard thread
    to the live region. *)
-let run_serve ?on_start ?(wrap = fun f -> f ()) app mech load m machine seed =
+let run_serve ?on_start ?(wrap = fun f -> f ()) ?(backend = `Sim) app mech load m machine
+    seed =
   let mk = app_factory app in
   let flat = is_flat app in
   let maxthr =
-    if flat then Experiments.max_throughput_flat ~machine ~seed mk
-    else Experiments.max_throughput ~machine ~seed mk
+    if flat then Experiments.max_throughput_flat ~machine ~seed ~backend mk
+    else Experiments.max_throughput ~machine ~seed ~backend mk
   in
   Printf.printf "%s on %s: max sustainable throughput %.2f requests/s\n" app
-    machine.Machine.name maxthr;
+    (match backend with
+    | `Sim -> machine.Machine.name
+    | `Native _ -> "native cores")
+    maxthr;
   Printf.printf "running %d requests at load %.2f under %s...\n\n" m load mech;
   let config = if flat then `Named "even" else `Named "inner-max" in
   wrap (fun () ->
-      Experiments.run_server ~m ~seed ~machine ~rate_per_s:(load *. maxthr)
+      Experiments.run_server ~m ~seed ~machine ~backend ~rate_per_s:(load *. maxthr)
         ?mechanism:(mechanism_for mech flat) ?on_start ~config mk)
 
-let serve app mech load m machine_name seed trace metrics_out profile_out =
+let serve app mech load m machine_name backend pool seed trace metrics_out profile_out =
   let machine = machine_of machine_name in
+  let backend = backend_of backend pool in
   let wrap f = with_metrics ?metrics_out ?profile_out (fun () -> with_trace trace f) in
-  let r = run_serve ~wrap app mech load m machine seed in
+  let r = run_serve ~wrap ~backend app mech load m machine seed in
   print_result r
 
 let serve_cmd =
   let term =
     Term.(
-      const serve $ app_arg $ mech_arg $ load_arg $ requests_arg $ machine_arg $ seed_arg
-      $ trace_arg $ metrics_out_arg $ profile_out_arg)
+      const serve $ app_arg $ mech_arg $ load_arg $ requests_arg $ machine_arg $ backend_arg
+      $ pool_arg $ seed_arg $ trace_arg $ metrics_out_arg $ profile_out_arg)
   in
   Cmd.v (Cmd.info "serve" ~doc:"Run a server workload at a load factor under a mechanism.") term
 
@@ -416,17 +448,27 @@ let check_cmd =
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run kernel file machine_name budget trace metrics_out profile_out =
+let run kernel file machine_name backend pool budget trace metrics_out profile_out =
   let open Parcae_ir in
   let open Parcae_nona in
   let machine = machine_of machine_name in
-  let budget = Option.value budget ~default:machine.Machine.cores in
+  let backend = backend_of backend pool in
   let loop = loop_source kernel file in
   let c = Compiler.compile loop in
-  let h, done_at =
+  let h, done_at, budget =
     with_metrics ?metrics_out ?profile_out @@ fun () ->
     with_trace ~check_budget:true trace (fun () ->
-        let eng = Engine.create machine in
+        let eng =
+          match backend with
+          | `Sim -> Engine.create machine
+          | `Native pool -> Engine.create_native ?pool ()
+        in
+        let budget =
+          Option.value budget
+            ~default:
+              (if Engine.is_native eng then max 4 (Engine.online_cores eng)
+               else machine.Machine.cores)
+        in
         let h = Compiler.launch ~budget eng c in
         let ctl =
           R.Controller.create
@@ -446,7 +488,8 @@ let run kernel file machine_name budget trace metrics_out profile_out =
               done_at := Engine.now ())
         in
         ignore (Engine.run ~until:600_000_000_000 eng);
-        (h, !done_at))
+        Engine.shutdown eng;
+        (h, !done_at, budget))
   in
   let done_at = ref done_at in
   let seq = (Interp.run loop).Interp.work_ns in
@@ -466,8 +509,8 @@ let run kernel file machine_name budget trace metrics_out profile_out =
 let run_cmd =
   let term =
     Term.(
-      const run $ kernel_arg $ file_arg $ machine_arg $ budget_arg $ trace_arg
-      $ metrics_out_arg $ profile_out_arg)
+      const run $ kernel_arg $ file_arg $ machine_arg $ backend_arg $ pool_arg $ budget_arg
+      $ trace_arg $ metrics_out_arg $ profile_out_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile a kernel and execute it under the closed-loop controller.")

@@ -13,6 +13,9 @@
 open Parcae_ir
 open Parcae_pdg
 open Parcae_sim
+module Engine = Parcae_platform.Engine
+module Chan = Parcae_platform.Chan
+module Lock = Parcae_platform.Lock
 open Parcae_nona
 module R = Parcae_runtime
 module Config = Parcae_core.Config

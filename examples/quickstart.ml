@@ -8,6 +8,9 @@
    the transform stage deserves nearly all the threads. *)
 
 open Parcae_sim
+module Engine = Parcae_platform.Engine
+module Chan = Parcae_platform.Chan
+module Lock = Parcae_platform.Lock
 open Parcae_core
 open Parcae_runtime
 module Mech = Parcae_mechanisms
@@ -17,7 +20,7 @@ let () =
   let eng = Engine.create machine in
 
   (* Stage plumbing: bounded channels between stages. *)
-  let q1 = Chan.create ~capacity:8 "q1" and q2 = Chan.create ~capacity:8 "q2" in
+  let q1 = Chan.create ~capacity:8 eng "q1" and q2 = Chan.create ~capacity:8 eng "q2" in
   let produced = ref 0 and consumed = ref 0 in
   let n_items = 150_000 in
 

@@ -12,6 +12,9 @@
    execute. *)
 
 open Parcae_sim
+module Engine = Parcae_platform.Engine
+module Chan = Parcae_platform.Chan
+module Lock = Parcae_platform.Lock
 open Parcae_core
 open Parcae_runtime
 open Parcae_workloads

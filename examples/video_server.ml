@@ -11,6 +11,9 @@
    off so all 24 threads serve distinct videos (maximum throughput). *)
 
 open Parcae_sim
+module Engine = Parcae_platform.Engine
+module Chan = Parcae_platform.Chan
+module Lock = Parcae_platform.Lock
 open Parcae_core
 open Parcae_runtime
 open Parcae_workloads

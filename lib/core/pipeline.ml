@@ -21,7 +21,7 @@
      sentinels from the channels ([reset_channel]) while keeping pending
      work items and any [Eos], and resets the per-stage exit counters. *)
 
-module Chan = Parcae_sim.Chan
+module Chan = Parcae_platform.Chan
 
 type 'a msg =
   | Item of 'a

@@ -14,27 +14,27 @@ type 'a msg =
   | Flush  (** pause sentinel *)
   | Eos  (** end of stream *)
 
-val send : 'a msg Parcae_sim.Chan.t -> 'a -> unit
+val send : 'a msg Parcae_platform.Chan.t -> 'a -> unit
 (** Send a work item. *)
 
-val load : 'a Parcae_sim.Chan.t -> unit -> float
+val load : 'a Parcae_platform.Chan.t -> unit -> float
 (** Queue occupancy as a load callback. *)
 
-val reset_channel : 'a msg Parcae_sim.Chan.t -> unit
+val reset_channel : 'a msg Parcae_platform.Chan.t -> unit
 (** Strip pause sentinels, keeping work items and any [Eos]. *)
 
-val inject_flush : 'a msg Parcae_sim.Chan.t -> unit
+val inject_flush : 'a msg Parcae_platform.Chan.t -> unit
 (** Inject a pause sentinel (typically from a region's [on_pause]
     callback, to wake lanes blocked on an empty work queue).  Sentinel
     sends bypass channel capacity so the protocol can never deadlock. *)
 
-val inject_eos : 'a msg Parcae_sim.Chan.t -> unit
+val inject_eos : 'a msg Parcae_platform.Chan.t -> unit
 (** Inject an end-of-stream sentinel (the load generator does this after
     the last request). *)
 
 type sentinel = S_flush | S_eos
 
-val forward_to : 'a msg Parcae_sim.Chan.t -> sentinel -> unit
+val forward_to : 'a msg Parcae_platform.Chan.t -> sentinel -> unit
 (** Forward a sentinel into a downstream channel. *)
 
 type 'a stage_handle = {
@@ -49,7 +49,7 @@ val stage :
   ?init:(unit -> unit) ->
   ?nested:Task.nested_choice list ->
   name:string ->
-  input:'a msg Parcae_sim.Chan.t ->
+  input:'a msg Parcae_platform.Chan.t ->
   forward:(sentinel -> unit) ->
   (Task.ctx -> 'a -> Task_status.t) ->
   'a stage_handle
@@ -71,6 +71,6 @@ val source :
     [Iterating] after emitting an item and [Complete] at end of stream. *)
 
 val make_reset :
-  stages:'a stage_handle list -> channels:'b msg Parcae_sim.Chan.t list -> unit -> unit
+  stages:'a stage_handle list -> channels:'b msg Parcae_platform.Chan.t list -> unit -> unit
 (** Combine stage resets and channel sentinel-stripping into a region
     [on_reset] callback. *)

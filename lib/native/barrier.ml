@@ -1,0 +1,38 @@
+(* Generation-counted reusable barrier on the engine's big lock. *)
+
+type t = {
+  name : string;
+  eng : Engine.t;
+  parties : int;
+  turn : Engine.cond;
+  mutable arrived : int;
+  mutable generation : int;
+  mutable total_wait_ns : int;
+}
+
+let create eng ~parties name =
+  if parties <= 0 then invalid_arg (Printf.sprintf "Barrier.create %s: parties <= 0" name);
+  { name; eng; parties; turn = Engine.cond_create (); arrived = 0; generation = 0;
+    total_wait_ns = 0 }
+
+let wait b =
+  Engine.locked b.eng (fun () ->
+      b.arrived <- b.arrived + 1;
+      if b.arrived = b.parties then begin
+        b.arrived <- 0;
+        b.generation <- b.generation + 1;
+        Engine.broadcast b.eng b.turn;
+        true
+      end
+      else begin
+        let gen = b.generation in
+        let t0 = Engine.now b.eng in
+        while b.generation = gen do
+          Engine.wait_on b.eng b.turn
+        done;
+        b.total_wait_ns <- b.total_wait_ns + (Engine.now b.eng - t0);
+        false
+      end)
+
+let total_wait_ns b = b.total_wait_ns
+let parties b = b.parties

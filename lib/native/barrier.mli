@@ -1,0 +1,10 @@
+(** Reusable synchronization barrier between native tasks, mirroring
+    {!Parcae_sim.Barrier}: generation-counted, [wait] returns [true] for
+    the last arriver, [total_wait_ns] aggregates real blocked time. *)
+
+type t
+
+val create : Engine.t -> parties:int -> string -> t
+val wait : t -> bool
+val total_wait_ns : t -> int
+val parties : t -> int

@@ -1,0 +1,63 @@
+(* Host clock and the calibrated spin kernel.
+
+   [compute n] on the native backend must consume ~n real nanoseconds of
+   CPU.  We time a fixed arithmetic loop once at startup to learn
+   iterations-per-ns, then replay it in slices, yielding between slices so
+   systhreads sharing a domain interleave finely.  The measured (not the
+   requested) duration is returned so busy-time accounting matches the
+   clock even when the estimate drifts. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+(* The spin body: cheap integer arithmetic the compiler cannot delete
+   ([Sys.opaque_identity] on the accumulator) and cannot strength-reduce
+   into anything sublinear. *)
+let spin_iters n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := (!acc + i) lxor (i lsl 1)
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+(* Measure iterations-per-ns over a window long enough (>= 2 ms) to
+   amortize clock quantization.  Doubling the trial size until the window
+   is reached keeps calibration under ~10 ms even on slow hosts. *)
+let calibrate () =
+  let rec grow iters =
+    let t0 = now_ns () in
+    spin_iters iters;
+    let dt = now_ns () - t0 in
+    if dt >= 2_000_000 then float_of_int iters /. float_of_int dt
+    else grow (iters * 2)
+  in
+  (* Warm the loop (code + branch predictors) before the timed run. *)
+  spin_iters 10_000;
+  grow 100_000
+
+let rate = ref nan
+let calibrated () = not (Float.is_nan !rate)
+
+let spins_per_ns () =
+  if Float.is_nan !rate then rate := calibrate ();
+  !rate
+
+let slice_ns = 200_000
+
+(* Burn ~[n] ns, yielding between ~slice_ns slices, and return measured
+   elapsed ns.  Elapsed time includes any preemption suffered while
+   spinning — on a saturated machine that is genuine scheduling delay and
+   Decima should see it, exactly as it would on the paper's hardware. *)
+let spin_ns n =
+  if n <= 0 then 0
+  else begin
+    let per_ns = spins_per_ns () in
+    let t0 = now_ns () in
+    let remaining = ref n in
+    while !remaining > 0 do
+      let slice = min !remaining slice_ns in
+      spin_iters (max 1 (int_of_float (float_of_int slice *. per_ns)));
+      remaining := !remaining - slice;
+      if !remaining > 0 then Thread.yield ()
+    done;
+    now_ns () - t0
+  end

@@ -1,0 +1,237 @@
+(* Blocking FIFO channels between native tasks: a classic monitor on the
+   engine's big lock.  Because every caller already holds the big lock
+   (task code always does; [Engine.locked] covers the rest), each
+   operation is atomic with respect to all other runtime code, exactly
+   like the simulator's cooperative channels. *)
+
+module Metrics = Parcae_obs.Metrics
+
+type chan_metrics = {
+  cm_sends : Metrics.counter;
+  cm_recvs : Metrics.counter;
+  cm_depth : Metrics.gauge;
+  cm_send_block : Metrics.histogram;
+  cm_recv_block : Metrics.histogram;
+  cm_flushed : Metrics.counter;
+}
+
+type 'a t = {
+  name : string;
+  capacity : int;  (* 0 = unbounded *)
+  eng : Engine.t;
+  q : 'a Queue.t;
+  nonempty : Engine.cond;
+  nonfull : Engine.cond;
+  mutable total_sent : int;
+  mutable total_received : int;
+  mutable mx : (Metrics.t * chan_metrics) option;
+}
+
+let create ?(capacity = 0) eng name =
+  {
+    name;
+    capacity;
+    eng;
+    q = Queue.create ();
+    nonempty = Engine.cond_create ();
+    nonfull = Engine.cond_create ();
+    total_sent = 0;
+    total_received = 0;
+    mx = None;
+  }
+
+(* Same metric families and labels as the sim channels, so dashboards and
+   exporters work across backends; only the block-time histograms change
+   meaning (real ns instead of virtual). *)
+let handles ch =
+  let reg = Metrics.current () in
+  match ch.mx with
+  | Some (r, h) when r == reg -> h
+  | _ ->
+      let labels = [ ("chan", ch.name) ] in
+      let h =
+        {
+          cm_sends =
+            Metrics.counter reg "parcae_chan_sends_total" ~labels
+              ~help:"Items enqueued, per channel.";
+          cm_recvs =
+            Metrics.counter reg "parcae_chan_recvs_total" ~labels
+              ~help:"Items dequeued, per channel.";
+          cm_depth =
+            Metrics.gauge reg "parcae_chan_depth" ~labels
+              ~help:"Current queue occupancy, per channel.";
+          cm_send_block =
+            Metrics.histogram reg "parcae_chan_send_block_ns" ~labels
+              ~help:"Real time senders spent blocked on a full channel.";
+          cm_recv_block =
+            Metrics.histogram reg "parcae_chan_recv_block_ns" ~labels
+              ~help:"Real time receivers spent blocked on an empty channel.";
+          cm_flushed =
+            Metrics.counter reg "parcae_chan_flushed_total" ~labels
+              ~help:"Items dropped by filter/drain on reconfiguration.";
+        }
+      in
+      ch.mx <- Some (reg, h);
+      h
+
+let note_depth ch =
+  if Metrics.enabled () then
+    Metrics.set_gauge (handles ch).cm_depth (float_of_int (Queue.length ch.q))
+
+let name ch = ch.name
+let length ch = Queue.length ch.q
+let is_empty ch = Queue.is_empty ch.q
+let total_sent ch = ch.total_sent
+let total_received ch = ch.total_received
+
+let note_send ch waited t0 =
+  if Metrics.enabled () then begin
+    let h = handles ch in
+    Metrics.inc h.cm_sends;
+    Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
+    if waited then Metrics.observe_ns h.cm_send_block (Engine.now ch.eng - t0)
+  end
+
+let note_recv ch waited t0 =
+  if Metrics.enabled () then begin
+    let h = handles ch in
+    Metrics.inc h.cm_recvs;
+    Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
+    if waited then Metrics.observe_ns h.cm_recv_block (Engine.now ch.eng - t0)
+  end
+
+let push ch v =
+  Queue.push v ch.q;
+  ch.total_sent <- ch.total_sent + 1;
+  Engine.signal ch.eng ch.nonempty
+
+let send ch v =
+  Engine.locked ch.eng (fun () ->
+      let waited = ref false in
+      let t0 = if Metrics.enabled () then Engine.now ch.eng else 0 in
+      while ch.capacity > 0 && Queue.length ch.q >= ch.capacity do
+        waited := true;
+        Engine.wait_on ch.eng ch.nonfull
+      done;
+      push ch v;
+      note_send ch !waited t0)
+
+let recv ch =
+  Engine.locked ch.eng (fun () ->
+      let waited = ref false in
+      let t0 = if Metrics.enabled () then Engine.now ch.eng else 0 in
+      let rec loop () =
+        match Queue.take_opt ch.q with
+        | Some v ->
+            ch.total_received <- ch.total_received + 1;
+            Engine.signal ch.eng ch.nonfull;
+            v
+        | None ->
+            waited := true;
+            Engine.wait_on ch.eng ch.nonempty;
+            loop ()
+      in
+      let v = loop () in
+      note_recv ch !waited t0;
+      v)
+
+let force_send ch v =
+  Engine.locked ch.eng (fun () ->
+      push ch v;
+      note_send ch false 0)
+
+let try_recv ch =
+  Engine.locked ch.eng (fun () ->
+      match Queue.take_opt ch.q with
+      | Some v ->
+          ch.total_received <- ch.total_received + 1;
+          Engine.signal ch.eng ch.nonfull;
+          note_recv ch false 0;
+          Some v
+      | None -> None)
+
+let try_send ch v =
+  Engine.locked ch.eng (fun () ->
+      if ch.capacity > 0 && Queue.length ch.q >= ch.capacity then false
+      else begin
+        push ch v;
+        note_send ch false 0;
+        true
+      end)
+
+let send_batch ch vs =
+  Engine.locked ch.eng (fun () ->
+      let waited = ref false in
+      let t0 = if Metrics.enabled () then Engine.now ch.eng else 0 in
+      List.iter
+        (fun v ->
+          while ch.capacity > 0 && Queue.length ch.q >= ch.capacity do
+            waited := true;
+            Engine.wait_on ch.eng ch.nonfull
+          done;
+          push ch v)
+        vs;
+      if Metrics.enabled () then begin
+        let h = handles ch in
+        Metrics.inc_by h.cm_sends (List.length vs);
+        Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
+        if !waited then Metrics.observe_ns h.cm_send_block (Engine.now ch.eng - t0)
+      end)
+
+let recv_batch ?max ch =
+  Engine.locked ch.eng (fun () ->
+      let waited = ref false in
+      let t0 = if Metrics.enabled () then Engine.now ch.eng else 0 in
+      while Queue.is_empty ch.q do
+        waited := true;
+        Engine.wait_on ch.eng ch.nonempty
+      done;
+      let limit =
+        match max with
+        | Some m ->
+            if m < 1 then invalid_arg "Chan.recv_batch: max must be >= 1";
+            m
+        | None -> Queue.length ch.q
+      in
+      let out = ref [] in
+      let taken = ref 0 in
+      while !taken < limit && not (Queue.is_empty ch.q) do
+        out := Queue.pop ch.q :: !out;
+        incr taken
+      done;
+      ch.total_received <- ch.total_received + !taken;
+      Engine.broadcast ch.eng ch.nonfull;
+      if Metrics.enabled () then begin
+        let h = handles ch in
+        Metrics.inc_by h.cm_recvs !taken;
+        Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
+        if !waited then Metrics.observe_ns h.cm_recv_block (Engine.now ch.eng - t0)
+      end;
+      List.rev !out)
+
+let flush_note ch removed =
+  if removed > 0 then Engine.broadcast ch.eng ch.nonfull;
+  if Parcae_obs.Trace.enabled () then
+    Parcae_obs.Trace.emit ~t:(Engine.now ch.eng)
+      (Parcae_obs.Event.Chan_flush { chan = ch.name; dropped = removed });
+  if Metrics.enabled () then begin
+    Metrics.inc_by (handles ch).cm_flushed removed;
+    note_depth ch
+  end
+
+let filter ch keep =
+  Engine.locked ch.eng (fun () ->
+      let kept = Queue.create () in
+      let removed = ref 0 in
+      Queue.iter (fun v -> if keep v then Queue.push v kept else incr removed) ch.q;
+      Queue.clear ch.q;
+      Queue.transfer kept ch.q;
+      flush_note ch !removed;
+      !removed)
+
+let drain ch =
+  Engine.locked ch.eng (fun () ->
+      let n = Queue.length ch.q in
+      Queue.clear ch.q;
+      flush_note ch n;
+      n)

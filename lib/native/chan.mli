@@ -1,0 +1,44 @@
+(** Blocking FIFO channels between native tasks.
+
+    Same contract as {!Parcae_sim.Chan} — bounded or unbounded,
+    multi-producer multi-consumer, order-preserving point-to-point, with
+    the [force_send]/[filter]/[drain] operations the pause/flush protocol
+    relies on — implemented as a monitor on the engine's big lock.  No
+    virtual [chan_op] cost is charged: on real hardware the mutex and
+    condition traffic {e is} the communication cost, and it lands in wall
+    time where Decima can see it. *)
+
+type 'a t
+
+val create : ?capacity:int -> Engine.t -> string -> 'a t
+(** [create eng name] makes an unbounded channel; [capacity > 0] bounds
+    it (senders block when full). *)
+
+val name : 'a t -> string
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val total_sent : 'a t -> int
+val total_received : 'a t -> int
+
+val send : 'a t -> 'a -> unit
+val recv : 'a t -> 'a
+
+val force_send : 'a t -> 'a -> unit
+(** Enqueue regardless of capacity; sentinel re-enqueue must never block. *)
+
+val try_recv : 'a t -> 'a option
+val try_send : 'a t -> 'a -> bool
+
+val send_batch : 'a t -> 'a list -> unit
+(** Enqueue a whole batch under one monitor entry (amortized
+    communication); blocks while the channel cannot take the next item. *)
+
+val recv_batch : ?max:int -> 'a t -> 'a list
+(** Dequeue at least one and at most [max] items (default: all queued)
+    under one monitor entry; blocks only while the channel is empty. *)
+
+val filter : 'a t -> ('a -> bool) -> int
+(** Keep only items satisfying the predicate, preserving order; emits the
+    same [Chan_flush] trace event as the simulator. *)
+
+val drain : 'a t -> int

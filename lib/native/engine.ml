@@ -1,0 +1,309 @@
+(* The native OCaml 5 multicore engine.
+
+   One module-wide runtime lock [G] per engine serializes all task code;
+   tasks release G only while spinning in [compute], sleeping, yielding or
+   waiting on a condition.  This preserves the simulator's cooperative
+   atomicity, so channel/pause/resize protocols written for the sim run
+   unmodified; parallelism comes exclusively from compute spins, which run
+   with G released on the task's home domain.
+
+   Tasks are systhreads: each pool domain runs a host loop that turns
+   spawn requests into [Thread.create]d threads, so any number of blocked
+   tasks can coexist on one domain while at most one runs OCaml code at a
+   time per domain.  Threads never migrate domains, so placement at spawn
+   (round-robin) is what determines compute balance. *)
+
+type task = {
+  tid : int;
+  tname : string;
+  eng : t;
+  mutable busy_ns : int;  (* measured compute ns; Decima's hooks read this *)
+  mutable finished : bool;
+  mutable failed : exn option;
+  done_c : Condition.t;
+}
+
+and t = {
+  g : Mutex.t;  (* the big runtime lock *)
+  mutable g_owner : int;  (* Thread.id of the holder, -1 if free *)
+  pool : int;
+  mutable domains : unit Domain.t list;
+  queues : (task * (unit -> unit)) Queue.t array;  (* per-domain spawn queues *)
+  spawn_conds : Condition.t array;
+  mutable next_dom : int;  (* round-robin spawn placement *)
+  mutable next_tid : int;
+  mutable live : int;
+  mutable spawned : int;
+  mutable completed : int;
+  mutable computing : int;  (* tasks currently inside a compute spin *)
+  mutable online : int;  (* set_online_cores request, report-only *)
+  all_done : Condition.t;
+  mutable stop : bool;
+  mutable first_failure : (string * exn) option;
+  t0 : int;  (* monotonic ns at creation *)
+  tasks : (int, task) Hashtbl.t;  (* tid -> task, for live_thread_names *)
+}
+
+exception Thread_failure of string * exn
+
+type cond = Condition.t
+
+(* Process-wide registry mapping systhread ids to their task, so ambient
+   operations can discover their context from any domain.  Guarded by its
+   own small mutex — never by G — and fronted by an atomic counter so the
+   lookup is a single atomic load when no native task exists (the
+   simulator hot path pays only that). *)
+let reg_mu = Mutex.create ()
+let reg : (int, task) Hashtbl.t = Hashtbl.create 64
+let reg_live = Atomic.make 0
+
+let reg_add id task =
+  Mutex.lock reg_mu;
+  Hashtbl.replace reg id task;
+  Mutex.unlock reg_mu;
+  Atomic.incr reg_live
+
+let reg_remove id =
+  Atomic.decr reg_live;
+  Mutex.lock reg_mu;
+  Hashtbl.remove reg id;
+  Mutex.unlock reg_mu
+
+let self_opt () =
+  if Atomic.get reg_live = 0 then None
+  else begin
+    let id = Thread.id (Thread.self ()) in
+    Mutex.lock reg_mu;
+    let t = Hashtbl.find_opt reg id in
+    Mutex.unlock reg_mu;
+    t
+  end
+
+(* Big-lock discipline.  [g_owner] is only ever compared against the
+   reader's own thread id; a thread observes its own writes in order, so
+   the unsynchronized read cannot produce a false positive. *)
+let my_id () = Thread.id (Thread.self ())
+let g_held eng = eng.g_owner = my_id ()
+
+let g_lock eng =
+  Mutex.lock eng.g;
+  eng.g_owner <- my_id ()
+
+let g_unlock eng =
+  eng.g_owner <- -1;
+  Mutex.unlock eng.g
+
+let g_wait eng c =
+  eng.g_owner <- -1;
+  Condition.wait c eng.g;
+  eng.g_owner <- my_id ()
+
+let locked eng f =
+  if g_held eng then f ()
+  else begin
+    g_lock eng;
+    match f () with
+    | v ->
+        g_unlock eng;
+        v
+    | exception e ->
+        g_unlock eng;
+        raise e
+  end
+
+(* A task body runs under G from first instruction to last; the unlock
+   windows are all inside this module's own operations, which reacquire on
+   every path, so the handler below always holds G when it runs. *)
+let task_main eng task body () =
+  let id = my_id () in
+  reg_add id task;
+  g_lock eng;
+  (try body () with e -> if g_held eng then task.failed <- Some e
+                         else begin g_lock eng; task.failed <- Some e end);
+  task.finished <- true;
+  eng.completed <- eng.completed + 1;
+  (match task.failed with
+  | Some e when eng.first_failure = None -> eng.first_failure <- Some (task.tname, e)
+  | _ -> ());
+  Condition.broadcast task.done_c;
+  eng.live <- eng.live - 1;
+  Hashtbl.remove eng.tasks task.tid;
+  if eng.live = 0 || eng.first_failure <> None then Condition.broadcast eng.all_done;
+  g_unlock eng;
+  reg_remove id
+
+(* Each pool domain turns spawn requests into threads.  Thread.create is
+   non-blocking, so holding G across it is harmless; the new thread will
+   queue on G until the host loop waits or unlocks. *)
+let host_loop eng idx () =
+  g_lock eng;
+  let q = eng.queues.(idx) in
+  let rec loop () =
+    match Queue.take_opt q with
+    | Some (task, body) ->
+        ignore (Thread.create (task_main eng task body) () : Thread.t);
+        loop ()
+    | None ->
+        if not eng.stop then begin
+          g_wait eng eng.spawn_conds.(idx);
+          loop ()
+        end
+  in
+  loop ();
+  g_unlock eng
+
+let create ?pool () =
+  let pool =
+    match pool with
+    | Some n ->
+        if n < 1 then invalid_arg "Parcae_native.Engine.create: pool must be >= 1";
+        n
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  (* Calibrate before any task exists so the first compute isn't skewed. *)
+  ignore (Calibrate.spins_per_ns () : float);
+  let eng =
+    {
+      g = Mutex.create ();
+      g_owner = -1;
+      pool;
+      domains = [];
+      queues = Array.init pool (fun _ -> Queue.create ());
+      spawn_conds = Array.init pool (fun _ -> Condition.create ());
+      next_dom = 0;
+      next_tid = 0;
+      live = 0;
+      spawned = 0;
+      completed = 0;
+      computing = 0;
+      online = pool;
+      all_done = Condition.create ();
+      stop = false;
+      first_failure = None;
+      t0 = Calibrate.now_ns ();
+      tasks = Hashtbl.create 32;
+    }
+  in
+  eng.domains <- List.init pool (fun i -> Domain.spawn (host_loop eng i));
+  eng
+
+let pool_size eng = eng.pool
+
+let spawn eng ~name body =
+  locked eng (fun () ->
+      if eng.stop then invalid_arg "Parcae_native.Engine.spawn: engine is shut down";
+      let tid = eng.next_tid in
+      eng.next_tid <- tid + 1;
+      let task =
+        { tid; tname = name; eng; busy_ns = 0; finished = false; failed = None;
+          done_c = Condition.create () }
+      in
+      eng.live <- eng.live + 1;
+      eng.spawned <- eng.spawned + 1;
+      Hashtbl.replace eng.tasks tid task;
+      let d = eng.next_dom in
+      eng.next_dom <- (d + 1) mod eng.pool;
+      Queue.push (task, body) eng.queues.(d);
+      Condition.signal eng.spawn_conds.(d);
+      task)
+
+let now eng = Calibrate.now_ns () - eng.t0
+let time = now
+
+let compute task n =
+  if n > 0 then begin
+    let eng = task.eng in
+    eng.computing <- eng.computing + 1;
+    g_unlock eng;
+    let dt = Calibrate.spin_ns n in
+    g_lock eng;
+    eng.computing <- eng.computing - 1;
+    task.busy_ns <- task.busy_ns + dt
+  end
+
+let yield eng =
+  if g_held eng then begin
+    g_unlock eng;
+    Thread.yield ();
+    g_lock eng
+  end
+  else Thread.yield ()
+
+let sleep eng ns =
+  if ns > 0 then begin
+    let held = g_held eng in
+    if held then g_unlock eng;
+    (try Unix.sleepf (float_of_int ns /. 1e9) with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    if held then g_lock eng
+  end
+
+let sleep_until eng t = sleep eng (t - now eng)
+let wait_on eng c = g_wait eng c
+let signal eng c = locked eng (fun () -> Condition.signal c)
+let broadcast eng c = locked eng (fun () -> Condition.broadcast c)
+let cond_create () = Condition.create ()
+
+let join eng task =
+  locked eng (fun () ->
+      while not task.finished do
+        g_wait eng task.done_c
+      done)
+
+(* Wait for the engine to drain (or for the clock to pass [until]).
+   Without a deadline we can sleep on [all_done]; with one we poll at a
+   few-ms grain, which is far below any horizon callers use. *)
+let run ?until eng =
+  g_lock eng;
+  let completed0 = eng.completed in
+  (match until with
+  | None ->
+      while eng.live > 0 && eng.first_failure = None do
+        g_wait eng eng.all_done
+      done
+  | Some deadline ->
+      while eng.live > 0 && eng.first_failure = None && now eng < deadline do
+        g_unlock eng;
+        (try Unix.sleepf 0.002 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        g_lock eng
+      done);
+  let fail = eng.first_failure in
+  let n = eng.completed - completed0 in
+  g_unlock eng;
+  match fail with
+  | Some (name, e) -> raise (Thread_failure (name, e))
+  | None -> n
+
+let shutdown eng =
+  let joinable =
+    locked eng (fun () ->
+        if eng.stop then false
+        else begin
+          eng.stop <- true;
+          Array.iter Condition.broadcast eng.spawn_conds;
+          eng.live = 0
+        end)
+  in
+  (* Joining with live tasks would block forever (threads cannot be
+     killed); abandon the domains to process exit in that case. *)
+  if joinable then begin
+    List.iter Domain.join eng.domains;
+    eng.domains <- []
+  end
+
+let task_engine task = task.eng
+let task_name task = task.tname
+let task_busy_ns task = task.busy_ns
+let busy_cores eng = eng.computing
+let runnable_count _ = 0
+let online_cores eng = eng.online
+let live_threads eng = eng.live
+let spawned_threads eng = eng.spawned
+let instant_power _ = 0.0
+let energy_joules _ = 0.0
+let set_online_cores eng n = locked eng (fun () -> eng.online <- max 1 (min eng.pool n))
+
+let live_thread_names eng =
+  locked eng (fun () ->
+      Hashtbl.fold (fun _ t acc -> t.tname :: acc) eng.tasks [] |> List.sort compare)
+
+let seconds_of_ns ns = float_of_int ns /. 1e9

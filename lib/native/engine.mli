@@ -1,0 +1,127 @@
+(** The native OCaml 5 multicore engine.
+
+    This is the real-hardware counterpart of {!Parcae_sim.Engine}: tasks
+    are systhreads multiplexed over a fixed pool of OCaml 5 domains,
+    [compute] runs the calibrated spin kernel of {!Calibrate}, and the
+    clock is the host monotonic clock (ns since engine creation).
+
+    {b Concurrency model.}  The engine serializes all task code behind one
+    module-wide runtime lock (the "big lock" [G]): a task holds [G] from
+    the moment its body starts except while it spins in [compute], sleeps,
+    yields, or waits on a condition variable.  This reproduces the
+    simulator's cooperative atomicity — code between two blocking points
+    is atomic — so every shared-state protocol written against the sim
+    (channels, pause/flush, barrier-less resize, Decima counters) is
+    race-free on the native backend without modification.  Parallel
+    speedup comes from [compute]: the spin runs with [G] released, on
+    whichever domain hosts the task, so up to [pool] compute bursts
+    proceed concurrently.
+
+    Unlike the simulator, scheduling is {e not} deterministic: condition
+    waiters wake in OS order, not FIFO.  Protocol-level invariants (the
+    trace oracle) still hold; trace timestamps are real nanoseconds. *)
+
+type t
+(** One native engine: a domain pool plus the big runtime lock. *)
+
+type task
+(** A native task: a systhread pinned to one pool domain. *)
+
+type cond = Condition.t
+(** Condition variables are host conditions tied to the engine's big
+    lock.  Mesa semantics, like the simulator: re-check the predicate. *)
+
+exception Thread_failure of string * exn
+(** Raised out of {!run} when a task raises: carries the task's name and
+    the original exception (first failure wins). *)
+
+val create : ?pool:int -> unit -> t
+(** Start an engine with [pool] domains (default
+    [Domain.recommended_domain_count () - 1], at least 1).  Domains are
+    spawned eagerly and live until {!shutdown}. *)
+
+val pool_size : t -> int
+
+val spawn : t -> name:string -> (unit -> unit) -> task
+(** Create a task; it is assigned to a pool domain round-robin and starts
+    immediately.  Callable from outside the engine or from another task. *)
+
+val run : ?until:int -> t -> int
+(** Block until every live task has finished, a task fails (re-raised as
+    {!Thread_failure}), or — when [until] is given — the engine clock
+    passes [until].  Returns the number of tasks completed during the
+    call.  On timeout, still-live tasks keep running; callers must make
+    them drain (stop flags, Eos) before {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Stop the domain pool.  Joins the pool domains only when no task is
+    live; otherwise the domains are abandoned to the process exit
+    (documented leak — native threads cannot be killed). *)
+
+(** {1 Task-context operations}
+
+    [compute] takes the task explicitly; the rest take the engine and may
+    be called with or without the big lock held (they acquire it as
+    needed), so the platform layer can drive them from any context. *)
+
+val compute : task -> int -> unit
+(** Burn ~[n] ns of real CPU with the big lock released; accounts the
+    measured time into the task's [busy_ns]. *)
+
+val now : t -> int
+(** Host monotonic ns since engine creation. *)
+
+val yield : t -> unit
+val sleep : t -> int -> unit
+val sleep_until : t -> int -> unit
+
+val wait_on : t -> cond -> unit
+(** Release the big lock, wait, reacquire.  Must be called from a context
+    holding the big lock (task code always does). *)
+
+val signal : t -> cond -> unit
+val broadcast : t -> cond -> unit
+val join : t -> task -> unit
+val cond_create : unit -> cond
+
+val self_opt : unit -> task option
+(** The task hosting the calling systhread, if any.  O(1) fast path when
+    no native task is live anywhere in the process — this is what lets the
+    platform layer dispatch ambient operations (compute, now, ...) without
+    taxing the simulator hot path. *)
+
+val locked : t -> (unit -> 'a) -> 'a
+(** Run [f] under the big lock (no-op if already held).  The monitor
+    entry used by native channels, locks and barriers. *)
+
+val task_engine : task -> t
+val task_name : task -> string
+val task_busy_ns : task -> int
+(** Total measured compute ns, the native analogue of the sim thread's
+    [busy_ns] field that Decima's hooks read. *)
+
+(** {1 Introspection} *)
+
+val time : t -> int
+val busy_cores : t -> int
+(** Tasks currently inside a [compute] spin. *)
+
+val runnable_count : t -> int
+(** Always 0: the host OS owns the run queue; oversubscription pressure
+    is not observable from here. *)
+
+val online_cores : t -> int
+val live_threads : t -> int
+val spawned_threads : t -> int
+
+val instant_power : t -> float
+val energy_joules : t -> float
+(** Always 0.0: no power model on real hardware (no RAPL access). *)
+
+val set_online_cores : t -> int -> unit
+(** Records the request for {!online_cores} reporting but cannot revoke
+    OS cores; mechanisms that model resource-availability changes only
+    have real effect on the simulator. *)
+
+val live_thread_names : t -> string list
+val seconds_of_ns : int -> float

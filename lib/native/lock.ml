@@ -1,0 +1,57 @@
+(* Mutual exclusion between native tasks: a monitor on the engine's big
+   lock, with the same owner bookkeeping as the simulator's Lock (owner
+   identity, recursive-acquire and stranger-release checks, contention
+   counters). *)
+
+type t = {
+  name : string;
+  eng : Engine.t;
+  free : Engine.cond;
+  mutable owner : Engine.task option;
+  mutable acquisitions : int;
+  mutable contended : int;
+}
+
+let create eng name =
+  { name; eng; free = Engine.cond_create (); owner = None; acquisitions = 0; contended = 0 }
+
+let acquire lk =
+  Engine.locked lk.eng (fun () ->
+      let me =
+        match Engine.self_opt () with
+        | Some t -> t
+        | None ->
+            invalid_arg (Printf.sprintf "Lock.acquire %s: not called from a task" lk.name)
+      in
+      (match lk.owner with
+      | Some o when o == me ->
+          invalid_arg (Printf.sprintf "Lock.acquire %s: recursive acquisition" lk.name)
+      | _ -> ());
+      let waited = ref false in
+      let rec loop () =
+        match lk.owner with
+        | Some _ ->
+            waited := true;
+            Engine.wait_on lk.eng lk.free;
+            loop ()
+        | None -> ()
+      in
+      loop ();
+      lk.owner <- Some me;
+      lk.acquisitions <- lk.acquisitions + 1;
+      if !waited then lk.contended <- lk.contended + 1)
+
+let release lk =
+  Engine.locked lk.eng (fun () ->
+      (match (Engine.self_opt (), lk.owner) with
+      | Some t, Some o when t == o -> ()
+      | _ -> invalid_arg (Printf.sprintf "Lock.release %s: caller does not hold the lock" lk.name));
+      lk.owner <- None;
+      Engine.signal lk.eng lk.free)
+
+let with_lock lk f =
+  acquire lk;
+  Fun.protect ~finally:(fun () -> release lk) f
+
+let acquisitions lk = lk.acquisitions
+let contended lk = lk.contended

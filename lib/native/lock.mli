@@ -1,0 +1,15 @@
+(** Mutual exclusion between native tasks.
+
+    Same contract as {!Parcae_sim.Lock}: non-recursive, owner-checked
+    release, acquisition/contention counters.  Built on the engine's big
+    lock, so a Parcae lock costs one monitor entry — the real analogue of
+    the simulator's [lock_op] charge. *)
+
+type t
+
+val create : Engine.t -> string -> t
+val acquire : t -> unit
+val release : t -> unit
+val with_lock : t -> (unit -> 'a) -> 'a
+val acquisitions : t -> int
+val contended : t -> int

@@ -16,7 +16,7 @@
 
 open Parcae_ir
 open Parcae_pdg
-module Engine = Parcae_sim.Engine
+module Engine = Parcae_platform.Engine
 module Config = Parcae_core.Config
 module Task = Parcae_core.Task
 module Region = Parcae_runtime.Region

@@ -52,7 +52,7 @@ val launch :
   ?verify:bool ->
   ?config:Parcae_core.Config.t ->
   ?name:string ->
-  Parcae_sim.Engine.t ->
+  Parcae_platform.Engine.t ->
   compiled ->
   handle
 (** Instantiate the compiled loop as a reconfigurable region.  [budget]

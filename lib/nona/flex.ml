@@ -24,9 +24,9 @@
 
 open Parcae_ir
 open Parcae_pdg
-module Engine = Parcae_sim.Engine
-module Chan = Parcae_sim.Chan
-module Lock = Parcae_sim.Lock
+module Engine = Parcae_platform.Engine
+module Chan = Parcae_platform.Chan
+module Lock = Parcae_platform.Lock
 module Config = Parcae_core.Config
 module Task = Parcae_core.Task
 module Task_status = Parcae_core.Task_status
@@ -125,8 +125,8 @@ let create ?(flags = default_flags) eng (pdg : Pdg.t) =
     nodes = Loop.nodes loop;
     arrays = List.map (fun (n, a) -> (n, Array.copy a)) loop.Loop.arrays;
     ext = Externals.create ();
-    ext_lock = Lock.create "ext";
-    red_lock = Lock.create "reduction";
+    ext_lock = Lock.create eng "ext";
+    red_lock = Lock.create eng "reduction";
     phi_heap;
     combine_of;
     trip_n = (match loop.Loop.trip with Loop.Count n -> Some n | Loop.While -> None);
@@ -480,7 +480,7 @@ let make_psdswp_tasks rs (pipe : Mtcg.pipeline) ~max_lanes =
       (fun ei _ ->
         Array.init max_lanes (fun a ->
             Array.init max_lanes (fun b ->
-                Chan.create ~capacity:8 (Printf.sprintf "e%d.%d.%d" ei a b))))
+                Chan.create ~capacity:8 rs.eng (Printf.sprintf "e%d.%d.%d" ei a b))))
       pipe.Mtcg.edges
   in
   let infos =
@@ -888,7 +888,7 @@ let make_psdswp_tasks rs (pipe : Mtcg.pipeline) ~max_lanes =
 let make_doacross_task rs (plan : Doacross.plan) ~max_lanes =
   let ring =
     Array.init max_lanes (fun a ->
-        Array.init max_lanes (fun b -> Chan.create ~capacity:4 (Printf.sprintf "ring%d.%d" a b)))
+        Array.init max_lanes (fun b -> Chan.create ~capacity:4 rs.eng (Printf.sprintf "ring%d.%d" a b)))
   in
   let reset_ring () =
     Array.iter (fun per -> Array.iter (fun ch -> ignore (Chan.drain ch : int)) per) ring

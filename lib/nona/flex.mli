@@ -38,13 +38,13 @@ type msg = Go of int array | Stop_pause | Stop_exit | Reconf of int
 type t = {
   loop : Loop.t;
   pdg : Pdg.t;
-  eng : Parcae_sim.Engine.t;
+  eng : Parcae_platform.Engine.t;
   flags : flags;
   nodes : Loop.node array;
   arrays : (string * int array) list;  (** materialized working arrays *)
   ext : Externals.t;
-  ext_lock : Parcae_sim.Lock.t;  (** the global commutative-call critical section *)
-  red_lock : Parcae_sim.Lock.t;
+  ext_lock : Parcae_platform.Lock.t;  (** the global commutative-call critical section *)
+  red_lock : Parcae_platform.Lock.t;
   phi_heap : (Instr.reg, int) Hashtbl.t;  (** Section 4.5.2's heap state *)
   combine_of : (int, Pdg.reduction) Hashtbl.t;
   trip_n : int option;
@@ -62,7 +62,7 @@ type t = {
   max_reg : int;
 }
 
-val create : ?flags:flags -> Parcae_sim.Engine.t -> Pdg.t -> t
+val create : ?flags:flags -> Parcae_platform.Engine.t -> Pdg.t -> t
 
 val make_seq_task : t -> Parcae_core.Task.t
 (** The sequential version of the region. *)

@@ -1,0 +1,13 @@
+module Sb = Parcae_sim.Barrier
+module Nb = Parcae_native.Barrier
+
+type t = S of Sb.t | N of Nb.t
+
+let create eng ~parties name =
+  match Engine.native_engine eng with
+  | None -> S (Sb.create ~parties name)
+  | Some ne -> N (Nb.create ne ~parties name)
+
+let wait = function S b -> Sb.wait b | N b -> Nb.wait b
+let total_wait_ns = function S b -> Sb.total_wait_ns b | N b -> Nb.total_wait_ns b
+let parties = function S b -> Sb.parties b | N b -> Nb.parties b

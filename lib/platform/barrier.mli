@@ -1,0 +1,10 @@
+(** Reusable synchronization barrier over the platform abstraction:
+    the contract of {!Parcae_sim.Barrier}, dispatched on the engine the
+    barrier was created on. *)
+
+type t
+
+val create : Engine.t -> parties:int -> string -> t
+val wait : t -> bool
+val total_wait_ns : t -> int
+val parties : t -> int

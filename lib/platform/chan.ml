@@ -1,0 +1,35 @@
+(* Channel dispatch over the two backends.  The sim arm keeps the
+   pre-abstraction Chan untouched (and therefore bit-identical); the
+   native arm is the monitor implementation in Parcae_native.Chan. *)
+
+module Sc = Parcae_sim.Chan
+module Nc = Parcae_native.Chan
+
+type 'a t = { cname : string; repr : 'a repr }
+and 'a repr = S of 'a Sc.t | N of 'a Nc.t
+
+let create ?capacity ?op_cost eng name =
+  match Engine.native_engine eng with
+  | None -> { cname = name; repr = S (Sc.create ?capacity ?op_cost name) }
+  | Some ne -> { cname = name; repr = N (Nc.create ?capacity ne name) }
+
+let name ch = ch.cname
+let length ch = match ch.repr with S c -> Sc.length c | N c -> Nc.length c
+let is_empty ch = match ch.repr with S c -> Sc.is_empty c | N c -> Nc.is_empty c
+let total_sent ch = match ch.repr with S c -> Sc.total_sent c | N c -> Nc.total_sent c
+
+let total_received ch =
+  match ch.repr with S c -> Sc.total_received c | N c -> Nc.total_received c
+
+let send ch v = match ch.repr with S c -> Sc.send c v | N c -> Nc.send c v
+let recv ch = match ch.repr with S c -> Sc.recv c | N c -> Nc.recv c
+let force_send ch v = match ch.repr with S c -> Sc.force_send c v | N c -> Nc.force_send c v
+let try_recv ch = match ch.repr with S c -> Sc.try_recv c | N c -> Nc.try_recv c
+let try_send ch v = match ch.repr with S c -> Sc.try_send c v | N c -> Nc.try_send c v
+let send_batch ch vs = match ch.repr with S c -> Sc.send_batch c vs | N c -> Nc.send_batch c vs
+
+let recv_batch ?max ch =
+  match ch.repr with S c -> Sc.recv_batch ?max c | N c -> Nc.recv_batch ?max c
+
+let filter ch keep = match ch.repr with S c -> Sc.filter c keep | N c -> Nc.filter c keep
+let drain ch = match ch.repr with S c -> Sc.drain c | N c -> Nc.drain c

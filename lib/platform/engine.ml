@@ -1,0 +1,132 @@
+(* Backend dispatch for the execution engine.
+
+   Engines, threads and conditions are tagged sums over the simulator and
+   the native backend; operations that receive one dispatch on the tag.
+   Ambient operations resolve their context via the native thread
+   registry: its fast path is a single atomic load when no native task is
+   live, so the simulator hot path (effects) is untaxed. *)
+
+module Sim = Parcae_sim.Engine
+module Machine = Parcae_sim.Machine
+module Nat = Parcae_native.Engine
+
+type t = S of Sim.t | N of Nat.t
+type thread = St of Sim.thread | Nt of Nat.task
+type cond = Sc of Sim.cond | Nc of Nat.t * Nat.cond
+
+exception Thread_failure of string * exn
+
+let create m = S (Sim.create m)
+let create_native ?pool () = N (Nat.create ?pool ())
+let backend = function S _ -> "sim" | N _ -> "native"
+let is_native = function S _ -> false | N _ -> true
+let sim_engine = function S e -> Some e | N _ -> None
+let native_engine = function S _ -> None | N e -> Some e
+
+(* The cost model a native engine reports: real cores, zero virtual
+   costs (the real ones land in wall time), no power model. *)
+let native_machine e =
+  {
+    Machine.name = Printf.sprintf "native-%dd" (Nat.pool_size e);
+    cores = Nat.pool_size e;
+    ghz = 0.0;
+    time_slice = 0;
+    ctx_switch = 0;
+    chan_op = 0;
+    lock_op = 0;
+    hook = 0;
+    idle_power = 0.0;
+    core_power = 0.0;
+  }
+
+let machine = function S e -> Sim.machine e | N e -> native_machine e
+
+let spawn t ~name body =
+  match t with
+  | S e -> St (Sim.spawn e ~name body)
+  | N e -> Nt (Nat.spawn e ~name body)
+
+let run ?until t =
+  match t with
+  | S e -> (
+      try Sim.run ?until e
+      with Sim.Thread_failure (name, exn) -> raise (Thread_failure (name, exn)))
+  | N e -> (
+      try Nat.run ?until e
+      with Nat.Thread_failure (name, exn) -> raise (Thread_failure (name, exn)))
+
+let shutdown = function S _ -> () | N e -> Nat.shutdown e
+
+(* Ambient operations: native task context wins when present; otherwise
+   the call must come from a simulated thread and the sim effect fires. *)
+let compute n =
+  match Nat.self_opt () with Some task -> Nat.compute task n | None -> Sim.compute n
+
+let now () =
+  match Nat.self_opt () with
+  | Some task -> Nat.now (Nat.task_engine task)
+  | None -> Sim.now ()
+
+let yield () =
+  match Nat.self_opt () with
+  | Some task -> Nat.yield (Nat.task_engine task)
+  | None -> Sim.yield ()
+
+let sleep ns =
+  match Nat.self_opt () with
+  | Some task -> Nat.sleep (Nat.task_engine task) ns
+  | None -> Sim.sleep ns
+
+let sleep_until t =
+  match Nat.self_opt () with
+  | Some task -> Nat.sleep_until (Nat.task_engine task) t
+  | None -> Sim.sleep_until t
+
+let spawn_thread ~name body =
+  match Nat.self_opt () with
+  | Some task -> Nt (Nat.spawn (Nat.task_engine task) ~name body)
+  | None -> St (Sim.spawn_thread ~name body)
+
+let self () =
+  match Nat.self_opt () with Some task -> Nt task | None -> St (Sim.self ())
+
+let self_busy_ns () =
+  match Nat.self_opt () with
+  | Some task -> Nat.task_busy_ns task
+  | None -> (Sim.self ()).Sim.busy_ns
+
+let engine () =
+  match Nat.self_opt () with
+  | Some task -> N (Nat.task_engine task)
+  | None -> S (Sim.engine ())
+
+let wait_on = function Sc c -> Sim.wait_on c | Nc (e, c) -> Nat.wait_on e c
+let signal = function Sc c -> Sim.signal c | Nc (e, c) -> Nat.signal e c
+let broadcast = function Sc c -> Sim.broadcast c | Nc (e, c) -> Nat.broadcast e c
+let join = function St th -> Sim.join th | Nt task -> Nat.join (Nat.task_engine task) task
+
+let cond_create = function
+  | S _ -> Sc (Sim.cond_create ())
+  | N e -> Nc (e, Nat.cond_create ())
+
+let thread_name = function St th -> th.Sim.tname | Nt task -> Nat.task_name task
+let thread_busy_ns = function St th -> th.Sim.busy_ns | Nt task -> Nat.task_busy_ns task
+let time = function S e -> Sim.time e | N e -> Nat.time e
+let busy_cores = function S e -> Sim.busy_cores e | N e -> Nat.busy_cores e
+let runnable_count = function S e -> Sim.runnable_count e | N e -> Nat.runnable_count e
+let online_cores = function S e -> Sim.online_cores e | N e -> Nat.online_cores e
+let live_threads = function S e -> Sim.live_threads e | N e -> Nat.live_threads e
+let spawned_threads = function S e -> Sim.spawned_threads e | N e -> Nat.spawned_threads e
+let instant_power = function S e -> Sim.instant_power e | N e -> Nat.instant_power e
+let energy_joules = function S e -> Sim.energy_joules e | N e -> Nat.energy_joules e
+
+let set_online_cores t n =
+  match t with S e -> Sim.set_online_cores e n | N e -> Nat.set_online_cores e n
+
+let hook_cost = function S e -> (Sim.machine e).Machine.hook | N _ -> 0
+
+let live_thread_names = function
+  | S e -> Sim.live_thread_names e
+  | N e -> Nat.live_thread_names e
+
+let seconds_of_ns = Sim.seconds_of_ns

@@ -1,0 +1,112 @@
+(** The execution engine behind the platform abstraction.
+
+    Every engine operation the runtime and workloads use — spawn/join,
+    compute, condition wait/signal, clock, core counts — dispatches here
+    over the backend chosen at engine creation: the deterministic
+    discrete-event simulator ({!Parcae_sim.Engine}) or the native OCaml 5
+    multicore backend ({!Parcae_native.Engine}).
+
+    Engines, threads and conditions are tagged values, so operations that
+    receive one dispatch directly.  The ambient operations ({!compute},
+    {!now}, {!yield}, ...) have no argument to dispatch on; they resolve
+    the calling context through the native backend's thread registry — an
+    O(1) atomic check when no native task is live — and otherwise fall
+    through to the simulator's effect handlers.  Sim behaviour is
+    therefore bit-identical to calling {!Parcae_sim.Engine} directly. *)
+
+type t
+type thread
+type cond
+
+exception Thread_failure of string * exn
+(** Raised out of {!run} on either backend when a thread fails: the
+    thread's name and the original exception. *)
+
+(** {1 Construction} *)
+
+val create : Parcae_sim.Machine.t -> t
+(** A simulator engine — the deterministic default, source-compatible
+    with the pre-abstraction API. *)
+
+val create_native : ?pool:int -> unit -> t
+(** A native engine over [pool] OCaml 5 domains (default: the host's
+    recommended domain count minus one, at least 1). *)
+
+val backend : t -> string
+(** ["sim"] or ["native"] — used as a metrics label. *)
+
+val is_native : t -> bool
+
+val sim_engine : t -> Parcae_sim.Engine.t option
+(** The underlying simulator engine, for sim-only subsystems (the power
+    sensor, virtual-platform experiments).  [None] on native. *)
+
+val native_engine : t -> Parcae_native.Engine.t option
+
+val machine : t -> Parcae_sim.Machine.t
+(** The platform cost model.  On native, a synthetic descriptor: [cores]
+    is the domain-pool size, every virtual cost is 0 (real costs land in
+    wall time), powers are 0. *)
+
+(** {1 Execution} *)
+
+val spawn : t -> name:string -> (unit -> unit) -> thread
+val run : ?until:int -> t -> int
+(** Sim: process events up to [until] virtual ns.  Native: wait until
+    live tasks drain or the host clock passes [until] ns. *)
+
+val shutdown : t -> unit
+(** Stop a native engine's domain pool; no-op on sim. *)
+
+(** {1 Ambient operations (inside an engine thread)} *)
+
+val compute : int -> unit
+val now : unit -> int
+val yield : unit -> unit
+val sleep : int -> unit
+val sleep_until : int -> unit
+val spawn_thread : name:string -> (unit -> unit) -> thread
+val self : unit -> thread
+
+val self_busy_ns : unit -> int
+(** Total CPU consumed by the calling thread — virtual ns on sim, measured
+    spin ns on native.  What Decima's begin/end hooks read. *)
+
+val engine : unit -> t
+(** The engine of the calling thread. *)
+
+(** {1 Value-dispatched operations} *)
+
+val wait_on : cond -> unit
+val signal : cond -> unit
+val broadcast : cond -> unit
+val join : thread -> unit
+
+val cond_create : t -> cond
+(** Conditions are tied to their engine (the native backend pairs them
+    with its runtime lock), so creation takes the engine. *)
+
+val thread_name : thread -> string
+val thread_busy_ns : thread -> int
+
+(** {1 Introspection} *)
+
+val time : t -> int
+val busy_cores : t -> int
+val runnable_count : t -> int
+val online_cores : t -> int
+val live_threads : t -> int
+val spawned_threads : t -> int
+val instant_power : t -> float
+val energy_joules : t -> float
+
+val set_online_cores : t -> int -> unit
+(** Models resource-availability change on sim; on native only records
+    the request for reporting (OS cores cannot be revoked). *)
+
+val hook_cost : t -> int
+(** Virtual cost of one Decima begin/end hook: the machine's [hook] on
+    sim, 0 on native (the real hook cost is measured, not modelled). *)
+
+val live_thread_names : t -> string list
+val seconds_of_ns : int -> float

@@ -1,0 +1,233 @@
+(* The PLATFORM signature: the engine operations the runtime and
+   workloads actually use, extracted so a backend is a pluggable module.
+
+   Three implementations are type-checked against it below:
+   [Sim_backend] (the deterministic discrete-event simulator),
+   [Native_backend] (OCaml 5 domains), and [Dispatch] (the tagged-value
+   layer in {!Engine}/{!Chan}/{!Lock}/{!Barrier} that the runtime links
+   against so sim and native code coexist in one binary).  The functor
+   route would work too; the dispatch route was chosen because it keeps
+   engine values first-class — a CLI flag, not a build, selects the
+   backend. *)
+
+module type PLATFORM = sig
+  val name : string
+
+  type engine
+  type thread
+  type cond
+
+  type config
+  (** Backend-specific creation parameter: a {!Parcae_sim.Machine.t} cost
+      model for the simulator, a domain-pool size for native. *)
+
+  val create : config -> engine
+  val spawn : engine -> name:string -> (unit -> unit) -> thread
+  val run : ?until:int -> engine -> int
+  val shutdown : engine -> unit
+
+  (** Ambient operations, callable only from inside an engine thread. *)
+
+  val compute : int -> unit
+  val now : unit -> int
+  val yield : unit -> unit
+  val sleep : int -> unit
+  val self_busy_ns : unit -> int
+  val spawn_thread : name:string -> (unit -> unit) -> thread
+
+  (** Synchronisation. *)
+
+  val cond_create : engine -> cond
+  val wait_on : cond -> unit
+  val signal : cond -> unit
+  val broadcast : cond -> unit
+  val join : thread -> unit
+
+  (** Clock and cores. *)
+
+  val time : engine -> int
+  val online_cores : engine -> int
+  val live_threads : engine -> int
+  val seconds_of_ns : int -> float
+
+  module Chan : sig
+    type 'a t
+
+    val create : ?capacity:int -> engine -> string -> 'a t
+    val length : 'a t -> int
+    val is_empty : 'a t -> bool
+    val send : 'a t -> 'a -> unit
+    val recv : 'a t -> 'a
+    val force_send : 'a t -> 'a -> unit
+    val try_recv : 'a t -> 'a option
+    val try_send : 'a t -> 'a -> bool
+    val send_batch : 'a t -> 'a list -> unit
+    val recv_batch : ?max:int -> 'a t -> 'a list
+    val filter : 'a t -> ('a -> bool) -> int
+    val drain : 'a t -> int
+  end
+
+  module Lock : sig
+    type t
+
+    val create : engine -> string -> t
+    val acquire : t -> unit
+    val release : t -> unit
+    val with_lock : t -> (unit -> 'a) -> 'a
+  end
+
+  module Barrier : sig
+    type t
+
+    val create : engine -> parties:int -> string -> t
+    val wait : t -> bool
+  end
+end
+
+module Sim_backend : PLATFORM with type config = Parcae_sim.Machine.t = struct
+  let name = "sim"
+
+  module E = Parcae_sim.Engine
+
+  type engine = E.t
+  type thread = E.thread
+  type cond = E.cond
+  type config = Parcae_sim.Machine.t
+
+  let create = E.create
+  let spawn = E.spawn
+  let run = E.run
+  let shutdown _ = ()
+  let compute = E.compute
+  let now = E.now
+  let yield = E.yield
+  let sleep = E.sleep
+  let self_busy_ns () = (E.self ()).E.busy_ns
+  let spawn_thread = E.spawn_thread
+  let cond_create _ = E.cond_create ()
+  let wait_on = E.wait_on
+  let signal = E.signal
+  let broadcast = E.broadcast
+  let join = E.join
+  let time = E.time
+  let online_cores = E.online_cores
+  let live_threads = E.live_threads
+  let seconds_of_ns = E.seconds_of_ns
+
+  module Chan = struct
+    include Parcae_sim.Chan
+
+    let create ?capacity _eng name = create ?capacity name
+  end
+
+  module Lock = struct
+    include Parcae_sim.Lock
+
+    let create _eng name = create name
+  end
+
+  module Barrier = struct
+    include Parcae_sim.Barrier
+
+    let create _eng ~parties name = create ~parties name
+  end
+end
+
+module Native_backend : PLATFORM with type config = int option = struct
+  let name = "native"
+
+  module E = Parcae_native.Engine
+
+  type engine = E.t
+  type thread = E.task
+  type cond = E.t * E.cond
+  type config = int option
+
+  let create pool = E.create ?pool ()
+  let spawn = E.spawn
+  let run = E.run
+  let shutdown = E.shutdown
+
+  let ambient op_name =
+    match E.self_opt () with
+    | Some task -> task
+    | None -> invalid_arg (op_name ^ ": not called from a native task")
+
+  let compute n = E.compute (ambient "Native.compute") n
+  let now () = E.now (E.task_engine (ambient "Native.now"))
+  let yield () = E.yield (E.task_engine (ambient "Native.yield"))
+  let sleep ns = E.sleep (E.task_engine (ambient "Native.sleep")) ns
+  let self_busy_ns () = E.task_busy_ns (ambient "Native.self_busy_ns")
+
+  let spawn_thread ~name body =
+    E.spawn (E.task_engine (ambient "Native.spawn_thread")) ~name body
+
+  let cond_create eng = (eng, E.cond_create ())
+  let wait_on (eng, c) = E.wait_on eng c
+  let signal (eng, c) = E.signal eng c
+  let broadcast (eng, c) = E.broadcast eng c
+  let join task = E.join (E.task_engine task) task
+  let time = E.time
+  let online_cores = E.online_cores
+  let live_threads = E.live_threads
+  let seconds_of_ns = E.seconds_of_ns
+
+  module Chan = Parcae_native.Chan
+
+  module Lock = struct
+    include Parcae_native.Lock
+
+    let create eng name = create eng name
+  end
+
+  module Barrier = Parcae_native.Barrier
+end
+
+(** Which backend a dispatched engine should be created on. *)
+type dispatch_config = Sim_cfg of Parcae_sim.Machine.t | Native_cfg of int option
+
+module Dispatch : PLATFORM with type config = dispatch_config = struct
+  let name = "dispatch"
+
+  type engine = Engine.t
+  type thread = Engine.thread
+  type cond = Engine.cond
+  type config = dispatch_config
+
+  let create = function
+    | Sim_cfg m -> Engine.create m
+    | Native_cfg pool -> Engine.create_native ?pool ()
+
+  let spawn = Engine.spawn
+  let run = Engine.run
+  let shutdown = Engine.shutdown
+  let compute = Engine.compute
+  let now = Engine.now
+  let yield = Engine.yield
+  let sleep = Engine.sleep
+  let self_busy_ns = Engine.self_busy_ns
+  let spawn_thread = Engine.spawn_thread
+  let cond_create = Engine.cond_create
+  let wait_on = Engine.wait_on
+  let signal = Engine.signal
+  let broadcast = Engine.broadcast
+  let join = Engine.join
+  let time = Engine.time
+  let online_cores = Engine.online_cores
+  let live_threads = Engine.live_threads
+  let seconds_of_ns = Engine.seconds_of_ns
+
+  module Chan = struct
+    include Chan
+
+    let create ?capacity eng name = create ?capacity eng name
+  end
+
+  module Lock = struct
+    include Lock
+
+    let create eng name = create eng name
+  end
+
+  module Barrier = Barrier
+end

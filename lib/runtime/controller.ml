@@ -13,7 +13,7 @@
    (Section 6.4.2), and the thread count actually needed is reported to the
    platform-wide daemon so slack can be redistributed (Section 6.4.3). *)
 
-module Engine = Parcae_sim.Engine
+module Engine = Parcae_platform.Engine
 module Series = Parcae_util.Series
 module Config = Parcae_core.Config
 module Task = Parcae_core.Task

@@ -50,7 +50,7 @@ val create : ?params:params -> Region.t -> t
 val run : t -> unit
 (** The controller main loop; the body of a dedicated simulated thread. *)
 
-val spawn : Parcae_sim.Engine.t -> t -> Parcae_sim.Engine.thread
+val spawn : Parcae_platform.Engine.t -> t -> Parcae_platform.Engine.thread
 
 val request_stop : t -> unit
 

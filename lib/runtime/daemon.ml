@@ -14,7 +14,7 @@
    The daemon runs as a simulated thread, mirroring the paper's daemon
    launched at system boot. *)
 
-module Engine = Parcae_sim.Engine
+module Engine = Parcae_platform.Engine
 module Trace = Parcae_obs.Trace
 module Event = Parcae_obs.Event
 module Metrics = Parcae_obs.Metrics

@@ -7,7 +7,7 @@
 
 type t
 
-val create : ?period_ns:int -> Parcae_sim.Engine.t -> total_threads:int -> t
+val create : ?period_ns:int -> Parcae_platform.Engine.t -> total_threads:int -> t
 
 val register : t -> Region.t -> Controller.t -> unit
 (** Register a launched program: every active program gets a fresh equal
@@ -22,4 +22,4 @@ val run : t -> unit
 (** Daemon main loop (watch terminations, re-partition); the body of a
     simulated thread. *)
 
-val spawn : Parcae_sim.Engine.t -> t -> Parcae_sim.Engine.thread
+val spawn : Parcae_platform.Engine.t -> t -> Parcae_platform.Engine.thread

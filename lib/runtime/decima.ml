@@ -8,7 +8,7 @@
    cost, and counters are plain mutable fields (the paper implements them in
    shared memory without synchronization). *)
 
-module Engine = Parcae_sim.Engine
+module Engine = Parcae_platform.Engine
 module Stats = Parcae_util.Stats
 module Trace = Parcae_obs.Trace
 module Event = Parcae_obs.Event
@@ -128,19 +128,17 @@ type hook_slot = { mutable t0 : int; mutable open_ : bool }
 let make_slot () = { t0 = 0; open_ = false }
 
 let hook_begin t slot =
-  Engine.compute (Engine.machine t.eng).Parcae_sim.Machine.hook;
+  Engine.compute (Engine.hook_cost t.eng);
   t.hook_calls <- t.hook_calls + 1;
-  let self = Engine.self () in
-  slot.t0 <- self.Engine.busy_ns;
+  slot.t0 <- Engine.self_busy_ns ();
   slot.open_ <- true
 
 let hook_end t ~task slot =
-  Engine.compute (Engine.machine t.eng).Parcae_sim.Machine.hook;
+  Engine.compute (Engine.hook_cost t.eng);
   t.hook_calls <- t.hook_calls + 1;
   if slot.open_ then begin
     slot.open_ <- false;
-    let self = Engine.self () in
-    let dt = self.Engine.busy_ns - slot.t0 in
+    let dt = Engine.self_busy_ns () - slot.t0 in
     if task >= 0 && task < Array.length t.tasks then begin
       let s = t.tasks.(task) in
       s.compute_ns <- s.compute_ns + dt;

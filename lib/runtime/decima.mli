@@ -7,7 +7,7 @@
 
 type t
 
-val create : Parcae_sim.Engine.t -> tasks:int -> t
+val create : Parcae_platform.Engine.t -> tasks:int -> t
 
 val reset : t -> tasks:int -> unit
 (** Re-size and clear statistics (used on parallelization-scheme switch). *)

@@ -8,8 +8,8 @@
    region at a consistent state, applies a new configuration — possibly a
    different parallelization scheme — and relaunches workers. *)
 
-module Engine = Parcae_sim.Engine
-module Barrier = Parcae_sim.Barrier
+module Engine = Parcae_platform.Engine
+module Barrier = Parcae_platform.Barrier
 module Config = Parcae_core.Config
 module Task = Parcae_core.Task
 module Task_status = Parcae_core.Task_status

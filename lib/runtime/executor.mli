@@ -8,13 +8,13 @@
     possibly a different parallelization scheme — and relaunches. *)
 
 val run_subregion :
-  Parcae_sim.Engine.t -> Parcae_core.Task.par_descriptor -> Parcae_core.Config.t -> unit
+  Parcae_platform.Engine.t -> Parcae_core.Task.par_descriptor -> Parcae_core.Config.t -> unit
 (** Execute a nested (inner-loop) region under a fixed configuration and
     return when every worker has completed.  Inner regions are not
     independently reconfigurable: the outer task re-launches them with a
     new configuration on its next instance. *)
 
-val run_nested : Parcae_sim.Engine.t -> Parcae_core.Task.t -> Parcae_core.Config.t -> unit
+val run_nested : Parcae_platform.Engine.t -> Parcae_core.Task.t -> Parcae_core.Config.t -> unit
 (** Instantiate and run the nested descriptor selected by the
     configuration's [choice] for the given task. *)
 
@@ -23,7 +23,7 @@ val launch :
   ?on_pause:(unit -> unit) ->
   ?on_reset:(unit -> unit) ->
   name:string ->
-  Parcae_sim.Engine.t ->
+  Parcae_platform.Engine.t ->
   Parcae_core.Task.par_descriptor list ->
   Parcae_core.Config.t ->
   Region.t

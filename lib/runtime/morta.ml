@@ -9,7 +9,7 @@
    default optimizer lives in [Controller]; mechanism implementations live
    in the [Parcae_mechanisms] library. *)
 
-module Engine = Parcae_sim.Engine
+module Engine = Parcae_platform.Engine
 module Config = Parcae_core.Config
 
 type mechanism = Region.t -> Config.t option

@@ -19,7 +19,7 @@ val spawn :
   ?stop:(unit -> bool) ->
   period_ns:int ->
   mechanism:mechanism ->
-  Parcae_sim.Engine.t ->
+  Parcae_platform.Engine.t ->
   Region.t ->
-  Parcae_sim.Engine.thread
+  Parcae_platform.Engine.thread
 (** Spawn the executive thread for a region. *)

@@ -7,8 +7,8 @@
    parallelization schemes (e.g. the SEQ / DOANY / PS-DSWP versions Nona
    emits, Section 3.2); [config.choice] selects among them. *)
 
-module Engine = Parcae_sim.Engine
-module Barrier = Parcae_sim.Barrier
+module Engine = Parcae_platform.Engine
+module Barrier = Parcae_platform.Barrier
 module Config = Parcae_core.Config
 module Task = Parcae_core.Task
 module Trace = Parcae_obs.Trace
@@ -91,8 +91,8 @@ let create ?(budget = max_int) ?on_pause ?on_reset ~name eng schemes config =
     master_completed = false;
     budget;
     decima;
-    parked = Engine.cond_create ();
-    finished = Engine.cond_create ();
+    parked = Engine.cond_create eng;
+    finished = Engine.cond_create eng;
     active_workers = 0;
     worker_count = 0;
     on_pause;

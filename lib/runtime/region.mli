@@ -17,7 +17,7 @@ val status_to_string : status -> string
 
 type t = {
   name : string;
-  eng : Parcae_sim.Engine.t;
+  eng : Parcae_platform.Engine.t;
   schemes : Parcae_core.Task.par_descriptor list;
       (** alternative top-level parallelizations; [config.choice] picks *)
   mutable config : Parcae_core.Config.t;
@@ -26,8 +26,8 @@ type t = {
   mutable master_completed : bool;
   mutable budget : int;  (** thread budget assigned by the daemon *)
   decima : Decima.t;
-  parked : Parcae_sim.Engine.cond;
-  finished : Parcae_sim.Engine.cond;
+  parked : Parcae_platform.Engine.cond;
+  finished : Parcae_platform.Engine.cond;
   mutable active_workers : int;  (** workers currently running *)
   mutable worker_count : int;
   on_pause : (unit -> unit) option;
@@ -52,7 +52,7 @@ val create :
   ?on_pause:(unit -> unit) ->
   ?on_reset:(unit -> unit) ->
   name:string ->
-  Parcae_sim.Engine.t ->
+  Parcae_platform.Engine.t ->
   Parcae_core.Task.par_descriptor list ->
   Parcae_core.Config.t ->
   t

@@ -184,6 +184,63 @@ let try_send ch v =
     true
   end
 
+(* Enqueue a whole batch for a single [chan_op] charge — the amortized
+   communication of Section 2.3.  Blocks (after the charge) whenever the
+   next item would overflow a bounded channel. *)
+let send_batch ch vs =
+  Engine.compute (cost ch);
+  let waited = ref false in
+  let t0 = if Metrics.enabled () then Engine.now () else 0 in
+  List.iter
+    (fun v ->
+      while ch.capacity > 0 && Queue.length ch.q >= ch.capacity do
+        waited := true;
+        Engine.wait_on ch.nonfull
+      done;
+      Queue.push v ch.q;
+      ch.total_sent <- ch.total_sent + 1;
+      Engine.signal ch.nonempty)
+    vs;
+  if Metrics.enabled () then begin
+    let h = handles ch in
+    Metrics.inc_by h.cm_sends (List.length vs);
+    Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
+    if !waited then Metrics.observe_ns h.cm_send_block (Engine.now () - t0)
+  end
+
+(* Dequeue at least one and at most [max] items (default: everything
+   queued) for a single [chan_op] charge. *)
+let recv_batch ?max ch =
+  Engine.compute (cost ch);
+  let waited = ref false in
+  let t0 = if Metrics.enabled () then Engine.now () else 0 in
+  while Queue.is_empty ch.q do
+    waited := true;
+    Engine.wait_on ch.nonempty
+  done;
+  let limit =
+    match max with
+    | Some m ->
+        if m < 1 then invalid_arg "Chan.recv_batch: max must be >= 1";
+        m
+    | None -> Queue.length ch.q
+  in
+  let out = ref [] in
+  let taken = ref 0 in
+  while !taken < limit && not (Queue.is_empty ch.q) do
+    out := Queue.pop ch.q :: !out;
+    incr taken
+  done;
+  ch.total_received <- ch.total_received + !taken;
+  Engine.broadcast ch.nonfull;
+  if Metrics.enabled () then begin
+    let h = handles ch in
+    Metrics.inc_by h.cm_recvs !taken;
+    Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
+    if !waited then Metrics.observe_ns h.cm_recv_block (Engine.now () - t0)
+  end;
+  List.rev !out
+
 (* Keep only the items satisfying [keep], preserving order; returns how many
    were removed.  Used to strip pause sentinels from work queues on
    resumption without dropping pending requests. *)

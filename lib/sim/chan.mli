@@ -39,6 +39,15 @@ val try_recv : 'a t -> 'a option
 val try_send : 'a t -> 'a -> bool
 (** Non-blocking send; [false] if the channel is full. *)
 
+val send_batch : 'a t -> 'a list -> unit
+(** Enqueue the whole batch for a single [chan_op] charge (amortized
+    communication, Section 2.3 of the paper); blocks whenever the next
+    item would overflow a bounded channel. *)
+
+val recv_batch : ?max:int -> 'a t -> 'a list
+(** Dequeue at least one and at most [max] items (default: everything
+    queued) for a single [chan_op] charge; blocks only while empty. *)
+
 val filter : 'a t -> ('a -> bool) -> int
 (** [filter ch keep] retains only the items satisfying [keep], preserving
     order; returns how many were removed.  Used to strip pause sentinels

@@ -6,8 +6,8 @@
    mechanisms of Chapter 6 need (work-queue load, configuration
    constructors, per-task loads, dPmax). *)
 
-module Engine = Parcae_sim.Engine
-module Chan = Parcae_sim.Chan
+module Engine = Parcae_platform.Engine
+module Chan = Parcae_platform.Chan
 module Config = Parcae_core.Config
 module Task = Parcae_core.Task
 module Pipeline = Parcae_core.Pipeline
@@ -52,9 +52,14 @@ let config t name =
    Live threads (not just runnable ones) drive the penalty because cache
    footprint scales with resident working sets. *)
 let oversub_factor eng ~alpha =
-  let online = max 1 (Engine.online_cores eng) in
-  let pressure = float_of_int (Engine.live_threads eng) /. float_of_int online in
-  1.0 +. (alpha *. Float.max 0.0 (pressure -. 1.0))
+  if Engine.is_native eng then 1.0
+    (* Real hardware charges its own oversubscription penalty (scheduler
+       churn lands in wall time); modelling it on top would double-count. *)
+  else begin
+    let online = max 1 (Engine.online_cores eng) in
+    let pressure = float_of_int (Engine.live_threads eng) /. float_of_int online in
+    1.0 +. (alpha *. Float.max 0.0 (pressure -. 1.0))
+  end
 
 (* Compute [base] ns inflated by the request scale and the current
    oversubscription factor. *)

@@ -5,8 +5,8 @@
 
 type t = {
   name : string;
-  eng : Parcae_sim.Engine.t;
-  queue : Request.t Parcae_core.Pipeline.msg Parcae_sim.Chan.t;
+  eng : Parcae_platform.Engine.t;
+  queue : Request.t Parcae_core.Pipeline.msg Parcae_platform.Chan.t;
   schemes : Parcae_core.Task.par_descriptor list;
   on_pause : unit -> unit;
   on_reset : unit -> unit;
@@ -28,13 +28,13 @@ val config : t -> string -> Parcae_core.Config.t
 (** Named static configuration lookup.
     @raise Invalid_argument if absent (the message lists the names). *)
 
-val oversub_factor : Parcae_sim.Engine.t -> alpha:float -> float
+val oversub_factor : Parcae_platform.Engine.t -> alpha:float -> float
 (** Oversubscription penalty: when the process keeps many more threads
     alive than there are cores, context-switch churn and cache pollution
     inflate each thread's work (what makes "Pthreads-OS" unprofitable for
     memory-bound dedup but still profitable for ferret, Table 8.5).
     [alpha] is the per-app sensitivity; 1.0 when not oversubscribed. *)
 
-val compute_scaled : Parcae_sim.Engine.t -> alpha:float -> Request.t -> int -> unit
+val compute_scaled : Parcae_platform.Engine.t -> alpha:float -> Request.t -> int -> unit
 (** Compute [base] ns inflated by the request scale and the current
     oversubscription factor. *)

@@ -8,7 +8,7 @@
    oversubscription factor) — fine for an interactive top, but determinism
    tests must not run one. *)
 
-module Engine = Parcae_sim.Engine
+module Engine = Parcae_platform.Engine
 module Obs = Parcae_obs.Metrics
 module Table = Parcae_util.Table
 

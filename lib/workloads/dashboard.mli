@@ -18,8 +18,8 @@ val spawn :
   ?title:string ->
   ?interval_ns:int ->
   stop:(unit -> bool) ->
-  Parcae_sim.Engine.t ->
-  Parcae_sim.Engine.thread
+  Parcae_platform.Engine.t ->
+  Parcae_platform.Engine.thread
 (** Spawn the refresher; it polls [stop] after each interval (default 1 s
     of virtual time) and exits when it returns [true].  Forces the
     engine's energy/busy-time accounting up to date before each render.

@@ -11,8 +11,14 @@
    - Batch experiments pre-fill the queue and measure sustained throughput,
      optionally sampling throughput/power timelines. *)
 
-module Engine = Parcae_sim.Engine
+module Engine = Parcae_platform.Engine
 module Machine = Parcae_sim.Machine
+
+(* Which backend an experiment runs on: the deterministic simulator with
+   [machine]'s cost model (the default; every figure and table in the repo
+   is produced here), or the native multicore backend, where [machine]
+   only sets budgets and the work really executes on OCaml 5 domains. *)
+type backend = [ `Sim | `Native of int option ]
 module Power = Parcae_sim.Power
 module Series = Parcae_util.Series
 module Rng = Parcae_util.Rng
@@ -51,6 +57,17 @@ let result_of app region =
    its region budget.  [None] runs the launch configuration statically. *)
 type mech = (App.t -> Morta.mechanism) option
 
+let make_engine ?(backend = `Sim) machine =
+  match backend with
+  | `Sim -> Engine.create machine
+  | `Native pool -> Engine.create_native ?pool ()
+
+(* The thread budget an engine offers: the simulated machine's cores, or
+   at least 4 on native so tiny domain pools still exercise parallel
+   configurations (systhreads multiplex fine beyond the pool). *)
+let engine_budget eng (machine : Machine.t) =
+  if Engine.is_native eng then max 4 (Engine.online_cores eng) else machine.Machine.cores
+
 (* Launch [app]'s region, attach the generator given by [feed], optionally
    attach a Morta executive, and run to completion (bounded by
    [horizon_ns]). *)
@@ -75,43 +92,48 @@ let run_app ~horizon_ns ~config ?mechanism ?(period_ns = 100_000_000) ?on_start 
 (* Measure the maximum sustainable throughput (requests/s) of the
    application: M requests in batch, outer loop wide open, inner loops
    sequential — exactly the paper's definition of max throughput. *)
-let max_throughput ?(m = 300) ?(seed = 17) ~machine make_app =
-  let eng = Engine.create machine in
-  let app : App.t = make_app ~budget:machine.Machine.cores eng in
+let max_throughput ?(m = 300) ?(seed = 17) ?backend ~machine make_app =
+  let eng = make_engine ?backend machine in
+  let budget = engine_budget eng machine in
+  let app : App.t = make_app ~budget eng in
   let rng = Rng.create seed in
   ignore
     (Load_gen.spawn_batch ~rng ~m ~queue:app.App.queue ~metrics:app.App.metrics eng);
   let horizon_ns =
     (* Generous: m requests, fully serialized, 4x slack. *)
-    m * app.App.seq_request_ns / machine.Machine.cores * 8 + 2_000_000_000
+    m * app.App.seq_request_ns / budget * 8 + 2_000_000_000
   in
   let app, _region =
     run_app ~horizon_ns ~config:(App.config app "outer-only") ~feed:(fun _ -> ())
-      ~budget:machine.Machine.cores app
+      ~budget app
   in
+  Engine.shutdown eng;
   Metrics.throughput app.App.metrics
 
 (* For flat pipelines the "outer-only" config doesn't exist; their max
    throughput baseline is the even static distribution. *)
-let max_throughput_flat ?(m = 300) ?(seed = 17) ~machine make_app =
-  let eng = Engine.create machine in
-  let app : App.t = make_app ~budget:machine.Machine.cores eng in
+let max_throughput_flat ?(m = 300) ?(seed = 17) ?backend ~machine make_app =
+  let eng = make_engine ?backend machine in
+  let budget = engine_budget eng machine in
+  let app : App.t = make_app ~budget eng in
   let rng = Rng.create seed in
   ignore
     (Load_gen.spawn_batch ~rng ~m ~queue:app.App.queue ~metrics:app.App.metrics eng);
   let horizon_ns = (m * app.App.seq_request_ns) + 10_000_000_000 in
   let app, _region =
     run_app ~horizon_ns ~config:(App.config app "even") ~feed:(fun _ -> ())
-      ~budget:machine.Machine.cores app
+      ~budget app
   in
+  Engine.shutdown eng;
   Metrics.throughput app.App.metrics
 
 (* Run a server experiment: [m] Poisson arrivals at [rate_per_s], initial
    configuration [config], optional mechanism. *)
 let run_server ?(m = 300) ?(seed = 42) ?mechanism ?(period_ns = 500_000_000) ?on_start
-    ~machine ~rate_per_s ~config make_app =
-  let eng = Engine.create machine in
-  let app : App.t = make_app ~budget:machine.Machine.cores eng in
+    ?backend ~machine ~rate_per_s ~config make_app =
+  let eng = make_engine ?backend machine in
+  let budget = engine_budget eng machine in
+  let app : App.t = make_app ~budget eng in
   let rng = Rng.create seed in
   let cfg = match config with `Named n -> App.config app n | `Config c -> c in
   let feed (a : App.t) =
@@ -121,20 +143,21 @@ let run_server ?(m = 300) ?(seed = 42) ?mechanism ?(period_ns = 500_000_000) ?on
   in
   (* Horizon: arrival span + drain time with 6x slack. *)
   let arrival_span = float_of_int m /. rate_per_s in
-  let drain = float_of_int (m * app.App.seq_request_ns) *. 1e-9 /. float_of_int machine.Machine.cores in
+  let drain = float_of_int (m * app.App.seq_request_ns) *. 1e-9 /. float_of_int budget in
   let horizon_ns = int_of_float ((arrival_span +. (6.0 *. drain) +. 30.0) *. 1e9) in
   let app, region =
-    run_app ~horizon_ns ~config:cfg ?mechanism ~period_ns ?on_start ~feed
-      ~budget:machine.Machine.cores app
+    run_app ~horizon_ns ~config:cfg ?mechanism ~period_ns ?on_start ~feed ~budget app
   in
+  Engine.shutdown eng;
   result_of app region
 
 (* Run a batch (throughput) experiment, optionally sampling throughput and
    power timelines every [sample_ns]. *)
 let run_batch ?(m = 500) ?(seed = 42) ?mechanism ?period_ns ?sample_ns ?power_sensor_period
-    ?on_start ~machine ~config make_app =
-  let eng = Engine.create machine in
-  let app : App.t = make_app ~budget:machine.Machine.cores eng in
+    ?on_start ?backend ~machine ~config make_app =
+  let eng = make_engine ?backend machine in
+  let budget = engine_budget eng machine in
+  let app : App.t = make_app ~budget eng in
   let rng = Rng.create seed in
   let cfg = match config with `Named n -> App.config app n | `Config c -> c in
   let throughput_tl = Series.create "throughput" in
@@ -145,7 +168,12 @@ let run_batch ?(m = 500) ?(seed = 42) ?mechanism ?period_ns ?sample_ns ?power_se
   (match sample_ns with
   | None -> ()
   | Some w ->
-      let sensor = Power.create ?period_ns:power_sensor_period eng in
+      let sim_eng =
+        match Engine.sim_engine eng with
+        | Some e -> e
+        | None -> invalid_arg "Experiments.run_batch: power sampling is sim-only"
+      in
+      let sensor = Power.create ?period_ns:power_sensor_period sim_eng in
       ignore
         (Engine.spawn eng ~name:"sampler" (fun () ->
              let prev = ref 0 in
@@ -164,7 +192,7 @@ let run_batch ?(m = 500) ?(seed = 42) ?mechanism ?period_ns ?sample_ns ?power_se
              done)));
   let horizon_ns = (m * app.App.seq_request_ns) + 20_000_000_000 in
   let app, region =
-    run_app ~horizon_ns ~config:cfg ?mechanism ?period_ns ?on_start ~feed
-      ~budget:machine.Machine.cores app
+    run_app ~horizon_ns ~config:cfg ?mechanism ?period_ns ?on_start ~feed ~budget app
   in
+  Engine.shutdown eng;
   (result_of app region, throughput_tl, power_tl)

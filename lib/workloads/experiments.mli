@@ -2,8 +2,6 @@
     tables: max-throughput calibration, Poisson server runs, and batch
     throughput runs with optional throughput/power timelines. *)
 
-open Parcae_sim
-
 type result = {
   mean_response_s : float;
   p95_response_s : float;
@@ -20,13 +18,29 @@ type mech = (App.t -> Parcae_runtime.Morta.mechanism) option
 (** A mechanism factory for a concrete app instance; [None] runs the
     launch configuration statically. *)
 
+type backend = [ `Sim | `Native of int option ]
+(** Where an experiment executes: the deterministic simulator with the
+    [machine] cost model (default), or the native OCaml 5 backend with an
+    optional domain-pool size ([machine] then only sizes budgets and
+    horizons — the work really runs on domains in real time). *)
+
 val max_throughput :
-  ?m:int -> ?seed:int -> machine:Machine.t -> (budget:int -> Engine.t -> App.t) -> float
+  ?m:int ->
+  ?seed:int ->
+  ?backend:backend ->
+  machine:Parcae_sim.Machine.t ->
+  (budget:int -> Parcae_platform.Engine.t -> App.t) ->
+  float
 (** The paper's definition of max sustainable throughput: M requests in
     batch, outer loop wide open, inner loops sequential. *)
 
 val max_throughput_flat :
-  ?m:int -> ?seed:int -> machine:Machine.t -> (budget:int -> Engine.t -> App.t) -> float
+  ?m:int ->
+  ?seed:int ->
+  ?backend:backend ->
+  machine:Parcae_sim.Machine.t ->
+  (budget:int -> Parcae_platform.Engine.t -> App.t) ->
+  float
 (** For flat pipelines (no "outer-only" config): the even static
     distribution is the baseline. *)
 
@@ -36,10 +50,11 @@ val run_server :
   ?mechanism:(App.t -> Parcae_runtime.Morta.mechanism) ->
   ?period_ns:int ->
   ?on_start:(App.t -> Parcae_runtime.Region.t -> unit) ->
-  machine:Machine.t ->
+  ?backend:backend ->
+  machine:Parcae_sim.Machine.t ->
   rate_per_s:float ->
   config:[ `Named of string | `Config of Parcae_core.Config.t ] ->
-  (budget:int -> Engine.t -> App.t) ->
+  (budget:int -> Parcae_platform.Engine.t -> App.t) ->
   result
 (** [m] Poisson arrivals at [rate_per_s] under the given initial
     configuration and optional mechanism (invoked every [period_ns],
@@ -55,9 +70,10 @@ val run_batch :
   ?sample_ns:int ->
   ?power_sensor_period:int ->
   ?on_start:(App.t -> Parcae_runtime.Region.t -> unit) ->
-  machine:Machine.t ->
+  ?backend:backend ->
+  machine:Parcae_sim.Machine.t ->
   config:[ `Named of string | `Config of Parcae_core.Config.t ] ->
-  (budget:int -> Engine.t -> App.t) ->
+  (budget:int -> Parcae_platform.Engine.t -> App.t) ->
   result * Parcae_util.Series.t * Parcae_util.Series.t
 (** Batch (throughput) run; when [sample_ns] is given, returns throughput
     and power timelines sampled at that period. *)

@@ -6,4 +6,4 @@
 
 val stages : Flat_pipeline.stage_spec list
 val alpha : float
-val make : ?budget:int -> Parcae_sim.Engine.t -> App.t
+val make : ?budget:int -> Parcae_platform.Engine.t -> App.t

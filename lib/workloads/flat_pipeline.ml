@@ -12,8 +12,8 @@
    Fusion eliminates the inter-stage channel hops, which is precisely its
    benefit over FDP's time-multiplexed emulation (Section 6.3.2). *)
 
-module Engine = Parcae_sim.Engine
-module Chan = Parcae_sim.Chan
+module Engine = Parcae_platform.Engine
+module Chan = Parcae_platform.Chan
 module Config = Parcae_core.Config
 module Task = Parcae_core.Task
 module Task_status = Parcae_core.Task_status
@@ -34,12 +34,12 @@ let make ?(alpha = 0.05) ?(dpmax = 24) ~name ~stages ~budget eng =
   if n < 3 then invalid_arg "Flat_pipeline.make: need at least 3 stages";
   if specs.(0).s_par || specs.(n - 1).s_par then
     invalid_arg "Flat_pipeline.make: first and last stages must be sequential";
-  let queue = Chan.create "work-queue" in
+  let queue = Chan.create eng "work-queue" in
   let metrics = Metrics.create eng in
   let work req cost = App.compute_scaled eng ~alpha req cost in
 
   (* ---- Scheme 0: the full pipeline. ---- *)
-  let q = Array.init (n - 1) (fun i -> Chan.create ~capacity:8 (Printf.sprintf "q%d" i)) in
+  let q = Array.init (n - 1) (fun i -> Chan.create ~capacity:8 eng (Printf.sprintf "q%d" i)) in
   let head =
     Pipeline.stage ~poll:true ~ttype:Task.Seq ~name:specs.(0).s_name ~input:queue
       ~load:(Pipeline.load queue)
@@ -80,7 +80,7 @@ let make ?(alpha = 0.05) ?(dpmax = 24) ~name ~stages ~budget eng =
   in
 
   (* ---- Scheme 1: parallel stages fused into one task. ---- *)
-  let fq0 = Chan.create ~capacity:8 "fq0" and fq1 = Chan.create ~capacity:8 "fq1" in
+  let fq0 = Chan.create ~capacity:8 eng "fq0" and fq1 = Chan.create ~capacity:8 eng "fq1" in
   let fused_cost =
     Array.to_list specs |> List.filteri (fun i _ -> i > 0 && i < n - 1)
     |> List.fold_left (fun acc s -> acc + s.s_cost) 0

@@ -19,7 +19,7 @@ val make :
   name:string ->
   stages:stage_spec list ->
   budget:int ->
-  Parcae_sim.Engine.t ->
+  Parcae_platform.Engine.t ->
   App.t
 (** Build the app.  [stages] must start and end with sequential stages.
     @raise Invalid_argument otherwise. *)

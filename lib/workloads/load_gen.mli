@@ -2,15 +2,13 @@
     queuing thread enqueues requests according to a Poisson distribution;
     the average arrival rate determines the load factor. *)
 
-open Parcae_sim
-
 val generator :
   ?jitter:float ->
   ?eos:bool ->
   rng:Parcae_util.Rng.t ->
   rate_per_s:float ->
   m:int ->
-  queue:Request.t Parcae_core.Pipeline.msg Chan.t ->
+  queue:Request.t Parcae_core.Pipeline.msg Parcae_platform.Chan.t ->
   metrics:Metrics.t ->
   unit ->
   unit
@@ -24,7 +22,7 @@ val batch :
   ?eos:bool ->
   rng:Parcae_util.Rng.t ->
   m:int ->
-  queue:Request.t Parcae_core.Pipeline.msg Chan.t ->
+  queue:Request.t Parcae_core.Pipeline.msg Parcae_platform.Chan.t ->
   metrics:Metrics.t ->
   unit ->
   unit
@@ -38,17 +36,17 @@ val spawn_generator :
   rng:Parcae_util.Rng.t ->
   rate_per_s:float ->
   m:int ->
-  queue:Request.t Parcae_core.Pipeline.msg Chan.t ->
+  queue:Request.t Parcae_core.Pipeline.msg Parcae_platform.Chan.t ->
   metrics:Metrics.t ->
-  Engine.t ->
-  Engine.thread
+  Parcae_platform.Engine.t ->
+  Parcae_platform.Engine.thread
 
 val spawn_batch :
   ?jitter:float ->
   ?eos:bool ->
   rng:Parcae_util.Rng.t ->
   m:int ->
-  queue:Request.t Parcae_core.Pipeline.msg Chan.t ->
+  queue:Request.t Parcae_core.Pipeline.msg Parcae_platform.Chan.t ->
   metrics:Metrics.t ->
-  Engine.t ->
-  Engine.thread
+  Parcae_platform.Engine.t ->
+  Parcae_platform.Engine.thread

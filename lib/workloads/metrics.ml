@@ -8,7 +8,7 @@
    [parcae_request_*] counter and histogram families, which is what the
    live dashboard and the Prometheus exposition read. *)
 
-module Engine = Parcae_sim.Engine
+module Engine = Parcae_platform.Engine
 module Series = Parcae_util.Series
 module Stats = Parcae_util.Stats
 module Obs = Parcae_obs.Metrics

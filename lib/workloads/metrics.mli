@@ -13,7 +13,7 @@ type t
 val default_reservoir_capacity : int
 (** {!Parcae_util.Stats.Reservoir.default_capacity} (8192). *)
 
-val create : ?reservoir_capacity:int -> Parcae_sim.Engine.t -> t
+val create : ?reservoir_capacity:int -> Parcae_platform.Engine.t -> t
 
 val submitted : t -> int
 val completed : t -> int

@@ -8,6 +8,6 @@ val chunk_ns : int
 val serial_ns : int
 val dpmax : int
 val kind : Two_level.inner_kind
-val make : ?budget:int -> Parcae_sim.Engine.t -> App.t
+val make : ?budget:int -> Parcae_platform.Engine.t -> App.t
 val static_outer_name : string
 val static_inner_name : string

@@ -9,6 +9,6 @@ val frame_ns : int
 val beta : float
 val dpmax : int
 val kind : Two_level.inner_kind
-val make : ?budget:int -> Parcae_sim.Engine.t -> App.t
+val make : ?budget:int -> Parcae_platform.Engine.t -> App.t
 val static_outer_name : string
 val static_inner_name : string

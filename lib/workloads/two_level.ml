@@ -8,9 +8,9 @@
    <C_outer, C_inner> = <(k, DOALL), (l, PIPE | DOALL | SEQ)>: at any
    moment, k outer instances run with l threads each. *)
 
-module Engine = Parcae_sim.Engine
-module Chan = Parcae_sim.Chan
-module Lock = Parcae_sim.Lock
+module Engine = Parcae_platform.Engine
+module Chan = Parcae_platform.Chan
+module Lock = Parcae_platform.Lock
 module Config = Parcae_core.Config
 module Task = Parcae_core.Task
 module Task_status = Parcae_core.Task_status
@@ -44,7 +44,7 @@ let seq_request_ns = function
    middle entries form parallel stages. *)
 let run_inner_pipe eng ~alpha (req : Request.t) ~items ~stage_ns (cfg : Config.t) =
   let nstages = Array.length stage_ns in
-  let queues = Array.init (nstages - 1) (fun i -> Chan.create ~capacity:4 (Printf.sprintf "iq%d" i)) in
+  let queues = Array.init (nstages - 1) (fun i -> Chan.create ~capacity:4 eng (Printf.sprintf "iq%d" i)) in
   let emitted = ref 0 in
   let head =
     Pipeline.source ~name:"read"
@@ -87,7 +87,7 @@ let run_inner_pipe eng ~alpha (req : Request.t) ~items ~stage_ns (cfg : Config.t
 let run_inner_doall eng ~alpha (req : Request.t) ~chunks ~chunk_ns ~serial_ns ~beta
     (cfg : Config.t) =
   let remaining = ref chunks in
-  let lock = Lock.create "reduction" in
+  let lock = Lock.create eng "reduction" in
   let worker =
     Task.parallel ~name:"chunk" (fun ctx ->
         if !remaining <= 0 then Task_status.Complete
@@ -161,7 +161,7 @@ let make_config ~budget kind l =
    [alpha] is the oversubscription sensitivity; [dpmax] the inner DoP at
    which parallel efficiency falls to ~0.5 (the value WQT-H toggles to). *)
 let make ?(alpha = 0.05) ~name ~kind ~dpmax ~budget eng =
-  let queue = Chan.create "work-queue" in
+  let queue = Chan.create eng "work-queue" in
   let metrics = Metrics.create eng in
   let master =
     Pipeline.stage ~poll:true ~name:(name ^ "-outer") ~input:queue

@@ -37,7 +37,7 @@ val make :
   kind:inner_kind ->
   dpmax:int ->
   budget:int ->
-  Parcae_sim.Engine.t ->
+  Parcae_platform.Engine.t ->
   App.t
 (** Build the server.  [alpha] is the oversubscription sensitivity;
     [dpmax] the inner DoP at which parallel efficiency falls to ~0.5 (what

@@ -19,4 +19,5 @@ let () =
       ("trace", Test_trace.suite);
       ("trace-oracle", Test_trace_oracle.suite);
       ("metrics", Test_metrics.suite);
+      ("native", Test_native.suite);
     ]

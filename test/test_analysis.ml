@@ -8,7 +8,7 @@ open Parcae_analysis
 open Parcae_pdg
 open Parcae_nona
 module D = Dataflow
-module Engine = Parcae_sim.Engine
+module Engine = Parcae_platform.Engine
 module Machine = Parcae_sim.Machine
 
 let check_int = Alcotest.(check int)

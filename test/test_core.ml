@@ -3,6 +3,13 @@
    protocol primitives, and the machine/power model. *)
 
 open Parcae_sim
+
+(* Engine/value types come from the platform dispatch layer (the runtime's
+   own types); [Machine]/[Power]/etc. remain from [Parcae_sim] above. *)
+module Engine = Parcae_platform.Engine
+module Chan = Parcae_platform.Chan
+module Lock = Parcae_platform.Lock
+module Barrier = Parcae_platform.Barrier
 open Parcae_core
 
 let check_int = Alcotest.(check int)
@@ -76,7 +83,7 @@ let test_default_config () =
 
 let test_pipeline_reset_keeps_items_and_eos () =
   let eng = Engine.create (Machine.test_machine ()) in
-  let ch = Chan.create "c" in
+  let ch = Chan.create eng "c" in
   let remaining = ref (-1) in
   let _ =
     Engine.spawn eng ~name:"t" (fun () ->
@@ -94,7 +101,7 @@ let test_pipeline_reset_keeps_items_and_eos () =
 
 let test_forward_to () =
   let eng = Engine.create (Machine.test_machine ()) in
-  let ch = Chan.create "c" in
+  let ch = Chan.create eng "c" in
   let ok = ref false in
   let _ =
     Engine.spawn eng ~name:"t" (fun () ->

@@ -6,6 +6,13 @@
    between the folded profile and Decima's per-task compute totals. *)
 
 open Parcae_sim
+
+(* Engine/value types come from the platform dispatch layer (the runtime's
+   own types); [Machine]/[Power]/etc. remain from [Parcae_sim] above. *)
+module Engine = Parcae_platform.Engine
+module Chan = Parcae_platform.Chan
+module Lock = Parcae_platform.Lock
+module Barrier = Parcae_platform.Barrier
 open Parcae_workloads
 module Obs = Parcae_obs
 module Metrics = Obs.Metrics

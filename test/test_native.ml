@@ -1,0 +1,155 @@
+(* Cross-backend tests: the same bounded workload on the simulator and on
+   the native OCaml 5 backend must agree on everything except timing —
+   identical item counts through the pipeline, and event traces that both
+   satisfy the runtime invariant oracle (pause/resume alternation, flushes
+   inside pause windows, monotone clocks).  Also covers the batched
+   channel operations: one [chan_op] charge per batch, not per item. *)
+
+module Engine = Parcae_platform.Engine
+module Chan = Parcae_platform.Chan
+module Machine = Parcae_sim.Machine
+open Parcae_core
+open Parcae_runtime
+module Obs = Parcae_obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let items = 40
+let work_ns = 50_000
+
+(* The shared workload: produce | transform^dop | consume with a watcher
+   that forces one reconfiguration (pause -> flush -> resume) mid-run. *)
+let run_pipeline eng =
+  let q1 = Chan.create ~capacity:8 eng "q1" and q2 = Chan.create ~capacity:8 eng "q2" in
+  let produced = ref 0 and consumed = ref 0 in
+  let produce =
+    Pipeline.source ~name:"produce"
+      ~forward:(Pipeline.forward_to q1)
+      (fun _ctx ->
+        if !produced >= items then Task_status.Complete
+        else begin
+          Engine.compute (work_ns / 4);
+          Pipeline.send q1 !produced;
+          incr produced;
+          Task_status.Iterating
+        end)
+  in
+  let transform =
+    Pipeline.stage ~name:"transform" ~input:q1 ~load:(Pipeline.load q1)
+      ~forward:(Pipeline.forward_to q2)
+      (fun _ctx v ->
+        Engine.compute work_ns;
+        Pipeline.send q2 v;
+        Task_status.Iterating)
+  in
+  let consume =
+    Pipeline.stage ~ttype:Task.Seq ~name:"consume" ~input:q2
+      ~forward:(fun _ -> ())
+      (fun _ctx _ ->
+        incr consumed;
+        Task_status.Iterating)
+  in
+  let pd =
+    Task.descriptor ~name:"pipeline"
+      [ produce.Pipeline.task; transform.Pipeline.task; consume.Pipeline.task ]
+  in
+  let on_reset =
+    Pipeline.make_reset ~stages:[ produce; transform; consume ] ~channels:[ q1; q2 ]
+  in
+  let config dop = Config.make [ Config.seq_task; Config.task dop; Config.seq_task ] in
+  let region = Executor.launch ~budget:8 ~name:"diff" eng [ pd ] ~on_reset (config 2) in
+  ignore
+    (Engine.spawn eng ~name:"watcher" (fun () ->
+         Engine.sleep 200_000;
+         if not (Region.is_done region) then Executor.reconfigure region (config 3)));
+  ignore (Engine.run ~until:60_000_000_000 eng);
+  !consumed
+
+(* Run [f] with a fresh trace sink installed; return (result, events). *)
+let traced f =
+  let sink = Obs.Sink.create ~capacity:100_000 () in
+  let r = Obs.Trace.with_sink sink f in
+  (r, Obs.Sink.events sink)
+
+let oracle_ok label events =
+  match Obs.Oracle.check events with
+  | Ok _ -> ()
+  | Error vs -> Alcotest.failf "%s: oracle violations:\n%s" label (Obs.Oracle.violations_to_string vs)
+
+let test_differential () =
+  let sim_count, sim_events =
+    traced (fun () -> run_pipeline (Engine.create (Machine.test_machine ~cores:8 ())))
+  in
+  let nat_count, nat_events =
+    traced (fun () ->
+        let eng = Engine.create_native ~pool:2 () in
+        let n = run_pipeline eng in
+        Engine.shutdown eng;
+        n)
+  in
+  check_int "sim consumes every item" items sim_count;
+  check_int "native consumes every item" items nat_count;
+  oracle_ok "sim trace" sim_events;
+  oracle_ok "native trace" nat_events;
+  check_bool "both backends emitted events" true
+    (List.length sim_events > 0 && List.length nat_events > 0)
+
+(* Batched channel ops on the simulator: a 10-item batch costs one
+   [chan_op] on each side, so virtual time stays far below the per-item
+   cost of 10 charges. *)
+let test_batch_single_charge () =
+  let cost = 1_000 in
+  let machine = { (Machine.test_machine ~cores:4 ()) with Machine.chan_op = cost } in
+  let eng = Engine.create machine in
+  let ch = Chan.create eng "batch" in
+  let got = ref [] in
+  ignore
+    (Engine.spawn eng ~name:"producer" (fun () ->
+         Chan.send_batch ch [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]));
+  ignore
+    (Engine.spawn eng ~name:"consumer" (fun () -> got := Chan.recv_batch ~max:10 ch));
+  ignore (Engine.run eng);
+  Alcotest.(check (list int)) "batch preserves order" [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] !got;
+  let t = Engine.time eng in
+  check_bool
+    (Printf.sprintf "one charge per batch (time %d, per-item would be >= %d)" t (10 * cost))
+    true
+    (t >= cost && t <= 3 * cost)
+
+(* Batched ops and an explicit drain on the native backend, under a trace
+   sink: the drain must surface as a flush event and the trace must still
+   satisfy the oracle. *)
+let test_native_batch_and_flush () =
+  let (n, dropped), events =
+    traced (fun () ->
+        let eng = Engine.create_native ~pool:1 () in
+        let ch = Chan.create eng "nbatch" in
+        let n = ref 0 and dropped = ref 0 in
+        ignore
+          (Engine.spawn eng ~name:"producer" (fun () ->
+               Chan.send_batch ch (List.init 16 Fun.id);
+               n := List.length (Chan.recv_batch ~max:12 ch);
+               dropped := Chan.drain ch));
+        ignore (Engine.run eng);
+        Engine.shutdown eng;
+        (!n, !dropped))
+  in
+  check_int "batch recv takes up to max" 12 n;
+  check_int "drain drops the rest" 4 dropped;
+  check_bool "drain emitted a flush event" true
+    (List.exists
+       (fun (e : Obs.Event.t) ->
+         match e.Obs.Event.kind with Obs.Event.Chan_flush _ -> true | _ -> false)
+       events);
+  oracle_ok "native batch trace" events
+
+let suite =
+  [
+    Alcotest.test_case "differential: sim and native agree, traces pass oracle" `Quick
+      test_differential;
+    Alcotest.test_case "chan: batched ops charge one op per batch" `Quick
+      test_batch_single_charge;
+    Alcotest.test_case "native: batch ops and drain pass the trace oracle" `Quick
+      test_native_batch_and_flush;
+  ]

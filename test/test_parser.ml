@@ -3,6 +3,13 @@
 
 open Parcae_ir
 open Parcae_sim
+
+(* Engine/value types come from the platform dispatch layer (the runtime's
+   own types); [Machine]/[Power]/etc. remain from [Parcae_sim] above. *)
+module Engine = Parcae_platform.Engine
+module Chan = Parcae_platform.Chan
+module Lock = Parcae_platform.Lock
+module Barrier = Parcae_platform.Barrier
 open Parcae_nona
 module R = Parcae_runtime
 

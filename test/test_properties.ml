@@ -12,6 +12,13 @@
 open Parcae_ir
 open Parcae_pdg
 open Parcae_sim
+
+(* Engine/value types come from the platform dispatch layer (the runtime's
+   own types); [Machine]/[Power]/etc. remain from [Parcae_sim] above. *)
+module Engine = Parcae_platform.Engine
+module Chan = Parcae_platform.Chan
+module Lock = Parcae_platform.Lock
+module Barrier = Parcae_platform.Barrier
 open Parcae_nona
 module R = Parcae_runtime
 module Config = Parcae_core.Config
@@ -217,7 +224,7 @@ let prop_chan_fifo =
     (QCheck.make QCheck.Gen.(pair (int_range 0 4) (list_size (int_range 1 40) (int_range 0 1000))))
     (fun (cap, items) ->
       let eng = Engine.create (Machine.test_machine ()) in
-      let ch = Chan.create ~capacity:cap "c" in
+      let ch = Chan.create ~capacity:cap eng "c" in
       let out = ref [] in
       let n = List.length items in
       ignore

@@ -3,6 +3,13 @@
    regions, and Decima accounting. *)
 
 open Parcae_sim
+
+(* Engine/value types come from the platform dispatch layer (the runtime's
+   own types); [Machine]/[Power]/etc. remain from [Parcae_sim] above. *)
+module Engine = Parcae_platform.Engine
+module Chan = Parcae_platform.Chan
+module Lock = Parcae_platform.Lock
+module Barrier = Parcae_platform.Barrier
 open Parcae_core
 open Parcae_runtime
 
@@ -14,8 +21,8 @@ let machine () =
 
 (* A three-stage pipeline: produce [n] items, transform (parallel), consume.
    Built with the Pipeline helpers so the flush protocol is exercised. *)
-let make_pipeline ?(work = 100) n =
-  let q1 = Chan.create "q1" and q2 = Chan.create "q2" in
+let make_pipeline ?(work = 100) eng n =
+  let q1 = Chan.create eng "q1" and q2 = Chan.create eng "q2" in
   let produced = ref 0 and consumed = ref [] in
   let produce =
     Pipeline.source ~name:"produce"
@@ -59,7 +66,7 @@ let pipeline_config dop = Config.make [ Config.seq_task; Config.task dop; Config
 
 let test_region_completes () =
   let eng = Engine.create (machine ()) in
-  let pd, on_reset, _, consumed, _, _ = make_pipeline 50 in
+  let pd, on_reset, _, consumed, _, _ = make_pipeline eng 50 in
   let r = Executor.launch ~name:"p" eng [ pd ] ~on_reset (pipeline_config 2) in
   ignore (Engine.run eng);
   check_bool "region done" true (Region.is_done r);
@@ -70,7 +77,7 @@ let test_region_completes () =
 let test_seq_consumer_order_preserved () =
   (* With transform at DoP 1 the pipeline must preserve order end-to-end. *)
   let eng = Engine.create (machine ()) in
-  let pd, on_reset, _, consumed, _, _ = make_pipeline 30 in
+  let pd, on_reset, _, consumed, _, _ = make_pipeline eng 30 in
   let _ = Executor.launch ~name:"p" eng [ pd ] ~on_reset (pipeline_config 1) in
   ignore (Engine.run eng);
   Alcotest.(check (list int)) "in order" (List.init 30 (fun i -> i * 2)) (List.rev !consumed)
@@ -98,7 +105,7 @@ let test_single_task_region () =
 
 let test_pause_resume () =
   let eng = Engine.create (machine ()) in
-  let pd, on_reset, produced, consumed, _, _ = make_pipeline ~work:2000 200 in
+  let pd, on_reset, produced, consumed, _, _ = make_pipeline ~work:2000 eng 200 in
   let observed_paused = ref false in
   let _ =
     Engine.spawn eng ~name:"morta" (fun () ->
@@ -124,7 +131,7 @@ let test_repeated_reconfigurations () =
   (* Hammer the pause/resume path: reconfigure every 20 us across DoPs 1-6;
      no item may be lost or duplicated. *)
   let eng = Engine.create (machine ()) in
-  let pd, on_reset, _, consumed, _, _ = make_pipeline ~work:300 500 in
+  let pd, on_reset, _, consumed, _, _ = make_pipeline ~work:300 eng 500 in
   let _ =
     Engine.spawn eng ~name:"morta" (fun () ->
         let r = Executor.launch ~name:"p" eng [ pd ] ~on_reset (pipeline_config 1) in
@@ -141,7 +148,7 @@ let test_repeated_reconfigurations () =
 
 let test_reconfigure_changes_dop () =
   let eng = Engine.create (machine ()) in
-  let pd, on_reset, _, consumed, _, _ = make_pipeline ~work:500 400 in
+  let pd, on_reset, _, consumed, _, _ = make_pipeline ~work:500 eng 400 in
   let _ =
     Engine.spawn eng ~name:"morta" (fun () ->
         let r = Executor.launch ~name:"p" eng [ pd ] ~on_reset (pipeline_config 1) in
@@ -159,7 +166,7 @@ let test_scheme_switch () =
   let n = 300 in
   let next = ref 0 in
   let results = ref [] in
-  let results_lock = Lock.create "results" in
+  let results_lock = Lock.create eng "results" in
   let doall name =
     Task.parallel ~name (fun ctx ->
         match ctx.Task.get_status () with
@@ -234,7 +241,7 @@ let test_nested_region () =
 
 let test_decima_accounting () =
   let eng = Engine.create (machine ()) in
-  let pd, on_reset, _, _, _, _ = make_pipeline ~work:1000 100 in
+  let pd, on_reset, _, _, _, _ = make_pipeline ~work:1000 eng 100 in
   let r = Executor.launch ~name:"p" eng [ pd ] ~on_reset (pipeline_config 2) in
   ignore (Engine.run eng);
   let d = Region.decima r in
@@ -246,7 +253,7 @@ let test_decima_accounting () =
 
 let test_terminate () =
   let eng = Engine.create (machine ()) in
-  let pd, on_reset, _, consumed, _, _ = make_pipeline 1_000_000 in
+  let pd, on_reset, _, consumed, _, _ = make_pipeline eng 1_000_000 in
   let _ =
     Engine.spawn eng ~name:"morta" (fun () ->
         let r = Executor.launch ~name:"p" eng [ pd ] ~on_reset (pipeline_config 2) in
@@ -259,7 +266,7 @@ let test_terminate () =
 
 let test_budget () =
   let eng = Engine.create (machine ()) in
-  let pd, on_reset, _, _, _, _ = make_pipeline 10 in
+  let pd, on_reset, _, _, _, _ = make_pipeline eng 10 in
   let r = Executor.launch ~budget:8 ~name:"p" eng [ pd ] ~on_reset (pipeline_config 2) in
   check_int "budget" 8 (Region.budget r);
   Region.set_budget r 4;
@@ -271,7 +278,7 @@ let test_pause_on_blocked_master () =
   (* The master blocks on an empty work queue; on_pause must inject a
      sentinel so the pause completes anyway. *)
   let eng = Engine.create (machine ()) in
-  let wq = Chan.create "wq" in
+  let wq = Chan.create eng "wq" in
   let served = ref 0 in
   let master =
     Pipeline.stage ~poll:true ~name:"serve" ~input:wq

@@ -7,6 +7,13 @@
    the controller, and daemon shares within the platform total. *)
 
 open Parcae_sim
+
+(* Engine/value types come from the platform dispatch layer (the runtime's
+   own types); [Machine]/[Power]/etc. remain from [Parcae_sim] above. *)
+module Engine = Parcae_platform.Engine
+module Chan = Parcae_platform.Chan
+module Lock = Parcae_platform.Lock
+module Barrier = Parcae_platform.Barrier
 open Parcae_workloads
 module Obs = Parcae_obs
 module Sink = Obs.Sink
@@ -57,7 +64,8 @@ let mechanism_for name (flat : bool) : App.t -> R.Morta.mechanism =
   | "seda" -> fun _ -> Mech.Seda.make ~threshold:6.0 ~max_per_stage:8 ()
   | "tpc" ->
       fun app ->
-        let sensor = Power.create ~period_ns:2_000_000_000 app.App.eng in
+        let sim_eng = Option.get (Engine.sim_engine app.App.eng) in
+        let sensor = Power.create ~period_ns:2_000_000_000 sim_eng in
         Mech.Tpc.make ~sensor ~target_watts:(0.9 *. Machine.peak_power (Engine.machine app.App.eng)) ()
   | s -> failwith ("unknown mechanism " ^ s)
 

@@ -2,6 +2,13 @@
    crossovers) and mechanism behaviour on the simulated 24-thread Xeon. *)
 
 open Parcae_sim
+
+(* Engine/value types come from the platform dispatch layer (the runtime's
+   own types); [Machine]/[Power]/etc. remain from [Parcae_sim] above. *)
+module Engine = Parcae_platform.Engine
+module Chan = Parcae_platform.Chan
+module Lock = Parcae_platform.Lock
+module Barrier = Parcae_platform.Barrier
 open Parcae_workloads
 
 let check_bool = Alcotest.(check bool)
