@@ -108,7 +108,9 @@ let with_trace ?require_flush ?check_budget path f =
       let sink = Obs.Sink.create ~capacity:1_000_000 () in
       let result = Obs.Trace.with_sink sink f in
       let events = Obs.Sink.events sink in
-      Obs.Export.write_file file (Obs.Export.chrome events);
+      (* [chrome_of_sink] prepends a trace-overflow marker carrying the
+         ring's drop count, so saturated recordings are self-describing. *)
+      Obs.Export.write_file file (Obs.Export.chrome_of_sink sink);
       Printf.printf "\ntrace: wrote %d events to %s" (List.length events) file;
       if Obs.Sink.dropped sink > 0 then
         Printf.printf " (ring overflowed: %d oldest events dropped)" (Obs.Sink.dropped sink);
@@ -122,6 +124,44 @@ let with_trace ?require_flush ?check_budget path f =
       | Error vs ->
           Printf.printf "oracle: %d violation(s)\n%s\n" (List.length vs)
             (Obs.Oracle.violations_to_string vs));
+      result
+
+let flight_out_arg =
+  let doc =
+    "Record the controller flight log — one JSONL decision per controller/daemon/morta \
+     epoch plus reconfiguration overhead entries — to $(docv).  Inspect it with \
+     $(b,parcae_demo explain)."
+  in
+  Arg.(value & opt (some string) None & info [ "flight-out" ] ~docv:"FILE" ~doc)
+
+(* Run [f] with a flight recorder installed, then write the JSONL log and
+   immediately replay it: a recording whose replay diverges would be useless
+   as a regression reference, so the divergence is reported at record time. *)
+let with_flight path f =
+  match path with
+  | None -> f ()
+  | Some file ->
+      let rc = Obs.Flight.create () in
+      let result = Obs.Flight.with_recorder rc f in
+      let entries = Obs.Flight.entries rc in
+      Obs.Export.write_file file (Obs.Flight.to_jsonl entries);
+      let decisions =
+        List.length
+          (List.filter (function Obs.Flight.Decision _ -> true | _ -> false) entries)
+      in
+      Printf.printf "flight: wrote %d decisions, %d overhead entries to %s\n" decisions
+        (List.length entries - decisions)
+        file;
+      let rr = Obs.Flight.replay entries in
+      if rr.Obs.Flight.mismatches = [] then
+        Printf.printf "replay: OK (%d decisions reproduce the recorded moves)\n"
+          rr.Obs.Flight.decisions
+      else begin
+        Printf.printf "replay: %d mismatch(es)\n" (List.length rr.Obs.Flight.mismatches);
+        List.iter
+          (fun (epoch, what) -> Printf.printf "  epoch %d: %s\n" epoch what)
+          rr.Obs.Flight.mismatches
+      end;
       result
 
 let metrics_out_arg =
@@ -269,10 +309,14 @@ let run_serve ?on_start ?(wrap = fun f -> f ()) ?(backend = `Sim) app mech load 
       Experiments.run_server ~m ~seed ~machine ~backend ~rate_per_s:(load *. maxthr)
         ?mechanism:(mechanism_for mech flat) ?on_start ~config mk)
 
-let serve app mech load m machine_name backend pool seed trace metrics_out profile_out =
+let serve app mech load m machine_name backend pool seed trace metrics_out profile_out
+    flight_out =
   let machine = machine_of machine_name in
   let backend = backend_of backend pool in
-  let wrap f = with_metrics ?metrics_out ?profile_out (fun () -> with_trace trace f) in
+  let wrap f =
+    with_metrics ?metrics_out ?profile_out (fun () ->
+        with_trace trace (fun () -> with_flight flight_out f))
+  in
   let r = run_serve ~wrap ~backend app mech load m machine seed in
   print_result r
 
@@ -280,7 +324,7 @@ let serve_cmd =
   let term =
     Term.(
       const serve $ app_arg $ mech_arg $ load_arg $ requests_arg $ machine_arg $ backend_arg
-      $ pool_arg $ seed_arg $ trace_arg $ metrics_out_arg $ profile_out_arg)
+      $ pool_arg $ seed_arg $ trace_arg $ metrics_out_arg $ profile_out_arg $ flight_out_arg)
   in
   Cmd.v (Cmd.info "serve" ~doc:"Run a server workload at a load factor under a mechanism.") term
 
@@ -331,7 +375,7 @@ let top_cmd =
 (* batch                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let batch app mech m machine_name seed trace metrics_out profile_out =
+let batch app mech m machine_name seed trace metrics_out profile_out flight_out =
   let machine = machine_of machine_name in
   let mk = app_factory app in
   let flat = is_flat app in
@@ -340,8 +384,9 @@ let batch app mech m machine_name seed trace metrics_out profile_out =
   let r, _, _ =
     with_metrics ?metrics_out ?profile_out (fun () ->
         with_trace trace (fun () ->
-            Experiments.run_batch ~m ~seed ~machine ?mechanism:(mechanism_for mech flat)
-              ~config mk))
+            with_flight flight_out (fun () ->
+                Experiments.run_batch ~m ~seed ~machine ?mechanism:(mechanism_for mech flat)
+                  ~config mk)))
   in
   print_result r
 
@@ -349,7 +394,7 @@ let batch_cmd =
   let term =
     Term.(
       const batch $ app_arg $ mech_arg $ requests_arg $ machine_arg $ seed_arg $ trace_arg
-      $ metrics_out_arg $ profile_out_arg)
+      $ metrics_out_arg $ profile_out_arg $ flight_out_arg)
   in
   Cmd.v (Cmd.info "batch" ~doc:"Run a batch workload under a mechanism and report throughput.") term
 
@@ -448,7 +493,8 @@ let check_cmd =
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run kernel file machine_name backend pool budget trace metrics_out profile_out =
+let run kernel file machine_name backend pool budget trace metrics_out profile_out
+    flight_out =
   let open Parcae_ir in
   let open Parcae_nona in
   let machine = machine_of machine_name in
@@ -457,7 +503,8 @@ let run kernel file machine_name backend pool budget trace metrics_out profile_o
   let c = Compiler.compile loop in
   let h, done_at, budget =
     with_metrics ?metrics_out ?profile_out @@ fun () ->
-    with_trace ~check_budget:true trace (fun () ->
+    with_trace ~check_budget:true trace @@ fun () ->
+    with_flight flight_out (fun () ->
         let eng =
           match backend with
           | `Sim -> Engine.create machine
@@ -510,10 +557,136 @@ let run_cmd =
   let term =
     Term.(
       const run $ kernel_arg $ file_arg $ machine_arg $ backend_arg $ pool_arg $ budget_arg
-      $ trace_arg $ metrics_out_arg $ profile_out_arg)
+      $ trace_arg $ metrics_out_arg $ profile_out_arg $ flight_out_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile a kernel and execute it under the closed-loop controller.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let flight_log_arg =
+  let doc = "A flight log recorded with $(b,--flight-out)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG" ~doc)
+
+let sec_of_ns ns = float_of_int ns *. 1e-9
+
+let explain_text entries (rr : Obs.Flight.replay_result) =
+  let module F = Obs.Flight in
+  let decisions = List.filter_map (function F.Decision d -> Some d | _ -> None) entries in
+  let overheads = List.filter_map (function F.Overhead o -> Some o | _ -> None) entries in
+  Printf.printf "flight log: %d decisions, %d overhead entries\n\n" (List.length decisions)
+    (List.length overheads);
+  Printf.printf "%5s %10s  %-10s %-14s %-9s %-22s %s\n" "epoch" "t(s)" "actor" "region"
+    "state" "reason" "move";
+  List.iter
+    (fun (d : F.decision) ->
+      let state =
+        match d.F.state with Some s -> Obs.Event.ctrl_state_to_string s | None -> "-"
+      in
+      let move =
+        if d.F.candidate = d.F.chosen then
+          Printf.sprintf "stay at %d (%d threads, budget %d)" d.F.chosen d.F.threads
+            d.F.budget
+        else
+          Printf.sprintf "%d -> %d (%d threads, budget %d)" d.F.candidate d.F.chosen
+            d.F.threads d.F.budget
+      in
+      Printf.printf "%5d %10.3f  %-10s %-14s %-9s %-22s %s\n" d.F.epoch (sec_of_ns d.F.t)
+        d.F.actor d.F.region state d.F.reason move;
+      if d.F.probes <> [] then
+        Printf.printf "%56s probes: %s\n" ""
+          (String.concat ", "
+             (List.map (fun (dp, f) -> Printf.sprintf "%d:%.2f" dp f) d.F.probes));
+      match d.F.gradient with
+      | Some g -> Printf.printf "%56s gradient: %+.3f\n" "" g
+      | None -> ())
+    decisions;
+  if overheads <> [] then begin
+    (* Aggregate the per-phase costs the ledger attributed during the run. *)
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (o : F.overhead) ->
+        let key = (o.F.o_region, o.F.o_phase) in
+        let cur = try Hashtbl.find tbl key with Not_found -> 0 in
+        Hashtbl.replace tbl key (cur + o.F.o_ns))
+      overheads;
+    let rows =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+    in
+    Printf.printf "\nreconfiguration overhead (summed over the run):\n";
+    Printf.printf "%-14s %-8s %12s\n" "region" "phase" "ns";
+    List.iter
+      (fun ((region, phase), ns) -> Printf.printf "%-14s %-8s %12d\n" region phase ns)
+      rows
+  end;
+  print_newline ();
+  if rr.Obs.Flight.mismatches = [] then
+    Printf.printf "replay: OK (%d decisions reproduce the recorded moves)\n"
+      rr.Obs.Flight.decisions
+  else begin
+    Printf.printf "replay: %d mismatch(es)\n" (List.length rr.Obs.Flight.mismatches);
+    List.iter
+      (fun (epoch, what) -> Printf.printf "  epoch %d: %s\n" epoch what)
+      rr.Obs.Flight.mismatches
+  end
+
+let explain_json entries (rr : Obs.Flight.replay_result) =
+  let module F = Obs.Flight in
+  let module J = Obs.Json in
+  let moves =
+    J.Obj
+      (List.map (fun (region, ms) -> (region, J.List (List.map (fun m -> J.Int m) ms)))
+         rr.F.moves)
+  in
+  let doc =
+    J.Obj
+      [
+        ("entries", J.List (List.map F.entry_to_json entries));
+        ( "replay",
+          J.Obj
+            [
+              ("ok", J.Bool (rr.F.mismatches = []));
+              ("decisions", J.Int rr.F.decisions);
+              ( "mismatches",
+                J.List
+                  (List.map
+                     (fun (epoch, what) -> J.List [ J.Int epoch; J.Str what ])
+                     rr.F.mismatches) );
+              ("moves", moves);
+            ] );
+      ]
+  in
+  print_endline (J.to_string doc)
+
+(* Exit codes: 0 clean replay, 1 replay mismatch, 2 unreadable log. *)
+let explain log json =
+  let contents =
+    try In_channel.with_open_text log In_channel.input_all
+    with Sys_error m ->
+      prerr_endline m;
+      exit 2
+  in
+  let entries =
+    try Obs.Flight.parse_jsonl contents
+    with Obs.Json.Parse_error m ->
+      Printf.eprintf "%s: not a flight log: %s\n" log m;
+      exit 2
+  in
+  let rr = Obs.Flight.replay entries in
+  if json then explain_json entries rr else explain_text entries rr;
+  exit (if rr.Obs.Flight.mismatches = [] then 0 else 1)
+
+let explain_cmd =
+  let term = Term.(const explain $ flight_log_arg $ json_arg) in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Render a recorded flight log as a decision timeline with reasons and the \
+          reconfiguration overhead ledger, then replay the decisions offline and verify \
+          they reproduce the recorded moves.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -523,4 +696,5 @@ let () =
   let info = Cmd.info "parcae_demo" ~version:"1.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ serve_cmd; top_cmd; batch_cmd; compile_cmd; check_cmd; run_cmd ]))
+       (Cmd.group info
+          [ serve_cmd; top_cmd; batch_cmd; compile_cmd; check_cmd; run_cmd; explain_cmd ]))

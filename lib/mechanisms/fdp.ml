@@ -97,7 +97,8 @@ let make ?(tolerance = 0.98) ?(max_flat = 8) () : Morta.mechanism =
           let budget = Region.budget region in
           if total_dop cur < budget then begin
             st.phase <- Settle { prev = Some cur; prev_thr; granted = lim };
-            Some (Config.with_dop cur lim ((Config.dops cur).(lim) + 1))
+            Morta.propose ~why:"limiter_grant"
+              (Config.with_dop cur lim ((Config.dops cur).(lim) + 1))
           end
           else begin
             (* No free threads: reclaim one from the fastest task. *)
@@ -106,7 +107,7 @@ let make ?(tolerance = 0.98) ?(max_flat = 8) () : Morta.mechanism =
                 let cfg = Config.with_dop cur f ((Config.dops cur).(f) - 1) in
                 let cfg = Config.with_dop cfg lim ((Config.dops cfg).(lim) + 1) in
                 st.phase <- Settle { prev = Some cur; prev_thr; granted = lim };
-                Some cfg
+                Morta.propose ~why:"limiter_grant" cfg
             | _ ->
                 st.phase <- Stable;
                 None
@@ -117,7 +118,7 @@ let make ?(tolerance = 0.98) ?(max_flat = 8) () : Morta.mechanism =
         (* Single thread per task. *)
         let tasks = Array.map (fun tc -> { tc with Config.dop = 1 }) cur.Config.tasks in
         st.phase <- Settle { prev = None; prev_thr = 0.0; granted = -1 };
-        Some { cur with Config.tasks }
+        Morta.propose ~why:"limiter_reset" { cur with Config.tasks }
     | Stable -> None
     | Settle { prev; prev_thr; granted } ->
         (* Discard the transient window; judge on the next tick. *)
@@ -129,7 +130,7 @@ let make ?(tolerance = 0.98) ?(max_flat = 8) () : Morta.mechanism =
              among the remaining candidates on the next tick. *)
           if granted >= 0 then Hashtbl.replace failed granted ();
           st.phase <- Settle { prev = None; prev_thr = 0.0; granted = -1 };
-          prev
+          match prev with Some p -> Morta.propose ~why:"limiter_revert" p | None -> None
         end
         else begin
           (* Improvement clears the failure memory; a plateau keeps it and

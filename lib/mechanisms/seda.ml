@@ -35,4 +35,5 @@ let make ?(threshold = 8.0) ?(max_per_stage = 24) () : Morta.mechanism =
               else tc)
       cur.Config.tasks
   in
-  if !changed then Some { cur with Config.tasks = new_tasks } else None
+  if !changed then Morta.propose ~why:"queue_threshold" { cur with Config.tasks = new_tasks }
+  else None

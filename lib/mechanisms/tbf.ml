@@ -90,7 +90,7 @@ let make ?fused_choice ?(imbalance = 0.5) ?(warmup = 30) () : Morta.mechanism =
             (fun t -> if t.Task.ttype = Task.Seq then Config.seq_task else Config.task navail)
             fused_pd.Task.tasks
         in
-        Some { (Config.make tasks) with Config.choice }
+        Morta.propose ~why:"fused_switch" { (Config.make tasks) with Config.choice }
     | None ->
         let seqs = List.length (List.filter (fun t -> t.Task.ttype = Task.Seq) pd.Task.tasks) in
         let navail = max 1 (budget - seqs) in
@@ -99,5 +99,5 @@ let make ?fused_choice ?(imbalance = 0.5) ?(warmup = 30) () : Morta.mechanism =
           Array.mapi (fun i tc -> { tc with Config.dop = dops.(i) }) cur.Config.tasks
         in
         let cfg = { cur with Config.tasks } in
-        if Config.equal cfg cur then None else Some cfg
+        if Config.equal cfg cur then None else Morta.propose ~why:"proportional_rebalance" cfg
   end

@@ -88,7 +88,7 @@ let make ~sensor ~target_watts () : Morta.mechanism =
     | Start ->
         let tasks = Array.map (fun tc -> { tc with Config.dop = 1 }) cur.Config.tasks in
         st.phase <- Ramp { prev = None; prev_thr = 0.0 };
-        Some { cur with Config.tasks }
+        Morta.propose ~why:"power_reset" { cur with Config.tasks }
     | Ramp { prev; prev_thr } ->
         if power > target_watts then begin
           (* Overshoot: back off one thread and explore redistributions of
@@ -97,11 +97,11 @@ let make ~sensor ~target_watts () : Morta.mechanism =
             match prev with Some p -> p | None -> cur
           in
           st.phase <- Explore { candidates = same_total_alternatives region back; best = None };
-          Some back
+          Morta.propose ~why:"power_overshoot" back
         end
         else if prev <> None && thr < prev_thr then begin
           st.phase <- Stable { thr = prev_thr; power };
-          prev
+          match prev with Some p -> Morta.propose ~why:"power_revert" p | None -> None
         end
         else begin
           match limiter region with
@@ -111,7 +111,8 @@ let make ~sensor ~target_watts () : Morta.mechanism =
           | Some lim ->
               if total_dop cur < Region.budget region then begin
                 st.phase <- Ramp { prev = Some cur; prev_thr = thr };
-                Some (Config.with_dop cur lim ((Config.dops cur).(lim) + 1))
+                Morta.propose ~why:"power_ramp"
+                  (Config.with_dop cur lim ((Config.dops cur).(lim) + 1))
               end
               else begin
                 st.phase <- Stable { thr; power };
@@ -130,12 +131,12 @@ let make ~sensor ~target_watts () : Morta.mechanism =
         match candidates with
         | next :: rest ->
             st.phase <- Explore { candidates = rest; best };
-            Some next
+            Morta.propose ~why:"power_explore" next
         | [] -> (
             match best with
             | Some (cfg, bthr) ->
                 st.phase <- Stable { thr = bthr; power };
-                if Config.equal cfg cur then None else Some cfg
+                if Config.equal cfg cur then None else Morta.propose ~why:"power_adopt" cfg
             | None ->
                 st.phase <- Stable { thr; power };
                 None))
@@ -150,7 +151,7 @@ let make ~sensor ~target_watts () : Morta.mechanism =
           | [] -> None
           | i :: _ ->
               st.phase <- Stable { thr = sthr; power = spower };
-              Some (Config.with_dop cur i ((Config.dops cur).(i) - 1))
+              Morta.propose ~why:"power_shed" (Config.with_dop cur i ((Config.dops cur).(i) - 1))
         end
         else if sthr > 0.0 && thr > 0.0 && abs_float (thr -. sthr) /. sthr > 0.5 then begin
           (* Throughput moved a lot: workload changed, re-ramp. *)

@@ -39,7 +39,8 @@ let nested ?(smooth = 0.3) ~load ~dpmin ~dpmax ~qmax ~make_config () : Morta.mec
     let q = Parcae_util.Stats.Ewma.value ewma in
     let dp = dop_of_load ~dpmin ~dpmax ~qmax q in
     let cfg = make_config dp in
-    if Config.equal cfg (Region.config region) then None else Some cfg
+    if Config.equal cfg (Region.config region) then None
+    else Morta.propose ~why:"queue_linear" cfg
 
 (* Per-task sizing for single-level pipelines: parallel task [i] gets
    dpmin + ceil(loads.(i) / per_item) threads, capped at dpmax.  Sequential
@@ -74,4 +75,4 @@ let per_task ~loads ?(per_item = 4.0) ?(smooth = 0.4) ?(deadband = 2) ~dpmin ~dp
         cur.Config.tasks
     in
     let cfg = { cur with Config.tasks } in
-    if Config.equal cfg cur then None else Some cfg
+    if Config.equal cfg cur then None else Morta.propose ~why:"queue_linear" cfg

@@ -42,5 +42,9 @@ let make ~load ~threshold ?(non = 3) ?(noff = 3) ~light ~heavy () : Morta.mechan
         state := s;
         above := 0;
         below := 0;
-        let cfg = match s with Light -> light | Heavy -> heavy in
-        if Config.equal cfg (Region.config region) then None else Some cfg
+        let cfg, why =
+          match s with
+          | Light -> (light, "wq_toggle_light")
+          | Heavy -> (heavy, "wq_toggle_heavy")
+        in
+        if Config.equal cfg (Region.config region) then None else Morta.propose ~why cfg

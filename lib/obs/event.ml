@@ -61,6 +61,9 @@ type kind =
       (* a platform feature callback ("SystemPower", ...) was read *)
   | Cores_online of { cores : int }
       (* the platform changed the number of available cores *)
+  | Trace_overflow of { dropped : int }
+      (* the sink ring filled and overwrote [dropped] older events; the
+         exporters prepend this so consumers see the loss explicitly *)
 
 type t = { t : int; kind : kind }
 
@@ -83,6 +86,7 @@ let kind_name = function
   | Hook_sample _ -> "hook_sample"
   | Feature_sample _ -> "feature_sample"
   | Cores_online _ -> "cores_online"
+  | Trace_overflow _ -> "trace_overflow"
 
 let to_json { t; kind } =
   let fields =
@@ -114,6 +118,7 @@ let to_json { t; kind } =
     | Feature_sample { name; value } ->
         [ ("name", Json.Str name); ("value", Json.Float value) ]
     | Cores_online { cores } -> [ ("cores", Json.Int cores) ]
+    | Trace_overflow { dropped } -> [ ("dropped", Json.Int dropped) ]
   in
   Json.Obj (("t", Json.Int t) :: ("ev", Json.Str (kind_name kind)) :: fields)
 
@@ -158,6 +163,7 @@ let of_json j =
     | "feature_sample" ->
         Feature_sample { name = Json.get_str "name" j; value = Json.get_float "value" j }
     | "cores_online" -> Cores_online { cores = Json.get_int "cores" j }
+    | "trace_overflow" -> Trace_overflow { dropped = Json.get_int "dropped" j }
     | s -> raise (Json.Parse_error ("unknown event kind " ^ s))
   in
   { t; kind }

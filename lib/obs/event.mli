@@ -38,6 +38,9 @@ type kind =
   | Hook_sample of { task : int; dt_ns : int }
   | Feature_sample of { name : string; value : float }
   | Cores_online of { cores : int }
+  | Trace_overflow of { dropped : int }
+      (** the sink ring filled and overwrote [dropped] older events;
+          prepended by the exporters so loss is never silent *)
 
 type t = { t : int;  (** virtual time, ns *) kind : kind }
 

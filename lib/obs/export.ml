@@ -43,7 +43,10 @@ let tid_decima = 1001
 let tid_platform = 1002
 let tid_channels = 1003
 
-let us_of_ns ns = Json.Float (float_of_int ns /. 1000.0)
+(* All internal timestamps are integer nanoseconds; the trace_event format
+   wants microseconds, so this is the single conversion point. *)
+let us_of_ns ns = float_of_int ns /. 1000.0
+let ts_us ns = Json.Float (us_of_ns ns)
 
 let chrome ?(process = "parcae") events =
   (* Assign region tids in order of first appearance so the layout is
@@ -62,7 +65,7 @@ let chrome ?(process = "parcae") events =
   let push e = out := e :: !out in
   let record ?(args = []) ~name ~ph ~tid t =
     let base =
-      [ ("name", Json.Str name); ("ph", Json.Str ph); ("ts", us_of_ns t);
+      [ ("name", Json.Str name); ("ph", Json.Str ph); ("ts", ts_us t);
         ("pid", Json.Int 1); ("tid", Json.Int tid) ]
     in
     let args = match args with [] -> [] | a -> [ ("args", Json.Obj a) ] in
@@ -114,7 +117,10 @@ let chrome ?(process = "parcae") events =
       | Event.Feature_sample { name; value } ->
           counter ~name ~tid:tid_decima t (Json.Float value)
       | Event.Cores_online { cores } ->
-          counter ~name:"online-cores" ~tid:tid_platform t (Json.Int cores))
+          counter ~name:"online-cores" ~tid:tid_platform t (Json.Int cores)
+      | Event.Trace_overflow { dropped } ->
+          record ~name:"trace-overflow" ~ph:"i" ~tid:tid_platform t
+            ~args:[ ("dropped", Json.Int dropped) ])
     events;
   (* Metadata: process and track names make the Perfetto view readable. *)
   let meta name tid label =
@@ -132,6 +138,23 @@ let chrome ?(process = "parcae") events =
     (Json.Obj
        [ ("traceEvents", Json.List (metas @ List.rev !out));
          ("displayTimeUnit", Json.Str "ms") ])
+
+(* ------------------------------------------------------------------ *)
+(* Sink-aware wrappers: drops are reported, never silent.              *)
+(* ------------------------------------------------------------------ *)
+
+let events_of_sink sink =
+  let events = Sink.events sink in
+  let d = Sink.dropped sink in
+  if d = 0 then events
+  else
+    (* Stamp the overflow marker at the oldest retained time so it sorts
+       first: everything before it was lost. *)
+    let t0 = match events with e :: _ -> e.Event.t | [] -> 0 in
+    Event.make ~t:t0 (Event.Trace_overflow { dropped = d }) :: events
+
+let jsonl_of_sink sink = jsonl (events_of_sink sink)
+let chrome_of_sink ?process sink = chrome ?process (events_of_sink sink)
 
 let write_file path contents =
   let oc = open_out path in

@@ -1,0 +1,46 @@
+(* Reconfiguration overhead ledger: per-(region, phase) accumulators with
+   fan-out to Metrics and Flight.  See ledger.mli. *)
+
+let phases = [ "signal"; "barrier"; "flush"; "restart" ]
+
+type t = { table : (string * string, int ref) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 17 }
+let null = { table = Hashtbl.create 0 }
+let is_null l = l == null
+let cur = ref null
+let set l = cur := l
+let clear () = cur := null
+let current () = !cur
+let enabled () = not (is_null !cur)
+
+let with_ledger l f =
+  let prev = !cur in
+  cur := l;
+  Fun.protect ~finally:(fun () -> cur := prev) f
+
+let active () = enabled () || Metrics.enabled () || Flight.enabled ()
+
+let note ~t ~region ~phase ns =
+  let ns = max 0 ns in
+  let l = !cur in
+  if not (is_null l) then begin
+    let key = (region, phase) in
+    match Hashtbl.find_opt l.table key with
+    | Some r -> r := !r + ns
+    | None -> Hashtbl.add l.table key (ref ns)
+  end;
+  if Metrics.enabled () then
+    Metrics.inc_by
+      (Metrics.counter (Metrics.current ()) "parcae_reconfig_phase_ns_total"
+         ~labels:[ ("region", region); ("phase", phase) ]
+         ~help:"Reconfiguration time attributed to phases (signal, barrier, flush, restart, total)")
+      ns;
+  if Flight.enabled () then Flight.overhead ~t ~region ~phase ~ns
+
+let phase_ns l ~region ~phase =
+  match Hashtbl.find_opt l.table (region, phase) with Some r -> !r | None -> 0
+
+let snapshot l =
+  Hashtbl.fold (fun (region, phase) r acc -> (region, phase, !r) :: acc) l.table []
+  |> List.sort compare

@@ -182,7 +182,9 @@ let check ?(require_flush = false) ?(check_budget = false) events =
           if dt_ns < 0 then bad "hook_sample with negative compute time %d" dt_ns
       | Event.Feature_sample _ -> ()
       | Event.Cores_online { cores } ->
-          if cores < 0 then bad "cores_online with %d cores" cores)
+          if cores < 0 then bad "cores_online with %d cores" cores
+      | Event.Trace_overflow { dropped } ->
+          if dropped <= 0 then bad "trace_overflow marker with %d dropped" dropped)
     events;
   let dangling =
     Hashtbl.fold (fun _ s acc -> if s.paused then acc + 1 else acc) regions 0

@@ -13,15 +13,17 @@ type t = {
   mutable start : int;  (* index of the oldest retained event *)
   mutable len : int;  (* retained events, <= capacity *)
   mutable dropped : int;  (* events overwritten after the ring filled *)
+  mutable mx : (Metrics.t * Metrics.counter) option;
+      (* cached drop counter, keyed on the installed registry *)
 }
 
-let null = { capacity = 0; buf = [||]; start = 0; len = 0; dropped = 0 }
+let null = { capacity = 0; buf = [||]; start = 0; len = 0; dropped = 0; mx = None }
 
 let default_capacity = 1 lsl 16
 
 let create ?(capacity = default_capacity) () =
   if capacity <= 0 then invalid_arg "Sink.create: capacity must be positive";
-  { capacity; buf = [||]; start = 0; len = 0; dropped = 0 }
+  { capacity; buf = [||]; start = 0; len = 0; dropped = 0; mx = None }
 
 let is_null s = s == null
 
@@ -36,7 +38,8 @@ let clear s =
   s.buf <- [||];
   s.start <- 0;
   s.len <- 0;
-  s.dropped <- 0
+  s.dropped <- 0;
+  s.mx <- None
 
 (* Size of the backing array — 0 before the first event and after [clear].
    Exposed so tests can assert that clearing releases the allocation. *)
@@ -58,7 +61,22 @@ let record s ~t kind =
       (* Full: overwrite the oldest. *)
       s.buf.(s.start) <- ev;
       s.start <- (s.start + 1) mod s.capacity;
-      s.dropped <- s.dropped + 1
+      s.dropped <- s.dropped + 1;
+      if Metrics.enabled () then begin
+        let reg = Metrics.current () in
+        let c =
+          match s.mx with
+          | Some (r, c) when r == reg -> c
+          | _ ->
+              let c =
+                Metrics.counter reg "parcae_trace_dropped_total"
+                  ~help:"Trace events overwritten by a full sink ring"
+              in
+              s.mx <- Some (reg, c);
+              c
+        in
+        Metrics.inc c
+      end
     end
   end
 

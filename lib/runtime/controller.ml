@@ -19,6 +19,7 @@ module Config = Parcae_core.Config
 module Task = Parcae_core.Task
 module Trace = Parcae_obs.Trace
 module Metrics = Parcae_obs.Metrics
+module Flight = Parcae_obs.Flight
 
 type state = Init | Calibrate | Optimize | Monitor
 
@@ -178,6 +179,21 @@ let finished t = Region.is_done t.region || t.stop
 (* Apply [cfg] if it differs from the current configuration. *)
 let apply t cfg = Executor.reconfigure t.region cfg
 
+(* One flight-recorder decision, stamped with the current FSM state and a
+   Decima snapshot.  [candidate] is where the rule started, [chosen] where
+   it settled; [probes] is the calibration table it consulted. *)
+let record_flight t ?(probes = []) ?gradient ?(inputs = []) ~reason ~candidate ~chosen () =
+  if Flight.enabled () then begin
+    let region = t.region in
+    Flight.decision
+      ~t:(Engine.time region.Region.eng)
+      ~actor:"controller" ~region:region.Region.name ~state:(obs_state t.state) ~reason
+      ~tasks:(Decima.flight_tasks (Region.decima region))
+      ~probes ?gradient ~inputs ~candidate ~chosen
+      ~threads:(Config.threads (Region.config region))
+      ~budget:(Region.budget region) ()
+  end
+
 (* Wait until the region's output task completes [n] more instances;
    returns the measured fitness (throughput for [Max_throughput];
    throughput^3 / average power for [Min_energy_delay2]), or None if the
@@ -243,9 +259,14 @@ let npar t d = max t.params.nseq (t.params.npar_factor * d)
 
 (* Optimize task [i]'s DoP within [1, cap], starting from the current
    configuration.  Returns the best (config, throughput) found, or None if
-   the run ended.  The ascent compares finite differences of measured
-   throughput and stops at the first decrease, implementing the unimodal
-   assumption of Figure 6.4. *)
+   the run ended.  The decision rule itself — probe both neighbours of the
+   starting DoP to establish a direction, then climb while finite
+   differences of measured fitness improve, implementing the unimodal
+   assumption of Figure 6.4 — is the pure [Flight.Ascent.climb], shared
+   with the offline replayer so recorded runs re-execute literally the
+   same code.  Here its measurement function reconfigures the live region
+   and samples Decima; offline it looks fitness up in the recorded probe
+   table. *)
 let gradient_ascent t i cap =
   let cfg0 = Region.config t.region in
   let d0 = (Config.dops cfg0).(i) in
@@ -259,50 +280,16 @@ let gradient_ascent t i cap =
     let cfg = Config.with_dop cfg0 i d in
     measure_config t cfg (npar t d)
   in
-  match thr_at d0 with
+  match Flight.Ascent.climb ~measure:thr_at ~d0 ~cap with
   | None -> None
-  | Some t0 -> (
-      (* Probe both directions to establish the ascent direction. *)
-      let up = if d0 + 1 <= cap then thr_at (d0 + 1) else None in
-      let down = if d0 - 1 >= 1 then thr_at (d0 - 1) else None in
-      let dir, d1, t1 =
-        match (up, down) with
-        | Some tu, Some td when tu >= t0 && tu >= td -> (1, d0 + 1, tu)
-        | Some tu, None when tu >= t0 -> (1, d0 + 1, tu)
-        | _, Some td when td > t0 -> (-1, d0 - 1, td)
-        | _ -> (0, d0, t0)
-      in
-      if dir = 0 then begin
-        (* Already at a local optimum; restore and report. *)
-        let best = Config.with_dop cfg0 i d0 in
-        apply t best;
-        Some (best, t0)
-      end
-      else begin
-        let rec climb d_prev t_prev =
-          if finished t then None
-          else begin
-            let d_next = d_prev + dir in
-            if d_next < 1 || d_next > cap then Some (Config.with_dop cfg0 i d_prev, t_prev)
-            else
-              match thr_at d_next with
-              | None -> None
-              | Some t_next ->
-                  (* delta <= 0: passed the summit (ties prefer fewer
-                     threads when increasing, per Section 6.4.2). *)
-                  let keep_going =
-                    if dir = 1 then t_next > t_prev else t_next >= t_prev
-                  in
-                  if keep_going then climb d_next t_next
-                  else begin
-                    let best = Config.with_dop cfg0 i d_prev in
-                    apply t best;
-                    Some (best, t_prev)
-                  end
-          end
-        in
-        climb d1 t1
-      end)
+  | Some oc ->
+      let best = Config.with_dop cfg0 i oc.Flight.Ascent.chosen in
+      apply t best;
+      record_flight t ~reason:oc.Flight.Ascent.reason ~probes:oc.Flight.Ascent.probes
+        ?gradient:(Flight.Ascent.gradient ~d0 oc.Flight.Ascent.probes)
+        ~inputs:[ ("task", float_of_int i); ("cap", float_of_int cap) ]
+        ~candidate:d0 ~chosen:oc.Flight.Ascent.chosen ();
+      Some (best, oc.Flight.Ascent.fitness)
 
 (* Algorithm 4: optimize every parallel task's DoP, prioritizing tasks with
    the lowest throughput, under the region budget.  Returns the optimized
@@ -380,30 +367,38 @@ let optimize_pass t ~seq_choice ~par_choices =
   let region = t.region in
   (* State 1: sequential baseline. *)
   enter t Init;
+  let run_baseline c =
+    let pd = List.nth region.Region.schemes c in
+    let cfg = { (Task.default_config pd) with Config.choice = c } in
+    apply t cfg;
+    match measure_iters t t.params.nseq with
+    | Some thr ->
+        t.seq_throughput <- thr;
+        let threads = Config.threads cfg in
+        record_flight t ~reason:"baseline"
+          ~probes:[ (c, thr) ]
+          ~inputs:[ ("choice", float_of_int c) ]
+          ~candidate:threads ~chosen:threads ()
+    | None -> ()
+  in
   (match seq_choice with
-  | Some c ->
-      let pd = List.nth region.Region.schemes c in
-      apply t { (Task.default_config pd) with Config.choice = c };
-      (match measure_iters t t.params.nseq with
-      | Some thr -> t.seq_throughput <- thr
-      | None -> ())
-  | None ->
+  | Some c -> run_baseline c
+  | None -> (
       (* No sequential version available: baseline is the default config of
          the first scheme to try. *)
-      (match par_choices with
-      | c :: _ ->
-          let pd = List.nth region.Region.schemes c in
-          apply t { (Task.default_config pd) with Config.choice = c };
-          (match measure_iters t t.params.nseq with
-          | Some thr -> t.seq_throughput <- thr
-          | None -> ())
-      | [] -> ()));
+      match par_choices with c :: _ -> run_baseline c | [] -> ()));
   if not (finished t) then begin
+    (* (scheme choice, measured fitness) table feeding the final
+       adopt-best decision; seeded with the baseline when it stands as a
+       candidate. *)
+    let scheme_probes = ref [] in
+    let note_scheme_probe c thr = scheme_probes := (c, thr) :: !scheme_probes in
     let best : (Config.t * float) option ref =
       ref
         (match seq_choice with
         | Some c ->
             let pd = List.nth region.Region.schemes c in
+            note_scheme_probe c t.seq_throughput;
             Some ({ (Task.default_config pd) with Config.choice = c }, t.seq_throughput)
         | None -> None)
     in
@@ -421,8 +416,13 @@ let optimize_pass t ~seq_choice ~par_choices =
                      ~help:"Optimized configurations reused from the (scheme, budget) cache.");
               enter t Calibrate;
               apply t cached;
+              let threads = Config.threads cached in
+              record_flight t ~reason:"cache_hit"
+                ~inputs:[ ("choice", float_of_int choice); ("budget", float_of_int budget) ]
+                ~candidate:threads ~chosen:threads ();
               (match measure_iters t t.params.nseq with
               | Some thr -> (
+                  note_scheme_probe choice thr;
                   match !best with
                   | Some (_, bt) when bt >= thr -> ()
                   | _ -> best := Some (cached, thr))
@@ -432,6 +432,10 @@ let optimize_pass t ~seq_choice ~par_choices =
               enter t Calibrate;
               let cfg = default_parallel_config region choice in
               apply t cfg;
+              let threads = Config.threads cfg in
+              record_flight t ~reason:"calibration_point"
+                ~inputs:[ ("choice", float_of_int choice) ]
+                ~candidate:threads ~chosen:threads ();
               (match measure_iters t t.params.nseq with
               | None -> ()
               | Some _ -> (
@@ -451,6 +455,7 @@ let optimize_pass t ~seq_choice ~par_choices =
                       in
                       if profitable then begin
                         Hashtbl.replace t.cache (choice, budget) optimized;
+                        note_scheme_probe choice thr;
                         match !best with
                         | Some (_, bt) when bt >= thr -> ()
                         | _ -> best := Some (optimized, thr)
@@ -462,6 +467,10 @@ let optimize_pass t ~seq_choice ~par_choices =
     | Some (cfg, thr) when not (finished t) ->
         apply t cfg;
         t.best_throughput <- thr;
+        record_flight t ~reason:"adopt_best"
+          ~probes:(List.rev !scheme_probes)
+          ~inputs:[ ("choice", float_of_int cfg.Config.choice) ]
+          ~candidate:(Config.threads cfg) ~chosen:(Config.threads cfg) ();
         t.on_usage (Config.threads cfg)
     | _ -> ()
   end
@@ -475,6 +484,9 @@ let monitor t =
   let last = Decima.task_count d - 1 in
   let rounds = ref 0 in
   let reason = ref `Finished in
+  (* Named scalars the exit rule depended on, recorded with the decision
+     so the replayer can re-check it. *)
+  let exit_inputs = ref [] in
   (* Workload drift is detected against the first clean monitor window's
      raw throughput (fitness units differ per objective, but workload
      change always shows in the iteration rate). *)
@@ -487,9 +499,13 @@ let monitor t =
     if finished t then continue_ := false
     else if t.resource_dirty then begin
       t.resource_dirty <- false;
-      let grew = Region.budget t.region > t.last_budget in
+      let old_budget = t.last_budget in
+      let grew = Region.budget t.region > old_budget in
       t.last_budget <- Region.budget t.region;
-      reason := if grew then `Resources_grew else `Resources_shrank;
+      exit_inputs :=
+        [ ("old_budget", float_of_int old_budget);
+          ("new_budget", float_of_int t.last_budget) ];
+      reason := (if grew then `Resources_grew else `Resources_shrank);
       continue_ := false
     end
     else begin
@@ -497,15 +513,30 @@ let monitor t =
       note_throughput t thr;
       if !base <= 0.0 then base := thr
       else if abs_float (thr -. !base) /. !base > t.params.change_frac then begin
+        exit_inputs :=
+          [ ("base", !base); ("thr", thr); ("change_frac", t.params.change_frac) ];
         reason := (if thr < !base then `Workload_slowed else `Workload_sped_up);
         continue_ := false
       end;
       if t.params.max_monitor_rounds > 0 && !rounds >= t.params.max_monitor_rounds then begin
+        (* Overrides a drift detected in the same round, as before. *)
+        exit_inputs := [];
         reason := `Rounds_exhausted;
         continue_ := false
       end
     end
   done;
+  (let threads = Config.threads (Region.config t.region) in
+   let tag =
+     match !reason with
+     | `Finished -> "finished"
+     | `Rounds_exhausted -> "rounds_exhausted"
+     | `Resources_grew -> "resources_grew"
+     | `Resources_shrank -> "resources_shrank"
+     | `Workload_slowed -> "workload_slowed"
+     | `Workload_sped_up -> "workload_sped_up"
+   in
+   record_flight t ~reason:tag ~inputs:!exit_inputs ~candidate:threads ~chosen:threads ());
   !reason
 
 (* Main controller loop: run as the body of a dedicated simulated thread. *)

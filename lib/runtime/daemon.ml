@@ -18,6 +18,7 @@ module Engine = Parcae_platform.Engine
 module Trace = Parcae_obs.Trace
 module Event = Parcae_obs.Event
 module Metrics = Parcae_obs.Metrics
+module Flight = Parcae_obs.Flight
 
 type program = {
   region : Region.t;
@@ -39,15 +40,18 @@ let create ?(period_ns = 10_000_000) eng ~total_threads =
 
 let active t = List.filter (fun p -> not (Region.is_done p.region)) t.programs
 
-(* Record the post-change partitioning of the platform. *)
-let trace_shares t act =
+(* Record the post-change partitioning of the platform.  [reason] is the
+   flight-recorder tag: "equal_share" for membership-driven repartitions,
+   "slack_reclaimed" for usage-driven redistributions (Algorithm 5). *)
+let trace_shares t ~reason act =
+  let shares = List.map (fun p -> (p.region.Region.name, Region.budget p.region)) act in
   if Trace.enabled () then
-    Trace.emit ~t:(Engine.time t.eng)
-      (Event.Daemon_repartition
-         {
-           total = t.total;
-           shares = List.map (fun p -> (p.region.Region.name, Region.budget p.region)) act;
-         });
+    Trace.emit ~t:(Engine.time t.eng) (Event.Daemon_repartition { total = t.total; shares });
+  if Flight.enabled () then begin
+    let granted = List.fold_left (fun acc (_, b) -> acc + b) 0 shares in
+    Flight.decision ~t:(Engine.time t.eng) ~actor:"daemon" ~region:"platform" ~reason
+      ~slack:shares ~candidate:granted ~chosen:granted ~threads:granted ~budget:t.total ()
+  end;
   if Metrics.enabled () then begin
     let reg = Metrics.current () in
     Metrics.inc
@@ -78,7 +82,7 @@ let repartition t =
           Controller.notify_resource_change p.controller
         end)
       act;
-    trace_shares t act
+    trace_shares t ~reason:"equal_share" act
   end
 
 (* Redistribute slack once every active program has reported its optimized
@@ -108,7 +112,7 @@ let redistribute t =
             p.usage <- None;
             Controller.notify_resource_change p.controller)
           saturated;
-        trace_shares t act
+        trace_shares t ~reason:"slack_reclaimed" act
       end
     end
   end

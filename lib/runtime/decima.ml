@@ -232,3 +232,16 @@ let feature t name =
              ~help:"Last sampled platform feature value.")
           value;
       Some value
+
+(* ---- Flight-recorder snapshot ---- *)
+
+(* The per-task measurement block every flight decision carries: what the
+   monitor currently believes about each task's progress and cost. *)
+let flight_tasks t =
+  List.init (task_count t) (fun i ->
+      {
+        Parcae_obs.Flight.task = task_label t i;
+        iters = iters t i;
+        ips = task_rate t i;
+        exec_ns = exec_time t i;
+      })

@@ -69,3 +69,7 @@ val iters_since : t -> snapshot -> int -> int
 
 val register_feature : t -> string -> (unit -> float) -> unit
 val feature : t -> string -> float option
+
+val flight_tasks : t -> Parcae_obs.Flight.task_obs list
+(** Per-task measurement snapshot (label, iterations, rate, exec time)
+    attached to flight-recorder decisions. *)

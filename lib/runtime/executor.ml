@@ -16,6 +16,7 @@ module Task_status = Parcae_core.Task_status
 module Trace = Parcae_obs.Trace
 module Event = Parcae_obs.Event
 module Metrics = Parcae_obs.Metrics
+module Ledger = Parcae_obs.Ledger
 
 (* Pause and reconfiguration are rare (controller-period) events, so their
    metrics go through the registry's family lookup directly instead of a
@@ -41,9 +42,19 @@ let note_reconfig (r : Region.t) ~kind ~t0 =
       (Engine.time r.Region.eng - t0)
   end
 
+(* Attribute [ns] of reconfiguration time to [phase] for the overhead
+   ledger (Chapter 7 decomposition: signal propagation, barrier wait,
+   channel flush, task restart). *)
+let note_phase (r : Region.t) ~phase ns =
+  Ledger.note ~t:(Engine.time r.Region.eng) ~region:r.Region.name ~phase ns
+
 (* Mark the region Done, emit the trace event, and wake joiners — the
    single exit point for both completion paths and [terminate]. *)
 let finish_region (r : Region.t) =
+  (* A reconfiguration interrupted by completion never closes its phases. *)
+  r.Region.reconfig_t0 <- -1;
+  r.Region.first_park_at <- -1;
+  r.Region.restart_mark <- -1;
   r.Region.status <- Region.Done;
   if Trace.enabled () then
     Trace.emit ~t:(Engine.time r.Region.eng) (Event.Region_stop { region = r.Region.name });
@@ -139,6 +150,18 @@ let region_worker (r : Region.t) (task : Task.t) idx tc lane =
     match task.Task.body ctx with
     | Task_status.Iterating ->
         Decima.tick r.Region.decima idx;
+        (* First completed iteration after a resume closes the restart and
+           total phases of the reconfiguration being measured.  Read-then-
+           clear so concurrent native workers settle on one reporter. *)
+        let mark = r.Region.restart_mark in
+        if mark >= 0 then begin
+          r.Region.restart_mark <- -1;
+          let t0r = r.Region.reconfig_t0 in
+          r.Region.reconfig_t0 <- -1;
+          let now = Engine.time r.Region.eng in
+          note_phase r ~phase:"restart" (now - mark);
+          if t0r >= 0 then note_phase r ~phase:"total" (now - t0r)
+        end;
         incr iter
     | Task_status.Paused ->
         outcome := Task_status.Paused;
@@ -149,6 +172,10 @@ let region_worker (r : Region.t) (task : Task.t) idx tc lane =
   done;
   Option.iter (fun f -> f ()) task.Task.fini;
   if !outcome = Task_status.Complete && idx = 0 then r.Region.master_completed <- true;
+  (* Overhead ledger: the first worker to park dates the end of signal
+     propagation (pause request -> first park). *)
+  if r.Region.pause_requested && r.Region.reconfig_t0 >= 0 && r.Region.first_park_at < 0 then
+    r.Region.first_park_at <- Engine.time r.Region.eng;
   r.Region.active_workers <- r.Region.active_workers - 1;
   if r.Region.active_workers = 0 then begin
     (* Last worker out: decide what the park means. *)
@@ -203,6 +230,10 @@ let pause (r : Region.t) =
   | Region.Init | Region.Pausing -> invalid_arg "Executor.pause: bad region state"
   | Region.Running ->
       let t0 = Engine.time r.Region.eng in
+      if Ledger.active () then begin
+        r.Region.reconfig_t0 <- t0;
+        r.Region.first_park_at <- -1
+      end;
       r.Region.pause_requested <- true;
       r.Region.status <- Region.Pausing;
       if Trace.enabled () then
@@ -213,7 +244,16 @@ let pause (r : Region.t) =
       done;
       r.Region.pause_wait_ns <- r.Region.pause_wait_ns + (Engine.time r.Region.eng - t0);
       note_pause r ~t0;
-      r.Region.status = Region.Paused
+      let parked = r.Region.status = Region.Paused in
+      if r.Region.reconfig_t0 >= 0 then
+        if parked then begin
+          let now = Engine.time r.Region.eng in
+          let fp = if r.Region.first_park_at >= 0 then r.Region.first_park_at else now in
+          note_phase r ~phase:"signal" (fp - t0);
+          note_phase r ~phase:"barrier" (now - fp)
+        end
+        else r.Region.reconfig_t0 <- -1;
+      parked
 
 (* Resume a paused region, optionally under a new configuration. *)
 let resume ?config (r : Region.t) =
@@ -221,6 +261,7 @@ let resume ?config (r : Region.t) =
   | Region.Paused -> ()
   | _ -> invalid_arg "Executor.resume: region not paused");
   let prev_config = r.Region.config in
+  let flush0 = if Ledger.active () then Engine.time r.Region.eng else min_int in
   (match config with
   | None -> ()
   | Some cfg ->
@@ -236,6 +277,9 @@ let resume ?config (r : Region.t) =
       end;
       r.Region.config <- cfg);
   Option.iter (fun f -> f ()) r.Region.on_reset;
+  (* The flush phase covers channel draining and statistics resets done
+     while the region is quiescent. *)
+  if flush0 > min_int then note_phase r ~phase:"flush" (Engine.time r.Region.eng - flush0);
   r.Region.pause_requested <- false;
   r.Region.master_completed <- false;
   r.Region.reconfig_count <- r.Region.reconfig_count + 1;
@@ -257,7 +301,10 @@ let resume ?config (r : Region.t) =
       (Event.Resume
          { region = r.Region.name; scheme = Region.scheme_name r; threads = Config.threads cfg })
   end;
-  start_workers r
+  start_workers r;
+  (* Restart phase: from here until the first worker completes an
+     iteration (closed in [region_worker]). *)
+  if Ledger.active () then r.Region.restart_mark <- Engine.time r.Region.eng
 
 (* Whether [cfg] differs from the current configuration only in the DoPs
    of top-level tasks (same scheme, same nested choices). *)

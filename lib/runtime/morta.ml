@@ -3,16 +3,34 @@
 
    A mechanism is a reconfiguration policy: given a region (with its Decima
    statistics and thread budget), it proposes a new parallelism
-   configuration or [None] to keep the current one.  [drive] runs the
-   mechanism periodically on a simulated thread, pausing/reconfiguring/
-   resuming the region when the mechanism asks for a change.  The FSM-based
-   default optimizer lives in [Controller]; mechanism implementations live
-   in the [Parcae_mechanisms] library. *)
+   configuration — tagged with the reason that triggered it — or [None] to
+   keep the current one.  [drive] runs the mechanism periodically on a
+   simulated thread, pausing/reconfiguring/resuming the region when the
+   mechanism asks for a change, and records every adopted proposal on the
+   flight recorder.  The FSM-based default optimizer lives in [Controller];
+   mechanism implementations live in the [Parcae_mechanisms] library. *)
 
 module Engine = Parcae_platform.Engine
 module Config = Parcae_core.Config
+module Flight = Parcae_obs.Flight
 
-type mechanism = Region.t -> Config.t option
+type proposal = { cfg : Config.t; why : string }
+type mechanism = Region.t -> proposal option
+
+let propose ~why cfg = Some { cfg; why }
+
+(* Flight-record an adopted proposal before applying it: the mechanism's
+   reason, the Decima evidence it acted on, and the thread total it moves
+   the region to. *)
+let record_proposal (region : Region.t) { cfg; why } =
+  if Flight.enabled () then begin
+    let threads = Config.threads cfg in
+    Flight.decision
+      ~t:(Engine.time region.Region.eng)
+      ~actor:"morta" ~region:region.Region.name ~reason:why
+      ~tasks:(Decima.flight_tasks (Region.decima region))
+      ~candidate:threads ~chosen:threads ~threads ~budget:(Region.budget region) ()
+  end
 
 (* Run [mechanism] every [period_ns] until the region completes or [stop]
    returns true.  Intended as the body of a dedicated simulated thread:
@@ -25,7 +43,9 @@ let drive ?(stop = fun () -> false) ~period_ns ~mechanism (region : Region.t) =
     if (not (Region.is_done region)) && not (stop ()) then
       match mechanism region with
       | None -> ()
-      | Some cfg -> Executor.reconfigure region cfg
+      | Some p ->
+          record_proposal region p;
+          Executor.reconfigure region p.cfg
   done
 
 (* Spawn the executive thread for a region. *)

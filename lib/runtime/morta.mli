@@ -3,11 +3,21 @@
 
     A mechanism is a reconfiguration policy: given a region (with its
     Decima statistics and thread budget) it proposes a new parallelism
-    configuration, or [None] to keep the current one.  Implementations
+    configuration tagged with the reason that triggered it, or [None] to
+    keep the current one.  Adopted proposals are recorded on the
+    {!Parcae_obs.Flight} recorder before being applied.  Implementations
     live in the [Parcae_mechanisms] library; the FSM-based default
     optimizer is {!Controller}. *)
 
-type mechanism = Region.t -> Parcae_core.Config.t option
+type proposal = {
+  cfg : Parcae_core.Config.t;
+  why : string;  (** stable snake_case reason tag, e.g. ["queue_threshold"] *)
+}
+
+type mechanism = Region.t -> proposal option
+
+val propose : why:string -> Parcae_core.Config.t -> proposal option
+(** [propose ~why cfg = Some { cfg; why }] — mechanism convenience. *)
 
 val drive :
   ?stop:(unit -> bool) -> period_ns:int -> mechanism:mechanism -> Region.t -> unit

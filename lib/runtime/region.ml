@@ -61,6 +61,12 @@ type t = {
   mutable reconfig_count : int;
   mutable scheme_switches : int;
   mutable pause_wait_ns : int;  (* total time spent waiting for parks *)
+  (* Phase timestamps for the overhead ledger (Chapter 7 decomposition).
+     -1 means "not in a measured reconfiguration"; the executor stamps
+     them only while Ledger.active (). *)
+  mutable reconfig_t0 : int;  (* when the pause was requested *)
+  mutable first_park_at : int;  (* when the first worker parked *)
+  mutable restart_mark : int;  (* when resume finished relaunching workers *)
 }
 
 let create ?(budget = max_int) ?on_pause ?on_reset ~name eng schemes config =
@@ -103,6 +109,9 @@ let create ?(budget = max_int) ?on_pause ?on_reset ~name eng schemes config =
     reconfig_count = 0;
     scheme_switches = 0;
     pause_wait_ns = 0;
+    reconfig_t0 = -1;
+    first_park_at = -1;
+    restart_mark = -1;
   }
 
 (* The ParDescriptor currently selected by the configuration. *)

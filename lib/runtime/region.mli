@@ -45,6 +45,10 @@ type t = {
   mutable reconfig_count : int;
   mutable scheme_switches : int;
   mutable pause_wait_ns : int;
+  mutable reconfig_t0 : int;
+      (** overhead-ledger phase stamp: pause request time, -1 when idle *)
+  mutable first_park_at : int;  (** first worker park time, -1 when idle *)
+  mutable restart_mark : int;  (** resume completion time, -1 when idle *)
 }
 
 val create :

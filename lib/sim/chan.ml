@@ -245,6 +245,9 @@ let recv_batch ?max ch =
    were removed.  Used to strip pause sentinels from work queues on
    resumption without dropping pending requests. *)
 let filter ch keep =
+  (* A flush is a real channel operation: charge one op of virtual time so
+     the reconfiguration overhead ledger sees a nonzero flush phase. *)
+  Engine.compute (cost ch);
   let kept = Queue.create () in
   let removed = ref 0 in
   Queue.iter (fun v -> if keep v then Queue.push v kept else incr removed) ch.q;
@@ -263,6 +266,7 @@ let filter ch keep =
 (* Discard all queued items; used when the runtime resets communication
    channels on resumption after a reconfiguration (Section 4.5). *)
 let drain ch =
+  Engine.compute (cost ch);
   let n = Queue.length ch.q in
   Queue.clear ch.q;
   Engine.broadcast ch.nonfull;

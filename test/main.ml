@@ -19,5 +19,6 @@ let () =
       ("trace", Test_trace.suite);
       ("trace-oracle", Test_trace_oracle.suite);
       ("metrics", Test_metrics.suite);
+      ("flight", Test_flight.suite);
       ("native", Test_native.suite);
     ]

@@ -53,7 +53,9 @@ let test_wqt_h_hysteresis () =
   load := 1.0;
   check_bool "first low obs: no flip yet" true (mech region = None);
   (match mech region with
-  | Some cfg -> check_bool "flips to light" true (Config.equal cfg light)
+  | Some p ->
+      check_bool "flips to light" true (Config.equal p.Morta.cfg light);
+      Alcotest.(check string) "light reason" "wq_toggle_light" p.Morta.why
   | None -> Alcotest.fail "expected flip to light");
   (* One high observation is not enough (hysteresis). *)
   load := 10.0;
@@ -64,7 +66,9 @@ let test_wqt_h_hysteresis () =
   load := 10.0;
   check_bool "high 1/2" true (mech region = None);
   (match mech region with
-  | Some cfg -> check_bool "flips to heavy" true (Config.equal cfg heavy)
+  | Some p ->
+      check_bool "flips to heavy" true (Config.equal p.Morta.cfg heavy);
+      Alcotest.(check string) "heavy reason" "wq_toggle_heavy" p.Morta.why
   | None -> Alcotest.fail "expected flip to heavy");
   stop := true;
   ignore (Engine.run eng)
@@ -126,7 +130,9 @@ let test_seda_grows_loaded_stages () =
   check_bool "below threshold: no growth" true (mech region = None);
   q_len := 9.0;
   (match mech region with
-  | Some cfg -> check_int "grew by one" 2 (Config.dops cfg).(0)
+  | Some p ->
+      check_int "grew by one" 2 (Config.dops p.Morta.cfg).(0);
+      Alcotest.(check string) "seda reason" "queue_threshold" p.Morta.why
   | None -> Alcotest.fail "expected growth");
   stop := true;
   ignore (Engine.run eng)

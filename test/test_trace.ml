@@ -77,6 +77,43 @@ let test_null_sink_disabled () =
   check_bool "with_sink restores" false (Trace.enabled ());
   check_int "event landed in installed sink" 1 (Sink.length s)
 
+(* A saturated ring must account for its losses everywhere the trace is
+   consumed: the sink's drop counter, a leading overflow marker in the
+   export helpers, and the metrics registry. *)
+let test_saturated_ring_accounting () =
+  let reg = Obs.Metrics.create () in
+  let s = Sink.create ~capacity:4 () in
+  Obs.Metrics.with_registry reg (fun () ->
+      for i = 1 to 10 do
+        Sink.record s ~t:(i * 10) (Event.Hook_sample { task = i; dt_ns = i })
+      done);
+  check_int "sink counts drops" 6 (Sink.dropped s);
+  (* The export helpers prepend a self-describing marker... *)
+  (match Export.events_of_sink s with
+  | marker :: rest ->
+      (match marker.Event.kind with
+      | Event.Trace_overflow { dropped } -> check_int "marker carries drop count" 6 dropped
+      | _ -> Alcotest.fail "expected a leading Trace_overflow marker");
+      check_int "marker timestamped at oldest retained event" 70 marker.Event.t;
+      check_int "retained events follow" 4 (List.length rest)
+  | [] -> Alcotest.fail "saturated sink exported nothing");
+  (* ...which survives the JSONL and Chrome forms. *)
+  (match Export.parse_jsonl (Export.jsonl_of_sink s) with
+  | { Event.kind = Event.Trace_overflow { dropped }; _ } :: _ ->
+      check_int "JSONL marker round-trips" 6 dropped
+  | _ -> Alcotest.fail "JSONL export lost the overflow marker");
+  let chrome = Json.parse (Export.chrome_of_sink s) in
+  let names = List.map (Json.get_str "name") (Json.get_list "traceEvents" chrome) in
+  check_bool "Chrome export has a trace-overflow instant" true
+    (List.mem "trace-overflow" names);
+  (* ...and the registry saw every overwrite as it happened. *)
+  let c = Obs.Metrics.counter reg "parcae_trace_dropped_total" in
+  check_int "metrics counted the drops" 6 (Obs.Metrics.counter_value c);
+  (* An unsaturated sink gets no marker. *)
+  let s2 = Sink.create ~capacity:8 () in
+  Sink.record s2 ~t:1 (Event.Hook_sample { task = 1; dt_ns = 1 });
+  check_int "no marker without drops" 1 (List.length (Export.events_of_sink s2))
+
 (* ----------------------------- exporters --------------------------- *)
 
 (* One event per constructor, exercising every payload field. *)
@@ -94,6 +131,7 @@ let all_kinds =
     Event.Hook_sample { task = 2; dt_ns = 1234 };
     Event.Feature_sample { name = "SystemPower"; value = 96.875 };
     Event.Cores_online { cores = 16 };
+    Event.Trace_overflow { dropped = 41 };
     Event.Region_stop { region = "main" };
   ]
 
@@ -105,6 +143,28 @@ let test_jsonl_roundtrip_all_constructors () =
   (* Floats without a finite decimal expansion survive the text form. *)
   let awkward = [ Event.make ~t:1 (Event.Feature_sample { name = "f"; value = 0.1 }) ] in
   check_bool "0.1 round-trips exactly" true (Export.parse_jsonl (Export.jsonl awkward) = awkward)
+
+(* The unit convention: everything in the tree is integer nanoseconds;
+   only the Chrome exporter converts, to the trace_event format's float
+   microseconds.  Pin the conversion so a unit regression cannot hide. *)
+let test_timestamp_unit_conversion () =
+  Alcotest.(check (float 0.0)) "us_of_ns is exact division by 1000" 1234.567
+    (Export.us_of_ns 1_234_567);
+  Alcotest.(check (float 0.0)) "sub-microsecond times keep precision" 0.001
+    (Export.us_of_ns 1);
+  let ev = [ Event.make ~t:2_500 (Event.Pause { region = "r" }) ] in
+  (* JSONL keeps raw ns... *)
+  (match Json.parse (List.hd (String.split_on_char '\n' (Export.jsonl ev))) with
+  | j -> check_int "JSONL keeps integer ns" 2_500 (Json.get_int "t" j));
+  (* ...Chrome converts every ts to us. *)
+  let evs = Json.get_list "traceEvents" (Json.parse (Export.chrome ev)) in
+  let ts =
+    List.filter_map
+      (fun e -> if Json.get_str "ph" e = "M" then None else Some (Json.get_float "ts" e))
+      evs
+  in
+  check_bool "at least one timestamped record" true (ts <> []);
+  List.iter (fun t -> Alcotest.(check (float 0.0)) "Chrome ts in us" 2.5 t) ts
 
 let test_chrome_export_well_formed () =
   let j = Json.parse (Export.chrome all_events) in
@@ -280,8 +340,12 @@ let suite =
     Alcotest.test_case "sink: clear releases the ring allocation" `Quick
       test_clear_releases_storage;
     Alcotest.test_case "sink: null sink disables tracing" `Quick test_null_sink_disabled;
+    Alcotest.test_case "sink: saturated ring accounts for drops" `Quick
+      test_saturated_ring_accounting;
     Alcotest.test_case "export: JSONL round-trips all constructors" `Quick
       test_jsonl_roundtrip_all_constructors;
+    Alcotest.test_case "export: ns-to-us conversion pinned" `Quick
+      test_timestamp_unit_conversion;
     Alcotest.test_case "export: Chrome trace is well-formed" `Quick test_chrome_export_well_formed;
     Alcotest.test_case "trace: real run exports and satisfies oracle" `Quick
       test_traced_run_exports_and_oracle;

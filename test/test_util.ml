@@ -163,6 +163,42 @@ let test_reservoir_bounded_beyond_capacity () =
   check_int "reset forgets the stream" 0 (Stats.Reservoir.count r);
   check_int "reset empties the sample" 0 (Stats.Reservoir.sample_count r)
 
+(* Vitter's Algorithm R is driven entirely by the reservoir's own RNG, so a
+   fixed seed must make the whole observable surface — retained sample,
+   every percentile, extremes — reproducible run to run.  The flight
+   recorder's replay guarantee leans on this: percentiles recorded in a log
+   can be regenerated offline from the same stream. *)
+let test_reservoir_seeded_determinism () =
+  let stream r =
+    for i = 1 to 5_000 do
+      Stats.Reservoir.observe r (float_of_int ((i * 7919) mod 1000))
+    done
+  in
+  let make seed =
+    let r = Stats.Reservoir.create ~capacity:32 ~seed () in
+    stream r;
+    r
+  in
+  let a = make 17 and b = make 17 in
+  Alcotest.(check bool) "same seed: identical retained samples" true
+    (Stats.Reservoir.samples a = Stats.Reservoir.samples b);
+  List.iter
+    (fun p ->
+      check_float
+        (Printf.sprintf "same seed: identical p%.0f" p)
+        (Stats.Reservoir.percentile p a)
+        (Stats.Reservoir.percentile p b))
+    [ 0.0; 25.0; 50.0; 90.0; 99.0; 100.0 ];
+  let lo_a, hi_a = Stats.Reservoir.min_max a and lo_b, hi_b = Stats.Reservoir.min_max b in
+  check_float "same seed: identical min" lo_a lo_b;
+  check_float "same seed: identical max" hi_a hi_b;
+  (* A different seed keeps a different subsample of the same stream (the
+     aggregates stay exact regardless). *)
+  let c = make 18 in
+  Alcotest.(check bool) "different seed: different subsample" true
+    (Stats.Reservoir.samples a <> Stats.Reservoir.samples c);
+  check_float "sum independent of seed" (Stats.Reservoir.sum a) (Stats.Reservoir.sum c)
+
 let test_ewma () =
   let e = Stats.Ewma.create ~alpha:0.5 in
   Alcotest.(check bool) "not primed" false (Stats.Ewma.primed e);
@@ -285,6 +321,8 @@ let suite =
       test_reservoir_exact_until_capacity;
     Alcotest.test_case "stats: reservoir bounded beyond capacity" `Quick
       test_reservoir_bounded_beyond_capacity;
+    Alcotest.test_case "stats: reservoir deterministic under fixed seed" `Quick
+      test_reservoir_seeded_determinism;
     Alcotest.test_case "stats: ewma" `Quick test_ewma;
     Alcotest.test_case "stats: window" `Quick test_window;
     Alcotest.test_case "pqueue: order" `Quick test_pqueue_order;
