@@ -38,13 +38,50 @@ let dops () =
       String.split_on_char ',' s
       |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
 
+(* Pool sizing for a measured run at transform DoP [dop].  The
+   work-stealing scheduler multiplexes fibers, so correctness never needs
+   more domains than the host has — but *overlap* needs one domain per
+   concurrently-spinning lane (dop transform lanes + produce + consume +
+   the controller).  We request that, clamp to the host's recommended
+   count, and report both numbers so the artifact is honest about what
+   actually ran. *)
+let requested_domains ~dop = dop + 3
+
+let spawnable_domains ~dop =
+  min (requested_domains ~dop) (Domain.recommended_domain_count ())
+
+(* Fail the run loudly when the host cannot supply the requested domains:
+   always warn on stderr; exit non-zero under PARCAE_BENCH_STRICT=1 (the
+   CI artifact job keeps strictness off so a 1-core runner still produces
+   an honest BENCH_native.json instead of nothing). *)
+let check_domains ~dop ~spawned =
+  let requested = requested_domains ~dop in
+  if spawned < requested then begin
+    Printf.eprintf
+      "WARNING: DoP %d requested %d domains but the host spawned %d \
+       (recommended_domain_count = %d); lanes are time-multiplexed, not \
+       parallel\n%!"
+      dop requested spawned
+      (Domain.recommended_domain_count ());
+    if Sys.getenv_opt "PARCAE_BENCH_STRICT" = Some "1" then begin
+      Printf.eprintf
+        "PARCAE_BENCH_STRICT=1: failing bench run on domain divergence\n%!";
+      exit 1
+    end
+  end
+
 (* One measured run: fresh native engine, 3-stage pipeline, transform at
    [dop] lanes.  Returns wall-clock seconds from region launch to engine
-   drain (excludes domain-pool spawn and spin calibration). *)
+   drain (excludes domain-pool spawn and spin calibration), plus the
+   domain count the engine actually spawned. *)
 let measure_native ~dop =
-  (* transform lanes + produce + consume + watchers need distinct domains
-     to actually overlap their spins. *)
-  let eng = Engine.create_native ~pool:(dop + 3) () in
+  let eng = Engine.create_native ~pool:(spawnable_domains ~dop) () in
+  let spawned =
+    match Engine.native_engine eng with
+    | Some ne -> Parcae_native.Engine.pool_size ne
+    | None -> assert false
+  in
+  check_domains ~dop ~spawned;
   let q1 = Chan.create ~capacity:64 eng "q1" and q2 = Chan.create ~capacity:64 eng "q2" in
   let produced = ref 0 and consumed = ref 0 in
   let produce =
@@ -83,10 +120,15 @@ let measure_native ~dop =
   ignore (Executor.launch ~budget:(dop + 2) ~name:"native-pipe" eng [ pd ] ~on_reset config);
   ignore (Engine.run eng);
   let dt = Unix.gettimeofday () -. t0 in
+  let steals =
+    match Engine.native_engine eng with
+    | Some ne -> Parcae_native.Engine.steal_count ne
+    | None -> 0
+  in
   Engine.shutdown eng;
   if !consumed <> items then
     failwith (Printf.sprintf "native_speedup: consumed %d of %d items" !consumed items);
-  dt
+  (dt, spawned, steals)
 
 let native_speedup () =
   let dops = dops () in
@@ -96,34 +138,49 @@ let native_speedup () =
   let t =
     Table.create
       ~title:"Native backend: pipeline wall-clock vs transform DoP"
-      ~header:[ "DoP"; "wall (s)"; "speedup" ]
+      ~header:[ "DoP"; "domains"; "wall (s)"; "speedup"; "steals" ]
   in
   let results =
     List.map
       (fun dop ->
-        let dt = measure_native ~dop in
-        Printf.printf "  DoP %d: %.3fs\n%!" dop dt;
-        (dop, dt))
+        let dt, spawned, steals = measure_native ~dop in
+        Printf.printf "  DoP %d (%d domains): %.3fs, %d steals\n%!" dop spawned dt steals;
+        (dop, dt, spawned, steals))
       dops
   in
-  let base = match results with (_, dt) :: _ -> dt | [] -> 1.0 in
+  let base = match results with (_, dt, _, _) :: _ -> dt | [] -> 1.0 in
   List.iter
-    (fun (dop, dt) ->
+    (fun (dop, dt, spawned, steals) ->
       Table.add_row t
-        [ string_of_int dop; Printf.sprintf "%.3f" dt; Printf.sprintf "%.2fx" (base /. dt) ])
+        [
+          string_of_int dop;
+          string_of_int spawned;
+          Printf.sprintf "%.3f" dt;
+          Printf.sprintf "%.2fx" (base /. dt);
+          string_of_int steals;
+        ])
     results;
   Table.print t;
+  let degraded =
+    List.exists (fun (dop, _, spawned, _) -> spawned < requested_domains ~dop) results
+  in
   let json =
     Json.Obj
       [
         ("backend", Json.Str "native");
         ("host_domains", Json.Int host);
+        ("degraded", Json.Bool degraded);
         ("items", Json.Int items);
         ("work_ns_per_item", Json.Int work_ns);
-        ("dops", Json.List (List.map (fun (d, _) -> Json.Int d) results));
-        ("wall_s", Json.List (List.map (fun (_, dt) -> Json.Float dt) results));
+        ("dops", Json.List (List.map (fun (d, _, _, _) -> Json.Int d) results));
+        ( "requested_domains",
+          Json.List (List.map (fun (d, _, _, _) -> Json.Int (requested_domains ~dop:d)) results) );
+        ( "spawned_domains",
+          Json.List (List.map (fun (_, _, s, _) -> Json.Int s) results) );
+        ("wall_s", Json.List (List.map (fun (_, dt, _, _) -> Json.Float dt) results));
         ( "speedup",
-          Json.List (List.map (fun (_, dt) -> Json.Float (base /. dt)) results) );
+          Json.List (List.map (fun (_, dt, _, _) -> Json.Float (base /. dt)) results) );
+        ("steals", Json.List (List.map (fun (_, _, _, st) -> Json.Int st) results));
       ]
   in
   Parcae_obs.Export.write_file "BENCH_native.json" (Json.to_string json ^ "\n");

@@ -75,6 +75,35 @@ let test_native_chan =
          NC.send ch 1;
          ignore (NC.recv ch)))
 
+let batch16 = List.init 16 Fun.id
+
+let test_native_chan_batch =
+  Test.make ~name:"native: chan send_batch+recv_batch (16 items)"
+    (Staged.stage (fun () ->
+         let module NC = Parcae_native.Chan in
+         let ch = Lazy.force native_chan in
+         NC.send_batch ch batch16;
+         ignore (NC.recv_batch ~max:16 ch)))
+
+(* Owner-side deque throughput: the fast path every worker iteration
+   takes.  push+pop on an otherwise-empty deque, no contention. *)
+let test_deque_owner =
+  let dq = Parcae_native.Deque.create () in
+  Test.make ~name:"native: deque push+pop (owner path)"
+    (Staged.stage (fun () ->
+         Parcae_native.Deque.push dq 1;
+         ignore (Parcae_native.Deque.pop dq)))
+
+(* Thief-side path: push as owner, take from the top with the CAS the
+   stealers use.  Still uncontended — the point is the instruction cost of
+   the protocol, not cache-line ping-pong. *)
+let test_deque_steal =
+  let dq = Parcae_native.Deque.create () in
+  Test.make ~name:"native: deque push+steal (thief path)"
+    (Staged.stage (fun () ->
+         Parcae_native.Deque.push dq 1;
+         ignore (Parcae_native.Deque.steal dq)))
+
 (* ns/op here should read close to 100_000: the calibrated spin kernel is
    asked for 100us of work, so the estimate measures calibration accuracy
    directly. *)
@@ -95,6 +124,9 @@ let run () =
         test_scc_build;
         test_domain_spawn;
         test_native_chan;
+        test_native_chan_batch;
+        test_deque_owner;
+        test_deque_steal;
         test_spin_accuracy;
       ]
   in

@@ -62,19 +62,22 @@ type 'a stage_handle = {
 }
 
 (* Shared exit bookkeeping: count exiting lanes; the last one forwards the
-   strongest sentinel seen ([Eos] wins over [Flush]). *)
+   strongest sentinel seen ([Eos] wins over [Flush]).  Atomics, not refs:
+   on the native backend lanes exit concurrently, and the eos flag must be
+   published before the increment that elects the forwarder (SC atomics)
+   so the last lane cannot miss another lane's Eos. *)
 let make_exit ~forward =
-  let exited = ref 0 in
-  let saw_eos = ref false in
+  let exited = Atomic.make 0 in
+  let saw_eos = Atomic.make false in
   let exit_path (ctx : Task.ctx) ?(eos = false) status =
-    if eos then saw_eos := true;
-    exited := !exited + 1;
-    if !exited >= ctx.Task.dop then forward (if !saw_eos then S_eos else S_flush);
+    if eos then Atomic.set saw_eos true;
+    let n = Atomic.fetch_and_add exited 1 + 1 in
+    if n >= ctx.Task.dop then forward (if Atomic.get saw_eos then S_eos else S_flush);
     status
   in
   let reset () =
-    exited := 0;
-    saw_eos := false
+    Atomic.set exited 0;
+    Atomic.set saw_eos false
   in
   (exit_path, reset)
 

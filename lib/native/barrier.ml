@@ -1,34 +1,48 @@
-(* Generation-counted reusable barrier on the engine's big lock. *)
+(* Generation-counted reusable barrier on its own monitor; waiting fibers
+   suspend (their domains keep running other tasks), so a barrier across
+   more parties than pool domains cannot deadlock the scheduler. *)
+
+module Monitor = Engine.Monitor
 
 type t = {
   name : string;
   eng : Engine.t;
   parties : int;
-  turn : Engine.cond;
-  mutable arrived : int;
-  mutable generation : int;
-  mutable total_wait_ns : int;
+  mon : Monitor.m;
+  turn : Monitor.c;
+  mutable arrived : int;  (* guarded by mon *)
+  mutable generation : int;  (* guarded by mon *)
+  mutable total_wait_ns : int;  (* guarded by mon *)
 }
 
 let create eng ~parties name =
   if parties <= 0 then invalid_arg (Printf.sprintf "Barrier.create %s: parties <= 0" name);
-  { name; eng; parties; turn = Engine.cond_create (); arrived = 0; generation = 0;
-    total_wait_ns = 0 }
+  let mon = Monitor.create () in
+  {
+    name;
+    eng;
+    parties;
+    mon;
+    turn = Monitor.cond mon;
+    arrived = 0;
+    generation = 0;
+    total_wait_ns = 0;
+  }
 
 let wait b =
-  Engine.locked b.eng (fun () ->
+  Monitor.locked b.mon (fun () ->
       b.arrived <- b.arrived + 1;
       if b.arrived = b.parties then begin
         b.arrived <- 0;
         b.generation <- b.generation + 1;
-        Engine.broadcast b.eng b.turn;
+        Monitor.broadcast b.turn;
         true
       end
       else begin
         let gen = b.generation in
         let t0 = Engine.now b.eng in
         while b.generation = gen do
-          Engine.wait_on b.eng b.turn
+          Monitor.wait b.turn
         done;
         b.total_wait_ns <- b.total_wait_ns + (Engine.now b.eng - t0);
         false

@@ -2,10 +2,11 @@
 
    [compute n] on the native backend must consume ~n real nanoseconds of
    CPU.  We time a fixed arithmetic loop once at startup to learn
-   iterations-per-ns, then replay it in slices, yielding between slices so
-   systhreads sharing a domain interleave finely.  The measured (not the
-   requested) duration is returned so busy-time accounting matches the
-   clock even when the estimate drifts. *)
+   iterations-per-ns, then replay it in slices with a cpu-relax hint
+   between slices (an SMT-friendly pause; the fiber keeps its domain for
+   the whole spin).  The measured (not the requested) duration is
+   returned so busy-time accounting matches the clock even when the
+   estimate drifts. *)
 
 let now_ns () = Int64.to_int (Monotonic_clock.now ())
 
@@ -43,8 +44,7 @@ let spins_per_ns () =
 
 let slice_ns = 200_000
 
-(* Burn ~[n] ns, yielding between ~slice_ns slices, and return measured
-   elapsed ns.  Elapsed time includes any preemption suffered while
+(* Burn ~[n] ns in ~slice_ns slices, and return measured elapsed ns.  Elapsed time includes any preemption suffered while
    spinning — on a saturated machine that is genuine scheduling delay and
    Decima should see it, exactly as it would on the paper's hardware. *)
 let spin_ns n =
@@ -57,7 +57,7 @@ let spin_ns n =
       let slice = min !remaining slice_ns in
       spin_iters (max 1 (int_of_float (float_of_int slice *. per_ns)));
       remaining := !remaining - slice;
-      if !remaining > 0 then Thread.yield ()
+      if !remaining > 0 then Domain.cpu_relax ()
     done;
     now_ns () - t0
   end

@@ -1,10 +1,34 @@
-(* Blocking FIFO channels between native tasks: a classic monitor on the
-   engine's big lock.  Because every caller already holds the big lock
-   (task code always does; [Engine.locked] covers the rest), each
-   operation is atomic with respect to all other runtime code, exactly
-   like the simulator's cooperative channels. *)
+(* Blocking FIFO channels between native tasks, contention-free on the
+   hot path.
+
+   The queue itself is a lock-free Michael–Scott linked queue (GC makes
+   the classic ABA hazard vanish: nodes are never reused).  Single sends
+   and receives are one CAS each; [send_batch] links the whole batch into
+   a private chain and appends it with a single CAS on [tail.next], and
+   [recv_batch] walks up to [max] nodes and claims them all with a single
+   CAS on [head] — the "batched CAS reservation" that makes batch cost
+   O(1) synchronisation instead of one lock round-trip per item.
+
+   Blocking is layered on top: each channel owns a small {!Engine.Monitor}
+   used only when a caller must wait.  A waiter registers itself in an
+   atomic waiter count *inside* the monitor before re-checking the queue;
+   a producer enqueues first and reads the waiter count second.  Under
+   sequentially consistent atomics one of the two must observe the other,
+   so a wake-up can never be lost, and the uncontended path never touches
+   the monitor at all.
+
+   Capacity is a soft bound: senders check [qlen] before enqueueing, so
+   with k concurrent producers occupancy can transiently overshoot the
+   capacity by at most k-1 items.  The pause/flush protocol's guarantees
+   are unaffected (its bound is the flush, not the capacity).
+
+   [filter] and [drain] are only linearizable against concurrent senders
+   in the weak sense that late arrivals may survive the flush; the
+   runtime only calls them inside a pause window, where producers are
+   parked. *)
 
 module Metrics = Parcae_obs.Metrics
+module Monitor = Engine.Monitor
 
 type chan_metrics = {
   cm_sends : Metrics.counter;
@@ -15,34 +39,147 @@ type chan_metrics = {
   cm_flushed : Metrics.counter;
 }
 
+type 'a node = { value : 'a option Atomic.t; next : 'a node option Atomic.t }
+
+let node v = { value = Atomic.make v; next = Atomic.make None }
+
 type 'a t = {
   name : string;
   capacity : int;  (* 0 = unbounded *)
   eng : Engine.t;
-  q : 'a Queue.t;
-  nonempty : Engine.cond;
-  nonfull : Engine.cond;
-  mutable total_sent : int;
-  mutable total_received : int;
-  mutable mx : (Metrics.t * chan_metrics) option;
+  head : 'a node Atomic.t;  (* dummy; items start at head.next *)
+  tail : 'a node Atomic.t;
+  qlen : int Atomic.t;
+  sent : int Atomic.t;
+  received : int Atomic.t;
+  recv_waiters : int Atomic.t;
+  send_waiters : int Atomic.t;
+  mon : Monitor.m;
+  nonempty : Monitor.c;
+  nonfull : Monitor.c;
+  mutable mx : (Metrics.t * chan_metrics) option;  (* benign racy cache *)
 }
 
 let create ?(capacity = 0) eng name =
+  let dummy = node None in
+  let mon = Monitor.create () in
   {
     name;
     capacity;
     eng;
-    q = Queue.create ();
-    nonempty = Engine.cond_create ();
-    nonfull = Engine.cond_create ();
-    total_sent = 0;
-    total_received = 0;
+    head = Atomic.make dummy;
+    tail = Atomic.make dummy;
+    qlen = Atomic.make 0;
+    sent = Atomic.make 0;
+    received = Atomic.make 0;
+    recv_waiters = Atomic.make 0;
+    send_waiters = Atomic.make 0;
+    mon;
+    nonempty = Monitor.cond mon;
+    nonfull = Monitor.cond mon;
     mx = None;
   }
 
-(* Same metric families and labels as the sim channels, so dashboards and
-   exporters work across backends; only the block-time histograms change
-   meaning (real ns instead of virtual). *)
+let name ch = ch.name
+let length ch = max 0 (Atomic.get ch.qlen)
+let is_empty ch = length ch = 0
+let total_sent ch = Atomic.get ch.sent
+let total_received ch = Atomic.get ch.received
+
+(* ------------------------------------------------------------------ *)
+(* The lock-free core.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Append the pre-linked chain [first..last] with one CAS on the live
+   tail's [next]; then swing [tail] (cooperatively — a stalled swing is
+   helped by the next enqueuer). *)
+let rec enqueue_chain ch first last =
+  let t = Atomic.get ch.tail in
+  match Atomic.get t.next with
+  | Some nxt ->
+      (* Help a lagging enqueuer finish its tail swing. *)
+      ignore (Atomic.compare_and_set ch.tail t nxt : bool);
+      enqueue_chain ch first last
+  | None ->
+      if Atomic.compare_and_set t.next None (Some first) then
+        ignore (Atomic.compare_and_set ch.tail t last : bool)
+      else enqueue_chain ch first last
+
+let enqueue ch v =
+  let n = node (Some v) in
+  enqueue_chain ch n n;
+  Atomic.incr ch.qlen;
+  Atomic.incr ch.sent
+
+(* One CAS on [head] claims the first node; the claimed node becomes the
+   new dummy and its value slot is cleared for the GC. *)
+let rec try_dequeue ch =
+  let h = Atomic.get ch.head in
+  match Atomic.get h.next with
+  | None -> None
+  | Some n ->
+      if Atomic.compare_and_set ch.head h n then begin
+        let v = Atomic.get n.value in
+        Atomic.set n.value None;
+        Atomic.decr ch.qlen;
+        Atomic.incr ch.received;
+        match v with
+        | Some _ -> v
+        | None ->
+            (* Unreachable: a node's value is written before it is linked,
+               and cleared only by the unique claimant of that node. *)
+            assert false
+      end
+      else try_dequeue ch
+
+exception Race
+
+(* Claim up to [limit] nodes with a single CAS on [head].  The walk reads
+   values before the claim; if a competing dequeuer got there first we
+   either see its cleared slot (abort, retry) or our CAS fails. *)
+let rec try_dequeue_batch ch limit =
+  if limit <= 0 then []
+  else begin
+    let h = Atomic.get ch.head in
+    let rec walk last acc k =
+      if k = limit then (last, acc, k)
+      else
+        match Atomic.get last.next with
+        | None -> (last, acc, k)
+        | Some nx -> (
+            match Atomic.get nx.value with
+            | None -> raise_notrace Race
+            | Some v -> walk nx (v :: acc) (k + 1))
+    in
+    match walk h [] 0 with
+    | exception Race -> try_dequeue_batch ch limit
+    | _, _, 0 -> []
+    | last, acc, k ->
+        if Atomic.compare_and_set ch.head h last then begin
+          Atomic.set last.value None;
+          ignore (Atomic.fetch_and_add ch.qlen (-k) : int);
+          ignore (Atomic.fetch_and_add ch.received k : int);
+          List.rev acc
+        end
+        else try_dequeue_batch ch limit
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Wake-ups (cross the monitor only when someone is actually parked).   *)
+(* ------------------------------------------------------------------ *)
+
+let wake_recv ch ~all =
+  if Atomic.get ch.recv_waiters > 0 then
+    if all then Monitor.broadcast ch.nonempty else Monitor.signal ch.nonempty
+
+let wake_send ch ~all =
+  if ch.capacity > 0 && Atomic.get ch.send_waiters > 0 then
+    if all then Monitor.broadcast ch.nonfull else Monitor.signal ch.nonfull
+
+(* ------------------------------------------------------------------ *)
+(* Metrics (same families and labels as the sim channels).             *)
+(* ------------------------------------------------------------------ *)
+
 let handles ch =
   let reg = Metrics.current () in
   match ch.mx with
@@ -76,141 +213,172 @@ let handles ch =
 
 let note_depth ch =
   if Metrics.enabled () then
-    Metrics.set_gauge (handles ch).cm_depth (float_of_int (Queue.length ch.q))
+    Metrics.set_gauge (handles ch).cm_depth (float_of_int (length ch))
 
-let name ch = ch.name
-let length ch = Queue.length ch.q
-let is_empty ch = Queue.is_empty ch.q
-let total_sent ch = ch.total_sent
-let total_received ch = ch.total_received
-
-let note_send ch waited t0 =
+let note_send ch k waited t0 =
   if Metrics.enabled () then begin
     let h = handles ch in
-    Metrics.inc h.cm_sends;
-    Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
+    if k = 1 then Metrics.inc h.cm_sends else Metrics.inc_by h.cm_sends k;
+    Metrics.set_gauge h.cm_depth (float_of_int (length ch));
     if waited then Metrics.observe_ns h.cm_send_block (Engine.now ch.eng - t0)
   end
 
-let note_recv ch waited t0 =
+let note_recv ch k waited t0 =
   if Metrics.enabled () then begin
     let h = handles ch in
-    Metrics.inc h.cm_recvs;
-    Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
+    if k = 1 then Metrics.inc h.cm_recvs else Metrics.inc_by h.cm_recvs k;
+    Metrics.set_gauge h.cm_depth (float_of_int (length ch));
     if waited then Metrics.observe_ns h.cm_recv_block (Engine.now ch.eng - t0)
   end
 
-let push ch v =
-  Queue.push v ch.q;
-  ch.total_sent <- ch.total_sent + 1;
-  Engine.signal ch.eng ch.nonempty
+(* ------------------------------------------------------------------ *)
+(* Blocking protocol.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let has_room ch = ch.capacity = 0 || Atomic.get ch.qlen < ch.capacity
+
+(* Park on [cond] until [ready ()].  The waiter count is raised inside
+   the monitor and before the re-check: a producer that reads the old
+   count must, by SC, have completed its enqueue before our re-check. *)
+let await_inside ch waiters cond ready =
+  Monitor.locked ch.mon (fun () ->
+      Atomic.incr waiters;
+      Fun.protect
+        ~finally:(fun () -> Atomic.decr waiters)
+        (fun () ->
+          while not (ready ()) do
+            Monitor.wait cond
+          done))
 
 let send ch v =
-  Engine.locked ch.eng (fun () ->
-      let waited = ref false in
-      let t0 = if Metrics.enabled () then Engine.now ch.eng else 0 in
-      while ch.capacity > 0 && Queue.length ch.q >= ch.capacity do
-        waited := true;
-        Engine.wait_on ch.eng ch.nonfull
-      done;
-      push ch v;
-      note_send ch !waited t0)
-
-let recv ch =
-  Engine.locked ch.eng (fun () ->
-      let waited = ref false in
-      let t0 = if Metrics.enabled () then Engine.now ch.eng else 0 in
-      let rec loop () =
-        match Queue.take_opt ch.q with
-        | Some v ->
-            ch.total_received <- ch.total_received + 1;
-            Engine.signal ch.eng ch.nonfull;
-            v
-        | None ->
-            waited := true;
-            Engine.wait_on ch.eng ch.nonempty;
-            loop ()
-      in
-      let v = loop () in
-      note_recv ch !waited t0;
-      v)
+  let waited = (not (has_room ch)) && ch.capacity > 0 in
+  let t0 = if waited && Metrics.enabled () then Engine.now ch.eng else 0 in
+  if waited then await_inside ch ch.send_waiters ch.nonfull (fun () -> has_room ch);
+  enqueue ch v;
+  wake_recv ch ~all:false;
+  note_send ch 1 waited t0
 
 let force_send ch v =
-  Engine.locked ch.eng (fun () ->
-      push ch v;
-      note_send ch false 0)
-
-let try_recv ch =
-  Engine.locked ch.eng (fun () ->
-      match Queue.take_opt ch.q with
-      | Some v ->
-          ch.total_received <- ch.total_received + 1;
-          Engine.signal ch.eng ch.nonfull;
-          note_recv ch false 0;
-          Some v
-      | None -> None)
+  (* Sentinel re-enqueue must never block: ignore capacity. *)
+  enqueue ch v;
+  wake_recv ch ~all:false;
+  note_send ch 1 false 0
 
 let try_send ch v =
-  Engine.locked ch.eng (fun () ->
-      if ch.capacity > 0 && Queue.length ch.q >= ch.capacity then false
-      else begin
-        push ch v;
-        note_send ch false 0;
-        true
-      end)
+  if not (has_room ch) then false
+  else begin
+    enqueue ch v;
+    wake_recv ch ~all:false;
+    note_send ch 1 false 0;
+    true
+  end
+
+let recv ch =
+  match try_dequeue ch with
+  | Some v ->
+      wake_send ch ~all:false;
+      note_recv ch 1 false 0;
+      v
+  | None ->
+      let t0 = if Metrics.enabled () then Engine.now ch.eng else 0 in
+      let out = ref None in
+      await_inside ch ch.recv_waiters ch.nonempty (fun () ->
+          match try_dequeue ch with
+          | Some v ->
+              out := Some v;
+              true
+          | None -> false);
+      let v = Option.get !out in
+      wake_send ch ~all:false;
+      note_recv ch 1 true t0;
+      v
+
+let try_recv ch =
+  match try_dequeue ch with
+  | Some v ->
+      wake_send ch ~all:false;
+      note_recv ch 1 false 0;
+      Some v
+  | None -> None
 
 let send_batch ch vs =
-  Engine.locked ch.eng (fun () ->
-      let waited = ref false in
-      let t0 = if Metrics.enabled () then Engine.now ch.eng else 0 in
-      List.iter
-        (fun v ->
-          while ch.capacity > 0 && Queue.length ch.q >= ch.capacity do
+  if vs <> [] then begin
+    let total = List.length vs in
+    let t0 = if Metrics.enabled () then Engine.now ch.eng else 0 in
+    let waited = ref false in
+    (* Bounded channels take the batch in capacity-sized chunks, waiting
+       for room between chunks, so a batch larger than the capacity wraps
+       through the queue instead of overshooting it wholesale.  Each chunk
+       is pre-linked privately and appended with ONE CAS. *)
+    let rec go vs =
+      match vs with
+      | [] -> ()
+      | v :: _ ->
+          if not (has_room ch) then begin
             waited := true;
-            Engine.wait_on ch.eng ch.nonfull
-          done;
-          push ch v)
-        vs;
-      if Metrics.enabled () then begin
-        let h = handles ch in
-        Metrics.inc_by h.cm_sends (List.length vs);
-        Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
-        if !waited then Metrics.observe_ns h.cm_send_block (Engine.now ch.eng - t0)
-      end)
+            await_inside ch ch.send_waiters ch.nonfull (fun () -> has_room ch)
+          end;
+          let room =
+            if ch.capacity = 0 then max_int
+            else max 1 (ch.capacity - Atomic.get ch.qlen)
+          in
+          let first = node (Some v) in
+          let rec link last k = function
+            | vs when k >= room -> (last, k, vs)
+            | [] -> (last, k, [])
+            | v :: tl ->
+                let n = node (Some v) in
+                Atomic.set last.next (Some n);
+                link n (k + 1) tl
+          in
+          let last, k, rest = link first 1 (List.tl vs) in
+          enqueue_chain ch first last;
+          ignore (Atomic.fetch_and_add ch.qlen k : int);
+          ignore (Atomic.fetch_and_add ch.sent k : int);
+          wake_recv ch ~all:(k > 1);
+          go rest
+    in
+    go vs;
+    note_send ch total !waited t0
+  end
 
 let recv_batch ?max ch =
-  Engine.locked ch.eng (fun () ->
-      let waited = ref false in
+  let limit =
+    match max with
+    | Some m ->
+        if m < 1 then invalid_arg "Chan.recv_batch: max must be >= 1";
+        m
+    | None -> max_int
+  in
+  (* Blocks only while the channel is empty; returns 1..limit items. *)
+  let take () =
+    let limit = if limit = max_int then Stdlib.max 1 (length ch) else limit in
+    try_dequeue_batch ch limit
+  in
+  match take () with
+  | _ :: _ as items ->
+      wake_send ch ~all:true;
+      note_recv ch (List.length items) false 0;
+      items
+  | [] ->
       let t0 = if Metrics.enabled () then Engine.now ch.eng else 0 in
-      while Queue.is_empty ch.q do
-        waited := true;
-        Engine.wait_on ch.eng ch.nonempty
-      done;
-      let limit =
-        match max with
-        | Some m ->
-            if m < 1 then invalid_arg "Chan.recv_batch: max must be >= 1";
-            m
-        | None -> Queue.length ch.q
-      in
       let out = ref [] in
-      let taken = ref 0 in
-      while !taken < limit && not (Queue.is_empty ch.q) do
-        out := Queue.pop ch.q :: !out;
-        incr taken
-      done;
-      ch.total_received <- ch.total_received + !taken;
-      Engine.broadcast ch.eng ch.nonfull;
-      if Metrics.enabled () then begin
-        let h = handles ch in
-        Metrics.inc_by h.cm_recvs !taken;
-        Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
-        if !waited then Metrics.observe_ns h.cm_recv_block (Engine.now ch.eng - t0)
-      end;
-      List.rev !out)
+      await_inside ch ch.recv_waiters ch.nonempty (fun () ->
+          match take () with
+          | [] -> false
+          | items ->
+              out := items;
+              true);
+      wake_send ch ~all:true;
+      note_recv ch (List.length !out) true t0;
+      !out
+
+(* ------------------------------------------------------------------ *)
+(* Flush operations (pause-window protocol).                           *)
+(* ------------------------------------------------------------------ *)
 
 let flush_note ch removed =
-  if removed > 0 then Engine.broadcast ch.eng ch.nonfull;
+  if removed > 0 then wake_send ch ~all:true;
   if Parcae_obs.Trace.enabled () then
     Parcae_obs.Trace.emit ~t:(Engine.now ch.eng)
       (Parcae_obs.Event.Chan_flush { chan = ch.name; dropped = removed });
@@ -219,19 +387,32 @@ let flush_note ch removed =
     note_depth ch
   end
 
+let take_all ch =
+  let rec go acc =
+    match try_dequeue_batch ch 1024 with
+    | [] -> List.concat (List.rev acc)
+    | items -> go (items :: acc)
+  in
+  go []
+
 let filter ch keep =
-  Engine.locked ch.eng (fun () ->
-      let kept = Queue.create () in
-      let removed = ref 0 in
-      Queue.iter (fun v -> if keep v then Queue.push v kept else incr removed) ch.q;
-      Queue.clear ch.q;
-      Queue.transfer kept ch.q;
-      flush_note ch !removed;
-      !removed)
+  Monitor.locked ch.mon (fun () ->
+      let items = take_all ch in
+      let kept = List.filter keep items in
+      let removed = List.length items - List.length kept in
+      (* Re-enqueue survivors in order; counters net out to zero so the
+         totals only reflect real traffic, not the flush round-trip
+         (flushed items stay "sent but never received", like the sim). *)
+      List.iter (fun v -> enqueue ch v) kept;
+      ignore (Atomic.fetch_and_add ch.sent (-List.length kept) : int);
+      ignore (Atomic.fetch_and_add ch.received (-List.length items) : int);
+      if kept <> [] then wake_recv ch ~all:true;
+      flush_note ch removed;
+      removed)
 
 let drain ch =
-  Engine.locked ch.eng (fun () ->
-      let n = Queue.length ch.q in
-      Queue.clear ch.q;
+  Monitor.locked ch.mon (fun () ->
+      let n = List.length (take_all ch) in
+      ignore (Atomic.fetch_and_add ch.received (-n) : int);
       flush_note ch n;
       n)

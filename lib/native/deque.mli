@@ -1,0 +1,33 @@
+(** Chase–Lev work-stealing deque.
+
+    The owner domain treats the deque as a LIFO stack through {!push} and
+    {!pop}; thief domains take the oldest element through {!steal}.  All
+    operations are lock-free; [steal] performs at most one CAS and reports
+    {!Contended} instead of spinning so schedulers can rotate victims.
+
+    Safety: {!push} and {!pop} must only be called from the single owner
+    domain.  {!steal}, {!size} and {!is_empty} may be called from any
+    domain. *)
+
+type 'a t
+
+type 'a steal_result =
+  | Stolen of 'a
+  | Empty  (** no element was observable at the top *)
+  | Contended  (** lost the CAS to the owner or another thief; retry elsewhere *)
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only: add at the bottom.  Grows the internal buffer when full. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: remove the most recently pushed remaining element (LIFO). *)
+
+val steal : 'a t -> 'a steal_result
+(** Any domain: attempt to take the oldest element (FIFO). *)
+
+val size : 'a t -> int
+(** Owner-accurate occupancy; an approximation when read by thieves. *)
+
+val is_empty : 'a t -> bool

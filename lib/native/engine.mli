@@ -1,50 +1,47 @@
-(** The native OCaml 5 multicore engine.
+(** The native OCaml 5 multicore engine: a work-stealing fiber scheduler.
 
-    This is the real-hardware counterpart of {!Parcae_sim.Engine}: tasks
-    are systhreads multiplexed over a fixed pool of OCaml 5 domains,
-    [compute] runs the calibrated spin kernel of {!Calibrate}, and the
-    clock is the host monotonic clock (ns since engine creation).
+    This is the real-hardware counterpart of {!Parcae_sim.Engine}.  Tasks
+    are effect-based fibers multiplexed over a fixed pool of OCaml 5
+    domains; [compute] runs the calibrated spin kernel of {!Calibrate};
+    the clock is the host monotonic clock (ns since engine creation).
 
-    {b Concurrency model.}  The engine serializes all task code behind one
-    module-wide runtime lock (the "big lock" [G]): a task holds [G] from
-    the moment its body starts except while it spins in [compute], sleeps,
-    yields, or waits on a condition variable.  This reproduces the
-    simulator's cooperative atomicity — code between two blocking points
-    is atomic — so every shared-state protocol written against the sim
-    (channels, pause/flush, barrier-less resize, Decima counters) is
-    race-free on the native backend without modification.  Parallel
-    speedup comes from [compute]: the spin runs with [G] released, on
-    whichever domain hosts the task, so up to [pool] compute bursts
-    proceed concurrently.
+    {b Scheduling.}  Each pool domain owns a Chase–Lev deque ({!Deque}):
+    it pushes and pops its own work LIFO for locality, and when empty it
+    steals the oldest task from a victim chosen in randomized order,
+    backing off exponentially to an idle park when the whole engine is
+    quiet.  Blocking operations (condition wait, [sleep], [join]) suspend
+    the fiber — the domain moves on to other work — and the wake-up may
+    resume the fiber on a different domain.
 
-    Unlike the simulator, scheduling is {e not} deterministic: condition
-    waiters wake in OS order, not FIFO.  Protocol-level invariants (the
-    trace oracle) still hold; trace timestamps are real nanoseconds. *)
+    {b Concurrency model.}  There is {e no} big runtime lock: task code
+    runs genuinely in parallel.  Code between two blocking points is NOT
+    atomic (unlike both the simulator and the PR-4 native engine); shared
+    state must be protected with {!Monitor}s, atomics, or channel
+    operations.  Scheduling is not deterministic; protocol-level
+    invariants (the trace oracle) still hold, and trace timestamps are
+    real nanoseconds. *)
 
 type t
-(** One native engine: a domain pool plus the big runtime lock. *)
+(** One native engine: a domain pool with per-domain run queues. *)
 
 type task
-(** A native task: a systhread pinned to one pool domain. *)
-
-type cond = Condition.t
-(** Condition variables are host conditions tied to the engine's big
-    lock.  Mesa semantics, like the simulator: re-check the predicate. *)
+(** A native task: a fiber with an async/await-style join handle. *)
 
 exception Thread_failure of string * exn
 (** Raised out of {!run} when a task raises: carries the task's name and
     the original exception (first failure wins). *)
 
 val create : ?pool:int -> unit -> t
-(** Start an engine with [pool] domains (default
+(** Start an engine with [pool] worker domains (default
     [Domain.recommended_domain_count () - 1], at least 1).  Domains are
     spawned eagerly and live until {!shutdown}. *)
 
 val pool_size : t -> int
 
 val spawn : t -> name:string -> (unit -> unit) -> task
-(** Create a task; it is assigned to a pool domain round-robin and starts
-    immediately.  Callable from outside the engine or from another task. *)
+(** Create a fiber and enqueue it: onto the calling worker's own deque
+    when spawning from task code, onto the injection queue otherwise.
+    Work stealing balances it across the pool. *)
 
 val run : ?until:int -> t -> int
 (** Block until every live task has finished, a task fails (re-raised as
@@ -54,48 +51,80 @@ val run : ?until:int -> t -> int
     them drain (stop flags, Eos) before {!shutdown}. *)
 
 val shutdown : t -> unit
-(** Stop the domain pool.  Joins the pool domains only when no task is
-    live; otherwise the domains are abandoned to the process exit
-    (documented leak — native threads cannot be killed). *)
+(** Stop and join the pool domains.  Workers first drain every runnable
+    task; fibers blocked on a condition or timer at that point are
+    abandoned (their continuations are dropped — no OS thread leaks). *)
 
-(** {1 Task-context operations}
-
-    [compute] takes the task explicitly; the rest take the engine and may
-    be called with or without the big lock held (they acquire it as
-    needed), so the platform layer can drive them from any context. *)
+(** {1 Task-context operations} *)
 
 val compute : task -> int -> unit
-(** Burn ~[n] ns of real CPU with the big lock released; accounts the
-    measured time into the task's [busy_ns]. *)
+(** Burn ~[n] ns of real CPU on the hosting domain; accounts the measured
+    time into the task's [busy_ns].  Runs without any lock held, so up to
+    [pool] compute bursts proceed concurrently. *)
 
 val now : t -> int
 (** Host monotonic ns since engine creation. *)
 
 val yield : t -> unit
+(** From a fiber: reschedule through the (FIFO) injection queue so other
+    runnable work gets the domain.  Elsewhere: a CPU relax hint. *)
+
 val sleep : t -> int -> unit
+(** From a fiber: suspend on the engine's timer list; the domain runs
+    other work meanwhile.  From a system thread: a real [sleepf]. *)
+
 val sleep_until : t -> int -> unit
 
-val wait_on : t -> cond -> unit
-(** Release the big lock, wait, reacquire.  Must be called from a context
-    holding the big lock (task code always does). *)
-
-val signal : t -> cond -> unit
-val broadcast : t -> cond -> unit
-val join : t -> task -> unit
-val cond_create : unit -> cond
+val join : task -> unit
+(** Await the task's completion.  From a fiber this suspends (the domain
+    is not blocked) — this is what lets DOACROSS/PS-DSWP stage pipelines
+    express ordering without burning a worker.  From a system thread it
+    blocks on the task's condition variable. *)
 
 val self_opt : unit -> task option
-(** The task hosting the calling systhread, if any.  O(1) fast path when
-    no native task is live anywhere in the process — this is what lets the
-    platform layer dispatch ambient operations (compute, now, ...) without
-    taxing the simulator hot path. *)
+(** The fiber running on the calling domain, if any.  O(1): a
+    domain-local lookup, [None] on any non-pool domain — this is what
+    lets the platform layer dispatch ambient operations without taxing
+    the simulator hot path. *)
 
-val locked : t -> (unit -> 'a) -> 'a
-(** Run [f] under the big lock (no-op if already held).  The monitor
-    entry used by native channels, locks and barriers. *)
+(** {1 Monitors}
+
+    The sharded replacement for the PR-4 big lock: each concurrent
+    structure (channel, lock, barrier, region control-plane) owns one
+    small monitor guarding only its own state.  [wait] is fiber-aware —
+    a fiber waiter suspends and frees its domain; a system-thread waiter
+    blocks on a host condition variable.  Mesa semantics: waiters re-check
+    their predicate in a loop.  Rules: monitors do not nest across
+    structures on hot paths, and a fiber must never suspend while holding
+    one (the only suspension point, [wait], releases it first). *)
+module Monitor : sig
+  type m
+  type c
+
+  val create : unit -> m
+
+  val locked : m -> (unit -> 'a) -> 'a
+  (** Run [f] holding the monitor.  Reentrant: a no-op when the calling
+      thread already holds it. *)
+
+  val held : m -> bool
+  val cond : m -> c
+  val monitor_of : c -> m
+
+  val wait : c -> unit
+  (** Atomically release the monitor and wait; reacquire before
+      returning.  Must be called with the monitor held. *)
+
+  val signal : c -> unit
+  (** Wake one waiter (fiber waiters first, FIFO).  Takes the monitor
+      internally; callable with or without it held. *)
+
+  val broadcast : c -> unit
+end
 
 val task_engine : task -> t
 val task_name : task -> string
+
 val task_busy_ns : task -> int
 (** Total measured compute ns, the native analogue of the sim thread's
     [busy_ns] field that Decima's hooks read. *)
@@ -103,16 +132,23 @@ val task_busy_ns : task -> int
 (** {1 Introspection} *)
 
 val time : t -> int
+
 val busy_cores : t -> int
 (** Tasks currently inside a [compute] spin. *)
 
 val runnable_count : t -> int
-(** Always 0: the host OS owns the run queue; oversubscription pressure
-    is not observable from here. *)
+(** Tasks sitting in the run queues (all deques plus the injection
+    queue), ready but not yet executing. *)
 
 val online_cores : t -> int
 val live_threads : t -> int
 val spawned_threads : t -> int
+
+val steal_count : t -> int
+(** Successful steals since engine creation (authoritative; the
+    [parcae_steals_total] metric is a best-effort mirror). *)
+
+val steal_attempt_count : t -> int
 
 val instant_power : t -> float
 val energy_joules : t -> float

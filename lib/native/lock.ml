@@ -1,22 +1,28 @@
-(* Mutual exclusion between native tasks: a monitor on the engine's big
-   lock, with the same owner bookkeeping as the simulator's Lock (owner
-   identity, recursive-acquire and stranger-release checks, contention
-   counters). *)
+(* Mutual exclusion between native tasks: a per-structure monitor (no
+   shared engine lock), with the same owner bookkeeping as the
+   simulator's Lock — owner identity, recursive-acquire and
+   stranger-release checks, contention counters.  The owner is the
+   *fiber* (task handle), so ownership survives a migration between
+   domains while blocked elsewhere is impossible: lock holders never
+   suspend inside acquire/release. *)
+
+module Monitor = Engine.Monitor
 
 type t = {
   name : string;
-  eng : Engine.t;
-  free : Engine.cond;
-  mutable owner : Engine.task option;
-  mutable acquisitions : int;
-  mutable contended : int;
+  mon : Monitor.m;
+  free : Monitor.c;
+  mutable owner : Engine.task option;  (* guarded by mon *)
+  mutable acquisitions : int;  (* guarded by mon *)
+  mutable contended : int;  (* guarded by mon *)
 }
 
-let create eng name =
-  { name; eng; free = Engine.cond_create (); owner = None; acquisitions = 0; contended = 0 }
+let create _eng name =
+  let mon = Monitor.create () in
+  { name; mon; free = Monitor.cond mon; owner = None; acquisitions = 0; contended = 0 }
 
 let acquire lk =
-  Engine.locked lk.eng (fun () ->
+  Monitor.locked lk.mon (fun () ->
       let me =
         match Engine.self_opt () with
         | Some t -> t
@@ -32,7 +38,7 @@ let acquire lk =
         match lk.owner with
         | Some _ ->
             waited := true;
-            Engine.wait_on lk.eng lk.free;
+            Monitor.wait lk.free;
             loop ()
         | None -> ()
       in
@@ -42,12 +48,14 @@ let acquire lk =
       if !waited then lk.contended <- lk.contended + 1)
 
 let release lk =
-  Engine.locked lk.eng (fun () ->
+  Monitor.locked lk.mon (fun () ->
       (match (Engine.self_opt (), lk.owner) with
       | Some t, Some o when t == o -> ()
-      | _ -> invalid_arg (Printf.sprintf "Lock.release %s: caller does not hold the lock" lk.name));
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "Lock.release %s: caller does not hold the lock" lk.name));
       lk.owner <- None;
-      Engine.signal lk.eng lk.free)
+      Monitor.signal lk.free)
 
 let with_lock lk f =
   acquire lk;

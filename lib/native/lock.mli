@@ -1,9 +1,10 @@
 (** Mutual exclusion between native tasks.
 
     Same contract as {!Parcae_sim.Lock}: non-recursive, owner-checked
-    release, acquisition/contention counters.  Built on the engine's big
-    lock, so a Parcae lock costs one monitor entry — the real analogue of
-    the simulator's [lock_op] charge. *)
+    release, acquisition/contention counters.  Built on a per-structure
+    {!Engine.Monitor}, so a Parcae lock costs one monitor entry on its
+    own mutex — the real analogue of the simulator's [lock_op] charge —
+    and contention on one lock never slows another. *)
 
 type t
 

@@ -99,11 +99,17 @@ type family = {
 
 type t = {
   null_ : bool;
+  mu : Mutex.t;
+      (* guards structural mutation of the hashtables (family/series
+         creation) and snapshot reads.  Instrument *updates* (inc,
+         set_gauge, observe) stay unsynchronized: plain OCaml fields
+         cannot tear, and lossy counts under contention are the paper's
+         own unsynchronized-shared-counter discipline (Section 4.7). *)
   families : (string, family) Hashtbl.t;
 }
 
-let create () = { null_ = false; families = Hashtbl.create 32 }
-let null = { null_ = true; families = Hashtbl.create 0 }
+let create () = { null_ = false; mu = Mutex.create (); families = Hashtbl.create 32 }
+let null = { null_ = true; mu = Mutex.create (); families = Hashtbl.create 0 }
 let is_null r = r == null
 
 (* ---- The installed registry (mirrors Trace's current sink). ---- *)
@@ -172,17 +178,32 @@ let family reg ~name ~help ~kind ~buckets ~label_names =
       Hashtbl.replace reg.families name fam;
       fam
 
+(* Family/series creation takes the registry mutex: concurrent native
+   workers intern handles against the same hashtables, and an unguarded
+   [Hashtbl.replace] race can corrupt the table.  Creation is rare (hot
+   paths cache handles), so one mutex per registry is plenty. *)
 let series reg ~name ~help ~kind ~buckets labels =
-  let fam =
-    family reg ~name ~help ~kind ~buckets ~label_names:(List.map fst labels)
+  Mutex.lock reg.mu;
+  let i =
+    match
+      let fam =
+        family reg ~name ~help ~kind ~buckets ~label_names:(List.map fst labels)
+      in
+      let key = List.map snd labels in
+      match Hashtbl.find_opt fam.f_series key with
+      | Some i -> i
+      | None ->
+          let i = make_instrument fam in
+          Hashtbl.replace fam.f_series key i;
+          i
+    with
+    | i -> i
+    | exception e ->
+        Mutex.unlock reg.mu;
+        raise e
   in
-  let key = List.map snd labels in
-  match Hashtbl.find_opt fam.f_series key with
-  | Some i -> i
-  | None ->
-      let i = make_instrument fam in
-      Hashtbl.replace fam.f_series key i;
-      i
+  Mutex.unlock reg.mu;
+  i
 
 (* Instruments created against the null registry are free-standing dummies:
    updates mutate garbage that is never exposed, so a stray unguarded
@@ -232,9 +253,14 @@ let snapshot_instrument = function
           sum = h.h_sum; count = h.h_count }
 
 (* Families sorted by name, series sorted by label values: exposition order
-   is a function of the recorded data alone, never of hash-table layout. *)
+   is a function of the recorded data alone, never of hash-table layout.
+   Takes the registry mutex so a concurrent handle creation cannot be
+   observed mid-rehash. *)
 let snapshot reg =
-  Hashtbl.fold (fun _ fam acc -> fam :: acc) reg.families []
+  Mutex.lock reg.mu;
+  let fams = Hashtbl.fold (fun _ fam acc -> fam :: acc) reg.families [] in
+  let snap =
+    fams
   |> List.sort (fun a b -> compare a.f_name b.f_name)
   |> List.map (fun fam ->
          let samples =
@@ -245,6 +271,9 @@ let snapshot reg =
                     value = snapshot_instrument i })
          in
          { name = fam.f_name; help = fam.f_help; skind = fam.f_kind; samples })
+  in
+  Mutex.unlock reg.mu;
+  snap
 
 (* Upper bound of the bucket where the [q]-quantile falls — the standard
    bucket-resolution estimate Prometheus's histogram_quantile computes.

@@ -9,21 +9,27 @@
 
 type t = {
   capacity : int;  (* 0 only for [null] *)
+  mu : Mutex.t;
+      (* serializes record/read/clear: native workers emit concurrently *)
   mutable buf : Event.t array;  (* ring storage, lazily allocated *)
   mutable start : int;  (* index of the oldest retained event *)
   mutable len : int;  (* retained events, <= capacity *)
   mutable dropped : int;  (* events overwritten after the ring filled *)
+  mutable last_t : int;  (* high-water timestamp for the monotone clamp *)
   mutable mx : (Metrics.t * Metrics.counter) option;
       (* cached drop counter, keyed on the installed registry *)
 }
 
-let null = { capacity = 0; buf = [||]; start = 0; len = 0; dropped = 0; mx = None }
+let null =
+  { capacity = 0; mu = Mutex.create (); buf = [||]; start = 0; len = 0; dropped = 0;
+    last_t = min_int; mx = None }
 
 let default_capacity = 1 lsl 16
 
 let create ?(capacity = default_capacity) () =
   if capacity <= 0 then invalid_arg "Sink.create: capacity must be positive";
-  { capacity; buf = [||]; start = 0; len = 0; dropped = 0; mx = None }
+  { capacity; mu = Mutex.create (); buf = [||]; start = 0; len = 0; dropped = 0;
+    last_t = min_int; mx = None }
 
 let is_null s = s == null
 
@@ -32,6 +38,7 @@ let dropped s = s.dropped
 let capacity s = s.capacity
 
 let clear s =
+  Mutex.lock s.mu;
   (* Drop the ring storage too: a cleared sink must release the memory of
      the events it retained, not just forget their indices.  The next
      [record] re-allocates lazily, exactly as on first use. *)
@@ -39,7 +46,9 @@ let clear s =
   s.start <- 0;
   s.len <- 0;
   s.dropped <- 0;
-  s.mx <- None
+  s.last_t <- min_int;
+  s.mx <- None;
+  Mutex.unlock s.mu
 
 (* Size of the backing array — 0 before the first event and after [clear].
    Exposed so tests can assert that clearing releases the allocation. *)
@@ -47,6 +56,14 @@ let allocated_slots s = Array.length s.buf
 
 let record s ~t kind =
   if s.capacity > 0 then begin
+    Mutex.lock s.mu;
+    (* Monotone clamp: concurrent native emitters can race the ring with
+       timestamps taken a hair apart; the trace contract (and the oracle)
+       requires non-decreasing time, so order-of-arrival wins and a late
+       reading is clamped up.  On the simulator time is already monotone
+       and the clamp never fires. *)
+    let t = if t < s.last_t then s.last_t else t in
+    s.last_t <- t;
     let ev = Event.make ~t kind in
     if Array.length s.buf = 0 then begin
       (* First event: allocate the ring.  A dummy slot value is fine; every
@@ -77,15 +94,16 @@ let record s ~t kind =
         in
         Metrics.inc c
       end
-    end
+    end;
+    Mutex.unlock s.mu
   end
 
 (* Retained events, oldest first. *)
-let to_array s = Array.init s.len (fun i -> s.buf.((s.start + i) mod s.capacity))
+let to_array s =
+  Mutex.lock s.mu;
+  let a = Array.init s.len (fun i -> s.buf.((s.start + i) mod s.capacity)) in
+  Mutex.unlock s.mu;
+  a
 
 let events s = Array.to_list (to_array s)
-
-let iter s f =
-  for i = 0 to s.len - 1 do
-    f s.buf.((s.start + i) mod s.capacity)
-  done
+let iter s f = Array.iter f (to_array s)

@@ -1,10 +1,17 @@
 (* Backend dispatch for the execution engine.
 
-   Engines, threads and conditions are tagged sums over the simulator and
-   the native backend; operations that receive one dispatch on the tag.
-   Ambient operations resolve their context via the native thread
-   registry: its fast path is a single atomic load when no native task is
-   live, so the simulator hot path (effects) is untaxed. *)
+   Engines, threads, conditions and monitors are tagged sums over the
+   simulator and the native backend; operations that receive one dispatch
+   on the tag.  Ambient operations resolve their context via the native
+   backend's domain-local worker slot: a single O(1) lookup that returns
+   [None] on any non-pool domain, so the simulator hot path (effects) is
+   untaxed.
+
+   Monitors are the cross-backend mutual-exclusion primitive: on native
+   they are real per-structure mutexes ({!Parcae_native.Engine.Monitor});
+   on the simulator they are free — cooperative scheduling already makes
+   code between blocking points atomic — so [locked] just runs the
+   closure. *)
 
 module Sim = Parcae_sim.Engine
 module Machine = Parcae_sim.Machine
@@ -12,7 +19,8 @@ module Nat = Parcae_native.Engine
 
 type t = S of Sim.t | N of Nat.t
 type thread = St of Sim.thread | Nt of Nat.task
-type cond = Sc of Sim.cond | Nc of Nat.t * Nat.cond
+type cond = Sc of Sim.cond | Nc of Nat.Monitor.c
+type monitor = Sm | Nm of Nat.Monitor.m
 
 exception Thread_failure of string * exn
 
@@ -100,14 +108,31 @@ let engine () =
   | Some task -> N (Nat.task_engine task)
   | None -> S (Sim.engine ())
 
-let wait_on = function Sc c -> Sim.wait_on c | Nc (e, c) -> Nat.wait_on e c
-let signal = function Sc c -> Sim.signal c | Nc (e, c) -> Nat.signal e c
-let broadcast = function Sc c -> Sim.broadcast c | Nc (e, c) -> Nat.broadcast e c
-let join = function St th -> Sim.join th | Nt task -> Nat.join (Nat.task_engine task) task
+let monitor_create = function S _ -> Sm | N _ -> Nm (Nat.Monitor.create ())
+let locked m f = match m with Sm -> f () | Nm m -> Nat.Monitor.locked m f
+let monitor_held = function Sm -> true | Nm m -> Nat.Monitor.held m
+
+let cond_in = function
+  | Sm -> Sc (Sim.cond_create ())
+  | Nm m -> Nc (Nat.Monitor.cond m)
+
+(* A native wait acquires the condition's monitor when the caller does
+   not already hold it; callers with check-then-wait protocols should
+   hold it across the check ([locked] around predicate + [wait_on]). *)
+let wait_on = function
+  | Sc c -> Sim.wait_on c
+  | Nc c ->
+      let m = Nat.Monitor.monitor_of c in
+      if Nat.Monitor.held m then Nat.Monitor.wait c
+      else Nat.Monitor.locked m (fun () -> Nat.Monitor.wait c)
+
+let signal = function Sc c -> Sim.signal c | Nc c -> Nat.Monitor.signal c
+let broadcast = function Sc c -> Sim.broadcast c | Nc c -> Nat.Monitor.broadcast c
+let join = function St th -> Sim.join th | Nt task -> Nat.join task
 
 let cond_create = function
   | S _ -> Sc (Sim.cond_create ())
-  | N e -> Nc (e, Nat.cond_create ())
+  | N _ -> Nc (Nat.Monitor.cond (Nat.Monitor.create ()))
 
 let thread_name = function St th -> th.Sim.tname | Nt task -> Nat.task_name task
 let thread_busy_ns = function St th -> th.Sim.busy_ns | Nt task -> Nat.task_busy_ns task

@@ -17,6 +17,7 @@
 type t
 type thread
 type cond
+type monitor
 
 exception Thread_failure of string * exn
 (** Raised out of {!run} on either backend when a thread fails: the
@@ -75,16 +76,39 @@ val self_busy_ns : unit -> int
 val engine : unit -> t
 (** The engine of the calling thread. *)
 
-(** {1 Value-dispatched operations} *)
+(** {1 Value-dispatched operations}
+
+    Monitors are the cross-backend mutual-exclusion primitive.  On the
+    simulator a monitor is free: cooperative scheduling already makes
+    code between blocking points atomic, so {!locked} just runs the
+    closure.  On native it is a real per-structure mutex from the
+    work-stealing engine, and protocols that were implicitly atomic
+    under the old big lock must hold the right monitor explicitly. *)
+
+val monitor_create : t -> monitor
+val locked : monitor -> (unit -> 'a) -> 'a
+val monitor_held : monitor -> bool
+
+val cond_in : monitor -> cond
+(** A condition tied to [monitor]: check-then-wait protocols hold the
+    monitor across the predicate check and {!wait_on} so a concurrent
+    signal cannot be lost (native); on sim this is an ordinary
+    cooperative condition. *)
 
 val wait_on : cond -> unit
+(** Sim: cooperative wait.  Native: atomically release the condition's
+    monitor and suspend the fiber; reacquires before returning.  Acquires
+    the monitor first when the caller does not already hold it.  Mesa
+    semantics on both backends: re-check the predicate in a loop. *)
+
 val signal : cond -> unit
 val broadcast : cond -> unit
 val join : thread -> unit
 
 val cond_create : t -> cond
-(** Conditions are tied to their engine (the native backend pairs them
-    with its runtime lock), so creation takes the engine. *)
+(** A condition on a fresh private monitor (native) or a plain
+    cooperative condition (sim).  Prefer {!cond_in} when the waiter's
+    predicate involves shared state. *)
 
 val thread_name : thread -> string
 val thread_busy_ns : thread -> int

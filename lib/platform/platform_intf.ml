@@ -35,8 +35,16 @@ module type PLATFORM = sig
   val self_busy_ns : unit -> int
   val spawn_thread : name:string -> (unit -> unit) -> thread
 
-  (** Synchronisation. *)
+  (** Synchronisation.  A [monitor] is the cross-backend mutual-exclusion
+      primitive: a real per-structure mutex on native, free on the
+      simulator (cooperative atomicity).  Check-then-wait protocols hold
+      the monitor across predicate check and [wait_on]. *)
 
+  type monitor
+
+  val monitor_create : engine -> monitor
+  val locked : monitor -> (unit -> 'a) -> 'a
+  val cond_in : monitor -> cond
   val cond_create : engine -> cond
   val wait_on : cond -> unit
   val signal : cond -> unit
@@ -104,6 +112,12 @@ module Sim_backend : PLATFORM with type config = Parcae_sim.Machine.t = struct
   let sleep = E.sleep
   let self_busy_ns () = (E.self ()).E.busy_ns
   let spawn_thread = E.spawn_thread
+
+  type monitor = unit
+
+  let monitor_create _ = ()
+  let locked () f = f ()
+  let cond_in () = E.cond_create ()
   let cond_create _ = E.cond_create ()
   let wait_on = E.wait_on
   let signal = E.signal
@@ -140,7 +154,7 @@ module Native_backend : PLATFORM with type config = int option = struct
 
   type engine = E.t
   type thread = E.task
-  type cond = E.t * E.cond
+  type cond = E.Monitor.c
   type config = int option
 
   let create pool = E.create ?pool ()
@@ -162,11 +176,21 @@ module Native_backend : PLATFORM with type config = int option = struct
   let spawn_thread ~name body =
     E.spawn (E.task_engine (ambient "Native.spawn_thread")) ~name body
 
-  let cond_create eng = (eng, E.cond_create ())
-  let wait_on (eng, c) = E.wait_on eng c
-  let signal (eng, c) = E.signal eng c
-  let broadcast (eng, c) = E.broadcast eng c
-  let join task = E.join (E.task_engine task) task
+  type monitor = E.Monitor.m
+
+  let monitor_create _ = E.Monitor.create ()
+  let locked = E.Monitor.locked
+  let cond_in = E.Monitor.cond
+  let cond_create _ = E.Monitor.cond (E.Monitor.create ())
+
+  let wait_on c =
+    let m = E.Monitor.monitor_of c in
+    if E.Monitor.held m then E.Monitor.wait c
+    else E.Monitor.locked m (fun () -> E.Monitor.wait c)
+
+  let signal = E.Monitor.signal
+  let broadcast = E.Monitor.broadcast
+  let join = E.join
   let time = E.time
   let online_cores = E.online_cores
   let live_threads = E.live_threads
@@ -207,6 +231,12 @@ module Dispatch : PLATFORM with type config = dispatch_config = struct
   let sleep = Engine.sleep
   let self_busy_ns = Engine.self_busy_ns
   let spawn_thread = Engine.spawn_thread
+
+  type monitor = Engine.monitor
+
+  let monitor_create = Engine.monitor_create
+  let locked = Engine.locked
+  let cond_in = Engine.cond_in
   let cond_create = Engine.cond_create
   let wait_on = Engine.wait_on
   let signal = Engine.signal

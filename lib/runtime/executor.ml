@@ -49,16 +49,20 @@ let note_phase (r : Region.t) ~phase ns =
   Ledger.note ~t:(Engine.time r.Region.eng) ~region:r.Region.name ~phase ns
 
 (* Mark the region Done, emit the trace event, and wake joiners — the
-   single exit point for both completion paths and [terminate]. *)
+   single exit point for both completion paths and [terminate].  Runs
+   under the region's control-plane monitor (reentrant, so callers that
+   already hold it are fine). *)
 let finish_region (r : Region.t) =
-  (* A reconfiguration interrupted by completion never closes its phases. *)
-  r.Region.reconfig_t0 <- -1;
-  r.Region.first_park_at <- -1;
-  r.Region.restart_mark <- -1;
-  r.Region.status <- Region.Done;
-  if Trace.enabled () then
-    Trace.emit ~t:(Engine.time r.Region.eng) (Event.Region_stop { region = r.Region.name });
-  Engine.broadcast r.Region.finished
+  Engine.locked r.Region.mon (fun () ->
+      (* A reconfiguration interrupted by completion never closes its phases. *)
+      r.Region.reconfig_t0 <- -1;
+      r.Region.first_park_at <- -1;
+      r.Region.restart_mark <- -1;
+      r.Region.status <- Region.Done;
+      if Trace.enabled () then
+        Trace.emit ~t:(Engine.time r.Region.eng)
+          (Event.Region_stop { region = r.Region.name });
+      Engine.broadcast r.Region.finished)
 
 (* ------------------------------------------------------------------ *)
 (* Nested (inner-loop) regions: fixed configuration, run to completion. *)
@@ -151,17 +155,21 @@ let region_worker (r : Region.t) (task : Task.t) idx tc lane =
     | Task_status.Iterating ->
         Decima.tick r.Region.decima idx;
         (* First completed iteration after a resume closes the restart and
-           total phases of the reconfiguration being measured.  Read-then-
-           clear so concurrent native workers settle on one reporter. *)
-        let mark = r.Region.restart_mark in
-        if mark >= 0 then begin
-          r.Region.restart_mark <- -1;
-          let t0r = r.Region.reconfig_t0 in
-          r.Region.reconfig_t0 <- -1;
-          let now = Engine.time r.Region.eng in
-          note_phase r ~phase:"restart" (now - mark);
-          if t0r >= 0 then note_phase r ~phase:"total" (now - t0r)
-        end;
+           total phases of the reconfiguration being measured.  The plain
+           read keeps the per-iteration fast path monitor-free (it is -1
+           outside measured reconfigurations); the claim itself re-checks
+           under the monitor so exactly one worker reports. *)
+        if r.Region.restart_mark >= 0 then
+          Engine.locked r.Region.mon (fun () ->
+              let mark = r.Region.restart_mark in
+              if mark >= 0 then begin
+                r.Region.restart_mark <- -1;
+                let t0r = r.Region.reconfig_t0 in
+                r.Region.reconfig_t0 <- -1;
+                let now = Engine.time r.Region.eng in
+                note_phase r ~phase:"restart" (now - mark);
+                if t0r >= 0 then note_phase r ~phase:"total" (now - t0r)
+              end);
         incr iter
     | Task_status.Paused ->
         outcome := Task_status.Paused;
@@ -171,23 +179,29 @@ let region_worker (r : Region.t) (task : Task.t) idx tc lane =
         continue_ := false
   done;
   Option.iter (fun f -> f ()) task.Task.fini;
-  if !outcome = Task_status.Complete && idx = 0 then r.Region.master_completed <- true;
-  (* Overhead ledger: the first worker to park dates the end of signal
-     propagation (pause request -> first park). *)
-  if r.Region.pause_requested && r.Region.reconfig_t0 >= 0 && r.Region.first_park_at < 0 then
-    r.Region.first_park_at <- Engine.time r.Region.eng;
-  r.Region.active_workers <- r.Region.active_workers - 1;
-  if r.Region.active_workers = 0 then begin
-    (* Last worker out: decide what the park means. *)
-    if r.Region.master_completed && not r.Region.pause_requested then finish_region r
-    else if r.Region.pause_requested then r.Region.status <- Region.Paused
-    else
-      (* All tasks completed without an explicit pause: region is done. *)
-      finish_region r;
-    Engine.broadcast r.Region.parked
-  end
+  (* The park transition runs under the control-plane monitor: worker
+     counting, the first-park ledger stamp and the last-worker status
+     decision must be atomic against pause/resume and each other. *)
+  Engine.locked r.Region.mon (fun () ->
+      if !outcome = Task_status.Complete && idx = 0 then r.Region.master_completed <- true;
+      (* Overhead ledger: the first worker to park dates the end of signal
+         propagation (pause request -> first park). *)
+      if r.Region.pause_requested && r.Region.reconfig_t0 >= 0 && r.Region.first_park_at < 0
+      then r.Region.first_park_at <- Engine.time r.Region.eng;
+      r.Region.active_workers <- r.Region.active_workers - 1;
+      if r.Region.active_workers = 0 then begin
+        (* Last worker out: decide what the park means. *)
+        if r.Region.master_completed && not r.Region.pause_requested then finish_region r
+        else if r.Region.pause_requested then r.Region.status <- Region.Paused
+        else
+          (* All tasks completed without an explicit pause: region is done. *)
+          finish_region r;
+        Engine.broadcast r.Region.parked
+      end)
 
-(* Spawn one worker for lane [lane] of task [idx]. *)
+(* Spawn one worker for lane [lane] of task [idx].  Caller holds the
+   region monitor, so the active-worker count is raised before any
+   spawned worker can run its park transition. *)
 let spawn_worker (r : Region.t) (task : Task.t) idx tc lane =
   r.Region.active_workers <- r.Region.active_workers + 1;
   r.Region.worker_count <- r.Region.worker_count + 1;
@@ -196,20 +210,25 @@ let spawn_worker (r : Region.t) (task : Task.t) idx tc lane =
        ~name:(Printf.sprintf "%s/%s.%d" r.Region.name task.Task.name lane)
        (fun () -> region_worker r task idx tc lane))
 
-(* Spawn the worker teams for the region's current configuration. *)
+(* Spawn the worker teams for the region's current configuration.  The
+   whole launch — counting every lane and publishing Running — is one
+   critical section, so a worker that finishes instantly cannot observe a
+   half-started region (its park transition blocks on the monitor until
+   the full team is counted). *)
 let start_workers (r : Region.t) =
-  let pd = Region.scheme r in
-  let tasks = Array.of_list pd.Task.tasks in
-  let cfg = r.Region.config in
-  r.Region.worker_count <- 0;
-  Array.iteri
-    (fun i task ->
-      let tc = cfg.Config.tasks.(i) in
-      for lane = 0 to tc.Config.dop - 1 do
-        spawn_worker r task i tc lane
-      done)
-    tasks;
-  r.Region.status <- Region.Running
+  Engine.locked r.Region.mon (fun () ->
+      let pd = Region.scheme r in
+      let tasks = Array.of_list pd.Task.tasks in
+      let cfg = r.Region.config in
+      r.Region.worker_count <- 0;
+      Array.iteri
+        (fun i task ->
+          let tc = cfg.Config.tasks.(i) in
+          for lane = 0 to tc.Config.dop - 1 do
+            spawn_worker r task i tc lane
+          done)
+        tasks;
+      r.Region.status <- Region.Running)
 
 (* Launch a region: validate, create, start workers.  Must be called either
    from outside the engine (before [Engine.run]) or from a simulated
@@ -224,39 +243,46 @@ let launch ?budget ?on_pause ?on_reset ~name eng schemes config =
    [false] if it raced to completion.  Must run on a simulated thread that
    is not one of the region's workers (the Morta executive). *)
 let pause (r : Region.t) =
-  match r.Region.status with
-  | Region.Done -> false
-  | Region.Paused -> true
-  | Region.Init | Region.Pausing -> invalid_arg "Executor.pause: bad region state"
-  | Region.Running ->
-      let t0 = Engine.time r.Region.eng in
-      if Ledger.active () then begin
-        r.Region.reconfig_t0 <- t0;
-        r.Region.first_park_at <- -1
-      end;
-      r.Region.pause_requested <- true;
-      r.Region.status <- Region.Pausing;
-      if Trace.enabled () then
-        Trace.emit ~t:t0 (Event.Pause { region = r.Region.name });
-      Option.iter (fun f -> f ()) r.Region.on_pause;
-      while r.Region.status = Region.Pausing do
-        Engine.wait_on r.Region.parked
-      done;
-      r.Region.pause_wait_ns <- r.Region.pause_wait_ns + (Engine.time r.Region.eng - t0);
-      note_pause r ~t0;
-      let parked = r.Region.status = Region.Paused in
-      if r.Region.reconfig_t0 >= 0 then
-        if parked then begin
-          let now = Engine.time r.Region.eng in
-          let fp = if r.Region.first_park_at >= 0 then r.Region.first_park_at else now in
-          note_phase r ~phase:"signal" (fp - t0);
-          note_phase r ~phase:"barrier" (now - fp)
-        end
-        else r.Region.reconfig_t0 <- -1;
-      parked
+  Engine.locked r.Region.mon (fun () ->
+      match r.Region.status with
+      | Region.Done -> false
+      | Region.Paused -> true
+      | Region.Init | Region.Pausing -> invalid_arg "Executor.pause: bad region state"
+      | Region.Running ->
+          let t0 = Engine.time r.Region.eng in
+          if Ledger.active () then begin
+            r.Region.reconfig_t0 <- t0;
+            r.Region.first_park_at <- -1
+          end;
+          r.Region.pause_requested <- true;
+          r.Region.status <- Region.Pausing;
+          if Trace.enabled () then
+            Trace.emit ~t:t0 (Event.Pause { region = r.Region.name });
+          (* on_pause injects wake-up sentinels: channel monitors nest
+             inside the region monitor (never the reverse), so this is
+             deadlock-free. *)
+          Option.iter (fun f -> f ()) r.Region.on_pause;
+          while r.Region.status = Region.Pausing do
+            (* Releases the region monitor while waiting, so workers can
+               run their park transitions. *)
+            Engine.wait_on r.Region.parked
+          done;
+          r.Region.pause_wait_ns <- r.Region.pause_wait_ns + (Engine.time r.Region.eng - t0);
+          note_pause r ~t0;
+          let parked = r.Region.status = Region.Paused in
+          if r.Region.reconfig_t0 >= 0 then
+            if parked then begin
+              let now = Engine.time r.Region.eng in
+              let fp = if r.Region.first_park_at >= 0 then r.Region.first_park_at else now in
+              note_phase r ~phase:"signal" (fp - t0);
+              note_phase r ~phase:"barrier" (now - fp)
+            end
+            else r.Region.reconfig_t0 <- -1;
+          parked)
 
 (* Resume a paused region, optionally under a new configuration. *)
 let resume ?config (r : Region.t) =
+ Engine.locked r.Region.mon @@ fun () ->
   (match r.Region.status with
   | Region.Paused -> ()
   | _ -> invalid_arg "Executor.resume: region not paused");
@@ -326,6 +352,7 @@ let dop_only_change (r : Region.t) (cfg : Config.t) =
    sequential stages never stop.  Only valid for DoP-only changes on a
    scheme whose generated code opted in ([light_resizable]). *)
 let resize (r : Region.t) cfg =
+ Engine.locked r.Region.mon @@ fun () ->
   (match r.Region.status with
   | Region.Running when not r.Region.master_completed -> ()
   | _ -> invalid_arg "Executor.resize: region not running");
@@ -362,6 +389,10 @@ let resize (r : Region.t) cfg =
    DoP-only changes on a light-resizable scheme avoid the barrier
    entirely (Section 7.2). *)
 let reconfigure (r : Region.t) cfg =
+ (* The whole decision + action sequence holds the control-plane monitor
+    (released while [pause] waits for parks), so the status read cannot
+    race a concurrent completion into an [invalid_arg]. *)
+ Engine.locked r.Region.mon @@ fun () ->
   if not (Region.is_done r) && not (Config.equal cfg r.Region.config) then begin
     let t0 = Engine.time r.Region.eng in
     if
@@ -381,9 +412,10 @@ let reconfigure (r : Region.t) cfg =
 
 (* Block until the region completes. *)
 let await (r : Region.t) =
-  while r.Region.status <> Region.Done do
-    Engine.wait_on r.Region.finished
-  done
+  Engine.locked r.Region.mon (fun () ->
+      while r.Region.status <> Region.Done do
+        Engine.wait_on r.Region.finished
+      done)
 
 (* Pause the region and terminate it without resuming (used to shut an
    experiment down cleanly). *)

@@ -39,6 +39,11 @@ type t = {
   mutable master_completed : bool;
   mutable budget : int;  (* thread budget assigned by the platform daemon *)
   decima : Decima.t;
+  mon : Engine.monitor;
+      (* control-plane monitor: guards status, active_workers,
+         master_completed and the ledger stamps on the native backend
+         (free on sim).  Workers' per-iteration fast paths stay outside
+         it; only park/pause/resume/resize transitions take it. *)
   parked : Engine.cond;  (* broadcast when all workers have parked *)
   finished : Engine.cond;  (* broadcast when the region is Done *)
   mutable active_workers : int;  (* workers currently running *)
@@ -87,6 +92,7 @@ let create ?(budget = max_int) ?on_pause ?on_reset ~name eng schemes config =
   let decima = Decima.create eng ~tasks:(Task.arity pd) in
   Decima.set_names decima ~region:name ~scheme:pd.Task.pd_name
     ~tasks:(Array.of_list (List.map (fun (tk : Task.t) -> tk.Task.name) pd.Task.tasks));
+  let mon = Engine.monitor_create eng in
   {
     name;
     eng;
@@ -97,8 +103,9 @@ let create ?(budget = max_int) ?on_pause ?on_reset ~name eng schemes config =
     master_completed = false;
     budget;
     decima;
-    parked = Engine.cond_create eng;
-    finished = Engine.cond_create eng;
+    mon;
+    parked = Engine.cond_in mon;
+    finished = Engine.cond_in mon;
     active_workers = 0;
     worker_count = 0;
     on_pause;

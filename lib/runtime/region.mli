@@ -26,6 +26,9 @@ type t = {
   mutable master_completed : bool;
   mutable budget : int;  (** thread budget assigned by the daemon *)
   decima : Decima.t;
+  mon : Parcae_platform.Engine.monitor;
+      (** control-plane monitor guarding the state machine on native;
+          free on sim *)
   parked : Parcae_platform.Engine.cond;
   finished : Parcae_platform.Engine.cond;
   mutable active_workers : int;  (** workers currently running *)

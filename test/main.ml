@@ -20,5 +20,6 @@ let () =
       ("trace-oracle", Test_trace_oracle.suite);
       ("metrics", Test_metrics.suite);
       ("flight", Test_flight.suite);
+      ("sched", Test_sched.suite);
       ("native", Test_native.suite);
     ]

@@ -1,0 +1,291 @@
+(* Work-stealing deque tests: property stress under real domain
+   contention, plus a seeded model-checking-style enumeration of small
+   single-threaded interleavings against a sequential model.
+
+   The deque under test is the Chase-Lev structure every native worker
+   owns (lib/native/deque.ml).  Its contract:
+
+   - owner [push]/[pop] work LIFO at the bottom;
+   - thieves [steal] FIFO at the top, losing a CAS race as [Contended]
+     rather than blocking;
+   - every pushed element is obtained exactly once, by the owner or by
+     exactly one thief, never both, never dropped — including the
+     single-element race where owner and thief target the same cell.
+
+   Concurrent tests spawn real domains.  On a single-core host the
+   domains time-slice rather than run in parallel; the exactly-once and
+   monotone-steal properties must hold regardless, and the suite stays
+   meaningful (if slower-to-interleave) there. *)
+
+module Deque = Parcae_native.Deque
+
+(* ------------------------------------------------------------------ *)
+(* Sequential model: the deque as a list, head = top (oldest, where    *)
+(* thieves take), tail end = bottom (newest, where the owner works).   *)
+(* ------------------------------------------------------------------ *)
+
+type op = Push of int | Pop | Steal
+
+let model_apply model = function
+  | Push v -> (model @ [ v ], `Unit)
+  | Pop -> (
+      match List.rev model with
+      | [] -> ([], `Popped None)
+      | v :: rest -> (List.rev rest, `Popped (Some v)))
+  | Steal -> (
+      match model with
+      | [] -> ([], `Stolen None)
+      | v :: rest -> (rest, `Stolen (Some v)))
+
+(* Run one op against the real deque.  Single-threaded, so [Contended]
+   is a contract violation: the steal CAS can only lose to a concurrent
+   operation, and there is none. *)
+let real_apply dq = function
+  | Push v ->
+      Deque.push dq v;
+      `Unit
+  | Pop -> `Popped (Deque.pop dq)
+  | Steal -> (
+      match Deque.steal dq with
+      | Deque.Stolen v -> `Stolen (Some v)
+      | Deque.Empty -> `Stolen None
+      | Deque.Contended -> Alcotest.fail "steal returned Contended with no contention")
+
+let show_op = function
+  | Push v -> Printf.sprintf "push %d" v
+  | Pop -> "pop"
+  | Steal -> "steal"
+
+let show_script ops = String.concat "; " (List.map show_op ops)
+
+(* ------------------------------------------------------------------ *)
+(* Model check: enumerate ALL interleavings of a small owner script    *)
+(* (pushes/pops, program order preserved) with a thief script (steals) *)
+(* and require each interleaving, executed sequentially, to match the  *)
+(* model step by step.  This is the exhaustive part: for these sizes   *)
+(* every reachable op ordering is covered, not a random sample.        *)
+(* ------------------------------------------------------------------ *)
+
+let rec interleavings xs ys =
+  match (xs, ys) with
+  | [], ys -> [ ys ]
+  | xs, [] -> [ xs ]
+  | x :: xs', y :: ys' ->
+      List.map (fun t -> x :: t) (interleavings xs' ys)
+      @ List.map (fun t -> y :: t) (interleavings xs ys')
+
+let check_script ops =
+  let dq = Deque.create () in
+  let model = ref [] in
+  List.iter
+    (fun op ->
+      let m', expected = model_apply !model op in
+      model := m';
+      let got = real_apply dq op in
+      if got <> expected then
+        Alcotest.failf "divergence from model at [%s] on '%s'" (show_script ops)
+          (show_op op))
+    ops;
+  Alcotest.(check int)
+    (Printf.sprintf "final size after [%s]" (show_script ops))
+    (List.length !model) (Deque.size dq)
+
+(* A deterministic owner script from a seed: mostly pushes with
+   interspersed pops, values globally unique so exactly-once is
+   checkable by value. *)
+let gen_owner_script rng len =
+  let next = ref 0 in
+  List.init len (fun _ ->
+      if Random.State.int rng 3 < 2 then begin
+        let v = !next in
+        incr next;
+        Push v
+      end
+      else Pop)
+
+let test_model_enumeration () =
+  (* 6 owner ops x 3 steals: C(9,3) = 84 interleavings per seed; 12
+     seeds of distinct scripts.  ~1000 full executions, all cheap. *)
+  let seeds = List.init 12 (fun i -> 41 + i) in
+  let total = ref 0 in
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let owner = gen_owner_script rng 6 in
+      let thief = [ Steal; Steal; Steal ] in
+      List.iter
+        (fun script ->
+          incr total;
+          check_script script)
+        (interleavings owner thief))
+    seeds;
+  Alcotest.(check bool) "enumerated interleavings" true (!total > 900)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic order invariants.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_owner_lifo () =
+  let dq = Deque.create () in
+  for i = 0 to 15 do
+    Deque.push dq i
+  done;
+  for i = 15 downto 0 do
+    Alcotest.(check (option int)) "LIFO pop" (Some i) (Deque.pop dq)
+  done;
+  Alcotest.(check (option int)) "empty after drain" None (Deque.pop dq)
+
+let test_steal_fifo () =
+  let dq = Deque.create () in
+  for i = 0 to 15 do
+    Deque.push dq i
+  done;
+  for i = 0 to 15 do
+    match Deque.steal dq with
+    | Deque.Stolen v -> Alcotest.(check int) "FIFO steal" i v
+    | Deque.Empty | Deque.Contended -> Alcotest.fail "steal failed on non-empty deque"
+  done;
+  Alcotest.(check bool) "empty after steals" true (Deque.is_empty dq)
+
+let test_growth () =
+  (* Push far past the initial capacity to force buffer growth (and a
+     second growth), then verify nothing was lost or reordered. *)
+  let n = 500 in
+  let dq = Deque.create () in
+  for i = 0 to n - 1 do
+    Deque.push dq i
+  done;
+  Alcotest.(check int) "size after growth" n (Deque.size dq);
+  (* Mixed drain: alternate steal (top) and pop (bottom). *)
+  let top = ref 0 and bot = ref (n - 1) in
+  while !top <= !bot do
+    (match Deque.steal dq with
+    | Deque.Stolen v ->
+        Alcotest.(check int) "steal order across growth" !top v;
+        incr top
+    | Deque.Empty | Deque.Contended -> Alcotest.fail "steal failed mid-drain");
+    if !top <= !bot then
+      match Deque.pop dq with
+      | Some v ->
+          Alcotest.(check int) "pop order across growth" !bot v;
+          decr bot
+      | None -> Alcotest.fail "pop failed mid-drain"
+  done;
+  Alcotest.(check bool) "drained" true (Deque.is_empty dq)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent stress: owner domain pushing/popping while N thief       *)
+(* domains steal.  Properties checked:                                 *)
+(*   1. exactly-once: {owner pops} ∪ {steals} = {pushed}, disjoint;    *)
+(*   2. per-thief steal sequences are strictly increasing (steals      *)
+(*      take from the top, which only advances through older-to-newer  *)
+(*      push indices);                                                 *)
+(*   3. the deque ends empty and reports size 0.                       *)
+(* ------------------------------------------------------------------ *)
+
+let stress_run ~n ~thieves ~seed =
+  let dq = Deque.create () in
+  let stop = Atomic.make false in
+  let thief_domains =
+    Array.init thieves (fun _ ->
+        Domain.spawn (fun () ->
+            let acc = ref [] in
+            while not (Atomic.get stop) do
+              match Deque.steal dq with
+              | Deque.Stolen v -> acc := v :: !acc
+              | Deque.Empty | Deque.Contended -> Domain.cpu_relax ()
+            done;
+            (* Final drain so nothing the owner left behind is counted
+               as lost; [Contended] means another thief is mid-steal,
+               so retry rather than exit. *)
+            let rec drain () =
+              match Deque.steal dq with
+              | Deque.Stolen v ->
+                  acc := v :: !acc;
+                  drain ()
+              | Deque.Contended ->
+                  Domain.cpu_relax ();
+                  drain ()
+              | Deque.Empty -> ()
+            in
+            drain ();
+            List.rev !acc))
+  in
+  let rng = Random.State.make [| seed |] in
+  let popped = ref [] in
+  let next = ref 0 in
+  while !next < n do
+    if Random.State.int rng 4 < 3 then begin
+      Deque.push dq !next;
+      incr next
+    end
+    else
+      match Deque.pop dq with
+      | Some v -> popped := v :: !popped
+      | None -> Domain.cpu_relax ()
+  done;
+  Atomic.set stop true;
+  let stolen = Array.map Domain.join thief_domains in
+  (* Owner drains anything the thieves' final sweep raced past. *)
+  let rec drain () =
+    match Deque.pop dq with
+    | Some v ->
+        popped := v :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  (!popped, stolen, Deque.size dq)
+
+let check_stress ~n ~thieves ~seed =
+  let popped, stolen, final_size = stress_run ~n ~thieves ~seed in
+  if final_size <> 0 then
+    QCheck.Test.fail_reportf "deque not empty after drain: size %d" final_size;
+  Array.iter
+    (fun seq ->
+      let rec mono = function
+        | a :: (b :: _ as rest) ->
+            if a >= b then
+              QCheck.Test.fail_reportf "thief steal sequence not increasing: %d then %d" a b;
+            mono rest
+        | _ -> ()
+      in
+      mono seq)
+    stolen;
+  let all = List.concat (popped :: Array.to_list stolen) in
+  let sorted = List.sort compare all in
+  let expected = List.init n Fun.id in
+  if sorted <> expected then begin
+    let count = List.length all in
+    let module IS = Set.Make (Int) in
+    let dup = count - IS.cardinal (IS.of_list all) in
+    QCheck.Test.fail_reportf
+      "exactly-once violated: %d obtained of %d pushed (%d duplicates)" count n dup
+  end;
+  true
+
+let prop_stress_exactly_once =
+  QCheck.Test.make ~count:8 ~name:"deque: exactly-once under concurrent stealing"
+    QCheck.(
+      make
+        Gen.(
+          triple (int_range 200 800) (int_range 1 3) (int_range 0 1_000_000)))
+    (fun (n, thieves, seed) -> check_stress ~n ~thieves ~seed)
+
+(* A fixed heavier run with more thieves than cores on most CI hosts, so
+   the single-element owner-vs-thief race actually fires. *)
+let test_stress_heavy () =
+  for seed = 1 to 3 do
+    ignore (check_stress ~n:2_000 ~thieves:4 ~seed : bool)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "deque: owner pop is LIFO" `Quick test_owner_lifo;
+    Alcotest.test_case "deque: steal is FIFO" `Quick test_steal_fifo;
+    Alcotest.test_case "deque: survives buffer growth" `Quick test_growth;
+    Alcotest.test_case "deque: exhaustive small interleavings vs model" `Quick
+      test_model_enumeration;
+    QCheck_alcotest.to_alcotest prop_stress_exactly_once;
+    Alcotest.test_case "deque: heavy stress, 4 thieves" `Slow test_stress_heavy;
+  ]
