@@ -21,8 +21,42 @@ module Pipeline = Parcae_core.Pipeline
 module Executor = Parcae_runtime.Executor
 module Region = Parcae_runtime.Region
 module Json = Parcae_obs.Json
+module Timeline = Parcae_obs.Timeline
 module Table = Parcae_util.Table
 open Parcae_workloads
+
+(* ---- artifact provenance ---- *)
+
+(* The commit is read from .git directly so the bench binary needs no git
+   at run time; GITHUB_SHA (set by CI) wins when present. *)
+let commit_hash () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some sha when sha <> "" -> sha
+  | _ -> (
+      try
+        let head =
+          String.trim (In_channel.with_open_text ".git/HEAD" In_channel.input_all)
+        in
+        match String.split_on_char ' ' head with
+        | [ "ref:"; r ] ->
+            String.trim
+              (In_channel.with_open_text (Filename.concat ".git" (String.trim r))
+                 In_channel.input_all)
+        | _ -> head
+      with Sys_error _ -> "unknown")
+
+let timestamp () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec
+
+let provenance () =
+  [
+    ("schema_version", Json.Int 2);
+    ("commit", Json.Str (commit_hash ()));
+    ("ocaml_version", Json.Str Sys.ocaml_version);
+    ("timestamp", Json.Str (timestamp ()));
+  ]
 
 (* ---- native_speedup ---- *)
 
@@ -82,6 +116,10 @@ let measure_native ~dop =
     | None -> assert false
   in
   check_domains ~dop ~spawned;
+  (* A per-domain timeline for the run, so the artifact records where each
+     lane's wall time went alongside the headline wall-clock number. *)
+  let tl = Timeline.create ~lanes:(max 1 spawned) ~now:(Engine.time eng) () in
+  Timeline.with_timeline tl @@ fun () ->
   let q1 = Chan.create ~capacity:64 eng "q1" and q2 = Chan.create ~capacity:64 eng "q2" in
   let produced = ref 0 and consumed = ref 0 in
   let produce =
@@ -125,10 +163,11 @@ let measure_native ~dop =
     | Some ne -> Parcae_native.Engine.steal_count ne
     | None -> 0
   in
+  let shares = Timeline.merged_shares (Timeline.breakdown tl ~until:(Engine.time eng)) in
   Engine.shutdown eng;
   if !consumed <> items then
     failwith (Printf.sprintf "native_speedup: consumed %d of %d items" !consumed items);
-  (dt, spawned, steals)
+  (dt, spawned, steals, shares)
 
 let native_speedup () =
   let dops = dops () in
@@ -138,50 +177,61 @@ let native_speedup () =
   let t =
     Table.create
       ~title:"Native backend: pipeline wall-clock vs transform DoP"
-      ~header:[ "DoP"; "domains"; "wall (s)"; "speedup"; "steals" ]
+      ~header:[ "DoP"; "domains"; "wall (s)"; "speedup"; "run%"; "steals" ]
   in
   let results =
     List.map
       (fun dop ->
-        let dt, spawned, steals = measure_native ~dop in
+        let dt, spawned, steals, shares = measure_native ~dop in
         Printf.printf "  DoP %d (%d domains): %.3fs, %d steals\n%!" dop spawned dt steals;
-        (dop, dt, spawned, steals))
+        (dop, dt, spawned, steals, shares))
       dops
   in
-  let base = match results with (_, dt, _, _) :: _ -> dt | [] -> 1.0 in
+  let base = match results with (_, dt, _, _, _) :: _ -> dt | [] -> 1.0 in
   List.iter
-    (fun (dop, dt, spawned, steals) ->
+    (fun (dop, dt, spawned, steals, shares) ->
       Table.add_row t
         [
           string_of_int dop;
           string_of_int spawned;
           Printf.sprintf "%.3f" dt;
           Printf.sprintf "%.2fx" (base /. dt);
+          Printf.sprintf "%.1f" (100.0 *. List.assoc Timeline.Run shares);
           string_of_int steals;
         ])
     results;
   Table.print t;
   let degraded =
-    List.exists (fun (dop, _, spawned, _) -> spawned < requested_domains ~dop) results
+    List.exists (fun (dop, _, spawned, _, _) -> spawned < requested_domains ~dop) results
+  in
+  let shares_json shares =
+    Json.Obj
+      (List.map (fun (st, v) -> (Timeline.state_name st, Json.Float v)) shares)
   in
   let json =
     Json.Obj
-      [
-        ("backend", Json.Str "native");
-        ("host_domains", Json.Int host);
-        ("degraded", Json.Bool degraded);
-        ("items", Json.Int items);
-        ("work_ns_per_item", Json.Int work_ns);
-        ("dops", Json.List (List.map (fun (d, _, _, _) -> Json.Int d) results));
-        ( "requested_domains",
-          Json.List (List.map (fun (d, _, _, _) -> Json.Int (requested_domains ~dop:d)) results) );
-        ( "spawned_domains",
-          Json.List (List.map (fun (_, _, s, _) -> Json.Int s) results) );
-        ("wall_s", Json.List (List.map (fun (_, dt, _, _) -> Json.Float dt) results));
-        ( "speedup",
-          Json.List (List.map (fun (_, dt, _, _) -> Json.Float (base /. dt)) results) );
-        ("steals", Json.List (List.map (fun (_, _, _, st) -> Json.Int st) results));
-      ]
+      (provenance ()
+      @ [
+          ("backend", Json.Str "native");
+          ("host_domains", Json.Int host);
+          ("degraded", Json.Bool degraded);
+          ("items", Json.Int items);
+          ("work_ns_per_item", Json.Int work_ns);
+          ("dops", Json.List (List.map (fun (d, _, _, _, _) -> Json.Int d) results));
+          ( "requested_domains",
+            Json.List
+              (List.map (fun (d, _, _, _, _) -> Json.Int (requested_domains ~dop:d)) results)
+          );
+          ( "spawned_domains",
+            Json.List (List.map (fun (_, _, s, _, _) -> Json.Int s) results) );
+          ("wall_s", Json.List (List.map (fun (_, dt, _, _, _) -> Json.Float dt) results));
+          ( "speedup",
+            Json.List (List.map (fun (_, dt, _, _, _) -> Json.Float (base /. dt)) results)
+          );
+          ("steals", Json.List (List.map (fun (_, _, _, st, _) -> Json.Int st) results));
+          ( "utilization",
+            Json.List (List.map (fun (_, _, _, _, sh) -> shares_json sh) results) );
+        ])
   in
   Parcae_obs.Export.write_file "BENCH_native.json" (Json.to_string json ^ "\n");
   Printf.printf "wrote BENCH_native.json\n"
@@ -208,7 +258,8 @@ let sim_headline () =
   Table.print t;
   let json =
     Json.Obj
-      [
+      (provenance ()
+      @ [
         ("backend", Json.Str "sim");
         ("machine", Json.Str machine.Parcae_sim.Machine.name);
         ("x264_max_throughput_rps", Json.Float x264_thr);
@@ -216,7 +267,7 @@ let sim_headline () =
         ("x264_p95_response_s_load08", Json.Float serve.Experiments.p95_response_s);
         ("x264_mean_response_s_load08", Json.Float serve.Experiments.mean_response_s);
         ("completed", Json.Int serve.Experiments.completed);
-      ]
+      ])
   in
   Parcae_obs.Export.write_file "BENCH_sim.json" (Json.to_string json ^ "\n");
   Printf.printf "wrote BENCH_sim.json\n"

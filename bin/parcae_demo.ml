@@ -6,13 +6,15 @@
      batch    — run a batch workload under a mechanism, report throughput
      compile  — compile an IR kernel with Nona and show PDG/SCC/pipeline
      run      — execute a compiled kernel under the closed-loop controller
+     doctor   — sweep DoP on a known pipeline and diagnose the scaling curve
 
    Examples:
      parcae_demo serve -a x264 -m wq-linear -l 0.8 --metrics-out m.prom
      parcae_demo top -a ferret -m static -i 2
      parcae_demo batch -a ferret -m tbf --profile-out ferret.folded
      parcae_demo compile -k crc32
-     parcae_demo run -k kmeans --budget 12 *)
+     parcae_demo run -k kmeans --budget 12
+     parcae_demo doctor --backend native --json *)
 
 open Cmdliner
 open Parcae_sim
@@ -347,6 +349,12 @@ let top app mech load m machine_name seed interval metrics_out profile_out =
     run_serve
       ~wrap:(Obs.Metrics.with_registry reg)
       ~on_start:(fun (a : App.t) region ->
+        (* Install a per-core timeline for the measured run so the
+           dashboard's scheduler panel has data to show. *)
+        Obs.Timeline.set
+          (Obs.Timeline.create
+             ~lanes:(max 1 (Engine.machine a.App.eng).Machine.cores)
+             ~now:(Engine.time a.App.eng) ());
         ignore
           (Dashboard.spawn ~interval_ns
              ~title:(Printf.sprintf "parcae top — %s under %s" app mech)
@@ -354,6 +362,7 @@ let top app mech load m machine_name seed interval metrics_out profile_out =
              a.App.eng))
       app mech load m machine seed
   in
+  Obs.Timeline.clear ();
   print_result r;
   Option.iter (write_metrics_file reg) metrics_out;
   Option.iter (write_profile_file reg) profile_out
@@ -564,6 +573,51 @@ let run_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* doctor                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let dops_arg =
+  let doc = "Comma-separated degrees of parallelism to sweep (default 1,2,4,8)." in
+  Arg.(value & opt (some (list int)) None & info [ "dops" ] ~docv:"D1,D2,..." ~doc)
+
+let doctor_items_arg =
+  let doc = "Items pushed through the diagnostic pipeline per DoP." in
+  Arg.(value & opt int 240 & info [ "items" ] ~docv:"N" ~doc)
+
+let doctor_work_arg =
+  let doc = "Transform cost per item in nanoseconds (the consumer costs a quarter)." in
+  Arg.(value & opt int 1_500_000 & info [ "work-ns" ] ~docv:"NS" ~doc)
+
+(* Exit codes: 0 diagnosis produced, 3 a Runtime_events cursor leaked —
+   the CI smoke job treats a leak as a hard failure. *)
+let doctor machine_name backend pool dops items work_ns json =
+  let machine = machine_of machine_name in
+  let backend : Doctor.backend =
+    match backend_of backend pool with
+    | `Sim -> `Sim machine
+    | `Native pool -> `Native pool
+  in
+  let r = Doctor.run ~items ~work_ns ?dops ~backend () in
+  if json then print_endline (Obs.Json.to_string (Doctor.report_to_json r))
+  else print_string (Doctor.render r);
+  exit (if r.Doctor.leaked_cursors > 0 then 3 else 0)
+
+let doctor_cmd =
+  let term =
+    Term.(
+      const doctor $ machine_arg $ backend_arg $ pool_arg $ dops_arg $ doctor_items_arg
+      $ doctor_work_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "Sweep the degree of parallelism on a known three-stage pipeline with the \
+          scheduler observatory attached (per-domain timelines, GC attribution, \
+          critical-path analysis) and diagnose why the scaling curve looks the way it \
+          does.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* explain                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -697,4 +751,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ serve_cmd; top_cmd; batch_cmd; compile_cmd; check_cmd; run_cmd; explain_cmd ]))
+          [
+            serve_cmd;
+            top_cmd;
+            batch_cmd;
+            compile_cmd;
+            check_cmd;
+            run_cmd;
+            doctor_cmd;
+            explain_cmd;
+          ]))

@@ -3,6 +3,20 @@
    more parties than pool domains cannot deadlock the scheduler. *)
 
 module Monitor = Engine.Monitor
+module Timeline = Parcae_obs.Timeline
+
+(* Explain the measured wait as Barrier_wait on this worker's lane; the
+   suspended fiber freed its domain, so the transfer mostly relabels the
+   lane's idle (Park/Steal_search) time. *)
+let tl_wait dt =
+  if dt > 0 then
+    match Timeline.get () with
+    | Some tl -> (
+        match Engine.worker_id_opt () with
+        | Some lane when lane < Timeline.lanes tl ->
+            Timeline.attribute tl ~lane Timeline.Barrier_wait dt
+        | _ -> ())
+    | None -> ()
 
 type t = {
   name : string;
@@ -44,7 +58,9 @@ let wait b =
         while b.generation = gen do
           Monitor.wait b.turn
         done;
-        b.total_wait_ns <- b.total_wait_ns + (Engine.now b.eng - t0);
+        let dt = Engine.now b.eng - t0 in
+        b.total_wait_ns <- b.total_wait_ns + dt;
+        tl_wait dt;
         false
       end)
 

@@ -28,6 +28,9 @@
    parked. *)
 
 module Metrics = Parcae_obs.Metrics
+module Trace = Parcae_obs.Trace
+module Event = Parcae_obs.Event
+module Timeline = Parcae_obs.Timeline
 module Monitor = Engine.Monitor
 
 type chan_metrics = {
@@ -105,14 +108,17 @@ let rec enqueue_chain ch first last =
         ignore (Atomic.compare_and_set ch.tail t last : bool)
       else enqueue_chain ch first last
 
+(* Returns the item's send sequence number (0-based FIFO position), the
+   half of the (chan, seq) causal edge the trace exposes. *)
 let enqueue ch v =
   let n = node (Some v) in
   enqueue_chain ch n n;
   Atomic.incr ch.qlen;
-  Atomic.incr ch.sent
+  Atomic.fetch_and_add ch.sent 1
 
 (* One CAS on [head] claims the first node; the claimed node becomes the
-   new dummy and its value slot is cleared for the GC. *)
+   new dummy and its value slot is cleared for the GC.  Returns the value
+   with its receive sequence number. *)
 let rec try_dequeue ch =
   let h = Atomic.get ch.head in
   match Atomic.get h.next with
@@ -122,9 +128,9 @@ let rec try_dequeue ch =
         let v = Atomic.get n.value in
         Atomic.set n.value None;
         Atomic.decr ch.qlen;
-        Atomic.incr ch.received;
+        let seq = Atomic.fetch_and_add ch.received 1 in
         match v with
-        | Some _ -> v
+        | Some v -> Some (v, seq)
         | None ->
             (* Unreachable: a node's value is written before it is linked,
                and cleared only by the unique claimant of that node. *)
@@ -158,8 +164,8 @@ let rec try_dequeue_batch ch limit =
         if Atomic.compare_and_set ch.head h last then begin
           Atomic.set last.value None;
           ignore (Atomic.fetch_and_add ch.qlen (-k) : int);
-          ignore (Atomic.fetch_and_add ch.received k : int);
-          List.rev acc
+          let base = Atomic.fetch_and_add ch.received k in
+          List.mapi (fun i v -> (v, base + i)) (List.rev acc)
         end
         else try_dequeue_batch ch limit
   end
@@ -231,6 +237,48 @@ let note_recv ch k waited t0 =
     if waited then Metrics.observe_ns h.cm_recv_block (Engine.now ch.eng - t0)
   end
 
+(* The wait instruments want a start time when either sink is live. *)
+let observing () = Metrics.enabled () || Timeline.enabled ()
+
+(* A measured block explains this worker lane's time as Chan_wait.  On the
+   native engine the blocked *fiber* suspends and the domain may run other
+   work meanwhile, so this can over-report; the timeline's clamped
+   attribution transfer absorbs that (idle donor states first). *)
+let tl_wait ch waited t0 =
+  if waited then
+    match Timeline.get () with
+    | Some tl -> (
+        match Engine.worker_id_opt () with
+        | Some lane when lane < Timeline.lanes tl ->
+            Timeline.attribute tl ~lane Timeline.Chan_wait (Engine.now ch.eng - t0)
+        | _ -> ())
+    | None -> ()
+
+let caller_ids () =
+  match Engine.self_opt () with
+  | Some task -> (Engine.task_id task, Engine.task_busy_ns task)
+  | None -> (-1, 0)
+
+let emit_send ch seq =
+  if Trace.enabled () then begin
+    let task, busy_ns = caller_ids () in
+    Trace.emit ~t:(Engine.now ch.eng)
+      (Event.Chan_send_ev { chan = ch.name; seq; task; busy_ns })
+  end
+
+let emit_recv ch seq =
+  if Trace.enabled () then begin
+    let task, busy_ns = caller_ids () in
+    Trace.emit ~t:(Engine.now ch.eng)
+      (Event.Chan_recv_ev { chan = ch.name; seq; task; busy_ns })
+  end
+
+let emit_send_range ch base k =
+  if Trace.enabled () then
+    for i = 0 to k - 1 do
+      emit_send ch (base + i)
+    done
+
 (* ------------------------------------------------------------------ *)
 (* Blocking protocol.                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -252,59 +300,67 @@ let await_inside ch waiters cond ready =
 
 let send ch v =
   let waited = (not (has_room ch)) && ch.capacity > 0 in
-  let t0 = if waited && Metrics.enabled () then Engine.now ch.eng else 0 in
+  let t0 = if waited && observing () then Engine.now ch.eng else 0 in
   if waited then await_inside ch ch.send_waiters ch.nonfull (fun () -> has_room ch);
-  enqueue ch v;
+  let seq = enqueue ch v in
   wake_recv ch ~all:false;
-  note_send ch 1 waited t0
+  note_send ch 1 waited t0;
+  tl_wait ch waited t0;
+  emit_send ch seq
 
 let force_send ch v =
   (* Sentinel re-enqueue must never block: ignore capacity. *)
-  enqueue ch v;
+  let seq = enqueue ch v in
   wake_recv ch ~all:false;
-  note_send ch 1 false 0
+  note_send ch 1 false 0;
+  emit_send ch seq
 
 let try_send ch v =
   if not (has_room ch) then false
   else begin
-    enqueue ch v;
+    let seq = enqueue ch v in
     wake_recv ch ~all:false;
     note_send ch 1 false 0;
+    emit_send ch seq;
     true
   end
 
 let recv ch =
   match try_dequeue ch with
-  | Some v ->
+  | Some (v, seq) ->
       wake_send ch ~all:false;
       note_recv ch 1 false 0;
+      emit_recv ch seq;
       v
   | None ->
-      let t0 = if Metrics.enabled () then Engine.now ch.eng else 0 in
+      let t0 = if observing () then Engine.now ch.eng else 0 in
       let out = ref None in
       await_inside ch ch.recv_waiters ch.nonempty (fun () ->
           match try_dequeue ch with
-          | Some v ->
-              out := Some v;
+          | Some vs ->
+              out := Some vs;
               true
           | None -> false);
-      let v = Option.get !out in
+      let v, seq = Option.get !out in
       wake_send ch ~all:false;
       note_recv ch 1 true t0;
+      tl_wait ch true t0;
+      emit_recv ch seq;
       v
 
 let try_recv ch =
   match try_dequeue ch with
-  | Some v ->
+  | Some (v, seq) ->
       wake_send ch ~all:false;
       note_recv ch 1 false 0;
+      emit_recv ch seq;
       Some v
   | None -> None
 
 let send_batch ch vs =
   if vs <> [] then begin
     let total = List.length vs in
-    let t0 = if Metrics.enabled () then Engine.now ch.eng else 0 in
+    let t0 = if observing () then Engine.now ch.eng else 0 in
     let waited = ref false in
     (* Bounded channels take the batch in capacity-sized chunks, waiting
        for room between chunks, so a batch larger than the capacity wraps
@@ -334,12 +390,14 @@ let send_batch ch vs =
           let last, k, rest = link first 1 (List.tl vs) in
           enqueue_chain ch first last;
           ignore (Atomic.fetch_and_add ch.qlen k : int);
-          ignore (Atomic.fetch_and_add ch.sent k : int);
+          let base = Atomic.fetch_and_add ch.sent k in
           wake_recv ch ~all:(k > 1);
+          emit_send_range ch base k;
           go rest
     in
     go vs;
-    note_send ch total !waited t0
+    note_send ch total !waited t0;
+    tl_wait ch !waited t0
   end
 
 let recv_batch ?max ch =
@@ -355,13 +413,17 @@ let recv_batch ?max ch =
     let limit = if limit = max_int then Stdlib.max 1 (length ch) else limit in
     try_dequeue_batch ch limit
   in
+  let deliver items waited t0 =
+    wake_send ch ~all:true;
+    note_recv ch (List.length items) waited t0;
+    tl_wait ch waited t0;
+    if Trace.enabled () then List.iter (fun (_, seq) -> emit_recv ch seq) items;
+    List.map fst items
+  in
   match take () with
-  | _ :: _ as items ->
-      wake_send ch ~all:true;
-      note_recv ch (List.length items) false 0;
-      items
+  | _ :: _ as items -> deliver items false 0
   | [] ->
-      let t0 = if Metrics.enabled () then Engine.now ch.eng else 0 in
+      let t0 = if observing () then Engine.now ch.eng else 0 in
       let out = ref [] in
       await_inside ch ch.recv_waiters ch.nonempty (fun () ->
           match take () with
@@ -369,9 +431,7 @@ let recv_batch ?max ch =
           | items ->
               out := items;
               true);
-      wake_send ch ~all:true;
-      note_recv ch (List.length !out) true t0;
-      !out
+      deliver !out true t0
 
 (* ------------------------------------------------------------------ *)
 (* Flush operations (pause-window protocol).                           *)
@@ -391,7 +451,7 @@ let take_all ch =
   let rec go acc =
     match try_dequeue_batch ch 1024 with
     | [] -> List.concat (List.rev acc)
-    | items -> go (items :: acc)
+    | items -> go (List.map fst items :: acc)
   in
   go []
 
@@ -403,7 +463,7 @@ let filter ch keep =
       (* Re-enqueue survivors in order; counters net out to zero so the
          totals only reflect real traffic, not the flush round-trip
          (flushed items stay "sent but never received", like the sim). *)
-      List.iter (fun v -> enqueue ch v) kept;
+      List.iter (fun v -> ignore (enqueue ch v : int)) kept;
       ignore (Atomic.fetch_and_add ch.sent (-List.length kept) : int);
       ignore (Atomic.fetch_and_add ch.received (-List.length items) : int);
       if kept <> [] then wake_recv ch ~all:true;

@@ -26,6 +26,9 @@
    that. *)
 
 module Metrics = Parcae_obs.Metrics
+module Trace = Parcae_obs.Trace
+module Event = Parcae_obs.Event
+module Timeline = Parcae_obs.Timeline
 
 type task = {
   tid : int;
@@ -83,7 +86,11 @@ exception Thread_failure of string * exn
 (* Worker identity.                                                    *)
 (* ------------------------------------------------------------------ *)
 
-type steal_metrics = { sm_steals : Metrics.counter; sm_depth : Metrics.gauge }
+type sched_metrics = {
+  sm_steals : Metrics.counter;
+  sm_attempts : Metrics.counter;
+  sm_depth : Metrics.gauge array;  (* one labeled gauge per pool deque *)
+}
 
 type worker = {
   wid : int;
@@ -91,7 +98,8 @@ type worker = {
   wdeque : runnable Deque.t;
   wrng : Random.State.t;  (* randomized steal order *)
   mutable cur : task option;  (* fiber currently executing on this domain *)
-  mutable wmx : (Metrics.t * steal_metrics) option;
+  mutable wmx : (Metrics.t * sched_metrics) option;
+  mutable last_sample : int;  (* engine ns of the last periodic metric sweep *)
 }
 
 let worker_key : worker option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
@@ -100,6 +108,16 @@ let self_opt () =
   match Domain.DLS.get worker_key with Some w -> w.cur | None -> None
 
 let in_fiber () = self_opt () <> None
+
+let worker_id_opt () =
+  match Domain.DLS.get worker_key with Some w -> Some w.wid | None -> None
+
+(* Timeline transition for this worker's lane: one load when disabled. *)
+let tl_enter eng wid st =
+  match Timeline.get () with
+  | Some tl when wid < Timeline.lanes tl ->
+      Timeline.enter tl ~lane:wid ~now:(Calibrate.now_ns () - eng.t0) st
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Scheduling.                                                         *)
@@ -185,6 +203,10 @@ let wake_drain eng =
 
 let finish_task task outcome =
   let eng = task.eng in
+  if Trace.enabled () then
+    Trace.emit
+      ~t:(Calibrate.now_ns () - eng.t0)
+      (Event.Task_done { task = task.tid; busy_ns = task.busy_ns });
   Mutex.lock task.jmu;
   task.failed <- outcome;
   task.finished <- true;
@@ -232,29 +254,55 @@ let run_fiber task body () =
 (* The scheduler loop.                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let note_steal eng w ~victim_depth =
-  Atomic.incr eng.steals;
-  if Metrics.enabled () then begin
-    let reg = Metrics.current () in
-    let h =
-      match w.wmx with
-      | Some (r, h) when r == reg -> h
-      | _ ->
-          let h =
-            {
-              sm_steals =
-                Metrics.counter reg "parcae_steals_total"
-                  ~help:"Tasks migrated between domains by work stealing.";
-              sm_depth =
+let sched_metrics eng w =
+  let reg = Metrics.current () in
+  match w.wmx with
+  | Some (r, h) when r == reg -> h
+  | _ ->
+      let h =
+        {
+          sm_steals =
+            Metrics.counter reg "parcae_steals_total"
+              ~help:"Tasks migrated between domains by work stealing.";
+          sm_attempts =
+            Metrics.counter reg "parcae_steal_attempts_total"
+              ~help:"Steal attempts, successful or not (failed ratio = 1 - steals/attempts).";
+          sm_depth =
+            Array.init eng.pool (fun i ->
                 Metrics.gauge reg "parcae_deque_depth"
-                  ~help:"Run-queue depth of the last victim deque, post-steal.";
-            }
-          in
-          w.wmx <- Some (reg, h);
-          h
-    in
-    Metrics.inc h.sm_steals;
-    Metrics.set_gauge h.sm_depth (float_of_int victim_depth)
+                  ~help:"Run-queue depth per pool deque, sampled periodically."
+                  ~labels:[ ("domain", string_of_int i) ]);
+        }
+      in
+      w.wmx <- Some (reg, h);
+      h
+
+let note_steal eng w ~victim ~stolen =
+  Atomic.incr eng.steals;
+  if Metrics.enabled () then Metrics.inc (sched_metrics eng w).sm_steals;
+  if Trace.enabled () then
+    Trace.emit
+      ~t:(Calibrate.now_ns () - eng.t0)
+      (Event.Steal_ev
+         { task = stolen.rtask.tid; from_lane = victim; to_lane = w.wid })
+
+(* Periodic sweep, worker 0 only (single writer keeps the delta-publish of
+   the attempts counter race-free): mirror the steal-attempt atomic into
+   the registry and sample every deque's depth, at a ~1ms cadence. *)
+let sample_period_ns = 1_000_000
+
+let maybe_sample eng w =
+  if w.wid = 0 && Metrics.enabled () then begin
+    let t = Calibrate.now_ns () - eng.t0 in
+    if t - w.last_sample >= sample_period_ns then begin
+      w.last_sample <- t;
+      let h = sched_metrics eng w in
+      Metrics.inc_by h.sm_attempts
+        (Atomic.get eng.steal_attempts - Metrics.counter_value h.sm_attempts);
+      Array.iteri
+        (fun i g -> Metrics.set_gauge g (float_of_int (Deque.size eng.deques.(i))))
+        h.sm_depth
+    end
   end
 
 (* One steal sweep: random starting victim, then a linear scan.  A
@@ -274,7 +322,7 @@ let try_steal eng w =
           Atomic.incr eng.steal_attempts;
           match Deque.steal eng.deques.(v) with
           | Deque.Stolen r ->
-              note_steal eng w ~victim_depth:(Deque.size eng.deques.(v));
+              note_steal eng w ~victim:v ~stolen:r;
               Some r
           | Deque.Empty | Deque.Contended -> go (i + 1)
         end
@@ -311,14 +359,17 @@ let worker_loop eng wid () =
       wrng = Random.State.make [| 0x5eed; wid |];
       cur = None;
       wmx = None;
+      last_sample = 0;
     }
   in
   Domain.DLS.set worker_key (Some w);
   let backoff = ref 0 in
   let rec loop () =
+    maybe_sample eng w;
     match find_work eng w with
     | Some r ->
         backoff := 0;
+        tl_enter eng wid Timeline.Run;
         w.cur <- Some r.rtask;
         (* [exec] only raises if the runtime itself is broken — fiber
            exceptions are routed to [exnc]; keep the domain alive and
@@ -333,8 +384,12 @@ let worker_loop eng wid () =
              then sleep in doubling slices capped at [max_park_ns] and at
              the next timer deadline. *)
           incr backoff;
-          if !backoff <= spin_rounds then Domain.cpu_relax ()
+          if !backoff <= spin_rounds then begin
+            tl_enter eng wid Timeline.Steal_search;
+            Domain.cpu_relax ()
+          end
           else begin
+            tl_enter eng wid Timeline.Park;
             let exp = min 10 (!backoff - spin_rounds) in
             let park = min max_park_ns (1_000 * (1 lsl exp)) in
             let park =
@@ -417,6 +472,10 @@ let spawn eng ~name body =
   in
   Atomic.incr eng.live;
   Atomic.incr eng.spawned;
+  if Trace.enabled () then begin
+    let parent = match self_opt () with Some p -> p.tid | None -> -1 in
+    Trace.emit ~t:(now eng) (Event.Task_spawn { task = tid; parent; name })
+  end;
   Mutex.lock eng.tasks_mu;
   Hashtbl.replace eng.tasks tid task;
   Mutex.unlock eng.tasks_mu;
@@ -603,6 +662,7 @@ end
 
 let task_engine task = task.eng
 let task_name task = task.tname
+let task_id task = task.tid
 let task_busy_ns task = task.busy_ns
 let busy_cores eng = Atomic.get eng.computing
 

@@ -125,6 +125,14 @@ end
 val task_engine : task -> t
 val task_name : task -> string
 
+val task_id : task -> int
+(** The engine-unique task id stamped into [Task_spawn]/[Task_done] and
+    channel trace events. *)
+
+val worker_id_opt : unit -> int option
+(** The pool-domain index (timeline lane) of the calling domain, [None]
+    off the pool.  O(1), domain-local. *)
+
 val task_busy_ns : task -> int
 (** Total measured compute ns, the native analogue of the sim thread's
     [busy_ns] field that Decima's hooks read. *)

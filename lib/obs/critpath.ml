@@ -1,0 +1,153 @@
+(* Critical-path analysis over the causal trace-event graph.
+
+   One forward pass over the events in time order, dynamic programming on
+   "longest weighted path ending at this task's current position":
+
+     cp[task]   longest path (ns of compute) reaching the task's latest
+                event
+     attr[task] how that path divides over task names, so the report can
+                say *which* stage the pipeline is serialised on
+
+   A task advances its own cp by the growth of its cumulative busy_ns
+   between consecutive events.  A matched send->recv edge offers the
+   sender's (cp, attr) snapshot to the receiver, who keeps the longer of
+   the offer and its own chain.  attr rides along as a small assoc list
+   (task names, not task ids — a pipeline has a handful of names), copied
+   at merge points; traces are bounded by the sink ring so this stays
+   cheap. *)
+
+type report = {
+  total_work_ns : int;
+  critical_path_ns : int;
+  bound : float;
+  path : (string * int) list;
+  tasks : int;
+  edges : int;
+  unmatched_recvs : int;
+  steals : int;
+}
+
+(* (cp, attr) chain state per task. *)
+type chain = {
+  mutable cp : int;
+  mutable attr : (string * int) list;
+  mutable last_busy : int;  (* cumulative busy_ns at the previous event *)
+  mutable cname : string;
+}
+
+let add_attr name ns attr =
+  if ns <= 0 then attr
+  else
+    let rec go = function
+      | [] -> [ (name, ns) ]
+      | (n, v) :: rest when n = name -> (n, v + ns) :: rest
+      | kv :: rest -> kv :: go rest
+    in
+    go attr
+
+let analyze events =
+  let events =
+    List.stable_sort (fun a b -> compare a.Event.t b.Event.t) events
+  in
+  let chains : (int, chain) Hashtbl.t = Hashtbl.create 31 in
+  let chain_of ?(name = "?") tid =
+    match Hashtbl.find_opt chains tid with
+    | Some c -> c
+    | None ->
+        let c = { cp = 0; attr = []; last_busy = 0; cname = name } in
+        Hashtbl.add chains tid c;
+        c
+  in
+  (* Advance a task's own chain to cumulative busy [busy]. *)
+  let advance c busy =
+    let delta = busy - c.last_busy in
+    if delta > 0 then begin
+      c.cp <- c.cp + delta;
+      c.attr <- add_attr c.cname delta c.attr;
+      c.last_busy <- busy
+    end
+    else if busy > c.last_busy then c.last_busy <- busy
+  in
+  (* Pending send snapshots, keyed by (chan, seq). *)
+  let sends : (string * int, int * (string * int) list) Hashtbl.t =
+    Hashtbl.create 127
+  in
+  let total_work = ref 0 in
+  let edges = ref 0 and unmatched = ref 0 and steals = ref 0 in
+  let best_cp = ref 0 and best_attr = ref [] in
+  let consider c =
+    if c.cp > !best_cp then begin
+      best_cp := c.cp;
+      best_attr := c.attr
+    end
+  in
+  List.iter
+    (fun { Event.kind; _ } ->
+      match kind with
+      | Event.Task_spawn { task; parent; name } ->
+          let c = chain_of ~name task in
+          c.cname <- name;
+          (match Hashtbl.find_opt chains parent with
+          | Some p ->
+              c.cp <- p.cp;
+              c.attr <- p.attr
+          | None -> ())
+      | Event.Chan_send_ev { chan; seq; task; busy_ns } ->
+          let c = chain_of task in
+          advance c busy_ns;
+          Hashtbl.replace sends (chan, seq) (c.cp, c.attr)
+      | Event.Chan_recv_ev { chan; seq; task; busy_ns } ->
+          let c = chain_of task in
+          advance c busy_ns;
+          (match Hashtbl.find_opt sends (chan, seq) with
+          | Some (cp, attr) ->
+              incr edges;
+              if cp > c.cp then begin
+                c.cp <- cp;
+                c.attr <- attr
+              end
+          | None -> incr unmatched)
+      | Event.Task_done { task; busy_ns } ->
+          let c = chain_of task in
+          advance c busy_ns;
+          total_work := !total_work + busy_ns;
+          consider c
+      | Event.Steal_ev _ -> incr steals
+      | _ -> ())
+    events;
+  (* Tasks still open at trace end (truncation) also bound the path. *)
+  Hashtbl.iter (fun _ c -> consider c) chains;
+  let bound =
+    if !best_cp > 0 then float_of_int !total_work /. float_of_int !best_cp
+    else 1.0
+  in
+  {
+    total_work_ns = !total_work;
+    critical_path_ns = !best_cp;
+    bound;
+    path = List.sort (fun (_, a) (_, b) -> compare b a) !best_attr;
+    tasks = Hashtbl.length chains;
+    edges = !edges;
+    unmatched_recvs = !unmatched;
+    steals = !steals;
+  }
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("total_work_ns", Json.Int r.total_work_ns);
+      ("critical_path_ns", Json.Int r.critical_path_ns);
+      ("bound", Json.Float r.bound);
+      ( "path",
+        Json.Obj (List.map (fun (n, ns) -> (n, Json.Int ns)) r.path) );
+      ("tasks", Json.Int r.tasks);
+      ("edges", Json.Int r.edges);
+      ("unmatched_recvs", Json.Int r.unmatched_recvs);
+      ("steals", Json.Int r.steals);
+    ]
+
+let bottleneck r =
+  match r.path with
+  | (name, ns) :: _ when r.critical_path_ns > 0 && 2 * ns > r.critical_path_ns ->
+      Some name
+  | _ -> None

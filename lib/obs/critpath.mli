@@ -1,0 +1,47 @@
+(** Critical-path analysis over the causal trace-event graph.
+
+    The scheduler emits [Task_spawn] / [Task_done] events with cumulative
+    compute time, [Chan_send_ev] / [Chan_recv_ev] pairs matched by
+    [(chan, seq)] (channels are FIFO, so the [seq]-th receive got the
+    [seq]-th send), and [Steal_ev] migrations.  Those events induce a DAG
+    whose node weights are compute nanoseconds:
+
+    - within a task, consecutive events are chained and weighted by the
+      growth of the task's cumulative [busy_ns];
+    - a spawn adds a zero-weight edge from the parent's position to the
+      child's start;
+    - a matched send→recv pair adds a zero-weight edge from the sender's
+      position at the send to the receiver's position at the receive.
+
+    The longest weighted path through that DAG is the critical path: no
+    schedule, with any number of lanes, finishes the traced work faster.
+    [total_work / critical_path] is therefore an upper bound on speedup
+    over a sequential execution of the same work — when a pipeline stops
+    scaling at the bound, it is depth-limited, not scheduler-limited. *)
+
+type report = {
+  total_work_ns : int;  (** sum of compute over completed tasks *)
+  critical_path_ns : int;  (** longest weighted path through the DAG *)
+  bound : float;  (** [total_work / critical_path]; 1.0 when path is 0 *)
+  path : (string * int) list;
+      (** compute on the critical path attributed per task name,
+          largest contribution first *)
+  tasks : int;  (** distinct task ids observed *)
+  edges : int;  (** matched send→recv pairs *)
+  unmatched_recvs : int;
+      (** receives whose send was not in the trace (truncation, or a
+          flushed channel renumbering its counters) — the edge is skipped
+          and the bound is computed from what remains *)
+  steals : int;  (** task migrations observed *)
+}
+
+val analyze : Event.t list -> report
+(** Replay [events] (any order; they are sorted by time, ties in emission
+    order) and compute the critical path.  Non-causal event kinds are
+    ignored, so a full mixed protocol trace is fine. *)
+
+val report_to_json : report -> Json.t
+
+val bottleneck : report -> string option
+(** Name of the task holding the largest share of the critical path, when
+    one dominates ([> 50%] of the path). *)

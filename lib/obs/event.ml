@@ -64,6 +64,19 @@ type kind =
   | Trace_overflow of { dropped : int }
       (* the sink ring filled and overwrote [dropped] older events; the
          exporters prepend this so consumers see the loss explicitly *)
+  | Task_spawn of { task : int; parent : int; name : string }
+      (* a scheduler task/fiber was created; [parent] is the spawning
+         task id, or -1 when spawned from outside the engine *)
+  | Task_done of { task : int; busy_ns : int }
+      (* a task completed having accumulated [busy_ns] of compute *)
+  | Chan_send_ev of { chan : string; seq : int; task : int; busy_ns : int }
+      (* task [task] enqueued the [seq]-th item (0-based) into [chan],
+         with [busy_ns] cumulative compute at the send *)
+  | Chan_recv_ev of { chan : string; seq : int; task : int; busy_ns : int }
+      (* task [task] dequeued the [seq]-th item of [chan]; FIFO order
+         makes (chan, seq) the send->recv causal edge *)
+  | Steal_ev of { task : int; from_lane : int; to_lane : int }
+      (* a task migrated between execution lanes via a successful steal *)
 
 type t = { t : int; kind : kind }
 
@@ -87,6 +100,11 @@ let kind_name = function
   | Feature_sample _ -> "feature_sample"
   | Cores_online _ -> "cores_online"
   | Trace_overflow _ -> "trace_overflow"
+  | Task_spawn _ -> "task_spawn"
+  | Task_done _ -> "task_done"
+  | Chan_send_ev _ -> "chan_send"
+  | Chan_recv_ev _ -> "chan_recv"
+  | Steal_ev _ -> "steal"
 
 let to_json { t; kind } =
   let fields =
@@ -119,6 +137,20 @@ let to_json { t; kind } =
         [ ("name", Json.Str name); ("value", Json.Float value) ]
     | Cores_online { cores } -> [ ("cores", Json.Int cores) ]
     | Trace_overflow { dropped } -> [ ("dropped", Json.Int dropped) ]
+    | Task_spawn { task; parent; name } ->
+        [ ("task", Json.Int task); ("parent", Json.Int parent);
+          ("name", Json.Str name) ]
+    | Task_done { task; busy_ns } ->
+        [ ("task", Json.Int task); ("busy_ns", Json.Int busy_ns) ]
+    | Chan_send_ev { chan; seq; task; busy_ns } ->
+        [ ("chan", Json.Str chan); ("seq", Json.Int seq);
+          ("task", Json.Int task); ("busy_ns", Json.Int busy_ns) ]
+    | Chan_recv_ev { chan; seq; task; busy_ns } ->
+        [ ("chan", Json.Str chan); ("seq", Json.Int seq);
+          ("task", Json.Int task); ("busy_ns", Json.Int busy_ns) ]
+    | Steal_ev { task; from_lane; to_lane } ->
+        [ ("task", Json.Int task); ("from_lane", Json.Int from_lane);
+          ("to_lane", Json.Int to_lane) ]
   in
   Json.Obj (("t", Json.Int t) :: ("ev", Json.Str (kind_name kind)) :: fields)
 
@@ -164,6 +196,24 @@ let of_json j =
         Feature_sample { name = Json.get_str "name" j; value = Json.get_float "value" j }
     | "cores_online" -> Cores_online { cores = Json.get_int "cores" j }
     | "trace_overflow" -> Trace_overflow { dropped = Json.get_int "dropped" j }
+    | "task_spawn" ->
+        Task_spawn
+          { task = Json.get_int "task" j; parent = Json.get_int "parent" j;
+            name = Json.get_str "name" j }
+    | "task_done" ->
+        Task_done { task = Json.get_int "task" j; busy_ns = Json.get_int "busy_ns" j }
+    | "chan_send" ->
+        Chan_send_ev
+          { chan = Json.get_str "chan" j; seq = Json.get_int "seq" j;
+            task = Json.get_int "task" j; busy_ns = Json.get_int "busy_ns" j }
+    | "chan_recv" ->
+        Chan_recv_ev
+          { chan = Json.get_str "chan" j; seq = Json.get_int "seq" j;
+            task = Json.get_int "task" j; busy_ns = Json.get_int "busy_ns" j }
+    | "steal" ->
+        Steal_ev
+          { task = Json.get_int "task" j; from_lane = Json.get_int "from_lane" j;
+            to_lane = Json.get_int "to_lane" j }
     | s -> raise (Json.Parse_error ("unknown event kind " ^ s))
   in
   { t; kind }

@@ -41,6 +41,19 @@ type kind =
   | Trace_overflow of { dropped : int }
       (** the sink ring filled and overwrote [dropped] older events;
           prepended by the exporters so loss is never silent *)
+  | Task_spawn of { task : int; parent : int; name : string }
+      (** a scheduler task/fiber was created; [parent] is the spawning
+          task id, or [-1] when spawned from outside the engine *)
+  | Task_done of { task : int; busy_ns : int }
+      (** a task completed having accumulated [busy_ns] of compute *)
+  | Chan_send_ev of { chan : string; seq : int; task : int; busy_ns : int }
+      (** task enqueued the [seq]-th item (0-based) into [chan], with
+          cumulative compute [busy_ns] at the send *)
+  | Chan_recv_ev of { chan : string; seq : int; task : int; busy_ns : int }
+      (** task dequeued the [seq]-th item of [chan]; FIFO delivery makes
+          [(chan, seq)] the send→recv causal edge {!Critpath} follows *)
+  | Steal_ev of { task : int; from_lane : int; to_lane : int }
+      (** a task migrated between execution lanes via a successful steal *)
 
 type t = { t : int;  (** virtual time, ns *) kind : kind }
 

@@ -42,6 +42,7 @@ let tid_daemon = 1000
 let tid_decima = 1001
 let tid_platform = 1002
 let tid_channels = 1003
+let tid_scheduler = 1004
 
 (* All internal timestamps are integer nanoseconds; the trace_event format
    wants microseconds, so this is the single conversion point. *)
@@ -120,7 +121,25 @@ let chrome ?(process = "parcae") events =
           counter ~name:"online-cores" ~tid:tid_platform t (Json.Int cores)
       | Event.Trace_overflow { dropped } ->
           record ~name:"trace-overflow" ~ph:"i" ~tid:tid_platform t
-            ~args:[ ("dropped", Json.Int dropped) ])
+            ~args:[ ("dropped", Json.Int dropped) ]
+      | Event.Task_spawn { task; parent; name } ->
+          record ~name:("spawn " ^ name) ~ph:"i" ~tid:tid_scheduler t
+            ~args:[ ("task", Json.Int task); ("parent", Json.Int parent) ]
+      | Event.Task_done { task; busy_ns } ->
+          record ~name:"task-done" ~ph:"i" ~tid:tid_scheduler t
+            ~args:[ ("task", Json.Int task); ("busy_ns", Json.Int busy_ns) ]
+      | Event.Chan_send_ev { chan; seq; task; _ } ->
+          (* Flow-event arrows: one send (s) to one recv (f) per (chan, seq). *)
+          record ~name:("send " ^ chan) ~ph:"s" ~tid:tid_channels t
+            ~args:[ ("seq", Json.Int seq); ("task", Json.Int task) ]
+      | Event.Chan_recv_ev { chan; seq; task; _ } ->
+          record ~name:("recv " ^ chan) ~ph:"f" ~tid:tid_channels t
+            ~args:[ ("seq", Json.Int seq); ("task", Json.Int task) ]
+      | Event.Steal_ev { task; from_lane; to_lane } ->
+          record ~name:"steal" ~ph:"i" ~tid:tid_scheduler t
+            ~args:
+              [ ("task", Json.Int task); ("from", Json.Int from_lane);
+                ("to", Json.Int to_lane) ])
     events;
   (* Metadata: process and track names make the Perfetto view readable. *)
   let meta name tid label =
@@ -132,7 +151,8 @@ let chrome ?(process = "parcae") events =
     meta "process_name" 0 process
     :: Hashtbl.fold (fun r tid acc -> meta "thread_name" tid r :: acc) region_tids []
     @ [ meta "thread_name" tid_daemon "daemon"; meta "thread_name" tid_decima "decima";
-        meta "thread_name" tid_platform "platform"; meta "thread_name" tid_channels "channels" ]
+        meta "thread_name" tid_platform "platform"; meta "thread_name" tid_channels "channels";
+        meta "thread_name" tid_scheduler "scheduler" ]
   in
   Json.to_string
     (Json.Obj

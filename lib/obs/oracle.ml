@@ -184,7 +184,20 @@ let check ?(require_flush = false) ?(check_budget = false) events =
       | Event.Cores_online { cores } ->
           if cores < 0 then bad "cores_online with %d cores" cores
       | Event.Trace_overflow { dropped } ->
-          if dropped <= 0 then bad "trace_overflow marker with %d dropped" dropped)
+          if dropped <= 0 then bad "trace_overflow marker with %d dropped" dropped
+      | Event.Task_spawn { task; parent; _ } ->
+          if task < 0 then bad "task_spawn with task id %d" task;
+          if parent < -1 then bad "task_spawn with parent id %d" parent
+      | Event.Task_done { task; busy_ns } ->
+          if task < 0 then bad "task_done with task id %d" task;
+          if busy_ns < 0 then bad "task_done with negative busy time %d" busy_ns
+      | Event.Chan_send_ev { seq; busy_ns; _ } | Event.Chan_recv_ev { seq; busy_ns; _ } ->
+          if seq < 0 then bad "channel event with sequence number %d" seq;
+          if busy_ns < 0 then bad "channel event with negative busy time %d" busy_ns
+      | Event.Steal_ev { task; from_lane; to_lane } ->
+          if task < 0 then bad "steal with task id %d" task;
+          if from_lane < 0 || to_lane < 0 then
+            bad "steal between lanes %d -> %d" from_lane to_lane)
     events;
   let dangling =
     Hashtbl.fold (fun _ s acc -> if s.paused then acc + 1 else acc) regions 0

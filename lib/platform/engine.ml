@@ -103,6 +103,20 @@ let self_busy_ns () =
   | Some task -> Nat.task_busy_ns task
   | None -> (Sim.self ()).Sim.busy_ns
 
+(* The timeline lane of the calling context: the worker domain index on
+   native, the occupied core index on sim.  Unlike the other ambient ops
+   this is safe to call from anywhere — a plain (non-engine) thread, or a
+   simulated thread currently off-core — and answers [None] there. *)
+let current_lane () =
+  match Nat.worker_id_opt () with
+  | Some wid -> Some wid
+  | None -> (
+      match Sim.self () with
+      | th ->
+          let core = if th.Sim.core >= 0 then th.Sim.core else th.Sim.last_core in
+          if core >= 0 then Some core else None
+      | exception _ -> None)
+
 let engine () =
   match Nat.self_opt () with
   | Some task -> N (Nat.task_engine task)

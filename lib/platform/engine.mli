@@ -76,6 +76,12 @@ val self_busy_ns : unit -> int
 val engine : unit -> t
 (** The engine of the calling thread. *)
 
+val current_lane : unit -> int option
+(** The timeline lane of the calling context: the worker-domain index on
+    native, the occupied core index on sim.  Safe from any context —
+    answers [None] outside an engine thread or when the simulated caller
+    holds no core. *)
+
 (** {1 Value-dispatched operations}
 
     Monitors are the cross-backend mutual-exclusion primitive.  On the

@@ -17,6 +17,7 @@ module Trace = Parcae_obs.Trace
 module Event = Parcae_obs.Event
 module Metrics = Parcae_obs.Metrics
 module Ledger = Parcae_obs.Ledger
+module Timeline = Parcae_obs.Timeline
 
 (* Pause and reconfiguration are rare (controller-period) events, so their
    metrics go through the registry's family lookup directly instead of a
@@ -47,6 +48,19 @@ let note_reconfig (r : Region.t) ~kind ~t0 =
    channel flush, task restart). *)
 let note_phase (r : Region.t) ~phase ns =
   Ledger.note ~t:(Engine.time r.Region.eng) ~region:r.Region.name ~phase ns
+
+(* Explain measured control-plane time (pause protocol, flush window) as
+   Reconfig on the lane executing it.  Works without the overhead ledger:
+   the timeline's install cell is its own switch. *)
+let tl_reconfig ns =
+  if ns > 0 then
+    match Timeline.get () with
+    | Some tl -> (
+        match Engine.current_lane () with
+        | Some lane when lane < Timeline.lanes tl ->
+            Timeline.attribute tl ~lane Timeline.Reconfig ns
+        | _ -> ())
+    | None -> ()
 
 (* Mark the region Done, emit the trace event, and wake joiners — the
    single exit point for both completion paths and [terminate].  Runs
@@ -269,6 +283,7 @@ let pause (r : Region.t) =
           done;
           r.Region.pause_wait_ns <- r.Region.pause_wait_ns + (Engine.time r.Region.eng - t0);
           note_pause r ~t0;
+          tl_reconfig (Engine.time r.Region.eng - t0);
           let parked = r.Region.status = Region.Paused in
           if r.Region.reconfig_t0 >= 0 then
             if parked then begin
@@ -287,6 +302,7 @@ let resume ?config (r : Region.t) =
   | Region.Paused -> ()
   | _ -> invalid_arg "Executor.resume: region not paused");
   let prev_config = r.Region.config in
+  let tl0 = if Timeline.enabled () then Engine.time r.Region.eng else min_int in
   let flush0 = if Ledger.active () then Engine.time r.Region.eng else min_int in
   (match config with
   | None -> ()
@@ -328,6 +344,7 @@ let resume ?config (r : Region.t) =
          { region = r.Region.name; scheme = Region.scheme_name r; threads = Config.threads cfg })
   end;
   start_workers r;
+  if tl0 > min_int then tl_reconfig (Engine.time r.Region.eng - tl0);
   (* Restart phase: from here until the first worker completes an
      iteration (closed in [region_worker]). *)
   if Ledger.active () then r.Region.restart_mark <- Engine.time r.Region.eng

@@ -3,6 +3,21 @@
    (Section 4.5.1); the time fast threads spend here is the "barrier wait"
    overhead that Section 7.2 eliminates. *)
 
+module Timeline = Parcae_obs.Timeline
+
+(* Explain the measured wait as Barrier_wait on the core the thread last
+   computed on; while parked at the barrier it held no core, so the
+   transfer relabels that lane's Park time. *)
+let tl_wait dt =
+  if dt > 0 then
+    match Timeline.get () with
+    | Some tl ->
+        let th = Engine.self () in
+        let core = if th.Engine.core >= 0 then th.Engine.core else th.Engine.last_core in
+        if core >= 0 && core < Timeline.lanes tl then
+          Timeline.attribute tl ~lane:core Timeline.Barrier_wait dt
+    | None -> ()
+
 type t = {
   name : string;
   mutable parties : int;
@@ -32,7 +47,9 @@ let wait b =
     while b.generation = gen do
       Engine.wait_on b.released
     done;
-    b.total_wait_ns <- b.total_wait_ns + (Engine.now () - t0);
+    let dt = Engine.now () - t0 in
+    b.total_wait_ns <- b.total_wait_ns + dt;
+    tl_wait dt;
     false
   end
 

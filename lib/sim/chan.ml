@@ -9,6 +9,9 @@
    sequential order, which the pause/reconfigure protocol relies on. *)
 
 module Metrics = Parcae_obs.Metrics
+module Trace = Parcae_obs.Trace
+module Event = Parcae_obs.Event
+module Timeline = Parcae_obs.Timeline
 
 (* Per-channel metric handles, labeled by channel name.  Cached against the
    installed registry so the hot path pays one physical comparison, not a
@@ -84,6 +87,40 @@ let note_depth ch =
 
 let cost ch = if ch.op_cost >= 0 then ch.op_cost else (Engine.machine (Engine.engine ())).Machine.chan_op
 
+(* The wait instruments want a start time when either sink is live. *)
+let observing () = Metrics.enabled () || Timeline.enabled ()
+
+(* Explain a measured block as Chan_wait on the core the thread last
+   computed on (non-burst code runs off-core in the sim).  While blocked
+   the thread held no core — the wait displaced Park time on that lane,
+   which is exactly what the timeline's idle-first attribution transfer
+   expresses. *)
+let tl_wait waited t0 =
+  if waited then
+    match Timeline.get () with
+    | Some tl ->
+        let th = Engine.self () in
+        let core = if th.Engine.core >= 0 then th.Engine.core else th.Engine.last_core in
+        if core >= 0 && core < Timeline.lanes tl then
+          Timeline.attribute tl ~lane:core Timeline.Chan_wait (Engine.now () - t0)
+    | None -> ()
+
+let emit_send ch seq =
+  if Trace.enabled () then begin
+    let th = Engine.self () in
+    Trace.emit ~t:(Engine.now ())
+      (Event.Chan_send_ev
+         { chan = ch.name; seq; task = th.Engine.tid; busy_ns = th.Engine.busy_ns })
+  end
+
+let emit_recv ch seq =
+  if Trace.enabled () then begin
+    let th = Engine.self () in
+    Trace.emit ~t:(Engine.now ())
+      (Event.Chan_recv_ev
+         { chan = ch.name; seq; task = th.Engine.tid; busy_ns = th.Engine.busy_ns })
+  end
+
 let length ch = Queue.length ch.q
 let is_empty ch = Queue.is_empty ch.q
 let total_sent ch = ch.total_sent
@@ -93,7 +130,7 @@ let total_received ch = ch.total_received
 let send ch v =
   Engine.compute (cost ch);
   let waited = ref false in
-  let t0 = if Metrics.enabled () then Engine.now () else 0 in
+  let t0 = if observing () then Engine.now () else 0 in
   let rec loop () =
     if ch.capacity > 0 && Queue.length ch.q >= ch.capacity then begin
       waited := true;
@@ -101,42 +138,49 @@ let send ch v =
       loop ()
     end
     else begin
+      let seq = ch.total_sent in
       Queue.push v ch.q;
-      ch.total_sent <- ch.total_sent + 1;
-      Engine.signal ch.nonempty
+      ch.total_sent <- seq + 1;
+      Engine.signal ch.nonempty;
+      seq
     end
   in
-  loop ();
+  let seq = loop () in
   if Metrics.enabled () then begin
     let h = handles ch in
     Metrics.inc h.cm_sends;
     Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
     if !waited then Metrics.observe_ns h.cm_send_block (Engine.now () - t0)
-  end
+  end;
+  tl_wait !waited t0;
+  emit_send ch seq
 
 (* Dequeue, blocking while the channel is empty. *)
 let recv ch =
   Engine.compute (cost ch);
   let waited = ref false in
-  let t0 = if Metrics.enabled () then Engine.now () else 0 in
+  let t0 = if observing () then Engine.now () else 0 in
   let rec loop () =
     match Queue.take_opt ch.q with
     | Some v ->
-        ch.total_received <- ch.total_received + 1;
+        let seq = ch.total_received in
+        ch.total_received <- seq + 1;
         Engine.signal ch.nonfull;
-        v
+        (v, seq)
     | None ->
         waited := true;
         Engine.wait_on ch.nonempty;
         loop ()
   in
-  let v = loop () in
+  let v, seq = loop () in
   if Metrics.enabled () then begin
     let h = handles ch in
     Metrics.inc h.cm_recvs;
     Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
     if !waited then Metrics.observe_ns h.cm_recv_block (Engine.now () - t0)
   end;
+  tl_wait !waited t0;
+  emit_recv ch seq;
   v
 
 (* Enqueue [v] regardless of capacity.  Control sentinels use this: a lane
@@ -144,13 +188,15 @@ let recv ch =
    pause/flush protocol could deadlock on a full channel. *)
 let force_send ch v =
   Engine.compute (cost ch);
+  let seq = ch.total_sent in
   Queue.push v ch.q;
-  ch.total_sent <- ch.total_sent + 1;
+  ch.total_sent <- seq + 1;
   if Metrics.enabled () then begin
     let h = handles ch in
     Metrics.inc h.cm_sends;
     Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q))
   end;
+  emit_send ch seq;
   Engine.signal ch.nonempty
 
 (* Non-blocking receive. *)
@@ -158,12 +204,14 @@ let try_recv ch =
   match Queue.take_opt ch.q with
   | Some v ->
       Engine.compute (cost ch);
-      ch.total_received <- ch.total_received + 1;
+      let seq = ch.total_received in
+      ch.total_received <- seq + 1;
       if Metrics.enabled () then begin
         let h = handles ch in
         Metrics.inc h.cm_recvs;
         Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q))
       end;
+      emit_recv ch seq;
       Engine.signal ch.nonfull;
       Some v
   | None -> None
@@ -173,13 +221,15 @@ let try_send ch v =
   if ch.capacity > 0 && Queue.length ch.q >= ch.capacity then false
   else begin
     Engine.compute (cost ch);
+    let seq = ch.total_sent in
     Queue.push v ch.q;
-    ch.total_sent <- ch.total_sent + 1;
+    ch.total_sent <- seq + 1;
     if Metrics.enabled () then begin
       let h = handles ch in
       Metrics.inc h.cm_sends;
       Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q))
     end;
+    emit_send ch seq;
     Engine.signal ch.nonempty;
     true
   end
@@ -190,15 +240,17 @@ let try_send ch v =
 let send_batch ch vs =
   Engine.compute (cost ch);
   let waited = ref false in
-  let t0 = if Metrics.enabled () then Engine.now () else 0 in
+  let t0 = if observing () then Engine.now () else 0 in
   List.iter
     (fun v ->
       while ch.capacity > 0 && Queue.length ch.q >= ch.capacity do
         waited := true;
         Engine.wait_on ch.nonfull
       done;
+      let seq = ch.total_sent in
       Queue.push v ch.q;
-      ch.total_sent <- ch.total_sent + 1;
+      ch.total_sent <- seq + 1;
+      emit_send ch seq;
       Engine.signal ch.nonempty)
     vs;
   if Metrics.enabled () then begin
@@ -206,14 +258,15 @@ let send_batch ch vs =
     Metrics.inc_by h.cm_sends (List.length vs);
     Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
     if !waited then Metrics.observe_ns h.cm_send_block (Engine.now () - t0)
-  end
+  end;
+  tl_wait !waited t0
 
 (* Dequeue at least one and at most [max] items (default: everything
    queued) for a single [chan_op] charge. *)
 let recv_batch ?max ch =
   Engine.compute (cost ch);
   let waited = ref false in
-  let t0 = if Metrics.enabled () then Engine.now () else 0 in
+  let t0 = if observing () then Engine.now () else 0 in
   while Queue.is_empty ch.q do
     waited := true;
     Engine.wait_on ch.nonempty
@@ -227,11 +280,16 @@ let recv_batch ?max ch =
   in
   let out = ref [] in
   let taken = ref 0 in
+  let base = ch.total_received in
   while !taken < limit && not (Queue.is_empty ch.q) do
     out := Queue.pop ch.q :: !out;
     incr taken
   done;
-  ch.total_received <- ch.total_received + !taken;
+  ch.total_received <- base + !taken;
+  if Trace.enabled () then
+    for i = 0 to !taken - 1 do
+      emit_recv ch (base + i)
+    done;
   Engine.broadcast ch.nonfull;
   if Metrics.enabled () then begin
     let h = handles ch in
@@ -239,6 +297,7 @@ let recv_batch ?max ch =
     Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
     if !waited then Metrics.observe_ns h.cm_recv_block (Engine.now () - t0)
   end;
+  tl_wait !waited t0;
   List.rev !out
 
 (* Keep only the items satisfying [keep], preserving order; returns how many

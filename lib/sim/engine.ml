@@ -15,6 +15,7 @@ module Pqueue = Parcae_util.Pqueue
 module Trace = Parcae_obs.Trace
 module Event = Parcae_obs.Event
 module Metrics = Parcae_obs.Metrics
+module Timeline = Parcae_obs.Timeline
 
 (* Scheduler-level instruments.  Handle creation is memoized against the
    installed registry; every update is guarded by [Metrics.enabled ()] so
@@ -76,6 +77,8 @@ and thread = {
   mutable need : int;  (* remaining ns of the current compute burst *)
   mutable chunk : int;  (* ns of the slice currently executing *)
   mutable on_core : bool;
+  mutable core : int;  (* core index while on a core, -1 otherwise *)
+  mutable last_core : int;  (* last core occupied; wait attribution lane *)
   mutable cont : (unit -> unit) option;  (* resumption closure *)
   mutable busy_ns : int;  (* total CPU consumed, for utilization stats *)
   done_cond : cond;  (* broadcast when the thread finishes *)
@@ -92,6 +95,7 @@ type t = {
   run_queue : thread Queue.t;
   mutable online : int;  (* cores currently made available *)
   mutable busy : int;  (* cores currently executing a thread *)
+  mutable free_cores : int list;  (* core indices not executing a thread *)
   mutable live : int;  (* threads not yet finished *)
   mutable tid_counter : int;
   mutable current : thread option;
@@ -148,6 +152,7 @@ let create machine =
     run_queue = Queue.create ();
     online = machine.Machine.cores;
     busy = 0;
+    free_cores = List.init machine.Machine.cores (fun i -> i);
     live = 0;
     tid_counter = 0;
     current = None;
@@ -183,6 +188,15 @@ let set_busy eng b =
     Metrics.set_gauge m.m_online_cores (float_of_int eng.online)
   end
 
+(* A core's timeline lane: Run while a thread holds it, Park otherwise.
+   The simulator's cooperative single-threadedness makes this exact. *)
+let tl_enter eng core st =
+  if core >= 0 then
+    match Timeline.get () with
+    | Some tl when core < Timeline.lanes tl ->
+        Timeline.enter tl ~lane:core ~now:eng.now st
+    | _ -> ()
+
 (* Assign cores to runnable threads while any are free. *)
 let rec dispatch eng =
   if eng.busy < eng.online && not (Queue.is_empty eng.run_queue) then begin
@@ -190,6 +204,13 @@ let rec dispatch eng =
     if th.state = Runnable then begin
       th.state <- Running;
       th.on_core <- true;
+      (match eng.free_cores with
+      | c :: rest ->
+          eng.free_cores <- rest;
+          th.core <- c;
+          th.last_core <- c
+      | [] -> th.core <- -1 (* online oversubscribed past physical cores *));
+      tl_enter eng th.core Timeline.Run;
       set_busy eng (eng.busy + 1);
       (* Charge the context switch, then run up to one scheduler quantum. *)
       let chunk = min th.need eng.machine.Machine.time_slice in
@@ -214,6 +235,11 @@ let make_runnable eng th =
 let release_core eng th =
   if th.on_core then begin
     th.on_core <- false;
+    tl_enter eng th.core Timeline.Park;
+    if th.core >= 0 then begin
+      eng.free_cores <- th.core :: eng.free_cores;
+      th.core <- -1
+    end;
     set_busy eng (eng.busy - 1);
     dispatch eng
   end
@@ -241,6 +267,8 @@ let run_turn eng th =
       eng.current <- saved
 
 let finish eng th =
+  if Trace.enabled () then
+    Trace.emit ~t:eng.now (Event.Task_done { task = th.tid; busy_ns = th.busy_ns });
   th.state <- Finished;
   eng.live <- eng.live - 1;
   if Metrics.enabled () then
@@ -336,6 +364,8 @@ and spawn eng ~name body : thread =
       need = 0;
       chunk = 0;
       on_core = false;
+      core = -1;
+      last_core = -1;
       cont = None;
       busy_ns = 0;
       done_cond = cond_create ();
@@ -349,6 +379,10 @@ and spawn eng ~name body : thread =
     Metrics.set_gauge m.m_live_threads (float_of_int eng.live)
   end;
   eng.all_threads <- th :: eng.all_threads;
+  if Trace.enabled () then begin
+    let parent = match eng.current with Some p -> p.tid | None -> -1 in
+    Trace.emit ~t:eng.now (Event.Task_spawn { task = th.tid; parent; name })
+  end;
   th.cont <- Some (fun () -> Effect.Deep.match_with body () (handler eng th));
   th.state <- Blocked;
   push_event eng eng.now (Wake th);

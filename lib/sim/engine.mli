@@ -27,6 +27,8 @@ type thread = {
   mutable need : int;  (** remaining ns of the current compute burst *)
   mutable chunk : int;  (** ns of the slice currently executing *)
   mutable on_core : bool;
+  mutable core : int;  (** core index while on a core, -1 otherwise *)
+  mutable last_core : int;  (** last core occupied, -1 if never dispatched *)
   mutable cont : (unit -> unit) option;  (** resumption closure *)
   mutable busy_ns : int;  (** total CPU consumed; Decima's hooks read this *)
   done_cond : cond;  (** broadcast when the thread finishes *)

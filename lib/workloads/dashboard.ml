@@ -10,6 +10,7 @@
 
 module Engine = Parcae_platform.Engine
 module Obs = Parcae_obs.Metrics
+module Timeline = Parcae_obs.Timeline
 module Table = Parcae_util.Table
 
 let label_string = function
@@ -22,6 +23,29 @@ let label_string = function
 let fmt_value v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.4g" v
+
+(* The scheduler panel: per-lane utilization shares from the installed
+   timeline, one row per lane plus the wall-weighted merge.  Rendered only
+   while a timeline is installed, so `top` without one is unchanged. *)
+let scheduler_panel ~now_ns tl =
+  let bds = Timeline.breakdown tl ~until:now_ns in
+  let t =
+    Table.create ~title:"scheduler"
+      ~header:("lane" :: List.map Timeline.state_name Timeline.all_states)
+  in
+  let cell f = Printf.sprintf "%.1f%%" (100.0 *. f) in
+  Array.iter
+    (fun (lb : Timeline.lane_breakdown) ->
+      Table.add_row t
+        (string_of_int lb.Timeline.lane
+        :: List.map
+             (fun st -> cell lb.Timeline.shares.(Timeline.state_index st))
+             Timeline.all_states))
+    bds;
+  let merged = Timeline.merged_shares bds in
+  Table.add_row t
+    ("all" :: List.map (fun st -> cell (List.assoc st merged)) Timeline.all_states);
+  Table.render t
 
 (* Render one registry snapshot as counter / gauge / histogram tables.
    Series order comes from Metrics.snapshot, so the output is deterministic
@@ -67,6 +91,12 @@ let render ?(title = "parcae top") ~now_s reg =
     List.filter_map
       (fun (n, t) -> if !n > 0 then Some (Table.render t) else None)
       [ (n_counters, counters); (n_gauges, gauges); (n_hists, hists) ]
+  in
+  let parts =
+    match Timeline.get () with
+    | Some tl ->
+        parts @ [ scheduler_panel ~now_ns:(int_of_float (now_s *. 1e9)) tl ]
+    | None -> parts
   in
   match parts with
   | [] -> Printf.sprintf "%s — no metrics recorded (t=%.3fs)\n" title now_s

@@ -22,4 +22,5 @@ let () =
       ("flight", Test_flight.suite);
       ("sched", Test_sched.suite);
       ("native", Test_native.suite);
+      ("timeline", Test_timeline.suite);
     ]
