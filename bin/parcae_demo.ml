@@ -744,6 +744,117 @@ let explain_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* sanitize                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Small kernel instances for sanitizing: the sanitizer shadows every
+   load/store, and a few hundred iterations already exercise every
+   collision pattern the kernels contain (histogram's bins wrap at 64,
+   so 256 iterations give four hits per bin). *)
+let sanitize_kernel_of n name : unit -> Parcae_ir.Loop.t =
+  let open Parcae_ir in
+  match name with
+  | "blackscholes" -> fun () -> Kernels.blackscholes ~n ()
+  | "crc32" -> fun () -> Kernels.crc32 ~n ()
+  | "url" -> fun () -> Kernels.url ~n ()
+  | "kmeans" -> fun () -> Kernels.kmeans ~n ()
+  | "histogram" -> fun () -> Kernels.histogram ~n ()
+  | "montecarlo" -> fun () -> Kernels.montecarlo ~n ()
+  | "stringsearch" -> fun () -> Kernels.stringsearch ~n ()
+  | "recurrence" -> fun () -> Kernels.recurrence ~n ()
+  | "adaptive" -> fun () -> Kernels.adaptive ~n ()
+  | s -> failwith ("unknown kernel " ^ s)
+
+let sanitize_suite_arg =
+  let doc = "Sanitize every built-in kernel instead of a single one." in
+  Arg.(value & flag & info [ "suite" ] ~doc)
+
+let sanitize_corpus_arg =
+  let doc = "Additionally sanitize $(docv) seeded random kernels (see $(b,--seed))." in
+  Arg.(value & opt int 0 & info [ "corpus" ] ~docv:"N" ~doc)
+
+let sanitize_n_arg =
+  let doc = "Iteration count for built-in kernels." in
+  Arg.(value & opt int 256 & info [ "iters" ] ~docv:"N" ~doc)
+
+let sanitize_dop_arg =
+  let doc = "Degree of parallelism for the parallel schemes." in
+  Arg.(value & opt int 3 & info [ "dop" ] ~docv:"D" ~doc)
+
+let inject_arg =
+  let doc =
+    "Fault injection: strip every loop-carried memory dependence from the PDG before \
+     planning, simulating an unsound alias analysis.  The sanitizer must then report \
+     S701 on any kernel whose parallel execution actually races."
+  in
+  Arg.(value & flag & info [ "inject-race" ] ~doc)
+
+let sanitize_file_arg =
+  let doc = "A .loop source file to sanitize (alternative to -k)." in
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+(* Exit-code contract matches [check]: 1 iff any error diagnostic (S701 /
+   S702 / a parse failure), 0 otherwise. *)
+let sanitize kernel pos_file file suite corpus n seed dop backend pool inject json =
+  let open Parcae_ir in
+  let open Parcae_nona in
+  let module Diag = Parcae_analysis.Diag in
+  let backend =
+    match backend_of backend pool with
+    | `Sim -> Sanitize.Sim_backend
+    | `Native pool -> Sanitize.Native_backend pool
+  in
+  let fail_with msg =
+    if json then
+      print_endline
+        (Printf.sprintf "{\"errors\": 1, \"reports\": [], \"diagnostics\": %s}"
+           (Diag.list_to_json [ Diag.error "P001" "%s" msg ]))
+    else print_endline msg;
+    exit 1
+  in
+  let named =
+    match (match pos_file with Some _ -> pos_file | None -> file) with
+    | Some path -> ( try [ Parser.parse_file path ] with Parser.Parse_error m -> fail_with m)
+    | None when suite ->
+        List.map (fun k -> sanitize_kernel_of n k.Kernels.k_name ()) Kernels.suite
+    | None -> ( try [ sanitize_kernel_of n kernel () ] with Failure m -> fail_with m)
+  in
+  let generated =
+    List.map
+      (fun g -> g.Kgen.g_loop)
+      (if corpus > 0 then Kgen.corpus ~seed ~n:corpus else [])
+  in
+  let reports =
+    List.map (fun loop -> Sanitize.run ~backend ~dop ~inject loop) (named @ generated)
+  in
+  let errors =
+    List.fold_left (fun acc r -> acc + Diag.count_errors r.Sanitize.diags) 0 reports
+  in
+  if json then
+    print_endline
+      (Printf.sprintf "{\"errors\": %d, \"reports\": [%s]}" errors
+         (String.concat ", " (List.map Sanitize.to_json reports)))
+  else List.iter (fun r -> print_string (Sanitize.render r)) reports;
+  exit (if errors > 0 then 1 else 0)
+
+let sanitize_cmd =
+  let term =
+    Term.(
+      const sanitize $ kernel_arg $ sanitize_file_arg $ file_arg $ sanitize_suite_arg
+      $ sanitize_corpus_arg $ sanitize_n_arg $ seed_arg $ sanitize_dop_arg $ backend_arg
+      $ pool_arg $ inject_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "sanitize"
+       ~doc:
+         "Execute a loop under every emitted scheme with the happens-before race \
+          sanitizer attached, and cross-validate the dynamic dependences it observes \
+          against the static PDG: races under verifier-passed plans (S701) and dynamic \
+          collisions without a static dependence (S702) are soundness errors; static \
+          may-dependences that never materialize are precision gaps (G711).")
+    term
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "Parcae: a system for flexible parallel execution (simulated reproduction)" in
@@ -759,5 +870,6 @@ let () =
             check_cmd;
             run_cmd;
             doctor_cmd;
+            sanitize_cmd;
             explain_cmd;
           ]))

@@ -3,7 +3,8 @@
 
     Code families: [P0xx] parse errors, [V1xx]/[V2xx]/[V3xx] DOANY /
     DOACROSS / PS-DSWP legality violations, [V0xx] PDG integrity, [N4xx]
-    scheme-inhibitor explanations, [W6xx] lint warnings. *)
+    scheme-inhibitor explanations, [W6xx] lint warnings, [S7xx] race
+    sanitizer soundness violations, [G7xx] sanitizer precision gaps. *)
 
 open Parcae_ir
 

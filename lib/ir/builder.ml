@@ -21,6 +21,8 @@ type t = {
   mutable live_out : reg list;
   mutable cur_loc : Loop.loc option;
       (* source position stamped onto nodes pushed from here on *)
+  mutable next_line : int;
+      (* emission counter backing the synthetic locs of unstamped nodes *)
   mutable pending_carries : (reg * (unit -> reg)) list;
       (* phis whose carry is fixed up at finish time *)
 }
@@ -36,10 +38,21 @@ let create name =
     arrays = [];
     live_out = [];
     cur_loc = None;
+    next_line = 0;
     pending_carries = [];
   }
 
 let at b loc = b.cur_loc <- loc
+
+(* Every emitted node carries a loc so dynamic findings (sanitizer races,
+   runtime diagnostics) are always attributable: nodes not covered by an
+   explicit [at] get a synthetic "<name>:k" position, where k is the
+   node's 1-based emission order. *)
+let stamp b =
+  b.next_line <- b.next_line + 1;
+  match b.cur_loc with
+  | Some _ as loc -> loc
+  | None -> Some { Loop.loc_file = "<" ^ b.name ^ ">"; loc_line = b.next_line }
 
 let fresh b =
   let r = b.next_reg in
@@ -48,7 +61,7 @@ let fresh b =
 
 let push b i =
   b.body <- i :: b.body;
-  b.body_locs <- b.cur_loc :: b.body_locs
+  b.body_locs <- stamp b :: b.body_locs
 
 (* Declare a named array with initial contents. *)
 let array b name contents = b.arrays <- (name, contents) :: b.arrays
@@ -57,7 +70,7 @@ let array b name contents = b.arrays <- (name, contents) :: b.arrays
 let phi b ~init =
   let r = fresh b in
   b.phis <- { pdst = r; init; carry = r (* placeholder *) } :: b.phis;
-  b.phi_locs <- b.cur_loc :: b.phi_locs;
+  b.phi_locs <- stamp b :: b.phi_locs;
   r
 
 let set_carry b ~phi:p ~carry =
@@ -117,7 +130,6 @@ let reduce b op ~init v =
 
 let finish ~trip b =
   let locs = Array.of_list (List.rev b.phi_locs @ List.rev b.body_locs) in
-  let locs = if Array.for_all (( = ) None) locs then [||] else locs in
   let loop =
     Loop.create ~name:b.name ~phis:(List.rev b.phis) ~arrays:(List.rev b.arrays)
       ~live_out:(List.rev b.live_out) ~locs ~trip (List.rev b.body)

@@ -1,0 +1,108 @@
+(* Seeded random kernels, racy or race-free by construction. *)
+
+type gen = { g_loop : Loop.t; g_racy : bool; g_desc : string }
+
+(* A private 48-bit LCG (the POSIX drand48 constants) so generation is
+   reproducible and independent of the global Random state. *)
+type rng = { mutable s : int }
+
+let mk_rng seed = { s = (seed * 2654435761) lxor 0x5DEECE66D }
+
+let next r =
+  r.s <- ((r.s * 25214903917) + 11) land 0xFFFFFFFFFFFF;
+  (r.s lsr 17) land 0x3FFFFFFF
+
+let range r lo hi = lo + (next r mod (hi - lo + 1))
+
+let init_array r n bound = Array.init n (fun _ -> next r mod bound)
+
+(* Shape 0 (race-free): stride-1 map — out[i] = f(in[i], in2[i]). *)
+let map_kernel r seed =
+  let n = range r 12 40 in
+  let b = Builder.create (Printf.sprintf "kgen-map-%d" seed) in
+  Builder.array b "in" (init_array r n 1000);
+  Builder.array b "in2" (init_array r n 1000);
+  Builder.array b "out" (Array.make n 0);
+  let i = Builder.induction b ~from:0 ~step:1 in
+  let a = Builder.load b "in" (Instr.Reg i) in
+  let c = Builder.load b "in2" (Instr.Reg i) in
+  let op = match range r 0 2 with 0 -> Instr.Add | 1 -> Instr.Xor | _ -> Instr.Mul in
+  let v = Builder.binop b op (Instr.Reg a) (Instr.Reg c) in
+  let v2 = Builder.add b (Instr.Reg v) (Instr.Const (range r 1 9)) in
+  Builder.work b (Instr.Const (range r 50 400));
+  Builder.store b "out" (Instr.Reg i) (Instr.Reg v2);
+  let loop = Builder.finish ~trip:(Loop.Count n) b in
+  { g_loop = loop; g_racy = false; g_desc = Printf.sprintf "stride-1 map, n=%d" n }
+
+(* Shape 1 (race-free): pure reduction — acc op= in[i] * c. *)
+let reduce_kernel r seed =
+  let n = range r 12 40 in
+  let b = Builder.create (Printf.sprintf "kgen-reduce-%d" seed) in
+  Builder.array b "in" (init_array r n 1000);
+  let i = Builder.induction b ~from:0 ~step:1 in
+  let a = Builder.load b "in" (Instr.Reg i) in
+  let v = Builder.mul b (Instr.Reg a) (Instr.Const (range r 1 7)) in
+  Builder.work b (Instr.Const (range r 50 400));
+  let op = match range r 0 2 with 0 -> Instr.Add | 1 -> Instr.Min | _ -> Instr.Max in
+  let acc = Builder.reduce b op ~init:(Instr.Const 0) (Instr.Reg v) in
+  Builder.live_out b acc;
+  let loop = Builder.finish ~trip:(Loop.Count n) b in
+  { g_loop = loop; g_racy = false; g_desc = Printf.sprintf "pure reduction, n=%d" n }
+
+(* Shape 2 (race-free): strided gather, disjoint stores — reads roam via
+   a modular index, writes stay at out[i]. *)
+let gather_kernel r seed =
+  let n = range r 12 40 in
+  let stride = range r 2 7 in
+  let b = Builder.create (Printf.sprintf "kgen-gather-%d" seed) in
+  Builder.array b "in" (init_array r n 1000);
+  Builder.array b "out" (Array.make n 0);
+  let i = Builder.induction b ~from:0 ~step:1 in
+  let x = Builder.mul b (Instr.Reg i) (Instr.Const stride) in
+  let j = Builder.binop b Instr.Rem (Instr.Reg x) (Instr.Const n) in
+  let a = Builder.load b "in" (Instr.Reg j) in
+  Builder.work b (Instr.Const (range r 50 400));
+  Builder.store b "out" (Instr.Reg i) (Instr.Reg a);
+  let loop = Builder.finish ~trip:(Loop.Count n) b in
+  {
+    g_loop = loop;
+    g_racy = false;
+    g_desc = Printf.sprintf "strided gather (stride %d), disjoint stores, n=%d" stride n;
+  }
+
+(* Shape 3 (racy): indirect read-modify-write through a colliding index
+   map — out[map[i]] += 1 with map[i] = i mod k, k < n, so different
+   iterations hit the same cell. *)
+let scatter_kernel r seed =
+  let n = range r 12 40 in
+  (* Collision distance k: never a multiple of the sanitizer's default
+     DoP 3, or the deterministic simulator's round-robin claims put every
+     colliding iteration pair on the same lane and the conflict is
+     (correctly) ordered — racy-by-construction then couldn't be
+     demonstrated dynamically. *)
+  let k = [| 2; 4; 5 |].(next r mod 3) in
+  let b = Builder.create (Printf.sprintf "kgen-scatter-%d" seed) in
+  Builder.array b "map" (Array.init n (fun i -> i mod k));
+  Builder.array b "out" (Array.make n 0);
+  let i = Builder.induction b ~from:0 ~step:1 in
+  let j = Builder.load b "map" (Instr.Reg i) in
+  let v = Builder.load b "out" (Instr.Reg j) in
+  let v' = Builder.add b (Instr.Reg v) (Instr.Const 1) in
+  Builder.work b (Instr.Const (range r 50 400));
+  Builder.store b "out" (Instr.Reg j) (Instr.Reg v');
+  let loop = Builder.finish ~trip:(Loop.Count n) b in
+  {
+    g_loop = loop;
+    g_racy = true;
+    g_desc = Printf.sprintf "indirect scatter via map (i mod %d), n=%d" k n;
+  }
+
+let generate ~seed =
+  let r = mk_rng seed in
+  match next r mod 4 with
+  | 0 -> map_kernel r seed
+  | 1 -> reduce_kernel r seed
+  | 2 -> gather_kernel r seed
+  | _ -> scatter_kernel r seed
+
+let corpus ~seed ~n = List.init n (fun i -> generate ~seed:(seed + i))

@@ -1,0 +1,24 @@
+(** Seeded random-kernel generator for the race-sanitizer differential.
+
+    Each generated kernel is racy or race-free {e by construction}: the
+    shape decides whether a loop-carried memory conflict exists, so the
+    generator's label is ground truth the sanitizer and the static PDG
+    classification can both be checked against.  Fully deterministic — a
+    private LCG, no [Random] state — so CI corpora are reproducible from
+    the seed alone. *)
+
+type gen = {
+  g_loop : Loop.t;
+  g_racy : bool;
+      (** [true]: the kernel carries a cross-iteration memory conflict
+          (same cell written by different iterations); parallelizing it
+          without ordering races.  [false]: iterations touch disjoint
+          cells (or only reduce), so every legal plan is race-free. *)
+  g_desc : string;  (** human-readable shape summary *)
+}
+
+val generate : seed:int -> gen
+(** The kernel for [seed].  Equal seeds yield identical kernels. *)
+
+val corpus : seed:int -> n:int -> gen list
+(** [n] kernels derived from [seed] (seeds [seed], [seed+1], ...). *)

@@ -4,6 +4,7 @@
 
 module Monitor = Engine.Monitor
 module Timeline = Parcae_obs.Timeline
+module Hb = Parcae_obs.Hb
 
 (* Explain the measured wait as Barrier_wait on this worker's lane; the
    suspended fiber freed its domain, so the transfer mostly relabels the
@@ -45,10 +46,25 @@ let create eng ~parties name =
 
 let wait b =
   Monitor.locked b.mon (fun () ->
+      (* Sanitizer edges: arrivals release into the barrier clock under the
+         monitor; departures acquire it, so all pre-barrier work
+         happens-before all post-barrier work. *)
+      let hb_key = "barrier:" ^ b.name in
+      let hb_tid () =
+        match Engine.self_opt () with Some t -> Some (Engine.task_id t) | None -> None
+      in
+      (if Hb.enabled () then
+         match hb_tid () with
+         | Some task -> Hb.on_release ~task ~key:hb_key
+         | None -> ());
       b.arrived <- b.arrived + 1;
       if b.arrived = b.parties then begin
         b.arrived <- 0;
         b.generation <- b.generation + 1;
+        (if Hb.enabled () then
+           match hb_tid () with
+           | Some task -> Hb.on_acquire ~task ~key:hb_key
+           | None -> ());
         Monitor.broadcast b.turn;
         true
       end
@@ -58,6 +74,10 @@ let wait b =
         while b.generation = gen do
           Monitor.wait b.turn
         done;
+        (if Hb.enabled () then
+           match hb_tid () with
+           | Some task -> Hb.on_acquire ~task ~key:hb_key
+           | None -> ());
         let dt = Engine.now b.eng - t0 in
         b.total_wait_ns <- b.total_wait_ns + dt;
         tl_wait dt;

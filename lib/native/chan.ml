@@ -32,6 +32,7 @@ module Trace = Parcae_obs.Trace
 module Event = Parcae_obs.Event
 module Timeline = Parcae_obs.Timeline
 module Monitor = Engine.Monitor
+module Hb = Parcae_obs.Hb
 
 type chan_metrics = {
   cm_sends : Metrics.counter;
@@ -254,6 +255,25 @@ let tl_wait ch waited t0 =
         | _ -> ())
     | None -> ()
 
+(* Sanitizer edges.  Native channels cannot use exact (chan, seq) pairing:
+   the item becomes visible to consumers at the enqueue CAS, before its
+   sequence number is assigned.  Instead the sender publishes into the
+   channel's *cumulative* clock before enqueueing and the receiver
+   acquires it after dequeueing — an over-approximation (a receive joins
+   every earlier send on the channel) that can only add happens-before
+   edges, never miss a real one, so it cannot produce false races. *)
+let hb_send ch =
+  if Hb.enabled () then
+    match Engine.self_opt () with
+    | Some t -> Hb.on_send ~task:(Engine.task_id t) ~chan:ch.name ~seq:(-1)
+    | None -> ()
+
+let hb_recv ch =
+  if Hb.enabled () then
+    match Engine.self_opt () with
+    | Some t -> Hb.on_recv ~task:(Engine.task_id t) ~chan:ch.name ~seq:(-1)
+    | None -> ()
+
 let caller_ids () =
   match Engine.self_opt () with
   | Some task -> (Engine.task_id task, Engine.task_busy_ns task)
@@ -302,6 +322,7 @@ let send ch v =
   let waited = (not (has_room ch)) && ch.capacity > 0 in
   let t0 = if waited && observing () then Engine.now ch.eng else 0 in
   if waited then await_inside ch ch.send_waiters ch.nonfull (fun () -> has_room ch);
+  hb_send ch;
   let seq = enqueue ch v in
   wake_recv ch ~all:false;
   note_send ch 1 waited t0;
@@ -310,6 +331,7 @@ let send ch v =
 
 let force_send ch v =
   (* Sentinel re-enqueue must never block: ignore capacity. *)
+  hb_send ch;
   let seq = enqueue ch v in
   wake_recv ch ~all:false;
   note_send ch 1 false 0;
@@ -318,6 +340,7 @@ let force_send ch v =
 let try_send ch v =
   if not (has_room ch) then false
   else begin
+    hb_send ch;
     let seq = enqueue ch v in
     wake_recv ch ~all:false;
     note_send ch 1 false 0;
@@ -328,6 +351,7 @@ let try_send ch v =
 let recv ch =
   match try_dequeue ch with
   | Some (v, seq) ->
+      hb_recv ch;
       wake_send ch ~all:false;
       note_recv ch 1 false 0;
       emit_recv ch seq;
@@ -342,6 +366,7 @@ let recv ch =
               true
           | None -> false);
       let v, seq = Option.get !out in
+      hb_recv ch;
       wake_send ch ~all:false;
       note_recv ch 1 true t0;
       tl_wait ch true t0;
@@ -351,6 +376,7 @@ let recv ch =
 let try_recv ch =
   match try_dequeue ch with
   | Some (v, seq) ->
+      hb_recv ch;
       wake_send ch ~all:false;
       note_recv ch 1 false 0;
       emit_recv ch seq;
@@ -366,6 +392,7 @@ let send_batch ch vs =
        for room between chunks, so a batch larger than the capacity wraps
        through the queue instead of overshooting it wholesale.  Each chunk
        is pre-linked privately and appended with ONE CAS. *)
+    hb_send ch;
     let rec go vs =
       match vs with
       | [] -> ()
@@ -414,6 +441,7 @@ let recv_batch ?max ch =
     try_dequeue_batch ch limit
   in
   let deliver items waited t0 =
+    hb_recv ch;
     wake_send ch ~all:true;
     note_recv ch (List.length items) waited t0;
     tl_wait ch waited t0;

@@ -29,6 +29,7 @@ module Metrics = Parcae_obs.Metrics
 module Trace = Parcae_obs.Trace
 module Event = Parcae_obs.Event
 module Timeline = Parcae_obs.Timeline
+module Hb = Parcae_obs.Hb
 
 type task = {
   tid : int;
@@ -207,6 +208,8 @@ let finish_task task outcome =
     Trace.emit
       ~t:(Calibrate.now_ns () - eng.t0)
       (Event.Task_done { task = task.tid; busy_ns = task.busy_ns });
+  (* Publish the completion clock BEFORE joiners can observe [finished]. *)
+  if Hb.enabled () then Hb.on_task_done ~task:task.tid;
   Mutex.lock task.jmu;
   task.failed <- outcome;
   task.finished <- true;
@@ -476,6 +479,12 @@ let spawn eng ~name body =
     let parent = match self_opt () with Some p -> p.tid | None -> -1 in
     Trace.emit ~t:(now eng) (Event.Task_spawn { task = tid; parent; name })
   end;
+  (* The spawn edge must be published before the task is scheduled, or the
+     child could start with an empty clock and report phantom races. *)
+  (if Hb.enabled () then
+     match self_opt () with
+     | Some p -> Hb.on_spawn ~parent:p.tid ~child:tid
+     | None -> ());
   Mutex.lock eng.tasks_mu;
   Hashtbl.replace eng.tasks tid task;
   Mutex.unlock eng.tasks_mu;

@@ -7,6 +7,7 @@
    suspend inside acquire/release. *)
 
 module Monitor = Engine.Monitor
+module Hb = Parcae_obs.Hb
 
 type t = {
   name : string;
@@ -44,6 +45,8 @@ let acquire lk =
       in
       loop ();
       lk.owner <- Some me;
+      if Hb.enabled () then
+        Hb.on_acquire ~task:(Engine.task_id me) ~key:("lock:" ^ lk.name);
       lk.acquisitions <- lk.acquisitions + 1;
       if !waited then lk.contended <- lk.contended + 1)
 
@@ -54,6 +57,10 @@ let release lk =
       | _ ->
           invalid_arg
             (Printf.sprintf "Lock.release %s: caller does not hold the lock" lk.name));
+      (if Hb.enabled () then
+         match Engine.self_opt () with
+         | Some t -> Hb.on_release ~task:(Engine.task_id t) ~key:("lock:" ^ lk.name)
+         | None -> ());
       lk.owner <- None;
       Monitor.signal lk.free)
 

@@ -30,6 +30,7 @@ module Lock = Parcae_platform.Lock
 module Config = Parcae_core.Config
 module Task = Parcae_core.Task
 module Task_status = Parcae_core.Task_status
+module Hb = Parcae_obs.Hb
 
 type flags = {
   hoist_state : bool;  (* Section 7.1: hoist phi save/restore out of the loop *)
@@ -82,6 +83,10 @@ type t = {
   phi_heap : (Instr.reg, int) Hashtbl.t;  (* Section 4.5.2's heap state *)
   combine_of : (int, Pdg.reduction) Hashtbl.t;  (* combine node id -> red *)
   trip_n : int option;
+  iter_mu : Mutex.t;
+      (* guards DOANY's iteration claim: free of contention on the sim
+         (cooperative scheduling already makes the claim atomic) but
+         required on native, where lanes run on distinct domains *)
   mutable next_iter : int;  (* contiguous prefix of executed iterations *)
   mutable exited : bool;  (* a Break_if fired *)
   mutable epoch : int;
@@ -130,6 +135,7 @@ let create ?(flags = default_flags) eng (pdg : Pdg.t) =
     phi_heap;
     combine_of;
     trip_n = (match loop.Loop.trip with Loop.Count n -> Some n | Loop.While -> None);
+    iter_mu = Mutex.create ();
     next_iter = 0;
     exited = false;
     epoch = 0;
@@ -213,9 +219,20 @@ let operand rs st = function
       ignore rs;
       st.env.(r)
 
+(* Report a dynamic array access to the installed race sanitizer, tagged
+   with the IR node that performed it.  The task id is resolved once per
+   iteration (lazily) — an ambient lookup per access would fire a sim
+   effect on every load/store. *)
+let hb_access hb_task ~write arr idx node =
+  match Lazy.force hb_task with
+  | Some task -> Hb.on_access ~task ~arr ~idx ~node ~write
+  | None -> ()
+
 (* Execute the body instructions among [members] (node ids, ascending) for
    one iteration.  phi nodes are skipped (their values are in [st.env]). *)
 let exec_members rs st ~mode members =
+  let hb_on = Hb.enabled () in
+  let hb_task = lazy (Engine.current_task_id ()) in
   let result = ref `Ok in
   let rec go = function
     | [] -> ()
@@ -256,12 +273,14 @@ let exec_members rs st ~mode members =
                 let i = operand rs st idx in
                 if i < 0 || i >= Array.length a then
                   invalid_arg (rs.loop.Loop.name ^ ": load out of bounds");
+                if hb_on then hb_access hb_task ~write:false arr i id;
                 st.env.(dst) <- a.(i)
             | Instr.Store { arr; idx; v } ->
                 let a = List.assoc arr rs.arrays in
                 let i = operand rs st idx in
                 if i < 0 || i >= Array.length a then
                   invalid_arg (rs.loop.Loop.name ^ ": store out of bounds");
+                if hb_on then hb_access hb_task ~write:true arr i id;
                 a.(i) <- operand rs st v
             | Instr.Work { amount } -> st.pending <- st.pending + max 0 (operand rs st amount)
             | Instr.Call { dst; fn; arg; _ } ->
@@ -397,26 +416,38 @@ let make_doany_task rs ~max_lanes =
       end
       else begin
         let n = match rs.trip_n with Some n -> n | None -> assert false in
-        if rs.next_iter >= n then begin
-          park st;
-          Task_status.Complete
-        end
-        else begin
-          (* Claim the next iteration: atomic between effects. *)
+        (* Claim the next iteration under the claim mutex: on the sim this
+           never contends (claims are atomic between effects anyway), but
+           on the native backend lanes run on distinct domains and an
+           unguarded read-increment would let two lanes execute — and
+           race on — the same iteration. *)
+        let claimed =
+          Mutex.lock rs.iter_mu;
           let i = rs.next_iter in
-          rs.next_iter <- i + 1;
-          (* Induction variables are recomputed from the iteration number
-             (their carried dependence is relaxed). *)
-          List.iter
-            (fun ii ->
-              st.env.(ii.Alias.ind_phi) <- ii.Alias.ind_from + (i * ii.Alias.ind_step))
-            rs.pdg.Pdg.inductions;
-          match exec_members rs st ~mode (all_node_ids rs) with
-          | `Break -> assert false (* DOANY never applies to While loops *)
-          | `Ok ->
-              flush rs st;
-              Task_status.Iterating
-        end
+          if i < n then rs.next_iter <- i + 1;
+          Mutex.unlock rs.iter_mu;
+          if i < n then Some i else None
+        in
+        (if !debug then
+           Printf.printf "[doany] lane %d tid %s claimed %s\n%!" ctx.Task.lane
+             (match Engine.current_task_id () with Some t -> string_of_int t | None -> "?")
+             (match claimed with Some i -> string_of_int i | None -> "none"));
+        match claimed with
+        | None ->
+            park st;
+            Task_status.Complete
+        | Some i -> (
+            (* Induction variables are recomputed from the iteration number
+               (their carried dependence is relaxed). *)
+            List.iter
+              (fun ii ->
+                st.env.(ii.Alias.ind_phi) <- ii.Alias.ind_from + (i * ii.Alias.ind_step))
+              rs.pdg.Pdg.inductions;
+            match exec_members rs st ~mode (all_node_ids rs) with
+            | `Break -> assert false (* DOANY never applies to While loops *)
+            | `Ok ->
+                flush rs st;
+                Task_status.Iterating)
       end)
   in
   (* Light-resize hook: adjust the retirement threshold and report which

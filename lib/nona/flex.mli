@@ -48,6 +48,9 @@ type t = {
   phi_heap : (Instr.reg, int) Hashtbl.t;  (** Section 4.5.2's heap state *)
   combine_of : (int, Pdg.reduction) Hashtbl.t;
   trip_n : int option;
+  iter_mu : Mutex.t;
+      (** guards DOANY's iteration claim (uncontended on the sim, required
+          on the native backend's parallel lanes) *)
   mutable next_iter : int;  (** contiguous prefix of executed iterations *)
   mutable exited : bool;  (** a Break_if fired *)
   mutable epoch : int;

@@ -117,6 +117,14 @@ let current_lane () =
           if core >= 0 then Some core else None
       | exception _ -> None)
 
+(* The engine task id of the calling context, for the race sanitizer's
+   per-task vector clocks.  Like [current_lane] this is safe to call from
+   anywhere and answers [None] on a plain (non-engine) thread. *)
+let current_task_id () =
+  match Nat.self_opt () with
+  | Some task -> Some (Nat.task_id task)
+  | None -> ( match Sim.self () with th -> Some th.Sim.tid | exception _ -> None)
+
 let engine () =
   match Nat.self_opt () with
   | Some task -> N (Nat.task_engine task)
@@ -142,7 +150,15 @@ let wait_on = function
 
 let signal = function Sc c -> Sim.signal c | Nc c -> Nat.Monitor.signal c
 let broadcast = function Sc c -> Sim.broadcast c | Nc c -> Nat.Monitor.broadcast c
-let join = function St th -> Sim.join th | Nt task -> Nat.join task
+let join th =
+  let joined_tid = match th with St th -> th.Sim.tid | Nt task -> Nat.task_id task in
+  (match th with St th -> Sim.join th | Nt task -> Nat.join task);
+  (* Joining a finished task acquires its completion clock: everything the
+     joined task did happens-before the joiner from here on. *)
+  if Parcae_obs.Hb.enabled () then
+    match current_task_id () with
+    | Some me -> Parcae_obs.Hb.on_join ~task:me ~joined:joined_tid
+    | None -> ()
 
 let cond_create = function
   | S _ -> Sc (Sim.cond_create ())

@@ -82,6 +82,11 @@ val current_lane : unit -> int option
     answers [None] outside an engine thread or when the simulated caller
     holds no core. *)
 
+val current_task_id : unit -> int option
+(** The engine task id of the calling context (native task id or simulated
+    thread id), or [None] on a plain thread.  The race sanitizer keys its
+    vector clocks on this. *)
+
 (** {1 Value-dispatched operations}
 
     Monitors are the cross-backend mutual-exclusion primitive.  On the

@@ -18,6 +18,7 @@ module Event = Parcae_obs.Event
 module Metrics = Parcae_obs.Metrics
 module Ledger = Parcae_obs.Ledger
 module Timeline = Parcae_obs.Timeline
+module Hb = Parcae_obs.Hb
 
 (* Pause and reconfiguration are rare (controller-period) events, so their
    metrics go through the registry's family lookup directly instead of a
@@ -145,6 +146,26 @@ and run_nested eng (task : Task.t) (cfg : Config.t) =
    current configuration.  When its task pauses, completes, or retires (a
    light resize shrank its lane away), the worker exits; the last active
    worker publishes the region's new status and wakes Morta. *)
+(* Sanitizer edges for the region's park protocol: every worker releases
+   into the region clock as it parks, and whoever waits the parks out
+   (pause, await) acquires it.  Workers started afterwards inherit the
+   joined clock through their spawn edge, so work before a reconfiguration
+   happens-before work after it — the full-pause barrier, expressed
+   causally.  The barrier-less light resize deliberately has no such edge:
+   it provides no cross-lane ordering, and legal light-resizable schemes
+   need none. *)
+let hb_release r =
+  if Hb.enabled () then
+    match Engine.current_task_id () with
+    | Some task -> Hb.on_release ~task ~key:("region:" ^ r.Region.name)
+    | None -> ()
+
+let hb_acquire r =
+  if Hb.enabled () then
+    match Engine.current_task_id () with
+    | Some task -> Hb.on_acquire ~task ~key:("region:" ^ r.Region.name)
+    | None -> ()
+
 let region_worker (r : Region.t) (task : Task.t) idx tc lane =
   Option.iter (fun f -> f ()) task.Task.init;
   let slot = Decima.make_slot () in
@@ -197,6 +218,7 @@ let region_worker (r : Region.t) (task : Task.t) idx tc lane =
      counting, the first-park ledger stamp and the last-worker status
      decision must be atomic against pause/resume and each other. *)
   Engine.locked r.Region.mon (fun () ->
+      hb_release r;
       if !outcome = Task_status.Complete && idx = 0 then r.Region.master_completed <- true;
       (* Overhead ledger: the first worker to park dates the end of signal
          propagation (pause request -> first park). *)
@@ -281,6 +303,7 @@ let pause (r : Region.t) =
                run their park transitions. *)
             Engine.wait_on r.Region.parked
           done;
+          hb_acquire r;
           r.Region.pause_wait_ns <- r.Region.pause_wait_ns + (Engine.time r.Region.eng - t0);
           note_pause r ~t0;
           tl_reconfig (Engine.time r.Region.eng - t0);
@@ -432,7 +455,8 @@ let await (r : Region.t) =
   Engine.locked r.Region.mon (fun () ->
       while r.Region.status <> Region.Done do
         Engine.wait_on r.Region.finished
-      done)
+      done;
+      hb_acquire r)
 
 (* Pause the region and terminate it without resuming (used to shut an
    experiment down cleanly). *)

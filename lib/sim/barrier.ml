@@ -4,6 +4,7 @@
    overhead that Section 7.2 eliminates. *)
 
 module Timeline = Parcae_obs.Timeline
+module Hb = Parcae_obs.Hb
 
 (* Explain the measured wait as Barrier_wait on the core the thread last
    computed on; while parked at the barrier it held no core, so the
@@ -36,10 +37,17 @@ let create ~parties name =
 let wait b =
   let t0 = Engine.now () in
   let gen = b.generation in
+  (* Sanitizer edges: every arrival releases into the barrier's clock
+     before anyone is let through, and every departure acquires it, so all
+     pre-barrier work happens-before all post-barrier work. *)
+  let hb_key = "barrier:" ^ b.name in
+  let hb_tid () = (Engine.self ()).Engine.tid in
+  if Hb.enabled () then Hb.on_release ~task:(hb_tid ()) ~key:hb_key;
   b.arrived <- b.arrived + 1;
   if b.arrived >= b.parties then begin
     b.arrived <- 0;
     b.generation <- b.generation + 1;
+    if Hb.enabled () then Hb.on_acquire ~task:(hb_tid ()) ~key:hb_key;
     Engine.broadcast b.released;
     true
   end
@@ -47,6 +55,7 @@ let wait b =
     while b.generation = gen do
       Engine.wait_on b.released
     done;
+    if Hb.enabled () then Hb.on_acquire ~task:(hb_tid ()) ~key:hb_key;
     let dt = Engine.now () - t0 in
     b.total_wait_ns <- b.total_wait_ns + dt;
     tl_wait dt;

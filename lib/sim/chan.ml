@@ -12,6 +12,7 @@ module Metrics = Parcae_obs.Metrics
 module Trace = Parcae_obs.Trace
 module Event = Parcae_obs.Event
 module Timeline = Parcae_obs.Timeline
+module Hb = Parcae_obs.Hb
 
 (* Per-channel metric handles, labeled by channel name.  Cached against the
    installed registry so the hot path pays one physical comparison, not a
@@ -105,6 +106,16 @@ let tl_wait waited t0 =
           Timeline.attribute tl ~lane:core Timeline.Chan_wait (Engine.now () - t0)
     | None -> ()
 
+(* Sanitizer edges use the exact (chan, seq) FIFO pairing.  The send-side
+   clock must be published before any other thread can observe the item:
+   these run at the seq-assignment point, before the [signal] effect can
+   transfer control to a consumer. *)
+let hb_send ch seq =
+  if Hb.enabled () then Hb.on_send ~task:(Engine.self ()).Engine.tid ~chan:ch.name ~seq
+
+let hb_recv ch seq =
+  if Hb.enabled () then Hb.on_recv ~task:(Engine.self ()).Engine.tid ~chan:ch.name ~seq
+
 let emit_send ch seq =
   if Trace.enabled () then begin
     let th = Engine.self () in
@@ -141,6 +152,7 @@ let send ch v =
       let seq = ch.total_sent in
       Queue.push v ch.q;
       ch.total_sent <- seq + 1;
+      hb_send ch seq;
       Engine.signal ch.nonempty;
       seq
     end
@@ -165,6 +177,7 @@ let recv ch =
     | Some v ->
         let seq = ch.total_received in
         ch.total_received <- seq + 1;
+        hb_recv ch seq;
         Engine.signal ch.nonfull;
         (v, seq)
     | None ->
@@ -191,6 +204,7 @@ let force_send ch v =
   let seq = ch.total_sent in
   Queue.push v ch.q;
   ch.total_sent <- seq + 1;
+  hb_send ch seq;
   if Metrics.enabled () then begin
     let h = handles ch in
     Metrics.inc h.cm_sends;
@@ -206,6 +220,7 @@ let try_recv ch =
       Engine.compute (cost ch);
       let seq = ch.total_received in
       ch.total_received <- seq + 1;
+      hb_recv ch seq;
       if Metrics.enabled () then begin
         let h = handles ch in
         Metrics.inc h.cm_recvs;
@@ -224,6 +239,7 @@ let try_send ch v =
     let seq = ch.total_sent in
     Queue.push v ch.q;
     ch.total_sent <- seq + 1;
+    hb_send ch seq;
     if Metrics.enabled () then begin
       let h = handles ch in
       Metrics.inc h.cm_sends;
@@ -250,6 +266,7 @@ let send_batch ch vs =
       let seq = ch.total_sent in
       Queue.push v ch.q;
       ch.total_sent <- seq + 1;
+      hb_send ch seq;
       emit_send ch seq;
       Engine.signal ch.nonempty)
     vs;
@@ -286,6 +303,10 @@ let recv_batch ?max ch =
     incr taken
   done;
   ch.total_received <- base + !taken;
+  if Hb.enabled () then
+    for i = 0 to !taken - 1 do
+      hb_recv ch (base + i)
+    done;
   if Trace.enabled () then
     for i = 0 to !taken - 1 do
       emit_recv ch (base + i)

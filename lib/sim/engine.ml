@@ -16,6 +16,7 @@ module Trace = Parcae_obs.Trace
 module Event = Parcae_obs.Event
 module Metrics = Parcae_obs.Metrics
 module Timeline = Parcae_obs.Timeline
+module Hb = Parcae_obs.Hb
 
 (* Scheduler-level instruments.  Handle creation is memoized against the
    installed registry; every update is guarded by [Metrics.enabled ()] so
@@ -269,6 +270,7 @@ let run_turn eng th =
 let finish eng th =
   if Trace.enabled () then
     Trace.emit ~t:eng.now (Event.Task_done { task = th.tid; busy_ns = th.busy_ns });
+  if Hb.enabled () then Hb.on_task_done ~task:th.tid;
   th.state <- Finished;
   eng.live <- eng.live - 1;
   if Metrics.enabled () then
@@ -383,6 +385,10 @@ and spawn eng ~name body : thread =
     let parent = match eng.current with Some p -> p.tid | None -> -1 in
     Trace.emit ~t:eng.now (Event.Task_spawn { task = th.tid; parent; name })
   end;
+  (if Hb.enabled () then
+     match eng.current with
+     | Some p -> Hb.on_spawn ~parent:p.tid ~child:th.tid
+     | None -> ());
   th.cont <- Some (fun () -> Effect.Deep.match_with body () (handler eng th));
   th.state <- Blocked;
   push_event eng eng.now (Wake th);

@@ -4,6 +4,7 @@
    fine-grained critical sections a measurable overhead (Section 7.4). *)
 
 module Metrics = Parcae_obs.Metrics
+module Hb = Parcae_obs.Hb
 
 (* Per-lock metric handles, labeled by lock name; cached against the
    installed registry like the channel handles. *)
@@ -76,6 +77,9 @@ let acquire l =
         loop ()
   in
   loop ();
+  (* Acquire the lock's release clock: the previous critical section
+     happens-before this one. *)
+  if Hb.enabled () then Hb.on_acquire ~task:me.Engine.tid ~key:("lock:" ^ l.name);
   if Metrics.enabled () then begin
     let h = handles l in
     Metrics.inc h.lm_acquisitions;
@@ -89,6 +93,8 @@ let release l =
   (match l.held_by with
   | Some owner when owner == Engine.self () -> ()
   | _ -> invalid_arg (l.name ^ ": release by non-owner"));
+  if Hb.enabled () then
+    Hb.on_release ~task:(Engine.self ()).Engine.tid ~key:("lock:" ^ l.name);
   l.held_by <- None;
   Engine.signal l.available
 

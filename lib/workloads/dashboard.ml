@@ -11,6 +11,7 @@
 module Engine = Parcae_platform.Engine
 module Obs = Parcae_obs.Metrics
 module Timeline = Parcae_obs.Timeline
+module Hb = Parcae_obs.Hb
 module Table = Parcae_util.Table
 
 let label_string = function
@@ -45,6 +46,22 @@ let scheduler_panel ~now_ns tl =
   let merged = Timeline.merged_shares bds in
   Table.add_row t
     ("all" :: List.map (fun st -> cell (List.assoc st merged)) Timeline.all_states);
+  Table.render t
+
+(* The sanitizer panel: live happens-before tracker totals, one row per
+   statistic.  Rendered only while a tracker is installed (a `sanitize`
+   run), so `top` without one is unchanged — the tracker's throughput
+   counters additionally flow into the registry and appear in the counter
+   table like any other instrument. *)
+let sanitizer_panel tr =
+  let t = Table.create ~title:"sanitizer" ~header:[ "statistic"; "value" ] in
+  let pairs = Hb.pairs tr in
+  let raced = List.length (List.filter (fun (p : Hb.pair) -> p.Hb.p_raced > 0) pairs) in
+  Table.add_row t [ "accesses checked"; string_of_int (Hb.access_count tr) ];
+  Table.add_row t [ "tasks tracked"; string_of_int (Hb.task_count tr) ];
+  Table.add_row t [ "collision pairs"; string_of_int (List.length pairs) ];
+  Table.add_row t [ "racing pairs"; string_of_int raced ];
+  Table.add_row t [ "race occurrences"; string_of_int (Hb.race_count tr) ];
   Table.render t
 
 (* Render one registry snapshot as counter / gauge / histogram tables.
@@ -97,6 +114,9 @@ let render ?(title = "parcae top") ~now_s reg =
     | Some tl ->
         parts @ [ scheduler_panel ~now_ns:(int_of_float (now_s *. 1e9)) tl ]
     | None -> parts
+  in
+  let parts =
+    match Hb.get () with Some tr -> parts @ [ sanitizer_panel tr ] | None -> parts
   in
   match parts with
   | [] -> Printf.sprintf "%s — no metrics recorded (t=%.3fs)\n" title now_s

@@ -23,4 +23,5 @@ let () =
       ("sched", Test_sched.suite);
       ("native", Test_native.suite);
       ("timeline", Test_timeline.suite);
+      ("sanitize", Test_sanitize.suite);
     ]
