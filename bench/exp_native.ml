@@ -25,38 +25,8 @@ module Timeline = Parcae_obs.Timeline
 module Table = Parcae_util.Table
 open Parcae_workloads
 
-(* ---- artifact provenance ---- *)
-
-(* The commit is read from .git directly so the bench binary needs no git
-   at run time; GITHUB_SHA (set by CI) wins when present. *)
-let commit_hash () =
-  match Sys.getenv_opt "GITHUB_SHA" with
-  | Some sha when sha <> "" -> sha
-  | _ -> (
-      try
-        let head =
-          String.trim (In_channel.with_open_text ".git/HEAD" In_channel.input_all)
-        in
-        match String.split_on_char ' ' head with
-        | [ "ref:"; r ] ->
-            String.trim
-              (In_channel.with_open_text (Filename.concat ".git" (String.trim r))
-                 In_channel.input_all)
-        | _ -> head
-      with Sys_error _ -> "unknown")
-
-let timestamp () =
-  let t = Unix.gmtime (Unix.gettimeofday ()) in
-  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
-    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec
-
-let provenance () =
-  [
-    ("schema_version", Json.Int 2);
-    ("commit", Json.Str (commit_hash ()));
-    ("ocaml_version", Json.Str Sys.ocaml_version);
-    ("timestamp", Json.Str (timestamp ()));
-  ]
+(* Artifact provenance lives in [Prov] (shared with Exp_allocs). *)
+let provenance = Prov.provenance
 
 (* ---- native_speedup ---- *)
 
@@ -204,6 +174,9 @@ let native_speedup () =
   let degraded =
     List.exists (fun (dop, _, spawned, _, _) -> spawned < requested_domains ~dop) results
   in
+  (* Per-item allocator tax on the same pipeline shape, so the native
+     artifact carries its own allocation number next to the wall-clock. *)
+  let alloc = Exp_allocs.measure_native () in
   let shares_json shares =
     Json.Obj
       (List.map (fun (st, v) -> (Timeline.state_name st, Json.Float v)) shares)
@@ -231,12 +204,22 @@ let native_speedup () =
           ("steals", Json.List (List.map (fun (_, _, _, st, _) -> Json.Int st) results));
           ( "utilization",
             Json.List (List.map (fun (_, _, _, _, sh) -> shares_json sh) results) );
+          ( "minor_words_per_item",
+            Json.Float alloc.Exp_allocs.s_words_per_req );
         ])
   in
   Parcae_obs.Export.write_file "BENCH_native.json" (Json.to_string json ^ "\n");
   Printf.printf "wrote BENCH_native.json\n"
 
 (* ---- sim headline numbers ---- *)
+
+(* Pre-pooling reference points, measured at the commit before the
+   zero-allocation serve path landed (same machine model, same m): the
+   artifact carries before/after so the allocation work is auditable
+   without checking out the old tree. *)
+let ferret_words_per_req_before = 1831.0
+let ferret_thr_before = 500.83
+let x264_thr_before = 14.44
 
 let sim_headline () =
   let machine = Parcae_sim.Machine.xeon_x7460 in
@@ -248,6 +231,8 @@ let sim_headline () =
     Experiments.run_server ~m:250 ~machine ~rate_per_s:(0.8 *. x264_thr)
       ~config:(`Named "inner-max") mk_x264
   in
+  let ferret_alloc = Exp_allocs.measure_sim_ferret () in
+  let x264_alloc = Exp_allocs.measure_sim_x264 () in
   let t =
     Table.create ~title:"Headline simulated numbers (xeon24)"
       ~header:[ "metric"; "value" ]
@@ -255,6 +240,12 @@ let sim_headline () =
   Table.add_row t [ "x264 max throughput (req/s)"; Printf.sprintf "%.2f" x264_thr ];
   Table.add_row t [ "ferret max throughput (req/s)"; Printf.sprintf "%.2f" ferret_thr ];
   Table.add_row t [ "x264 p95 response @ 0.8 load (s)"; Printf.sprintf "%.3f" serve.Experiments.p95_response_s ];
+  Table.add_row t
+    [ "ferret minor words/request"; Printf.sprintf "%.1f (was %.1f)"
+        ferret_alloc.Exp_allocs.s_words_per_req ferret_words_per_req_before ];
+  Table.add_row t
+    [ "x264 minor words/request"; Printf.sprintf "%.1f"
+        x264_alloc.Exp_allocs.s_words_per_req ];
   Table.print t;
   let json =
     Json.Obj
@@ -264,6 +255,11 @@ let sim_headline () =
         ("machine", Json.Str machine.Parcae_sim.Machine.name);
         ("x264_max_throughput_rps", Json.Float x264_thr);
         ("ferret_max_throughput_rps", Json.Float ferret_thr);
+        ("x264_max_throughput_rps_before", Json.Float x264_thr_before);
+        ("ferret_max_throughput_rps_before", Json.Float ferret_thr_before);
+        ("ferret_minor_words_per_request", Json.Float ferret_alloc.Exp_allocs.s_words_per_req);
+        ("ferret_minor_words_per_request_before", Json.Float ferret_words_per_req_before);
+        ("x264_minor_words_per_request", Json.Float x264_alloc.Exp_allocs.s_words_per_req);
         ("x264_p95_response_s_load08", Json.Float serve.Experiments.p95_response_s);
         ("x264_mean_response_s_load08", Json.Float serve.Experiments.mean_response_s);
         ("completed", Json.Int serve.Experiments.completed);

@@ -27,6 +27,7 @@ let experiments =
     ("tab7_ablation", "Chapter 7 overhead-optimization ablations", Exp_nona.tab7_ablation);
     ("microbench", "host-time micro-benchmarks of runtime primitives", Microbench.run);
     ("bechamel", "alias of microbench (historical name)", Microbench.run);
+    ("allocs", "minor words per request on the serve path -> BENCH_alloc.json", Exp_allocs.run);
     ("native_speedup", "native-backend pipeline wall-clock speedup vs DoP", Exp_native.native_speedup);
     ("headline", "headline simulated numbers -> BENCH_sim.json", Exp_native.sim_headline);
   ]

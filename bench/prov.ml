@@ -1,0 +1,35 @@
+(* Artifact provenance shared by every BENCH_*.json writer.
+
+   The commit is read from .git directly so the bench binary needs no git
+   at run time; GITHUB_SHA (set by CI) wins when present. *)
+
+module Json = Parcae_obs.Json
+
+let commit_hash () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some sha when sha <> "" -> sha
+  | _ -> (
+      try
+        let head =
+          String.trim (In_channel.with_open_text ".git/HEAD" In_channel.input_all)
+        in
+        match String.split_on_char ' ' head with
+        | [ "ref:"; r ] ->
+            String.trim
+              (In_channel.with_open_text (Filename.concat ".git" (String.trim r))
+                 In_channel.input_all)
+        | _ -> head
+      with Sys_error _ -> "unknown")
+
+let timestamp () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec
+
+let provenance () =
+  [
+    ("schema_version", Json.Int 2);
+    ("commit", Json.Str (commit_hash ()));
+    ("ocaml_version", Json.Str Sys.ocaml_version);
+    ("timestamp", Json.Str (timestamp ()));
+  ]

@@ -116,6 +116,153 @@ let stage ?(ttype = Task.Par) ?(poll = false) ?load ?init ?nested ~name ~input
   let task = Task.create ~ttype ?load ?init ?nested ~name task_body in
   { task; reset }
 
+(* Build a batch-draining pipeline stage (DESIGN.md section 14).
+
+   Like [stage], but each invocation claims up to [max_batch] messages in
+   one [Chan.recv_batch] — one synchronization charge for the whole claim,
+   the serve-side mirror of the load generator's [send_batch] — and, when
+   [next] is given, forwards the processed items downstream with one
+   [Chan.send_batch].  The batch size adapts to the input's current depth
+   divided by the stage's DoP — claiming only this lane's share of the
+   backlog, so batching never steals parallelism from sibling lanes (a
+   greedy claim would let one lane serialize work the team could overlap)
+   and a slow trickle degenerates to per-item behaviour.  [max_batch]
+   additionally caps the claim to bound the latency a
+   claimed-but-unprocessed item can suffer.
+
+   Allocation discipline: on the fast path (a claim of plain items, every
+   body call Iterating) the *same* list cells and [Item] boxes received
+   from [recv_batch] are handed to [send_batch] — the stage boundary adds
+   zero words per item.  The slow paths (sentinel mid-claim, body exit,
+   pause poll between items) allocate a prefix list once per exit.
+
+   Claims never straddle a reconfiguration barrier: a sentinel cuts the
+   claim where it stands, everything behind it is force-sent back to the
+   input (items first re-ordered behind the sentinel exactly as [stage]'s
+   single-item put-back does), and the processed prefix is flushed
+   downstream *before* this lane's exit is counted, preserving the
+   last-lane-forwards ordering invariant.  A pause observed between items
+   (with [poll]) likewise returns the claimed-but-unprocessed suffix to
+   the input channel, where [reset_channel] keeps items across the DoP
+   change. *)
+let drain_stage ?(ttype = Task.Par) ?(poll = false) ?(max_batch = 4) ?load ?init
+    ?nested ?next ~name ~input ~forward (body : Task.ctx -> 'a -> Task_status.t) :
+    'a stage_handle =
+  if max_batch < 1 then invalid_arg "Pipeline.drain_stage: max_batch must be >= 1";
+  let exit_path, reset = make_exit ~forward in
+  let flush_downstream msgs =
+    match next with Some ch -> if msgs <> [] then Chan.send_batch ch msgs | None -> ()
+  in
+  (* First [n] messages of [msgs]: the processed prefix a slow path must
+     flush downstream before exiting. *)
+  let prefix msgs n =
+    let rec take acc k = function
+      | m :: tl when k > 0 -> take (m :: acc) (k - 1) tl
+      | _ -> List.rev acc
+    in
+    take [] n msgs
+  in
+  (* Return claimed-but-unprocessed messages to the input.  [force_send]
+     appends, so survivors line up behind the sentinel that cut the claim
+     (reset strips the sentinel and keeps them) — same re-ordering window
+     the single-item protocol already has. *)
+  let give_back msgs = List.iter (fun m -> Chan.force_send input m) msgs in
+  let task_body (ctx : Task.ctx) =
+    if poll && ctx.Task.get_status () = Task_status.Paused then exit_path ctx Task_status.Paused
+    else begin
+      let b =
+        match Chan.length input with
+        | 0 -> 1 (* empty: recv_batch blocks, then delivers what arrived *)
+        | d ->
+            (* Share the backlog with sibling lanes: a greedy claim would
+               let one lane serialize work the whole team could run in
+               parallel, so batch only the surplus beyond one item per
+               lane. *)
+            let share = d / ctx.Task.dop in
+            if share < 1 then 1 else if share > max_batch then max_batch else share
+      in
+      if b = 1 then begin
+        (* Singleton claim — the common case under light load or many
+           lanes.  Taking [recv]'s single message avoids building and
+           tearing down a one-element list per item; the received [Item]
+           box itself is forwarded downstream. *)
+        match Chan.recv input with
+        | (Flush | Eos) as s -> (
+            Chan.force_send input s;
+            ctx.Task.items <- 0;
+            match s with
+            | Eos -> exit_path ctx ~eos:true Task_status.Complete
+            | _ -> (
+                match ctx.Task.get_status () with
+                | Task_status.Paused -> exit_path ctx Task_status.Paused
+                | _ -> exit_path ctx Task_status.Complete))
+        | Item v as m -> (
+            match body ctx v with
+            | Task_status.Iterating ->
+                ctx.Task.items <- 1;
+                (match next with Some ch -> Chan.send ch m | None -> ());
+                Task_status.Iterating
+            | status -> (
+                ctx.Task.items <- 1;
+                (match next with Some ch -> Chan.send ch m | None -> ());
+                match status with
+                | Task_status.Complete -> exit_path ctx ~eos:true Task_status.Complete
+                | _ -> exit_path ctx Task_status.Paused))
+      end
+      else begin
+      let msgs = Chan.recv_batch ~max:b input in
+      let rec go n = function
+        | [] ->
+            (* Clean claim: every cell processed; forward the received
+               list itself downstream. *)
+            ctx.Task.items <- n;
+            flush_downstream msgs;
+            Task_status.Iterating
+        | (Flush | Eos) :: rest as cut -> (
+            (* Put the sentinel back for sibling lanes, return anything
+               claimed behind it, flush our prefix, then exit. *)
+            let s = List.hd cut in
+            Chan.force_send input s;
+            give_back rest;
+            ctx.Task.items <- n;
+            flush_downstream (prefix msgs n);
+            match s with
+            | Eos -> exit_path ctx ~eos:true Task_status.Complete
+            | _ ->
+                let status =
+                  match ctx.Task.get_status () with
+                  | Task_status.Paused -> Task_status.Paused
+                  | _ -> Task_status.Complete
+                in
+                exit_path ctx status)
+        | Item v :: rest -> (
+            match body ctx v with
+            | Task_status.Iterating ->
+                if poll && rest <> [] && ctx.Task.get_status () = Task_status.Paused
+                then begin
+                  (* Pause mid-claim: the unprocessed suffix survives in
+                     the input channel across the reconfiguration. *)
+                  give_back rest;
+                  ctx.Task.items <- n + 1;
+                  flush_downstream (prefix msgs (n + 1));
+                  exit_path ctx Task_status.Paused
+                end
+                else go (n + 1) rest
+            | status ->
+                give_back rest;
+                ctx.Task.items <- n + 1;
+                flush_downstream (prefix msgs (n + 1));
+                (match status with
+                | Task_status.Complete -> exit_path ctx ~eos:true Task_status.Complete
+                | _ -> exit_path ctx Task_status.Paused))
+      in
+      go 0 msgs
+      end
+    end
+  in
+  let task = Task.create ~ttype ?load ?init ?nested ~name task_body in
+  { task; reset }
+
 (* Build a source task: it generates work (no input channel) and signals
    end-of-stream / pause downstream via [forward].  [body] returns
    [Iterating] after emitting an item and [Complete] when the stream

@@ -59,6 +59,35 @@ val stage :
     invoked once, by the last exiting lane, to propagate the sentinel
     downstream (pass [fun _ -> ()] for sinks). *)
 
+val drain_stage :
+  ?ttype:Task.ttype ->
+  ?poll:bool ->
+  ?max_batch:int ->
+  ?load:(unit -> float) ->
+  ?init:(unit -> unit) ->
+  ?nested:Task.nested_choice list ->
+  ?next:'a msg Parcae_platform.Chan.t ->
+  name:string ->
+  input:'a msg Parcae_platform.Chan.t ->
+  forward:(sentinel -> unit) ->
+  (Task.ctx -> 'a -> Task_status.t) ->
+  'a stage_handle
+(** A batch-draining stage: each invocation claims up to [max_batch]
+    (default 32) messages with one [recv_batch] — never more than this
+    lane's share of the input's current depth (depth / DoP), so batching
+    cannot starve sibling lanes and light load degenerates to per-item
+    behaviour — runs the body on each item, and (when [next] is given)
+    forwards the processed items downstream with one [send_batch],
+    reusing the received list cells and [Item] boxes so the stage
+    boundary allocates nothing on the fast path.  The body must not send
+    the item itself when [next] is used.  Reports the processed count
+    through [ctx.items] so Decima still counts per-item instances.  A
+    sentinel or a pause cuts the claim: the unprocessed suffix is
+    returned to the input (surviving reconfiguration), the processed
+    prefix is flushed downstream before the exit is counted, and the
+    sentinel protocol proceeds exactly as in {!stage}.
+    @raise Invalid_argument if [max_batch < 1]. *)
+
 val source :
   ?ttype:Task.ttype ->
   ?load:(unit -> float) ->

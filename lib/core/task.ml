@@ -26,7 +26,14 @@ type ttype = Seq | Par
 type ctx = {
   lane : int;  (** which replica of a parallel task this worker is (0-based) *)
   dop : int;  (** current degree of parallelism of this task *)
-  iter : int;  (** per-lane instance counter *)
+  mutable iter : int;  (** per-lane instance counter *)
+  mutable items : int;
+      (** dynamic instances completed by this invocation.  The executor
+          resets it to [-1] before each call; a body that leaves it there
+          is counted by status (one instance per [Iterating], the classic
+          protocol), while batch-draining bodies overwrite it with the
+          number of items actually processed so Decima's per-instance
+          accounting survives batching. *)
   get_status : unit -> Task_status.t;
   hook_begin : unit -> unit;
   hook_end : unit -> unit;

@@ -12,7 +12,12 @@ type ttype = Seq | Par
 type ctx = {
   lane : int;  (** which replica of a parallel task this worker is *)
   dop : int;  (** current degree of parallelism of this task *)
-  iter : int;  (** per-lane instance counter *)
+  mutable iter : int;  (** per-lane instance counter *)
+  mutable items : int;
+      (** dynamic instances completed by this invocation; the executor
+          resets it to [-1] (= count by status: one per [Iterating]) before
+          each call, batch-draining bodies overwrite it with the number of
+          items processed *)
   get_status : unit -> Task_status.t;  (** poll Morta for a pause signal *)
   hook_begin : unit -> unit;  (** bracket the CPU-intensive part... *)
   hook_end : unit -> unit;  (** ...for Decima (Section 4.7) *)

@@ -143,9 +143,13 @@ exception Race
 
 (* Claim up to [limit] nodes with a single CAS on [head].  The walk reads
    values before the claim; if a competing dequeuer got there first we
-   either see its cleared slot (abort, retry) or our CAS fails. *)
+   either see its cleared slot (abort, retry) or our CAS fails.  Returns
+   the claimed values in FIFO order plus the receive sequence number of
+   the first — two list reversals' worth of cells and nothing per item,
+   so the result list can be forwarded downstream as-is (the zero-copy
+   hand-off [Pipeline.drain_stage] relies on). *)
 let rec try_dequeue_batch ch limit =
-  if limit <= 0 then []
+  if limit <= 0 then ([], 0)
   else begin
     let h = Atomic.get ch.head in
     let rec walk last acc k =
@@ -160,13 +164,13 @@ let rec try_dequeue_batch ch limit =
     in
     match walk h [] 0 with
     | exception Race -> try_dequeue_batch ch limit
-    | _, _, 0 -> []
+    | _, _, 0 -> ([], 0)
     | last, acc, k ->
         if Atomic.compare_and_set ch.head h last then begin
           Atomic.set last.value None;
           ignore (Atomic.fetch_and_add ch.qlen (-k) : int);
           let base = Atomic.fetch_and_add ch.received k in
-          List.mapi (fun i v -> (v, base + i)) (List.rev acc)
+          (List.rev acc, base)
         end
         else try_dequeue_batch ch limit
   end
@@ -440,26 +444,29 @@ let recv_batch ?max ch =
     let limit = if limit = max_int then Stdlib.max 1 (length ch) else limit in
     try_dequeue_batch ch limit
   in
-  let deliver items waited t0 =
+  (* The claimed list is returned verbatim: the fast path re-sends these
+     very cells downstream, so no copy is made here. *)
+  let deliver items base waited t0 =
     hb_recv ch;
     wake_send ch ~all:true;
     note_recv ch (List.length items) waited t0;
     tl_wait ch waited t0;
-    if Trace.enabled () then List.iter (fun (_, seq) -> emit_recv ch seq) items;
-    List.map fst items
+    if Trace.enabled () then List.iteri (fun i _ -> emit_recv ch (base + i)) items;
+    items
   in
   match take () with
-  | _ :: _ as items -> deliver items false 0
-  | [] ->
+  | (_ :: _ as items), base -> deliver items base false 0
+  | [], _ ->
       let t0 = if observing () then Engine.now ch.eng else 0 in
-      let out = ref [] in
+      let out = ref ([], 0) in
       await_inside ch ch.recv_waiters ch.nonempty (fun () ->
           match take () with
-          | [] -> false
+          | [], _ -> false
           | items ->
               out := items;
               true);
-      deliver !out true t0
+      let items, base = !out in
+      deliver items base true t0
 
 (* ------------------------------------------------------------------ *)
 (* Flush operations (pause-window protocol).                           *)
@@ -478,8 +485,8 @@ let flush_note ch removed =
 let take_all ch =
   let rec go acc =
     match try_dequeue_batch ch 1024 with
-    | [] -> List.concat (List.rev acc)
-    | items -> go (List.map fst items :: acc)
+    | [], _ -> List.concat (List.rev acc)
+    | items, _ -> go (items :: acc)
   in
   go []
 

@@ -9,9 +9,12 @@ type 'a t = { cname : string; repr : 'a repr }
 and 'a repr = S of 'a Sc.t | N of 'a Nc.t
 
 let create ?capacity ?op_cost eng name =
-  match Engine.native_engine eng with
-  | None -> { cname = name; repr = S (Sc.create ?capacity ?op_cost name) }
-  | Some ne -> { cname = name; repr = N (Nc.create ?capacity ne name) }
+  match Engine.sim_engine eng with
+  | Some se -> { cname = name; repr = S (Sc.create ?capacity ?op_cost se name) }
+  | None -> (
+      match Engine.native_engine eng with
+      | Some ne -> { cname = name; repr = N (Nc.create ?capacity ne name) }
+      | None -> assert false)
 
 let name ch = ch.cname
 let length ch = match ch.repr with S c -> Sc.length c | N c -> Nc.length c

@@ -103,6 +103,29 @@ let self_busy_ns () =
   | Some task -> Nat.task_busy_ns task
   | None -> (Sim.self ()).Sim.busy_ns
 
+(* Deferred cost accounting: on the simulator the cost accumulates on the
+   calling thread and folds into a later burst (bounded skew); on native
+   virtual costs are real spins, so charge immediately. *)
+let charge eng n =
+  match eng with
+  | S e -> Sim.charge e n
+  | N _ -> ( match Nat.self_opt () with Some task -> Nat.compute task n | None -> ())
+
+(* Engine-aware compute: on the simulator the burst suspends through a
+   constant payload-free effect (no per-suspension effect block); on
+   native it is the usual spin. *)
+let compute_in eng n =
+  match eng with
+  | S e -> Sim.compute_in e n
+  | N _ -> ( match Nat.self_opt () with Some task -> Nat.compute task n | None -> ())
+
+(* Busy time of the calling context, without the [Self] effect the
+   ambient [self_busy_ns] pays on the simulator. *)
+let busy_ns_in eng =
+  match eng with
+  | S e -> Sim.current_busy e
+  | N _ -> ( match Nat.self_opt () with Some task -> Nat.task_busy_ns task | None -> 0)
+
 (* The timeline lane of the calling context: the worker domain index on
    native, the occupied core index on sim.  Unlike the other ambient ops
    this is safe to call from anywhere — a plain (non-engine) thread, or a

@@ -73,6 +73,25 @@ val self_busy_ns : unit -> int
 (** Total CPU consumed by the calling thread — virtual ns on sim, measured
     spin ns on native.  What Decima's begin/end hooks read. *)
 
+val charge : t -> int -> unit
+(** Consume [n] ns of CPU with deferred accounting on the simulator: the
+    cost accumulates on the calling thread and folds into a later compute
+    burst ({!Parcae_sim.Engine.charge}, skew bounded by the 5µs quantum),
+    so sub-microsecond costs avoid an effect suspension each.  On native
+    the cost is spun immediately, same as {!compute}. *)
+
+val compute_in : t -> int -> unit
+(** {!compute}, engine-aware: on the simulator the burst goes through a
+    constant payload-free effect staged in a thread field
+    ({!Parcae_sim.Engine.compute_in}), so a suspension allocates no
+    effect block.  Identical semantics to {!compute}; the serve path's
+    stage bursts use this. *)
+
+val busy_ns_in : t -> int
+(** {!self_busy_ns} for the calling thread of [eng], without the [Self]
+    effect the ambient read pays on the simulator; includes any cost
+    deferred by {!charge}.  Hot monitor hooks use this. *)
+
 val engine : unit -> t
 (** The engine of the calling thread. *)
 

@@ -131,7 +131,7 @@ module Sim_backend : PLATFORM with type config = Parcae_sim.Machine.t = struct
   module Chan = struct
     include Parcae_sim.Chan
 
-    let create ?capacity _eng name = create ?capacity name
+    let create ?capacity eng name = create ?capacity eng name
   end
 
   module Lock = struct

@@ -6,19 +6,21 @@
    ("SystemPower", ...).  Everything is per-region and cheap: hook costs are
    charged to the calling simulated thread at the machine's rdtsc-equivalent
    cost, and counters are plain mutable fields (the paper implements them in
-   shared memory without synchronization). *)
+   shared memory without synchronization).
+
+   Telemetry is stored flat (DESIGN.md section 14): per-task iteration,
+   compute and EWMA state live in parallel int arrays rather than one
+   record per task, and the EWMA itself is integer fixed-point (whole
+   nanoseconds) — a float-valued mixed record would box a float on every
+   sample, taxing the serve path's hook_end with an allocation per
+   instance.  Recent hook samples additionally land in a preallocated
+   (task, dt) ring, like the event sink's, so observability keeps a
+   bounded window of raw samples without per-sample list cells. *)
 
 module Engine = Parcae_platform.Engine
-module Stats = Parcae_util.Stats
 module Trace = Parcae_obs.Trace
 module Event = Parcae_obs.Event
 module Metrics = Parcae_obs.Metrics
-
-type task_stats = {
-  mutable iters : int;  (* completed dynamic instances across all lanes *)
-  mutable compute_ns : int;  (* total CPU time between begin/end hooks *)
-  exec_ewma : Stats.Ewma.t;  (* per-instance compute time estimate, ns *)
-}
 
 (* Registry handles, one set per task plus region-level completions.  The
    compute counter is labeled (region, scheme, task) — exactly the frames
@@ -31,9 +33,20 @@ type task_metrics = {
 
 type decima_metrics = { dm_tasks : task_metrics array; dm_completions : Metrics.counter }
 
+(* EWMA weight of the newest sample is 1/ewma_inv (alpha = 0.2). *)
+let ewma_inv = 5
+
+(* Capacity of the recent-sample ring (power of two for cheap wrap). *)
+let ring_cap = 256
+
 type t = {
   eng : Engine.t;
-  mutable tasks : task_stats array;
+  mutable iters_a : int array;  (* completed dynamic instances across all lanes *)
+  mutable compute_a : int array;  (* total CPU ns between begin/end hooks *)
+  mutable ewma_a : int array;  (* per-instance compute estimate, ns; -1 = unprimed *)
+  ring_task : int array;  (* recent hook samples: task index... *)
+  ring_dt : int array;  (* ...and duration, ns *)
+  mutable ring_next : int;  (* total samples ever ringed *)
   features : (string, unit -> float) Hashtbl.t;
   mutable hook_calls : int;
   mutable completions : int;  (* region-level unit-of-work completions *)
@@ -43,12 +56,15 @@ type t = {
   mutable mx : (Metrics.t * decima_metrics) option;
 }
 
-let make_task_stats () = { iters = 0; compute_ns = 0; exec_ewma = Stats.Ewma.create ~alpha:0.2 }
-
 let create eng ~tasks =
   {
     eng;
-    tasks = Array.init tasks (fun _ -> make_task_stats ());
+    iters_a = Array.make tasks 0;
+    compute_a = Array.make tasks 0;
+    ewma_a = Array.make tasks (-1);
+    ring_task = Array.make ring_cap (-1);
+    ring_dt = Array.make ring_cap 0;
+    ring_next = 0;
     features = Hashtbl.create 7;
     hook_calls = 0;
     completions = 0;
@@ -61,10 +77,12 @@ let create eng ~tasks =
 (* Re-size and clear task statistics; used when the runtime switches to a
    parallelization scheme with a different task count. *)
 let reset t ~tasks =
-  t.tasks <- Array.init tasks (fun _ -> make_task_stats ());
+  t.iters_a <- Array.make tasks 0;
+  t.compute_a <- Array.make tasks 0;
+  t.ewma_a <- Array.make tasks (-1);
   t.mx <- None
 
-let task_count t = Array.length t.tasks
+let task_count t = Array.length t.iters_a
 
 (* Name the label values under which this monitor's statistics appear in the
    metrics registry.  Registry series are cumulative across resets, so a
@@ -87,7 +105,7 @@ let handles t =
       let h =
         {
           dm_tasks =
-            Array.init (Array.length t.tasks) (fun i ->
+            Array.init (task_count t) (fun i ->
                 let name = task_label t i in
                 {
                   dm_compute =
@@ -127,22 +145,33 @@ type hook_slot = { mutable t0 : int; mutable open_ : bool }
 
 let make_slot () = { t0 = 0; open_ = false }
 
+(* Hook costs are sub-microsecond, so they go through [Engine.charge]
+   (deferred, bounded-skew) rather than paying an effect suspension each;
+   the busy read likewise avoids the ambient [Self] effect. *)
 let hook_begin t slot =
-  Engine.compute (Engine.hook_cost t.eng);
+  Engine.charge t.eng (Engine.hook_cost t.eng);
   t.hook_calls <- t.hook_calls + 1;
-  slot.t0 <- Engine.self_busy_ns ();
+  slot.t0 <- Engine.busy_ns_in t.eng;
   slot.open_ <- true
 
 let hook_end t ~task slot =
-  Engine.compute (Engine.hook_cost t.eng);
+  Engine.charge t.eng (Engine.hook_cost t.eng);
   t.hook_calls <- t.hook_calls + 1;
   if slot.open_ then begin
     slot.open_ <- false;
-    let dt = Engine.self_busy_ns () - slot.t0 in
-    if task >= 0 && task < Array.length t.tasks then begin
-      let s = t.tasks.(task) in
-      s.compute_ns <- s.compute_ns + dt;
-      Stats.Ewma.observe s.exec_ewma (float_of_int dt);
+    let dt = Engine.busy_ns_in t.eng - slot.t0 in
+    if task >= 0 && task < task_count t then begin
+      t.compute_a.(task) <- t.compute_a.(task) + dt;
+      (* Integer EWMA, newest sample weighted 1/ewma_inv: whole-ns
+         precision is far below hook noise, and the update touches no
+         boxed float. *)
+      let prev = t.ewma_a.(task) in
+      t.ewma_a.(task) <-
+        (if prev < 0 then dt else prev + ((dt - prev) / ewma_inv));
+      let slot_i = t.ring_next land (ring_cap - 1) in
+      t.ring_task.(slot_i) <- task;
+      t.ring_dt.(slot_i) <- dt;
+      t.ring_next <- t.ring_next + 1;
       if Trace.enabled () then
         Trace.emit ~t:(Engine.time t.eng) (Event.Hook_sample { task; dt_ns = dt });
       if Metrics.enabled () then begin
@@ -153,13 +182,19 @@ let hook_end t ~task slot =
     end
   end
 
-(* Record the completion of one dynamic instance of task [i]. *)
-let tick t i =
-  if i >= 0 && i < Array.length t.tasks then begin
-    let s = t.tasks.(i) in
-    s.iters <- s.iters + 1;
-    if Metrics.enabled () then Metrics.inc (handles t).dm_tasks.(i).dm_iters
+(* Record the completion of [n] dynamic instances of task [i] — a batch
+   drain reports its whole claim in one call. *)
+let tick_n t i n =
+  if n > 0 && i >= 0 && i < task_count t then begin
+    t.iters_a.(i) <- t.iters_a.(i) + n;
+    if Metrics.enabled () then begin
+      let c = (handles t).dm_tasks.(i).dm_iters in
+      if n = 1 then Metrics.inc c else Metrics.inc_by c n
+    end
   end
+
+(* Record the completion of one dynamic instance of task [i]. *)
+let tick t i = tick_n t i 1
 
 (* Record the completion of one region-level unit of work (one transcoded
    video, one answered query, ...). *)
@@ -167,29 +202,40 @@ let complete t =
   t.completions <- t.completions + 1;
   if Metrics.enabled () then Metrics.inc (handles t).dm_completions
 
-let iters t i = t.tasks.(i).iters
+let iters t i = t.iters_a.(i)
 let completions t = t.completions
 let hook_calls t = t.hook_calls
 
 (* Total hook-attributed compute ns of task [i] since the last reset —
    matches the [parcae_task_compute_ns_total] series one-for-one when the
    region never switched scheme. *)
-let compute_ns t i = t.tasks.(i).compute_ns
+let compute_ns t i = t.compute_a.(i)
 
 (* Decima's estimate of a task's per-instance execution time in ns
    (Parcae::getExecTime). *)
 let exec_time t i =
-  let s = t.tasks.(i) in
-  if Stats.Ewma.primed s.exec_ewma then Stats.Ewma.value s.exec_ewma
-  else if s.iters > 0 then float_of_int s.compute_ns /. float_of_int s.iters
+  let e = t.ewma_a.(i) in
+  if e >= 0 then float_of_int e
+  else if t.iters_a.(i) > 0 then float_of_int t.compute_a.(i) /. float_of_int t.iters_a.(i)
   else 0.0
 
 (* Average observed throughput of task [i] in instances per second, over the
    whole run so far. *)
 let task_rate t i =
-  let s = t.tasks.(i) in
   let now = Engine.time t.eng in
-  if now = 0 then 0.0 else float_of_int s.iters /. Engine.seconds_of_ns now
+  if now = 0 then 0.0 else float_of_int t.iters_a.(i) /. Engine.seconds_of_ns now
+
+(* Recent hook samples for task [i], oldest first — read out of the
+   preallocated ring (cold path: allocates the result array). *)
+let recent_samples t i =
+  let len = min t.ring_next ring_cap in
+  let start = t.ring_next - len in
+  let out = ref [] in
+  for k = len - 1 downto 0 do
+    let slot_i = (start + k) land (ring_cap - 1) in
+    if t.ring_task.(slot_i) = i then out := t.ring_dt.(slot_i) :: !out
+  done;
+  Array.of_list !out
 
 (* ---- Snapshots for interval throughput ---- *)
 
@@ -198,21 +244,20 @@ let task_rate t i =
 type snapshot = { at : int; iters_v : int array; completions_v : int }
 
 let snapshot t =
-  { at = Engine.time t.eng; iters_v = Array.map (fun s -> s.iters) t.tasks; completions_v = t.completions }
+  { at = Engine.time t.eng; iters_v = Array.copy t.iters_a; completions_v = t.completions }
 
 (* Iterations per second of task [i] between [a] and the present. *)
 let rate_since t (a : snapshot) i =
   let dt = Engine.time t.eng - a.at in
   if dt <= 0 then 0.0
-  else
-    float_of_int (t.tasks.(i).iters - a.iters_v.(i)) /. Engine.seconds_of_ns dt
+  else float_of_int (t.iters_a.(i) - a.iters_v.(i)) /. Engine.seconds_of_ns dt
 
 (* Region-level completions per second since snapshot [a]. *)
 let completion_rate_since t (a : snapshot) =
   let dt = Engine.time t.eng - a.at in
   if dt <= 0 then 0.0 else float_of_int (t.completions - a.completions_v) /. Engine.seconds_of_ns dt
 
-let iters_since t (a : snapshot) i = t.tasks.(i).iters - a.iters_v.(i)
+let iters_since t (a : snapshot) i = t.iters_a.(i) - a.iters_v.(i)
 
 (* ---- Platform feature registry (Figure 5.8) ---- *)
 

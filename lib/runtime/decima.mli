@@ -35,6 +35,11 @@ val hook_end : t -> task:int -> hook_slot -> unit
 val tick : t -> int -> unit
 (** Record the completion of one dynamic instance of a task. *)
 
+val tick_n : t -> int -> int -> unit
+(** [tick_n t i n] records [n] completed instances of task [i] in one
+    call — how a batch-draining stage reports its whole claim.  No-op for
+    [n <= 0] or an out-of-range task. *)
+
 val complete : t -> unit
 (** Record the completion of one region-level unit of work. *)
 
@@ -52,6 +57,11 @@ val exec_time : t -> int -> float
 val task_rate : t -> int -> float
 (** Average observed completion rate of a task, instances/second, over the
     whole run. *)
+
+val recent_samples : t -> int -> int array
+(** The last hook samples of a task (dt in ns, oldest first) still present
+    in the monitor's preallocated sample ring — a bounded raw-sample
+    window for diagnostics.  Cold path: allocates the result. *)
 
 (** {1 Interval throughput}
 

@@ -109,23 +109,26 @@ let rec run_subregion eng (pd : Task.par_descriptor) (cfg : Config.t) =
 
 and subregion_worker eng task tc lane =
   Option.iter (fun f -> f ()) task.Task.init;
-  let iter = ref 0 in
   let continue_ = ref true in
+  (* One context per worker activation, reused across instances: the
+     per-instance fast path must not allocate (DESIGN.md section 14). *)
+  let ctx =
+    {
+      Task.lane;
+      dop = tc.Config.dop;
+      iter = 0;
+      items = -1;
+      get_status = (fun () -> Task_status.Iterating);
+      hook_begin = ignore;
+      hook_end = ignore;
+      nested_cfg = tc.Config.nested;
+      run_nested = (fun inner -> run_nested eng task inner);
+    }
+  in
   while !continue_ do
-    let ctx =
-      {
-        Task.lane;
-        dop = tc.Config.dop;
-        iter = !iter;
-        get_status = (fun () -> Task_status.Iterating);
-        hook_begin = ignore;
-        hook_end = ignore;
-        nested_cfg = tc.Config.nested;
-        run_nested = (fun inner -> run_nested eng task inner);
-      }
-    in
+    ctx.Task.items <- -1;
     match task.Task.body ctx with
-    | Task_status.Iterating -> incr iter
+    | Task_status.Iterating -> ctx.Task.iter <- ctx.Task.iter + 1
     | Task_status.Paused | Task_status.Complete -> continue_ := false
   done;
   Option.iter (fun f -> f ()) task.Task.fini
@@ -169,26 +172,36 @@ let hb_acquire r =
 let region_worker (r : Region.t) (task : Task.t) idx tc lane =
   Option.iter (fun f -> f ()) task.Task.init;
   let slot = Decima.make_slot () in
-  let iter = ref 0 in
   let outcome = ref Task_status.Complete in
   let continue_ = ref true in
+  (* One context per worker activation, reused across instances: the
+     per-instance fast path must not allocate a record or closures
+     (DESIGN.md section 14).  [iter] and [items] are the mutable fields. *)
+  let ctx =
+    {
+      Task.lane;
+      dop = tc.Config.dop;
+      iter = 0;
+      items = -1;
+      get_status =
+        (fun () -> if r.Region.pause_requested then Task_status.Paused else Task_status.Iterating);
+      hook_begin = (fun () -> Decima.hook_begin r.Region.decima slot);
+      hook_end = (fun () -> Decima.hook_end r.Region.decima ~task:idx slot);
+      nested_cfg = tc.Config.nested;
+      run_nested = (fun inner -> run_nested r.Region.eng task inner);
+    }
+  in
   while !continue_ do
-    let ctx =
-      {
-        Task.lane;
-        dop = tc.Config.dop;
-        iter = !iter;
-        get_status =
-          (fun () -> if r.Region.pause_requested then Task_status.Paused else Task_status.Iterating);
-        hook_begin = (fun () -> Decima.hook_begin r.Region.decima slot);
-        hook_end = (fun () -> Decima.hook_end r.Region.decima ~task:idx slot);
-        nested_cfg = tc.Config.nested;
-        run_nested = (fun inner -> run_nested r.Region.eng task inner);
-      }
-    in
-    match task.Task.body ctx with
+    ctx.Task.items <- -1;
+    let status = task.Task.body ctx in
+    (* Batch-draining bodies report their processed-item count through
+       [ctx.items] regardless of status (a batch cut short by a sentinel
+       still processed its prefix); classic bodies leave it at -1 and are
+       counted one instance per Iterating, as before. *)
+    if ctx.Task.items >= 0 then Decima.tick_n r.Region.decima idx ctx.Task.items
+    else if status = Task_status.Iterating then Decima.tick r.Region.decima idx;
+    match status with
     | Task_status.Iterating ->
-        Decima.tick r.Region.decima idx;
         (* First completed iteration after a resume closes the restart and
            total phases of the reconfiguration being measured.  The plain
            read keeps the per-iteration fast path monitor-free (it is -1
@@ -205,7 +218,7 @@ let region_worker (r : Region.t) (task : Task.t) idx tc lane =
                 note_phase r ~phase:"restart" (now - mark);
                 if t0r >= 0 then note_phase r ~phase:"total" (now - t0r)
               end);
-        incr iter
+        ctx.Task.iter <- ctx.Task.iter + 1
     | Task_status.Paused ->
         outcome := Task_status.Paused;
         continue_ := false

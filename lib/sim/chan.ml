@@ -13,6 +13,7 @@ module Trace = Parcae_obs.Trace
 module Event = Parcae_obs.Event
 module Timeline = Parcae_obs.Timeline
 module Hb = Parcae_obs.Hb
+module Ring = Parcae_util.Ring
 
 (* Per-channel metric handles, labeled by channel name.  Cached against the
    installed registry so the hot path pays one physical comparison, not a
@@ -29,23 +30,30 @@ type chan_metrics = {
 type 'a t = {
   name : string;
   capacity : int;  (* 0 = unbounded *)
-  q : 'a Queue.t;
+  q : 'a Ring.t;  (* slot-reusing FIFO: no cell per message *)
+  eng : Engine.t;
   nonempty : Engine.cond;
   nonfull : Engine.cond;
-  op_cost : int;
+  op_cost : int;  (* resolved against the machine at creation *)
   mutable total_sent : int;
   mutable total_received : int;
   mutable mx : (Metrics.t * chan_metrics) option;
 }
 
-let create ?(capacity = 0) ?(op_cost = -1) name =
+(* The operation cost is resolved once here — looking the machine up per
+   operation needed an [Engine_of] effect on every send and receive. *)
+let create ?(capacity = 0) ?op_cost eng name =
   {
     name;
     capacity;
-    q = Queue.create ();
+    q = Ring.create ();
+    eng;
     nonempty = Engine.cond_create ();
     nonfull = Engine.cond_create ();
-    op_cost;
+    op_cost =
+      (match op_cost with
+      | Some c -> c
+      | None -> (Engine.machine eng).Machine.chan_op);
     total_sent = 0;
     total_received = 0;
     mx = None;
@@ -84,12 +92,18 @@ let handles ch =
 
 let note_depth ch =
   if Metrics.enabled () then
-    Metrics.set_gauge (handles ch).cm_depth (float_of_int (Queue.length ch.q))
-
-let cost ch = if ch.op_cost >= 0 then ch.op_cost else (Engine.machine (Engine.engine ())).Machine.chan_op
+    Metrics.set_gauge (handles ch).cm_depth (float_of_int (Ring.length ch.q))
 
 (* The wait instruments want a start time when either sink is live. *)
 let observing () = Metrics.enabled () || Timeline.enabled ()
+
+(* Any live sink (metrics, timeline, trace, sanitizer) routes operations
+   through the fully instrumented paths.  With all sinks disabled — the
+   serving steady state — the fast paths below run instead; they keep the
+   counters and the blocking protocol bit-identical but allocate nothing
+   (no closures, refs or options per operation). *)
+let instrumented () =
+  Metrics.enabled () || Timeline.enabled () || Trace.enabled () || Hb.enabled ()
 
 (* Explain a measured block as Chan_wait on the core the thread last
    computed on (non-burst code runs off-core in the sim).  While blocked
@@ -132,25 +146,49 @@ let emit_recv ch seq =
          { chan = ch.name; seq; task = th.Engine.tid; busy_ns = th.Engine.busy_ns })
   end
 
-let length ch = Queue.length ch.q
-let is_empty ch = Queue.is_empty ch.q
+let length ch = Ring.length ch.q
+let is_empty ch = Ring.is_empty ch.q
 let total_sent ch = ch.total_sent
 let total_received ch = ch.total_received
 
+(* The blocking operations share a discipline: the op cost is computed
+   immediately ([compute_in]) — a channel operation is a synchronization
+   edge, so deferring its cost would shorten the simulated critical path
+   and let dependent threads observe data before the communication was
+   paid for.  Only thread-local bookkeeping debt (hook charges) stays
+   deferred, and that debt is flushed before the thread would wait.
+   Flushing suspends, so the wait predicate is always re-checked after a
+   flush — waiting right after one could miss a signal sent while the
+   thread was off the waiter queue.
+
+   The wait helpers are top-level recursive functions on purpose: a local
+   [let rec loop] closes over the operation's locals and is allocated per
+   call, which the instrumentation-off fast paths must not do. *)
+let rec wait_nonfull ch =
+  if ch.capacity > 0 && Ring.length ch.q >= ch.capacity then begin
+    if not (Engine.flush_charges ch.eng) then Engine.wait_on_in ch.eng ch.nonfull;
+    wait_nonfull ch
+  end
+
+let rec wait_nonempty ch =
+  if Ring.is_empty ch.q then begin
+    if not (Engine.flush_charges ch.eng) then Engine.wait_on_in ch.eng ch.nonempty;
+    wait_nonempty ch
+  end
+
 (* Enqueue [v], blocking while the channel is at capacity. *)
-let send ch v =
-  Engine.compute (cost ch);
+let send_slow ch v =
   let waited = ref false in
   let t0 = if observing () then Engine.now () else 0 in
   let rec loop () =
-    if ch.capacity > 0 && Queue.length ch.q >= ch.capacity then begin
+    if ch.capacity > 0 && Ring.length ch.q >= ch.capacity then begin
       waited := true;
-      Engine.wait_on ch.nonfull;
+      if not (Engine.flush_charges ch.eng) then Engine.wait_on_in ch.eng ch.nonfull;
       loop ()
     end
     else begin
       let seq = ch.total_sent in
-      Queue.push v ch.q;
+      Ring.push ch.q v;
       ch.total_sent <- seq + 1;
       hb_send ch seq;
       Engine.signal ch.nonempty;
@@ -161,19 +199,28 @@ let send ch v =
   if Metrics.enabled () then begin
     let h = handles ch in
     Metrics.inc h.cm_sends;
-    Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
+    Metrics.set_gauge h.cm_depth (float_of_int (Ring.length ch.q));
     if !waited then Metrics.observe_ns h.cm_send_block (Engine.now () - t0)
   end;
   tl_wait !waited t0;
   emit_send ch seq
 
+let send ch v =
+  Engine.compute_in ch.eng ch.op_cost;
+  if instrumented () then send_slow ch v
+  else begin
+    wait_nonfull ch;
+    Ring.push ch.q v;
+    ch.total_sent <- ch.total_sent + 1;
+    Engine.signal ch.nonempty
+  end
+
 (* Dequeue, blocking while the channel is empty. *)
-let recv ch =
-  Engine.compute (cost ch);
+let recv_slow ch =
   let waited = ref false in
   let t0 = if observing () then Engine.now () else 0 in
   let rec loop () =
-    match Queue.take_opt ch.q with
+    match Ring.pop_opt ch.q with
     | Some v ->
         let seq = ch.total_received in
         ch.total_received <- seq + 1;
@@ -182,49 +229,60 @@ let recv ch =
         (v, seq)
     | None ->
         waited := true;
-        Engine.wait_on ch.nonempty;
+        if not (Engine.flush_charges ch.eng) then Engine.wait_on_in ch.eng ch.nonempty;
         loop ()
   in
   let v, seq = loop () in
   if Metrics.enabled () then begin
     let h = handles ch in
     Metrics.inc h.cm_recvs;
-    Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
+    Metrics.set_gauge h.cm_depth (float_of_int (Ring.length ch.q));
     if !waited then Metrics.observe_ns h.cm_recv_block (Engine.now () - t0)
   end;
   tl_wait !waited t0;
   emit_recv ch seq;
   v
 
+let recv ch =
+  Engine.charge ch.eng ch.op_cost;
+  if instrumented () then recv_slow ch
+  else begin
+    wait_nonempty ch;
+    let v = Ring.pop ch.q in
+    ch.total_received <- ch.total_received + 1;
+    Engine.signal ch.nonfull;
+    v
+  end
+
 (* Enqueue [v] regardless of capacity.  Control sentinels use this: a lane
    re-enqueueing a sentinel it just consumed must never block, or the
    pause/flush protocol could deadlock on a full channel. *)
 let force_send ch v =
-  Engine.compute (cost ch);
+  Engine.compute_in ch.eng ch.op_cost;
   let seq = ch.total_sent in
-  Queue.push v ch.q;
+  Ring.push ch.q v;
   ch.total_sent <- seq + 1;
   hb_send ch seq;
   if Metrics.enabled () then begin
     let h = handles ch in
     Metrics.inc h.cm_sends;
-    Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q))
+    Metrics.set_gauge h.cm_depth (float_of_int (Ring.length ch.q))
   end;
   emit_send ch seq;
   Engine.signal ch.nonempty
 
 (* Non-blocking receive. *)
 let try_recv ch =
-  match Queue.take_opt ch.q with
+  match Ring.pop_opt ch.q with
   | Some v ->
-      Engine.compute (cost ch);
+      Engine.charge ch.eng ch.op_cost;
       let seq = ch.total_received in
       ch.total_received <- seq + 1;
       hb_recv ch seq;
       if Metrics.enabled () then begin
         let h = handles ch in
         Metrics.inc h.cm_recvs;
-        Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q))
+        Metrics.set_gauge h.cm_depth (float_of_int (Ring.length ch.q))
       end;
       emit_recv ch seq;
       Engine.signal ch.nonfull;
@@ -233,17 +291,17 @@ let try_recv ch =
 
 (* Non-blocking send; [false] if the channel is full. *)
 let try_send ch v =
-  if ch.capacity > 0 && Queue.length ch.q >= ch.capacity then false
+  if ch.capacity > 0 && Ring.length ch.q >= ch.capacity then false
   else begin
-    Engine.compute (cost ch);
+    Engine.compute_in ch.eng ch.op_cost;
     let seq = ch.total_sent in
-    Queue.push v ch.q;
+    Ring.push ch.q v;
     ch.total_sent <- seq + 1;
     hb_send ch seq;
     if Metrics.enabled () then begin
       let h = handles ch in
       Metrics.inc h.cm_sends;
-      Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q))
+      Metrics.set_gauge h.cm_depth (float_of_int (Ring.length ch.q))
     end;
     emit_send ch seq;
     Engine.signal ch.nonempty;
@@ -253,18 +311,17 @@ let try_send ch v =
 (* Enqueue a whole batch for a single [chan_op] charge — the amortized
    communication of Section 2.3.  Blocks (after the charge) whenever the
    next item would overflow a bounded channel. *)
-let send_batch ch vs =
-  Engine.compute (cost ch);
+let send_batch_slow ch vs =
   let waited = ref false in
   let t0 = if observing () then Engine.now () else 0 in
   List.iter
     (fun v ->
-      while ch.capacity > 0 && Queue.length ch.q >= ch.capacity do
+      while ch.capacity > 0 && Ring.length ch.q >= ch.capacity do
         waited := true;
-        Engine.wait_on ch.nonfull
+        if not (Engine.flush_charges ch.eng) then Engine.wait_on_in ch.eng ch.nonfull
       done;
       let seq = ch.total_sent in
-      Queue.push v ch.q;
+      Ring.push ch.q v;
       ch.total_sent <- seq + 1;
       hb_send ch seq;
       emit_send ch seq;
@@ -273,33 +330,39 @@ let send_batch ch vs =
   if Metrics.enabled () then begin
     let h = handles ch in
     Metrics.inc_by h.cm_sends (List.length vs);
-    Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
+    Metrics.set_gauge h.cm_depth (float_of_int (Ring.length ch.q));
     if !waited then Metrics.observe_ns h.cm_send_block (Engine.now () - t0)
   end;
   tl_wait !waited t0
 
+let rec send_all ch = function
+  | [] -> ()
+  | v :: tl ->
+      wait_nonfull ch;
+      Ring.push ch.q v;
+      ch.total_sent <- ch.total_sent + 1;
+      Engine.signal ch.nonempty;
+      send_all ch tl
+
+let send_batch ch vs =
+  Engine.compute_in ch.eng ch.op_cost;
+  if instrumented () then send_batch_slow ch vs else send_all ch vs
+
 (* Dequeue at least one and at most [max] items (default: everything
    queued) for a single [chan_op] charge. *)
-let recv_batch ?max ch =
-  Engine.compute (cost ch);
+let recv_batch_slow ~limit ch =
   let waited = ref false in
   let t0 = if observing () then Engine.now () else 0 in
-  while Queue.is_empty ch.q do
+  while Ring.is_empty ch.q do
     waited := true;
-    Engine.wait_on ch.nonempty
+    if not (Engine.flush_charges ch.eng) then Engine.wait_on_in ch.eng ch.nonempty
   done;
-  let limit =
-    match max with
-    | Some m ->
-        if m < 1 then invalid_arg "Chan.recv_batch: max must be >= 1";
-        m
-    | None -> Queue.length ch.q
-  in
+  let limit = match limit with -1 -> Ring.length ch.q | m -> m in
   let out = ref [] in
   let taken = ref 0 in
   let base = ch.total_received in
-  while !taken < limit && not (Queue.is_empty ch.q) do
-    out := Queue.pop ch.q :: !out;
+  while !taken < limit && not (Ring.is_empty ch.q) do
+    out := Ring.pop ch.q :: !out;
     incr taken
   done;
   ch.total_received <- base + !taken;
@@ -315,11 +378,39 @@ let recv_batch ?max ch =
   if Metrics.enabled () then begin
     let h = handles ch in
     Metrics.inc_by h.cm_recvs !taken;
-    Metrics.set_gauge h.cm_depth (float_of_int (Queue.length ch.q));
+    Metrics.set_gauge h.cm_depth (float_of_int (Ring.length ch.q));
     if !waited then Metrics.observe_ns h.cm_recv_block (Engine.now () - t0)
   end;
   tl_wait !waited t0;
   List.rev !out
+
+(* Claim up to [n] queued items in FIFO order; the caller has ensured the
+   queue is nonempty.  Builds the result front-first so no reversal (and
+   no accumulator cells) is needed. *)
+let rec take_n ch n =
+  if n = 0 || Ring.is_empty ch.q then []
+  else begin
+    let v = Ring.pop ch.q in
+    ch.total_received <- ch.total_received + 1;
+    v :: take_n ch (n - 1)
+  end
+
+let recv_batch ?max ch =
+  Engine.charge ch.eng ch.op_cost;
+  let limit =
+    match max with
+    | Some m ->
+        if m < 1 then invalid_arg "Chan.recv_batch: max must be >= 1";
+        m
+    | None -> -1
+  in
+  if instrumented () then recv_batch_slow ~limit ch
+  else begin
+    wait_nonempty ch;
+    let out = take_n ch (if limit = -1 then Ring.length ch.q else limit) in
+    Engine.broadcast ch.nonfull;
+    out
+  end
 
 (* Keep only the items satisfying [keep], preserving order; returns how many
    were removed.  Used to strip pause sentinels from work queues on
@@ -327,12 +418,8 @@ let recv_batch ?max ch =
 let filter ch keep =
   (* A flush is a real channel operation: charge one op of virtual time so
      the reconfiguration overhead ledger sees a nonzero flush phase. *)
-  Engine.compute (cost ch);
-  let kept = Queue.create () in
-  let removed = ref 0 in
-  Queue.iter (fun v -> if keep v then Queue.push v kept else incr removed) ch.q;
-  Queue.clear ch.q;
-  Queue.transfer kept ch.q;
+  Engine.compute_in ch.eng ch.op_cost;
+  let removed = ref (Ring.filter_in_place keep ch.q) in
   if !removed > 0 then Engine.broadcast ch.nonfull;
   if Parcae_obs.Trace.enabled () then
     Parcae_obs.Trace.emit ~t:(Engine.now ())
@@ -346,9 +433,9 @@ let filter ch keep =
 (* Discard all queued items; used when the runtime resets communication
    channels on resumption after a reconfiguration (Section 4.5). *)
 let drain ch =
-  Engine.compute (cost ch);
-  let n = Queue.length ch.q in
-  Queue.clear ch.q;
+  Engine.compute_in ch.eng ch.op_cost;
+  let n = Ring.length ch.q in
+  Ring.clear ch.q;
   Engine.broadcast ch.nonfull;
   if Parcae_obs.Trace.enabled () then
     Parcae_obs.Trace.emit ~t:(Engine.now ())

@@ -10,10 +10,12 @@
 
 type 'a t
 
-val create : ?capacity:int -> ?op_cost:int -> string -> 'a t
-(** [create name] makes an unbounded channel; [capacity > 0] bounds it
+val create : ?capacity:int -> ?op_cost:int -> Engine.t -> string -> 'a t
+(** [create eng name] makes an unbounded channel; [capacity > 0] bounds it
     (senders block when full).  [op_cost] overrides the machine's default
-    per-operation cost. *)
+    per-operation cost, resolved once at creation.  Operation costs are
+    deferred through {!Engine.charge}, so a single channel hop does not
+    pay an effect suspension. *)
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool

@@ -12,6 +12,7 @@
    simulation with a fixed seed always produces the same trace. *)
 
 module Pqueue = Parcae_util.Pqueue
+module Ring = Parcae_util.Ring
 module Trace = Parcae_obs.Trace
 module Event = Parcae_obs.Event
 module Metrics = Parcae_obs.Metrics
@@ -62,7 +63,7 @@ type time = int
 
 (* A condition variable with Mesa semantics: a woken thread must re-check its
    predicate.  Waiters are FIFO for determinism and fairness. *)
-type cond = { mutable cwaiters : thread Queue.t }
+type cond = { cwaiters : thread Ring.t }
 
 and thread_state =
   | Created  (* spawned, first turn not yet scheduled *)
@@ -80,29 +81,49 @@ and thread = {
   mutable on_core : bool;
   mutable core : int;  (* core index while on a core, -1 otherwise *)
   mutable last_core : int;  (* last core occupied; wait attribution lane *)
-  mutable cont : (unit -> unit) option;  (* resumption closure *)
+  mutable cont : (unit -> unit) option;  (* first-turn closure *)
+  mutable kont : Obj.t;
+      (* suspended [(unit, unit) Effect.Deep.continuation], or [kont_nil].
+         Stored raw: a [Some k] box per suspension would tax every event
+         on the serve path. *)
+  mutable pending : int;  (* deferred CPU ns not yet folded into a burst *)
   mutable busy_ns : int;  (* total CPU consumed, for utilization stats *)
+  mutable wake_at : time;  (* wake deadline staged for a Sleep suspension *)
+  mutable wait_cond : cond;  (* condition staged for a Block suspension *)
   done_cond : cond;  (* broadcast when the thread finishes *)
   mutable failed : exn option;
+  ev_slice : event;  (* this thread's Slice_end, allocated once at spawn *)
+  ev_wake : event;  (* this thread's Wake, allocated once at spawn *)
+  self_opt : thread option;
+      (* [Some this], allocated once at spawn: [eng.current] is set from it
+         on every turn, so building the option there would cost a box per
+         event *)
 }
 
-type event = Slice_end of thread | Wake of thread
+and event = Slice_end of thread | Wake of thread
+
+(* Sentinel for an absent suspended continuation (immediate, GC-inert). *)
+let kont_nil : Obj.t = Obj.repr 0
 
 type t = {
   machine : Machine.t;
   mutable all_threads : thread list;  (* every thread ever spawned *)
   events : event Pqueue.t;
   mutable now : time;
-  run_queue : thread Queue.t;
+  run_queue : thread Ring.t;
   mutable online : int;  (* cores currently made available *)
   mutable busy : int;  (* cores currently executing a thread *)
-  mutable free_cores : int list;  (* core indices not executing a thread *)
+  core_stack : int array;  (* free core indices, [0, core_top) *)
+  mutable core_top : int;
   mutable live : int;  (* threads not yet finished *)
   mutable tid_counter : int;
   mutable current : thread option;
-  (* Energy integration: [energy_j] accumulates joules; [last_energy_t] is
-     the last time the accumulator was brought up to date. *)
-  mutable energy_j : float;
+  (* Energy integration.  Power is linear in the busy-core count
+     (Machine.power), so the integral needs only one int accumulator of
+     busy-core-ns; joules are derived lazily in [energy_joules].  Keeping
+     the hot-path accumulator an immediate int (not a boxed float field)
+     matters: [set_busy] runs on every core acquire/release. *)
+  mutable busy_core_ns : int;
   mutable last_energy_t : time;
   mutable spawned : int;  (* total threads ever spawned *)
 }
@@ -122,6 +143,12 @@ type _ Effect.t +=
   | Spawn : (string * (unit -> unit)) -> thread Effect.t
   | Self : thread Effect.t
   | Engine_of : t Effect.t
+  (* Payload-free twins of [Compute] and [Wait_on] for engine-aware hot
+     paths: the argument is staged in a thread field ([need] / [wait_cond])
+     before performing, so the effect value is a static constant instead of
+     a fresh two-word block per suspension. *)
+  | Burst : unit Effect.t
+  | Block : unit Effect.t
 
 (* Direct-style API used inside thread bodies. *)
 let compute n = if n > 0 then Effect.perform (Compute n)
@@ -130,13 +157,21 @@ let yield () = Effect.perform Yield
 let sleep_until t = Effect.perform (Sleep_until t)
 let sleep dt = if dt > 0 then Effect.perform (Sleep_until (Effect.perform Now + dt))
 let wait_on c = Effect.perform (Wait_on c)
-let signal c = Effect.perform (Signal c)
-let broadcast c = Effect.perform (Broadcast c)
+
+(* Waking an empty waiter set is a no-op, so skip the effect entirely: on
+   the serve path most signals find nobody waiting, and each avoided
+   effect saves a reified-continuation allocation. *)
+let signal c = if not (Ring.is_empty c.cwaiters) then Effect.perform (Signal c)
+let broadcast c = if not (Ring.is_empty c.cwaiters) then Effect.perform (Broadcast c)
 let spawn_thread ~name body = Effect.perform (Spawn (name, body))
 let self () = Effect.perform Self
 let engine () = Effect.perform Engine_of
 
-let cond_create () = { cwaiters = Queue.create () }
+let cond_create () = { cwaiters = Ring.create () }
+
+(* Placeholder for [thread.wait_cond] until the first Block suspension
+   stages a real condition; never waited on. *)
+let dummy_cond = { cwaiters = Ring.create () }
 
 exception Thread_failure of string * exn
 
@@ -150,26 +185,94 @@ let create machine =
     all_threads = [];
     events = Pqueue.create ();
     now = 0;
-    run_queue = Queue.create ();
+    run_queue = Ring.create ();
     online = machine.Machine.cores;
     busy = 0;
-    free_cores = List.init machine.Machine.cores (fun i -> i);
+    core_stack = Array.init machine.Machine.cores (fun i -> i);
+    core_top = machine.Machine.cores;
     live = 0;
     tid_counter = 0;
     current = None;
-    energy_j = 0.0;
+    busy_core_ns = 0;
     last_energy_t = 0;
     spawned = 0;
   }
 
 let push_event eng at ev = Pqueue.push eng.events (max at eng.now) ev
 
-(* Bring the energy accumulator up to [eng.now] at the current busy level. *)
+(* ------------------------------------------------------------------ *)
+(* Deferred micro-charging.                                            *)
+(*                                                                     *)
+(* Sub-microsecond costs (channel ops, monitor hooks) dominate effect  *)
+(* traffic if each one becomes its own Compute suspension.  [charge]    *)
+(* instead accumulates them on the calling thread and folds the total  *)
+(* into a real burst once it reaches [charge_quantum], bounding the    *)
+(* virtual-time skew of any deferred cost by the quantum.  Blocking    *)
+(* primitives call [flush_charges] before entering their wait loops so *)
+(* a thread never sleeps owing CPU time — and because flushing itself  *)
+(* suspends, callers must re-check their predicate when it returns     *)
+(* [true] (another thread may have run) before waiting.                *)
+(* ------------------------------------------------------------------ *)
+
+let charge_quantum = 5_000
+
+let charge eng n =
+  if n > 0 then
+    match eng.current with
+    | Some th ->
+        let p = th.pending + n in
+        if p >= charge_quantum then begin
+          th.pending <- 0;
+          th.need <- p;
+          Effect.perform Burst
+        end
+        else th.pending <- p
+    | None ->
+        (* Not called from a turn of this engine: behave like [compute]
+           always did (an unhandled effect outside simulated threads). *)
+        Effect.perform (Compute n)
+
+let flush_charges eng =
+  match eng.current with
+  | Some th when th.pending > 0 ->
+      th.need <- th.pending;
+      th.pending <- 0;
+      Effect.perform Burst;
+      true
+  | _ -> false
+
+(* Engine-aware twins of [compute] and [wait_on]: stage the payload in a
+   thread field and perform a constant effect, avoiding the fresh effect
+   block per suspension.  Outside a turn they fall back to the ambient
+   forms. *)
+let compute_in eng n =
+  if n > 0 then
+    match eng.current with
+    | Some th ->
+        th.need <- n;
+        Effect.perform Burst
+    | None -> Effect.perform (Compute n)
+
+let wait_on_in eng c =
+  match eng.current with
+  | Some th ->
+      th.wait_cond <- c;
+      Effect.perform Block
+  | None -> Effect.perform (Wait_on c)
+
+(* CPU consumed by the thread of the current turn, deferred charges
+   included — the allocation-free replacement for reading [busy_ns]
+   through a [Self] effect. *)
+let current_busy eng =
+  match eng.current with Some th -> th.busy_ns + th.pending | None -> 0
+
+(* Bring the busy-core-time integral up to [eng.now] at the current busy
+   level — pure int arithmetic, no boxing (this runs on every core
+   acquire/release). *)
 let account_energy eng =
   let dt = eng.now - eng.last_energy_t in
   if dt > 0 then begin
-    let watts = Machine.power eng.machine ~busy:eng.busy in
-    eng.energy_j <- eng.energy_j +. (watts *. (float_of_int dt *. 1e-9));
+    eng.busy_core_ns <- eng.busy_core_ns + (dt * eng.busy);
     eng.last_energy_t <- eng.now;
     (* Integrate core busy/idle time over the same interval the energy
        accumulator covers: [busy] was the level since [last_energy_t]. *)
@@ -200,27 +303,28 @@ let tl_enter eng core st =
 
 (* Assign cores to runnable threads while any are free. *)
 let rec dispatch eng =
-  if eng.busy < eng.online && not (Queue.is_empty eng.run_queue) then begin
-    let th = Queue.pop eng.run_queue in
+  if eng.busy < eng.online && not (Ring.is_empty eng.run_queue) then begin
+    let th = Ring.pop eng.run_queue in
     if th.state = Runnable then begin
       th.state <- Running;
       th.on_core <- true;
-      (match eng.free_cores with
-      | c :: rest ->
-          eng.free_cores <- rest;
-          th.core <- c;
-          th.last_core <- c
-      | [] -> th.core <- -1 (* online oversubscribed past physical cores *));
+      (if eng.core_top > 0 then begin
+         eng.core_top <- eng.core_top - 1;
+         let c = eng.core_stack.(eng.core_top) in
+         th.core <- c;
+         th.last_core <- c
+       end
+       else th.core <- -1 (* online oversubscribed past physical cores *));
       tl_enter eng th.core Timeline.Run;
       set_busy eng (eng.busy + 1);
       (* Charge the context switch, then run up to one scheduler quantum. *)
       let chunk = min th.need eng.machine.Machine.time_slice in
       th.chunk <- chunk;
-      push_event eng (eng.now + eng.machine.Machine.ctx_switch + chunk) (Slice_end th);
+      push_event eng (eng.now + eng.machine.Machine.ctx_switch + chunk) th.ev_slice;
       if Metrics.enabled () then begin
         let m = mx () in
         Metrics.inc m.m_ctx_switches;
-        Metrics.set_gauge m.m_runnable (float_of_int (Queue.length eng.run_queue))
+        Metrics.set_gauge m.m_runnable (float_of_int (Ring.length eng.run_queue))
       end
     end;
     dispatch eng
@@ -228,9 +332,9 @@ let rec dispatch eng =
 
 let make_runnable eng th =
   th.state <- Runnable;
-  Queue.push th eng.run_queue;
+  Ring.push eng.run_queue th;
   if Metrics.enabled () then
-    Metrics.set_gauge (mx ()).m_runnable (float_of_int (Queue.length eng.run_queue));
+    Metrics.set_gauge (mx ()).m_runnable (float_of_int (Ring.length eng.run_queue));
   dispatch eng
 
 let release_core eng th =
@@ -238,34 +342,41 @@ let release_core eng th =
     th.on_core <- false;
     tl_enter eng th.core Timeline.Park;
     if th.core >= 0 then begin
-      eng.free_cores <- th.core :: eng.free_cores;
+      eng.core_stack.(eng.core_top) <- th.core;
+      eng.core_top <- eng.core_top + 1;
       th.core <- -1
     end;
     set_busy eng (eng.busy - 1);
     dispatch eng
   end
 
-let wake eng th = push_event eng eng.now (Wake th)
+let wake eng th = push_event eng eng.now th.ev_wake
 
 let do_signal eng c =
-  match Queue.take_opt c.cwaiters with None -> () | Some th -> wake eng th
+  if not (Ring.is_empty c.cwaiters) then wake eng (Ring.pop c.cwaiters)
 
 let do_broadcast eng c =
-  while not (Queue.is_empty c.cwaiters) do
-    wake eng (Queue.pop c.cwaiters)
+  while not (Ring.is_empty c.cwaiters) do
+    wake eng (Ring.pop c.cwaiters)
   done
 
 (* Run one "turn" of a thread: resume it and let it execute OCaml code until
    it performs the next blocking effect (or returns). *)
 let run_turn eng th =
-  match th.cont with
-  | None -> ()
-  | Some go ->
-      th.cont <- None;
-      let saved = eng.current in
-      eng.current <- Some th;
-      go ();
-      eng.current <- saved
+  let saved = eng.current in
+  eng.current <- th.self_opt;
+  let k = th.kont in
+  if k != kont_nil then begin
+    th.kont <- kont_nil;
+    Effect.Deep.continue (Obj.obj k : (unit, unit) Effect.Deep.continuation) ()
+  end
+  else (
+    match th.cont with
+    | None -> ()
+    | Some go ->
+        th.cont <- None;
+        go ());
+  eng.current <- saved
 
 let finish eng th =
   if Trace.enabled () then
@@ -278,7 +389,61 @@ let finish eng th =
   release_core eng th;
   do_broadcast eng th.done_cond
 
+(* The handler's [effc] runs once per performed effect; anything it
+   allocates is a per-suspension tax on the serve path.  So every arm's
+   continuation-consumer is built ONCE here (per thread, at spawn) and the
+   arms return the prebuilt [Some fn]; payload-carrying arms stash their
+   payload in a thread field before returning.  The GADT refinement of
+   each arm makes the monomorphic prebuilt closures typecheck. *)
 let rec handler eng th : (unit, unit) Effect.Deep.handler =
+  let open Effect.Deep in
+  let on_now = Some (fun (k : (time, unit) continuation) -> continue k eng.now) in
+  let on_self = Some (fun (k : (thread, unit) continuation) -> continue k th) in
+  let on_engine = Some (fun (k : (t, unit) continuation) -> continue k eng) in
+  let on_unit = Some (fun (k : (unit, unit) continuation) -> continue k ()) in
+  let on_burst =
+    Some
+      (fun (k : (unit, unit) continuation) ->
+        th.kont <- Obj.repr k;
+        if th.on_core && eng.busy <= eng.online then begin
+          (* Already holding a core (burst follows burst): keep it, no
+             context switch charged. *)
+          th.state <- Running;
+          let chunk = min th.need eng.machine.Machine.time_slice in
+          th.chunk <- chunk;
+          push_event eng (eng.now + chunk) th.ev_slice
+        end
+        else begin
+          (* Either between bursts without a core, or the platform shrank
+             below the held cores: go through the scheduler. *)
+          release_core eng th;
+          make_runnable eng th
+        end)
+  in
+  let on_yield =
+    Some
+      (fun (k : (unit, unit) continuation) ->
+        th.kont <- Obj.repr k;
+        th.need <- 0;
+        release_core eng th;
+        make_runnable eng th)
+  in
+  let on_sleep =
+    Some
+      (fun (k : (unit, unit) continuation) ->
+        th.kont <- Obj.repr k;
+        th.state <- Blocked;
+        release_core eng th;
+        push_event eng th.wake_at th.ev_wake)
+  in
+  let on_block =
+    Some
+      (fun (k : (unit, unit) continuation) ->
+        th.kont <- Obj.repr k;
+        th.state <- Blocked;
+        release_core eng th;
+        Ring.push th.wait_cond.cwaiters th)
+  in
   {
     retc = (fun () -> finish eng th);
     exnc =
@@ -287,68 +452,39 @@ let rec handler eng th : (unit, unit) Effect.Deep.handler =
         finish eng th;
         raise (Thread_failure (th.tname, e)));
     effc =
-      (fun (type a) (eff : a Effect.t) ->
-        let open Effect.Deep in
+      (fun (type a) (eff : a Effect.t) :
+           ((a, unit) Effect.Deep.continuation -> unit) option ->
         match eff with
-        | Now -> Some (fun (k : (a, unit) continuation) -> continue k eng.now)
-        | Self -> Some (fun (k : (a, unit) continuation) -> continue k th)
-        | Engine_of -> Some (fun (k : (a, unit) continuation) -> continue k eng)
+        | Now -> on_now
+        | Self -> on_self
+        | Engine_of -> on_engine
         | Signal c ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                do_signal eng c;
-                continue k ())
+            (* Pushing the wake event before the continuation is captured
+               is equivalent: nothing runs until this turn suspends or
+               continues. *)
+            do_signal eng c;
+            on_unit
         | Broadcast c ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                do_broadcast eng c;
-                continue k ())
+            do_broadcast eng c;
+            on_unit
         | Spawn (name, body) ->
+            (* Cold path: a fresh closure per spawn is fine. *)
             Some
               (fun (k : (a, unit) continuation) ->
                 let child = spawn eng ~name body in
                 continue k child)
+        | Burst -> on_burst
         | Compute n ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                th.cont <- Some (fun () -> continue k ());
-                th.need <- max 0 n;
-                if th.on_core && eng.busy <= eng.online then begin
-                  (* Already holding a core (burst follows burst): keep it,
-                     no context switch charged. *)
-                  th.state <- Running;
-                  let chunk = min th.need eng.machine.Machine.time_slice in
-                  th.chunk <- chunk;
-                  push_event eng (eng.now + chunk) (Slice_end th)
-                end
-                else begin
-                  (* Either between bursts without a core, or the platform
-                     shrank below the held cores: go through the
-                     scheduler. *)
-                  release_core eng th;
-                  make_runnable eng th
-                end)
-        | Yield ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                th.cont <- Some (fun () -> continue k ());
-                th.need <- 0;
-                release_core eng th;
-                make_runnable eng th)
+            th.need <- max 0 n;
+            on_burst
+        | Yield -> on_yield
         | Sleep_until t' ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                th.cont <- Some (fun () -> continue k ());
-                th.state <- Blocked;
-                release_core eng th;
-                push_event eng (max t' eng.now) (Wake th))
+            th.wake_at <- max t' eng.now;
+            on_sleep
+        | Block -> on_block
         | Wait_on c ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                th.cont <- Some (fun () -> continue k ());
-                th.state <- Blocked;
-                release_core eng th;
-                Queue.push th c.cwaiters)
+            th.wait_cond <- c;
+            on_block
         | _ -> None);
   }
 
@@ -358,7 +494,7 @@ let rec handler eng th : (unit, unit) Effect.Deep.handler =
 and spawn eng ~name body : thread =
   eng.tid_counter <- eng.tid_counter + 1;
   eng.spawned <- eng.spawned + 1;
-  let th =
+  let rec th =
     {
       tid = eng.tid_counter;
       tname = name;
@@ -369,9 +505,16 @@ and spawn eng ~name body : thread =
       core = -1;
       last_core = -1;
       cont = None;
+      kont = kont_nil;
+      pending = 0;
       busy_ns = 0;
+      wake_at = 0;
+      wait_cond = dummy_cond;
       done_cond = cond_create ();
       failed = None;
+      ev_slice = Slice_end th;
+      ev_wake = Wake th;
+      self_opt = Some th;
     }
   in
   eng.live <- eng.live + 1;
@@ -389,9 +532,19 @@ and spawn eng ~name body : thread =
      match eng.current with
      | Some p -> Hb.on_spawn ~parent:p.tid ~child:th.tid
      | None -> ());
-  th.cont <- Some (fun () -> Effect.Deep.match_with body () (handler eng th));
+  (* Settle any deferred bookkeeping debt before the body returns, so a
+     thread cannot exit owing virtual time. *)
+  let body_settled () =
+    body ();
+    if th.pending > 0 then begin
+      th.need <- th.pending;
+      th.pending <- 0;
+      Effect.perform Burst
+    end
+  in
+  th.cont <- Some (fun () -> Effect.Deep.match_with body_settled () (handler eng th));
   th.state <- Blocked;
-  push_event eng eng.now (Wake th);
+  push_event eng eng.now th.ev_wake;
   th
 
 (* Block the calling simulated thread until [th] finishes. *)
@@ -412,11 +565,11 @@ let handle_event eng ev =
              effect decides whether the core is released. *)
           run_turn eng th
         end
-        else if Queue.is_empty eng.run_queue && eng.busy <= eng.online then begin
+        else if Ring.is_empty eng.run_queue && eng.busy <= eng.online then begin
           (* No competition: extend on the same core without a switch. *)
           let chunk = min th.need eng.machine.Machine.time_slice in
           th.chunk <- chunk;
-          push_event eng (eng.now + chunk) (Slice_end th)
+          push_event eng (eng.now + chunk) th.ev_slice
         end
         else begin
           (* Preempt: go to the back of the run queue. *)
@@ -431,21 +584,20 @@ let run ?until eng =
   let processed = ref 0 in
   let continue_ = ref true in
   while !continue_ do
-    match Pqueue.peek_key eng.events with
-    | None -> continue_ := false
-    | Some t -> (
-        match until with
-        | Some limit when t > limit ->
-            eng.now <- max eng.now limit;
-            account_energy eng;
-            continue_ := false
-        | _ -> (
-            match Pqueue.pop eng.events with
-            | None -> continue_ := false
-            | Some (t, ev) ->
-                eng.now <- max eng.now t;
-                incr processed;
-                handle_event eng ev))
+    if Pqueue.is_empty eng.events then continue_ := false
+    else begin
+      let t = Pqueue.top_key eng.events in
+      match until with
+      | Some limit when t > limit ->
+          eng.now <- max eng.now limit;
+          account_energy eng;
+          continue_ := false
+      | _ ->
+          let ev = Pqueue.pop_exn eng.events in
+          eng.now <- max eng.now t;
+          incr processed;
+          handle_event eng ev
+    end
   done;
   account_energy eng;
   !processed
@@ -459,7 +611,7 @@ let busy_cores eng = eng.busy
 
 (* Threads ready to run but not on a core; together with [busy_cores] this
    measures oversubscription pressure. *)
-let runnable_count eng = Queue.length eng.run_queue
+let runnable_count eng = Ring.length eng.run_queue
 let online_cores eng = eng.online
 let live_threads eng = eng.live
 let spawned_threads eng = eng.spawned
@@ -467,9 +619,12 @@ let spawned_threads eng = eng.spawned
 (* Instantaneous power draw at the current busy-core count. *)
 let instant_power eng = Machine.power eng.machine ~busy:eng.busy
 
+(* Derive joules from the integral: the idle floor draws for the whole
+   elapsed window, each busy core adds [core_power] for its busy span. *)
 let energy_joules eng =
   account_energy eng;
-  eng.energy_j
+  (eng.machine.Machine.idle_power *. (float_of_int eng.now *. 1e-9))
+  +. (eng.machine.Machine.core_power *. (float_of_int eng.busy_core_ns *. 1e-9))
 
 (* Change the number of cores the platform makes available, modelling
    resource-availability change (Section 8.3.4).  Reducing below the current

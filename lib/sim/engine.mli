@@ -20,6 +20,10 @@ type cond
 
 type thread_state = Created | Runnable | Running | Blocked | Finished
 
+type event
+(** A scheduler event; each thread preallocates its two event values at
+    spawn so the hot path never allocates one. *)
+
 type thread = {
   tid : int;
   tname : string;
@@ -29,10 +33,20 @@ type thread = {
   mutable on_core : bool;
   mutable core : int;  (** core index while on a core, -1 otherwise *)
   mutable last_core : int;  (** last core occupied, -1 if never dispatched *)
-  mutable cont : (unit -> unit) option;  (** resumption closure *)
+  mutable cont : (unit -> unit) option;  (** first-turn closure *)
+  mutable kont : Obj.t;
+      (** suspended [(unit, unit) Effect.Deep.continuation], or the nil
+          sentinel; stored raw so a suspension does not box an option *)
+  mutable pending : int;
+      (** deferred CPU ns accumulated by {!charge}, not yet a burst *)
   mutable busy_ns : int;  (** total CPU consumed; Decima's hooks read this *)
+  mutable wake_at : time;  (** wake deadline staged for a sleep suspension *)
+  mutable wait_cond : cond;  (** condition staged for a blocking suspension *)
   done_cond : cond;  (** broadcast when the thread finishes *)
   mutable failed : exn option;
+  ev_slice : event;
+  ev_wake : event;
+  self_opt : thread option;  (** [Some this], allocated once at spawn *)
 }
 (** A simulated thread.  The record is exposed because the monitor reads
     [busy_ns] to measure pure compute time across preemptions; treat the
@@ -67,6 +81,37 @@ val run : ?until:time -> t -> int
 val compute : int -> unit
 (** Consume n nanoseconds of CPU, competing for cores and subject to
     preemption. *)
+
+val charge : t -> int -> unit
+(** Consume n nanoseconds of CPU {e eventually}: the cost accumulates on
+    the calling thread and is folded into a real {!compute} burst once the
+    total reaches the charge quantum (5µs), so sub-microsecond costs
+    (channel and hook charges) do not each pay an effect suspension.
+    Virtual-time skew of any deferred cost is bounded by the quantum.
+    Outside a simulated thread this degrades to {!compute}. *)
+
+val flush_charges : t -> bool
+(** Convert any pending {!charge}d cost into a burst now; returns [true]
+    if the thread suspended (it had pending cost).  Blocking primitives
+    call this before their wait loops so a thread never sleeps owing CPU
+    time — and because flushing suspends, the caller must re-check its
+    wait predicate when this returns [true] before actually waiting, or a
+    wakeup racing the flush would be lost. *)
+
+val current_busy : t -> int
+(** [busy_ns] of the thread whose turn is running, pending charges
+    included — the allocation-free equivalent of reading {!self} to get
+    [busy_ns]. *)
+
+val compute_in : t -> int -> unit
+(** {!compute}, engine-aware: the burst length is staged in a thread
+    field and a constant payload-free effect is performed, so the
+    suspension allocates no effect block.  Semantically identical to
+    {!compute}; falls back to it outside a turn of [t]. *)
+
+val wait_on_in : t -> cond -> unit
+(** {!wait_on}, engine-aware, with the same staging trick (and the same
+    Mesa re-check obligation). *)
 
 val now : unit -> time
 (** The current virtual time. *)

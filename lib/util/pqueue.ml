@@ -2,77 +2,107 @@
    the event time, secondary key a monotonically increasing sequence number.
    The sequence number makes the discrete-event simulator fully
    deterministic: two events at the same virtual time are processed in
-   insertion order. *)
+   insertion order.
 
-type 'a entry = { key : int; seq : int; payload : 'a }
+   Layout: three parallel arrays (key, sequence, payload) instead of an
+   array of entry records.  The simulator pushes and pops one event per
+   scheduling decision, so the per-entry record was pure allocator traffic
+   on the serve path; the flat layout makes [push] and the [top_key] /
+   [pop_exn] pair allocation-free. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable keys : int array;
+  mutable seqs : int array;
+  mutable data : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create () = { keys = [||]; seqs = [||]; data = [||]; size = 0; next_seq = 0 }
 
 let length t = t.size
 let is_empty t = t.size = 0
 
-let lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+let lt t i j =
+  t.keys.(i) < t.keys.(j) || (t.keys.(i) = t.keys.(j) && t.seqs.(i) < t.seqs.(j))
 
-let grow t =
+let swap t i j =
+  let k = t.keys.(i) and s = t.seqs.(i) and d = t.data.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.seqs.(i) <- t.seqs.(j);
+  t.data.(i) <- t.data.(j);
+  t.keys.(j) <- k;
+  t.seqs.(j) <- s;
+  t.data.(j) <- d
+
+(* The dummy slots of a fresh payload array are overwritten before any
+   read: [size] never exceeds the number of slots actually written. *)
+let grow t dummy =
   let cap = Array.length t.data in
   let ncap = if cap = 0 then 16 else cap * 2 in
-  (* The dummy payload slot is immediately overwritten before first read. *)
-  let ndata = Array.make ncap t.data.(0) in
-  Array.blit t.data 0 ndata 0 t.size;
-  t.data <- ndata
+  let nk = Array.make ncap 0 and ns = Array.make ncap 0 and nd = Array.make ncap dummy in
+  Array.blit t.keys 0 nk 0 t.size;
+  Array.blit t.seqs 0 ns 0 t.size;
+  Array.blit t.data 0 nd 0 t.size;
+  t.keys <- nk;
+  t.seqs <- ns;
+  t.data <- nd
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if lt t.data.(i) t.data.(parent) then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
+    if lt t i parent then begin
+      swap t i parent;
       sift_up t parent
     end
   end
 
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && lt t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.size && lt t.data.(r) t.data.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
+  let s = if l < t.size && lt t l i then l else i in
+  let s = if r < t.size && lt t r s then r else s in
+  if s <> i then begin
+    swap t i s;
+    sift_down t s
   end
 
 (* Insert [payload] with priority [key]; ties resolve in insertion order. *)
 let push t key payload =
-  let entry = { key; seq = t.next_seq; payload } in
+  if t.size = Array.length t.data then grow t payload;
+  t.keys.(t.size) <- key;
+  t.seqs.(t.size) <- t.next_seq;
+  t.data.(t.size) <- payload;
   t.next_seq <- t.next_seq + 1;
-  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 entry;
-  if t.size = Array.length t.data then grow t;
-  t.data.(t.size) <- entry;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let peek_key t = if t.size = 0 then None else Some t.data.(0).key
+let peek_key t = if t.size = 0 then None else Some t.keys.(0)
+
+let top_key t =
+  if t.size = 0 then invalid_arg "Pqueue.top_key: empty";
+  t.keys.(0)
+
+(* Remove the minimum entry and return its payload.  The vacated tail slot
+   keeps its old payload reference until overwritten by a later push —
+   bounded retention, same as the previous record layout. *)
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Pqueue.pop_exn: empty";
+  let top = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.keys.(0) <- t.keys.(t.size);
+    t.seqs.(0) <- t.seqs.(t.size);
+    t.data.(0) <- t.data.(t.size);
+    sift_down t 0
+  end;
+  top
 
 (* Remove and return the minimum entry as [(key, payload)]. *)
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some (top.key, top.payload)
+    let key = t.keys.(0) in
+    Some (key, pop_exn t)
   end
 
 let clear t = t.size <- 0

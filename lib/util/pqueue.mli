@@ -1,7 +1,11 @@
 (** Binary min-heap priority queue with deterministic tie-breaking.
 
     Entries with equal keys pop in insertion order, which makes the
-    discrete-event simulator built on top of it fully deterministic. *)
+    discrete-event simulator built on top of it fully deterministic.
+
+    Storage is three parallel arrays (key, sequence, payload), so [push]
+    and the [top_key]/[pop_exn] pair allocate nothing — the simulator's
+    event loop runs them once per scheduling decision. *)
 
 type 'a t
 
@@ -11,12 +15,21 @@ val is_empty : 'a t -> bool
 
 val push : 'a t -> int -> 'a -> unit
 (** [push q key payload] inserts with priority [key]; ties resolve in
-    insertion order. *)
+    insertion order.  Allocation-free outside of capacity doubling. *)
 
 val peek_key : 'a t -> int option
 (** Smallest key currently in the queue. *)
 
+val top_key : 'a t -> int
+(** Smallest key, allocation-free.
+    @raise Invalid_argument when the queue is empty — guard with
+    {!is_empty}. *)
+
 val pop : 'a t -> (int * 'a) option
 (** Remove and return the minimum entry as [(key, payload)]. *)
+
+val pop_exn : 'a t -> 'a
+(** Remove the minimum entry and return its payload, allocation-free.
+    @raise Invalid_argument when the queue is empty. *)
 
 val clear : 'a t -> unit

@@ -61,8 +61,31 @@ let oversub_factor eng ~alpha =
     1.0 +. (alpha *. Float.max 0.0 (pressure -. 1.0))
   end
 
+(* [oversub_factor] in 16.16 fixed point with [alpha] pre-converted, so
+   the serve path's per-stage cost scaling performs no float operation:
+   factor = 1 + alpha * max 0 (live/online - 1)
+          = 65536 + alpha_fp * (live - online) / online. *)
+let oversub_factor_fp eng ~alpha_fp =
+  if Engine.is_native eng then 65536
+  else begin
+    let online = max 1 (Engine.online_cores eng) in
+    let over = Engine.live_threads eng - online in
+    if over <= 0 then 65536 else 65536 + (alpha_fp * over / online)
+  end
+
+let alpha_fp alpha = int_of_float ((alpha *. 65536.0) +. 0.5)
+
 (* Compute [base] ns inflated by the request scale and the current
-   oversubscription factor. *)
-let compute_scaled eng ~alpha (req : Request.t) base =
-  let f = oversub_factor eng ~alpha *. req.Request.scale in
-  Engine.compute (int_of_float (Float.round (float_of_int base *. f)))
+   oversubscription factor — all-integer (16.16 fixed point, rounded to
+   nearest at each step) and suspended through the payload-free effect,
+   so a stage burst costs the serve path zero non-runtime allocation.
+   Stage factories pre-convert alpha once ({!alpha_fp}) and close over
+   it. *)
+let compute_scaled_fp eng ~alpha_fp (req : Request.t) base =
+  let f = oversub_factor_fp eng ~alpha_fp in
+  let scaled = (((base * f) + 32768) asr 16) * req.Request.scale_fp in
+  Engine.compute_in eng ((scaled + 32768) asr 16)
+
+(* Float-API wrapper kept for callers off the serve path. *)
+let compute_scaled eng ~alpha req base =
+  compute_scaled_fp eng ~alpha_fp:(alpha_fp alpha) req base

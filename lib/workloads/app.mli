@@ -35,6 +35,15 @@ val oversub_factor : Parcae_platform.Engine.t -> alpha:float -> float
     memory-bound dedup but still profitable for ferret, Table 8.5).
     [alpha] is the per-app sensitivity; 1.0 when not oversubscribed. *)
 
+val alpha_fp : float -> int
+(** [alpha] in 16.16 fixed point, for {!compute_scaled_fp}.  Stage
+    factories convert once and close over the result. *)
+
+val compute_scaled_fp : Parcae_platform.Engine.t -> alpha_fp:int -> Request.t -> int -> unit
+(** Compute [base] ns inflated by the request scale and the current
+    oversubscription factor, entirely in integer fixed point — the
+    allocation-free form the serve path uses. *)
+
 val compute_scaled : Parcae_platform.Engine.t -> alpha:float -> Request.t -> int -> unit
 (** Compute [base] ns inflated by the request scale and the current
-    oversubscription factor. *)
+    oversubscription factor.  Float wrapper over {!compute_scaled_fp}. *)

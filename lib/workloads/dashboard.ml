@@ -12,6 +12,7 @@ module Engine = Parcae_platform.Engine
 module Obs = Parcae_obs.Metrics
 module Timeline = Parcae_obs.Timeline
 module Hb = Parcae_obs.Hb
+module Pool = Parcae_core.Pool
 module Table = Parcae_util.Table
 
 let label_string = function
@@ -63,6 +64,43 @@ let sanitizer_panel tr =
   Table.add_row t [ "racing pairs"; string_of_int raced ];
   Table.add_row t [ "race occurrences"; string_of_int (Hb.race_count tr) ];
   Table.render t
+
+(* The pool panel: freelist hit rates and the process's minor-word total,
+   one row per pool (DESIGN.md section 14).  Rendered only when at least
+   one pool exists, so `top` on pool-free programs is unchanged. *)
+let pool_panel () =
+  match Pool.stats () with
+  | [] -> None
+  | stats ->
+      let t =
+        Table.create ~title:"pools / allocation"
+          ~header:[ "pool"; "hits"; "misses"; "hit%"; "free" ]
+      in
+      List.iter
+        (fun (s : Pool.stats) ->
+          let total = s.Pool.st_hits + s.Pool.st_misses in
+          let rate =
+            if total = 0 then "-"
+            else Printf.sprintf "%.1f%%" (100.0 *. float_of_int s.Pool.st_hits /. float_of_int total)
+          in
+          Table.add_row t
+            [
+              s.Pool.st_name;
+              string_of_int s.Pool.st_hits;
+              string_of_int s.Pool.st_misses;
+              rate;
+              string_of_int s.Pool.st_free;
+            ])
+        stats;
+      Table.add_row t
+        [
+          "minor words (process)";
+          Printf.sprintf "%.0f" (Gc.quick_stat ()).Gc.minor_words;
+          "";
+          "";
+          "";
+        ];
+      Some (Table.render t)
 
 (* Render one registry snapshot as counter / gauge / histogram tables.
    Series order comes from Metrics.snapshot, so the output is deterministic
@@ -118,6 +156,7 @@ let render ?(title = "parcae top") ~now_s reg =
   let parts =
     match Hb.get () with Some tr -> parts @ [ sanitizer_panel tr ] | None -> parts
   in
+  let parts = match pool_panel () with Some p -> parts @ [ p ] | None -> parts in
   match parts with
   | [] -> Printf.sprintf "%s — no metrics recorded (t=%.3fs)\n" title now_s
   | parts -> String.concat "\n" parts
@@ -131,6 +170,7 @@ let spawn ?(out = stdout) ?title ?(interval_ns = 1_000_000_000) ~stop eng =
       while not (stop ()) do
         Engine.sleep interval_ns;
         ignore (Engine.energy_joules eng);
+        Pool.sample_allocs ();
         if Obs.enabled () then begin
           output_string out
             (render ?title ~now_s:(Engine.seconds_of_ns (Engine.time eng)) (Obs.current ()));

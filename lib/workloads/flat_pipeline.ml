@@ -36,42 +36,51 @@ let make ?(alpha = 0.05) ?(dpmax = 24) ~name ~stages ~budget eng =
     invalid_arg "Flat_pipeline.make: first and last stages must be sequential";
   let queue = Chan.create eng "work-queue" in
   let metrics = Metrics.create eng in
-  let work req cost = App.compute_scaled eng ~alpha req cost in
+  (* Alpha converted to fixed point once; every stage burst then runs
+     all-integer (App.compute_scaled_fp). *)
+  let alpha_fp = App.alpha_fp alpha in
+  let work req cost = App.compute_scaled_fp eng ~alpha_fp req cost in
 
-  (* ---- Scheme 0: the full pipeline. ---- *)
+  (* ---- Scheme 0: the full pipeline. ----
+
+     Every stage is a batch drain (DESIGN.md section 14): one recv_batch
+     claims what is queued, one send_batch forwards the same message
+     cells downstream, and the tail frees each completed request back to
+     the pool — the steady-state request flow allocates nothing. *)
   let q = Array.init (n - 1) (fun i -> Chan.create ~capacity:8 eng (Printf.sprintf "q%d" i)) in
   let head =
-    Pipeline.stage ~poll:true ~ttype:Task.Seq ~name:specs.(0).s_name ~input:queue
+    Pipeline.drain_stage ~poll:true ~ttype:Task.Seq ~name:specs.(0).s_name ~input:queue
       ~load:(Pipeline.load queue)
+      ~next:q.(0)
       ~forward:(Pipeline.forward_to q.(0))
       (fun _ctx req ->
-        Request.note_start req ~now:(Engine.now ());
+        Request.note_start req ~now:(Engine.time eng);
         work req specs.(0).s_cost;
-        Pipeline.send q.(0) req;
         Task_status.Iterating)
   in
   let middles =
     List.init (n - 2) (fun s ->
         let i = s + 1 in
-        Pipeline.stage
+        Pipeline.drain_stage
           ~ttype:(if specs.(i).s_par then Task.Par else Task.Seq)
           ~name:specs.(i).s_name ~input:q.(i - 1)
           ~load:(Pipeline.load q.(i - 1))
+          ~next:q.(i)
           ~forward:(Pipeline.forward_to q.(i))
           (fun ctx req ->
             ctx.Task.hook_begin ();
             work req specs.(i).s_cost;
             ctx.Task.hook_end ();
-            Pipeline.send q.(i) req;
             Task_status.Iterating))
   in
   let tail =
-    Pipeline.stage ~ttype:Task.Seq ~name:specs.(n - 1).s_name ~input:q.(n - 2)
+    Pipeline.drain_stage ~ttype:Task.Seq ~name:specs.(n - 1).s_name ~input:q.(n - 2)
       ~load:(Pipeline.load q.(n - 2))
       ~forward:(fun _ -> ())
       (fun _ctx req ->
         work req specs.(n - 1).s_cost;
         Metrics.note_complete metrics req;
+        Request.free req;
         Task_status.Iterating)
   in
   let pipe_stages = (head :: middles) @ [ tail ] in
@@ -86,32 +95,34 @@ let make ?(alpha = 0.05) ?(dpmax = 24) ~name ~stages ~budget eng =
     |> List.fold_left (fun acc s -> acc + s.s_cost) 0
   in
   let fhead =
-    Pipeline.stage ~poll:true ~ttype:Task.Seq ~name:(specs.(0).s_name ^ "-f") ~input:queue
+    Pipeline.drain_stage ~poll:true ~ttype:Task.Seq ~name:(specs.(0).s_name ^ "-f")
+      ~input:queue
       ~load:(Pipeline.load queue)
+      ~next:fq0
       ~forward:(Pipeline.forward_to fq0)
       (fun _ctx req ->
-        Request.note_start req ~now:(Engine.now ());
+        Request.note_start req ~now:(Engine.time eng);
         work req specs.(0).s_cost;
-        Pipeline.send fq0 req;
         Task_status.Iterating)
   in
   let fmid =
-    Pipeline.stage ~ttype:Task.Par ~name:"combined" ~input:fq0 ~load:(Pipeline.load fq0)
+    Pipeline.drain_stage ~ttype:Task.Par ~name:"combined" ~input:fq0
+      ~load:(Pipeline.load fq0) ~next:fq1
       ~forward:(Pipeline.forward_to fq1)
       (fun ctx req ->
         ctx.Task.hook_begin ();
         work req fused_cost;
         ctx.Task.hook_end ();
-        Pipeline.send fq1 req;
         Task_status.Iterating)
   in
   let ftail =
-    Pipeline.stage ~ttype:Task.Seq ~name:(specs.(n - 1).s_name ^ "-f") ~input:fq1
+    Pipeline.drain_stage ~ttype:Task.Seq ~name:(specs.(n - 1).s_name ^ "-f") ~input:fq1
       ~load:(Pipeline.load fq1)
       ~forward:(fun _ -> ())
       (fun _ctx req ->
         work req specs.(n - 1).s_cost;
         Metrics.note_complete metrics req;
+        Request.free req;
         Task_status.Iterating)
   in
   let fused_pd =

@@ -24,7 +24,8 @@ let generator ?(jitter = 0.08) ?(eos = true) ~rng ~rate_per_s ~m ~queue ~metrics
     let gap = Rng.exponential rng ~rate:rate_per_s in
     Engine.sleep (int_of_float (gap *. 1e9));
     let scale = Float.max 0.5 (Rng.gaussian rng ~mu:1.0 ~sigma:jitter) in
-    let req = Request.create ~id:!next_id ~arrival_ns:(Engine.now ()) ~scale in
+    (* Pooled: the tail stage frees the record back on completion. *)
+    let req = Request.alloc ~id:!next_id ~arrival_ns:(Engine.now ()) ~scale in
     incr next_id;
     Metrics.note_submit metrics;
     Pipeline.send queue req
@@ -41,7 +42,8 @@ let batch ?(jitter = 0.08) ?(eos = true) ~rng ~m ~queue ~metrics () =
   let reqs =
     List.init m (fun id ->
         let scale = Float.max 0.5 (Rng.gaussian rng ~mu:1.0 ~sigma:jitter) in
-        let req = Request.create ~id ~arrival_ns:0 ~scale in
+        (* Pooled: the tail stage frees the record back on completion. *)
+        let req = Request.alloc ~id ~arrival_ns:0 ~scale in
         Metrics.note_submit metrics;
         Pipeline.Item req)
   in

@@ -47,6 +47,18 @@ let create ?(reservoir_capacity = default_reservoir_capacity) eng =
     mx = None;
   }
 
+(* Rewind to a fresh state without reallocating: the reservoirs keep their
+   sample buffers, so repeated batch runs (max-throughput searches, the
+   allocation bench) reuse one [t] instead of growing garbage per run.
+   Registry counters are cumulative by design and are left alone. *)
+let reset t =
+  Stats.Reservoir.reset t.responses;
+  Stats.Reservoir.reset t.exec_times;
+  t.completed <- 0;
+  t.submitted <- 0;
+  t.first_completion_ns <- -1;
+  t.last_completion_ns <- -1
+
 let handles t =
   let reg = Obs.current () in
   match t.mx with
@@ -83,14 +95,9 @@ let note_complete t (req : Request.t) =
   let now = Engine.time t.eng in
   let resp = Engine.seconds_of_ns (now - req.Request.arrival_ns) in
   Stats.Reservoir.observe t.responses resp;
-  let ex =
-    if req.Request.start_ns >= 0 then begin
-      let e = Engine.seconds_of_ns (now - req.Request.start_ns) in
-      Stats.Reservoir.observe t.exec_times e;
-      Some e
-    end
-    else None
-  in
+  let started = req.Request.start_ns >= 0 in
+  if started then
+    Stats.Reservoir.observe t.exec_times (Engine.seconds_of_ns (now - req.Request.start_ns));
   t.completed <- t.completed + 1;
   if t.first_completion_ns < 0 then t.first_completion_ns <- now;
   t.last_completion_ns <- now;
@@ -98,7 +105,8 @@ let note_complete t (req : Request.t) =
     let h = handles t in
     Obs.inc h.rm_completed;
     Obs.observe h.rm_response resp;
-    match ex with Some e -> Obs.observe h.rm_exec e | None -> ()
+    if started then
+      Obs.observe h.rm_exec (Engine.seconds_of_ns (now - req.Request.start_ns))
   end
 
 let responses t = Stats.Reservoir.samples t.responses

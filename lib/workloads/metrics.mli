@@ -15,6 +15,12 @@ val default_reservoir_capacity : int
 
 val create : ?reservoir_capacity:int -> Parcae_platform.Engine.t -> t
 
+val reset : t -> unit
+(** Rewind counts, completion stamps and both reservoirs to a fresh state,
+    reusing the existing sample buffers — repeated batch runs can share
+    one [t] without per-run allocation.  Cumulative registry counters are
+    unaffected. *)
+
 val submitted : t -> int
 val completed : t -> int
 

@@ -1,15 +1,32 @@
 (** A unit of server work: one video to transcode, one query to answer.
     Carries its arrival time so completion code can compute the end-user
-    response time (the paper's Equation 2.1). *)
+    response time (the paper's Equation 2.1).
+
+    Fields are mutable so records can be recycled through the process-wide
+    request pool: {!alloc}/{!free} are the pooled, steady-state
+    allocation-free pair the serve path uses; {!create} heap-allocates for
+    everyone else. *)
 
 type t = {
-  id : int;
-  arrival_ns : int;  (** virtual time the request entered the work queue *)
-  scale : float;  (** per-request work multiplier, ~1.0 *)
+  mutable id : int;
+  mutable arrival_ns : int;  (** virtual time the request entered the work queue *)
+  mutable scale : float;  (** per-request work multiplier, ~1.0 *)
+  mutable scale_fp : int;
+      (** [scale] in 16.16 fixed point, set at construction: the serve
+          path scales stage costs with int arithmetic because reading a
+          float field of a mixed record boxes per access *)
   mutable start_ns : int;  (** time processing began; -1 until dequeued *)
 }
 
 val create : id:int -> arrival_ns:int -> scale:float -> t
+
+val alloc : id:int -> arrival_ns:int -> scale:float -> t
+(** Like {!create}, but drawn from the request pool — allocation-free once
+    the pool is warm. *)
+
+val free : t -> unit
+(** Return a request to the pool.  The caller must hold the only live
+    reference; the record may be reused for another request immediately. *)
 
 val note_start : t -> now:int -> unit
 (** Stamp the moment processing begins (idempotent). *)

@@ -43,6 +43,7 @@ let seq_request_ns = function
    stages transform, sink writes.  [stage_ns] must have length >= 2; all
    middle entries form parallel stages. *)
 let run_inner_pipe eng ~alpha (req : Request.t) ~items ~stage_ns (cfg : Config.t) =
+  let alpha_fp = App.alpha_fp alpha in
   let nstages = Array.length stage_ns in
   let queues = Array.init (nstages - 1) (fun i -> Chan.create ~capacity:4 eng (Printf.sprintf "iq%d" i)) in
   let emitted = ref 0 in
@@ -53,7 +54,7 @@ let run_inner_pipe eng ~alpha (req : Request.t) ~items ~stage_ns (cfg : Config.t
         if !emitted >= items then Task_status.Complete
         else begin
           incr emitted;
-          App.compute_scaled eng ~alpha req stage_ns.(0);
+          App.compute_scaled_fp eng ~alpha_fp req stage_ns.(0);
           Pipeline.send queues.(0) !emitted;
           Task_status.Iterating
         end)
@@ -64,7 +65,7 @@ let run_inner_pipe eng ~alpha (req : Request.t) ~items ~stage_ns (cfg : Config.t
         Pipeline.stage ~name:(Printf.sprintf "stage%d" i) ~input:queues.(i - 1)
           ~forward:(Pipeline.forward_to queues.(i))
           (fun _ctx item ->
-            App.compute_scaled eng ~alpha req stage_ns.(i);
+            App.compute_scaled_fp eng ~alpha_fp req stage_ns.(i);
             Pipeline.send queues.(i) item;
             Task_status.Iterating))
   in
@@ -72,7 +73,7 @@ let run_inner_pipe eng ~alpha (req : Request.t) ~items ~stage_ns (cfg : Config.t
     Pipeline.stage ~ttype:Task.Seq ~name:"write" ~input:queues.(nstages - 2)
       ~forward:(fun _ -> ())
       (fun _ctx _item ->
-        App.compute_scaled eng ~alpha req stage_ns.(nstages - 1);
+        App.compute_scaled_fp eng ~alpha_fp req stage_ns.(nstages - 1);
         Task_status.Iterating)
   in
   let stages = (head :: middles) @ [ tail ] in
@@ -86,6 +87,7 @@ let run_inner_pipe eng ~alpha (req : Request.t) ~items ~stage_ns (cfg : Config.t
    update), which is what caps scalability per Amdahl. *)
 let run_inner_doall eng ~alpha (req : Request.t) ~chunks ~chunk_ns ~serial_ns ~beta
     (cfg : Config.t) =
+  let alpha_fp = App.alpha_fp alpha in
   let remaining = ref chunks in
   let lock = Lock.create eng "reduction" in
   let worker =
@@ -96,9 +98,9 @@ let run_inner_doall eng ~alpha (req : Request.t) ~chunks ~chunk_ns ~serial_ns ~b
           (* Communication overhead grows with the team size. *)
           let comm = 1.0 +. (beta *. float_of_int (ctx.Task.dop - 1)) in
           let cost = int_of_float (Float.round (float_of_int chunk_ns *. comm)) in
-          App.compute_scaled eng ~alpha req cost;
+          App.compute_scaled_fp eng ~alpha_fp req cost;
           if serial_ns > 0 then
-            Lock.with_lock lock (fun () -> App.compute_scaled eng ~alpha req serial_ns);
+            Lock.with_lock lock (fun () -> App.compute_scaled_fp eng ~alpha_fp req serial_ns);
           Task_status.Iterating
         end)
   in
@@ -161,10 +163,16 @@ let make_config ~budget kind l =
    [alpha] is the oversubscription sensitivity; [dpmax] the inner DoP at
    which parallel efficiency falls to ~0.5 (the value WQT-H toggles to). *)
 let make ?(alpha = 0.05) ~name ~kind ~dpmax ~budget eng =
+  let alpha_fp = App.alpha_fp alpha in
   let queue = Chan.create eng "work-queue" in
   let metrics = Metrics.create eng in
+  (* The outer DOALL drains its work queue in small batches: requests are
+     heavy (an entire inner region each), so the claim is capped low to
+     keep pause latency bounded — [drain_stage]'s mid-claim poll hands
+     unprocessed requests back to the queue when a pause lands, where they
+     survive the reconfiguration. *)
   let master =
-    Pipeline.stage ~poll:true ~name:(name ^ "-outer") ~input:queue
+    Pipeline.drain_stage ~poll:true ~max_batch:4 ~name:(name ^ "-outer") ~input:queue
       ~load:(Pipeline.load queue)
       ~forward:(fun _ -> ())
       ~nested:
@@ -179,18 +187,19 @@ let make ?(alpha = 0.05) ~name ~kind ~dpmax ~budget eng =
             (fun () -> failwith "two_level: inner descriptor is per-request");
         ]
       (fun ctx req ->
-        Request.note_start req ~now:(Engine.now ());
+        Request.note_start req ~now:(Engine.time eng);
         ctx.Task.hook_begin ();
         (match (ctx.Task.nested_cfg, kind) with
         | None, _ ->
             (* Inner parallelism off: process the request inline. *)
-            App.compute_scaled eng ~alpha req (seq_request_ns kind)
+            App.compute_scaled_fp eng ~alpha_fp req (seq_request_ns kind)
         | Some icfg, Pipe { items; stage_ns } ->
             run_inner_pipe eng ~alpha req ~items ~stage_ns icfg
         | Some icfg, Doall { chunks; chunk_ns; serial_ns; beta } ->
             run_inner_doall eng ~alpha req ~chunks ~chunk_ns ~serial_ns ~beta icfg);
         ctx.Task.hook_end ();
         Metrics.note_complete metrics req;
+        Request.free req;
         Task_status.Iterating)
   in
   let pd = Task.descriptor ~name [ master.Pipeline.task ] in

@@ -22,6 +22,7 @@ let () =
       ("flight", Test_flight.suite);
       ("sched", Test_sched.suite);
       ("native", Test_native.suite);
+      ("pool", Test_pool.suite);
       ("timeline", Test_timeline.suite);
       ("sanitize", Test_sanitize.suite);
     ]

@@ -118,7 +118,7 @@ let test_cond_signal_wakes_fifo () =
 
 let test_chan_fifo () =
   let eng = Engine.create (exact_machine ()) in
-  let ch = Chan.create "c" in
+  let ch = Chan.create eng "c" in
   let received = ref [] in
   let _ =
     Engine.spawn eng ~name:"producer" (fun () ->
@@ -137,7 +137,7 @@ let test_chan_fifo () =
 
 let test_chan_blocking_recv () =
   let eng = Engine.create (exact_machine ()) in
-  let ch = Chan.create "c" in
+  let ch = Chan.create eng "c" in
   let got_at = ref 0 in
   let _ =
     Engine.spawn eng ~name:"consumer" (fun () ->
@@ -155,7 +155,7 @@ let test_chan_blocking_recv () =
 
 let test_chan_capacity_blocks_sender () =
   let eng = Engine.create (exact_machine ()) in
-  let ch = Chan.create ~capacity:2 "c" in
+  let ch = Chan.create ~capacity:2 eng "c" in
   let sent_all_at = ref 0 in
   let _ =
     Engine.spawn eng ~name:"producer" (fun () ->
@@ -176,7 +176,7 @@ let test_chan_capacity_blocks_sender () =
 
 let test_chan_try_ops () =
   let eng = Engine.create (exact_machine ()) in
-  let ch = Chan.create ~capacity:1 "c" in
+  let ch = Chan.create ~capacity:1 eng "c" in
   let _ =
     Engine.spawn eng ~name:"t" (fun () ->
         Alcotest.(check (option int)) "empty try_recv" None (Chan.try_recv ch);
@@ -189,7 +189,7 @@ let test_chan_try_ops () =
 
 let test_chan_drain () =
   let eng = Engine.create (exact_machine ()) in
-  let ch = Chan.create "c" in
+  let ch = Chan.create eng "c" in
   let drained = ref (-1) in
   let _ =
     Engine.spawn eng ~name:"t" (fun () ->
@@ -306,7 +306,7 @@ let test_set_online_cores () =
 let test_determinism () =
   let run_once () =
     let eng = Engine.create (machine ~cores:3 ()) in
-    let ch = Chan.create "c" in
+    let ch = Chan.create eng "c" in
     let log = Buffer.create 64 in
     for i = 1 to 3 do
       ignore
