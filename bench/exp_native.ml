@@ -28,6 +28,33 @@ open Parcae_workloads
 (* Artifact provenance lives in [Prov] (shared with Exp_allocs). *)
 let provenance = Prov.provenance
 
+(* ---- request-latency ladders ----
+
+   Both artifacts carry the HDR tail-latency ladder (p50/p99/p999 ns) for
+   ferret and x264 server runs, measured from the workload's always-on
+   latency distribution (Metrics.latency_quantile_ns), so latency
+   regressions are auditable per-commit next to throughput and
+   allocation. *)
+
+let latency_fields prefix (r : Experiments.result) =
+  [
+    (prefix ^ "_latency_p50_ns", Json.Int r.Experiments.latency_p50_ns);
+    (prefix ^ "_latency_p99_ns", Json.Int r.Experiments.latency_p99_ns);
+    (prefix ^ "_latency_p999_ns", Json.Int r.Experiments.latency_p999_ns);
+  ]
+
+(* Calibrate max throughput with a halved request count, then serve at 0.8
+   load — the same shape as `parcae_demo serve`, sized down so the native
+   runs (real wall-clock) stay cheap in CI. *)
+let measure_serve_latency ?backend ~machine ~flat ~m mk =
+  let thr =
+    if flat then Experiments.max_throughput_flat ~m:(max 20 (m / 2)) ~machine ?backend mk
+    else Experiments.max_throughput ~m:(max 20 (m / 2)) ~machine ?backend mk
+  in
+  Experiments.run_server ~m ~machine ?backend ~rate_per_s:(0.8 *. thr)
+    ~config:(`Named (if flat then "even" else "inner-max"))
+    mk
+
 (* ---- native_speedup ---- *)
 
 let items = 400
@@ -177,6 +204,25 @@ let native_speedup () =
   (* Per-item allocator tax on the same pipeline shape, so the native
      artifact carries its own allocation number next to the wall-clock. *)
   let alloc = Exp_allocs.measure_native () in
+  (* Request-latency ladders on real cores (sized down: wall-clock). *)
+  let lat_m =
+    match Option.bind (Sys.getenv_opt "PARCAE_NATIVE_LATENCY_M") int_of_string_opt with
+    | Some n when n > 0 -> n
+    | _ -> 80
+  in
+  Printf.printf "measuring native request-latency ladders (m=%d)...\n%!" lat_m;
+  let machine = Parcae_sim.Machine.xeon_x7460 in
+  let ferret_r =
+    measure_serve_latency ~backend:(`Native None) ~machine ~flat:true ~m:lat_m
+      (fun ~budget eng -> Ferret.make ~budget eng)
+  in
+  let x264_r =
+    measure_serve_latency ~backend:(`Native None) ~machine ~flat:false ~m:lat_m
+      (fun ~budget eng -> Transcode.make ~budget eng)
+  in
+  Printf.printf "  ferret p99 %.3fms, x264 p99 %.3fms\n%!"
+    (float_of_int ferret_r.Experiments.latency_p99_ns /. 1e6)
+    (float_of_int x264_r.Experiments.latency_p99_ns /. 1e6);
   let shares_json shares =
     Json.Obj
       (List.map (fun (st, v) -> (Timeline.state_name st, Json.Float v)) shares)
@@ -206,7 +252,10 @@ let native_speedup () =
             Json.List (List.map (fun (_, _, _, _, sh) -> shares_json sh) results) );
           ( "minor_words_per_item",
             Json.Float alloc.Exp_allocs.s_words_per_req );
-        ])
+          ("latency_m", Json.Int lat_m);
+        ]
+      @ latency_fields "ferret" ferret_r
+      @ latency_fields "x264" x264_r)
   in
   Parcae_obs.Export.write_file "BENCH_native.json" (Json.to_string json ^ "\n");
   Printf.printf "wrote BENCH_native.json\n"
@@ -231,6 +280,10 @@ let sim_headline () =
     Experiments.run_server ~m:250 ~machine ~rate_per_s:(0.8 *. x264_thr)
       ~config:(`Named "inner-max") mk_x264
   in
+  let ferret_serve =
+    Experiments.run_server ~m:250 ~machine ~rate_per_s:(0.8 *. ferret_thr)
+      ~config:(`Named "even") mk_ferret
+  in
   let ferret_alloc = Exp_allocs.measure_sim_ferret () in
   let x264_alloc = Exp_allocs.measure_sim_x264 () in
   let t =
@@ -240,6 +293,12 @@ let sim_headline () =
   Table.add_row t [ "x264 max throughput (req/s)"; Printf.sprintf "%.2f" x264_thr ];
   Table.add_row t [ "ferret max throughput (req/s)"; Printf.sprintf "%.2f" ferret_thr ];
   Table.add_row t [ "x264 p95 response @ 0.8 load (s)"; Printf.sprintf "%.3f" serve.Experiments.p95_response_s ];
+  Table.add_row t
+    [ "x264 latency p99 @ 0.8 load (ms)";
+      Printf.sprintf "%.3f" (float_of_int serve.Experiments.latency_p99_ns /. 1e6) ];
+  Table.add_row t
+    [ "ferret latency p99 @ 0.8 load (ms)";
+      Printf.sprintf "%.3f" (float_of_int ferret_serve.Experiments.latency_p99_ns /. 1e6) ];
   Table.add_row t
     [ "ferret minor words/request"; Printf.sprintf "%.1f (was %.1f)"
         ferret_alloc.Exp_allocs.s_words_per_req ferret_words_per_req_before ];
@@ -263,7 +322,9 @@ let sim_headline () =
         ("x264_p95_response_s_load08", Json.Float serve.Experiments.p95_response_s);
         ("x264_mean_response_s_load08", Json.Float serve.Experiments.mean_response_s);
         ("completed", Json.Int serve.Experiments.completed);
-      ])
+      ]
+      @ latency_fields "x264" serve
+      @ latency_fields "ferret" ferret_serve)
   in
   Parcae_obs.Export.write_file "BENCH_sim.json" (Json.to_string json ^ "\n");
   Printf.printf "wrote BENCH_sim.json\n"

@@ -7,14 +7,17 @@
      compile  — compile an IR kernel with Nona and show PDG/SCC/pipeline
      run      — execute a compiled kernel under the closed-loop controller
      doctor   — sweep DoP on a known pipeline and diagnose the scaling curve
+     latency  — attribute tail-latency quantiles to phases via request spans
 
    Examples:
      parcae_demo serve -a x264 -m wq-linear -l 0.8 --metrics-out m.prom
+     parcae_demo serve -a ferret -m tbf --listen 127.0.0.1:9090 --linger 30
      parcae_demo top -a ferret -m static -i 2
      parcae_demo batch -a ferret -m tbf --profile-out ferret.folded
      parcae_demo compile -k crc32
      parcae_demo run -k kmeans --budget 12
-     parcae_demo doctor --backend native --json *)
+     parcae_demo doctor --backend native --json
+     parcae_demo latency -a ferret -m tbf --slo-ms 500 --json *)
 
 open Cmdliner
 open Parcae_sim
@@ -292,41 +295,141 @@ let print_result (r : Experiments.result) =
    server run only (not the calibration run), which is where the trace and
    metrics wrappers go; [on_start] lets `top` attach its dashboard thread
    to the live region. *)
-let run_serve ?on_start ?(wrap = fun f -> f ()) ?(backend = `Sim) app mech load m machine
-    seed =
+let run_serve ?on_start ?(wrap = fun f -> f ()) ?(backend = `Sim) ?(quiet = false) app
+    mech load m machine seed =
   let mk = app_factory app in
   let flat = is_flat app in
   let maxthr =
     if flat then Experiments.max_throughput_flat ~machine ~seed ~backend mk
     else Experiments.max_throughput ~machine ~seed ~backend mk
   in
-  Printf.printf "%s on %s: max sustainable throughput %.2f requests/s\n" app
-    (match backend with
-    | `Sim -> machine.Machine.name
-    | `Native _ -> "native cores")
-    maxthr;
-  Printf.printf "running %d requests at load %.2f under %s...\n\n" m load mech;
+  if not quiet then begin
+    Printf.printf "%s on %s: max sustainable throughput %.2f requests/s\n" app
+      (match backend with
+      | `Sim -> machine.Machine.name
+      | `Native _ -> "native cores")
+      maxthr;
+    Printf.printf "running %d requests at load %.2f under %s...\n\n" m load mech
+  end;
   let config = if flat then `Named "even" else `Named "inner-max" in
   wrap (fun () ->
       Experiments.run_server ~m ~seed ~machine ~backend ~rate_per_s:(load *. maxthr)
         ?mechanism:(mechanism_for mech flat) ?on_start ~config mk)
 
+let listen_arg =
+  let doc =
+    "Expose the run over HTTP at $(docv) (HOST:PORT, or just PORT on 127.0.0.1; port 0 \
+     picks an ephemeral port): $(b,/metrics) serves the live Prometheus snapshot, \
+     $(b,/healthz) a liveness probe, and $(b,/latency.json) the span collector's \
+     tail-latency report.  Implies a live metrics registry and span collector."
+  in
+  Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT" ~doc)
+
+let linger_arg =
+  let doc =
+    "With $(b,--listen), keep serving the endpoints for $(docv) wall seconds after the \
+     run completes, so external scrapers can read the final state."
+  in
+  Arg.(value & opt float 0.0 & info [ "linger" ] ~docv:"SECONDS" ~doc)
+
+let parse_listen spec =
+  match String.rindex_opt spec ':' with
+  | Some i ->
+      let host = String.sub spec 0 i in
+      let port =
+        try int_of_string (String.sub spec (i + 1) (String.length spec - i - 1))
+        with Failure _ -> failwith ("bad --listen port in " ^ spec)
+      in
+      ((if host = "" then "127.0.0.1" else host), port)
+  | None -> (
+      match int_of_string_opt spec with
+      | Some port -> ("127.0.0.1", port)
+      | None -> failwith ("bad --listen address " ^ spec ^ " (expected HOST:PORT)"))
+
+(* The live exposition wrapper: force-install a metrics registry and a span
+   collector (the endpoints read both), serve /metrics, /healthz, and
+   /latency.json for the whole measured run plus [linger] wall seconds.
+   [reg] may be shared with --metrics-out so one snapshot serves both. *)
+let with_exposition ~listen ~linger ~reg ~sc f =
+  match listen with
+  | None -> f ()
+  | Some spec ->
+      let host, port = parse_listen spec in
+      let routes =
+        [
+          ( "/metrics",
+            fun () ->
+              Obs.Httpd.ok ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+                (Obs.Metrics.to_prometheus reg) );
+          ("/healthz", fun () -> Obs.Httpd.ok "ok\n");
+          ( "/latency.json",
+            fun () ->
+              Obs.Httpd.ok ~content_type:"application/json"
+                (Obs.Json.to_string (Obs.Span.report_json sc)) );
+        ]
+      in
+      let srv = Obs.Httpd.start ~host ~port ~routes () in
+      Printf.printf "listening on http://%s:%d (/metrics /healthz /latency.json)\n%!" host
+        (Obs.Httpd.port srv);
+      Fun.protect
+        ~finally:(fun () -> Obs.Httpd.stop srv)
+        (fun () ->
+          let r = f () in
+          if linger > 0.0 then begin
+            Printf.printf "lingering %gs for scrapes on port %d...\n%!" linger
+              (Obs.Httpd.port srv);
+            Unix.sleepf linger
+          end;
+          r)
+
 let serve app mech load m machine_name backend pool seed trace metrics_out profile_out
-    flight_out =
+    flight_out listen linger =
   let machine = machine_of machine_name in
   let backend = backend_of backend pool in
+  (* With --listen, the registry and span collector are installed
+     unconditionally (the endpoints need them live); --metrics-out then
+     reuses the same registry rather than installing a second one. *)
+  let reg = Obs.Metrics.create () in
+  let sc = Obs.Span.create () in
   let wrap f =
-    with_metrics ?metrics_out ?profile_out (fun () ->
-        with_trace trace (fun () -> with_flight flight_out f))
+    match listen with
+    | None ->
+        (* A metrics snapshot should include the latency summaries, so a
+           requested --metrics-out/--profile-out also installs the span
+           collector (inside the registry scope: the summary handles bind
+           to the ambient registry at emission). *)
+        let body () =
+          match (metrics_out, profile_out) with
+          | None, None -> with_trace trace (fun () -> with_flight flight_out f)
+          | _ ->
+              Obs.Span.with_collector sc (fun () ->
+                  with_trace trace (fun () -> with_flight flight_out f))
+        in
+        with_metrics ?metrics_out ?profile_out body
+    | Some _ ->
+        Obs.Metrics.with_registry reg (fun () ->
+            Obs.Span.with_collector sc (fun () ->
+                let r = with_trace trace (fun () -> with_flight flight_out f) in
+                Option.iter (write_metrics_file reg) metrics_out;
+                Option.iter (write_profile_file reg) profile_out;
+                r))
   in
-  let r = run_serve ~wrap ~backend app mech load m machine seed in
-  print_result r
+  with_exposition ~listen ~linger ~reg ~sc (fun () ->
+      let r = run_serve ~wrap ~backend app mech load m machine seed in
+      print_result r;
+      (match Obs.Span.completed sc with
+      | 0 -> ()
+      | n ->
+          Printf.printf "request spans:      %d completed, p99 %.3f ms (%d dropped)\n" n
+            (float_of_int (Obs.Span.quantile_ns sc 0.99) /. 1e6)
+            (Obs.Span.drops sc)))
 
 let serve_cmd =
   let term =
     Term.(
       const serve $ app_arg $ mech_arg $ load_arg $ requests_arg $ machine_arg $ backend_arg
-      $ pool_arg $ seed_arg $ trace_arg $ metrics_out_arg $ profile_out_arg $ flight_out_arg)
+      $ pool_arg $ seed_arg $ trace_arg $ metrics_out_arg $ profile_out_arg $ flight_out_arg
+      $ listen_arg $ linger_arg)
   in
   Cmd.v (Cmd.info "serve" ~doc:"Run a server workload at a load factor under a mechanism.") term
 
@@ -618,6 +721,78 @@ let doctor_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* latency                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let slo_ms_arg =
+  let doc =
+    "Arm the SLO tracker: requests slower than $(docv) milliseconds end-to-end consume \
+     error budget, and a burn rate above 1.0 makes the command exit 2."
+  in
+  Arg.(value & opt (some float) None & info [ "slo-ms" ] ~docv:"MS" ~doc)
+
+let slo_budget_arg =
+  let doc = "Tolerated over-SLO fraction of requests (the error budget)." in
+  Arg.(value & opt float 0.001 & info [ "slo-budget" ] ~docv:"FRACTION" ~doc)
+
+let top_k_arg =
+  let doc = "How many slowest-request exemplars to include in the report." in
+  Arg.(value & opt int 5 & info [ "top" ] ~docv:"K" ~doc)
+
+(* Run a server workload with the full latency observatory attached —
+   span collector, flight recorder, and (on native) the runtime-events GC
+   consumer — then attribute the tail quantiles to phases.  Exit codes:
+   0 report produced, 2 the SLO burn rate exceeded 1.0. *)
+let latency app mech load m machine_name backend pool seed slo_ms slo_budget top_k json =
+  let machine = machine_of machine_name in
+  let backend = backend_of backend pool in
+  let sc = Obs.Span.create () in
+  (match slo_ms with
+  | Some ms -> Obs.Span.configure_slo sc ~target_ns:(int_of_float (ms *. 1e6)) ~budget:slo_budget
+  | None -> ());
+  let rc = Obs.Flight.create () in
+  (* GC carving needs the runtime-events feed; its timestamps are wall
+     nanoseconds, so it only makes sense against the native clock. *)
+  let consumer =
+    match backend with `Native _ -> Some (Obs.Runtime_ev.start ()) | `Sim -> None
+  in
+  (* [wrap] scopes the observatory to the measured run only — the
+     calibration run must not contribute spans. *)
+  let wrap f = Obs.Span.with_collector sc (fun () -> Obs.Flight.with_recorder rc f) in
+  let r = run_serve ~wrap ~backend ~quiet:json app mech load m machine seed in
+  (match consumer with
+  | Some c ->
+      ignore (Obs.Runtime_ev.poll c);
+      Obs.Runtime_ev.stop c
+  | None -> ());
+  let report = Latency.analyze ~flight:(Obs.Flight.entries rc) ~top:top_k sc in
+  if json then print_endline (Obs.Json.to_string (Latency.to_json report))
+  else begin
+    print_result r;
+    print_newline ();
+    print_string (Latency.render report)
+  end;
+  exit (if report.Latency.r_slo_breached then 2 else 0)
+
+let latency_cmd =
+  let term =
+    Term.(
+      const latency $ app_arg $ mech_arg $ load_arg $ requests_arg $ machine_arg
+      $ backend_arg $ pool_arg $ seed_arg $ slo_ms_arg $ slo_budget_arg $ top_k_arg
+      $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "latency"
+       ~doc:
+         "Run a server workload with request-level span tracing attached and attribute \
+          the tail-latency quantiles to phases: admission queueing, inter-stage channel \
+          wait, per-stage compute, reconfiguration stall, and GC overlap.  Reports the \
+          slowest requests with their span timelines and the nearest \
+          reconfiguration/GC event, findings codes L100-L1xx, and exits 2 on an SLO \
+          breach.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* explain                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -870,6 +1045,7 @@ let () =
             check_cmd;
             run_cmd;
             doctor_cmd;
+            latency_cmd;
             sanitize_cmd;
             explain_cmd;
           ]))

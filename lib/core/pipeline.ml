@@ -22,6 +22,7 @@
      work items and any [Eos], and resets the per-stage exit counters. *)
 
 module Chan = Parcae_platform.Chan
+module Span = Parcae_obs.Span
 
 type 'a msg =
   | Item of 'a
@@ -146,9 +147,30 @@ let stage ?(ttype = Task.Par) ?(poll = false) ?load ?init ?nested ~name ~input
    the input channel, where [reset_channel] keeps items across the DoP
    change. *)
 let drain_stage ?(ttype = Task.Par) ?(poll = false) ?(max_batch = 4) ?load ?init
-    ?nested ?next ~name ~input ~forward (body : Task.ctx -> 'a -> Task_status.t) :
-    'a stage_handle =
+    ?nested ?next ?span_of ?span_clock ~name ~input ~forward
+    (body : Task.ctx -> 'a -> Task_status.t) : 'a stage_handle =
   if max_batch < 1 then invalid_arg "Pipeline.drain_stage: max_batch must be >= 1";
+  (* Span stamping wraps the body only when a builder supplied both the
+     item→span projection and a clock (builders close over [Engine.time
+     eng] — a field read, not the allocating ambient-now effect).  With no
+     collector installed the wrapper costs one atomic load per item; with
+     one installed it is pure int mutation on the pooled span.  The token
+     returned by [enter] makes the trailing [exit] a no-op if the request
+     completed and its record was re-allocated inside the body. *)
+  let body =
+    match (span_of, span_clock) with
+    | Some span_of, Some clock ->
+        fun ctx v ->
+          if Span.enabled () then begin
+            let sp = span_of v in
+            let tok = Span.enter sp ~now:(clock ()) in
+            let st = body ctx v in
+            Span.exit sp ~token:tok ~now:(clock ());
+            st
+          end
+          else body ctx v
+    | _ -> body
+  in
   let exit_path, reset = make_exit ~forward in
   let flush_downstream msgs =
     match next with Some ch -> if msgs <> [] then Chan.send_batch ch msgs | None -> ()

@@ -67,6 +67,8 @@ val drain_stage :
   ?init:(unit -> unit) ->
   ?nested:Task.nested_choice list ->
   ?next:'a msg Parcae_platform.Chan.t ->
+  ?span_of:('a -> Parcae_obs.Span.span) ->
+  ?span_clock:(unit -> int) ->
   name:string ->
   input:'a msg Parcae_platform.Chan.t ->
   forward:(sentinel -> unit) ->
@@ -86,6 +88,13 @@ val drain_stage :
     returned to the input (surviving reconfiguration), the processed
     prefix is flushed downstream before the exit is counted, and the
     sentinel protocol proceeds exactly as in {!stage}.
+
+    When both [span_of] (item → its request span) and [span_clock] (a
+    non-allocating monotonic-ns read, typically [fun () -> Engine.time
+    eng]) are given, each body call is bracketed with
+    {!Parcae_obs.Span.enter}/{!Parcae_obs.Span.exit} so per-stage compute
+    and inter-stage waits land on the request's span; with no collector
+    installed this costs one atomic load per item.
     @raise Invalid_argument if [max_batch < 1]. *)
 
 val source :

@@ -64,6 +64,10 @@ type kind =
   | Trace_overflow of { dropped : int }
       (* the sink ring filled and overwrote [dropped] older events; the
          exporters prepend this so consumers see the loss explicitly *)
+  | Span_overflow of { dropped : int }
+      (* the completed-span ring filled and began overwriting exemplars;
+         quantiles stay exact (aggregates absorbed every span), only
+         per-request timelines are lost *)
   | Task_spawn of { task : int; parent : int; name : string }
       (* a scheduler task/fiber was created; [parent] is the spawning
          task id, or -1 when spawned from outside the engine *)
@@ -100,6 +104,7 @@ let kind_name = function
   | Feature_sample _ -> "feature_sample"
   | Cores_online _ -> "cores_online"
   | Trace_overflow _ -> "trace_overflow"
+  | Span_overflow _ -> "span_overflow"
   | Task_spawn _ -> "task_spawn"
   | Task_done _ -> "task_done"
   | Chan_send_ev _ -> "chan_send"
@@ -137,6 +142,7 @@ let to_json { t; kind } =
         [ ("name", Json.Str name); ("value", Json.Float value) ]
     | Cores_online { cores } -> [ ("cores", Json.Int cores) ]
     | Trace_overflow { dropped } -> [ ("dropped", Json.Int dropped) ]
+    | Span_overflow { dropped } -> [ ("dropped", Json.Int dropped) ]
     | Task_spawn { task; parent; name } ->
         [ ("task", Json.Int task); ("parent", Json.Int parent);
           ("name", Json.Str name) ]
@@ -196,6 +202,7 @@ let of_json j =
         Feature_sample { name = Json.get_str "name" j; value = Json.get_float "value" j }
     | "cores_online" -> Cores_online { cores = Json.get_int "cores" j }
     | "trace_overflow" -> Trace_overflow { dropped = Json.get_int "dropped" j }
+    | "span_overflow" -> Span_overflow { dropped = Json.get_int "dropped" j }
     | "task_spawn" ->
         Task_spawn
           { task = Json.get_int "task" j; parent = Json.get_int "parent" j;

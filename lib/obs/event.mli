@@ -41,6 +41,9 @@ type kind =
   | Trace_overflow of { dropped : int }
       (** the sink ring filled and overwrote [dropped] older events;
           prepended by the exporters so loss is never silent *)
+  | Span_overflow of { dropped : int }
+      (** the completed-span ring filled and began overwriting exemplars;
+          quantiles stay exact, only per-request timelines are lost *)
   | Task_spawn of { task : int; parent : int; name : string }
       (** a scheduler task/fiber was created; [parent] is the spawning
           task id, or [-1] when spawned from outside the engine *)

@@ -122,6 +122,9 @@ let chrome ?(process = "parcae") events =
       | Event.Trace_overflow { dropped } ->
           record ~name:"trace-overflow" ~ph:"i" ~tid:tid_platform t
             ~args:[ ("dropped", Json.Int dropped) ]
+      | Event.Span_overflow { dropped } ->
+          record ~name:"span-overflow" ~ph:"i" ~tid:tid_platform t
+            ~args:[ ("dropped", Json.Int dropped) ]
       | Event.Task_spawn { task; parent; name } ->
           record ~name:("spawn " ^ name) ~ph:"i" ~tid:tid_scheduler t
             ~args:[ ("task", Json.Int task); ("parent", Json.Int parent) ]

@@ -1,0 +1,164 @@
+(* A minimal dependency-free HTTP/1.1 exposition server.
+
+   Just enough protocol for a Prometheus scrape loop or a curl: GET
+   routing over blocking sockets, one OS thread accepting and serving
+   connections sequentially, Connection: close on every response.  This
+   is the first outward-facing surface of the daemon, so it is
+   deliberately boring — no keep-alive, no chunking, no request bodies,
+   an 8 KB header cap, and every handler runs under a per-connection
+   exception guard so a malformed request can never take the server (or
+   the serving run next to it) down.
+
+   Handlers run on the server thread and read shared state that is
+   already safe to read concurrently: registry snapshots take the
+   registry mutex, span-collector reads take the collector mutex.  Unix
+   and Thread both ship with the compiler, keeping the no-new-deps rule
+   intact. *)
+
+type response = { status : int; content_type : string; body : string }
+
+let ok ?(content_type = "text/plain; charset=utf-8") body =
+  { status = 200; content_type; body }
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  thread : Thread.t;
+  stop_flag : bool Atomic.t;
+}
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Status"
+
+let write_response fd { status; content_type; body } =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      status (status_text status) content_type (String.length body)
+  in
+  let send s =
+    let n = String.length s in
+    let off = ref 0 in
+    while !off < n do
+      off := !off + Unix.write_substring fd s !off (n - !off)
+    done
+  in
+  send head;
+  send body
+
+(* Read until the blank line ending the request head, capped at 8 KB —
+   we never need a body, so anything past the head is ignored. *)
+let read_head fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > 8192 then None
+    else
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n = 0 then None
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        (* A lone "\n\n" is accepted too: curl-by-hand friendliness. *)
+        if
+          (String.length s >= 4
+          && String.sub s (String.length s - 4) 4 = "\r\n\r\n")
+          || String.index_opt s '\n' <> None
+             && String.length s >= 2
+             && String.sub s (String.length s - 2) 2 = "\n\n"
+        then Some s
+        else go ()
+      end
+  in
+  try go () with Unix.Unix_error _ -> None
+
+let parse_request head =
+  match String.index_opt head '\n' with
+  | None -> None
+  | Some i -> (
+      let line = String.trim (String.sub head 0 i) in
+      match String.split_on_char ' ' line with
+      | meth :: target :: _ ->
+          (* Strip any query string: routes key on the path alone. *)
+          let path =
+            match String.index_opt target '?' with
+            | Some q -> String.sub target 0 q
+            | None -> target
+          in
+          Some (meth, path)
+      | _ -> None)
+
+let serve_connection routes fd =
+  let resp =
+    match read_head fd with
+    | None -> { status = 400; content_type = "text/plain"; body = "bad request\n" }
+    | Some head -> (
+        match parse_request head with
+        | None -> { status = 400; content_type = "text/plain"; body = "bad request\n" }
+        | Some (meth, path) when meth <> "GET" ->
+            ignore path;
+            { status = 405; content_type = "text/plain"; body = "method not allowed\n" }
+        | Some (_, path) -> (
+            match List.assoc_opt path routes with
+            | None -> { status = 404; content_type = "text/plain"; body = "not found\n" }
+            | Some handler -> (
+                try handler ()
+                with e ->
+                  {
+                    status = 500;
+                    content_type = "text/plain";
+                    body = "internal error: " ^ Printexc.to_string e ^ "\n";
+                  })))
+  in
+  try write_response fd resp with Unix.Unix_error _ -> ()
+
+let start ?(host = "127.0.0.1") ~port ~routes () =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with _ -> invalid_arg ("Httpd.start: bad host " ^ host)
+  in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (addr, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p  (* port 0 resolves to the ephemeral pick *)
+    | _ -> port
+  in
+  let stop_flag = Atomic.make false in
+  let thread =
+    Thread.create
+      (fun () ->
+        let continue = ref true in
+        while !continue do
+          match Unix.accept sock with
+          | conn, _ ->
+              Fun.protect
+                ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+                (fun () -> try serve_connection routes conn with _ -> ())
+          | exception Unix.Unix_error _ ->
+              (* EBADF/EINVAL after [stop] closed the socket, or a stray
+                 accept failure: exit iff stopping, else keep serving. *)
+              if Atomic.get stop_flag then continue := false
+        done)
+      ()
+  in
+  { sock; port; thread; stop_flag }
+
+let port t = t.port
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close t.sock with Unix.Unix_error _ -> ());
+  Thread.join t.thread

@@ -1,0 +1,29 @@
+(** A minimal dependency-free HTTP/1.1 exposition server.
+
+    Just enough protocol for a Prometheus scrape loop or a curl: GET
+    routing over blocking sockets on one OS thread, Connection: close on
+    every response, 404 for unknown paths, 405 for non-GET methods, and
+    a per-connection exception guard so a malformed request can never
+    take down the serving run next to it.  Built on [Unix] and [Thread]
+    only — both ship with the compiler. *)
+
+type response = { status : int; content_type : string; body : string }
+
+val ok : ?content_type:string -> string -> response
+(** A 200 response; [content_type] defaults to
+    ["text/plain; charset=utf-8"]. *)
+
+type t
+
+val start :
+  ?host:string -> port:int -> routes:(string * (unit -> response)) list -> unit -> t
+(** Bind [host] (default 127.0.0.1, must be a literal address) on [port]
+    (0 picks an ephemeral port — read it back with {!port}) and serve
+    [routes] — an exact-path → handler association; query strings are
+    stripped before matching.  Handlers run on the server thread.
+    @raise Unix.Unix_error when the bind fails (port in use, bad perms). *)
+
+val port : t -> int
+
+val stop : t -> unit
+(** Close the listening socket and join the server thread. *)

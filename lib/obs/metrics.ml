@@ -68,6 +68,23 @@ let observe_ns h ns = observe h (float_of_int ns)
 let histogram_count h = h.h_count
 let histogram_sum h = h.h_sum
 
+(* Summaries are HDR histograms (lib/obs/hdr.ml): fixed-precision
+   log-linear buckets over integer nanoseconds with a bounded-relative-
+   error quantile estimate.  They replace reservoir sampling for latency
+   on the serve path — a reservoir's percentile jitters with the sampling
+   seed, an HDR quantile is a deterministic function of the observations
+   (DESIGN.md section 15). *)
+type summary = Hdr.t
+
+let observe_summary (s : summary) ns = Hdr.observe s ns
+let summary_quantile (s : summary) q = Hdr.quantile s q
+let summary_count (s : summary) = Hdr.count s
+let summary_sum (s : summary) = Hdr.sum s
+
+(* Quantiles exported for every summary series: the Prometheus-conventional
+   ladder a scrape loop expects for tail latency. *)
+let summary_export_quantiles = [ 0.5; 0.9; 0.99; 0.999 ]
+
 (* [count] log-spaced upper bounds starting at [lo], each [base] times the
    previous — the HDR-style bucketing every duration histogram uses. *)
 let log_buckets ~base ~lo ~count =
@@ -84,15 +101,20 @@ let seconds_buckets = log_buckets ~base:2.0 ~lo:0.001 ~count:17
 (* Families and registries.                                            *)
 (* ------------------------------------------------------------------ *)
 
-type kind = Counter_kind | Gauge_kind | Histogram_kind
+type kind = Counter_kind | Gauge_kind | Histogram_kind | Summary_kind
 
-type instrument = Counter_i of counter | Gauge_i of gauge | Histogram_i of histogram
+type instrument =
+  | Counter_i of counter
+  | Gauge_i of gauge
+  | Histogram_i of histogram
+  | Summary_i of summary
 
 type family = {
   f_name : string;
   f_help : string;
   f_kind : kind;
   f_buckets : float array;  (* histogram families only *)
+  f_sub_bits : int;  (* summary families only: HDR resolution *)
   f_label_names : string list;
   f_series : (string list, instrument) Hashtbl.t;  (* keyed by label values *)
 }
@@ -146,6 +168,7 @@ let kind_name = function
   | Counter_kind -> "counter"
   | Gauge_kind -> "gauge"
   | Histogram_kind -> "histogram"
+  | Summary_kind -> "summary"
 
 let make_instrument fam =
   match fam.f_kind with
@@ -159,8 +182,9 @@ let make_instrument fam =
           h_sum = 0.0;
           h_count = 0;
         }
+  | Summary_kind -> Summary_i (Hdr.create ~sub_bits:fam.f_sub_bits ())
 
-let family reg ~name ~help ~kind ~buckets ~label_names =
+let family reg ~name ~help ~kind ~buckets ~sub_bits ~label_names =
   match Hashtbl.find_opt reg.families name with
   | Some fam ->
       if fam.f_kind <> kind then
@@ -173,7 +197,8 @@ let family reg ~name ~help ~kind ~buckets ~label_names =
   | None ->
       let fam =
         { f_name = name; f_help = help; f_kind = kind; f_buckets = buckets;
-          f_label_names = label_names; f_series = Hashtbl.create 4 }
+          f_sub_bits = sub_bits; f_label_names = label_names;
+          f_series = Hashtbl.create 4 }
       in
       Hashtbl.replace reg.families name fam;
       fam
@@ -182,12 +207,13 @@ let family reg ~name ~help ~kind ~buckets ~label_names =
    workers intern handles against the same hashtables, and an unguarded
    [Hashtbl.replace] race can corrupt the table.  Creation is rare (hot
    paths cache handles), so one mutex per registry is plenty. *)
-let series reg ~name ~help ~kind ~buckets labels =
+let series reg ~name ~help ~kind ~buckets ?(sub_bits = 7) labels =
   Mutex.lock reg.mu;
   let i =
     match
       let fam =
-        family reg ~name ~help ~kind ~buckets ~label_names:(List.map fst labels)
+        family reg ~name ~help ~kind ~buckets ~sub_bits
+          ~label_names:(List.map fst labels)
       in
       let key = List.map snd labels in
       match Hashtbl.find_opt fam.f_series key with
@@ -232,6 +258,13 @@ let histogram ?(help = "") ?(buckets = duration_ns_buckets) ?(labels = []) reg n
     | Histogram_i h -> h
     | _ -> assert false
 
+let summary ?(help = "") ?(labels = []) ?(sub_bits = 7) reg name =
+  if is_null reg then Hdr.create ~sub_bits ()
+  else
+    match series reg ~name ~help ~kind:Summary_kind ~buckets:[||] ~sub_bits labels with
+    | Summary_i s -> s
+    | _ -> assert false
+
 (* ------------------------------------------------------------------ *)
 (* Snapshots.                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -240,6 +273,7 @@ type value =
   | Counter_v of int
   | Gauge_v of float
   | Histogram_v of { bounds : float array; counts : int array; sum : float; count : int }
+  | Summary_v of { quantiles : (float * float) list; sum : float; count : int }
 
 type sample = { labels : (string * string) list; value : value }
 type fam_snapshot = { name : string; help : string; skind : kind; samples : sample list }
@@ -251,6 +285,16 @@ let snapshot_instrument = function
       Histogram_v
         { bounds = Array.copy h.bounds; counts = Array.copy h.counts;
           sum = h.h_sum; count = h.h_count }
+  | Summary_i s ->
+      Summary_v
+        {
+          quantiles =
+            List.map
+              (fun q -> (q, float_of_int (Hdr.quantile s q)))
+              summary_export_quantiles;
+          sum = float_of_int (Hdr.sum s);
+          count = Hdr.count s;
+        }
 
 (* Families sorted by name, series sorted by label values: exposition order
    is a function of the recorded data alone, never of hash-table layout.
@@ -359,6 +403,20 @@ let to_prometheus reg =
               Buffer.add_string buf
                 (Printf.sprintf "%s_sum%s %s\n" fam.name (label_block labels) (fmt_float sum));
               Buffer.add_string buf
+                (Printf.sprintf "%s_count%s %d\n" fam.name (label_block labels) count)
+          | Summary_v { quantiles; sum; count } ->
+              (* Prometheus summary convention: one series per quantile,
+                 then _sum and _count. *)
+              List.iter
+                (fun (q, v) ->
+                  let labels = labels @ [ ("quantile", fmt_float q) ] in
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s%s %s\n" fam.name (label_block labels)
+                       (fmt_float v)))
+                quantiles;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_sum%s %s\n" fam.name (label_block labels) (fmt_float sum));
+              Buffer.add_string buf
                 (Printf.sprintf "%s_count%s %d\n" fam.name (label_block labels) count))
         fam.samples)
     (snapshot reg);
@@ -375,6 +433,11 @@ let value_to_json = function
       Json.Obj
         [ ("bounds", Json.List (Array.to_list (Array.map (fun b -> Json.Float b) bounds)));
           ("counts", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) counts)));
+          ("sum", Json.Float sum); ("count", Json.Int count) ]
+  | Summary_v { quantiles; sum; count } ->
+      Json.Obj
+        [ ("quantiles",
+           Json.Obj (List.map (fun (q, v) -> (fmt_float q, Json.Float v)) quantiles));
           ("sum", Json.Float sum); ("count", Json.Int count) ]
 
 let to_json reg =

@@ -43,6 +43,27 @@ val observe_ns : histogram -> int -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
+type summary = Hdr.t
+(** A fixed-precision HDR-backed distribution over integer nanoseconds
+    with a bounded-relative-error quantile API ({!Hdr}).  Summaries
+    replace reservoir sampling for serve-path latency: a reservoir
+    percentile depends on the sampling seed, an HDR quantile is a
+    deterministic function of the observations. *)
+
+val observe_summary : summary -> int -> unit
+(** Record one integer observation (nanoseconds).  Allocation-free. *)
+
+val summary_quantile : summary -> float -> int
+(** Bounded-relative-error quantile estimate in the observed unit
+    (nanoseconds throughout Parcae); see {!Hdr.quantile}. *)
+
+val summary_count : summary -> int
+val summary_sum : summary -> int
+
+val summary_export_quantiles : float list
+(** Quantiles emitted for every summary series in snapshots and
+    Prometheus exposition: 0.5, 0.9, 0.99, 0.999. *)
+
 val log_buckets : base:float -> lo:float -> count:int -> float array
 (** [count] upper bounds starting at [lo], each [base] times the previous.
     @raise Invalid_argument unless [base > 1], [lo > 0], [count > 0]. *)
@@ -100,6 +121,11 @@ val histogram :
 (** [buckets] defaults to {!duration_ns_buckets}; only the first creation
     of a family determines its buckets. *)
 
+val summary :
+  ?help:string -> ?labels:(string * string) list -> ?sub_bits:int -> t -> string -> summary
+(** [sub_bits] (default 7: relative error <= 1/128) is fixed by the first
+    creation of a family, like histogram buckets. *)
+
 (** {1 Snapshots} *)
 
 type value =
@@ -108,10 +134,12 @@ type value =
   | Histogram_v of { bounds : float array; counts : int array; sum : float; count : int }
       (** [counts] are per-bucket (not cumulative) and include the overflow
           bucket, so [Array.length counts = Array.length bounds + 1]. *)
+  | Summary_v of { quantiles : (float * float) list; sum : float; count : int }
+      (** [(q, value)] pairs for {!summary_export_quantiles}. *)
 
 type sample = { labels : (string * string) list; value : value }
 
-type kind = Counter_kind | Gauge_kind | Histogram_kind
+type kind = Counter_kind | Gauge_kind | Histogram_kind | Summary_kind
 
 type fam_snapshot = { name : string; help : string; skind : kind; samples : sample list }
 

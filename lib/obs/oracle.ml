@@ -185,6 +185,8 @@ let check ?(require_flush = false) ?(check_budget = false) events =
           if cores < 0 then bad "cores_online with %d cores" cores
       | Event.Trace_overflow { dropped } ->
           if dropped <= 0 then bad "trace_overflow marker with %d dropped" dropped
+      | Event.Span_overflow { dropped } ->
+          if dropped <= 0 then bad "span_overflow marker with %d dropped" dropped
       | Event.Task_spawn { task; parent; _ } ->
           if task < 0 then bad "task_spawn with task id %d" task;
           if parent < -1 then bad "task_spawn with parent id %d" parent

@@ -88,6 +88,10 @@ let finish_pause t ring rs ts =
   if rs.top_major then t.major_pauses <- t.major_pauses + 1
   else t.minor_pauses <- t.minor_pauses + 1;
   t.pause_ns <- t.pause_ns + dur;
+  (* Requests in flight during a GC pause were stalled by it: feed the
+     span accumulator so completion carves the overlap into the Gc
+     phase. *)
+  Span.note_gc dur;
   (match Timeline.get () with
   | Some tl -> (
       match t.map_lane ring with

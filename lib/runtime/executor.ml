@@ -19,6 +19,7 @@ module Metrics = Parcae_obs.Metrics
 module Ledger = Parcae_obs.Ledger
 module Timeline = Parcae_obs.Timeline
 module Hb = Parcae_obs.Hb
+module Span = Parcae_obs.Span
 
 (* Pause and reconfiguration are rare (controller-period) events, so their
    metrics go through the registry's family lookup directly instead of a
@@ -320,6 +321,10 @@ let pause (r : Region.t) =
           r.Region.pause_wait_ns <- r.Region.pause_wait_ns + (Engine.time r.Region.eng - t0);
           note_pause r ~t0;
           tl_reconfig (Engine.time r.Region.eng - t0);
+          (* Requests in flight during this pause window were stalled, not
+             waiting on work: feed the window to the span accumulator so
+             completion-time carving can re-attribute it as Reconfig. *)
+          Span.note_stall (Engine.time r.Region.eng - t0);
           let parked = r.Region.status = Region.Paused in
           if r.Region.reconfig_t0 >= 0 then
             if parked then begin
@@ -339,6 +344,7 @@ let resume ?config (r : Region.t) =
   | _ -> invalid_arg "Executor.resume: region not paused");
   let prev_config = r.Region.config in
   let tl0 = if Timeline.enabled () then Engine.time r.Region.eng else min_int in
+  let sp0 = if Span.enabled () then Engine.time r.Region.eng else min_int in
   let flush0 = if Ledger.active () then Engine.time r.Region.eng else min_int in
   (match config with
   | None -> ()
@@ -381,6 +387,7 @@ let resume ?config (r : Region.t) =
   end;
   start_workers r;
   if tl0 > min_int then tl_reconfig (Engine.time r.Region.eng - tl0);
+  if sp0 > min_int then Span.note_stall (Engine.time r.Region.eng - sp0);
   (* Restart phase: from here until the first worker completes an
      iteration (closed in [region_worker]). *)
   if Ledger.active () then r.Region.restart_mark <- Engine.time r.Region.eng

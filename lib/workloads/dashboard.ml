@@ -12,6 +12,7 @@ module Engine = Parcae_platform.Engine
 module Obs = Parcae_obs.Metrics
 module Timeline = Parcae_obs.Timeline
 module Hb = Parcae_obs.Hb
+module Span = Parcae_obs.Span
 module Pool = Parcae_core.Pool
 module Table = Parcae_util.Table
 
@@ -65,6 +66,53 @@ let sanitizer_panel tr =
   Table.add_row t [ "race occurrences"; string_of_int (Hb.race_count tr) ];
   Table.render t
 
+(* The latency panel: the span collector's tail-latency ladder, one row
+   per phase plus the end-to-end total, with SLO burn and span-ring drop
+   accounting.  Rendered only while a collector has completions, so `top`
+   without one is unchanged (DESIGN.md section 15). *)
+let latency_panel sc =
+  let t =
+    Table.create ~title:"latency (request spans)"
+      ~header:[ "phase"; "p50"; "p90"; "p99"; "p999"; "mean" ]
+  in
+  let ns v = Printf.sprintf "%.3fms" (float_of_int v /. 1e6) in
+  let nsf v = Printf.sprintf "%.3fms" (v /. 1e6) in
+  Table.add_row t
+    [
+      "total";
+      ns (Span.quantile_ns sc 0.5);
+      ns (Span.quantile_ns sc 0.9);
+      ns (Span.quantile_ns sc 0.99);
+      ns (Span.quantile_ns sc 0.999);
+      nsf (Span.mean_ns sc);
+    ];
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          Span.phase_name p;
+          ns (Span.phase_quantile_ns sc p 0.5);
+          ns (Span.phase_quantile_ns sc p 0.9);
+          ns (Span.phase_quantile_ns sc p 0.99);
+          ns (Span.phase_quantile_ns sc p 0.999);
+          nsf (Span.phase_mean_ns sc p);
+        ])
+    Span.all_phases;
+  Table.add_row t
+    [ "completed"; string_of_int (Span.completed sc); ""; ""; "";
+      Printf.sprintf "drops %d" (Span.drops sc) ];
+  (if Span.slo_target_ns sc > 0 then
+     Table.add_row t
+       [
+         "slo";
+         Printf.sprintf "target %s" (ns (Span.slo_target_ns sc));
+         Printf.sprintf "over %d/%d" (Span.slo_over sc) (Span.slo_requests sc);
+         Printf.sprintf "burn %.2f" (Span.slo_burn_rate sc);
+         (if Span.slo_breached sc then "BREACHED" else "ok");
+         "";
+       ]);
+  Table.render t
+
 (* The pool panel: freelist hit rates and the process's minor-word total,
    one row per pool (DESIGN.md section 14).  Rendered only when at least
    one pool exists, so `top` on pool-free programs is unchanged. *)
@@ -113,8 +161,12 @@ let render ?(title = "parcae top") ~now_s reg =
   and hists =
     Table.create ~title:"histograms"
       ~header:[ "histogram"; "count"; "mean"; "p50"; "p95"; "p99" ]
+  and summaries =
+    Table.create ~title:"summaries"
+      ~header:[ "summary"; "count"; "mean"; "p50"; "p90"; "p99"; "p999" ]
   in
   let n_counters = ref 0 and n_gauges = ref 0 and n_hists = ref 0 in
+  let n_summaries = ref 0 in
   List.iter
     (fun (f : Obs.fam_snapshot) ->
       List.iter
@@ -139,13 +191,32 @@ let render ?(title = "parcae top") ~now_s reg =
                   fmt_value (q 0.50);
                   fmt_value (q 0.95);
                   fmt_value (q 0.99);
+                ]
+          | Obs.Summary_v { quantiles; sum; count } ->
+              incr n_summaries;
+              let q p =
+                match List.assoc_opt p quantiles with
+                | Some v -> fmt_value v
+                | None -> "-"
+              in
+              let mean = if count = 0 then 0.0 else sum /. float_of_int count in
+              Table.add_row summaries
+                [
+                  name;
+                  string_of_int count;
+                  fmt_value mean;
+                  q 0.5;
+                  q 0.9;
+                  q 0.99;
+                  q 0.999;
                 ])
         f.Obs.samples)
     fams;
   let parts =
     List.filter_map
       (fun (n, t) -> if !n > 0 then Some (Table.render t) else None)
-      [ (n_counters, counters); (n_gauges, gauges); (n_hists, hists) ]
+      [ (n_counters, counters); (n_gauges, gauges); (n_hists, hists);
+        (n_summaries, summaries) ]
   in
   let parts =
     match Timeline.get () with
@@ -155,6 +226,11 @@ let render ?(title = "parcae top") ~now_s reg =
   in
   let parts =
     match Hb.get () with Some tr -> parts @ [ sanitizer_panel tr ] | None -> parts
+  in
+  let parts =
+    match Span.get () with
+    | Some sc when Span.completed sc > 0 -> parts @ [ latency_panel sc ]
+    | _ -> parts
   in
   let parts = match pool_panel () with Some p -> parts @ [ p ] | None -> parts in
   match parts with

@@ -37,6 +37,9 @@ type result = {
   energy_j : float;
   sim_end_s : float;
   reconfigurations : int;
+  latency_p50_ns : int;  (* HDR tail-latency ladder (Metrics.latency_quantile_ns) *)
+  latency_p99_ns : int;
+  latency_p999_ns : int;
 }
 
 let result_of app region =
@@ -45,6 +48,9 @@ let result_of app region =
     mean_response_s = Metrics.mean_response m;
     p95_response_s = Metrics.p95_response m;
     mean_exec_s = Metrics.mean_exec m;
+    latency_p50_ns = Metrics.latency_quantile_ns m 0.5;
+    latency_p99_ns = Metrics.latency_quantile_ns m 0.99;
+    latency_p999_ns = Metrics.latency_quantile_ns m 0.999;
     throughput_rps = Metrics.throughput m;
     completed = Metrics.completed m;
     submitted = Metrics.submitted m;

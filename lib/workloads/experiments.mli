@@ -12,6 +12,12 @@ type result = {
   energy_j : float;
   sim_end_s : float;
   reconfigurations : int;
+  latency_p50_ns : int;
+      (** tail-latency ladder from the workload's always-on HDR
+          distribution ({!Metrics.latency_quantile_ns}); 0 when no
+          request completed *)
+  latency_p99_ns : int;
+  latency_p999_ns : int;
 }
 
 type mech = (App.t -> Parcae_runtime.Morta.mechanism) option

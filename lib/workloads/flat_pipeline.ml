@@ -40,6 +40,12 @@ let make ?(alpha = 0.05) ?(dpmax = 24) ~name ~stages ~budget eng =
      all-integer (App.compute_scaled_fp). *)
   let alpha_fp = App.alpha_fp alpha in
   let work req cost = App.compute_scaled_fp eng ~alpha_fp req cost in
+  (* Every drain stage stamps the request's span: item -> span projection
+     plus a non-allocating clock read (Engine.time, not the ambient-now
+     effect), so per-stage compute and inter-stage waits are attributed
+     whenever a collector is installed (DESIGN.md section 15). *)
+  let span_of (r : Request.t) = r.Request.span in
+  let span_clock () = Engine.time eng in
 
   (* ---- Scheme 0: the full pipeline. ----
 
@@ -52,6 +58,7 @@ let make ?(alpha = 0.05) ?(dpmax = 24) ~name ~stages ~budget eng =
     Pipeline.drain_stage ~poll:true ~ttype:Task.Seq ~name:specs.(0).s_name ~input:queue
       ~load:(Pipeline.load queue)
       ~next:q.(0)
+      ~span_of ~span_clock
       ~forward:(Pipeline.forward_to q.(0))
       (fun _ctx req ->
         Request.note_start req ~now:(Engine.time eng);
@@ -66,6 +73,7 @@ let make ?(alpha = 0.05) ?(dpmax = 24) ~name ~stages ~budget eng =
           ~name:specs.(i).s_name ~input:q.(i - 1)
           ~load:(Pipeline.load q.(i - 1))
           ~next:q.(i)
+          ~span_of ~span_clock
           ~forward:(Pipeline.forward_to q.(i))
           (fun ctx req ->
             ctx.Task.hook_begin ();
@@ -76,6 +84,7 @@ let make ?(alpha = 0.05) ?(dpmax = 24) ~name ~stages ~budget eng =
   let tail =
     Pipeline.drain_stage ~ttype:Task.Seq ~name:specs.(n - 1).s_name ~input:q.(n - 2)
       ~load:(Pipeline.load q.(n - 2))
+      ~span_of ~span_clock
       ~forward:(fun _ -> ())
       (fun _ctx req ->
         work req specs.(n - 1).s_cost;
@@ -99,6 +108,7 @@ let make ?(alpha = 0.05) ?(dpmax = 24) ~name ~stages ~budget eng =
       ~input:queue
       ~load:(Pipeline.load queue)
       ~next:fq0
+      ~span_of ~span_clock
       ~forward:(Pipeline.forward_to fq0)
       (fun _ctx req ->
         Request.note_start req ~now:(Engine.time eng);
@@ -108,6 +118,7 @@ let make ?(alpha = 0.05) ?(dpmax = 24) ~name ~stages ~budget eng =
   let fmid =
     Pipeline.drain_stage ~ttype:Task.Par ~name:"combined" ~input:fq0
       ~load:(Pipeline.load fq0) ~next:fq1
+      ~span_of ~span_clock
       ~forward:(Pipeline.forward_to fq1)
       (fun ctx req ->
         ctx.Task.hook_begin ();
@@ -118,6 +129,7 @@ let make ?(alpha = 0.05) ?(dpmax = 24) ~name ~stages ~budget eng =
   let ftail =
     Pipeline.drain_stage ~ttype:Task.Seq ~name:(specs.(n - 1).s_name ^ "-f") ~input:fq1
       ~load:(Pipeline.load fq1)
+      ~span_of ~span_clock
       ~forward:(fun _ -> ())
       (fun _ctx req ->
         work req specs.(n - 1).s_cost;

@@ -1,0 +1,360 @@
+(* The tail-latency observatory behind `parcae_demo latency`.
+
+   Pure analysis over an installed span collector (plus, optionally, a
+   flight recorder and a scheduler timeline): quantile ladder, a
+   per-quantile phase breakdown, the K slowest requests as exemplars
+   with their span timelines and the nearest reconfiguration/GC event,
+   and findings codes L100-L107.  The demo binary renders the report and
+   turns `slo_breached` into the exit code; everything here is
+   deterministic given the collector's contents (DESIGN.md section 15).
+
+   Attribution honesty: the per-quantile breakdown does not average —
+   it picks the retained request whose total is nearest the HDR
+   quantile estimate and shows *that request's* phases, which sum to its
+   total exactly.  Averaged phase shares at p99 routinely mislead
+   (queue spikes and GC pauses hit different requests); a concrete
+   exemplar cannot. *)
+
+module Span = Parcae_obs.Span
+module Flight = Parcae_obs.Flight
+module Timeline = Parcae_obs.Timeline
+module Json = Parcae_obs.Json
+
+type phase_cut = (Span.phase * int) list
+
+type qbreak = {
+  qb_q : float;  (* the quantile, e.g. 0.99 *)
+  qb_est_ns : int;  (* HDR estimate over every completion *)
+  qb_total_ns : int;  (* the exemplar request's exact total *)
+  qb_phases : phase_cut;  (* the exemplar's phases; sum = qb_total_ns *)
+}
+
+type exemplar = {
+  ex_id : int;
+  ex_end_ns : int;
+  ex_total_ns : int;
+  ex_phases : phase_cut;
+  ex_stages : (string * int) list;  (* per-stage compute timeline *)
+  ex_nearest : string option;  (* nearest reconfig/GC event, human-readable *)
+}
+
+type finding = { f_code : string; f_msg : string }
+
+type report = {
+  r_completed : int;
+  r_drops : int;
+  r_double_finishes : int;
+  r_mean_ns : float;
+  r_max_ns : int;
+  r_quantiles : qbreak list;
+  r_exemplars : exemplar list;
+  r_findings : finding list;
+  r_slo_target_ns : int;
+  r_slo_budget : float;
+  r_slo_requests : int;
+  r_slo_over : int;
+  r_slo_burn : float;
+  r_slo_breached : bool;
+}
+
+let analysis_quantiles = [ 0.5; 0.9; 0.99; 0.999 ]
+
+let phases_of (rv : Span.rec_view) : phase_cut =
+  [
+    (Span.Queue, rv.Span.rv_queue);
+    (Span.Chan, rv.Span.rv_chan);
+    (Span.Compute, rv.Span.rv_compute);
+    (Span.Reconfig, rv.Span.rv_reconfig);
+    (Span.Gc, rv.Span.rv_gc);
+  ]
+
+let phase_sum cut = List.fold_left (fun acc (_, v) -> acc + v) 0 cut
+
+(* The retained request whose total is nearest [target_ns]. *)
+let nearest_record records target_ns =
+  List.fold_left
+    (fun best (rv : Span.rec_view) ->
+      match best with
+      | None -> Some rv
+      | Some b ->
+          if abs (rv.Span.rv_total - target_ns) < abs (b.Span.rv_total - target_ns)
+          then Some rv
+          else Some b)
+    None records
+
+(* ---- Nearest reconfig/GC event correlation. ----
+
+   Candidate moments come from the flight recorder (reconfiguration
+   overhead closings and controller decisions) and the timeline's GC
+   spans; the exemplar is annotated with whichever landed closest to its
+   completion stamp. *)
+
+let flight_moments entries =
+  List.filter_map
+    (function
+      | Flight.Overhead o when o.Flight.o_phase = "total" ->
+          Some
+            ( o.Flight.o_t,
+              Printf.sprintf "reconfig of %s (%.3fms total)" o.Flight.o_region
+                (float_of_int o.Flight.o_ns /. 1e6) )
+      | Flight.Decision d ->
+          Some
+            ( d.Flight.t,
+              Printf.sprintf "decision %s by %s (dop %d -> %d)" d.Flight.reason
+                d.Flight.actor d.Flight.candidate d.Flight.chosen )
+      | Flight.Overhead _ -> None)
+    entries
+
+let timeline_gc_moments tl =
+  let out = ref [] in
+  for lane = 0 to Timeline.lanes tl - 1 do
+    List.iter
+      (fun (s : Timeline.span) ->
+        if s.Timeline.s_state = Timeline.Gc then
+          out :=
+            ( s.Timeline.s_t1,
+              Printf.sprintf "gc pause on lane %d (%.3fms)" lane
+                (float_of_int (s.Timeline.s_t1 - s.Timeline.s_t0) /. 1e6) )
+            :: !out)
+      (Timeline.spans tl ~lane)
+  done;
+  !out
+
+let nearest_moment moments end_ns =
+  List.fold_left
+    (fun best (t, what) ->
+      match best with
+      | Some (bt, _) when abs (bt - end_ns) <= abs (t - end_ns) -> best
+      | _ -> Some (t, what))
+    None moments
+  |> Option.map (fun (t, what) ->
+         let d = end_ns - t in
+         if d >= 0 then Printf.sprintf "%s %.3fms before completion" what (float_of_int d /. 1e6)
+         else Printf.sprintf "%s %.3fms after completion" what (float_of_int (-d) /. 1e6))
+
+(* ---- Findings. ---- *)
+
+let pct part total = if total <= 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int total
+
+let findings ~collector ~(p99 : qbreak option) records =
+  let fs = ref [] in
+  let add code fmt = Printf.ksprintf (fun msg -> fs := { f_code = code; f_msg = msg } :: !fs) fmt in
+  if Span.slo_breached collector then
+    add "L100" "SLO breached: %d/%d requests over the %.3fms target (burn rate %.2fx budget)"
+      (Span.slo_over collector) (Span.slo_requests collector)
+      (float_of_int (Span.slo_target_ns collector) /. 1e6)
+      (Span.slo_burn_rate collector);
+  (match p99 with
+  | Some qb ->
+      let part p = try List.assoc p qb.qb_phases with Not_found -> 0 in
+      let share p = pct (part p) qb.qb_total_ns in
+      if share Span.Queue > 50.0 then
+        add "L101" "p99 is queue-dominated: %.1f%% of the exemplar's %.3fms was admission wait"
+          (share Span.Queue)
+          (float_of_int qb.qb_total_ns /. 1e6);
+      if share Span.Reconfig > 25.0 then
+        add "L102" "p99 is reconfiguration-dominated: %.1f%% of the exemplar was pause/resume stall"
+          (share Span.Reconfig);
+      if share Span.Chan > 50.0 then
+        add "L103" "p99 is channel-wait-dominated: %.1f%% of the exemplar was inter-stage wait"
+          (share Span.Chan);
+      if share Span.Gc > 25.0 then
+        add "L104" "p99 is GC-dominated: %.1f%% of the exemplar overlapped collector pauses"
+          (share Span.Gc)
+  | None -> ());
+  if Span.drops collector > 0 then
+    add "L105" "span ring overflowed: %d exemplars dropped (quantiles stay exact)"
+      (Span.drops collector);
+  let p50 = Span.quantile_ns collector 0.5 and p999 = Span.quantile_ns collector 0.999 in
+  if p50 > 0 && p999 > 20 * p50 then
+    add "L106" "heavy tail: p999 (%.3fms) is %.0fx p50 (%.3fms)"
+      (float_of_int p999 /. 1e6)
+      (float_of_int p999 /. float_of_int p50)
+      (float_of_int p50 /. 1e6);
+  (* The integer accounting guarantees exact phase sums; this check is
+     the analyzer auditing that guarantee over every retained record. *)
+  let bad_sum =
+    List.exists
+      (fun (rv : Span.rec_view) -> phase_sum (phases_of rv) <> rv.Span.rv_total)
+      records
+  in
+  if bad_sum then
+    add "L107" "phase-sum invariant violated in the span ring (accounting bug — please report)";
+  List.rev !fs
+
+(* ---- The analysis. ---- *)
+
+let analyze ?(flight = []) ?timeline ?(top = 5) collector =
+  let records = Span.records collector in
+  let moments =
+    flight_moments flight
+    @ (match timeline with Some tl -> timeline_gc_moments tl | None -> [])
+  in
+  let quantiles =
+    List.filter_map
+      (fun q ->
+        let est = Span.quantile_ns collector q in
+        match nearest_record records est with
+        | None -> None
+        | Some rv ->
+            Some
+              {
+                qb_q = q;
+                qb_est_ns = est;
+                qb_total_ns = rv.Span.rv_total;
+                qb_phases = phases_of rv;
+              })
+      analysis_quantiles
+  in
+  let slowest =
+    List.sort (fun (a : Span.rec_view) b -> compare b.Span.rv_total a.Span.rv_total) records
+  in
+  let rec take n = function x :: tl when n > 0 -> x :: take (n - 1) tl | _ -> [] in
+  let exemplars =
+    List.map
+      (fun (rv : Span.rec_view) ->
+        {
+          ex_id = rv.Span.rv_id;
+          ex_end_ns = rv.Span.rv_end_ns;
+          ex_total_ns = rv.Span.rv_total;
+          ex_phases = phases_of rv;
+          ex_stages =
+            Array.to_list
+              (Array.mapi
+                 (fun i ns -> (Span.stage_name collector i, ns))
+                 rv.Span.rv_stage_ns);
+          ex_nearest = nearest_moment moments rv.Span.rv_end_ns;
+        })
+      (take top slowest)
+  in
+  let p99 = List.find_opt (fun qb -> qb.qb_q = 0.99) quantiles in
+  {
+    r_completed = Span.completed collector;
+    r_drops = Span.drops collector;
+    r_double_finishes = Span.double_finishes collector;
+    r_mean_ns = Span.mean_ns collector;
+    r_max_ns = Span.max_ns collector;
+    r_quantiles = quantiles;
+    r_exemplars = exemplars;
+    r_findings = findings ~collector ~p99 records;
+    r_slo_target_ns = Span.slo_target_ns collector;
+    r_slo_budget = Span.slo_budget collector;
+    r_slo_requests = Span.slo_requests collector;
+    r_slo_over = Span.slo_over collector;
+    r_slo_burn = Span.slo_burn_rate collector;
+    r_slo_breached = Span.slo_breached collector;
+  }
+
+(* ---- Rendering. ---- *)
+
+let ms ns = Printf.sprintf "%.3fms" (float_of_int ns /. 1e6)
+
+let qlabel q =
+  let s = Printf.sprintf "%g" (q *. 100.0) in
+  "p" ^ String.concat "" (String.split_on_char '.' s)
+
+let render r =
+  let buf = Buffer.create 2048 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "latency observatory: %d requests (%d spans dropped, %d double finishes)\n"
+    r.r_completed r.r_drops r.r_double_finishes;
+  pr "  mean %.3fms  max %s\n\n" (r.r_mean_ns /. 1e6) (ms r.r_max_ns);
+  pr "%-6s %10s %10s | %10s %10s %10s %10s %10s\n" "q" "estimate" "exemplar"
+    "queue" "chan" "compute" "reconfig" "gc";
+  List.iter
+    (fun qb ->
+      let part p = try List.assoc p qb.qb_phases with Not_found -> 0 in
+      pr "%-6s %10s %10s | %10s %10s %10s %10s %10s\n" (qlabel qb.qb_q)
+        (ms qb.qb_est_ns) (ms qb.qb_total_ns) (ms (part Span.Queue))
+        (ms (part Span.Chan)) (ms (part Span.Compute)) (ms (part Span.Reconfig))
+        (ms (part Span.Gc)))
+    r.r_quantiles;
+  if r.r_slo_target_ns > 0 then
+    pr "\nSLO: target %s budget %.4f  over %d/%d  burn %.2f  %s\n"
+      (ms r.r_slo_target_ns) r.r_slo_budget r.r_slo_over r.r_slo_requests r.r_slo_burn
+      (if r.r_slo_breached then "BREACHED" else "ok");
+  if r.r_exemplars <> [] then begin
+    pr "\nslowest requests:\n";
+    List.iter
+      (fun ex ->
+        pr "  request %d: %s (finished t=%.3fs)\n" ex.ex_id (ms ex.ex_total_ns)
+          (float_of_int ex.ex_end_ns /. 1e9);
+        pr "    phases: %s\n"
+          (String.concat "  "
+             (List.map
+                (fun (p, v) -> Printf.sprintf "%s=%s" (Span.phase_name p) (ms v))
+                ex.ex_phases));
+        if ex.ex_stages <> [] then
+          pr "    stages: %s\n"
+            (String.concat "  "
+               (List.map (fun (n, v) -> Printf.sprintf "%s=%s" n (ms v)) ex.ex_stages));
+        match ex.ex_nearest with
+        | Some what -> pr "    nearest event: %s\n" what
+        | None -> ())
+      r.r_exemplars
+  end;
+  if r.r_findings <> [] then begin
+    pr "\nfindings:\n";
+    List.iter (fun f -> pr "  [%s] %s\n" f.f_code f.f_msg) r.r_findings
+  end
+  else pr "\nfindings: none\n";
+  Buffer.contents buf
+
+let to_json r =
+  let phases cut =
+    Json.Obj (List.map (fun (p, v) -> (Span.phase_name p, Json.Int v)) cut)
+  in
+  Json.Obj
+    [
+      ("completed", Json.Int r.r_completed);
+      ("dropped", Json.Int r.r_drops);
+      ("double_finishes", Json.Int r.r_double_finishes);
+      ("mean_ns", Json.Float r.r_mean_ns);
+      ("max_ns", Json.Int r.r_max_ns);
+      ( "quantiles",
+        Json.List
+          (List.map
+             (fun qb ->
+               Json.Obj
+                 [
+                   ("q", Json.Float qb.qb_q);
+                   ("estimate_ns", Json.Int qb.qb_est_ns);
+                   ("exemplar_total_ns", Json.Int qb.qb_total_ns);
+                   ("phases_ns", phases qb.qb_phases);
+                 ])
+             r.r_quantiles) );
+      ( "exemplars",
+        Json.List
+          (List.map
+             (fun ex ->
+               Json.Obj
+                 ([
+                    ("id", Json.Int ex.ex_id);
+                    ("end_ns", Json.Int ex.ex_end_ns);
+                    ("total_ns", Json.Int ex.ex_total_ns);
+                    ("phases_ns", phases ex.ex_phases);
+                    ( "stages_ns",
+                      Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) ex.ex_stages) );
+                  ]
+                 @
+                 match ex.ex_nearest with
+                 | Some what -> [ ("nearest_event", Json.Str what) ]
+                 | None -> []))
+             r.r_exemplars) );
+      ( "findings",
+        Json.List
+          (List.map
+             (fun f ->
+               Json.Obj [ ("code", Json.Str f.f_code); ("message", Json.Str f.f_msg) ])
+             r.r_findings) );
+      ( "slo",
+        Json.Obj
+          [
+            ("target_ns", Json.Int r.r_slo_target_ns);
+            ("budget", Json.Float r.r_slo_budget);
+            ("requests", Json.Int r.r_slo_requests);
+            ("over_target", Json.Int r.r_slo_over);
+            ("burn_rate", Json.Float r.r_slo_burn);
+            ("breached", Json.Bool r.r_slo_breached);
+          ] );
+    ]

@@ -12,6 +12,8 @@ module Engine = Parcae_platform.Engine
 module Series = Parcae_util.Series
 module Stats = Parcae_util.Stats
 module Obs = Parcae_obs.Metrics
+module Hdr = Parcae_obs.Hdr
+module Span = Parcae_obs.Span
 
 type req_metrics = {
   rm_submitted : Obs.counter;
@@ -29,6 +31,13 @@ type t = {
   mutable first_completion_ns : int;
   mutable last_completion_ns : int;
   throughput_series : Series.t;  (* optional live samples *)
+  lat_hdr : Hdr.t;
+      (* always-on end-to-end latency distribution, integer ns: latency
+         quantiles on the serve path come from here (bounded relative
+         error, deterministic), not from the response reservoir, whose
+         percentile estimate depends on the sampling seed once it
+         overflows.  Reservoirs stay for means and workload-internal
+         stats (DESIGN.md section 15). *)
   mutable mx : (Obs.t * req_metrics) option;
 }
 
@@ -44,6 +53,7 @@ let create ?(reservoir_capacity = default_reservoir_capacity) eng =
     first_completion_ns = -1;
     last_completion_ns = -1;
     throughput_series = Series.create "completions";
+    lat_hdr = Hdr.create ();
     mx = None;
   }
 
@@ -57,7 +67,8 @@ let reset t =
   t.completed <- 0;
   t.submitted <- 0;
   t.first_completion_ns <- -1;
-  t.last_completion_ns <- -1
+  t.last_completion_ns <- -1;
+  Hdr.clear t.lat_hdr
 
 let handles t =
   let reg = Obs.current () in
@@ -93,7 +104,13 @@ let note_submit t =
 (* Record the completion of [req] at the current virtual time. *)
 let note_complete t (req : Request.t) =
   let now = Engine.time t.eng in
-  let resp = Engine.seconds_of_ns (now - req.Request.arrival_ns) in
+  (* Close the request's span first so the completion stamp matches the
+     latency observed below; publishes to the installed span collector
+     (no-op without one). *)
+  if Span.enabled () then Span.finish req.Request.span ~now;
+  let lat_ns = now - req.Request.arrival_ns in
+  Hdr.observe t.lat_hdr lat_ns;
+  let resp = Engine.seconds_of_ns lat_ns in
   Stats.Reservoir.observe t.responses resp;
   let started = req.Request.start_ns >= 0 in
   if started then
@@ -120,9 +137,17 @@ let mean_exec t =
 let mean_response t =
   if Stats.Reservoir.count t.responses = 0 then nan else Stats.Reservoir.mean t.responses
 
-let p95_response t =
-  if Stats.Reservoir.sample_count t.responses = 0 then nan
-  else Stats.Reservoir.percentile 95.0 t.responses
+(* Latency quantiles read the HDR distribution: deterministic and exact
+   to the configured relative error over every completion, where the
+   reservoir percentile becomes a seed-dependent estimate after
+   overflow. *)
+let latency_quantile_ns t q = Hdr.quantile t.lat_hdr q
+
+let response_quantile t q =
+  if Hdr.count t.lat_hdr = 0 then nan
+  else Engine.seconds_of_ns (Hdr.quantile t.lat_hdr q)
+
+let p95_response t = response_quantile t 0.95
 
 (* Sustained completion throughput in requests/second, measured from first
    to last completion (robust to warm-up). *)

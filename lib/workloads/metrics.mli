@@ -40,7 +40,20 @@ val exec_times : t -> float array
     bounded like {!responses}. *)
 
 val mean_response : t -> float
+
 val p95_response : t -> float
+(** [response_quantile t 0.95]. *)
+
+val response_quantile : t -> float -> float
+(** Latency quantile in seconds from the always-on HDR distribution —
+    deterministic and within the configured relative error over {e every}
+    completion, unlike the reservoir percentile, which becomes a
+    seed-dependent estimate once the reservoir overflows.  [nan] before
+    the first completion. *)
+
+val latency_quantile_ns : t -> float -> int
+(** The same quantile in integer nanoseconds (0 before the first
+    completion) — what the bench records as [latency_p50_ns] etc. *)
 
 val mean_exec : t -> float
 (** Mean per-request execution time (T_exec of Equation 2.1); exact over

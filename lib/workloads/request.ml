@@ -12,6 +12,7 @@
    pool. *)
 
 module Pool = Parcae_core.Pool
+module Span = Parcae_obs.Span
 
 type t = {
   mutable id : int;
@@ -19,6 +20,7 @@ type t = {
   mutable scale : float;  (* per-request work multiplier, ~1.0 *)
   mutable scale_fp : int;  (* [scale] in 16.16 fixed point, kept in sync *)
   mutable start_ns : int;  (* time processing began; -1 until dequeued *)
+  mutable span : Span.span;  (* per-request latency span; [Span.null] until traced *)
 }
 
 (* [scale] mirrored into 16.16 fixed point once at construction, so the
@@ -27,9 +29,15 @@ type t = {
 let fp_of_scale scale = int_of_float ((scale *. 65536.0) +. 0.5)
 
 let create ~id ~arrival_ns ~scale =
-  { id; arrival_ns; scale; scale_fp = fp_of_scale scale; start_ns = -1 }
+  let span = Span.make_span () in
+  Span.reset span ~id ~arrival_ns;
+  { id; arrival_ns; scale; scale_fp = fp_of_scale scale; start_ns = -1; span }
 
-let fresh () = create ~id:(-1) ~arrival_ns:0 ~scale:1.0
+(* Pool constructor: grafts the shared [Span.null] so an untraced serve
+   path's pool misses stay span-free; [alloc] upgrades to a private span
+   the first time the record is handed out with a collector installed. *)
+let fresh () =
+  { id = -1; arrival_ns = 0; scale = 1.0; scale_fp = 65536; start_ns = -1; span = Span.null }
 
 (* One process-wide pool: requests are plain memory, so sharing across
    engines/apps is safe and keeps the pool warm between runs. *)
@@ -43,6 +51,16 @@ let alloc ~id ~arrival_ns ~scale =
   r.scale <- scale;
   r.scale_fp <- fp_of_scale scale;
   r.start_ns <- -1;
+  (* Re-arm the span only under a collector: the hooks all no-op while
+     tracing is disabled, so the shared null span must never be mutated
+     and stale tokens from a previous traced life cannot fire.  The
+     upgrade from [Span.null] is the one-time cost of enabling tracing
+     on a warm pool (and the ordinary record-construction cost of a
+     traced pool miss). *)
+  if Span.enabled () then begin
+    if r.span == Span.null then r.span <- Span.make_span ();
+    Span.reset r.span ~id ~arrival_ns
+  end;
   r
 
 (* Return a completed request to the pool.  The caller must hold the only

@@ -16,6 +16,12 @@ type t = {
           path scales stage costs with int arithmetic because reading a
           float field of a mixed record boxes per access *)
   mutable start_ns : int;  (** time processing began; -1 until dequeued *)
+  mutable span : Parcae_obs.Span.span;
+      (** per-request latency span, re-armed on every traced {!alloc};
+          {!Parcae_obs.Span.null} until the record is first handed out
+          with a collector installed, so untraced serving never pays for
+          span storage.  Stage stamping and completion go through
+          {!Parcae_obs.Span} *)
 }
 
 val create : id:int -> arrival_ns:int -> scale:float -> t

@@ -174,6 +174,8 @@ let make ?(alpha = 0.05) ~name ~kind ~dpmax ~budget eng =
   let master =
     Pipeline.drain_stage ~poll:true ~max_batch:4 ~name:(name ^ "-outer") ~input:queue
       ~load:(Pipeline.load queue)
+      ~span_of:(fun (r : Request.t) -> r.Request.span)
+      ~span_clock:(fun () -> Engine.time eng)
       ~forward:(fun _ -> ())
       ~nested:
         [

@@ -25,4 +25,5 @@ let () =
       ("pool", Test_pool.suite);
       ("timeline", Test_timeline.suite);
       ("sanitize", Test_sanitize.suite);
+      ("span", Test_span.suite);
     ]
