@@ -118,6 +118,11 @@ let serve_connection routes fd =
   try write_response fd resp with Unix.Unix_error _ -> ()
 
 let start ?(host = "127.0.0.1") ~port ~routes () =
+  (* A peer that disconnects mid-response (aborted curl, scrape timeout)
+     must surface as EPIPE — swallowed by the Unix_error handlers below —
+     not as a process-killing SIGPIPE with default disposition. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let addr =
     try Unix.inet_addr_of_string host
     with _ -> invalid_arg ("Httpd.start: bad host " ^ host)
@@ -143,6 +148,16 @@ let start ?(host = "127.0.0.1") ~port ~routes () =
         while !continue do
           match Unix.accept sock with
           | conn, _ ->
+              (* Connections are served sequentially on this one thread,
+                 so a client that connects and then trickles (or sends
+                 nothing) must not wedge /metrics for everyone else:
+                 reads and writes time out, surfacing as a Unix_error
+                 that read_head/write_response already treat as a dead
+                 connection. *)
+              (try
+                 Unix.setsockopt_float conn Unix.SO_RCVTIMEO 5.0;
+                 Unix.setsockopt_float conn Unix.SO_SNDTIMEO 5.0
+               with Unix.Unix_error _ -> ());
               Fun.protect
                 ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
                 (fun () -> try serve_connection routes conn with _ -> ())

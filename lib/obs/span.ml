@@ -42,7 +42,10 @@ type span = {
   mutable s_compute_ns : int;
   mutable s_stages : int;
   mutable s_open : bool;
-  mutable s_gen : int;  (* generation: bumped by reset, checked by exit *)
+  s_gen : int Atomic.t;
+      (* generation seqlock: even when idle, odd while [reset] (or a
+         racing [exit]) holds the span; bumped by two on every reset so
+         a stale token from the record's previous life can never match *)
   mutable s_stall_mark : int;  (* stall_total at admission *)
   mutable s_gc_mark : int;  (* gc_total at admission *)
   s_stage_ns : int array;  (* per-stage compute, capacity max_stages *)
@@ -59,7 +62,7 @@ let make_span () =
     s_compute_ns = 0;
     s_stages = 0;
     s_open = false;
-    s_gen = 0;
+    s_gen = Atomic.make 0;
     s_stall_mark = 0;
     s_gc_mark = 0;
     s_stage_ns = Array.make max_stages 0;
@@ -128,8 +131,9 @@ type t = {
   mutable slo_over : int;
   mutable stage_names : string array;
   mu : Mutex.t;
-      (* guards completion: ring push, HDR observes, SLO counters.  Two
-         two_level masters can finish requests concurrently on native. *)
+      (* guards completion: ring push, HDR observes, SLO counters, and
+         the registry summary observes.  Two two_level masters can
+         finish requests concurrently on native. *)
 }
 
 let create ?(capacity = 4096) ?(sub_bits = 7) () =
@@ -233,47 +237,81 @@ let note_gc ns = if ns > 0 && enabled () then ignore (Atomic.fetch_and_add gc_ac
 
 (* ---- Span lifecycle. ---- *)
 
-(* Reset on pool alloc: ~a dozen int stores and two atomic reads, no
+(* Reset on pool alloc: ~a dozen int stores and a few atomic ops, no
    allocation — cheap enough to run unconditionally so a collector
-   installed mid-run sees well-formed spans. *)
+   installed mid-run sees well-formed spans.  The shared [null] span is
+   inert here and in every hook below: records minted while tracing was
+   disabled stay untouched even after a mid-run [set].
+
+   The generation is held odd (seqlock-style) for the duration of the
+   field writes, so a stale [exit] racing in from the record's previous
+   life fails its compare-and-set instead of observing a matching token
+   next to half-reset fields and corrupting the fresh span.  The only
+   possible contender is one such straggler, so the spin is bounded. *)
 let reset sp ~id ~arrival_ns =
-  sp.s_gen <- sp.s_gen + 1;
-  sp.s_id <- id;
-  sp.s_arrival_ns <- arrival_ns;
-  sp.s_last_ns <- arrival_ns;
-  sp.s_seg_start <- -1;
-  sp.s_queue_ns <- 0;
-  sp.s_chan_ns <- 0;
-  sp.s_compute_ns <- 0;
-  sp.s_stages <- 0;
-  sp.s_open <- true;
-  sp.s_stall_mark <- Atomic.get stall_acc;
-  sp.s_gc_mark <- Atomic.get gc_acc
+  if sp != null then begin
+    let rec acquire () =
+      let g = Atomic.get sp.s_gen in
+      if g land 1 = 1 || not (Atomic.compare_and_set sp.s_gen g (g + 1))
+      then begin
+        Domain.cpu_relax ();
+        acquire ()
+      end
+      else g
+    in
+    let g = acquire () in
+    sp.s_id <- id;
+    sp.s_arrival_ns <- arrival_ns;
+    sp.s_last_ns <- arrival_ns;
+    sp.s_seg_start <- -1;
+    sp.s_queue_ns <- 0;
+    sp.s_chan_ns <- 0;
+    sp.s_compute_ns <- 0;
+    sp.s_stages <- 0;
+    sp.s_open <- true;
+    sp.s_stall_mark <- Atomic.get stall_acc;
+    sp.s_gc_mark <- Atomic.get gc_acc;
+    Atomic.set sp.s_gen (g + 2)
+  end
 
 (* Stage entry: the gap since the last observation point is wait —
    admission queue before the first stage, channel wait after.  Returns
-   the generation token the matching [exit] must present. *)
+   the generation token the matching [exit] must present; the [null]
+   span is never mutated and yields a token no exit will act on. *)
 let enter sp ~now =
-  let gap = now - sp.s_last_ns in
-  let gap = if gap < 0 then 0 else gap in
-  if sp.s_stages = 0 then sp.s_queue_ns <- sp.s_queue_ns + gap
-  else sp.s_chan_ns <- sp.s_chan_ns + gap;
-  sp.s_seg_start <- now;
-  sp.s_gen
+  if sp == null then 0
+  else begin
+    let gap = now - sp.s_last_ns in
+    let gap = if gap < 0 then 0 else gap in
+    if sp.s_stages = 0 then sp.s_queue_ns <- sp.s_queue_ns + gap
+    else sp.s_chan_ns <- sp.s_chan_ns + gap;
+    sp.s_seg_start <- now;
+    Atomic.get sp.s_gen
+  end
 
 (* Stage exit: close the open compute segment.  No-ops when the token is
    stale (the pooled record was freed and re-allocated between the body
    and this call), when the span is already finished, or when no segment
-   is open — exactly the races pooled reuse makes possible. *)
+   is open — exactly the races pooled reuse makes possible.  The CAS to
+   an odd value takes the seqlock, so a concurrent [reset] on another
+   domain either makes this exit fail (generation already bumped, or
+   held odd mid-reset) or waits until these writes are done — a stale
+   exit can never interleave with the fresh generation's fields. *)
 let exit sp ~token ~now =
-  if sp.s_gen = token && sp.s_open && sp.s_seg_start >= 0 then begin
-    let d = now - sp.s_seg_start in
-    let d = if d < 0 then 0 else d in
-    sp.s_compute_ns <- sp.s_compute_ns + d;
-    if sp.s_stages < max_stages then sp.s_stage_ns.(sp.s_stages) <- d;
-    sp.s_stages <- sp.s_stages + 1;
-    sp.s_seg_start <- -1;
-    sp.s_last_ns <- now
+  if
+    sp != null && token land 1 = 0
+    && Atomic.compare_and_set sp.s_gen token (token + 1)
+  then begin
+    if sp.s_open && sp.s_seg_start >= 0 then begin
+      let d = now - sp.s_seg_start in
+      let d = if d < 0 then 0 else d in
+      sp.s_compute_ns <- sp.s_compute_ns + d;
+      if sp.s_stages < max_stages then sp.s_stage_ns.(sp.s_stages) <- d;
+      sp.s_stages <- sp.s_stages + 1;
+      sp.s_seg_start <- -1;
+      sp.s_last_ns <- now
+    end;
+    Atomic.set sp.s_gen token
   end
 
 (* Clamped zero-sum transfer: move up to [amount] out of [cell], return
@@ -319,7 +357,12 @@ let push t ~end_ns sp ~queue ~chan ~compute ~reconfig ~gc ~total =
     t.slo_total <- t.slo_total + 1;
     if total > t.slo_target_ns then t.slo_over <- t.slo_over + 1
   end;
-  Mutex.unlock t.mu;
+  (* The registry observes stay inside the critical section: summary
+     observation is an unsynchronized read-modify-write, and two
+     two_level masters can finish requests concurrently on native —
+     outside the lock, observations would be lost and the exported
+     series would drift from the collector's own HDRs.  All calls are
+     allocation-free and cheap. *)
   if Metrics.enabled () then begin
     let h = handles () in
     Metrics.observe_summary h.m_latency total;
@@ -332,7 +375,8 @@ let push t ~end_ns sp ~queue ~chan ~compute ~reconfig ~gc ~total =
       Metrics.inc h.m_slo_total;
       if total > t.slo_target_ns then Metrics.inc h.m_slo_over
     end
-  end
+  end;
+  Mutex.unlock t.mu
 
 (* Completion: close any open segment, attribute the trailing gap, carve
    stall/GC overlap out of the waits, and publish.  Exactly-once under
@@ -341,6 +385,7 @@ let push t ~end_ns sp ~queue ~chan ~compute ~reconfig ~gc ~total =
 let finish sp ~now =
   match Atomic.get cell with
   | None -> ()
+  | Some _ when sp == null -> ()
   | Some t ->
       if not sp.s_open then begin
         Mutex.lock t.mu;

@@ -27,7 +27,7 @@ type span = {
   mutable s_compute_ns : int;
   mutable s_stages : int;
   mutable s_open : bool;
-  mutable s_gen : int;
+  s_gen : int Atomic.t;
   mutable s_stall_mark : int;
   mutable s_gc_mark : int;
   s_stage_ns : int array;
@@ -38,16 +38,20 @@ val make_span : unit -> span
 
 val null : span
 (** Shared placeholder for records built while tracing is disabled —
-    never mutated (every hook no-ops without a collector), so an
-    untraced pool miss does not pay {!make_span}'s allocation.  Compare
-    physically ([==]) and upgrade to a private span on the first
-    traced alloc. *)
+    never mutated ({!reset}, {!enter}, {!exit} and {!finish} are all
+    physically inert on it, even after a collector is installed
+    mid-run), so an untraced pool miss does not pay {!make_span}'s
+    allocation.  Compare physically ([==]) and upgrade to a private
+    span on the first traced alloc. *)
 
 val reset : span -> id:int -> arrival_ns:int -> unit
-(** Re-arm the span for a new request: bumps the generation (invalidating
-    any in-flight {!enter} token from the record's previous life), zeroes
-    the phases, and marks the global stall/GC accumulators.  A dozen int
-    stores and two atomic reads; never allocates. *)
+(** Re-arm the span for a new request: bumps the generation by two
+    (invalidating any in-flight {!enter} token from the record's
+    previous life), zeroes the phases, and marks the global stall/GC
+    accumulators.  The generation is held odd for the duration of the
+    field writes, so a stale {!exit} racing in from another domain can
+    never interleave with the fresh fields.  A dozen int stores and a
+    few atomic ops; never allocates. *)
 
 val enter : span -> now:int -> int
 (** Stage entry: attribute the gap since the last observation point to
@@ -56,8 +60,10 @@ val enter : span -> now:int -> int
 
 val exit : span -> token:int -> now:int -> unit
 (** Stage exit: close the open compute segment.  No-ops on a stale token
-    (pooled record re-allocated in between), a finished span, or no open
-    segment — the races pooled reuse makes possible. *)
+    (pooled record re-allocated in between — detected by a generation
+    compare-and-set that also excludes a concurrent {!reset}), a
+    finished span, or no open segment — the races pooled reuse makes
+    possible. *)
 
 val finish : span -> now:int -> unit
 (** Request completion: close any open segment, carve stall/GC overlap

@@ -241,6 +241,27 @@ let test_exactly_once_reuse () =
        + r2.Span.rv_gc)
   | rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs)
 
+(* ---- the shared null span is inert, even with a collector installed ----
+
+   A record minted while tracing was disabled still carries [Span.null]
+   after a mid-run enable; every hook must skip it physically — no
+   mutation, no completion, no double-finish pollution. *)
+
+let test_null_span_inert () =
+  let sc = Span.create () in
+  Span.with_collector sc (fun () ->
+      let sp = Span.null in
+      Span.reset sp ~id:9 ~arrival_ns:0;
+      let tok = Span.enter sp ~now:10 in
+      Span.exit sp ~token:tok ~now:25;
+      Span.finish sp ~now:30;
+      check_int "null finish publishes nothing" 0 (Span.completed sc);
+      check_int "null finish is not a double finish" 0 (Span.double_finishes sc);
+      check_int "null span id untouched" (-1) sp.Span.s_id;
+      check_int "null span accumulates nothing" 0
+        (sp.Span.s_queue_ns + sp.Span.s_chan_ns + sp.Span.s_compute_ns);
+      check_bool "null span stays closed" false sp.Span.s_open)
+
 (* ---- ring overflow never corrupts the quantiles ---- *)
 
 let test_overflow_keeps_quantiles () =
@@ -396,6 +417,8 @@ let suite =
     Alcotest.test_case "span: phase sums under reconfigure hammer (native)" `Slow
       test_phase_sum_reconfigure_native;
     Alcotest.test_case "span: exactly-once with pooled reuse" `Quick test_exactly_once_reuse;
+    Alcotest.test_case "span: null span is inert under a collector" `Quick
+      test_null_span_inert;
     Alcotest.test_case "span: ring overflow keeps quantiles exact" `Quick
       test_overflow_keeps_quantiles;
     Alcotest.test_case "httpd: golden responses" `Quick test_http_endpoint_golden;
